@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks for every cleaning algorithm family (fit +
+//! apply on a train/test pair of a representative dataset).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cleanml_cleaning::{clean_pair, CleaningMethod, ErrorType};
+use cleanml_datagen::{generate, spec_by_name};
+
+fn bench_error_type(c: &mut Criterion, dataset: &str, error_type: ErrorType) {
+    let data = generate(spec_by_name(dataset).expect("known dataset"), 42);
+    let (train, test) = data.dirty.split(0.3, 1).expect("split");
+    let mut group = c.benchmark_group(format!("clean/{}", error_type.name()));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for method in CleaningMethod::catalogue(error_type) {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| {
+                let out = clean_pair(black_box(&method), black_box(&train), black_box(&test), 7)
+                    .expect("clean");
+                black_box(out.report)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_error_type(c, "Titanic", ErrorType::MissingValues);
+    bench_error_type(c, "EEG", ErrorType::Outliers);
+    bench_error_type(c, "Restaurant", ErrorType::Duplicates);
+    bench_error_type(c, "Company", ErrorType::Inconsistencies);
+    bench_error_type(c, "Clothing", ErrorType::Mislabels);
+}
+
+criterion_group!(cleaning_benches, benches);
+criterion_main!(cleaning_benches);

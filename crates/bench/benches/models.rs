@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for every classifier family: fit and predict
+//! on an encoded representative dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cleanml_datagen::{generate, spec_by_name};
+use cleanml_dataset::Encoder;
+use cleanml_ml::{ModelKind, ModelSpec, PAPER_MODELS};
+
+fn benches(c: &mut Criterion) {
+    let data = generate(spec_by_name("USCensus").expect("known dataset"), 42);
+    let (train, test) = data.dirty.split(0.3, 1).expect("split");
+    let enc = Encoder::fit(&train).expect("encode");
+    let train_m = enc.transform(&train).expect("transform");
+    let test_m = enc.transform(&test).expect("transform");
+
+    let mut group = c.benchmark_group("model/fit");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let all: Vec<ModelKind> = PAPER_MODELS
+        .into_iter()
+        .chain([ModelKind::Mlp, ModelKind::Nacl])
+        .collect();
+    for kind in &all {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let model = ModelSpec::default_for(*kind)
+                    .fit(black_box(&train_m), 7)
+                    .expect("fit");
+                black_box(model)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("model/predict");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in &all {
+        let model = ModelSpec::default_for(*kind).fit(&train_m, 7).expect("fit");
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(model.predict(black_box(&test_m)).expect("predict")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(model_benches, benches);
+criterion_main!(model_benches);

@@ -1,0 +1,95 @@
+//! # cleanml-bench
+//!
+//! The reproduction harness: one binary per paper table (Tables 11–19),
+//! scientific ablation binaries, and Criterion micro-benchmarks.
+//!
+//! Every `tableNN` binary regenerates the corresponding table of the paper's
+//! evaluation section from scratch — generate datasets, run the §IV protocol,
+//! apply Benjamini–Yekutieli, issue the §V-A queries — and prints rows in
+//! the paper's `NN% (count)` format. Absolute counts depend on the synthetic
+//! stand-ins (see `DESIGN.md` §4); the *shape* — which flags dominate, which
+//! methods/models/datasets deviate — is the reproduction target, recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! All binaries accept a profile argument:
+//!
+//! * `--quick` — 6 splits, no tuning (seconds; CI smoke).
+//! * `--standard` — the default: paper's 20 splits, default hyper-parameters.
+//! * `--paper` — 20 splits with random search + 5-fold CV (slow).
+
+use cleanml_core::database::FlagDist;
+use cleanml_core::ExperimentConfig;
+use cleanml_stats::Flag;
+
+/// Parses the common CLI profile flags.
+pub fn config_from_args() -> ExperimentConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = if args.iter().any(|a| a == "--paper") {
+        ExperimentConfig::paper()
+    } else if args.iter().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::standard()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--splits") {
+        if let Some(n) = args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
+            cfg.n_splits = n.max(2);
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if let Some(s) = args.get(pos + 1).and_then(|s| s.parse::<u64>().ok()) {
+            cfg.base_seed = s;
+        }
+    }
+    cfg
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Converts a grouped query result into printable rows.
+pub fn rows_of<K: std::fmt::Display>(
+    map: &std::collections::BTreeMap<K, FlagDist>,
+) -> Vec<(String, FlagDist)> {
+    map.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+/// Builds a [`FlagDist`] from individual flags (Tables 17–19 aggregation).
+pub fn dist_of(flags: &[Flag]) -> FlagDist {
+    let mut d = FlagDist::default();
+    for &f in flags {
+        d.add(f);
+    }
+    d
+}
+
+/// Prints the run configuration banner.
+pub fn banner(table: &str, cfg: &ExperimentConfig) {
+    println!(
+        "CleanML reproduction — {table} | splits={} search={:?} alpha={} seed={}",
+        cfg.n_splits, cfg.search, cfg.alpha, cfg.base_seed
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_aggregation() {
+        let d = dist_of(&[Flag::Positive, Flag::Negative, Flag::Positive]);
+        assert_eq!(d.p, 2);
+        assert_eq!(d.n, 1);
+        assert_eq!(d.total(), 3);
+    }
+
+    #[test]
+    fn rows_render() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("EEG".to_string(), FlagDist { p: 1, s: 0, n: 0 });
+        let rows = rows_of(&m);
+        assert_eq!(rows[0].0, "EEG");
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by all cleaning operations.
+
+use std::fmt;
+
+/// Errors raised by cleaning algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CleaningError {
+    /// An underlying table operation failed.
+    Dataset(cleanml_dataset::DatasetError),
+    /// An internal model (confident learning probe, ZeroER GMM) failed.
+    Ml(String),
+    /// The method is not applicable to the given data (e.g. outlier cleaning
+    /// on a table without numeric features).
+    NotApplicable { method: &'static str, reason: String },
+}
+
+impl fmt::Display for CleaningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CleaningError::Dataset(e) => write!(f, "dataset error: {e}"),
+            CleaningError::Ml(m) => write!(f, "model error during cleaning: {m}"),
+            CleaningError::NotApplicable { method, reason } => {
+                write!(f, "{method} not applicable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CleaningError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CleaningError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cleanml_dataset::DatasetError> for CleaningError {
+    fn from(e: cleanml_dataset::DatasetError) -> Self {
+        CleaningError::Dataset(e)
+    }
+}
+
+impl From<cleanml_ml::MlError> for CleaningError {
+    fn from(e: cleanml_ml::MlError) -> Self {
+        CleaningError::Ml(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CleaningError = cleanml_dataset::DatasetError::MissingLabel.into();
+        assert!(e.to_string().contains("label"));
+        let e: CleaningError = cleanml_ml::MlError::EmptyTrainingSet.into();
+        assert!(e.to_string().contains("empty"));
+        let e = CleaningError::NotApplicable { method: "IQR", reason: "no numeric columns".into() };
+        assert!(e.to_string().contains("IQR"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Inconsistency detection and repair (paper §III-B4).
+//!
+//! OpenRefine's text-facet clustering groups alternative representations of
+//! the same value ("U.S. Bank" / "US Bank"); its default method is
+//! **fingerprint key collision**: lowercase, strip punctuation, split into
+//! tokens, deduplicate, sort, rejoin — values with equal fingerprints are
+//! one cluster. Repair merges every cluster to its most frequent member
+//! (paper: "merging all values in one cluster into the most frequent one").
+//!
+//! Clusters are learned on the training partition; at apply time, any value
+//! (including ones never seen in training) is normalized through its
+//! fingerprint, so the test partition is cleaned consistently without
+//! leaking test statistics.
+
+use std::collections::HashMap;
+
+use cleanml_dataset::{ColumnKind, ColumnRole, Table, Value};
+
+use crate::report::TableReport;
+use crate::Result;
+
+/// Computes OpenRefine's fingerprint key of a string.
+pub fn fingerprint(s: &str) -> String {
+    let mut tokens: Vec<String> = s
+        .to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect();
+    tokens.sort();
+    tokens.dedup();
+    tokens.join(" ")
+}
+
+/// A fitted inconsistency cleaner: per column, fingerprint → canonical value.
+#[derive(Debug, Clone)]
+pub struct FittedInconsistency {
+    /// column → (fingerprint → canonical string).
+    canonical: HashMap<usize, HashMap<String, String>>,
+    /// column → set of fingerprints whose training cluster had ≥ 2 distinct
+    /// members (i.e. actual inconsistencies, counted by `detected`).
+    inconsistent: HashMap<usize, HashMap<String, bool>>,
+}
+
+/// Columns eligible for inconsistency cleaning: categorical features and
+/// carried-along text columns (never the label, never keys).
+fn eligible_columns(table: &Table) -> Vec<usize> {
+    table
+        .schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.kind == ColumnKind::Categorical
+                && matches!(f.role, ColumnRole::Feature | ColumnRole::Ignore)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Learns fingerprint clusters and canonical representatives from `train`.
+pub fn fit(train: &Table) -> Result<FittedInconsistency> {
+    let mut canonical = HashMap::new();
+    let mut inconsistent = HashMap::new();
+    for col in eligible_columns(train) {
+        let c = train.column(col)?;
+        // fingerprint → (value → count)
+        let mut clusters: HashMap<String, HashMap<String, usize>> = HashMap::new();
+        for r in 0..train.n_rows() {
+            if let Some(v) = c.cat_str(r) {
+                *clusters
+                    .entry(fingerprint(v))
+                    .or_default()
+                    .entry(v.to_owned())
+                    .or_insert(0) += 1;
+            }
+        }
+        let mut canon_col = HashMap::new();
+        let mut incons_col = HashMap::new();
+        for (fp, members) in clusters {
+            let multi = members.len() >= 2;
+            let canon = members
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0))) // most frequent, ties → smallest string
+                .map(|(v, _)| v.clone())
+                .expect("cluster non-empty");
+            incons_col.insert(fp.clone(), multi);
+            canon_col.insert(fp, canon);
+        }
+        canonical.insert(col, canon_col);
+        inconsistent.insert(col, incons_col);
+    }
+    Ok(FittedInconsistency { canonical, inconsistent })
+}
+
+impl FittedInconsistency {
+    /// Number of training clusters with ≥ 2 distinct spellings (diagnostics).
+    pub fn n_inconsistent_clusters(&self) -> usize {
+        self.inconsistent
+            .values()
+            .map(|m| m.values().filter(|&&b| b).count())
+            .sum()
+    }
+
+    /// Cleans one table by merging every value to its cluster's canonical
+    /// representative.
+    pub fn apply(&self, table: &Table) -> Result<(Table, TableReport)> {
+        let mut out = table.clone();
+        let mut detected = 0usize;
+        let mut repaired = 0usize;
+        for (&col, canon_col) in &self.canonical {
+            let incons_col = &self.inconsistent[&col];
+            // Collect replacements first (borrow rules: `out` mutated after).
+            let mut edits: Vec<(usize, String)> = Vec::new();
+            {
+                let c = table.column(col)?;
+                for r in 0..table.n_rows() {
+                    let Some(v) = c.cat_str(r) else { continue };
+                    let fp = fingerprint(v);
+                    if incons_col.get(&fp).copied().unwrap_or(false) {
+                        detected += 1;
+                    }
+                    if let Some(canon) = canon_col.get(&fp) {
+                        if canon != v {
+                            edits.push((r, canon.clone()));
+                        }
+                    }
+                }
+            }
+            repaired += edits.len();
+            for (r, canon) in edits {
+                out.set(r, col, Value::Str(canon))?;
+            }
+        }
+        let report = TableReport {
+            rows_before: table.n_rows(),
+            rows_after: out.n_rows(),
+            detected,
+            repaired,
+        };
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleanml_dataset::{FieldMeta, Schema};
+
+    #[test]
+    fn fingerprint_examples() {
+        assert_eq!(fingerprint("New York"), "new york");
+        assert_eq!(fingerprint("york NEW"), "new york");
+        assert_eq!(fingerprint("New---York!!"), "new york");
+        assert_eq!(fingerprint("new new york"), "new york"); // dedup
+        assert_ne!(fingerprint("New York"), fingerprint("Newark"));
+    }
+
+    fn table_with_inconsistencies() -> Table {
+        let schema = Schema::new(vec![
+            FieldMeta::cat_feature("state"),
+            FieldMeta::label("y"),
+        ]);
+        let mut t = Table::new(schema);
+        for (v, y) in [
+            ("California", "p"),
+            ("California", "p"),
+            ("california", "n"),
+            ("CALIFORNIA", "p"),
+            ("Texas", "n"),
+            ("texas", "n"),
+            ("Texas", "p"),
+            ("Oregon", "p"),
+        ] {
+            t.push_row(vec![Value::from(v), Value::from(y)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn merges_to_most_frequent() {
+        let t = table_with_inconsistencies();
+        let cleaner = fit(&t).unwrap();
+        assert_eq!(cleaner.n_inconsistent_clusters(), 2);
+        let (clean, report) = cleaner.apply(&t).unwrap();
+        // All california spellings -> "California" (count 2 beats 1,1)
+        for r in 0..4 {
+            assert_eq!(clean.get(r, 0).unwrap(), Value::Str("California".into()), "row {r}");
+        }
+        for r in 4..7 {
+            assert_eq!(clean.get(r, 0).unwrap(), Value::Str("Texas".into()), "row {r}");
+        }
+        assert_eq!(clean.get(7, 0).unwrap(), Value::Str("Oregon".into()));
+        assert_eq!(report.detected, 7); // members of multi-spelling clusters
+        assert_eq!(report.repaired, 3); // cells actually rewritten
+    }
+
+    #[test]
+    fn test_partition_normalized_via_fingerprints() {
+        let train = table_with_inconsistencies();
+        let cleaner = fit(&train).unwrap();
+        let mut test = Table::new(train.schema().clone());
+        test.push_row(vec![Value::from("CaLiFoRnIa"), Value::from("p")]).unwrap(); // unseen spelling
+        test.push_row(vec![Value::from("Nevada"), Value::from("n")]).unwrap(); // unseen value
+        let (clean, _) = cleaner.apply(&test).unwrap();
+        assert_eq!(clean.get(0, 0).unwrap(), Value::Str("California".into()));
+        assert_eq!(clean.get(1, 0).unwrap(), Value::Str("Nevada".into()));
+    }
+
+    #[test]
+    fn idempotent() {
+        let t = table_with_inconsistencies();
+        let cleaner = fit(&t).unwrap();
+        let (clean1, _) = cleaner.apply(&t).unwrap();
+        let (clean2, report2) = cleaner.apply(&clean1).unwrap();
+        assert_eq!(clean1, clean2);
+        assert_eq!(report2.repaired, 0);
+    }
+
+    #[test]
+    fn label_and_key_columns_untouched() {
+        let schema = Schema::new(vec![
+            FieldMeta::key("id"),
+            FieldMeta::cat_feature("c"),
+            FieldMeta::label("y"),
+        ]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::from("A 1"), Value::from("x"), Value::from("p p")]).unwrap();
+        t.push_row(vec![Value::from("a-1"), Value::from("x"), Value::from("P P")]).unwrap();
+        let cleaner = fit(&t).unwrap();
+        let (clean, _) = cleaner.apply(&t).unwrap();
+        // key and label preserved verbatim even though fingerprints collide
+        assert_eq!(clean.get(1, 0).unwrap(), Value::Str("a-1".into()));
+        assert_eq!(clean.get(1, 2).unwrap(), Value::Str("P P".into()));
+    }
+
+    #[test]
+    fn missing_cells_skipped() {
+        let schema = Schema::new(vec![FieldMeta::cat_feature("c"), FieldMeta::label("y")]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Null, Value::from("p")]).unwrap();
+        t.push_row(vec![Value::from("x"), Value::from("n")]).unwrap();
+        let cleaner = fit(&t).unwrap();
+        let (clean, report) = cleaner.apply(&t).unwrap();
+        assert_eq!(clean.get(0, 0).unwrap(), Value::Null);
+        assert_eq!(report.repaired, 0);
+    }
+}

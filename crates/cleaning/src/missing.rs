@@ -1,0 +1,360 @@
+//! Missing-value detection and repair (paper §III-B1).
+//!
+//! Detection is trivial — empty / `NaN` cells. Repairs are the paper's
+//! eight: record deletion, the six simple imputations ({mean, median, mode}
+//! for numeric cells × {mode, dummy} for categorical cells), and
+//! HoloClean-style probabilistic inference.
+//!
+//! The paper's special protocol for missing values (Table 5) treats the
+//! deletion-repaired dataset as the *dirty* baseline and an
+//! imputation-repaired dataset as the *clean* version; that composition
+//! happens in the study runner — this module just applies one repair.
+
+use std::collections::HashMap;
+
+use cleanml_dataset::{ColumnKind, Table, Value};
+
+use crate::holoclean::HoloCleanImputer;
+use crate::report::TableReport;
+use crate::Result;
+
+/// Imputation statistic for numeric cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumImpute {
+    Mean,
+    Median,
+    Mode,
+}
+
+/// Imputation strategy for categorical cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CatImpute {
+    /// Most frequent training value.
+    Mode,
+    /// A literal `"missing"` dummy category.
+    Dummy,
+}
+
+/// The dummy category injected by [`CatImpute::Dummy`].
+pub const DUMMY_CATEGORY: &str = "missing";
+
+/// How to repair detected missing values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissingRepair {
+    /// Delete rows containing missing feature cells.
+    Deletion,
+    /// Simple imputation (one of the paper's six combinations).
+    Impute { num: NumImpute, cat: CatImpute },
+    /// HoloClean-style probabilistic inference.
+    HoloClean,
+}
+
+impl MissingRepair {
+    /// All eight repairs in the paper's Table 2 order.
+    pub fn all() -> Vec<MissingRepair> {
+        let mut v = vec![MissingRepair::Deletion];
+        for num in [NumImpute::Mean, NumImpute::Median, NumImpute::Mode] {
+            for cat in [CatImpute::Mode, CatImpute::Dummy] {
+                v.push(MissingRepair::Impute { num, cat });
+            }
+        }
+        v.push(MissingRepair::HoloClean);
+        v
+    }
+
+    /// Table-2-style display name (e.g. `MeanDummy`).
+    pub fn name(&self) -> String {
+        match self {
+            MissingRepair::Deletion => "Deletion".into(),
+            MissingRepair::Impute { num, cat } => {
+                let n = match num {
+                    NumImpute::Mean => "Mean",
+                    NumImpute::Median => "Median",
+                    NumImpute::Mode => "Mode",
+                };
+                let c = match cat {
+                    CatImpute::Mode => "Mode",
+                    CatImpute::Dummy => "Dummy",
+                };
+                format!("{n}{c}")
+            }
+            MissingRepair::HoloClean => "HoloClean".into(),
+        }
+    }
+}
+
+/// A missing-value cleaner fitted on a training partition.
+#[derive(Debug, Clone)]
+pub struct FittedMissing {
+    repair: MissingRepair,
+    /// Per numeric feature column: the imputation value.
+    num_stats: HashMap<usize, f64>,
+    /// Per categorical feature column: the mode string.
+    cat_modes: HashMap<usize, String>,
+    holoclean: Option<HoloCleanImputer>,
+}
+
+/// Fits the chosen repair's statistics on `train`.
+pub fn fit(repair: MissingRepair, train: &Table) -> Result<FittedMissing> {
+    let schema = train.schema();
+    let mut num_stats = HashMap::new();
+    let mut cat_modes = HashMap::new();
+
+    if let MissingRepair::Impute { num, .. } = repair {
+        for col in schema.numeric_feature_indices() {
+            let c = train.column(col)?;
+            let stat = match num {
+                NumImpute::Mean => cleanml_dataset::stats::mean(c),
+                NumImpute::Median => cleanml_dataset::stats::median(c),
+                NumImpute::Mode => cleanml_dataset::stats::numeric_mode(c),
+            };
+            // Columns that are entirely missing in training fall back to 0.0.
+            num_stats.insert(col, stat.unwrap_or(0.0));
+        }
+    }
+    if matches!(repair, MissingRepair::Impute { cat: CatImpute::Mode, .. }) {
+        for col in schema.categorical_feature_indices() {
+            let c = train.column(col)?;
+            let mode = cleanml_dataset::stats::categorical_mode(c)
+                .and_then(|id| c.dict_str(id))
+                .unwrap_or(DUMMY_CATEGORY)
+                .to_owned();
+            cat_modes.insert(col, mode);
+        }
+    }
+    let holoclean = if repair == MissingRepair::HoloClean {
+        Some(HoloCleanImputer::fit(train)?)
+    } else {
+        None
+    };
+
+    Ok(FittedMissing { repair, num_stats, cat_modes, holoclean })
+}
+
+impl FittedMissing {
+    /// The repair this cleaner applies.
+    pub fn repair(&self) -> MissingRepair {
+        self.repair
+    }
+
+    /// Cleans one table, returning the cleaned copy and a report.
+    pub fn apply(&self, table: &Table) -> Result<(Table, TableReport)> {
+        let mut out = table.clone();
+        let feature_cols = table.schema().feature_indices();
+        let detected = out.n_missing_cells();
+        let rows_before = out.n_rows();
+
+        let repaired = match self.repair {
+            MissingRepair::Deletion => {
+                out = out.drop_rows_with_missing();
+                rows_before - out.n_rows()
+            }
+            MissingRepair::Impute { cat, .. } => {
+                let mut fixed = 0usize;
+                for &col in &feature_cols {
+                    let kind = table.schema().fields()[col].kind;
+                    let rows = table.missing_rows(col)?;
+                    for r in rows {
+                        let value = match kind {
+                            ColumnKind::Numeric => {
+                                Value::Num(self.num_stats.get(&col).copied().unwrap_or(0.0))
+                            }
+                            ColumnKind::Categorical => match cat {
+                                CatImpute::Dummy => Value::Str(DUMMY_CATEGORY.to_owned()),
+                                CatImpute::Mode => Value::Str(
+                                    self.cat_modes
+                                        .get(&col)
+                                        .cloned()
+                                        .unwrap_or_else(|| DUMMY_CATEGORY.to_owned()),
+                                ),
+                            },
+                        };
+                        out.set(r, col, value)?;
+                        fixed += 1;
+                    }
+                }
+                fixed
+            }
+            MissingRepair::HoloClean => {
+                let imputer = self.holoclean.as_ref().expect("fitted for HoloClean");
+                let mut fixed = 0usize;
+                for &col in &feature_cols {
+                    let kind = table.schema().fields()[col].kind;
+                    let rows = table.missing_rows(col)?;
+                    for r in rows {
+                        let value = match kind {
+                            ColumnKind::Numeric => {
+                                // Fall back to 0.0 only when training had no data at all.
+                                Value::Num(imputer.impute_numeric(table, r, col).unwrap_or(0.0))
+                            }
+                            ColumnKind::Categorical => Value::Str(
+                                imputer
+                                    .impute_categorical(table, r, col)
+                                    .unwrap_or_else(|| DUMMY_CATEGORY.to_owned()),
+                            ),
+                        };
+                        out.set(r, col, value)?;
+                        fixed += 1;
+                    }
+                }
+                fixed
+            }
+        };
+
+        let report = TableReport {
+            rows_before,
+            rows_after: out.n_rows(),
+            detected,
+            repaired,
+        };
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleanml_dataset::{FieldMeta, Schema};
+
+    fn dirty_table() -> Table {
+        let schema = Schema::new(vec![
+            FieldMeta::num_feature("x"),
+            FieldMeta::cat_feature("c"),
+            FieldMeta::label("y"),
+        ]);
+        let mut t = Table::new(schema);
+        for (x, c, y) in [
+            (Some(1.0), Some("a"), "p"),
+            (Some(2.0), Some("a"), "p"),
+            (Some(3.0), Some("b"), "n"),
+            (None, Some("a"), "n"),
+            (Some(100.0), None, "p"),
+            (None, None, "n"),
+        ] {
+            t.push_row(vec![Value::from(x), Value::from(c), Value::from(y)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn all_eight_repairs_listed() {
+        let all = MissingRepair::all();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], MissingRepair::Deletion);
+        assert_eq!(all[7], MissingRepair::HoloClean);
+        let names: Vec<String> = all.iter().map(|r| r.name()).collect();
+        assert!(names.contains(&"MeanDummy".to_string()));
+        assert!(names.contains(&"MedianMode".to_string()));
+    }
+
+    #[test]
+    fn deletion_drops_incomplete_rows() {
+        let t = dirty_table();
+        let cleaner = fit(MissingRepair::Deletion, &t).unwrap();
+        let (clean, report) = cleaner.apply(&t).unwrap();
+        assert_eq!(clean.n_rows(), 3);
+        assert_eq!(clean.n_missing_cells(), 0);
+        assert_eq!(report.rows_before, 6);
+        assert_eq!(report.rows_after, 3);
+        assert_eq!(report.detected, 4);
+        assert_eq!(report.repaired, 3); // rows removed
+    }
+
+    #[test]
+    fn mean_mode_imputation() {
+        let t = dirty_table();
+        let cleaner = fit(
+            MissingRepair::Impute { num: NumImpute::Mean, cat: CatImpute::Mode },
+            &t,
+        )
+        .unwrap();
+        let (clean, report) = cleaner.apply(&t).unwrap();
+        assert_eq!(clean.n_rows(), 6);
+        assert_eq!(clean.n_missing_cells(), 0);
+        assert_eq!(report.repaired, 4);
+        // mean of observed x = (1+2+3+100)/4 = 26.5
+        assert_eq!(clean.get(3, 0).unwrap(), Value::Num(26.5));
+        // mode of c = "a"
+        assert_eq!(clean.get(4, 1).unwrap(), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn median_is_outlier_robust() {
+        let t = dirty_table();
+        let cleaner = fit(
+            MissingRepair::Impute { num: NumImpute::Median, cat: CatImpute::Mode },
+            &t,
+        )
+        .unwrap();
+        let (clean, _) = cleaner.apply(&t).unwrap();
+        // median of 1,2,3,100 = 2.5 — not dragged to 26.5 by the outlier
+        assert_eq!(clean.get(3, 0).unwrap(), Value::Num(2.5));
+    }
+
+    #[test]
+    fn dummy_category_injected() {
+        let t = dirty_table();
+        let cleaner = fit(
+            MissingRepair::Impute { num: NumImpute::Mode, cat: CatImpute::Dummy },
+            &t,
+        )
+        .unwrap();
+        let (clean, _) = cleaner.apply(&t).unwrap();
+        assert_eq!(clean.get(4, 1).unwrap(), Value::Str(DUMMY_CATEGORY.into()));
+        // numeric mode of 1,2,3,100 -> 1 (all unique, smallest wins)
+        assert_eq!(clean.get(3, 0).unwrap(), Value::Num(1.0));
+    }
+
+    #[test]
+    fn train_statistics_applied_to_other_table() {
+        // Leakage check: statistics come from `fit`'s table, not `apply`'s.
+        let train = dirty_table();
+        let schema = train.schema().clone();
+        let mut test = Table::new(schema);
+        test.push_row(vec![Value::Null, Value::Null, Value::from("p")]).unwrap();
+        let cleaner = fit(
+            MissingRepair::Impute { num: NumImpute::Mean, cat: CatImpute::Mode },
+            &train,
+        )
+        .unwrap();
+        let (clean, _) = cleaner.apply(&test).unwrap();
+        assert_eq!(clean.get(0, 0).unwrap(), Value::Num(26.5)); // train mean
+        assert_eq!(clean.get(0, 1).unwrap(), Value::Str("a".into())); // train mode
+    }
+
+    #[test]
+    fn holoclean_fills_all_cells() {
+        let t = dirty_table();
+        let cleaner = fit(MissingRepair::HoloClean, &t).unwrap();
+        let (clean, report) = cleaner.apply(&t).unwrap();
+        assert_eq!(clean.n_missing_cells(), 0);
+        assert_eq!(report.repaired, 4);
+    }
+
+    #[test]
+    fn clean_table_untouched() {
+        let t = dirty_table();
+        let cleaner = fit(MissingRepair::Deletion, &t).unwrap();
+        let (clean, _) = cleaner.apply(&t).unwrap();
+        // applying again changes nothing (idempotence)
+        let (clean2, report2) = cleaner.apply(&clean).unwrap();
+        assert_eq!(clean, clean2);
+        assert_eq!(report2.detected, 0);
+        assert_eq!(report2.repaired, 0);
+    }
+
+    #[test]
+    fn all_missing_column_falls_back() {
+        let schema = Schema::new(vec![FieldMeta::num_feature("x"), FieldMeta::label("y")]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Null, Value::from("a")]).unwrap();
+        t.push_row(vec![Value::Null, Value::from("b")]).unwrap();
+        let cleaner = fit(
+            MissingRepair::Impute { num: NumImpute::Mean, cat: CatImpute::Mode },
+            &t,
+        )
+        .unwrap();
+        let (clean, _) = cleaner.apply(&t).unwrap();
+        assert_eq!(clean.get(0, 0).unwrap(), Value::Num(0.0));
+    }
+}

@@ -1,0 +1,48 @@
+//! Bookkeeping of what a cleaning pass changed.
+
+/// Summary of one cleaning application (one table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableReport {
+    /// Rows in the table before cleaning.
+    pub rows_before: usize,
+    /// Rows after cleaning (deletion-style repairs shrink tables).
+    pub rows_after: usize,
+    /// Cells (or labels, for mislabel cleaning) flagged by detection.
+    pub detected: usize,
+    /// Cells / labels / rows actually changed by repair.
+    pub repaired: usize,
+}
+
+/// Report for a train/test cleaning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CleaningReport {
+    pub train: TableReport,
+    pub test: TableReport,
+}
+
+impl CleaningReport {
+    /// Total detections across both partitions.
+    pub fn total_detected(&self) -> usize {
+        self.train.detected + self.test.detected
+    }
+
+    /// Total repairs across both partitions.
+    pub fn total_repaired(&self) -> usize {
+        self.train.repaired + self.test.repaired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let r = CleaningReport {
+            train: TableReport { rows_before: 10, rows_after: 8, detected: 3, repaired: 2 },
+            test: TableReport { rows_before: 5, rows_after: 5, detected: 1, repaired: 1 },
+        };
+        assert_eq!(r.total_detected(), 4);
+        assert_eq!(r.total_repaired(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! String similarity primitives for duplicate detection.
+//!
+//! ZeroER (and entity resolution generally) works on per-pair similarity
+//! feature vectors. These are the classic measures: normalized Levenshtein
+//! edit similarity, token Jaccard, and 3-gram Jaccard.
+
+use std::collections::HashSet;
+
+/// Levenshtein edit distance (dynamic programming, two rows).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// `1 - lev(a,b) / max(|a|,|b|)`; 1.0 for two empty strings.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaccard similarity of lowercase whitespace tokens; 1.0 for two empty
+/// token sets.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let ta: HashSet<String> = a.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let tb: HashSet<String> = b.split_whitespace().map(|t| t.to_lowercase()).collect();
+    jaccard(&ta, &tb)
+}
+
+/// Jaccard similarity of character 3-grams of the lowercased strings.
+pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
+    jaccard(&char_ngrams(a, 3), &char_ngrams(b, 3))
+}
+
+fn char_ngrams(s: &str, n: usize) -> HashSet<String> {
+    let chars: Vec<char> = s.to_lowercase().chars().collect();
+    if chars.len() < n {
+        if chars.is_empty() {
+            return HashSet::new();
+        }
+        return std::iter::once(chars.iter().collect()).collect();
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+fn jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Relative numeric similarity `1 - |a-b| / max(|a|,|b|)`, clamped to
+/// `[0,1]`; 1.0 when both are (near) zero.
+pub fn numeric_similarity(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom < 1e-12 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lev_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn lev_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("U.S. Bank", "US Bank");
+        assert!(s > 0.7, "{s}");
+    }
+
+    #[test]
+    fn token_jaccard_cases() {
+        assert_eq!(token_jaccard("the big cat", "the big cat"), 1.0);
+        assert_eq!(token_jaccard("a b", "c d"), 0.0);
+        assert!((token_jaccard("big cat", "big dog") - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(token_jaccard("", ""), 1.0);
+        // case-insensitive
+        assert_eq!(token_jaccard("Cat", "cat"), 1.0);
+    }
+
+    #[test]
+    fn trigram_jaccard_cases() {
+        assert_eq!(trigram_jaccard("restaurant", "restaurant"), 1.0);
+        // shared trigrams {res, est, sta} of 13 total -> 3/13
+        assert!((trigram_jaccard("restaurant", "restaraunt") - 3.0 / 13.0).abs() < 1e-12);
+        assert_eq!(trigram_jaccard("", ""), 1.0);
+        // short strings fall back to whole-string grams
+        assert_eq!(trigram_jaccard("ab", "ab"), 1.0);
+        assert_eq!(trigram_jaccard("ab", "cd"), 0.0);
+    }
+
+    #[test]
+    fn numeric_similarity_cases() {
+        assert_eq!(numeric_similarity(0.0, 0.0), 1.0);
+        assert_eq!(numeric_similarity(10.0, 10.0), 1.0);
+        assert_eq!(numeric_similarity(10.0, 0.0), 0.0);
+        assert!((numeric_similarity(10.0, 9.0) - 0.9).abs() < 1e-12);
+        assert_eq!(numeric_similarity(-5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn similarity_symmetry() {
+        for (a, b) in [("hotel", "motel"), ("sushi bar", "sushi-bar tokyo"), ("", "x")] {
+            assert_eq!(levenshtein_similarity(a, b), levenshtein_similarity(b, a));
+            assert_eq!(token_jaccard(a, b), token_jaccard(b, a));
+            assert_eq!(trigram_jaccard(a, b), trigram_jaccard(b, a));
+        }
+    }
+}

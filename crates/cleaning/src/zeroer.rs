@@ -1,0 +1,264 @@
+//! ZeroER's generative core: a two-component Gaussian mixture over record-
+//! pair similarity vectors, fit by EM with zero labeled examples.
+//!
+//! ZeroER (Wu et al., SIGMOD'20) observes that the similarity vectors of
+//! matching and non-matching record pairs form two clusters; fitting a
+//! 2-component GMM by expectation–maximization separates them without any
+//! labels, and the component with the higher mean similarity is the *match*
+//! class. This module implements exactly that core (diagonal covariance,
+//! deterministic initialization from the similarity ranking); ZeroER's
+//! blocking refinements and transitivity post-processing are omitted — see
+//! `DESIGN.md` §4.
+
+/// A fitted 2-component diagonal Gaussian mixture.
+///
+/// Component 0 is *unmatch*, component 1 is *match* (higher mean similarity).
+#[derive(Debug, Clone)]
+pub struct PairGmm {
+    means: [Vec<f64>; 2],
+    vars: [Vec<f64>; 2],
+    /// Per-dimension means of the seed pairs; the match component is
+    /// anchored near them (see the regularization constants).
+    seed_means: Vec<f64>,
+    /// Prior probability of the match component.
+    match_prior: f64,
+    dim: usize,
+}
+
+/// Variance floor to keep densities finite on degenerate features.
+const VAR_FLOOR: f64 = 1e-4;
+/// EM iterations (convergence on these small problems is fast).
+const EM_ITERS: usize = 50;
+/// Regularized-EM constraints, in the spirit of ZeroER's feature
+/// regularization: true matches are rare, near-identical, and stochastically
+/// dominate non-matches on every similarity feature. Without them, EM on the
+/// continuous "share-some-tokens" similarity shoulder of real text data
+/// drifts the match component downward until it absorbs a large fraction of
+/// candidate pairs.
+const MAX_MATCH_PRIOR: f64 = 0.02;
+const MAX_MATCH_VAR: f64 = 0.02;
+/// Floor on the unmatch variance, equal to the match cap: without it the
+/// unmatch component's tighter tails make mid-similarity points *relatively*
+/// more likely under the broad match Gaussian, flooding the result with
+/// false positives (the tied-covariance robustification).
+const MIN_UNMATCH_VAR: f64 = MAX_MATCH_VAR;
+const DOMINANCE_GAP: f64 = 0.2;
+/// How far below its seed mean the match component may drift per feature.
+const SEED_SLACK: f64 = 0.1;
+
+impl PairGmm {
+    /// Fits the mixture to `points` (each a similarity vector in `[0,1]^d`).
+    ///
+    /// Initialization is deterministic and anchored at genuinely similar
+    /// pairs: seeds are the pairs with mean similarity ≥ 0.8 (falling back
+    /// to the top 0.1% by rank, at least 3 pairs, when none clear the bar).
+    /// In entity resolution true matches are a tiny fraction of candidate
+    /// pairs, so a large seed set would let EM converge to a
+    /// "somewhat similar" cluster instead of the match cluster. Returns
+    /// `None` when there are fewer than 2 points or zero dimensions.
+    pub fn fit(points: &[Vec<f64>]) -> Option<PairGmm> {
+        if points.len() < 2 {
+            return None;
+        }
+        let dim = points[0].len();
+        if dim == 0 || points.iter().any(|p| p.len() != dim) {
+            return None;
+        }
+
+        let mean_sim = |i: usize| points[i].iter().sum::<f64>() / dim as f64;
+        let mut seeds: Vec<usize> = (0..points.len()).filter(|&i| mean_sim(i) >= 0.8).collect();
+        if seeds.len() < 3 {
+            let mut ranked: Vec<usize> = (0..points.len()).collect();
+            ranked.sort_by(|&a, &b| {
+                mean_sim(b).partial_cmp(&mean_sim(a)).expect("finite sims").then(a.cmp(&b))
+            });
+            let n_top = (points.len() / 1000).max(3).min(points.len() - 1);
+            seeds = ranked[..n_top].to_vec();
+        }
+        let n_match_init = seeds.len();
+
+        let mut resp: Vec<f64> = vec![0.0; points.len()]; // P(match | point)
+        for &i in &seeds {
+            resp[i] = 1.0;
+        }
+
+        let mut seed_means = vec![0.0; dim];
+        for &i in &seeds {
+            for d in 0..dim {
+                seed_means[d] += points[i][d];
+            }
+        }
+        for m in &mut seed_means {
+            *m /= n_match_init as f64;
+        }
+
+        let mut gmm = PairGmm {
+            means: [vec![0.0; dim], vec![0.0; dim]],
+            vars: [vec![VAR_FLOOR; dim], vec![VAR_FLOOR; dim]],
+            seed_means,
+            match_prior: (n_match_init as f64 / points.len() as f64).min(MAX_MATCH_PRIOR),
+            dim,
+        };
+
+        for _ in 0..EM_ITERS {
+            // M step.
+            let w1: f64 = resp.iter().sum();
+            let w0 = points.len() as f64 - w1;
+            if w1 < 1e-9 || w0 < 1e-9 {
+                break; // collapsed; keep previous parameters
+            }
+            for d in 0..dim {
+                let m1: f64 =
+                    points.iter().zip(&resp).map(|(p, r)| r * p[d]).sum::<f64>() / w1;
+                let m0: f64 = points
+                    .iter()
+                    .zip(&resp)
+                    .map(|(p, r)| (1.0 - r) * p[d])
+                    .sum::<f64>()
+                    / w0;
+                let v1: f64 = points
+                    .iter()
+                    .zip(&resp)
+                    .map(|(p, r)| r * (p[d] - m1) * (p[d] - m1))
+                    .sum::<f64>()
+                    / w1;
+                let v0: f64 = points
+                    .iter()
+                    .zip(&resp)
+                    .map(|(p, r)| (1.0 - r) * (p[d] - m0) * (p[d] - m0))
+                    .sum::<f64>()
+                    / w0;
+                gmm.means[0][d] = m0;
+                // Dominance constraint (match above unmatch on every
+                // feature) plus seed anchoring (no drifting down the
+                // similarity shoulder away from the near-identical seeds).
+                gmm.means[1][d] = m1
+                    .max(m0 + DOMINANCE_GAP)
+                    .max(gmm.seed_means[d] - SEED_SLACK)
+                    .min(1.0);
+                gmm.vars[0][d] = v0.max(MIN_UNMATCH_VAR);
+                // Matches are near-identical: cap their spread.
+                gmm.vars[1][d] = v1.clamp(VAR_FLOOR, MAX_MATCH_VAR);
+            }
+            gmm.match_prior = (w1 / points.len() as f64).clamp(1e-6, MAX_MATCH_PRIOR);
+
+            // E step.
+            for (i, p) in points.iter().enumerate() {
+                resp[i] = gmm.posterior_match(p);
+            }
+        }
+
+        // Enforce the match component to be the higher-similarity one.
+        let mean1: f64 = gmm.means[1].iter().sum();
+        let mean0: f64 = gmm.means[0].iter().sum();
+        if mean1 < mean0 {
+            gmm.means.swap(0, 1);
+            gmm.vars.swap(0, 1);
+            gmm.match_prior = 1.0 - gmm.match_prior;
+        }
+        Some(gmm)
+    }
+
+    /// Posterior probability that `point` is a matching pair.
+    pub fn posterior_match(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.dim, "dimension mismatch");
+        let ll1 = self.log_density(point, 1) + self.match_prior.ln();
+        let ll0 = self.log_density(point, 0) + (1.0 - self.match_prior).ln();
+        let max = ll1.max(ll0);
+        let e1 = (ll1 - max).exp();
+        let e0 = (ll0 - max).exp();
+        e1 / (e1 + e0)
+    }
+
+    fn log_density(&self, point: &[f64], comp: usize) -> f64 {
+        let mut ll = 0.0;
+        for d in 0..self.dim {
+            let dev = point[d] - self.means[comp][d];
+            let var = self.vars[comp][d];
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + dev * dev / var);
+        }
+        ll
+    }
+
+    /// Mean vector of the match component (diagnostics).
+    pub fn match_mean(&self) -> &[f64] {
+        &self.means[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 90 low-similarity pairs + 10 high-similarity pairs.
+    fn bimodal_points() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..90 {
+            let jitter = (i as f64 * 0.37).sin() * 0.05;
+            pts.push(vec![0.2 + jitter, 0.15 - jitter, 0.25 + jitter * 0.5]);
+        }
+        for i in 0..10 {
+            let jitter = (i as f64 * 0.71).cos() * 0.03;
+            pts.push(vec![0.92 + jitter, 0.88 - jitter, 0.95 + jitter * 0.5]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_bimodal_similarities() {
+        let pts = bimodal_points();
+        let gmm = PairGmm::fit(&pts).unwrap();
+        // match mean clearly above unmatch mean
+        let m1: f64 = gmm.match_mean().iter().sum::<f64>() / 3.0;
+        assert!(m1 > 0.7, "match mean {m1}");
+        // posteriors classify correctly
+        for p in &pts[..90] {
+            assert!(gmm.posterior_match(p) < 0.5, "false positive on {p:?}");
+        }
+        for p in &pts[90..] {
+            assert!(gmm.posterior_match(p) > 0.5, "false negative on {p:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = bimodal_points();
+        let a = PairGmm::fit(&pts).unwrap();
+        let b = PairGmm::fit(&pts).unwrap();
+        assert_eq!(a.posterior_match(&pts[0]), b.posterior_match(&pts[0]));
+        assert_eq!(a.posterior_match(&pts[95]), b.posterior_match(&pts[95]));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(PairGmm::fit(&[]).is_none());
+        assert!(PairGmm::fit(&[vec![0.5]]).is_none());
+        assert!(PairGmm::fit(&[vec![], vec![]]).is_none());
+        // ragged input
+        assert!(PairGmm::fit(&[vec![0.5], vec![0.5, 0.6]]).is_none());
+    }
+
+    #[test]
+    fn constant_points_do_not_crash() {
+        let pts = vec![vec![0.5, 0.5]; 20];
+        let gmm = PairGmm::fit(&pts).unwrap();
+        let p = gmm.posterior_match(&[0.5, 0.5]);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn extreme_query_points() {
+        let pts = bimodal_points();
+        let gmm = PairGmm::fit(&pts).unwrap();
+        assert!(gmm.posterior_match(&[1.0, 1.0, 1.0]) > 0.5);
+        assert!(gmm.posterior_match(&[0.0, 0.0, 0.0]) < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn posterior_checks_dims() {
+        let pts = bimodal_points();
+        let gmm = PairGmm::fit(&pts).unwrap();
+        gmm.posterior_match(&[0.5]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Rendering of query results as paper-style text tables.
+
+use std::fmt::Write as _;
+
+use cleanml_stats::Flag;
+
+use crate::database::FlagDist;
+
+/// Renders one flag-distribution table with a title, matching the layout of
+/// the paper's Tables 11–15: one row per group, cells `NN% (count)`.
+pub fn render_flag_table(title: &str, rows: &[(String, FlagDist)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let label_width = rows
+        .iter()
+        .map(|(name, _)| name.len())
+        .chain(std::iter::once(5))
+        .max()
+        .unwrap_or(5);
+    let _ = writeln!(
+        out,
+        "{:<label_width$}  {:>12} {:>12} {:>12}",
+        "group", "P", "S", "N"
+    );
+    for (name, dist) in rows {
+        let _ = writeln!(
+            out,
+            "{name:<label_width$}  {:>12} {:>12} {:>12}",
+            dist.render(Flag::Positive),
+            dist.render(Flag::Insignificant),
+            dist.render(Flag::Negative),
+        );
+    }
+    out
+}
+
+/// Renders a single-row distribution (Q1 style).
+pub fn render_q1(title: &str, label: &str, dist: FlagDist) -> String {
+    render_flag_table(title, &[(label.to_owned(), dist)])
+}
+
+/// Renders a generic comparison table (Tables 17–19 style): rows of
+/// `(label, P-dist)` where each dist is already a P/S/N count.
+pub fn render_comparison(title: &str, rows: &[(String, FlagDist)]) -> String {
+    render_flag_table(title, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_layout() {
+        let mut d = FlagDist::default();
+        d.add(Flag::Positive);
+        d.add(Flag::Insignificant);
+        let s = render_flag_table("Q1 (E = Outliers)", &[("R1".into(), d)]);
+        assert!(s.contains("Q1 (E = Outliers)"));
+        assert!(s.contains("50% (1)"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn q1_helper() {
+        let d = FlagDist { p: 2, s: 1, n: 1 };
+        let s = render_q1("t", "R1", d);
+        assert!(s.contains("50% (2)"));
+        assert!(s.contains("25% (1)"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for study execution.
+
+use std::fmt;
+
+/// Errors raised while running experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    Dataset(cleanml_dataset::DatasetError),
+    Cleaning(cleanml_cleaning::CleaningError),
+    Ml(String),
+    Stats(String),
+    /// The requested experiment does not exist in the study (e.g. CD
+    /// scenario for missing values).
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dataset(e) => write!(f, "dataset error: {e}"),
+            CoreError::Cleaning(e) => write!(f, "cleaning error: {e}"),
+            CoreError::Ml(m) => write!(f, "model error: {m}"),
+            CoreError::Stats(m) => write!(f, "statistics error: {m}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported experiment: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<cleanml_dataset::DatasetError> for CoreError {
+    fn from(e: cleanml_dataset::DatasetError) -> Self {
+        CoreError::Dataset(e)
+    }
+}
+
+impl From<cleanml_cleaning::CleaningError> for CoreError {
+    fn from(e: cleanml_cleaning::CleaningError) -> Self {
+        CoreError::Cleaning(e)
+    }
+}
+
+impl From<cleanml_ml::MlError> for CoreError {
+    fn from(e: cleanml_ml::MlError) -> Self {
+        CoreError::Ml(e.to_string())
+    }
+}
+
+impl From<cleanml_stats::TTestError> for CoreError {
+    fn from(e: cleanml_stats::TTestError) -> Self {
+        CoreError::Stats(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = cleanml_dataset::DatasetError::MissingLabel.into();
+        assert!(e.to_string().contains("label"));
+        let e: CoreError = cleanml_ml::MlError::EmptyTrainingSet.into();
+        assert!(e.to_string().contains("empty"));
+        let e = CoreError::Unsupported("CD for missing values".into());
+        assert!(e.to_string().contains("CD"));
+    }
+}

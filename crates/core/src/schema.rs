@@ -1,0 +1,146 @@
+//! The CleanML relational schema (paper §III, Table 1).
+//!
+//! Three relations organize every experiment:
+//!
+//! * **R1** (vanilla) — key `(dataset, error type, detection, repair,
+//!   ML model, scenario)`.
+//! * **R2** (with model selection) — drops the model attribute; the best
+//!   model per split is chosen on validation performance.
+//! * **R3** (with model *and* cleaning-method selection) — further drops
+//!   detection/repair.
+//!
+//! Every row carries the paper's `flag` (P/N/S) plus the three t-test
+//! p-values it was derived from, so the Benjamini–Yekutieli procedure can be
+//! re-run over a whole relation.
+
+use std::fmt;
+
+pub use cleanml_cleaning::{CleaningMethod, Detection, ErrorType, Repair};
+pub use cleanml_ml::ModelKind as Model;
+pub use cleanml_stats::Flag;
+
+/// Where cleaning is applied (paper §III-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scenario {
+    /// Model development: compare case B (dirty-train model) with case D
+    /// (clean-train model), both evaluated on the cleaned test set.
+    BD,
+    /// Model deployment: one clean-train model evaluated on the dirty test
+    /// set (case C) vs. the cleaned test set (case D).
+    CD,
+}
+
+impl Scenario {
+    /// Scenarios applicable to an error type: missing values support only BD
+    /// (paper Table 5 — deleting test rows is not acceptable in deployment).
+    pub fn for_error(error_type: ErrorType) -> &'static [Scenario] {
+        match error_type {
+            ErrorType::MissingValues => &[Scenario::BD],
+            _ => &[Scenario::BD, Scenario::CD],
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", match self {
+            Scenario::BD => "BD",
+            Scenario::CD => "CD",
+        })
+    }
+}
+
+/// Statistical evidence attached to every relation row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evidence {
+    /// Two-tailed, upper-tailed and lower-tailed p-values.
+    pub p_two: f64,
+    pub p_upper: f64,
+    pub p_lower: f64,
+    /// Mean of the metric *before* cleaning (case B or C).
+    pub mean_before: f64,
+    /// Mean of the metric *after* cleaning (case D).
+    pub mean_after: f64,
+    /// Number of train/test splits aggregated.
+    pub n_splits: usize,
+}
+
+/// One tuple of relation R1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row1 {
+    pub dataset: String,
+    pub error_type: ErrorType,
+    pub detection: Detection,
+    pub repair: Repair,
+    pub model: Model,
+    pub scenario: Scenario,
+    pub flag: Flag,
+    pub evidence: Evidence,
+}
+
+/// One tuple of relation R2 (model selected per split).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row2 {
+    pub dataset: String,
+    pub error_type: ErrorType,
+    pub detection: Detection,
+    pub repair: Repair,
+    pub scenario: Scenario,
+    pub flag: Flag,
+    pub evidence: Evidence,
+}
+
+/// One tuple of relation R3 (model + cleaning method selected per split).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row3 {
+    pub dataset: String,
+    pub error_type: ErrorType,
+    pub scenario: Scenario,
+    pub flag: Flag,
+    pub evidence: Evidence,
+}
+
+/// Experiment specification for R1 (paper Table 6, s1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec1 {
+    pub dataset: String,
+    pub error_type: ErrorType,
+    pub detection: Detection,
+    pub repair: Repair,
+    pub model: Model,
+    pub scenario: Scenario,
+}
+
+/// Experiment specification for R2 (paper Table 6, s2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec2 {
+    pub dataset: String,
+    pub error_type: ErrorType,
+    pub detection: Detection,
+    pub repair: Repair,
+    pub scenario: Scenario,
+}
+
+/// Experiment specification for R3 (paper Table 6, s3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec3 {
+    pub dataset: String,
+    pub error_type: ErrorType,
+    pub scenario: Scenario,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_per_error_type() {
+        assert_eq!(Scenario::for_error(ErrorType::MissingValues), &[Scenario::BD]);
+        assert_eq!(
+            Scenario::for_error(ErrorType::Outliers),
+            &[Scenario::BD, Scenario::CD]
+        );
+        assert_eq!(Scenario::BD.to_string(), "BD");
+        assert_eq!(Scenario::CD.to_string(), "CD");
+    }
+}

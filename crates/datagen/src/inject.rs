@@ -1,0 +1,638 @@
+//! Error injectors: turn a clean generated table into a realistic dirty one
+//! while keeping the ground truth row-aligned.
+//!
+//! Injection order in the registry is: outliers → missing values →
+//! inconsistencies → duplicates → shuffle. Duplicates copy the *dirty*
+//! source row (a real-world duplicate carries its errors along), and the
+//! final shuffle prevents injected rows from clustering at the table end.
+
+use cleanml_cleaning::ErrorType;
+use cleanml_dataset::{ColumnKind, ColumnRole, Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::model::randn;
+use crate::{GeneratedDataset, MislabelStrategy};
+
+/// Mutable injection state: the dirty table, its aligned ground truth, and
+/// error bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ErrorState {
+    pub dirty: Table,
+    pub clean: Table,
+    pub duplicate_rows: Vec<usize>,
+    pub mislabeled_rows: Vec<usize>,
+}
+
+impl ErrorState {
+    /// Starts from a clean table (dirty = clean).
+    pub fn new(clean: Table) -> ErrorState {
+        ErrorState {
+            dirty: clean.clone(),
+            clean,
+            duplicate_rows: Vec::new(),
+            mislabeled_rows: Vec::new(),
+        }
+    }
+
+    /// Finalizes into a [`GeneratedDataset`].
+    pub fn into_dataset(
+        self,
+        name: impl Into<String>,
+        error_types: Vec<ErrorType>,
+        imbalanced: bool,
+    ) -> GeneratedDataset {
+        GeneratedDataset {
+            name: name.into(),
+            dirty: self.dirty,
+            clean_cells: self.clean,
+            duplicate_rows: self.duplicate_rows,
+            mislabeled_rows: self.mislabeled_rows,
+            error_types,
+            imbalanced,
+        }
+    }
+}
+
+/// Injects MCAR/MAR missing cells into the feature columns.
+///
+/// Each feature cell goes missing with probability `rate`; when
+/// `mar_driver` names a numeric column, rows whose driver value exceeds the
+/// column mean miss at double the rate (missing-at-random conditioned on an
+/// observed attribute — the Titanic/Credit pattern).
+pub fn inject_missing(
+    state: &mut ErrorState,
+    rate: f64,
+    mar_driver: Option<&str>,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let feature_cols = state.dirty.schema().feature_indices();
+    let driver = mar_driver.and_then(|name| {
+        let idx = state.dirty.schema().index_of(name).ok()?;
+        let col = state.dirty.column(idx).ok()?;
+        let mean = cleanml_dataset::stats::mean(col)?;
+        Some((idx, mean))
+    });
+
+    for r in 0..state.dirty.n_rows() {
+        let row_rate = match driver {
+            Some((idx, mean)) => {
+                let above = state
+                    .dirty
+                    .column(idx)
+                    .ok()
+                    .and_then(|c| c.num(r))
+                    .map(|v| v > mean)
+                    .unwrap_or(false);
+                if above {
+                    (rate * 2.0).min(0.9)
+                } else {
+                    rate
+                }
+            }
+            None => rate,
+        };
+        for &c in &feature_cols {
+            if rng.random::<f64>() < row_rate {
+                state.dirty.set(r, c, Value::Null).expect("row in range");
+            }
+        }
+    }
+}
+
+/// Injects heavy-tailed outliers into numeric feature cells: with
+/// probability `rate` a cell is replaced by `mean ± u·std` with
+/// `u ~ Uniform(5, 12) × magnitude` — far outside the 3σ band, as sensor
+/// glitches and fat-finger entries are.
+pub fn inject_outliers(state: &mut ErrorState, rate: f64, magnitude: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cols = state.dirty.schema().numeric_feature_indices();
+    for &c in &cols {
+        let col = state.dirty.column(c).expect("column exists");
+        let Some(mean) = cleanml_dataset::stats::mean(col) else { continue };
+        let std = cleanml_dataset::stats::std_dev(col).unwrap_or(0.0).max(1e-9);
+        for r in 0..state.dirty.n_rows() {
+            if state.dirty.column(c).unwrap().num(r).is_some() && rng.random::<f64>() < rate {
+                let u = rng.random_range(5.0..12.0) * magnitude;
+                let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                state
+                    .dirty
+                    .set(r, c, Value::Num(mean + sign * u * std))
+                    .expect("row in range");
+            }
+        }
+    }
+}
+
+/// Alternative-representation generators for inconsistency injection.
+fn inconsistent_variant(rng: &mut StdRng, v: &str) -> String {
+    match rng.random_range(0..5) {
+        0 => v.to_uppercase(),
+        1 => v.to_lowercase(),
+        2 => v.split_whitespace().collect::<Vec<_>>().join("-"),
+        3 => {
+            // token reorder (fingerprint-clusterable)
+            let mut toks: Vec<&str> = v.split_whitespace().collect();
+            toks.reverse();
+            toks.join(" ")
+        }
+        _ => {
+            // typo: duplicate one character (fingerprint-resistant, like
+            // the real misspellings OpenRefine misses)
+            let chars: Vec<char> = v.chars().collect();
+            if chars.is_empty() {
+                return v.to_owned();
+            }
+            let at = rng.random_range(0..chars.len());
+            let mut s: String = chars[..=at].iter().collect();
+            s.push(chars[at]);
+            s.extend(&chars[at + 1..]);
+            s
+        }
+    }
+}
+
+/// Injects inconsistent spellings into the named categorical columns: each
+/// cell is replaced by an alternative representation with probability
+/// `rate`. The ground truth keeps the canonical spelling.
+pub fn inject_inconsistencies(state: &mut ErrorState, columns: &[&str], rate: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for name in columns {
+        let Ok(c) = state.dirty.schema().index_of(name) else { continue };
+        for r in 0..state.dirty.n_rows() {
+            let Some(v) = state.dirty.column(c).unwrap().cat_str(r).map(str::to_owned) else {
+                continue;
+            };
+            if rng.random::<f64>() < rate {
+                let variant = inconsistent_variant(&mut rng, &v);
+                state.dirty.set(r, c, Value::Str(variant)).expect("row in range");
+            }
+        }
+    }
+}
+
+/// Introduces a typo into a string (substitute / delete / duplicate a char).
+fn typo(rng: &mut StdRng, v: &str) -> String {
+    let chars: Vec<char> = v.chars().collect();
+    if chars.is_empty() {
+        return v.to_owned();
+    }
+    let at = rng.random_range(0..chars.len());
+    let mut out = String::with_capacity(v.len() + 1);
+    match rng.random_range(0..3) {
+        0 => {
+            // substitute
+            for (i, &ch) in chars.iter().enumerate() {
+                out.push(if i == at { 'x' } else { ch });
+            }
+        }
+        1 => {
+            // delete
+            for (i, &ch) in chars.iter().enumerate() {
+                if i != at {
+                    out.push(ch);
+                }
+            }
+            if out.is_empty() {
+                out.push('x');
+            }
+        }
+        _ => {
+            // duplicate
+            for (i, &ch) in chars.iter().enumerate() {
+                out.push(ch);
+                if i == at {
+                    out.push(ch);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Appends duplicate records: `rate × n` source rows are copied; a fraction
+/// `exact_frac` are exact copies (key-collision-detectable), the rest get
+/// typos in their text attributes and ±2% numeric perturbations
+/// (ZeroER-detectable only). Duplicates carry the source row's *dirty*
+/// cells, like re-submitted records in the wild.
+pub fn inject_duplicates(state: &mut ErrorState, rate: f64, exact_frac: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = state.dirty.n_rows();
+    let n_dups = ((n as f64 * rate).round() as usize).max(1);
+    let text_cols: Vec<usize> = state
+        .dirty
+        .schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.kind == ColumnKind::Categorical
+                && matches!(f.role, ColumnRole::Key | ColumnRole::Ignore)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let num_cols = state.dirty.schema().numeric_feature_indices();
+
+    for _ in 0..n_dups {
+        let src = rng.random_range(0..n);
+        let mut dirty_row = state.dirty.row(src).expect("src in range");
+        let clean_row = state.clean.row(src).expect("src in range");
+        if rng.random::<f64>() >= exact_frac {
+            // fuzzy duplicate
+            for &c in &text_cols {
+                if let Value::Str(s) = &dirty_row[c] {
+                    dirty_row[c] = Value::Str(typo(&mut rng, s));
+                }
+            }
+            for &c in &num_cols {
+                if let Value::Num(x) = dirty_row[c] {
+                    dirty_row[c] = Value::Num(x * (1.0 + 0.02 * randn(&mut rng)));
+                }
+            }
+        }
+        let new_index = state.dirty.n_rows();
+        state.dirty.push_row(dirty_row).expect("arity matches");
+        state.clean.push_row(clean_row).expect("arity matches");
+        state.duplicate_rows.push(new_index);
+    }
+}
+
+/// Makes `rate × n` rows *near-duplicate decoys*: genuinely distinct
+/// entities whose identifying text mimics another row's (chain branches,
+/// common venue names, homonymous papers). The decoy keeps its own features,
+/// label and unique key suffix — it is **not** a duplicate — but a fuzzy
+/// matcher will be tempted. This is what makes ZeroER produce the false
+/// positives the paper observes (Table 15 Q4.1) while key collision stays
+/// conservative.
+pub fn inject_duplicate_decoys(state: &mut ErrorState, rate: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = state.dirty.n_rows();
+    if n < 4 {
+        return;
+    }
+    let n_decoys = ((n as f64 * rate).round() as usize).max(1);
+    let text_cols: Vec<usize> = state
+        .dirty
+        .schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.kind == ColumnKind::Categorical
+                && matches!(f.role, ColumnRole::Key | ColumnRole::Ignore)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if text_cols.is_empty() {
+        return;
+    }
+
+    for _ in 0..n_decoys {
+        let a = rng.random_range(0..n);
+        let mut b = rng.random_range(0..n);
+        if a == b {
+            b = (b + 1) % n;
+        }
+        for &c in &text_cols {
+            let Some(src) = state.dirty.column(c).unwrap().cat_str(a).map(str::to_owned) else {
+                continue;
+            };
+            // Copy the source's words but keep the decoy's own trailing
+            // unique suffix token, so keys never collide exactly.
+            let own_suffix = state
+                .dirty
+                .column(c)
+                .unwrap()
+                .cat_str(b)
+                .and_then(|s| s.split_whitespace().last().map(str::to_owned));
+            let mut words: Vec<&str> = src.split_whitespace().collect();
+            if let Some(suffix) = own_suffix.as_deref() {
+                if !words.is_empty() {
+                    words.pop();
+                }
+                let mut mimic = words.join(" ");
+                mimic.push(' ');
+                mimic.push_str(suffix);
+                state.dirty.set(b, c, Value::Str(mimic.clone())).expect("row in range");
+                state.clean.set(b, c, Value::Str(mimic)).expect("row in range");
+            }
+        }
+    }
+}
+
+/// Flips labels of randomly chosen rows ("real" mislabels à la Clothing).
+pub fn inject_random_mislabels(state: &mut ErrorState, rate: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let label_col = state.dirty.label_index().expect("label exists");
+    let classes = observed_classes(&state.dirty, label_col);
+    if classes.len() < 2 {
+        return;
+    }
+    for r in 0..state.dirty.n_rows() {
+        if rng.random::<f64>() < rate {
+            flip_label(&mut state.dirty, r, label_col, &classes);
+            state.mislabeled_rows.push(r);
+        }
+    }
+}
+
+/// Shuffles all rows (dirty + clean + flags in lockstep).
+pub fn shuffle_rows(state: &mut ErrorState, seed: u64) {
+    let n = state.dirty.n_rows();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    state.dirty = state.dirty.gather(&perm);
+    state.clean = state.clean.gather(&perm);
+    // old index -> new index
+    let mut inv = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        inv[old] = new;
+    }
+    for r in &mut state.duplicate_rows {
+        *r = inv[*r];
+    }
+    for r in &mut state.mislabeled_rows {
+        *r = inv[*r];
+    }
+    state.duplicate_rows.sort_unstable();
+    state.mislabeled_rows.sort_unstable();
+}
+
+fn observed_classes(table: &Table, label_col: usize) -> Vec<String> {
+    let col = table.column(label_col).expect("label column");
+    let counts = col.category_counts();
+    let mut classes: Vec<(String, usize)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(id, &n)| (col.dict_str(id as u32).expect("seen id").to_owned(), n))
+        .collect();
+    classes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0))); // majority first
+    classes.into_iter().map(|(s, _)| s).collect()
+}
+
+fn flip_label(table: &mut Table, row: usize, label_col: usize, classes: &[String]) {
+    let current = table
+        .column(label_col)
+        .unwrap()
+        .cat_str(row)
+        .expect("label present")
+        .to_owned();
+    let other = classes
+        .iter()
+        .find(|c| **c != current)
+        .expect("two classes")
+        .clone();
+    table.set(row, label_col, Value::Str(other)).expect("row in range");
+}
+
+/// Builds the `<name><suffix>` mislabel variant (paper §III-B5): flips
+/// `rate` of the labels in each / the majority / the minority class.
+pub fn mislabel_variant(
+    base: &GeneratedDataset,
+    strategy: MislabelStrategy,
+    rate: f64,
+    seed: u64,
+) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dirty = base.dirty.clone();
+    let label_col = dirty.label_index().expect("label exists");
+    let classes = observed_classes(&dirty, label_col); // majority first
+    assert!(classes.len() >= 2, "mislabel injection needs two classes");
+
+    let target_classes: Vec<&String> = match strategy {
+        MislabelStrategy::Uniform => classes.iter().collect(),
+        MislabelStrategy::Majority => vec![&classes[0]],
+        MislabelStrategy::Minority => vec![classes.last().expect("non-empty")],
+    };
+
+    let mut mislabeled = base.mislabeled_rows.clone();
+    for target in target_classes {
+        let rows: Vec<usize> = (0..dirty.n_rows())
+            .filter(|&r| dirty.column(label_col).unwrap().cat_str(r) == Some(target.as_str()))
+            .collect();
+        let n_flip = ((rows.len() as f64 * rate).round() as usize).max(1);
+        let mut pool = rows;
+        pool.shuffle(&mut rng);
+        for &r in pool.iter().take(n_flip) {
+            flip_label(&mut dirty, r, label_col, &classes);
+            mislabeled.push(r);
+        }
+    }
+    mislabeled.sort_unstable();
+    mislabeled.dedup();
+
+    let mut error_types = base.error_types.clone();
+    if !error_types.contains(&ErrorType::Mislabels) {
+        error_types.push(ErrorType::Mislabels);
+    }
+
+    GeneratedDataset {
+        name: format!("{}{}", base.name, strategy.suffix()),
+        dirty,
+        clean_cells: base.clean_cells.clone(),
+        duplicate_rows: base.duplicate_rows.clone(),
+        mislabeled_rows: mislabeled,
+        error_types,
+        imbalanced: base.imbalanced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BaseModel, CatFeat, NumFeat, TextCol};
+
+    fn base() -> ErrorState {
+        let m = BaseModel {
+            n_rows: 300,
+            numeric: vec![
+                NumFeat { name: "a", mean: 0.0, std: 1.0, effect: 1.0, factor_loading: 0.5 },
+                NumFeat { name: "b", mean: 50.0, std: 10.0, effect: -1.0, factor_loading: 0.5 },
+            ],
+            categorical: vec![CatFeat {
+                name: "city",
+                categories: vec![("New York", 2.0, 0.5), ("San Francisco", 1.0, -0.5)],
+            }],
+            text: vec![TextCol {
+                name: "entity",
+                role: ColumnRole::Key,
+                word_pools: vec![
+                    vec!["Golden", "Silver", "Iron", "Copper"],
+                    vec!["Dragon", "Lotus", "Falcon", "Willow"],
+                    vec!["Cafe", "Diner", "House", "Bar"],
+                ],
+            }],
+            label_names: ("no", "yes"),
+            label_noise: 0.5,
+            label_shift: 0.0,
+        };
+        ErrorState::new(m.generate(11))
+    }
+
+    #[test]
+    fn missing_injection_rates() {
+        let mut s = base();
+        inject_missing(&mut s, 0.1, None, 1);
+        let missing = s.dirty.n_missing_cells();
+        // 3 feature columns × 300 rows × 10% ≈ 90
+        assert!((40..160).contains(&missing), "missing = {missing}");
+        assert_eq!(s.clean.n_missing_cells(), 0);
+    }
+
+    #[test]
+    fn mar_doubles_rate_for_high_driver() {
+        let mut s = base();
+        inject_missing(&mut s, 0.1, Some("b"), 2);
+        // rows with b above its mean should have roughly twice the missing rate
+        let b_col = s.clean.schema().index_of("b").unwrap();
+        let mean_b = cleanml_dataset::stats::mean(s.clean.column(b_col).unwrap()).unwrap();
+        let mut high = (0usize, 0usize); // (missing cells, rows)
+        let mut low = (0usize, 0usize);
+        let feature_cols = s.dirty.schema().feature_indices();
+        for r in 0..s.dirty.n_rows() {
+            let driver = s.clean.column(b_col).unwrap().num(r).unwrap();
+            let miss = feature_cols
+                .iter()
+                .filter(|&&c| s.dirty.column(c).unwrap().get(r).unwrap().is_null())
+                .count();
+            if driver > mean_b {
+                high.0 += miss;
+                high.1 += 1;
+            } else {
+                low.0 += miss;
+                low.1 += 1;
+            }
+        }
+        let rate_high = high.0 as f64 / high.1 as f64;
+        let rate_low = low.0 as f64 / low.1 as f64;
+        assert!(rate_high > rate_low, "MAR not visible: {rate_high} vs {rate_low}");
+    }
+
+    #[test]
+    fn outlier_injection_extreme() {
+        let mut s = base();
+        inject_outliers(&mut s, 0.03, 1.0, 3);
+        // count cells beyond 4 sigma of the clean column stats
+        let mut extremes = 0;
+        for name in ["a", "b"] {
+            let c = s.clean.schema().index_of(name).unwrap();
+            let col_clean = s.clean.column(c).unwrap();
+            let mean = cleanml_dataset::stats::mean(col_clean).unwrap();
+            let std = cleanml_dataset::stats::std_dev(col_clean).unwrap();
+            let col_dirty = s.dirty.column(c).unwrap();
+            for r in 0..s.dirty.n_rows() {
+                if let Some(v) = col_dirty.num(r) {
+                    if (v - mean).abs() > 4.0 * std {
+                        extremes += 1;
+                    }
+                }
+            }
+        }
+        assert!(extremes >= 5, "too few injected outliers: {extremes}");
+    }
+
+    #[test]
+    fn inconsistency_injection_clusterable() {
+        let mut s = base();
+        inject_inconsistencies(&mut s, &["city"], 0.3, 4);
+        let c = s.dirty.schema().index_of("city").unwrap();
+        let distinct = s.dirty.column(c).unwrap().dict_len();
+        assert!(distinct > 2, "variants should appear, got {distinct} distinct");
+        // ground truth still canonical
+        assert_eq!(s.clean.column(c).unwrap().dict_len(), 2);
+    }
+
+    #[test]
+    fn duplicate_injection_tracks_indices() {
+        let mut s = base();
+        let before = s.dirty.n_rows();
+        inject_duplicates(&mut s, 0.08, 0.5, 5);
+        let added = s.dirty.n_rows() - before;
+        assert_eq!(added, s.duplicate_rows.len());
+        assert_eq!(s.dirty.n_rows(), s.clean.n_rows());
+        assert!((15..35).contains(&added), "added {added}");
+        // every tracked row index is a real row
+        for &r in &s.duplicate_rows {
+            assert!(r >= before && r < s.dirty.n_rows());
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_alignment() {
+        let mut s = base();
+        inject_duplicates(&mut s, 0.05, 1.0, 6);
+        let n_dups = s.duplicate_rows.len();
+        shuffle_rows(&mut s, 7);
+        assert_eq!(s.duplicate_rows.len(), n_dups);
+        assert_eq!(s.dirty.n_rows(), s.clean.n_rows());
+        // exact duplicates still equal their clean counterpart rows somewhere:
+        // alignment means row r of dirty matches row r of clean's entity (same
+        // schema), just spot-check labels align.
+        let label = s.dirty.label_index().unwrap();
+        for r in (0..s.dirty.n_rows()).step_by(37) {
+            let d = s.dirty.get(r, label).unwrap();
+            let c = s.clean.get(r, label).unwrap();
+            assert_eq!(d, c, "labels must stay aligned (no mislabels injected)");
+        }
+    }
+
+    #[test]
+    fn random_mislabels_flagged() {
+        let mut s = base();
+        inject_random_mislabels(&mut s, 0.08, 8);
+        let label = s.dirty.label_index().unwrap();
+        assert!(!s.mislabeled_rows.is_empty());
+        for &r in &s.mislabeled_rows {
+            assert_ne!(s.dirty.get(r, label).unwrap(), s.clean.get(r, label).unwrap());
+        }
+    }
+
+    #[test]
+    fn mislabel_variant_strategies() {
+        let s = base();
+        let ds = s.into_dataset("Demo", vec![], false);
+        for strategy in MislabelStrategy::all() {
+            let v = mislabel_variant(&ds, strategy, 0.05, 9);
+            assert!(v.name.starts_with("Demo"));
+            assert!(!v.mislabeled_rows.is_empty());
+            assert!(v.error_types.contains(&ErrorType::Mislabels));
+            // flipped rows disagree with ground truth
+            let label = v.dirty.label_index().unwrap();
+            for &r in &v.mislabeled_rows {
+                assert_ne!(
+                    v.dirty.get(r, label).unwrap(),
+                    v.clean_cells.get(r, label).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minority_strategy_targets_minority() {
+        let s = base();
+        let ds = s.into_dataset("Demo", vec![], false);
+        let label = ds.dirty.label_index().unwrap();
+        let v = mislabel_variant(&ds, MislabelStrategy::Minority, 0.05, 10);
+        // count class sizes in the ground truth
+        let counts = ds.dirty.class_counts().unwrap();
+        let (minority_id, _) = counts.iter().min_by_key(|&&(_, n)| n).copied().unwrap();
+        let minority_name = ds
+            .dirty
+            .column(label)
+            .unwrap()
+            .dict_str(minority_id)
+            .unwrap()
+            .to_owned();
+        for &r in &v.mislabeled_rows {
+            // the *original* label of each flipped row was the minority class
+            assert_eq!(
+                ds.dirty.get(r, label).unwrap(),
+                cleanml_dataset::Value::Str(minority_name.clone())
+            );
+        }
+    }
+}

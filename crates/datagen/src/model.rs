@@ -1,0 +1,256 @@
+//! The parameterized generative base model behind every dataset stand-in.
+//!
+//! Each dataset is an instance of the same family: numeric features drawn
+//! from per-feature Gaussians (optionally correlated with a latent factor),
+//! categorical features drawn from skewed distributions, and a binary label
+//! produced by thresholding a noisy linear latent score. The per-dataset
+//! *personality* — feature names, effect sizes, noise level, class balance,
+//! entity-text columns — lives in [`crate::registry`].
+
+use cleanml_dataset::{ColumnKind, ColumnRole, FieldMeta, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A numeric feature's generator parameters.
+#[derive(Debug, Clone)]
+pub struct NumFeat {
+    pub name: &'static str,
+    pub mean: f64,
+    pub std: f64,
+    /// Contribution of the standardized value to the label's latent score.
+    pub effect: f64,
+    /// Weight of the shared latent factor (induces inter-feature
+    /// correlation, which HoloClean-style imputation exploits).
+    pub factor_loading: f64,
+}
+
+/// A categorical feature's generator parameters.
+#[derive(Debug, Clone)]
+pub struct CatFeat {
+    pub name: &'static str,
+    /// Category labels with sampling weights and latent-score effects.
+    pub categories: Vec<(&'static str, f64, f64)>,
+}
+
+/// An entity-text column (used by duplicate / inconsistency injection).
+///
+/// Key and carried (`Ignore`) text columns get a row-unique numeric suffix
+/// ("Golden Dragon Diner 137"): real-world identifying attributes — names,
+/// addresses, phone numbers — are *supposed* to be unique per entity (paper
+/// §III-B3), so two distinct entities must not collide by construction —
+/// only injected duplicates share or nearly share them.
+#[derive(Debug, Clone)]
+pub struct TextCol {
+    pub name: &'static str,
+    /// Role in the schema — `Key` makes it the key-collision attribute.
+    pub role: ColumnRole,
+    /// Word pools combined into names like "Golden Dragon Diner".
+    pub word_pools: Vec<Vec<&'static str>>,
+}
+
+/// Complete generator configuration for one dataset's clean core.
+#[derive(Debug, Clone)]
+pub struct BaseModel {
+    pub n_rows: usize,
+    pub numeric: Vec<NumFeat>,
+    pub categorical: Vec<CatFeat>,
+    pub text: Vec<TextCol>,
+    /// Label column values `(negative, positive)`.
+    pub label_names: (&'static str, &'static str),
+    /// Gaussian noise added to the latent score (task difficulty).
+    pub label_noise: f64,
+    /// Latent-score shift: positive values shrink the positive class
+    /// (class imbalance).
+    pub label_shift: f64,
+}
+
+/// Standard normal sample via Box–Muller.
+pub fn randn(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Weighted choice over `(value, weight, effect)` triples; returns the index.
+fn weighted_choice(rng: &mut StdRng, cats: &[(&'static str, f64, f64)]) -> usize {
+    let total: f64 = cats.iter().map(|c| c.1).sum();
+    let mut x = rng.random::<f64>() * total;
+    for (i, c) in cats.iter().enumerate() {
+        x -= c.1;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    cats.len() - 1
+}
+
+impl BaseModel {
+    /// The schema this model generates (features + text + label).
+    pub fn schema(&self) -> Schema {
+        let mut fields = Vec::new();
+        for t in &self.text {
+            fields.push(FieldMeta::new(t.name, ColumnKind::Categorical, t.role));
+        }
+        for f in &self.numeric {
+            fields.push(FieldMeta::num_feature(f.name));
+        }
+        for c in &self.categorical {
+            fields.push(FieldMeta::cat_feature(c.name));
+        }
+        fields.push(FieldMeta::label("label"));
+        Schema::new(fields)
+    }
+
+    /// Generates the clean table.
+    pub fn generate(&self, seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = self.schema();
+        let mut table = Table::with_capacity(schema, self.n_rows);
+
+        for row_idx in 0..self.n_rows {
+            let mut row: Vec<Value> = Vec::with_capacity(table.n_columns());
+            let mut score = 0.0;
+
+            // Entity text: composed from the word pools; key columns carry a
+            // row-unique suffix so distinct entities never collide.
+            for t in &self.text {
+                let mut name = String::new();
+                for pool in &t.word_pools {
+                    if !name.is_empty() {
+                        name.push(' ');
+                    }
+                    name.push_str(pool[rng.random_range(0..pool.len())]);
+                }
+                if matches!(t.role, ColumnRole::Key | ColumnRole::Ignore) {
+                    name.push_str(&format!(" {}", 100 + row_idx));
+                }
+                row.push(Value::Str(name));
+            }
+
+            // Numerics: shared latent factor + independent noise.
+            let factor = randn(&mut rng);
+            for f in &self.numeric {
+                let z = f.factor_loading * factor
+                    + (1.0 - f.factor_loading.abs()).max(0.0).sqrt() * randn(&mut rng);
+                let x = f.mean + f.std * z;
+                score += f.effect * z;
+                row.push(Value::Num(x));
+            }
+
+            // Categoricals.
+            for c in &self.categorical {
+                let i = weighted_choice(&mut rng, &c.categories);
+                score += c.categories[i].2;
+                row.push(Value::Str(c.categories[i].0.to_owned()));
+            }
+
+            score += self.label_noise * randn(&mut rng) - self.label_shift;
+            let label = if score > 0.0 { self.label_names.1 } else { self.label_names.0 };
+            row.push(Value::Str(label.to_owned()));
+
+            table.push_row(row).expect("generated row matches schema");
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> BaseModel {
+        BaseModel {
+            n_rows: 200,
+            numeric: vec![
+                NumFeat { name: "x1", mean: 10.0, std: 2.0, effect: 1.5, factor_loading: 0.7 },
+                NumFeat { name: "x2", mean: -5.0, std: 1.0, effect: -1.0, factor_loading: 0.7 },
+            ],
+            categorical: vec![CatFeat {
+                name: "grp",
+                categories: vec![("a", 3.0, 0.8), ("b", 1.0, -0.8)],
+            }],
+            text: vec![TextCol {
+                name: "name",
+                role: ColumnRole::Key,
+                word_pools: vec![vec!["Golden", "Red"], vec!["Dragon", "Lotus"]],
+            }],
+            label_names: ("no", "yes"),
+            label_noise: 0.5,
+            label_shift: 0.0,
+        }
+    }
+
+    #[test]
+    fn schema_layout() {
+        let m = tiny_model();
+        let s = m.schema();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.key_indices(), vec![0]);
+        assert_eq!(s.label_index().unwrap(), 4);
+        assert_eq!(s.numeric_feature_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn generates_requested_rows_without_missing() {
+        let m = tiny_model();
+        let t = m.generate(1);
+        assert_eq!(t.n_rows(), 200);
+        assert_eq!(t.n_missing_cells(), 0);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let m = tiny_model();
+        assert_eq!(m.generate(5), m.generate(5));
+        assert_ne!(m.generate(5), m.generate(6));
+    }
+
+    #[test]
+    fn both_classes_present_and_learnable_signal() {
+        let m = tiny_model();
+        let t = m.generate(2);
+        let counts = t.class_counts().unwrap();
+        assert_eq!(counts.len(), 2);
+        for (_, n) in counts {
+            assert!(n > 20, "severely degenerate class balance");
+        }
+    }
+
+    #[test]
+    fn label_shift_skews_classes() {
+        let mut m = tiny_model();
+        m.label_shift = 2.0;
+        let t = m.generate(3);
+        let counts = t.class_counts().unwrap();
+        let max = counts.iter().map(|&(_, n)| n).max().unwrap();
+        assert!(max as f64 > 0.75 * t.n_rows() as f64, "shift should imbalance");
+    }
+
+    #[test]
+    fn numeric_moments_roughly_match() {
+        let m = tiny_model();
+        let t = m.generate(4);
+        let col = t.column_by_name("x1").unwrap();
+        let mean = cleanml_dataset::stats::mean(col).unwrap();
+        let std = cleanml_dataset::stats::std_dev(col).unwrap();
+        assert!((mean - 10.0).abs() < 0.6, "mean {mean}");
+        assert!((std - 2.0).abs() < 0.5, "std {std}");
+    }
+
+    #[test]
+    fn correlated_features() {
+        // factor_loading 0.7 on both features -> correlation ~0.49
+        let m = tiny_model();
+        let t = m.generate(7);
+        let a = t.column_by_name("x1").unwrap().numeric_values();
+        let b = t.column_by_name("x2").unwrap().numeric_values();
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(&b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let sa = (a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n).sqrt();
+        let sb = (b.iter().map(|x| (x - mb) * (x - mb)).sum::<f64>() / n).sqrt();
+        let r = cov / (sa * sb);
+        assert!(r > 0.25, "expected correlated features, r={r}");
+    }
+}

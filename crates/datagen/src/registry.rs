@@ -1,0 +1,910 @@
+//! The 14 dataset stand-ins (paper Table 3) and their error personalities.
+//!
+//! Each entry pairs a [`BaseModel`] configuration (the learnable clean core)
+//! with injection parameters matching the real dataset's character: which
+//! error types it carries (Table 3), roughly how dirty it is, and whether
+//! the study scores it with F1 (class-imbalanced).
+
+use cleanml_cleaning::ErrorType;
+use cleanml_dataset::ColumnRole;
+
+use crate::inject::{
+    inject_duplicate_decoys, inject_duplicates, inject_inconsistencies, inject_missing,
+    inject_outliers, inject_random_mislabels, shuffle_rows, ErrorState,
+};
+use crate::model::{BaseModel, CatFeat, NumFeat, TextCol};
+use crate::GeneratedDataset;
+
+/// Static description of one dataset stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Name from paper Table 3.
+    pub name: &'static str,
+    /// Error types carried (Table 3 row). Mislabel-injection variants are
+    /// produced separately via [`crate::inject_mislabel_variant`].
+    pub error_types: &'static [ErrorType],
+    /// Scored with F1 instead of accuracy.
+    pub imbalanced: bool,
+    /// One-line description of the real dataset being stood in for.
+    pub description: &'static str,
+}
+
+use ErrorType::{Duplicates, Inconsistencies, Mislabels, MissingValues, Outliers};
+
+/// All 14 dataset specs, in paper Table 3 order.
+pub const SPECS: [DatasetSpec; 14] = [
+    DatasetSpec {
+        name: "Citation",
+        error_types: &[Duplicates],
+        imbalanced: false,
+        description: "bibliographic records with duplicated entries; task: highly-cited paper",
+    },
+    DatasetSpec {
+        name: "EEG",
+        error_types: &[Outliers],
+        imbalanced: false,
+        description: "correlated EEG channel readings with sensor glitches; task: eye state",
+    },
+    DatasetSpec {
+        name: "Marketing",
+        error_types: &[MissingValues],
+        imbalanced: false,
+        description: "household survey with skipped answers; task: income bracket",
+    },
+    DatasetSpec {
+        name: "Movie",
+        error_types: &[Inconsistencies, Duplicates],
+        imbalanced: false,
+        description: "movie catalogue with free-text genre/language variants and re-listed titles; task: high rating",
+    },
+    DatasetSpec {
+        name: "Company",
+        error_types: &[Inconsistencies],
+        imbalanced: false,
+        description: "company registry with inconsistent state/sector spellings; task: profitability",
+    },
+    DatasetSpec {
+        name: "Restaurant",
+        error_types: &[Inconsistencies, Duplicates],
+        imbalanced: false,
+        description: "restaurant directory with city-name variants and double entries; task: popularity",
+    },
+    DatasetSpec {
+        name: "Sensor",
+        error_types: &[Outliers],
+        imbalanced: true,
+        description: "industrial sensor array with rare fault class and glitch spikes; task: fault",
+    },
+    DatasetSpec {
+        name: "Titanic",
+        error_types: &[MissingValues],
+        imbalanced: false,
+        description: "passenger manifest with missing ages; task: survival",
+    },
+    DatasetSpec {
+        name: "Credit",
+        error_types: &[MissingValues, Outliers],
+        imbalanced: true,
+        description: "credit applications with missing fields and fat-finger amounts; rare default class; task: default",
+    },
+    DatasetSpec {
+        name: "University",
+        error_types: &[Inconsistencies],
+        imbalanced: false,
+        description: "university listing with inconsistent state/type spellings; task: high ranking",
+    },
+    DatasetSpec {
+        name: "USCensus",
+        error_types: &[MissingValues],
+        imbalanced: false,
+        description: "census microdata with unreported attributes; task: income > 50K",
+    },
+    DatasetSpec {
+        name: "Airbnb",
+        error_types: &[MissingValues, Outliers, Duplicates],
+        imbalanced: false,
+        description: "listings with sparse fields, price spikes and re-posted rooms; task: high occupancy",
+    },
+    DatasetSpec {
+        name: "BabyProduct",
+        error_types: &[MissingValues],
+        imbalanced: false,
+        description: "product catalogue with sparse specs; task: premium price band",
+    },
+    DatasetSpec {
+        name: "Clothing",
+        error_types: &[Mislabels],
+        imbalanced: true,
+        description: "clothing reviews with real (unplanted) label noise; task: recommended",
+    },
+];
+
+/// All dataset specs in Table 3 order.
+pub fn specs() -> &'static [DatasetSpec] {
+    &SPECS
+}
+
+/// Looks up a spec by (exact) name.
+pub fn spec_by_name(name: &str) -> Option<&'static DatasetSpec> {
+    SPECS.iter().find(|s| s.name == name)
+}
+
+/// Generates a dataset stand-in deterministically from `seed`.
+pub fn generate(spec: &DatasetSpec, seed: u64) -> GeneratedDataset {
+    let mut state = match spec.name {
+        "Citation" => citation(seed),
+        "EEG" => eeg(seed),
+        "Marketing" => marketing(seed),
+        "Movie" => movie(seed),
+        "Company" => company(seed),
+        "Restaurant" => restaurant(seed),
+        "Sensor" => sensor(seed),
+        "Titanic" => titanic(seed),
+        "Credit" => credit(seed),
+        "University" => university(seed),
+        "USCensus" => uscensus(seed),
+        "Airbnb" => airbnb(seed),
+        "BabyProduct" => babyproduct(seed),
+        "Clothing" => clothing(seed),
+        other => panic!("unknown dataset `{other}`"),
+    };
+    shuffle_rows(&mut state, seed ^ 0x5117_F00D);
+    state.into_dataset(spec.name, spec.error_types.to_vec(), spec.imbalanced)
+}
+
+// ---------------------------------------------------------------------------
+// Per-dataset personalities.
+// ---------------------------------------------------------------------------
+
+fn citation(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 360,
+        numeric: vec![
+            NumFeat { name: "year", mean: 2005.0, std: 8.0, effect: 0.6, factor_loading: 0.2 },
+            NumFeat { name: "n_pages", mean: 12.0, std: 4.0, effect: 0.4, factor_loading: 0.2 },
+            NumFeat { name: "n_authors", mean: 3.5, std: 1.5, effect: 0.5, factor_loading: 0.1 },
+        ],
+        categorical: vec![CatFeat {
+            name: "venue",
+            categories: vec![
+                ("SIGMOD", 1.0, 0.8),
+                ("VLDB", 1.0, 0.7),
+                ("ICDE", 1.0, 0.4),
+                ("Workshop", 2.0, -0.9),
+            ],
+        }],
+        text: vec![
+            TextCol {
+                name: "title",
+                role: ColumnRole::Key,
+                word_pools: vec![
+                    vec![
+                        "Scalable", "Adaptive", "Robust", "Efficient", "Learned",
+                        "Holistic", "Incremental", "Distributed", "Approximate", "Secure",
+                    ],
+                    vec![
+                        "Query", "Index", "Cleaning", "Stream", "Graph", "Join",
+                        "Transaction", "Schema", "Cache", "Sketch",
+                    ],
+                    vec![
+                        "Processing", "Optimization", "Detection", "Analytics",
+                        "Systems", "Maintenance", "Estimation", "Discovery",
+                    ],
+                ],
+            },
+            TextCol {
+                name: "first_author",
+                role: ColumnRole::Ignore,
+                word_pools: vec![
+                    vec!["Chen", "Garcia", "Kim", "Novak", "Okafor", "Patel", "Sato", "Weber"],
+                    vec!["A.", "B.", "C.", "D.", "E.", "F."],
+                ],
+            },
+        ],
+        label_names: ("low_impact", "high_impact"),
+        label_noise: 0.7,
+        label_shift: 0.0,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_duplicate_decoys(&mut s, 0.05, seed ^ 7);
+    inject_duplicates(&mut s, 0.10, 0.35, seed ^ 1);
+    s
+}
+
+fn eeg(seed: u64) -> ErrorState {
+    let chan = |name, effect| NumFeat { name, mean: 4300.0, std: 35.0, effect, factor_loading: 0.8 };
+    let m = BaseModel {
+        n_rows: 600,
+        numeric: vec![
+            chan("af3", 1.2),
+            chan("f7", -0.8),
+            chan("f3", 0.9),
+            chan("fc5", -0.6),
+            chan("t7", 0.7),
+            chan("o1", -1.0),
+        ],
+        categorical: vec![],
+        text: vec![],
+        label_names: ("open", "closed"),
+        label_noise: 0.8,
+        label_shift: 0.0,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_outliers(&mut s, 0.05, 1.5, seed ^ 1);
+    s
+}
+
+fn marketing(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 520,
+        numeric: vec![
+            NumFeat { name: "age", mean: 42.0, std: 13.0, effect: 0.5, factor_loading: 0.4 },
+            NumFeat { name: "household", mean: 2.8, std: 1.3, effect: -0.3, factor_loading: 0.2 },
+            NumFeat { name: "years_resident", mean: 9.0, std: 6.0, effect: 0.4, factor_loading: 0.4 },
+        ],
+        categorical: vec![
+            CatFeat {
+                name: "education",
+                categories: vec![
+                    ("grade_school", 1.0, -1.0),
+                    ("high_school", 3.0, -0.3),
+                    ("college", 3.0, 0.5),
+                    ("graduate", 1.5, 1.1),
+                ],
+            },
+            CatFeat {
+                name: "occupation",
+                categories: vec![
+                    ("professional", 2.0, 0.9),
+                    ("sales", 2.0, 0.2),
+                    ("laborer", 2.0, -0.6),
+                    ("retired", 1.0, -0.4),
+                    ("student", 1.0, -0.8),
+                ],
+            },
+        ],
+        text: vec![],
+        label_names: ("low_income", "high_income"),
+        label_noise: 0.8,
+        label_shift: 0.0,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_missing(&mut s, 0.12, Some("age"), seed ^ 1);
+    s
+}
+
+fn movie(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 380,
+        numeric: vec![
+            NumFeat { name: "duration", mean: 108.0, std: 20.0, effect: 0.5, factor_loading: 0.3 },
+            NumFeat { name: "year", mean: 2002.0, std: 12.0, effect: -0.2, factor_loading: 0.1 },
+            NumFeat { name: "budget_m", mean: 40.0, std: 25.0, effect: 0.7, factor_loading: 0.4 },
+        ],
+        categorical: vec![
+            CatFeat {
+                name: "genre",
+                categories: vec![
+                    ("Drama", 3.0, 0.6),
+                    ("Comedy", 2.5, -0.2),
+                    ("Action", 2.0, 0.1),
+                    ("Horror", 1.0, -0.8),
+                ],
+            },
+            CatFeat {
+                name: "language",
+                categories: vec![
+                    ("English", 5.0, 0.1),
+                    ("French", 1.0, 0.4),
+                    ("Spanish", 1.0, -0.1),
+                ],
+            },
+        ],
+        text: vec![
+            TextCol {
+                name: "title",
+                role: ColumnRole::Key,
+                word_pools: vec![
+                    vec![
+                        "Midnight", "Crimson", "Silent", "Golden", "Broken", "Electric",
+                        "Hollow", "Paper", "Winter", "Neon", "Savage", "Gentle",
+                    ],
+                    vec![
+                        "Horizon", "Mirror", "Garden", "Empire", "River", "Signal",
+                        "Harvest", "Letters", "Protocol", "Reckoning", "Orchard", "Static",
+                    ],
+                    vec![
+                        "Rising", "Falling", "Returns", "Awakens", "Divided", "Unbound",
+                        "Part II", "Redux", "Forever", "Zero",
+                    ],
+                ],
+            },
+            TextCol {
+                name: "director",
+                role: ColumnRole::Ignore,
+                word_pools: vec![
+                    vec!["Almodovar", "Bigelow", "Curtis", "Denis", "Eastwood", "Fincher"],
+                    vec!["J.", "K.", "L.", "M.", "N."],
+                ],
+            },
+        ],
+        label_names: ("low_rated", "high_rated"),
+        label_noise: 0.75,
+        label_shift: 0.0,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_inconsistencies(&mut s, &["genre", "language"], 0.22, seed ^ 1);
+    inject_duplicate_decoys(&mut s, 0.05, seed ^ 7);
+    inject_duplicates(&mut s, 0.08, 0.3, seed ^ 2);
+    s
+}
+
+fn company(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 460,
+        numeric: vec![
+            NumFeat { name: "revenue_m", mean: 120.0, std: 60.0, effect: 1.0, factor_loading: 0.6 },
+            NumFeat { name: "employees", mean: 800.0, std: 400.0, effect: 0.4, factor_loading: 0.6 },
+            NumFeat { name: "age_years", mean: 25.0, std: 15.0, effect: 0.3, factor_loading: 0.2 },
+        ],
+        categorical: vec![
+            CatFeat {
+                name: "state",
+                categories: vec![
+                    ("California", 3.0, 0.4),
+                    ("New York", 2.5, 0.3),
+                    ("Texas", 2.0, 0.0),
+                    ("Ohio", 1.0, -0.3),
+                ],
+            },
+            CatFeat {
+                name: "sector",
+                categories: vec![
+                    ("Software Services", 2.0, 0.8),
+                    ("Retail Trade", 2.0, -0.5),
+                    ("Health Care", 1.5, 0.2),
+                    ("Manufacturing", 1.5, -0.2),
+                ],
+            },
+        ],
+        text: vec![TextCol {
+            name: "company",
+            role: ColumnRole::Ignore,
+            word_pools: vec![
+                vec!["Apex", "Summit", "Pioneer", "Vertex", "Atlas", "Nova"],
+                vec!["Data", "Energy", "Logistics", "Capital", "Dynamics", "Retail"],
+                vec!["Inc", "LLC", "Group", "Corp"],
+            ],
+        }],
+        label_names: ("unprofitable", "profitable"),
+        label_noise: 0.8,
+        label_shift: 0.0,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    // Company/Movie have "much greater number of inconsistencies" (paper Q5).
+    inject_inconsistencies(&mut s, &["state", "sector"], 0.30, seed ^ 1);
+    s
+}
+
+fn restaurant(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 360,
+        numeric: vec![
+            NumFeat { name: "price", mean: 28.0, std: 12.0, effect: 0.6, factor_loading: 0.4 },
+            NumFeat { name: "review_count", mean: 180.0, std: 90.0, effect: 0.9, factor_loading: 0.5 },
+        ],
+        categorical: vec![
+            CatFeat {
+                name: "city",
+                categories: vec![
+                    ("New York", 3.0, 0.3),
+                    ("San Francisco", 2.0, 0.4),
+                    ("Los Angeles", 2.0, 0.0),
+                    ("Chicago", 1.5, -0.2),
+                ],
+            },
+            CatFeat {
+                name: "cuisine",
+                categories: vec![
+                    ("Italian", 2.0, 0.3),
+                    ("Japanese", 1.5, 0.5),
+                    ("Mexican", 1.5, -0.1),
+                    ("American", 2.5, -0.3),
+                ],
+            },
+        ],
+        text: vec![
+            TextCol {
+                name: "name",
+                role: ColumnRole::Key,
+                word_pools: vec![
+                    vec![
+                        "Golden", "Blue", "Rustic", "Urban", "Little", "Grand", "Silver",
+                        "Velvet", "Wild", "Humble", "Brick", "Salty",
+                    ],
+                    vec![
+                        "Dragon", "Olive", "Harbor", "Maple", "Lantern", "Garden", "Fig",
+                        "Juniper", "Saffron", "Clove", "Anchor", "Thistle",
+                    ],
+                    vec![
+                        "Kitchen", "Bistro", "Table", "House", "Cantina", "Grill",
+                        "Tavern", "Eatery", "Counter", "Parlor",
+                    ],
+                ],
+            },
+            TextCol {
+                name: "address",
+                role: ColumnRole::Ignore,
+                word_pools: vec![
+                    vec!["Oak", "Pine", "Main", "Market", "Mission", "Broadway", "Sunset", "Lake"],
+                    vec!["St", "Ave", "Blvd", "Rd"],
+                ],
+            },
+        ],
+        label_names: ("quiet", "popular"),
+        label_noise: 0.75,
+        label_shift: 0.0,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_inconsistencies(&mut s, &["city", "cuisine"], 0.15, seed ^ 1);
+    inject_duplicate_decoys(&mut s, 0.05, seed ^ 7);
+    inject_duplicates(&mut s, 0.10, 0.25, seed ^ 2);
+    s
+}
+
+fn sensor(seed: u64) -> ErrorState {
+    let chan = |name, effect| NumFeat { name, mean: 20.0, std: 4.0, effect, factor_loading: 0.7 };
+    let m = BaseModel {
+        n_rows: 640,
+        numeric: vec![
+            chan("temp", 1.1),
+            chan("voltage", -0.9),
+            chan("humidity", 0.6),
+            chan("vibration", 1.3),
+            chan("pressure", -0.5),
+        ],
+        categorical: vec![],
+        text: vec![],
+        label_names: ("normal", "fault"),
+        label_noise: 0.7,
+        label_shift: 1.4, // rare fault class -> F1 scoring
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_outliers(&mut s, 0.06, 1.5, seed ^ 1);
+    s
+}
+
+fn titanic(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 520,
+        numeric: vec![
+            NumFeat { name: "age", mean: 30.0, std: 13.0, effect: -0.5, factor_loading: 0.3 },
+            NumFeat { name: "fare", mean: 33.0, std: 20.0, effect: 0.9, factor_loading: 0.5 },
+            NumFeat { name: "siblings", mean: 0.9, std: 1.0, effect: -0.3, factor_loading: 0.1 },
+        ],
+        categorical: vec![
+            CatFeat {
+                name: "sex",
+                categories: vec![("female", 1.0, 1.2), ("male", 1.7, -0.8)],
+            },
+            CatFeat {
+                name: "pclass",
+                categories: vec![("first", 1.0, 0.9), ("second", 1.2, 0.2), ("third", 2.5, -0.7)],
+            },
+            CatFeat {
+                name: "embarked",
+                categories: vec![("S", 3.0, 0.0), ("C", 1.0, 0.3), ("Q", 0.6, -0.2)],
+            },
+        ],
+        text: vec![],
+        label_names: ("died", "survived"),
+        label_noise: 0.8,
+        label_shift: 0.3,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_missing(&mut s, 0.14, Some("fare"), seed ^ 1);
+    s
+}
+
+fn credit(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 600,
+        numeric: vec![
+            NumFeat { name: "income", mean: 5200.0, std: 2200.0, effect: -0.8, factor_loading: 0.5 },
+            NumFeat { name: "debt_ratio", mean: 0.35, std: 0.2, effect: 1.1, factor_loading: 0.5 },
+            NumFeat { name: "utilization", mean: 0.5, std: 0.3, effect: 1.0, factor_loading: 0.6 },
+            NumFeat { name: "age", mean: 45.0, std: 14.0, effect: -0.4, factor_loading: 0.2 },
+            NumFeat { name: "open_lines", mean: 8.0, std: 4.0, effect: 0.3, factor_loading: 0.3 },
+        ],
+        categorical: vec![],
+        text: vec![],
+        label_names: ("paid", "default"),
+        label_noise: 0.8,
+        label_shift: 1.6, // rare default class -> F1 scoring
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_outliers(&mut s, 0.04, 1.8, seed ^ 1);
+    inject_missing(&mut s, 0.10, Some("income"), seed ^ 2);
+    s
+}
+
+fn university(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 420,
+        numeric: vec![
+            NumFeat { name: "tuition_k", mean: 28.0, std: 12.0, effect: 0.8, factor_loading: 0.5 },
+            NumFeat { name: "enrollment_k", mean: 18.0, std: 9.0, effect: 0.3, factor_loading: 0.3 },
+            NumFeat { name: "student_faculty", mean: 16.0, std: 5.0, effect: -0.6, factor_loading: 0.4 },
+        ],
+        categorical: vec![
+            CatFeat {
+                name: "state",
+                categories: vec![
+                    ("Massachusetts", 1.5, 0.7),
+                    ("California", 2.5, 0.4),
+                    ("Texas", 2.0, -0.1),
+                    ("Florida", 1.5, -0.3),
+                ],
+            },
+            CatFeat {
+                name: "control",
+                categories: vec![("private nonprofit", 2.0, 0.5), ("public", 3.0, -0.3)],
+            },
+        ],
+        text: vec![TextCol {
+            name: "university",
+            role: ColumnRole::Ignore,
+            word_pools: vec![
+                vec!["Northern", "Eastern", "Central", "Pacific", "Lakeside", "Highland"],
+                vec!["State", "Valley", "Ridge", "Harbor", "Summit", "Grove"],
+                vec!["University", "College", "Institute"],
+            ],
+        }],
+        label_names: ("unranked", "ranked"),
+        label_noise: 0.8,
+        label_shift: 0.0,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_inconsistencies(&mut s, &["state", "control"], 0.18, seed ^ 1);
+    s
+}
+
+fn uscensus(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 560,
+        numeric: vec![
+            NumFeat { name: "age", mean: 39.0, std: 13.0, effect: 0.5, factor_loading: 0.3 },
+            NumFeat { name: "hours_week", mean: 40.0, std: 11.0, effect: 0.6, factor_loading: 0.4 },
+            NumFeat { name: "education_num", mean: 10.0, std: 2.5, effect: 0.9, factor_loading: 0.4 },
+        ],
+        categorical: vec![
+            CatFeat {
+                name: "workclass",
+                categories: vec![
+                    ("private", 4.0, 0.0),
+                    ("self_employed", 1.0, 0.4),
+                    ("government", 1.5, 0.2),
+                    ("unemployed", 0.5, -1.2),
+                ],
+            },
+            CatFeat {
+                name: "marital",
+                categories: vec![
+                    ("married", 3.0, 0.6),
+                    ("never_married", 2.5, -0.6),
+                    ("divorced", 1.2, -0.2),
+                ],
+            },
+            CatFeat {
+                name: "occupation",
+                categories: vec![
+                    ("exec_managerial", 1.5, 0.9),
+                    ("prof_specialty", 1.5, 0.8),
+                    ("craft_repair", 1.5, -0.1),
+                    ("other_service", 1.5, -0.7),
+                    ("adm_clerical", 1.3, -0.2),
+                ],
+            },
+        ],
+        text: vec![],
+        label_names: ("lte_50k", "gt_50k"),
+        label_noise: 0.8,
+        label_shift: 0.4,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_missing(&mut s, 0.10, None, seed ^ 1);
+    s
+}
+
+fn airbnb(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 420,
+        numeric: vec![
+            NumFeat { name: "price", mean: 150.0, std: 70.0, effect: -0.5, factor_loading: 0.5 },
+            NumFeat { name: "reviews", mean: 45.0, std: 30.0, effect: 0.9, factor_loading: 0.4 },
+            NumFeat { name: "availability", mean: 180.0, std: 90.0, effect: -0.3, factor_loading: 0.2 },
+            NumFeat { name: "min_nights", mean: 4.0, std: 3.0, effect: -0.4, factor_loading: 0.2 },
+        ],
+        categorical: vec![
+            CatFeat {
+                name: "room_type",
+                categories: vec![
+                    ("entire_home", 3.0, 0.4),
+                    ("private_room", 2.5, -0.1),
+                    ("shared_room", 0.6, -0.8),
+                ],
+            },
+            CatFeat {
+                name: "borough",
+                categories: vec![
+                    ("Manhattan", 2.5, 0.4),
+                    ("Brooklyn", 2.5, 0.2),
+                    ("Queens", 1.5, -0.2),
+                    ("Bronx", 0.8, -0.4),
+                ],
+            },
+        ],
+        text: vec![
+            TextCol {
+                name: "listing",
+                role: ColumnRole::Key,
+                word_pools: vec![
+                    vec![
+                        "Sunny", "Cozy", "Spacious", "Charming", "Modern", "Quiet",
+                        "Bright", "Rustic", "Artsy", "Serene",
+                    ],
+                    vec![
+                        "Loft", "Studio", "Apartment", "Room", "Suite", "Flat",
+                        "Duplex", "Penthouse", "Hideaway", "Nook",
+                    ],
+                    vec![
+                        "Near Park", "Downtown", "By Subway", "With View",
+                        "Garden Level", "Steps To Beach", "Old Town", "Riverside",
+                    ],
+                ],
+            },
+            TextCol {
+                name: "host",
+                role: ColumnRole::Ignore,
+                word_pools: vec![
+                    vec!["Alex", "Bianca", "Carlos", "Dara", "Elena", "Farid", "Grace", "Hiro"],
+                    vec!["R.", "S.", "T.", "V.", "W."],
+                ],
+            },
+        ],
+        label_names: ("low_occupancy", "high_occupancy"),
+        label_noise: 0.85,
+        label_shift: 0.0,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    inject_outliers(&mut s, 0.04, 1.8, seed ^ 1);
+    inject_missing(&mut s, 0.08, Some("price"), seed ^ 2);
+    inject_duplicate_decoys(&mut s, 0.05, seed ^ 7);
+    inject_duplicates(&mut s, 0.06, 0.4, seed ^ 3);
+    s
+}
+
+fn babyproduct(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 480,
+        numeric: vec![
+            NumFeat { name: "weight_lb", mean: 6.0, std: 3.0, effect: 0.5, factor_loading: 0.5 },
+            NumFeat { name: "rating", mean: 4.1, std: 0.6, effect: 0.7, factor_loading: 0.3 },
+            NumFeat { name: "review_count", mean: 120.0, std: 80.0, effect: 0.4, factor_loading: 0.4 },
+        ],
+        categorical: vec![
+            CatFeat {
+                name: "category",
+                categories: vec![
+                    ("stroller", 1.5, 0.9),
+                    ("car_seat", 1.5, 0.7),
+                    ("feeding", 2.5, -0.5),
+                    ("toys", 2.5, -0.6),
+                    ("bedding", 1.5, 0.1),
+                ],
+            },
+            CatFeat {
+                name: "brand_tier",
+                categories: vec![("premium", 1.2, 1.0), ("midrange", 2.5, 0.0), ("value", 2.0, -0.8)],
+            },
+        ],
+        text: vec![TextCol {
+            name: "product",
+            role: ColumnRole::Ignore,
+            word_pools: vec![
+                vec!["Comfy", "Happy", "Tiny", "Snuggle", "Bright", "Gentle"],
+                vec!["Bear", "Star", "Cloud", "Duck", "Bunny", "Moon"],
+                vec!["Deluxe", "Classic", "Travel", "Mini", "Plus"],
+            ],
+        }],
+        label_names: ("budget", "premium"),
+        label_noise: 0.7,
+        label_shift: 0.0,
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    // BabyProduct is the paper's sparsest dataset (human-filled missing values).
+    inject_missing(&mut s, 0.15, None, seed ^ 1);
+    s
+}
+
+fn clothing(seed: u64) -> ErrorState {
+    let m = BaseModel {
+        n_rows: 540,
+        numeric: vec![
+            NumFeat { name: "age", mean: 41.0, std: 12.0, effect: 0.3, factor_loading: 0.2 },
+            NumFeat { name: "review_len", mean: 60.0, std: 28.0, effect: 0.6, factor_loading: 0.3 },
+            NumFeat { name: "rating", mean: 4.0, std: 1.0, effect: 1.4, factor_loading: 0.4 },
+        ],
+        categorical: vec![
+            CatFeat {
+                name: "department",
+                categories: vec![
+                    ("dresses", 2.5, 0.2),
+                    ("tops", 3.0, 0.0),
+                    ("bottoms", 1.5, -0.1),
+                    ("intimate", 1.0, 0.1),
+                ],
+            },
+            CatFeat {
+                name: "size_band",
+                categories: vec![("petite", 1.0, -0.1), ("regular", 3.0, 0.1), ("plus", 1.0, -0.2)],
+            },
+        ],
+        text: vec![],
+        label_names: ("not_recommended", "recommended"),
+        label_noise: 0.6,
+        label_shift: -1.2, // most reviews recommend -> imbalanced
+    };
+    let mut s = ErrorState::new(m.generate(seed));
+    // Real, unplanted label noise: ~8% random flips.
+    inject_random_mislabels(&mut s, 0.08, seed ^ 1);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_specs_unique_names() {
+        assert_eq!(SPECS.len(), 14);
+        let mut names: Vec<&str> = SPECS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn table3_error_matrix() {
+        let errors = |name: &str| spec_by_name(name).unwrap().error_types;
+        assert_eq!(errors("Citation"), &[Duplicates]);
+        assert_eq!(errors("EEG"), &[Outliers]);
+        assert_eq!(errors("Marketing"), &[MissingValues]);
+        assert_eq!(errors("Movie"), &[Inconsistencies, Duplicates]);
+        assert_eq!(errors("Company"), &[Inconsistencies]);
+        assert_eq!(errors("Restaurant"), &[Inconsistencies, Duplicates]);
+        assert_eq!(errors("Sensor"), &[Outliers]);
+        assert_eq!(errors("Titanic"), &[MissingValues]);
+        assert_eq!(errors("Credit"), &[MissingValues, Outliers]);
+        assert_eq!(errors("University"), &[Inconsistencies]);
+        assert_eq!(errors("USCensus"), &[MissingValues]);
+        assert_eq!(errors("Airbnb"), &[MissingValues, Outliers, Duplicates]);
+        assert_eq!(errors("BabyProduct"), &[MissingValues]);
+        assert_eq!(errors("Clothing"), &[Mislabels]);
+    }
+
+    #[test]
+    fn all_datasets_generate() {
+        for spec in specs() {
+            let ds = generate(spec, 42);
+            assert_eq!(ds.name, spec.name);
+            assert!(ds.dirty.n_rows() >= 300, "{} too small", spec.name);
+            assert_eq!(ds.dirty.n_rows(), ds.clean_cells.n_rows(), "{}", spec.name);
+            assert_eq!(ds.clean_cells.n_missing_cells(), 0, "{}", spec.name);
+            // two classes in both versions
+            assert_eq!(ds.dirty.class_counts().unwrap().len(), 2, "{}", spec.name);
+            // error presence matches the spec
+            if ds.has_error(MissingValues) {
+                assert!(ds.dirty.n_missing_cells() > 0, "{} missing", spec.name);
+            } else {
+                assert_eq!(ds.dirty.n_missing_cells(), 0, "{}", spec.name);
+            }
+            if ds.has_error(Duplicates) {
+                assert!(!ds.duplicate_rows.is_empty(), "{} dups", spec.name);
+            } else {
+                assert!(ds.duplicate_rows.is_empty(), "{}", spec.name);
+            }
+            if ds.has_error(Mislabels) {
+                assert!(!ds.mislabeled_rows.is_empty(), "{} mislabels", spec.name);
+            } else {
+                assert!(ds.mislabeled_rows.is_empty(), "{}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        for spec in specs().iter().take(3) {
+            let a = generate(spec, 7);
+            let b = generate(spec, 7);
+            assert_eq!(a.dirty, b.dirty);
+            assert_eq!(a.clean_cells, b.clean_cells);
+            assert_eq!(a.duplicate_rows, b.duplicate_rows);
+        }
+    }
+
+    #[test]
+    fn imbalanced_flags() {
+        for name in ["Credit", "Sensor", "Clothing"] {
+            assert!(spec_by_name(name).unwrap().imbalanced, "{name}");
+            let ds = generate(spec_by_name(name).unwrap(), 3);
+            let counts = ds.dirty.class_counts().unwrap();
+            let max = counts.iter().map(|&(_, n)| n).max().unwrap();
+            let total: usize = counts.iter().map(|&(_, n)| n).sum();
+            assert!(
+                max as f64 > 0.65 * total as f64,
+                "{name} not actually imbalanced: {counts:?}"
+            );
+        }
+        assert!(!spec_by_name("Titanic").unwrap().imbalanced);
+    }
+
+    #[test]
+    fn outlier_datasets_have_extreme_cells() {
+        for name in ["EEG", "Sensor", "Credit", "Airbnb"] {
+            let ds = generate(spec_by_name(name).unwrap(), 5);
+            let mut extremes = 0usize;
+            for c in ds.clean_cells.schema().numeric_feature_indices() {
+                let clean_col = ds.clean_cells.column(c).unwrap();
+                let mean = cleanml_dataset::stats::mean(clean_col).unwrap();
+                let std = cleanml_dataset::stats::std_dev(clean_col).unwrap();
+                let dirty_col = ds.dirty.column(c).unwrap();
+                for r in 0..ds.dirty.n_rows() {
+                    if let Some(v) = dirty_col.num(r) {
+                        if (v - mean).abs() > 4.0 * std {
+                            extremes += 1;
+                        }
+                    }
+                }
+            }
+            assert!(extremes > 3, "{name}: {extremes} extremes");
+        }
+    }
+
+    #[test]
+    fn inconsistency_datasets_have_variant_spellings() {
+        for name in ["Movie", "Company", "Restaurant", "University"] {
+            let ds = generate(spec_by_name(name).unwrap(), 6);
+            // dirty has strictly more distinct spellings than truth in at
+            // least one categorical feature column
+            let mut found = false;
+            for c in ds.dirty.schema().categorical_feature_indices() {
+                let dirty_distinct = ds
+                    .dirty
+                    .column(c)
+                    .unwrap()
+                    .category_counts()
+                    .iter()
+                    .filter(|&&n| n > 0)
+                    .count();
+                let clean_distinct = ds
+                    .clean_cells
+                    .column(c)
+                    .unwrap()
+                    .category_counts()
+                    .iter()
+                    .filter(|&&n| n > 0)
+                    .count();
+                if dirty_distinct > clean_distinct {
+                    found = true;
+                }
+            }
+            assert!(found, "{name} has no injected inconsistencies");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(spec_by_name("NotADataset").is_none());
+    }
+}

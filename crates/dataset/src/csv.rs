@@ -1,0 +1,277 @@
+//! Minimal CSV reader/writer with column-kind inference.
+//!
+//! CleanML's datasets ship as CSV files; this module lets examples load and
+//! dump tables without an external dependency. The dialect is RFC-4180-ish:
+//! comma separators, `"`-quoted fields with `""` escapes, `\n` or `\r\n`
+//! line endings. Empty fields (and the literal placeholders `NaN`, `nan`,
+//! `NA`, `null`, `NULL`) parse as missing cells, mirroring how the paper's
+//! pipeline detects missing values ("empty or NaN entries", §III-B1).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::error::DatasetError;
+use crate::schema::{ColumnKind, ColumnRole, FieldMeta, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// Placeholder strings treated as missing cells on read.
+const NULL_TOKENS: [&str; 5] = ["NaN", "nan", "NA", "null", "NULL"];
+
+/// Parses CSV text into rows of raw string fields.
+fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(DatasetError::Csv {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => { /* swallow; \n follows in CRLF */ }
+                '\n' => {
+                    line += 1;
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DatasetError::Csv { line, message: "unterminated quoted field".into() });
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn is_null_token(s: &str) -> bool {
+    s.is_empty() || NULL_TOKENS.contains(&s)
+}
+
+/// Reads a table from CSV text. The first row is the header. Column kinds are
+/// inferred: a column is numeric when every non-missing field parses as
+/// `f64`; otherwise categorical. All columns get [`ColumnRole::Feature`];
+/// call [`read_csv_with_roles`] or adjust the schema to mark labels/keys.
+pub fn read_csv(text: &str) -> Result<Table> {
+    read_csv_with_roles(text, &|_| ColumnRole::Feature)
+}
+
+/// Like [`read_csv`] but assigns roles per column name.
+pub fn read_csv_with_roles(text: &str, role_of: &dyn Fn(&str) -> ColumnRole) -> Result<Table> {
+    let rows = parse_rows(text)?;
+    let mut it = rows.into_iter();
+    let header = it.next().ok_or(DatasetError::Csv { line: 1, message: "missing header".into() })?;
+    let data_rows: Vec<Vec<String>> = it.collect();
+
+    for (i, r) in data_rows.iter().enumerate() {
+        if r.len() != header.len() {
+            return Err(DatasetError::Csv {
+                line: i + 2,
+                message: format!("expected {} fields, got {}", header.len(), r.len()),
+            });
+        }
+    }
+
+    // Infer kinds.
+    let mut kinds = vec![ColumnKind::Numeric; header.len()];
+    for (c, kind) in kinds.iter_mut().enumerate() {
+        let all_numeric = data_rows
+            .iter()
+            .map(|r| r[c].trim())
+            .filter(|s| !is_null_token(s))
+            .all(|s| s.parse::<f64>().is_ok());
+        let any_value = data_rows.iter().any(|r| !is_null_token(r[c].trim()));
+        if !all_numeric || !any_value {
+            *kind = ColumnKind::Categorical;
+        }
+    }
+
+    let fields: Vec<FieldMeta> = header
+        .iter()
+        .zip(&kinds)
+        .map(|(name, &kind)| FieldMeta::new(name.clone(), kind, role_of(name)))
+        .collect();
+    let schema = Schema::new(fields);
+    let mut table = Table::with_capacity(schema, data_rows.len());
+
+    for r in &data_rows {
+        let values: Vec<Value> = r
+            .iter()
+            .zip(&kinds)
+            .map(|(s, &kind)| {
+                let s = s.trim();
+                if is_null_token(s) {
+                    Value::Null
+                } else {
+                    match kind {
+                        ColumnKind::Numeric => Value::from(s.parse::<f64>().expect("inferred numeric")),
+                        ColumnKind::Categorical => Value::from(s),
+                    }
+                }
+            })
+            .collect();
+        table.push_row(values)?;
+    }
+    Ok(table)
+}
+
+/// Reads a table from a CSV file.
+pub fn read_csv_file(path: &Path) -> Result<Table> {
+    let text = std::fs::read_to_string(path)?;
+    read_csv(&text)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Serializes a table to CSV text (header + rows, `\n` line endings).
+/// Missing cells serialize as empty fields.
+pub fn write_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> =
+        table.schema().fields().iter().map(|f| escape(&f.name)).collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for r in 0..table.n_rows() {
+        let cells: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| match c.get(r).expect("row in range") {
+                Value::Null => String::new(),
+                Value::Num(x) => format!("{x}"),
+                Value::Str(s) => escape(&s),
+            })
+            .collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Writes a table to a CSV file.
+pub fn write_csv_file(table: &Table, path: &Path) -> Result<()> {
+    std::fs::write(path, write_csv(table))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "age,city,label\n34,NYC,yes\n,SF,no\n28,\"San, Jose\",yes\n";
+
+    #[test]
+    fn read_infers_kinds() {
+        let t = read_csv(SAMPLE).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.schema().field(0).unwrap().kind, ColumnKind::Numeric);
+        assert_eq!(t.schema().field(1).unwrap().kind, ColumnKind::Categorical);
+        assert_eq!(t.get(1, 0).unwrap(), Value::Null);
+        assert_eq!(t.get(2, 1).unwrap(), Value::Str("San, Jose".into()));
+    }
+
+    #[test]
+    fn roles_assigned() {
+        let t = read_csv_with_roles(SAMPLE, &|name| {
+            if name == "label" { ColumnRole::Label } else { ColumnRole::Feature }
+        })
+        .unwrap();
+        assert_eq!(t.label_index().unwrap(), 2);
+    }
+
+    #[test]
+    fn null_tokens() {
+        let t = read_csv("x\nNaN\nnull\n1.5\n").unwrap();
+        assert_eq!(t.column(0).unwrap().n_missing(), 2);
+        assert_eq!(t.schema().field(0).unwrap().kind, ColumnKind::Numeric);
+    }
+
+    #[test]
+    fn all_null_column_is_categorical() {
+        let t = read_csv("x,y\n,a\n,b\n").unwrap();
+        assert_eq!(t.schema().field(0).unwrap().kind, ColumnKind::Categorical);
+    }
+
+    #[test]
+    fn quotes_and_escapes_round_trip() {
+        let t = read_csv("name\n\"a \"\"quoted\"\" one\"\nplain\n").unwrap();
+        assert_eq!(t.get(0, 0).unwrap(), Value::Str("a \"quoted\" one".into()));
+        let text = write_csv(&t);
+        let t2 = read_csv(&text).unwrap();
+        assert_eq!(t.get(0, 0), t2.get(0, 0));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let t = read_csv(SAMPLE).unwrap();
+        let text = write_csv(&t);
+        let t2 = read_csv(&text).unwrap();
+        assert_eq!(t.n_rows(), t2.n_rows());
+        for r in 0..t.n_rows() {
+            for c in 0..t.n_columns() {
+                assert_eq!(t.get(r, c).unwrap(), t2.get(r, c).unwrap(), "cell {r},{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(matches!(read_csv("a,b\n1\n"), Err(DatasetError::Csv { .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(matches!(read_csv("a\n\"oops\n"), Err(DatasetError::Csv { .. })));
+    }
+
+    #[test]
+    fn crlf_accepted() {
+        let t = read_csv("a,b\r\n1,x\r\n2,y\r\n").unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.get(1, 1).unwrap(), Value::Str("y".into()));
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let t = read_csv("a\n1\n2").unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+}

@@ -1,0 +1,495 @@
+//! Fit-on-train feature encoding into a dense matrix.
+//!
+//! CleanML trains scikit-learn models on structured datasets; the standard
+//! preprocessing is one-hot encoding of categorical features and
+//! standardization of numeric features. [`Encoder::fit`] learns the encoding
+//! (means, standard deviations, category vocabularies, label classes) from a
+//! *training* table only; [`Encoder::transform`] then applies it to any table
+//! with the same schema — this is how the paper avoids train→test leakage.
+//!
+//! Missing cells are tolerated at transform time (numeric → train mean,
+//! categorical → all-zero one-hot group) and flagged in the
+//! [`FeatureMatrix::missing`] mask so missing-data-aware models (NaCL,
+//! §VII-B of the paper) can react to them.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::DatasetError;
+use crate::table::Table;
+use crate::Result;
+
+/// Dense row-major feature matrix with class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    missing: Vec<bool>,
+    n_rows: usize,
+    n_cols: usize,
+    labels: Vec<usize>,
+    n_classes: usize,
+    feature_names: Vec<String>,
+}
+
+impl FeatureMatrix {
+    /// Builds a matrix from raw parts (mainly for tests and generators).
+    ///
+    /// # Panics
+    /// Panics if the dimensions are inconsistent.
+    pub fn from_parts(
+        data: Vec<f64>,
+        n_rows: usize,
+        n_cols: usize,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Self {
+        assert_eq!(data.len(), n_rows * n_cols, "data size mismatch");
+        assert_eq!(labels.len(), n_rows, "label count mismatch");
+        assert!(labels.iter().all(|&l| l < n_classes.max(1)), "label out of range");
+        let missing = vec![false; data.len()];
+        let feature_names = (0..n_cols).map(|i| format!("f{i}")).collect();
+        FeatureMatrix { data, missing, n_rows, n_cols, labels, n_classes, feature_names }
+    }
+
+    /// Number of examples.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of encoded feature dimensions.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of label classes (as observed in the fitted training table).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Class index per example.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Feature values of example `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Missingness flags of example `i` (parallel to [`FeatureMatrix::row`]).
+    pub fn missing_row(&self, i: usize) -> &[bool] {
+        &self.missing[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// `true` if any cell of example `i` was missing before encoding.
+    pub fn row_has_missing(&self, i: usize) -> bool {
+        self.missing_row(i).iter().any(|&m| m)
+    }
+
+    /// Names of the encoded dimensions (e.g. `age`, `city=NYC`).
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Flat row-major data access.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// New matrix containing the examples at `indices`, in order. Indices may
+    /// repeat (bootstrap sampling).
+    pub fn select_rows(&self, indices: &[usize]) -> FeatureMatrix {
+        let mut data = Vec::with_capacity(indices.len() * self.n_cols);
+        let mut missing = Vec::with_capacity(indices.len() * self.n_cols);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+            missing.extend_from_slice(self.missing_row(i));
+            labels.push(self.labels[i]);
+        }
+        FeatureMatrix {
+            data,
+            missing,
+            n_rows: indices.len(),
+            n_cols: self.n_cols,
+            labels,
+            n_classes: self.n_classes,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NumSpec {
+    col: usize,
+    mean: f64,
+    std: f64,
+}
+
+#[derive(Debug, Clone)]
+struct CatSpec {
+    col: usize,
+    /// Category strings kept as one-hot dimensions (top-`max_onehot` by
+    /// training frequency). Unseen or overflow categories encode to all-zero.
+    categories: Vec<String>,
+}
+
+/// Learned feature/label encoding. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    numeric: Vec<NumSpec>,
+    categorical: Vec<CatSpec>,
+    label_col: usize,
+    label_classes: Vec<String>,
+    n_cols: usize,
+    feature_names: Vec<String>,
+}
+
+/// Cap on one-hot dimensions per categorical column; higher-cardinality
+/// columns keep their most frequent categories and bucket the rest.
+pub const DEFAULT_MAX_ONEHOT: usize = 20;
+
+impl Encoder {
+    /// Learns the encoding from a training table with the default one-hot cap.
+    pub fn fit(train: &Table) -> Result<Encoder> {
+        Self::fit_with(train, DEFAULT_MAX_ONEHOT)
+    }
+
+    /// Like [`Encoder::fit`], but with an explicit label-class vocabulary.
+    ///
+    /// The study runner uses this so that a training partition that happens
+    /// to lose a class (e.g. after deletion-repair of missing values) still
+    /// encodes test rows of that class instead of erroring, and so the class
+    /// indices (and the F1 positive class) stay identical across every
+    /// cleaned variant of a dataset. `classes` is deduplicated and sorted;
+    /// it must cover every label observed at fit or transform time.
+    pub fn fit_with_classes(train: &Table, classes: &[String]) -> Result<Encoder> {
+        let mut enc = Self::fit_with(train, DEFAULT_MAX_ONEHOT)?;
+        let mut classes: Vec<String> = classes.to_vec();
+        classes.sort();
+        classes.dedup();
+        if classes.is_empty() {
+            return Err(DatasetError::Encode("empty label class list".into()));
+        }
+        for observed in &enc.label_classes {
+            if !classes.contains(observed) {
+                return Err(DatasetError::Encode(format!(
+                    "observed label `{observed}` missing from supplied classes"
+                )));
+            }
+        }
+        enc.label_classes = classes;
+        Ok(enc)
+    }
+
+    /// Learns the encoding from a training table, keeping at most
+    /// `max_onehot` one-hot dimensions per categorical feature.
+    pub fn fit_with(train: &Table, max_onehot: usize) -> Result<Encoder> {
+        if train.is_empty() {
+            return Err(DatasetError::Empty("training table for encoder"));
+        }
+        let schema = train.schema();
+        let label_col = schema.label_index()?;
+
+        let mut numeric = Vec::new();
+        for col in schema.numeric_feature_indices() {
+            let c = train.column(col)?;
+            let mean = crate::stats::mean(c).unwrap_or(0.0);
+            let std = crate::stats::std_dev(c).unwrap_or(0.0);
+            numeric.push(NumSpec { col, mean, std });
+        }
+
+        let mut categorical = Vec::new();
+        for col in schema.categorical_feature_indices() {
+            let c = train.column(col)?;
+            let counts = c.category_counts();
+            let mut by_freq: Vec<(usize, usize)> = counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(id, &n)| (id, n))
+                .collect();
+            // most frequent first; ties broken by first-seen id for determinism
+            by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            by_freq.truncate(max_onehot);
+            let categories = by_freq
+                .into_iter()
+                .map(|(id, _)| c.dict_str(id as u32).expect("id from counts").to_owned())
+                .collect();
+            categorical.push(CatSpec { col, categories });
+        }
+
+        let label_classes = Self::collect_label_classes(train.column(label_col)?)?;
+
+        let mut feature_names = Vec::new();
+        for spec in &numeric {
+            feature_names.push(schema.field(spec.col)?.name.clone());
+        }
+        for spec in &categorical {
+            let base = &schema.field(spec.col)?.name;
+            for cat in &spec.categories {
+                feature_names.push(format!("{base}={cat}"));
+            }
+        }
+        let n_cols = feature_names.len();
+        if n_cols == 0 {
+            return Err(DatasetError::Encode("no feature columns to encode".into()));
+        }
+
+        Ok(Encoder { numeric, categorical, label_col, label_classes, n_cols, feature_names })
+    }
+
+    fn collect_label_classes(label: &Column) -> Result<Vec<String>> {
+        let counts = label.category_counts();
+        let mut classes: Vec<String> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(id, _)| label.dict_str(id as u32).expect("id from counts").to_owned())
+            .collect();
+        classes.sort();
+        if classes.is_empty() {
+            return Err(DatasetError::Encode("label column has no observed classes".into()));
+        }
+        Ok(classes)
+    }
+
+    /// Number of encoded feature dimensions.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Label classes in encoding order (class index = position here).
+    pub fn label_classes(&self) -> &[String] {
+        &self.label_classes
+    }
+
+    /// Encodes `table` with the learned statistics.
+    ///
+    /// Rows whose label is missing or was never seen at fit time are
+    /// rejected — CleanML never evaluates on unlabeled rows.
+    pub fn transform(&self, table: &Table) -> Result<FeatureMatrix> {
+        let n_rows = table.n_rows();
+        let mut data = Vec::with_capacity(n_rows * self.n_cols);
+        let mut missing = Vec::with_capacity(n_rows * self.n_cols);
+        let mut labels = Vec::with_capacity(n_rows);
+
+        let class_index: HashMap<&str, usize> = self
+            .label_classes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i))
+            .collect();
+
+        let label_col = table.column(self.label_col)?;
+
+        // Pre-resolve categorical dictionaries for the table being encoded.
+        let cat_lookup: Vec<HashMap<&str, usize>> = self
+            .categorical
+            .iter()
+            .map(|spec| {
+                spec.categories
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, s)| (s.as_str(), slot))
+                    .collect()
+            })
+            .collect();
+
+        for r in 0..n_rows {
+            for spec in &self.numeric {
+                let c = table.column(spec.col)?;
+                match c.num(r) {
+                    Some(x) => {
+                        let z = if spec.std > 0.0 { (x - spec.mean) / spec.std } else { 0.0 };
+                        data.push(z);
+                        missing.push(false);
+                    }
+                    None => {
+                        data.push(0.0); // standardized train mean
+                        missing.push(true);
+                    }
+                }
+            }
+            for (spec, lookup) in self.categorical.iter().zip(&cat_lookup) {
+                let c = table.column(spec.col)?;
+                let cell = c.cat_str(r);
+                let hot = cell.and_then(|s| lookup.get(s).copied());
+                let is_missing = cell.is_none();
+                for slot in 0..spec.categories.len() {
+                    data.push(if hot == Some(slot) { 1.0 } else { 0.0 });
+                    missing.push(is_missing);
+                }
+            }
+            let label_str = label_col
+                .cat_str(r)
+                .ok_or_else(|| DatasetError::Encode(format!("row {r} has a missing label")))?;
+            let class = class_index.get(label_str).copied().ok_or_else(|| {
+                DatasetError::Encode(format!("label `{label_str}` not seen during fit"))
+            })?;
+            labels.push(class);
+        }
+
+        Ok(FeatureMatrix {
+            data,
+            missing,
+            n_rows,
+            n_cols: self.n_cols,
+            labels,
+            n_classes: self.label_classes.len(),
+            feature_names: self.feature_names.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{FieldMeta, Schema};
+    use crate::value::Value;
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            FieldMeta::num_feature("x"),
+            FieldMeta::cat_feature("c"),
+            FieldMeta::label("y"),
+        ]);
+        let mut t = Table::new(schema);
+        for (x, c, y) in [
+            (Some(1.0), Some("a"), "p"),
+            (Some(3.0), Some("b"), "n"),
+            (Some(5.0), Some("a"), "p"),
+            (None, None, "n"),
+        ] {
+            t.push_row(vec![Value::from(x), Value::from(c), Value::from(y)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn fit_transform_shapes() {
+        let t = sample();
+        let enc = Encoder::fit(&t).unwrap();
+        assert_eq!(enc.n_cols(), 3); // x + c=a + c=b
+        let m = enc.transform(&t).unwrap();
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.n_classes(), 2);
+        assert_eq!(m.labels().len(), 4);
+        assert_eq!(m.feature_names()[0], "x");
+        assert!(m.feature_names().contains(&"c=a".to_string()));
+    }
+
+    #[test]
+    fn standardization_uses_train_stats() {
+        let t = sample();
+        let enc = Encoder::fit(&t).unwrap();
+        let m = enc.transform(&t).unwrap();
+        // x values 1,3,5 -> mean 3, pop std sqrt(8/3)
+        let std = (8.0f64 / 3.0).sqrt();
+        assert!((m.row(0)[0] - (1.0 - 3.0) / std).abs() < 1e-12);
+        assert!((m.row(1)[0] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_cells_flagged_and_neutral() {
+        let t = sample();
+        let enc = Encoder::fit(&t).unwrap();
+        let m = enc.transform(&t).unwrap();
+        assert!(m.row_has_missing(3));
+        assert!(!m.row_has_missing(0));
+        assert_eq!(m.row(3)[0], 0.0); // mean-standardized
+        assert_eq!(m.row(3)[1], 0.0); // one-hot zeros
+        assert_eq!(m.row(3)[2], 0.0);
+        assert!(m.missing_row(3).iter().all(|&b| b));
+    }
+
+    #[test]
+    fn labels_sorted_stable() {
+        let t = sample();
+        let enc = Encoder::fit(&t).unwrap();
+        assert_eq!(enc.label_classes(), &["n".to_string(), "p".to_string()]);
+        let m = enc.transform(&t).unwrap();
+        assert_eq!(m.labels(), &[1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn unseen_label_rejected() {
+        let t = sample();
+        let enc = Encoder::fit(&t).unwrap();
+        let schema = t.schema().clone();
+        let mut t2 = Table::new(schema);
+        t2.push_row(vec![Value::from(1.0), Value::from("a"), Value::from("zzz")]).unwrap();
+        assert!(enc.transform(&t2).is_err());
+    }
+
+    #[test]
+    fn onehot_cap_respected() {
+        let schema = Schema::new(vec![FieldMeta::cat_feature("c"), FieldMeta::label("y")]);
+        let mut t = Table::new(schema);
+        for i in 0..50 {
+            t.push_row(vec![Value::from(format!("cat{i}")), Value::from("p")]).unwrap();
+        }
+        t.push_row(vec![Value::from("cat0"), Value::from("n")]).unwrap();
+        let enc = Encoder::fit_with(&t, 5).unwrap();
+        assert_eq!(enc.n_cols(), 5);
+        let m = enc.transform(&t).unwrap();
+        // "cat0" appears twice -> most frequent -> kept
+        assert_eq!(m.row(0)[0], 1.0);
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let t = sample();
+        let enc = Encoder::fit(&t).unwrap();
+        let m = enc.transform(&t).unwrap();
+        let s = m.select_rows(&[2, 0, 2]);
+        assert_eq!(s.n_rows(), 3);
+        assert_eq!(s.row(0), m.row(2));
+        assert_eq!(s.row(1), m.row(0));
+        assert_eq!(s.labels(), &[m.labels()[2], m.labels()[0], m.labels()[2]]);
+    }
+
+    #[test]
+    fn from_parts_valid() {
+        let m = FeatureMatrix::from_parts(vec![1.0, 2.0, 3.0, 4.0], 2, 2, vec![0, 1], 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn from_parts_bad_labels() {
+        FeatureMatrix::from_parts(vec![1.0, 2.0], 2, 1, vec![0, 5], 2);
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let schema = Schema::new(vec![FieldMeta::num_feature("x"), FieldMeta::label("y")]);
+        let t = Table::new(schema);
+        assert!(Encoder::fit(&t).is_err());
+    }
+
+    #[test]
+    fn explicit_classes_cover_unobserved_labels() {
+        let schema = Schema::new(vec![FieldMeta::num_feature("x"), FieldMeta::label("y")]);
+        let mut train = Table::new(schema.clone());
+        train.push_row(vec![Value::from(1.0), Value::from("p")]).unwrap();
+        train.push_row(vec![Value::from(2.0), Value::from("p")]).unwrap();
+        // "n" never observed in train but declared up front.
+        let enc =
+            Encoder::fit_with_classes(&train, &["p".to_string(), "n".to_string()]).unwrap();
+        assert_eq!(enc.label_classes(), &["n".to_string(), "p".to_string()]);
+        let mut test = Table::new(schema);
+        test.push_row(vec![Value::from(3.0), Value::from("n")]).unwrap();
+        let m = enc.transform(&test).unwrap();
+        assert_eq!(m.labels(), &[0]);
+        assert_eq!(m.n_classes(), 2);
+    }
+
+    #[test]
+    fn explicit_classes_must_cover_observed() {
+        let t = sample();
+        assert!(Encoder::fit_with_classes(&t, &["p".to_string()]).is_err());
+        assert!(Encoder::fit_with_classes(&t, &[]).is_err());
+    }
+}

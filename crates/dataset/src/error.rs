@@ -1,0 +1,87 @@
+//! Error type shared by all dataset operations.
+
+use std::fmt;
+
+/// Errors raised by table construction, mutation and encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A column name was looked up but does not exist in the schema.
+    UnknownColumn(String),
+    /// A row had a different number of cells than the schema has columns.
+    RowArity { expected: usize, got: usize },
+    /// A cell value did not match the column kind (e.g. a string pushed into
+    /// a numeric column).
+    KindMismatch { column: String, expected: &'static str, got: &'static str },
+    /// A row index was out of bounds.
+    RowOutOfBounds { index: usize, n_rows: usize },
+    /// A column index was out of bounds.
+    ColumnOutOfBounds { index: usize, n_columns: usize },
+    /// The schema does not contain exactly one label column when one was
+    /// required (e.g. for encoding).
+    MissingLabel,
+    /// The table (or a split of it) contained no rows where at least one was
+    /// required.
+    Empty(&'static str),
+    /// CSV parsing failed.
+    Csv { line: usize, message: String },
+    /// An I/O error occurred (CSV read/write). Stored as a string so the
+    /// error type stays `Clone + PartialEq`.
+    Io(String),
+    /// Encoding failed (e.g. label column had no observed classes).
+    Encode(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            DatasetError::RowArity { expected, got } => {
+                write!(f, "row has {got} cells but schema has {expected} columns")
+            }
+            DatasetError::KindMismatch { column, expected, got } => {
+                write!(f, "column `{column}` expects {expected} values but got {got}")
+            }
+            DatasetError::RowOutOfBounds { index, n_rows } => {
+                write!(f, "row index {index} out of bounds for table with {n_rows} rows")
+            }
+            DatasetError::ColumnOutOfBounds { index, n_columns } => {
+                write!(f, "column index {index} out of bounds for table with {n_columns} columns")
+            }
+            DatasetError::MissingLabel => write!(f, "schema has no label column"),
+            DatasetError::Empty(what) => write!(f, "{what} is empty"),
+            DatasetError::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            DatasetError::Io(message) => write!(f, "I/O error: {message}"),
+            DatasetError::Encode(message) => write!(f, "encoding error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DatasetError::UnknownColumn("age".into());
+        assert!(e.to_string().contains("age"));
+        let e = DatasetError::RowArity { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        let e = DatasetError::KindMismatch { column: "c".into(), expected: "numeric", got: "categorical" };
+        assert!(e.to_string().contains("numeric"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DatasetError = io.into();
+        assert!(matches!(e, DatasetError::Io(_)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Column metadata: kinds, roles, and the table schema.
+
+use crate::error::DatasetError;
+use crate::Result;
+
+/// The primitive kind of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnKind {
+    /// Floating-point numeric values (integers are stored as `f64`).
+    Numeric,
+    /// Categorical / free-text string values (interned per column).
+    Categorical,
+}
+
+impl ColumnKind {
+    /// Human-readable name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnKind::Numeric => "numeric",
+            ColumnKind::Categorical => "categorical",
+        }
+    }
+}
+
+/// The role a column plays in an ML experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnRole {
+    /// An input feature for classification.
+    Feature,
+    /// The classification target. Exactly one per dataset.
+    Label,
+    /// An identifying attribute used by key-collision duplicate detection;
+    /// not fed to the model.
+    Key,
+    /// Carried along but neither a feature, the label, nor a key
+    /// (e.g. free-text fields used only by cleaning algorithms).
+    Ignore,
+}
+
+/// Name, kind and role of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldMeta {
+    pub name: String,
+    pub kind: ColumnKind,
+    pub role: ColumnRole,
+}
+
+impl FieldMeta {
+    /// Creates metadata for one column.
+    pub fn new(name: impl Into<String>, kind: ColumnKind, role: ColumnRole) -> Self {
+        FieldMeta { name: name.into(), kind, role }
+    }
+
+    /// Shorthand for a numeric feature column.
+    pub fn num_feature(name: impl Into<String>) -> Self {
+        Self::new(name, ColumnKind::Numeric, ColumnRole::Feature)
+    }
+
+    /// Shorthand for a categorical feature column.
+    pub fn cat_feature(name: impl Into<String>) -> Self {
+        Self::new(name, ColumnKind::Categorical, ColumnRole::Feature)
+    }
+
+    /// Shorthand for a categorical label column.
+    pub fn label(name: impl Into<String>) -> Self {
+        Self::new(name, ColumnKind::Categorical, ColumnRole::Label)
+    }
+
+    /// Shorthand for a categorical key column (entity identifier).
+    pub fn key(name: impl Into<String>) -> Self {
+        Self::new(name, ColumnKind::Categorical, ColumnRole::Key)
+    }
+}
+
+/// Ordered collection of [`FieldMeta`] describing a [`crate::Table`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<FieldMeta>,
+}
+
+impl Schema {
+    /// Builds a schema from field metadata. Duplicate names are allowed to be
+    /// rejected lazily by name-based lookups (first match wins), matching the
+    /// permissive behaviour of CSV headers.
+    pub fn new(fields: Vec<FieldMeta>) -> Self {
+        Schema { fields }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[FieldMeta] {
+        &self.fields
+    }
+
+    /// Field at `index`.
+    pub fn field(&self, index: usize) -> Result<&FieldMeta> {
+        self.fields
+            .get(index)
+            .ok_or(DatasetError::ColumnOutOfBounds { index, n_columns: self.fields.len() })
+    }
+
+    /// Index of the first column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| DatasetError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Index of the unique label column.
+    pub fn label_index(&self) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.role == ColumnRole::Label)
+            .ok_or(DatasetError::MissingLabel)
+    }
+
+    /// Indices of all feature columns, in schema order.
+    pub fn feature_indices(&self) -> Vec<usize> {
+        self.indices_with_role(ColumnRole::Feature)
+    }
+
+    /// Indices of all key columns, in schema order.
+    pub fn key_indices(&self) -> Vec<usize> {
+        self.indices_with_role(ColumnRole::Key)
+    }
+
+    /// Indices of columns with the given role.
+    pub fn indices_with_role(&self, role: ColumnRole) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.role == role)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of numeric feature columns.
+    pub fn numeric_feature_indices(&self) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.role == ColumnRole::Feature && f.kind == ColumnKind::Numeric)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of categorical feature columns.
+    pub fn categorical_feature_indices(&self) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.role == ColumnRole::Feature && f.kind == ColumnKind::Categorical)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            FieldMeta::num_feature("a"),
+            FieldMeta::cat_feature("b"),
+            FieldMeta::key("id"),
+            FieldMeta::label("y"),
+        ])
+    }
+
+    #[test]
+    fn lookups() {
+        let s = schema();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(matches!(s.index_of("zzz"), Err(DatasetError::UnknownColumn(_))));
+        assert_eq!(s.label_index().unwrap(), 3);
+        assert_eq!(s.feature_indices(), vec![0, 1]);
+        assert_eq!(s.key_indices(), vec![2]);
+        assert_eq!(s.numeric_feature_indices(), vec![0]);
+        assert_eq!(s.categorical_feature_indices(), vec![1]);
+    }
+
+    #[test]
+    fn missing_label_detected() {
+        let s = Schema::new(vec![FieldMeta::num_feature("a")]);
+        assert!(matches!(s.label_index(), Err(DatasetError::MissingLabel)));
+    }
+
+    #[test]
+    fn field_out_of_bounds() {
+        let s = schema();
+        assert!(s.field(4).is_err());
+        assert_eq!(s.field(0).unwrap().name, "a");
+    }
+}

@@ -1,0 +1,138 @@
+//! Deterministic train/test splitting.
+//!
+//! CleanML controls ML randomness by repeating every experiment over 20
+//! different 70/30 train–test splits (paper §IV-B). The split must be a pure
+//! function of `(n_rows, fraction, seed)` so that the *same* partition is
+//! reused for the dirty and the cleaned version of a dataset — otherwise the
+//! paired t-test would compare metrics from different data.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Produces `(train_indices, test_indices)` for `n` rows.
+///
+/// `test_fraction` is clamped to `[0, 1]`; the test set gets
+/// `round(n * test_fraction)` rows but always leaves at least one row in the
+/// training set when `n >= 2` (and at least one test row when
+/// `test_fraction > 0` and `n >= 2`), so degenerate fractions never produce
+/// an untrainable split.
+pub fn split_indices(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+
+    let frac = test_fraction.clamp(0.0, 1.0);
+    let mut n_test = (n as f64 * frac).round() as usize;
+    if n >= 2 {
+        if frac > 0.0 {
+            n_test = n_test.max(1);
+        }
+        n_test = n_test.min(n - 1);
+    } else {
+        n_test = n_test.min(n);
+    }
+
+    let test = idx.split_off(n - n_test);
+    (idx, test)
+}
+
+/// Produces `k` cross-validation folds over `n` rows: returns for each fold
+/// the (train, validation) index sets. Folds partition the shuffled indices
+/// as evenly as possible. Deterministic in `(n, k, seed)`.
+///
+/// # Panics
+/// Panics if `k < 2`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold requires k >= 2");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+
+    let k = k.min(n.max(2));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &row) in idx.iter().enumerate() {
+        folds[i % k].push(row);
+    }
+    (0..k)
+        .map(|f| {
+            let val = folds[f].clone();
+            let train: Vec<usize> = (0..k)
+                .filter(|&g| g != f)
+                .flat_map(|g| folds[g].iter().copied())
+                .collect();
+            (train, val)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions() {
+        let (tr, te) = split_indices(100, 0.3, 42);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(te.len(), 30);
+        let all: HashSet<usize> = tr.iter().chain(te.iter()).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_deterministic() {
+        assert_eq!(split_indices(50, 0.3, 7), split_indices(50, 0.3, 7));
+        assert_ne!(split_indices(50, 0.3, 7), split_indices(50, 0.3, 8));
+    }
+
+    #[test]
+    fn split_never_empties_train() {
+        let (tr, te) = split_indices(10, 1.0, 1);
+        assert_eq!(tr.len(), 1);
+        assert_eq!(te.len(), 9);
+        let (tr, te) = split_indices(2, 0.999, 1);
+        assert_eq!(tr.len(), 1);
+        assert_eq!(te.len(), 1);
+    }
+
+    #[test]
+    fn split_zero_fraction() {
+        let (tr, te) = split_indices(10, 0.0, 1);
+        assert_eq!(tr.len(), 10);
+        assert!(te.is_empty());
+    }
+
+    #[test]
+    fn split_single_row() {
+        let (tr, te) = split_indices(1, 0.3, 1);
+        assert_eq!(tr.len() + te.len(), 1);
+    }
+
+    #[test]
+    fn kfold_partitions_validation_sets() {
+        let folds = kfold_indices(23, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = HashSet::new();
+        for (tr, va) in &folds {
+            assert_eq!(tr.len() + va.len(), 23);
+            for v in va {
+                assert!(seen.insert(*v), "row {v} in two validation folds");
+            }
+            let tr_set: HashSet<_> = tr.iter().collect();
+            assert!(va.iter().all(|v| !tr_set.contains(v)));
+        }
+        assert_eq!(seen.len(), 23);
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        assert_eq!(kfold_indices(40, 5, 9), kfold_indices(40, 5, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_rejects_k1() {
+        kfold_indices(10, 1, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-column descriptive statistics, computed while skipping missing cells.
+//!
+//! These are the primitives every CleanML cleaning algorithm is built from:
+//! mean/median/mode imputation, the SD outlier rule (mean ± 3σ), and the IQR
+//! rule (quartiles ± 1.5·IQR). To respect the paper's leakage protocol, all
+//! statistics are computed on *training* partitions only and then applied to
+//! both partitions — callers are responsible for passing the right column.
+
+use crate::column::{CatId, Column};
+
+/// Mean of the non-missing numeric values, `None` if there are none.
+pub fn mean(col: &Column) -> Option<f64> {
+    let v = col.numeric_values();
+    if v.is_empty() {
+        return None;
+    }
+    Some(v.iter().sum::<f64>() / v.len() as f64)
+}
+
+/// Population standard deviation of the non-missing numeric values.
+/// `None` with fewer than one value; 0.0 for a single value.
+pub fn std_dev(col: &Column) -> Option<f64> {
+    let v = col.numeric_values();
+    if v.is_empty() {
+        return None;
+    }
+    let m = v.iter().sum::<f64>() / v.len() as f64;
+    let var = v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Median of the non-missing numeric values, `None` if there are none.
+pub fn median(col: &Column) -> Option<f64> {
+    let mut v = col.numeric_values();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stored values"));
+    Some(if v.len() % 2 == 1 {
+        v[v.len() / 2]
+    } else {
+        (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
+    })
+}
+
+/// Linear-interpolation quantile (`q` in `[0,1]`) of the non-missing numeric
+/// values; `None` if there are none. Matches the common "linear" definition
+/// (numpy's default), which the paper's IQR rule relies on.
+pub fn quantile(col: &Column, q: f64) -> Option<f64> {
+    let mut v = col.numeric_values();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stored values"));
+    Some(quantile_sorted(&v, q))
+}
+
+/// Quantile of an already-sorted, NaN-free slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Mode of the non-missing numeric values (ties broken by smallest value),
+/// `None` if there are none. Values are compared by their bit patterns after
+/// the NaN-normalization the column enforces, so exact repeats are required —
+/// appropriate for the integer-like numeric attributes mode imputation is
+/// used on.
+pub fn numeric_mode(col: &Column) -> Option<f64> {
+    let mut v = col.numeric_values();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stored values"));
+    let mut best = v[0];
+    let mut best_count = 1usize;
+    let mut cur = v[0];
+    let mut cur_count = 1usize;
+    for &x in &v[1..] {
+        if x == cur {
+            cur_count += 1;
+        } else {
+            cur = x;
+            cur_count = 1;
+        }
+        if cur_count > best_count {
+            best = cur;
+            best_count = cur_count;
+        }
+    }
+    Some(best)
+}
+
+/// Most frequent categorical value (by interned id; ties broken by the id
+/// interned first, i.e. first-seen). `None` if every cell is missing or the
+/// column is numeric.
+pub fn categorical_mode(col: &Column) -> Option<CatId> {
+    let counts = col.category_counts();
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0))) // max count, then smallest id
+        .map(|(id, _)| id as CatId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldMeta;
+    use crate::value::Value;
+
+    fn col(vals: &[Option<f64>]) -> Column {
+        let mut c = Column::new(FieldMeta::num_feature("x"));
+        for v in vals {
+            c.push(Value::from(*v)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn mean_skips_missing() {
+        let c = col(&[Some(1.0), None, Some(3.0)]);
+        assert_eq!(mean(&c), Some(2.0));
+        assert_eq!(mean(&col(&[None, None])), None);
+    }
+
+    #[test]
+    fn std_dev_population() {
+        let c = col(&[Some(2.0), Some(4.0), Some(4.0), Some(4.0), Some(5.0), Some(5.0), Some(7.0), Some(9.0)]);
+        assert!((std_dev(&c).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&col(&[Some(3.0)])), Some(0.0));
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&col(&[Some(3.0), Some(1.0), Some(2.0)])), Some(2.0));
+        assert_eq!(median(&col(&[Some(4.0), Some(1.0), Some(2.0), Some(3.0)])), Some(2.5));
+        assert_eq!(median(&col(&[])), None);
+    }
+
+    #[test]
+    fn quantiles_linear() {
+        let c = col(&[Some(1.0), Some(2.0), Some(3.0), Some(4.0)]);
+        assert_eq!(quantile(&c, 0.0), Some(1.0));
+        assert_eq!(quantile(&c, 1.0), Some(4.0));
+        assert_eq!(quantile(&c, 0.5), Some(2.5));
+        assert!((quantile(&c, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_mode_ties_prefer_smaller() {
+        assert_eq!(numeric_mode(&col(&[Some(1.0), Some(2.0), Some(2.0), Some(3.0)])), Some(2.0));
+        assert_eq!(numeric_mode(&col(&[Some(2.0), Some(1.0)])), Some(1.0));
+        assert_eq!(numeric_mode(&col(&[None])), None);
+    }
+
+    #[test]
+    fn categorical_mode_first_seen_tiebreak() {
+        let mut c = Column::new(FieldMeta::cat_feature("c"));
+        for v in ["b", "a", "a", "b"] {
+            c.push(Value::from(v)).unwrap();
+        }
+        // tie between a and b -> first interned ("b", id 0)
+        let id = categorical_mode(&c).unwrap();
+        assert_eq!(c.dict_str(id), Some("b"));
+        c.push(Value::from("a")).unwrap();
+        let id = categorical_mode(&c).unwrap();
+        assert_eq!(c.dict_str(id), Some("a"));
+    }
+
+    #[test]
+    fn quantile_sorted_degenerate() {
+        assert_eq!(quantile_sorted(&[5.0], 0.7), 5.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! A single table cell.
+
+use std::fmt;
+
+/// One cell of a [`crate::Table`].
+///
+/// CleanML datasets contain two primitive kinds — numbers and
+/// categorical/free-text strings — plus explicitly missing cells. `Value` is
+/// the owned, dynamically-typed representation used at the API boundary
+/// (pushing rows, reading cells, CSV I/O); internally columns store values
+/// in typed, interned form (see [`crate::ColumnData`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A missing cell (empty CSV field, `NaN` placeholder, deleted value).
+    Null,
+    /// A numeric cell. `NaN` is normalized to [`Value::Null`] on insertion.
+    Num(f64),
+    /// A categorical or free-text cell.
+    Str(String),
+}
+
+impl Value {
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the numeric payload if this is a [`Value::Num`].
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the value's kind, used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Num(_) => "numeric",
+            Value::Str(_) => "categorical",
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        if x.is_nan() {
+            Value::Null
+        } else {
+            Value::Num(x)
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Num(x as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Num(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_becomes_null() {
+        assert_eq!(Value::from(f64::NAN), Value::Null);
+        assert!(Value::from(f64::NAN).is_null());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3.5), Value::Num(3.5));
+        assert_eq!(Value::from(2i64), Value::Num(2.0));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(None::<f64>), Value::Null);
+        assert_eq!(Value::from(Some(1.0)), Value::Num(1.0));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Num(2.0).as_num(), Some(2.0));
+        assert_eq!(Value::Str("a".into()).as_str(), Some("a"));
+        assert_eq!(Value::Null.as_num(), None);
+        assert_eq!(Value::Num(2.0).as_str(), None);
+    }
+
+    #[test]
+    fn display_round_trip_like() {
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Num(1.5).to_string(), "1.5");
+        assert_eq!(Value::Str("abc".into()).to_string(), "abc");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the tabular substrate.
+
+use proptest::prelude::*;
+
+use cleanml_dataset::csv::{read_csv, write_csv};
+use cleanml_dataset::{Encoder, FieldMeta, Schema, Table, Value};
+
+/// Strategy: a small mixed-type table with a label column.
+fn arb_table() -> impl Strategy<Value = Table> {
+    let row = (
+        prop::option::of(-1e6f64..1e6),
+        prop::option::of("[a-z]{1,6}"),
+        prop::bool::ANY,
+    );
+    prop::collection::vec(row, 1..40).prop_map(|rows| {
+        let schema = Schema::new(vec![
+            FieldMeta::num_feature("x"),
+            FieldMeta::cat_feature("c"),
+            FieldMeta::label("y"),
+        ]);
+        let mut t = Table::new(schema);
+        for (x, c, y) in rows {
+            t.push_row(vec![
+                Value::from(x),
+                Value::from(c),
+                Value::from(if y { "pos" } else { "neg" }),
+            ])
+            .expect("schema matches");
+        }
+        t
+    })
+}
+
+proptest! {
+    /// CSV write → read round-trips every cell (modulo float formatting,
+    /// which `{}` keeps exact for f64).
+    #[test]
+    fn csv_round_trip(t in arb_table()) {
+        let text = write_csv(&t);
+        let back = read_csv(&text).expect("parse");
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        prop_assert_eq!(back.n_columns(), t.n_columns());
+        for r in 0..t.n_rows() {
+            for c in 0..t.n_columns() {
+                let orig = t.get(r, c).expect("cell");
+                let round = back.get(r, c).expect("cell");
+                // numeric column may come back categorical when all values
+                // are missing; compare displays to stay robust
+                prop_assert_eq!(orig.to_string(), round.to_string(), "cell {},{}", r, c);
+            }
+        }
+    }
+
+    /// `gather` then cell-compare agrees with direct indexing.
+    #[test]
+    fn gather_selects_rows(t in arb_table(), seed in any::<u64>()) {
+        let n = t.n_rows();
+        let indices: Vec<usize> = (0..n).map(|i| (i.wrapping_mul(seed as usize % 7 + 1)) % n).collect();
+        let g = t.gather(&indices);
+        prop_assert_eq!(g.n_rows(), indices.len());
+        for (new_r, &old_r) in indices.iter().enumerate() {
+            for c in 0..t.n_columns() {
+                prop_assert_eq!(g.get(new_r, c).expect("cell"), t.get(old_r, c).expect("cell"));
+            }
+        }
+    }
+
+    /// Deletion never leaves missing feature cells and never grows the table.
+    #[test]
+    fn deletion_invariants(t in arb_table()) {
+        let d = t.drop_rows_with_missing();
+        prop_assert!(d.n_rows() <= t.n_rows());
+        prop_assert_eq!(d.n_missing_cells(), 0);
+    }
+
+    /// Encoding produces finite features of stable shape, and every label
+    /// index is within range.
+    #[test]
+    fn encoder_output_well_formed(t in arb_table()) {
+        // the encoder requires at least one observed label and feature
+        let complete = t.drop_rows_with_missing();
+        if complete.n_rows() == 0 {
+            return Ok(());
+        }
+        // Declare both classes up front (as the study runner does with
+        // `fit_with_classes`): the deletion-reduced table may have lost a
+        // class that still occurs in the original rows.
+        let classes = ["neg".to_string(), "pos".to_string()];
+        let enc = match Encoder::fit_with_classes(&complete, &classes) {
+            Ok(e) => e,
+            Err(_) => return Ok(()), // e.g. zero observed classes
+        };
+        let m = enc.transform(&complete).expect("transform train");
+        prop_assert_eq!(m.n_rows(), complete.n_rows());
+        prop_assert!(m.data().iter().all(|v| v.is_finite()));
+        prop_assert!(m.labels().iter().all(|&l| l < m.n_classes()));
+        // transforming the *original* table (with missing cells) also works
+        let m2 = enc.transform(&t).expect("transform dirty");
+        prop_assert_eq!(m2.n_rows(), t.n_rows());
+        prop_assert!(m2.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// Split + gather preserves multiset of labels.
+    #[test]
+    fn split_preserves_rows(t in arb_table(), seed in any::<u64>()) {
+        prop_assume!(t.n_rows() >= 2);
+        let (train, test) = t.split(0.3, seed).expect("split");
+        prop_assert_eq!(train.n_rows() + test.n_rows(), t.n_rows());
+        let count = |tab: &Table| {
+            let label = tab.label_index().expect("label");
+            let col = tab.column(label).expect("col");
+            (0..tab.n_rows()).filter(|&r| col.cat_str(r) == Some("pos")).count()
+        };
+        prop_assert_eq!(count(&train) + count(&test), count(&t));
+    }
+}

@@ -1,0 +1,233 @@
+//! Cross-validation and random hyper-parameter search.
+//!
+//! The paper's protocol (§IV-A step 3): "We perform hyper-parameter tunings
+//! using standard random search and 5-fold cross validation." [`SearchBudget`]
+//! controls how faithful (and how expensive) that tuning is; the study
+//! harness exposes quick/standard/full presets.
+
+use cleanml_dataset::split::kfold_indices;
+use cleanml_dataset::FeatureMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::MlError;
+use crate::metrics::Metric;
+use crate::model::{ModelKind, ModelSpec};
+use crate::Result;
+
+/// How much effort to spend on hyper-parameter search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Total candidate configurations evaluated (the first is always the
+    /// family default; the rest are random samples). `1` disables search.
+    pub n_candidates: usize,
+    /// Cross-validation folds used to score each candidate.
+    pub cv_folds: usize,
+}
+
+impl SearchBudget {
+    /// No tuning: defaults scored by a single CV pass (cheapest option that
+    /// still yields a validation score for model selection).
+    pub fn none() -> Self {
+        SearchBudget { n_candidates: 1, cv_folds: 3 }
+    }
+
+    /// Small random search (3 candidates, 3-fold CV).
+    pub fn small() -> Self {
+        SearchBudget { n_candidates: 3, cv_folds: 3 }
+    }
+
+    /// Paper-faithful search (random candidates, 5-fold CV).
+    pub fn paper() -> Self {
+        SearchBudget { n_candidates: 8, cv_folds: 5 }
+    }
+}
+
+/// Outcome of a hyper-parameter search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best hyper-parameters found.
+    pub spec: ModelSpec,
+    /// Mean validation score of the best candidate.
+    pub val_score: f64,
+}
+
+/// Mean validation score of `spec` over `k`-fold cross-validation.
+///
+/// Folds whose training partition is degenerate still train (via the
+/// constant-model fallback), so the returned score is always defined.
+pub fn cross_val_score(
+    spec: &ModelSpec,
+    data: &FeatureMatrix,
+    k: usize,
+    seed: u64,
+    metric: Metric,
+) -> Result<f64> {
+    let n = data.n_rows();
+    if n < 2 {
+        return Err(MlError::TooFewRowsForCv { rows: n, folds: k });
+    }
+    let k = k.clamp(2, n);
+    let folds = kfold_indices(n, k, seed);
+    let mut total = 0.0;
+    let mut used = 0usize;
+    for (fold_id, (train_idx, val_idx)) in folds.iter().enumerate() {
+        if train_idx.is_empty() || val_idx.is_empty() {
+            continue;
+        }
+        let train = data.select_rows(train_idx);
+        let val = data.select_rows(val_idx);
+        let model = spec.fit(&train, seed.wrapping_add(fold_id as u64))?;
+        let preds = model.predict(&val)?;
+        total += metric.score(val.labels(), &preds);
+        used += 1;
+    }
+    if used == 0 {
+        return Err(MlError::TooFewRowsForCv { rows: n, folds: k });
+    }
+    Ok(total / used as f64)
+}
+
+/// Random hyper-parameter search for one model family.
+///
+/// Candidate 0 is the family default; candidates `1..n` are random samples.
+/// Each is scored by [`cross_val_score`]; the best (ties → first seen, i.e.
+/// the default wins exact ties) is returned.
+pub fn random_search(
+    kind: ModelKind,
+    data: &FeatureMatrix,
+    budget: SearchBudget,
+    seed: u64,
+    metric: Metric,
+) -> Result<SearchResult> {
+    let n_candidates = budget.n_candidates.max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+    let mut best: Option<SearchResult> = None;
+    for c in 0..n_candidates {
+        let spec = if c == 0 {
+            ModelSpec::default_for(kind)
+        } else {
+            ModelSpec::sample(kind, &mut rng)
+        };
+        let score = cross_val_score(&spec, data, budget.cv_folds, seed, metric)?;
+        let better = match &best {
+            None => true,
+            Some(b) => score > b.val_score,
+        };
+        if better {
+            best = Some(SearchResult { spec, val_score: score });
+        }
+    }
+    Ok(best.expect("n_candidates >= 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize) -> FeatureMatrix {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let base = if c == 0 { -2.0 } else { 2.0 };
+            let noise = ((i * 13 % 41) as f64 / 41.0 - 0.5) * 1.2;
+            data.push(base + noise);
+            labels.push(c);
+        }
+        FeatureMatrix::from_parts(data, n, 1, labels, 2)
+    }
+
+    #[test]
+    fn cv_score_reasonable_on_separable() {
+        let data = blobs(60);
+        let spec = ModelSpec::default_for(ModelKind::DecisionTree);
+        let score = cross_val_score(&spec, &data, 5, 1, Metric::Accuracy).unwrap();
+        assert!(score > 0.9, "score {score}");
+    }
+
+    #[test]
+    fn cv_deterministic() {
+        let data = blobs(40);
+        let spec = ModelSpec::default_for(ModelKind::RandomForest);
+        let s1 = cross_val_score(&spec, &data, 4, 9, Metric::Accuracy).unwrap();
+        let s2 = cross_val_score(&spec, &data, 4, 9, Metric::Accuracy).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn cv_requires_rows() {
+        let data = blobs(1);
+        let spec = ModelSpec::default_for(ModelKind::Knn);
+        assert!(matches!(
+            cross_val_score(&spec, &data, 5, 0, Metric::Accuracy),
+            Err(MlError::TooFewRowsForCv { .. })
+        ));
+    }
+
+    #[test]
+    fn cv_clamps_folds() {
+        let data = blobs(4);
+        let spec = ModelSpec::default_for(ModelKind::NaiveBayes);
+        // 10 folds on 4 rows clamps to 4
+        let score = cross_val_score(&spec, &data, 10, 0, Metric::Accuracy).unwrap();
+        assert!((0.0..=1.0).contains(&score));
+    }
+
+    #[test]
+    fn search_returns_valid_spec() {
+        let data = blobs(50);
+        let r = random_search(
+            ModelKind::DecisionTree,
+            &data,
+            SearchBudget::small(),
+            3,
+            Metric::Accuracy,
+        )
+        .unwrap();
+        assert_eq!(r.spec.kind(), ModelKind::DecisionTree);
+        assert!(r.val_score > 0.8);
+    }
+
+    #[test]
+    fn search_no_tuning_is_default_spec() {
+        let data = blobs(50);
+        let r = random_search(
+            ModelKind::Knn,
+            &data,
+            SearchBudget::none(),
+            3,
+            Metric::Accuracy,
+        )
+        .unwrap();
+        assert_eq!(r.spec, ModelSpec::default_for(ModelKind::Knn));
+    }
+
+    #[test]
+    fn search_deterministic() {
+        let data = blobs(50);
+        let go = || {
+            random_search(
+                ModelKind::XGBoost,
+                &data,
+                SearchBudget::small(),
+                11,
+                Metric::Accuracy,
+            )
+            .unwrap()
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.val_score, b.val_score);
+    }
+
+    #[test]
+    fn f1_metric_usable() {
+        let data = blobs(50);
+        let spec = ModelSpec::default_for(ModelKind::LogisticRegression);
+        let score =
+            cross_val_score(&spec, &data, 3, 0, Metric::F1 { positive: 1 }).unwrap();
+        assert!(score > 0.8);
+    }
+}

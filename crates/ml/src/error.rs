@@ -1,0 +1,47 @@
+//! Error type shared by all model operations.
+
+use std::fmt;
+
+/// Errors raised while fitting or applying models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Training data had no rows.
+    EmptyTrainingSet,
+    /// Training and prediction matrices disagree on the feature count.
+    DimensionMismatch { expected: usize, got: usize },
+    /// An invalid hyper-parameter value was supplied.
+    InvalidParam { param: &'static str, message: String },
+    /// Cross-validation was asked for more folds than rows.
+    TooFewRowsForCv { rows: usize, folds: usize },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "training set is empty"),
+            MlError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} features but got {got}")
+            }
+            MlError::InvalidParam { param, message } => {
+                write!(f, "invalid value for `{param}`: {message}")
+            }
+            MlError::TooFewRowsForCv { rows, folds } => {
+                write!(f, "cannot run {folds}-fold CV on {rows} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MlError::EmptyTrainingSet.to_string().contains("empty"));
+        let e = MlError::DimensionMismatch { expected: 3, got: 5 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+}

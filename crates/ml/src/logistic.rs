@@ -1,0 +1,280 @@
+//! Multinomial (softmax) logistic regression.
+//!
+//! Full-batch gradient descent on the cross-entropy loss with L2
+//! regularization. Features arrive standardized from the encoder, so a fixed
+//! learning-rate schedule converges reliably; the paper's random search is
+//! mirrored by sampling the regularization strength.
+
+use cleanml_dataset::FeatureMatrix;
+use rand::Rng;
+
+use crate::error::MlError;
+use crate::Result;
+
+/// Hyper-parameters for [`Logistic`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticParams {
+    /// L2 penalty weight (λ).
+    pub l2: f64,
+    /// Initial learning rate; decayed as `lr / (1 + epoch / 50)`.
+    pub lr: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+}
+
+impl Default for LogisticParams {
+    fn default() -> Self {
+        LogisticParams { l2: 1e-3, lr: 0.5, epochs: 120 }
+    }
+}
+
+impl LogisticParams {
+    /// Samples hyper-parameters for random search (λ log-uniform in
+    /// [1e-5, 1], the scikit-learn-style `C` sweep).
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let log_l2 = rng.random_range(-5.0..0.0);
+        LogisticParams { l2: 10f64.powf(log_l2), ..Default::default() }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.l2 >= 0.0) {
+            return Err(MlError::InvalidParam { param: "l2", message: format!("{}", self.l2) });
+        }
+        if !(self.lr > 0.0) {
+            return Err(MlError::InvalidParam { param: "lr", message: format!("{}", self.lr) });
+        }
+        if self.epochs == 0 {
+            return Err(MlError::InvalidParam { param: "epochs", message: "0".into() });
+        }
+        Ok(())
+    }
+}
+
+/// A fitted softmax regression model.
+#[derive(Debug, Clone)]
+pub struct Logistic {
+    /// `n_classes × n_features` weight matrix, row-major by class.
+    weights: Vec<f64>,
+    /// Per-class intercepts.
+    bias: Vec<f64>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+/// Numerically stable in-place softmax.
+pub(crate) fn softmax(logits: &mut [f64]) {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for z in logits.iter_mut() {
+        *z = (*z - max).exp();
+        sum += *z;
+    }
+    for z in logits.iter_mut() {
+        *z /= sum;
+    }
+}
+
+impl Logistic {
+    /// Trains on `data` (features + labels).
+    pub fn fit(params: &LogisticParams, data: &FeatureMatrix) -> Result<Logistic> {
+        params.validate()?;
+        let n = data.n_rows();
+        if n == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let d = data.n_cols();
+        let k = data.n_classes();
+        let mut weights = vec![0.0; k * d];
+        let mut bias = vec![0.0; k];
+
+        let mut probs = vec![0.0; k];
+        let mut grad_w = vec![0.0; k * d];
+        let mut grad_b = vec![0.0; k];
+
+        for epoch in 0..params.epochs {
+            grad_w.iter_mut().for_each(|g| *g = 0.0);
+            grad_b.iter_mut().for_each(|g| *g = 0.0);
+
+            for i in 0..n {
+                let x = data.row(i);
+                for c in 0..k {
+                    let w = &weights[c * d..(c + 1) * d];
+                    probs[c] = bias[c] + dot(w, x);
+                }
+                softmax(&mut probs);
+                let y = data.labels()[i];
+                for c in 0..k {
+                    let err = probs[c] - if c == y { 1.0 } else { 0.0 };
+                    let g = &mut grad_w[c * d..(c + 1) * d];
+                    for (gj, xj) in g.iter_mut().zip(x) {
+                        *gj += err * xj;
+                    }
+                    grad_b[c] += err;
+                }
+            }
+
+            let lr = params.lr / (1.0 + epoch as f64 / 50.0);
+            let scale = lr / n as f64;
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= scale * g + lr * params.l2 * *w;
+            }
+            for (b, g) in bias.iter_mut().zip(&grad_b) {
+                *b -= scale * g;
+            }
+        }
+
+        Ok(Logistic { weights, bias, n_features: d, n_classes: k })
+    }
+
+    /// Per-class probabilities for each row (row-major `n × k`).
+    pub fn predict_proba(&self, data: &FeatureMatrix) -> Result<Vec<f64>> {
+        if data.n_cols() != self.n_features {
+            return Err(MlError::DimensionMismatch { expected: self.n_features, got: data.n_cols() });
+        }
+        let n = data.n_rows();
+        let k = self.n_classes;
+        let d = self.n_features;
+        let mut out = vec![0.0; n * k];
+        for i in 0..n {
+            let x = data.row(i);
+            let row = &mut out[i * k..(i + 1) * k];
+            for c in 0..k {
+                row[c] = self.bias[c] + dot(&self.weights[c * d..(c + 1) * d], x);
+            }
+            softmax(row);
+        }
+        Ok(out)
+    }
+
+    /// Most probable class per row.
+    pub fn predict(&self, data: &FeatureMatrix) -> Result<Vec<usize>> {
+        let probs = self.predict_proba(data)?;
+        Ok(argmax_rows(&probs, self.n_classes))
+    }
+
+    /// Weight vector for `class` (exposed for NaCL and tests).
+    pub fn class_weights(&self, class: usize) -> &[f64] {
+        &self.weights[class * self.n_features..(class + 1) * self.n_features]
+    }
+}
+
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Row-wise argmax over a flat `n × k` probability matrix.
+pub(crate) fn argmax_rows(probs: &[f64], k: usize) -> Vec<usize> {
+    probs
+        .chunks_exact(k)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("probs are finite"))
+                .map(|(i, _)| i)
+                .expect("k > 0")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    /// Linearly separable two-class blob.
+    pub(crate) fn blobs(n_per: usize, sep: f64) -> FeatureMatrix {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        let mut s = 1u64;
+        let mut next = || {
+            // xorshift for test determinism without pulling rand here
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f64 / 1000.0 - 0.5
+        };
+        for i in 0..2 * n_per {
+            let c = i % 2;
+            let offset = if c == 0 { -sep } else { sep };
+            data.push(offset + next());
+            data.push(offset + next());
+            labels.push(c);
+        }
+        FeatureMatrix::from_parts(data, 2 * n_per, 2, labels, 2)
+    }
+
+    #[test]
+    fn separable_data_learned() {
+        let data = blobs(50, 2.0);
+        let model = Logistic::fit(&LogisticParams::default(), &data).unwrap();
+        let preds = model.predict(&data).unwrap();
+        assert!(accuracy(data.labels(), &preds) > 0.95);
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let data = blobs(20, 1.0);
+        let model = Logistic::fit(&LogisticParams::default(), &data).unwrap();
+        let probs = model.predict_proba(&data).unwrap();
+        for row in probs.chunks_exact(2) {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let data = blobs(50, 2.0);
+        let loose = Logistic::fit(&LogisticParams { l2: 1e-6, ..Default::default() }, &data).unwrap();
+        let tight = Logistic::fit(&LogisticParams { l2: 0.5, ..Default::default() }, &data).unwrap();
+        let norm = |m: &Logistic| m.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&tight) < norm(&loose));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let data = blobs(10, 1.0);
+        let model = Logistic::fit(&LogisticParams::default(), &data).unwrap();
+        let other = FeatureMatrix::from_parts(vec![0.0; 5 * 3], 5, 3, vec![0; 5], 2);
+        assert!(matches!(
+            model.predict(&other),
+            Err(MlError::DimensionMismatch { expected: 2, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let data = blobs(5, 1.0);
+        assert!(Logistic::fit(&LogisticParams { l2: -1.0, ..Default::default() }, &data).is_err());
+        assert!(Logistic::fit(&LogisticParams { lr: 0.0, ..Default::default() }, &data).is_err());
+        assert!(Logistic::fit(&LogisticParams { epochs: 0, ..Default::default() }, &data).is_err());
+    }
+
+    #[test]
+    fn empty_training_rejected() {
+        let data = FeatureMatrix::from_parts(vec![], 0, 0, vec![], 2);
+        assert!(matches!(
+            Logistic::fit(&LogisticParams::default(), &data),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn softmax_stability() {
+        let mut big = [1000.0, 1001.0];
+        softmax(&mut big);
+        assert!(big.iter().all(|p| p.is_finite()));
+        assert!((big.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn param_sampling_in_range() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let p = LogisticParams::sample(&mut rng);
+            assert!(p.l2 > 0.0 && p.l2 <= 1.0);
+        }
+    }
+}

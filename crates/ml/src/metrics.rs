@@ -1,0 +1,160 @@
+//! Classification metrics.
+//!
+//! CleanML scores every experiment with **accuracy**, switching to **F1**
+//! on class-imbalanced datasets (paper §IV-A step 4). F1 is computed for a
+//! designated positive class — in the study harness this is the minority
+//! class of the full dataset, matching the convention of scoring the rare
+//! event in imbalanced problems (e.g. default in the Credit dataset).
+
+/// Fraction of predictions equal to the true label.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    assert!(!y_true.is_empty(), "empty evaluation set");
+    let correct = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// `n_classes × n_classes` confusion matrix `m[true][pred]`.
+pub fn confusion_matrix(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Precision / recall / F1 for one class treated as positive.
+/// All three are 0.0 when undefined (no predicted / no actual positives),
+/// matching scikit-learn's `zero_division=0`.
+pub fn precision_recall_f1(y_true: &[usize], y_pred: &[usize], positive: usize) -> (f64, f64, f64) {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        match (t == positive, p == positive) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
+    let recall = if tp + fn_ > 0 { tp as f64 / (tp + fn_) as f64 } else { 0.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    (precision, recall, f1)
+}
+
+/// F1 score of the designated positive class.
+pub fn f1_binary(y_true: &[usize], y_pred: &[usize], positive: usize) -> f64 {
+    precision_recall_f1(y_true, y_pred, positive).2
+}
+
+/// Unweighted mean of per-class F1 scores.
+pub fn macro_f1(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+    assert!(n_classes > 0, "need at least one class");
+    let sum: f64 = (0..n_classes)
+        .map(|c| precision_recall_f1(y_true, y_pred, c).2)
+        .sum();
+    sum / n_classes as f64
+}
+
+/// The scoring rule used by an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Plain classification accuracy.
+    Accuracy,
+    /// F1 of the given positive class (used for imbalanced datasets).
+    F1 { positive: usize },
+}
+
+impl Metric {
+    /// Scores predictions against ground truth.
+    pub fn score(self, y_true: &[usize], y_pred: &[usize]) -> f64 {
+        match self {
+            Metric::Accuracy => accuracy(y_true, y_pred),
+            Metric::F1 { positive } => f1_binary(y_true, y_pred, positive),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Accuracy => "accuracy",
+            Metric::F1 { .. } => "f1",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_checked() {
+        accuracy(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn confusion() {
+        let m = confusion_matrix(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(m, vec![vec![1, 1], vec![0, 2]]);
+    }
+
+    #[test]
+    fn prf_hand_example() {
+        // positives: true = {0,1}, pred = {1,2} -> tp=1, fp=1, fn=1
+        let y_true = [1, 1, 0, 0];
+        let y_pred = [0, 1, 1, 0];
+        let (p, r, f1) = precision_recall_f1(&y_true, &y_pred, 1);
+        assert_eq!(p, 0.5);
+        assert_eq!(r, 0.5);
+        assert_eq!(f1, 0.5);
+    }
+
+    #[test]
+    fn f1_undefined_cases() {
+        // no predicted positives
+        assert_eq!(f1_binary(&[1, 0], &[0, 0], 1), 0.0);
+        // no actual positives
+        assert_eq!(f1_binary(&[0, 0], &[1, 1], 1), 0.0);
+        // perfect
+        assert_eq!(f1_binary(&[1, 0, 1], &[1, 0, 1], 1), 1.0);
+    }
+
+    #[test]
+    fn macro_f1_averages() {
+        let y_true = [0, 0, 1, 1];
+        let y_pred = [0, 0, 1, 0];
+        let f0 = f1_binary(&y_true, &y_pred, 0);
+        let f1c = f1_binary(&y_true, &y_pred, 1);
+        assert!((macro_f1(&y_true, &y_pred, 2) - (f0 + f1c) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let y_true = [0, 1, 1, 0];
+        let y_pred = [0, 1, 0, 0];
+        assert_eq!(Metric::Accuracy.score(&y_true, &y_pred), 0.75);
+        assert_eq!(
+            Metric::F1 { positive: 1 }.score(&y_true, &y_pred),
+            f1_binary(&y_true, &y_pred, 1)
+        );
+        assert_eq!(Metric::Accuracy.name(), "accuracy");
+    }
+}

@@ -1,0 +1,151 @@
+//! Validation-based model selection — the paper's R2 step.
+//!
+//! "We train all seven ML models and select the model with the best
+//! validation accuracy from cross validation" (paper §IV-A, modification for
+//! s2). [`select_best_model`] runs the per-family hyper-parameter search and
+//! keeps the family whose best candidate validates highest, returning both
+//! the winner and the per-family leaderboard (Table 8 in the paper shows
+//! exactly such a leaderboard).
+
+use cleanml_dataset::FeatureMatrix;
+
+use crate::cv::{random_search, SearchBudget, SearchResult};
+use crate::metrics::Metric;
+use crate::model::{FittedModel, ModelKind, ModelSpec};
+use crate::Result;
+
+/// Winner of a model-selection run.
+#[derive(Debug, Clone)]
+pub struct SelectedModel {
+    /// Winning hyper-parameters.
+    pub spec: ModelSpec,
+    /// Its mean validation score.
+    pub val_score: f64,
+    /// Model fitted on the full training data with the winning spec.
+    pub model: FittedModel,
+    /// Per-family results, in the order of `kinds` (the leaderboard).
+    pub leaderboard: Vec<(ModelKind, f64)>,
+}
+
+/// Selects the best model family + hyper-parameters by validation score and
+/// refits it on all of `data`.
+///
+/// Ties are broken in favour of the family listed first in `kinds`, keeping
+/// the selection deterministic.
+pub fn select_best_model(
+    kinds: &[ModelKind],
+    data: &FeatureMatrix,
+    budget: SearchBudget,
+    seed: u64,
+    metric: Metric,
+) -> Result<SelectedModel> {
+    assert!(!kinds.is_empty(), "need at least one model family");
+    let mut best: Option<(SearchResult, usize)> = None;
+    let mut leaderboard = Vec::with_capacity(kinds.len());
+    for (i, &kind) in kinds.iter().enumerate() {
+        let result = random_search(kind, data, budget, seed, metric)?;
+        leaderboard.push((kind, result.val_score));
+        let better = match &best {
+            None => true,
+            Some((b, _)) => result.val_score > b.val_score,
+        };
+        if better {
+            best = Some((result, i));
+        }
+    }
+    let (winner, _) = best.expect("kinds non-empty");
+    let model = winner.spec.fit(data, seed)?;
+    Ok(SelectedModel { spec: winner.spec, val_score: winner.val_score, model, leaderboard })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PAPER_MODELS;
+
+    fn xor_data(n: usize) -> FeatureMatrix {
+        // Not linearly separable: tree-family models should win over LR/NB.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let a = (i / 2) % 2;
+            let b = i % 2;
+            let jitter = ((i * 17 % 29) as f64 / 29.0 - 0.5) * 0.3;
+            data.push(a as f64 + jitter);
+            data.push(b as f64 - jitter);
+            labels.push(a ^ b);
+        }
+        FeatureMatrix::from_parts(data, n, 2, labels, 2)
+    }
+
+    #[test]
+    fn selects_a_tree_family_on_xor() {
+        let data = xor_data(120);
+        let sel = select_best_model(
+            &PAPER_MODELS,
+            &data,
+            SearchBudget::none(),
+            3,
+            Metric::Accuracy,
+        )
+        .unwrap();
+        assert_eq!(sel.leaderboard.len(), 7);
+        // The winner must be one of the nonlinear families.
+        assert!(
+            !matches!(
+                sel.spec.kind(),
+                ModelKind::LogisticRegression | ModelKind::NaiveBayes
+            ),
+            "winner was {}",
+            sel.spec.kind()
+        );
+        assert!(sel.val_score > 0.8);
+        // The fitted model predicts.
+        assert_eq!(sel.model.predict(&data).unwrap().len(), 120);
+    }
+
+    #[test]
+    fn leaderboard_contains_winner_score() {
+        let data = xor_data(60);
+        let sel = select_best_model(
+            &[ModelKind::DecisionTree, ModelKind::NaiveBayes],
+            &data,
+            SearchBudget::none(),
+            0,
+            Metric::Accuracy,
+        )
+        .unwrap();
+        let max = sel
+            .leaderboard
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(sel.val_score, max);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = xor_data(60);
+        let go = || {
+            select_best_model(
+                &PAPER_MODELS,
+                &data,
+                SearchBudget::none(),
+                5,
+                Metric::Accuracy,
+            )
+            .unwrap()
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.leaderboard, b.leaderboard);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model family")]
+    fn empty_kinds_rejected() {
+        let data = xor_data(10);
+        let _ = select_best_model(&[], &data, SearchBudget::none(), 0, Metric::Accuracy);
+    }
+}

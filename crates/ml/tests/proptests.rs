@@ -1,0 +1,84 @@
+//! Property-based tests for the classifiers: every family must produce
+//! valid probability distributions and in-range predictions on arbitrary
+//! (well-formed) training data, including degenerate shapes.
+
+use proptest::prelude::*;
+
+use cleanml_dataset::FeatureMatrix;
+use cleanml_ml::{ModelKind, ModelSpec, PAPER_MODELS};
+
+/// Strategy: a small random binary-classification matrix.
+fn arb_matrix() -> impl Strategy<Value = FeatureMatrix> {
+    (2usize..30, 1usize..4).prop_flat_map(|(n, d)| {
+        (
+            prop::collection::vec(-5.0f64..5.0, n * d),
+            prop::collection::vec(0usize..2, n),
+        )
+            .prop_map(move |(data, labels)| FeatureMatrix::from_parts(data, n, d, labels, 2))
+    })
+}
+
+/// Cheap model families exercised per proptest case (the full seven run in
+/// the unit tests; proptest multiplies cases, so keep the hot loop small).
+const FAST_KINDS: [ModelKind; 4] = [
+    ModelKind::DecisionTree,
+    ModelKind::NaiveBayes,
+    ModelKind::Knn,
+    ModelKind::LogisticRegression,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Probabilities are valid distributions; predictions are in range and
+    /// consistent with the argmax of the probabilities.
+    #[test]
+    fn predictions_well_formed(m in arb_matrix(), seed in any::<u64>()) {
+        for kind in FAST_KINDS {
+            let model = ModelSpec::default_for(kind).fit(&m, seed).expect("fit");
+            let preds = model.predict(&m).expect("predict");
+            let probs = model.predict_proba(&m).expect("proba");
+            prop_assert_eq!(preds.len(), m.n_rows());
+            prop_assert_eq!(probs.len(), m.n_rows() * 2);
+            for (i, row) in probs.chunks_exact(2).enumerate() {
+                prop_assert!(row.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+                    "{kind}: bad probs {row:?}");
+                let sum: f64 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "{kind}: sum {sum}");
+                prop_assert!(preds[i] < 2, "{kind}: class out of range");
+            }
+        }
+    }
+
+    /// Fitting is deterministic given the seed.
+    #[test]
+    fn fit_deterministic(m in arb_matrix(), seed in any::<u64>()) {
+        for kind in [ModelKind::RandomForest, ModelKind::Mlp] {
+            let a = ModelSpec::default_for(kind).fit(&m, seed).expect("fit");
+            let b = ModelSpec::default_for(kind).fit(&m, seed).expect("fit");
+            prop_assert_eq!(a.predict_proba(&m).expect("p"), b.predict_proba(&m).expect("p"));
+        }
+    }
+
+    /// Perfectly separated 1-D data is learned exactly by every family.
+    #[test]
+    fn separable_data_is_learned(gap in 3.0f64..20.0, n_per in 4usize..15) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per {
+            data.push(-gap - i as f64 * 0.1);
+            labels.push(0);
+        }
+        for i in 0..n_per {
+            data.push(gap + i as f64 * 0.1);
+            labels.push(1);
+        }
+        let m = FeatureMatrix::from_parts(data, 2 * n_per, 1, labels, 2);
+        for kind in PAPER_MODELS {
+            let model = ModelSpec::default_for(kind).fit(&m, 7).expect("fit");
+            let preds = model.predict(&m).expect("predict");
+            let acc = cleanml_ml::accuracy(m.labels(), &preds);
+            prop_assert!(acc > 0.99, "{kind} failed separable data: {acc}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Small slice statistics used by the t-test and analyses.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased (n-1) sample variance; `None` with fewer than two values.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Unbiased sample standard deviation; `None` with fewer than two values.
+pub fn sample_std(xs: &[f64]) -> Option<f64> {
+    sample_variance(xs).map(f64::sqrt)
+}
+
+/// Standard error of the mean; `None` with fewer than two values.
+pub fn standard_error(xs: &[f64]) -> Option<f64> {
+    sample_std(xs).map(|s| s / (xs.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_unbiased() {
+        // sample variance of [2,4,4,4,5,5,7,9] is 32/7
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((sample_variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(sample_variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn std_and_sem() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let sd = sample_std(&xs).unwrap();
+        assert!((sd * sd - sample_variance(&xs).unwrap()).abs() < 1e-12);
+        assert!((standard_error(&xs).unwrap() - sd / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's three-valued experiment outcome.
+//!
+//! CleanML summarizes every experiment with a flag (paper §III-A):
+//! **P** — cleaning had a statistically significant positive impact,
+//! **N** — significant negative impact, **S** — insignificant. The flag is
+//! derived from the three paired t-tests (§IV-B):
+//!
+//! 1. `p0 >= α` → **S**
+//! 2. `p0 < α && p1 < α` → **P**
+//! 3. `p0 < α && p2 < α` → **N**
+//!
+//! Because the t distribution is symmetric, a significant two-tailed test
+//! guarantees that exactly one of the one-tailed tests is significant, so the
+//! three rules are exhaustive.
+
+use crate::ttest::PairedTTest;
+use std::fmt;
+
+/// Impact of cleaning on model performance for one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Flag {
+    /// Cleaning significantly improved the metric.
+    Positive,
+    /// No significant difference.
+    Insignificant,
+    /// Cleaning significantly degraded the metric.
+    Negative,
+}
+
+impl Flag {
+    /// Single-letter form used in the paper's tables.
+    pub fn letter(self) -> char {
+        match self {
+            Flag::Positive => 'P',
+            Flag::Insignificant => 'S',
+            Flag::Negative => 'N',
+        }
+    }
+}
+
+impl fmt::Display for Flag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Derives the flag from the three p-values at significance level `alpha`.
+pub fn flag_from_pvalues(p_two: f64, p_upper: f64, p_lower: f64, alpha: f64) -> Flag {
+    if p_two >= alpha {
+        Flag::Insignificant
+    } else if p_upper < alpha {
+        Flag::Positive
+    } else if p_lower < alpha {
+        Flag::Negative
+    } else {
+        // Unreachable for a symmetric test statistic; kept as a safe default
+        // so numerical edge cases degrade to "insignificant".
+        Flag::Insignificant
+    }
+}
+
+/// Derives the flag directly from a [`PairedTTest`].
+pub fn flag_from_tests(t: &PairedTTest, alpha: f64) -> Flag {
+    flag_from_pvalues(t.p_two, t.p_upper, t.p_lower, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ttest::paired_t_test;
+    use crate::ALPHA;
+
+    #[test]
+    fn rule_table() {
+        assert_eq!(flag_from_pvalues(0.20, 0.10, 0.90, ALPHA), Flag::Insignificant);
+        assert_eq!(flag_from_pvalues(0.01, 0.005, 0.995, ALPHA), Flag::Positive);
+        assert_eq!(flag_from_pvalues(0.01, 0.995, 0.005, ALPHA), Flag::Negative);
+        // boundary: p0 == alpha is insignificant (paper uses strict <)
+        assert_eq!(flag_from_pvalues(0.05, 0.01, 0.99, ALPHA), Flag::Insignificant);
+    }
+
+    #[test]
+    fn example_4_2_from_paper() {
+        // p0 = 3.82e-17, p1 = 1.91e-17, p2 = 1 -> "P"
+        assert_eq!(flag_from_pvalues(3.82e-17, 1.91e-17, 1.0, ALPHA), Flag::Positive);
+    }
+
+    #[test]
+    fn end_to_end_with_ttest() {
+        let before = [0.60, 0.61, 0.62, 0.59, 0.61, 0.60];
+        let after = [0.70, 0.72, 0.69, 0.71, 0.73, 0.70];
+        let t = paired_t_test(&after, &before).unwrap();
+        assert_eq!(flag_from_tests(&t, ALPHA), Flag::Positive);
+        let t = paired_t_test(&before, &after).unwrap();
+        assert_eq!(flag_from_tests(&t, ALPHA), Flag::Negative);
+        let noisy_a = [0.60, 0.72, 0.58, 0.71, 0.61];
+        let noisy_b = [0.62, 0.69, 0.60, 0.70, 0.63];
+        let t = paired_t_test(&noisy_a, &noisy_b).unwrap();
+        assert_eq!(flag_from_tests(&t, ALPHA), Flag::Insignificant);
+    }
+
+    #[test]
+    fn letters() {
+        assert_eq!(Flag::Positive.letter(), 'P');
+        assert_eq!(Flag::Insignificant.letter(), 'S');
+        assert_eq!(Flag::Negative.letter(), 'N');
+        assert_eq!(Flag::Positive.to_string(), "P");
+    }
+}

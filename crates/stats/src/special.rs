@@ -1,0 +1,195 @@
+//! Special functions needed for the Student-t distribution.
+//!
+//! Implemented from scratch (no external math crates): the Lanczos
+//! approximation for `ln Γ(x)` and the regularized incomplete beta function
+//! `I_x(a, b)` via the continued-fraction expansion with modified Lentz
+//! evaluation — the standard numerical-recipes approach, accurate to well
+//! below `1e-10` over the parameter ranges used by t-tests.
+
+/// Lanczos coefficients (g = 7, n = 9), double precision.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// # Panics
+/// Panics if `x <= 0` (reflection is not needed for t-test parameters).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `x ∈ [0, 1]`.
+///
+/// Uses the continued fraction of the incomplete beta with the symmetry
+/// relation `I_x(a,b) = 1 - I_{1-x}(b,a)` to stay in the rapidly-converging
+/// region.
+pub fn betainc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "betainc requires a,b > 0 (a={a}, b={b})");
+    assert!((0.0..=1.0).contains(&x), "betainc requires x in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1-x)^b / (a B(a,b)).
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() * beta_cf(a, b, x) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x) / b).clamp(0.0, 1.0)
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3.0e-14;
+    const TINY: f64 = 1.0e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=sqrt(pi)
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x)
+        for &x in &[0.3, 1.7, 4.2, 9.9, 25.0] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-10, "x={x}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn betainc_boundaries() {
+        assert_eq!(betainc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betainc(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn betainc_symmetry() {
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.7), (10.0, 2.5, 0.2)] {
+            let lhs = betainc(a, b, x);
+            let rhs = 1.0 - betainc(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-12, "({a},{b},{x}): {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn betainc_uniform_case() {
+        // I_x(1,1) = x
+        for &x in &[0.1, 0.35, 0.62, 0.99] {
+            assert!((betainc(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn betainc_half_half() {
+        // I_x(1/2,1/2) = (2/pi) asin(sqrt(x))
+        for &x in &[0.1f64, 0.5, 0.9] {
+            let expected = 2.0 / std::f64::consts::PI * x.sqrt().asin();
+            assert!((betainc(0.5, 0.5, x) - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn betainc_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 / 100.0;
+            let v = betainc(3.0, 7.0, x);
+            assert!(v >= prev, "not monotone at x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a,b > 0")]
+    fn betainc_rejects_bad_params() {
+        betainc(0.0, 1.0, 0.5);
+    }
+}

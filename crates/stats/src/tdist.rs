@@ -1,0 +1,119 @@
+//! Student-t distribution built on the incomplete beta function.
+
+use crate::special::betainc;
+
+/// CDF of the Student-t distribution with `df` degrees of freedom,
+/// `P(T <= t)`.
+///
+/// Uses the identity `P(T <= t) = 1 - I_{ν/(ν+t²)}(ν/2, 1/2) / 2` for
+/// `t >= 0` and symmetry for `t < 0`.
+///
+/// # Panics
+/// Panics if `df <= 0`.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+    if t.is_nan() {
+        return f64::NAN;
+    }
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    let tail = 0.5 * betainc(df / 2.0, 0.5, x);
+    if t > 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Survival function `P(T >= t)`.
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    1.0 - student_t_cdf(t, df)
+}
+
+/// Two-sided p-value `P(|T| >= |t|)`.
+pub fn student_t_two_sided(t: f64, df: f64) -> f64 {
+    if t.is_nan() {
+        return f64::NAN;
+    }
+    (2.0 * student_t_sf(t.abs(), df)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from scipy.stats.t.cdf.
+    #[test]
+    fn cdf_reference_values() {
+        let cases = [
+            // (t, df, expected cdf)
+            (0.0, 5.0, 0.5),
+            (1.0, 1.0, 0.75),
+            (2.0, 10.0, 0.963_305_680_8),
+            (-2.0, 10.0, 0.036_694_319_2),
+            (1.812_461, 10.0, 0.95), // t_{0.95,10}
+            (2.570_582, 5.0, 0.975), // t_{0.975,5}
+            (1.644_854, 1e6, 0.95),  // approaches normal for large df
+        ];
+        for (t, df, want) in cases {
+            let got = student_t_cdf(t, df);
+            assert!((got - want).abs() < 1e-6, "cdf({t},{df}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for &t in &[0.5, 1.3, 2.7, 4.4] {
+            for &df in &[1.0, 4.0, 19.0, 120.0] {
+                let a = student_t_cdf(t, df);
+                let b = student_t_cdf(-t, df);
+                assert!((a + b - 1.0).abs() < 1e-12, "t={t} df={df}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_sided_matches_tails() {
+        let t = 2.2;
+        let df = 19.0;
+        let p = student_t_two_sided(t, df);
+        let manual = student_t_sf(t, df) + student_t_cdf(-t, df);
+        assert!((p - manual).abs() < 1e-12);
+        // one-tailed p is exactly half of two-tailed (symmetric distribution,
+        // the property the paper's three-test procedure relies on, §IV-B)
+        assert!((student_t_sf(t, df) - p / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_t_saturates() {
+        assert!(student_t_cdf(60.0, 19.0) > 1.0 - 1e-12);
+        assert!(student_t_cdf(-60.0, 19.0) < 1e-12);
+        assert!(student_t_two_sided(1e3, 19.0) >= 0.0);
+    }
+
+    #[test]
+    fn monotone_in_t() {
+        let df = 7.0;
+        let mut prev = 0.0;
+        for i in -50..=50 {
+            let t = i as f64 / 5.0;
+            let c = student_t_cdf(t, df);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn rejects_bad_df() {
+        student_t_cdf(1.0, 0.0);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(student_t_cdf(f64::NAN, 5.0).is_nan());
+        assert!(student_t_two_sided(f64::NAN, 5.0).is_nan());
+    }
+}

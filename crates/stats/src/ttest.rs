@@ -1,0 +1,232 @@
+//! The paired-sample t-test, run three ways.
+//!
+//! CleanML compares a metric measured *after* cleaning with the same metric
+//! *before* cleaning on the same 20 train/test splits (paper §IV-B).
+//! Because the observations are paired, the test statistic is computed on
+//! the per-split differences `d_i = after_i - before_i`:
+//!
+//! ```text
+//! t = mean(d) / (std(d) / sqrt(n))          with df = n - 1
+//! ```
+//!
+//! Three hypotheses are tested simultaneously:
+//!
+//! | test        | null            | alternative       | p-value  |
+//! |-------------|-----------------|-------------------|----------|
+//! | two-tailed  | `µ_d = 0`       | `µ_d ≠ 0`         | `p0`     |
+//! | upper-tailed| `µ_d ≤ 0`       | `µ_d > 0`         | `p1`     |
+//! | lower-tailed| `µ_d ≥ 0`       | `µ_d < 0`         | `p2`     |
+//!
+//! The paper's flag rule consumes all three (see [`crate::flag`]).
+
+use crate::descriptive;
+use crate::tdist::{student_t_cdf, student_t_sf, student_t_two_sided};
+use std::fmt;
+
+/// Result of a paired-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedTTest {
+    /// Number of pairs.
+    pub n: usize,
+    /// Mean of the differences (`after - before`).
+    pub mean_diff: f64,
+    /// t statistic; `±∞` when the differences have zero variance but a
+    /// nonzero mean (an exactly-constant improvement/regression).
+    pub t_stat: f64,
+    /// Degrees of freedom (`n - 1`).
+    pub df: f64,
+    /// Two-tailed p-value (`H0: µ_d = 0`).
+    pub p_two: f64,
+    /// Upper-tailed p-value (`H0: µ_d ≤ 0`).
+    pub p_upper: f64,
+    /// Lower-tailed p-value (`H0: µ_d ≥ 0`).
+    pub p_lower: f64,
+}
+
+/// Errors from [`paired_t_test`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TTestError {
+    /// Fewer than two pairs — the t statistic is undefined.
+    TooFewPairs(usize),
+    /// The two samples have different lengths and cannot be paired.
+    LengthMismatch { after: usize, before: usize },
+    /// A non-finite metric value was supplied.
+    NonFinite,
+}
+
+impl fmt::Display for TTestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TTestError::TooFewPairs(n) => write!(f, "paired t-test needs >= 2 pairs, got {n}"),
+            TTestError::LengthMismatch { after, before } => {
+                write!(f, "cannot pair samples of length {after} and {before}")
+            }
+            TTestError::NonFinite => write!(f, "samples contain non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for TTestError {}
+
+/// Runs the paired-sample t-test on `(after, before)` pairs.
+///
+/// Degenerate zero-variance cases are resolved deterministically rather than
+/// erroring, because they do occur in practice (e.g. a cleaning method that
+/// changes nothing, so every difference is exactly 0.0):
+///
+/// * all differences zero → `t = 0`, `p0 = 1`, `p1 = p2 = 1` (clearly
+///   insignificant);
+/// * constant nonzero difference → `t = ±∞`, the p-values saturate at 0/1 in
+///   the direction of the difference (an exactly reproducible effect).
+pub fn paired_t_test(after: &[f64], before: &[f64]) -> Result<PairedTTest, TTestError> {
+    if after.len() != before.len() {
+        return Err(TTestError::LengthMismatch { after: after.len(), before: before.len() });
+    }
+    if after.len() < 2 {
+        return Err(TTestError::TooFewPairs(after.len()));
+    }
+    if after.iter().chain(before.iter()).any(|x| !x.is_finite()) {
+        return Err(TTestError::NonFinite);
+    }
+
+    let diffs: Vec<f64> = after.iter().zip(before).map(|(a, b)| a - b).collect();
+    let n = diffs.len();
+    let df = (n - 1) as f64;
+    let mean_diff = descriptive::mean(&diffs).expect("n >= 2");
+    let sd = descriptive::sample_std(&diffs).expect("n >= 2");
+
+    if sd == 0.0 {
+        return Ok(if mean_diff == 0.0 {
+            PairedTTest { n, mean_diff, t_stat: 0.0, df, p_two: 1.0, p_upper: 1.0, p_lower: 1.0 }
+        } else if mean_diff > 0.0 {
+            PairedTTest {
+                n,
+                mean_diff,
+                t_stat: f64::INFINITY,
+                df,
+                p_two: 0.0,
+                p_upper: 0.0,
+                p_lower: 1.0,
+            }
+        } else {
+            PairedTTest {
+                n,
+                mean_diff,
+                t_stat: f64::NEG_INFINITY,
+                df,
+                p_two: 0.0,
+                p_upper: 1.0,
+                p_lower: 0.0,
+            }
+        });
+    }
+
+    let t = mean_diff / (sd / (n as f64).sqrt());
+    Ok(PairedTTest {
+        n,
+        mean_diff,
+        t_stat: t,
+        df,
+        p_two: student_t_two_sided(t, df),
+        p_upper: student_t_sf(t, df),
+        p_lower: student_t_cdf(t, df),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_improvement_detected() {
+        // Paper Table 10 style: D clearly above B.
+        let before = [0.632, 0.631, 0.634, 0.638, 0.629, 0.632, 0.630, 0.635];
+        let after = [0.657, 0.674, 0.668, 0.676, 0.669, 0.668, 0.671, 0.660];
+        let t = paired_t_test(&after, &before).unwrap();
+        assert!(t.mean_diff > 0.0);
+        assert!(t.p_two < 1e-4);
+        assert!(t.p_upper < 1e-4);
+        assert!(t.p_lower > 0.999);
+        // symmetric distribution: one-tailed = half of two-tailed
+        assert!((t.p_upper - t.p_two / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swapping_sides_negates() {
+        let a = [1.0, 2.0, 3.5, 2.2, 1.9];
+        let b = [0.5, 2.5, 3.0, 1.0, 1.5];
+        let ab = paired_t_test(&a, &b).unwrap();
+        let ba = paired_t_test(&b, &a).unwrap();
+        assert!((ab.t_stat + ba.t_stat).abs() < 1e-12);
+        assert!((ab.p_two - ba.p_two).abs() < 1e-12);
+        assert!((ab.p_upper - ba.p_lower).abs() < 1e-12);
+        assert!((ab.p_lower - ba.p_upper).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_statistic() {
+        // diffs = [0.2, 0.1, 0.5, -0.5, 0.3]; mean = 0.12;
+        // sample sd = sqrt(0.568/4); t = 0.12 / (sd/sqrt(5)).
+        let after = [1.2, 2.1, 3.0, 2.4, 1.8];
+        let before = [1.0, 2.0, 2.5, 2.9, 1.5];
+        let t = paired_t_test(&after, &before).unwrap();
+        let sd = (0.568f64 / 4.0).sqrt();
+        let expect = 0.12 / (sd / 5f64.sqrt());
+        assert!((t.t_stat - expect).abs() < 1e-10, "t={}", t.t_stat);
+        assert_eq!(t.df, 4.0);
+        assert!(t.p_two > 0.4 && t.p_two < 0.6, "p={}", t.p_two);
+    }
+
+    #[test]
+    fn cauchy_case_df1() {
+        // With n = 2, df = 1, the t distribution is Cauchy:
+        // p_two = 1 - (2/pi) atan(|t|). diffs = [1, 2] -> t = 3 exactly.
+        let after = [1.0, 2.0];
+        let before = [0.0, 0.0];
+        let t = paired_t_test(&after, &before).unwrap();
+        assert!((t.t_stat - 3.0).abs() < 1e-12);
+        let expect = 1.0 - 2.0 / std::f64::consts::PI * 3f64.atan();
+        assert!((t.p_two - expect).abs() < 1e-10, "p={} want {expect}", t.p_two);
+    }
+
+    #[test]
+    fn zero_variance_zero_mean() {
+        let xs = [0.5, 0.6, 0.7];
+        let t = paired_t_test(&xs, &xs).unwrap();
+        assert_eq!(t.t_stat, 0.0);
+        assert_eq!(t.p_two, 1.0);
+    }
+
+    #[test]
+    fn zero_variance_constant_shift() {
+        // Values chosen to be exact in binary so the differences are exactly
+        // constant (0.5 each).
+        let before = [1.0, 2.0, 3.0];
+        let after = [1.5, 2.5, 3.5];
+        let t = paired_t_test(&after, &before).unwrap();
+        assert!(t.t_stat.is_infinite() && t.t_stat > 0.0);
+        assert_eq!(t.p_two, 0.0);
+        assert_eq!(t.p_upper, 0.0);
+        assert_eq!(t.p_lower, 1.0);
+
+        let t = paired_t_test(&before, &after).unwrap();
+        assert!(t.t_stat.is_infinite() && t.t_stat < 0.0);
+        assert_eq!(t.p_lower, 0.0);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            paired_t_test(&[1.0], &[1.0]),
+            Err(TTestError::TooFewPairs(1))
+        );
+        assert_eq!(
+            paired_t_test(&[1.0, 2.0], &[1.0]),
+            Err(TTestError::LengthMismatch { after: 2, before: 1 })
+        );
+        assert_eq!(
+            paired_t_test(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(TTestError::NonFinite)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the statistical machinery.
+
+use proptest::prelude::*;
+
+use cleanml_stats::special::{betainc, ln_gamma};
+use cleanml_stats::tdist::{student_t_cdf, student_t_two_sided};
+use cleanml_stats::{benjamini_hochberg, benjamini_yekutieli, paired_t_test};
+
+proptest! {
+    /// ln Γ satisfies the recurrence Γ(x+1) = x·Γ(x).
+    #[test]
+    fn lgamma_recurrence(x in 0.1f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "x={x}: {lhs} vs {rhs}");
+    }
+
+    /// The regularized incomplete beta is a CDF in x: bounded & monotone,
+    /// and satisfies the reflection identity.
+    #[test]
+    fn betainc_cdf_properties(a in 0.2f64..20.0, b in 0.2f64..20.0, x in 0.0f64..1.0) {
+        let v = betainc(a, b, x);
+        prop_assert!((0.0..=1.0).contains(&v));
+        let reflected = 1.0 - betainc(b, a, 1.0 - x);
+        prop_assert!((v - reflected).abs() < 1e-9);
+        // monotonicity against a slightly larger x
+        let x2 = (x + 0.01).min(1.0);
+        prop_assert!(betainc(a, b, x2) + 1e-12 >= v);
+    }
+
+    /// The t CDF is monotone, symmetric and bounded.
+    #[test]
+    fn t_cdf_properties(t in -50.0f64..50.0, df in 1.0f64..200.0) {
+        let c = student_t_cdf(t, df);
+        prop_assert!((0.0..=1.0).contains(&c));
+        let sym = student_t_cdf(-t, df);
+        prop_assert!((c + sym - 1.0).abs() < 1e-9);
+        let c2 = student_t_cdf(t + 0.1, df);
+        prop_assert!(c2 + 1e-12 >= c);
+        let p = student_t_two_sided(t, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// Shifting `after` strictly up can only push the upper-tail p down.
+    #[test]
+    fn ttest_monotone_in_shift(
+        base in prop::collection::vec(0.3f64..0.7, 4..25),
+        shift in 0.001f64..0.2,
+    ) {
+        let noise: Vec<f64> = base.iter().enumerate().map(|(i, b)| b + (i as f64 * 0.618).sin() * 0.01).collect();
+        let t_small = paired_t_test(&noise, &base).expect("t");
+        let shifted: Vec<f64> = noise.iter().map(|x| x + shift).collect();
+        let t_big = paired_t_test(&shifted, &base).expect("t");
+        prop_assert!(t_big.p_upper <= t_small.p_upper + 1e-12);
+    }
+
+    /// The step-up procedures reject a prefix of the sorted p-values.
+    #[test]
+    fn step_up_prefix_property(ps in prop::collection::vec(1e-9f64..1.0, 2..80)) {
+        for reject in [benjamini_hochberg(&ps, 0.05), benjamini_yekutieli(&ps, 0.05)] {
+            let mut rejected_ps: Vec<f64> =
+                ps.iter().zip(&reject).filter(|(_, &r)| r).map(|(p, _)| *p).collect();
+            let accepted_min = ps
+                .iter()
+                .zip(&reject)
+                .filter(|(_, &r)| !r)
+                .map(|(p, _)| *p)
+                .fold(f64::INFINITY, f64::min);
+            rejected_ps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            if let Some(&max_rejected) = rejected_ps.last() {
+                prop_assert!(max_rejected <= accepted_min,
+                    "rejected {max_rejected} above accepted {accepted_min}");
+            }
+        }
+    }
+}

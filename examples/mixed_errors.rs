@@ -1,0 +1,50 @@
+//! Domain scenario: cleaning co-occurring error types on Credit (§VII-A).
+//!
+//! Credit carries both missing values and outliers. This example compares
+//! three pipelines per split — clean only missing values, clean only
+//! outliers, clean both — using the paper's R3-style selection (best
+//! cleaning combination + best model by validation score).
+//!
+//! ```sh
+//! cargo run --release --example mixed_errors
+//! ```
+
+use cleanml::cleaning::ErrorType;
+use cleanml::core::mixed::{compare_mixed_vs_single, mixed_method_space};
+use cleanml::core::ExperimentConfig;
+use cleanml::datagen::{generate, spec_by_name};
+
+fn main() {
+    let data = generate(spec_by_name("Credit").expect("known"), 42);
+    println!(
+        "Credit stand-in: {} rows, {} missing cells, error types {:?}",
+        data.dirty.n_rows(),
+        data.dirty.n_missing_cells(),
+        data.error_types
+    );
+
+    let cap = 3; // methods per error type inside the Cartesian product
+    let space = mixed_method_space(&data.error_types, cap);
+    println!(
+        "combined cleaning space: {} method combinations (cap {cap} per error type)",
+        space.len()
+    );
+
+    let cfg = ExperimentConfig { n_splits: 8, ..ExperimentConfig::quick() };
+    for single in [ErrorType::MissingValues, ErrorType::Outliers] {
+        let cmp = compare_mixed_vs_single(&data, single, cap, &cfg).expect("comparison");
+        println!(
+            "\nmixed vs {:<15} flag = {}  (single F1 = {:.3}, mixed F1 = {:.3}, p = {:.3})",
+            single.name(),
+            cmp.flag,
+            cmp.evidence.mean_before,
+            cmp.evidence.mean_after,
+            cmp.evidence.p_two
+        );
+    }
+
+    println!(
+        "\nPaper Table 17's finding: on Credit, cleaning both error types beats \
+         cleaning either one alone (P in both rows)."
+    );
+}

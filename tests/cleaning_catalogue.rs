@@ -1,0 +1,90 @@
+//! Cross-crate integration: every dataset × every applicable cleaning method
+//! survives the fit-on-train/apply-to-both protocol with coherent reports.
+
+use cleanml::cleaning::{clean_pair, CleaningMethod, ErrorType};
+use cleanml::datagen::{generate, specs};
+use cleanml::dataset::Encoder;
+
+#[test]
+fn full_catalogue_runs_on_all_datasets() {
+    for spec in specs() {
+        let data = generate(spec, 99);
+        let (train, test) = data.dirty.split(0.3, 5).expect("split");
+        for &et in spec.error_types {
+            for method in CleaningMethod::catalogue(et) {
+                let out = clean_pair(&method, &train, &test, 3)
+                    .unwrap_or_else(|e| panic!("{} {}: {e}", spec.name, method.label()));
+                // reports are internally consistent
+                assert_eq!(out.report.train.rows_before, train.n_rows(), "{}", spec.name);
+                assert_eq!(out.report.train.rows_after, out.train.n_rows());
+                assert_eq!(out.report.test.rows_after, out.test.n_rows());
+                assert!(out.train.n_rows() > 0, "{} {} emptied train", spec.name, method.label());
+                // cleaned tables still encode + keep both classes comparable
+                let enc = Encoder::fit(&out.train)
+                    .unwrap_or_else(|e| panic!("{} {}: {e}", spec.name, method.label()));
+                let m = enc.transform(&out.train).expect("transform");
+                assert_eq!(m.n_rows(), out.train.n_rows());
+                // imputation-style missing-value repairs leave nothing missing
+                if et == ErrorType::MissingValues {
+                    assert_eq!(out.train.n_missing_cells(), 0, "{}", method.label());
+                    assert_eq!(out.test.n_missing_cells(), 0, "{}", method.label());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn outlier_cleaning_shrinks_extremes() {
+    let spec = cleanml::datagen::spec_by_name("EEG").expect("known");
+    let data = generate(spec, 7);
+    let (train, test) = data.dirty.split(0.3, 1).expect("split");
+    let method = CleaningMethod::catalogue(ErrorType::Outliers)
+        .into_iter()
+        .find(|m| m.label() == "SD/Mean")
+        .expect("SD/Mean in catalogue");
+    let out = clean_pair(&method, &train, &test, 0).expect("clean");
+
+    // Measured in the *original* training frame (mean/std before cleaning),
+    // the most extreme deviation in every numeric column must shrink:
+    // SD-detected cells are replaced by the inlier mean, which lies inside
+    // the 3σ band. (Recomputing the std after cleaning would be the wrong
+    // frame — removing outliers tightens it, inflating the z of inliers.)
+    for c in train.schema().numeric_feature_indices() {
+        let col = train.column(c).expect("col");
+        let mean = cleanml::dataset::stats::mean(col).expect("values");
+        let std = cleanml::dataset::stats::std_dev(col).expect("values").max(1e-12);
+        let frame_max = |t: &cleanml::dataset::Table| {
+            t.column(c)
+                .expect("col")
+                .numeric_values()
+                .iter()
+                .map(|v| ((v - mean) / std).abs())
+                .fold(0.0, f64::max)
+        };
+        let before = frame_max(&train);
+        let after = frame_max(&out.train);
+        assert!(
+            after <= before + 1e-9,
+            "column {c}: extreme deviation grew from {before} to {after}"
+        );
+    }
+}
+
+#[test]
+fn mislabel_cleaning_moves_labels_toward_truth() {
+    use cleanml::datagen::{inject_mislabel_variant, spec_by_name, MislabelStrategy};
+    let base = generate(spec_by_name("Titanic").expect("known"), 21);
+    let variant = inject_mislabel_variant(&base, MislabelStrategy::Uniform, 5);
+    let method = CleaningMethod::catalogue(ErrorType::Mislabels)[0];
+    let (train, test) = variant.dirty.split(0.3, 2).expect("split");
+    let out = clean_pair(&method, &train, &test, 0).expect("clean");
+    // same shape, labels possibly fixed
+    assert_eq!(out.train.n_rows(), train.n_rows());
+    assert_eq!(out.test.n_rows(), test.n_rows());
+    let label = train.label_index().expect("label");
+    let changed = (0..train.n_rows())
+        .filter(|&r| out.train.get(r, label).unwrap() != train.get(r, label).unwrap())
+        .count();
+    assert!(changed > 0, "confident learning changed nothing");
+}

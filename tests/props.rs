@@ -1,0 +1,108 @@
+//! Cross-crate property-based tests on the study's core invariants.
+
+use proptest::prelude::*;
+
+use cleanml::cleaning::inconsistency::fingerprint;
+use cleanml::cleaning::similarity::{levenshtein, levenshtein_similarity, token_jaccard};
+use cleanml::dataset::split::{kfold_indices, split_indices};
+use cleanml::stats::{
+    benjamini_hochberg, benjamini_yekutieli, bonferroni, flag_from_pvalues, paired_t_test, Flag,
+};
+
+proptest! {
+    /// A split is always a partition of 0..n, deterministic in its seed.
+    #[test]
+    fn split_partitions(n in 1usize..300, frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let (train, test) = split_indices(n, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        let again = split_indices(n, frac, seed);
+        prop_assert_eq!(&again.0, &train);
+        if n >= 2 {
+            prop_assert!(!train.is_empty(), "train emptied at frac={frac}");
+        }
+    }
+
+    /// k-fold validation sets partition the rows exactly once.
+    #[test]
+    fn kfold_partitions(n in 4usize..200, k in 2usize..8, seed in any::<u64>()) {
+        let folds = kfold_indices(n, k, seed);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        for (train, val) in &folds {
+            prop_assert_eq!(train.len() + val.len(), n);
+        }
+    }
+
+    /// Swapping the two samples of a paired t-test mirrors the flag.
+    #[test]
+    fn ttest_antisymmetry(
+        diffs in prop::collection::vec(-0.2f64..0.2, 5..30),
+        base in 0.3f64..0.7,
+    ) {
+        let before: Vec<f64> = diffs.iter().map(|_| base).collect();
+        let after: Vec<f64> = diffs.iter().map(|d| base + d).collect();
+        let fwd = paired_t_test(&after, &before).expect("t-test");
+        let rev = paired_t_test(&before, &after).expect("t-test");
+        prop_assert!((fwd.p_two - rev.p_two).abs() < 1e-9);
+        let f_fwd = flag_from_pvalues(fwd.p_two, fwd.p_upper, fwd.p_lower, 0.05);
+        let f_rev = flag_from_pvalues(rev.p_two, rev.p_upper, rev.p_lower, 0.05);
+        let mirrored = match f_fwd {
+            Flag::Positive => Flag::Negative,
+            Flag::Negative => Flag::Positive,
+            Flag::Insignificant => Flag::Insignificant,
+        };
+        prop_assert_eq!(f_rev, mirrored);
+    }
+
+    /// Guaranteed FDR strictness orderings: BY ⊆ BH ⊆ uncorrected and
+    /// Bonferroni ⊆ BH. (Bonferroni and BY are *incomparable*: BY's rank-1
+    /// threshold α/(m·c(m)) is stricter than Bonferroni's α/m, while its
+    /// high-rank thresholds are looser.)
+    #[test]
+    fn fdr_strictness(ps in prop::collection::vec(1e-8f64..1.0, 1..100)) {
+        let raw: usize = ps.iter().filter(|&&p| p < 0.05).count();
+        let bh: usize = benjamini_hochberg(&ps, 0.05).iter().filter(|&&b| b).count();
+        let by: usize = benjamini_yekutieli(&ps, 0.05).iter().filter(|&&b| b).count();
+        let bf: usize = bonferroni(&ps, 0.05).iter().filter(|&&b| b).count();
+        prop_assert!(bh <= raw, "BH {bh} > raw {raw}");
+        prop_assert!(by <= bh, "BY {by} > BH {bh}");
+        prop_assert!(bf <= bh, "Bonferroni {bf} > BH {bh}");
+    }
+
+    /// Levenshtein is a metric on the tested domain.
+    #[test]
+    fn levenshtein_metric(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        let s = levenshtein_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    /// Similarities live in [0, 1] and are reflexive.
+    #[test]
+    fn jaccard_bounds(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+        let s = token_jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(token_jaccard(&a, &a), 1.0);
+    }
+
+    /// The OpenRefine fingerprint is invariant to case, punctuation runs and
+    /// token order — the clustering property the repair relies on.
+    #[test]
+    fn fingerprint_invariances(words in prop::collection::vec("[a-z]{1,8}", 1..5)) {
+        let canonical = words.join(" ");
+        let shouty = canonical.to_uppercase();
+        let mut reversed_words = words.clone();
+        reversed_words.reverse();
+        let reversed = reversed_words.join(" ");
+        let punct = words.join("--");
+        prop_assert_eq!(fingerprint(&canonical), fingerprint(&shouty));
+        prop_assert_eq!(fingerprint(&canonical), fingerprint(&reversed));
+        prop_assert_eq!(fingerprint(&canonical), fingerprint(&punct));
+    }
+}

@@ -1,0 +1,72 @@
+//! Cross-crate integration: the full study pipeline on a reduced budget.
+
+use cleanml::core::database::Relation;
+use cleanml::core::schema::{ErrorType, Scenario};
+use cleanml::core::{run_study, ExperimentConfig, Flag};
+use cleanml::stats::Correction;
+
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig { n_splits: 4, ..ExperimentConfig::quick() }
+}
+
+#[test]
+fn inconsistencies_study_matches_paper_cardinalities() {
+    let db = run_study(&[ErrorType::Inconsistencies], &tiny_cfg()).expect("study");
+    // 4 datasets × 1 method × 7 models × 2 scenarios
+    assert_eq!(db.r1.len(), 56);
+    assert_eq!(db.r2.len(), 8);
+    assert_eq!(db.r3.len(), 8);
+    assert_eq!(db.n_hypotheses(Relation::R1), 168);
+    // Q1 totals equal relation sizes
+    assert_eq!(db.q1(Relation::R1, ErrorType::Inconsistencies).total(), 56);
+    // the paper's headline for inconsistencies: no negative impact
+    let q1 = db.q1(Relation::R1, ErrorType::Inconsistencies);
+    assert_eq!(q1.n, 0, "cleaning inconsistencies must not hurt");
+}
+
+#[test]
+fn duplicates_study_runs_both_scenarios() {
+    let db = run_study(&[ErrorType::Duplicates], &tiny_cfg()).expect("study");
+    // 4 datasets × 2 methods × 7 models × 2 scenarios
+    assert_eq!(db.r1.len(), 112);
+    let by_scenario = db.q2(Relation::R1, ErrorType::Duplicates);
+    assert_eq!(by_scenario[&Scenario::BD].total(), 56);
+    assert_eq!(by_scenario[&Scenario::CD].total(), 56);
+    // Q4.1 splits evenly between the two detectors
+    let by_det = db.q4_detection(Relation::R1, ErrorType::Duplicates);
+    assert!(by_det.values().all(|d| d.total() == 56));
+}
+
+#[test]
+fn by_correction_only_weakens_discoveries() {
+    let mut db = run_study(&[ErrorType::Inconsistencies], &tiny_cfg()).expect("study");
+    // Recompute with no correction, then compare against BY.
+    let mut raw = db.clone();
+    raw.apply_correction(Correction::None, 0.05);
+    db.apply_correction(Correction::BenjaminiYekutieli, 0.05);
+    let raw_sig: usize = raw.r1.iter().filter(|r| r.flag != Flag::Insignificant).count();
+    let by_sig: usize = db.r1.iter().filter(|r| r.flag != Flag::Insignificant).count();
+    assert!(by_sig <= raw_sig, "BY created discoveries: {by_sig} > {raw_sig}");
+    // And BY never flips a P to an N or vice versa.
+    for (r, b) in raw.r1.iter().zip(&db.r1) {
+        if b.flag != Flag::Insignificant {
+            assert_eq!(r.flag, b.flag, "correction changed a flag's direction");
+        }
+    }
+}
+
+#[test]
+fn evidence_is_well_formed() {
+    let db = run_study(&[ErrorType::Duplicates], &tiny_cfg()).expect("study");
+    for r in &db.r1 {
+        let e = &r.evidence;
+        assert!((0.0..=1.0).contains(&e.p_two), "p0 = {}", e.p_two);
+        assert!((0.0..=1.0).contains(&e.p_upper));
+        assert!((0.0..=1.0).contains(&e.p_lower));
+        assert!((0.0..=1.0).contains(&e.mean_before));
+        assert!((0.0..=1.0).contains(&e.mean_after));
+        assert_eq!(e.n_splits, 4);
+        // one-tailed p-values partition around the two-tailed one
+        assert!((e.p_upper + e.p_lower - 1.0).abs() < 1e-9 || e.p_two <= 1.0);
+    }
+}
