@@ -19,16 +19,12 @@ fn benches(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    let all: Vec<ModelKind> = PAPER_MODELS
-        .into_iter()
-        .chain([ModelKind::Mlp, ModelKind::Nacl])
-        .collect();
+    let all: Vec<ModelKind> =
+        PAPER_MODELS.into_iter().chain([ModelKind::Mlp, ModelKind::Nacl]).collect();
     for kind in &all {
         group.bench_function(kind.name(), |b| {
             b.iter(|| {
-                let model = ModelSpec::default_for(*kind)
-                    .fit(black_box(&train_m), 7)
-                    .expect("fit");
+                let model = ModelSpec::default_for(*kind).fit(black_box(&train_m), 7).expect("fit");
                 black_box(model)
             })
         });

@@ -8,18 +8,18 @@
 //! bluntest instrument (it kills borderline effects BH/BY keep, paper's
 //! critique of it).
 
-use cleanml_bench::{banner, config_from_args, header};
+use cleanml_bench::{banner, config_from_args, header, run_study_cli};
 use cleanml_core::analysis::render_flag_table;
 use cleanml_core::schema::ErrorType;
-use cleanml_core::{run_study, Relation};
+use cleanml_core::Relation;
 use cleanml_stats::Correction;
 
 fn main() {
     let cfg = config_from_args();
     banner("Ablation: FDR correction choice", &cfg);
     let error_type = ErrorType::MissingValues;
-    // run_study applies BY; we re-correct from the stored p-values.
-    let base = run_study(&[error_type], &cfg).expect("study");
+    // the engine study applies BY; we re-correct from the stored p-values.
+    let base = run_study_cli(&[error_type], &cfg);
 
     header(&format!("R1 flags for {} under each correction", error_type.name()));
     let mut rows = Vec::new();
@@ -34,8 +34,5 @@ fn main() {
         rows.push((name.to_owned(), db.q1(Relation::R1, error_type)));
     }
     print!("{}", render_flag_table("flag distribution per correction", &rows));
-    println!(
-        "\nhypotheses corrected per relation: R1 = {}",
-        base.n_hypotheses(Relation::R1)
-    );
+    println!("\nhypotheses corrected per relation: R1 = {}", base.n_hypotheses(Relation::R1));
 }

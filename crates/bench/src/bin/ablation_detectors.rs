@@ -6,19 +6,19 @@
 //! precision/recall against the injected ground truth, and the flag of the
 //! downstream KNN experiment (the paper's most outlier-sensitive model).
 
-use cleanml_bench::{banner, config_from_args, header};
+use cleanml_bench::{banner, config_from_args, header, job_workers};
 use cleanml_cleaning::outliers::{self, OutlierDetection, OutlierRepair};
 use cleanml_core::runner::evaluate_grid_with;
 use cleanml_core::schema::ErrorType;
 use cleanml_datagen::{generate, spec_by_name};
+use cleanml_engine::parallel_map;
 use cleanml_ml::ModelKind;
 
 fn detection_quality(
     data: &cleanml_datagen::GeneratedDataset,
     detection: OutlierDetection,
 ) -> (usize, f64, f64) {
-    let cleaner =
-        outliers::fit(detection, OutlierRepair::Mean, &data.dirty, 7).expect("fit");
+    let cleaner = outliers::fit(detection, OutlierRepair::Mean, &data.dirty, 7).expect("fit");
     let detected = cleaner.detect(&data.dirty).expect("detect");
 
     // Ground truth: cells where dirty != clean in numeric feature columns.
@@ -63,8 +63,9 @@ fn main() {
             OutlierDetection::IsolationForest { contamination: 0.10, n_trees: 50 },
         ),
     ];
-    for (name, det) in &sweeps {
-        let (cells, p, r) = detection_quality(&data, *det);
+    // each detector sweep is independent: fan them out on the job pool
+    let qualities = parallel_map(&sweeps, job_workers(), |(_, det)| detection_quality(&data, *det));
+    for ((name, _), (cells, p, r)) in sweeps.iter().zip(&qualities) {
         println!("{name:<26} {cells:>9} {p:>10.2} {r:>8.2}");
     }
 

@@ -4,10 +4,11 @@
 //! under-power the t-tests: the same experiment's p-values and flags are
 //! recomputed at 5 / 10 / 20 / 40 splits.
 
-use cleanml_bench::{banner, config_from_args, header};
+use cleanml_bench::{banner, config_from_args, header, job_workers};
 use cleanml_core::schema::{Detection, ErrorType, Repair, Scenario, Spec1};
 use cleanml_core::{run_r1_experiment, ExperimentConfig};
 use cleanml_datagen::{generate, spec_by_name};
+use cleanml_engine::parallel_map;
 use cleanml_ml::ModelKind;
 
 fn main() {
@@ -24,13 +25,15 @@ fn main() {
     };
 
     header("EEG / IQR+Mean / LR / BD at increasing split counts");
-    println!(
-        "{:>7} {:>10} {:>10} {:>12} {:>6}",
-        "splits", "mean B", "mean D", "p(two)", "flag"
-    );
-    for n_splits in [5usize, 10, 20, 40] {
-        let cfg = ExperimentConfig { n_splits, ..base_cfg };
-        let out = run_r1_experiment(&data, &spec, &cfg).expect("experiment");
+    println!("{:>7} {:>10} {:>10} {:>12} {:>6}", "splits", "mean B", "mean D", "p(two)", "flag");
+    // the four split counts are independent experiments: fan them out
+    // (per-split threads off — the outer fan-out is the parallelism here)
+    let counts = [5usize, 10, 20, 40];
+    let outcomes = parallel_map(&counts, job_workers(), |&n_splits| {
+        let cfg = ExperimentConfig { n_splits, parallel: false, ..base_cfg };
+        run_r1_experiment(&data, &spec, &cfg).expect("experiment")
+    });
+    for (n_splits, out) in counts.iter().zip(&outcomes) {
         println!(
             "{n_splits:>7} {:>10.4} {:>10.4} {:>12.2e} {:>6}",
             out.evidence.mean_before, out.evidence.mean_after, out.evidence.p_two, out.flag

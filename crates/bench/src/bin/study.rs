@@ -1,27 +1,24 @@
 //! Runs the complete single-error-type study (all five error types, all
-//! participating datasets) and materializes the CleanML relational database
-//! as CSV files — the paper's central artifact (§III's relations R1/R2/R3).
+//! participating datasets) through the `cleanml-engine` scheduler and
+//! materializes the CleanML relational database as CSV files — the paper's
+//! central artifact (§III's relations R1/R2/R3).
 //!
 //! ```sh
-//! cargo run --release -p cleanml-bench --bin study -- [--quick|--paper] [out_dir]
+//! cargo run --release -p cleanml-bench --bin study -- \
+//!     [--quick|--paper] [--workers N] [--cache-dir DIR] [out_dir]
 //! ```
+//!
+//! With `--cache-dir`, a repeated or resumed invocation skips every
+//! finished training task via the engine's content-addressed cache.
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use cleanml_bench::{banner, config_from_args, header};
+use cleanml_bench::{banner, config_from_args, csv_escape, header, run_study_cli};
 use cleanml_core::schema::ErrorType;
-use cleanml_core::{run_study, CleanMlDb, Relation};
+use cleanml_core::{CleanMlDb, Relation};
 
-fn csv_escape(s: &str) -> String {
-    if s.contains(',') || s.contains('"') {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_owned()
-    }
-}
-
-fn dump(db: &CleanMlDb, dir: &PathBuf) -> std::io::Result<()> {
+fn dump(db: &CleanMlDb, dir: &Path) -> std::io::Result<()> {
     let mut r1 = String::from(
         "dataset,error_type,detection,repair,model,scenario,flag,p_two,p_upper,p_lower,mean_before,mean_after,n_splits\n",
     );
@@ -84,15 +81,32 @@ fn dump(db: &CleanMlDb, dir: &PathBuf) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Positional `out_dir`: the first non-flag argument that is not a value of
+/// a preceding flag.
+fn out_dir_from_args() -> PathBuf {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_flags = ["--splits", "--seed", "--workers", "--cache-dir"];
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if value_flags.contains(&a.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            return PathBuf::from(a);
+        }
+    }
+    PathBuf::from("cleanml_db")
+}
+
 fn main() {
     let cfg = config_from_args();
     banner("Full CleanML study", &cfg);
-    let dir = PathBuf::from(
-        std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
-            .unwrap_or_else(|| "cleanml_db".into()),
-    );
+    let dir = out_dir_from_args();
     std::fs::create_dir_all(&dir).expect("create output directory");
 
     let all = [
@@ -102,7 +116,7 @@ fn main() {
         ErrorType::Inconsistencies,
         ErrorType::Mislabels,
     ];
-    let db = run_study(&all, &cfg).expect("study");
+    let db = run_study_cli(&all, &cfg);
     dump(&db, &dir).expect("write CSVs");
 
     header("CleanML database written");

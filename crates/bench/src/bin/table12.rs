@@ -3,15 +3,15 @@
 //! Q1 over R1/R2/R3, Q3 (per-model) over R1, Q4.1 (detector) and Q4.2
 //! (repair) over R1/R2, Q5 (per-dataset) over R1.
 
-use cleanml_bench::{banner, config_from_args, header, rows_of};
+use cleanml_bench::{banner, config_from_args, header, rows_of, run_study_cli};
 use cleanml_core::analysis::render_flag_table;
 use cleanml_core::schema::ErrorType;
-use cleanml_core::{run_study, Relation};
+use cleanml_core::Relation;
 
 fn main() {
     let cfg = config_from_args();
     banner("Table 12 (Outliers)", &cfg);
-    let db = run_study(&[ErrorType::Outliers], &cfg).expect("study run");
+    let db = run_study_cli(&[ErrorType::Outliers], &cfg);
 
     header("Q1 (E = Outliers)");
     let rows = vec![
@@ -38,5 +38,8 @@ fn main() {
     }
 
     header("Q5 (E = Outliers) on R1");
-    print!("{}", render_flag_table("by dataset", &rows_of(&db.q5(Relation::R1, ErrorType::Outliers))));
+    print!(
+        "{}",
+        render_flag_table("by dataset", &rows_of(&db.q5(Relation::R1, ErrorType::Outliers)))
+    );
 }

@@ -3,15 +3,15 @@
 //! Q1, Q2 (scenario BD vs CD), Q3 (per-model) and Q5 (per-dataset-variant)
 //! over the 13 mislabel datasets (Clothing + 4 × {uniform, major, minor}).
 
-use cleanml_bench::{banner, config_from_args, header, rows_of};
+use cleanml_bench::{banner, config_from_args, header, rows_of, run_study_cli};
 use cleanml_core::analysis::render_flag_table;
 use cleanml_core::schema::ErrorType;
-use cleanml_core::{run_study, Relation};
+use cleanml_core::Relation;
 
 fn main() {
     let cfg = config_from_args();
     banner("Table 13 (Mislabels)", &cfg);
-    let db = run_study(&[ErrorType::Mislabels], &cfg).expect("study run");
+    let db = run_study_cli(&[ErrorType::Mislabels], &cfg);
 
     header("Q1 (E = Mislabel)");
     let rows = vec![
@@ -22,10 +22,7 @@ fn main() {
 
     for (rel, name) in [(Relation::R1, "R1"), (Relation::R2, "R2 & R3")] {
         header(&format!("Q2 (E = Mislabel) on {name}"));
-        print!(
-            "{}",
-            render_flag_table("by scenario", &rows_of(&db.q2(rel, ErrorType::Mislabels)))
-        );
+        print!("{}", render_flag_table("by scenario", &rows_of(&db.q2(rel, ErrorType::Mislabels))));
     }
 
     header("Q3 (E = Mislabel) on R1");

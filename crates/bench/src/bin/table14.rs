@@ -2,15 +2,15 @@
 //!
 //! Q1 over R1 and R2&R3, Q5 (per-dataset) over R1.
 
-use cleanml_bench::{banner, config_from_args, header, rows_of};
+use cleanml_bench::{banner, config_from_args, header, rows_of, run_study_cli};
 use cleanml_core::analysis::render_flag_table;
 use cleanml_core::schema::ErrorType;
-use cleanml_core::{run_study, Relation};
+use cleanml_core::Relation;
 
 fn main() {
     let cfg = config_from_args();
     banner("Table 14 (Inconsistencies)", &cfg);
-    let db = run_study(&[ErrorType::Inconsistencies], &cfg).expect("study run");
+    let db = run_study_cli(&[ErrorType::Inconsistencies], &cfg);
 
     header("Q1 (E = Inconsistencies)");
     let rows = vec![
@@ -22,9 +22,6 @@ fn main() {
     header("Q5 (E = Inconsistencies) on R1");
     print!(
         "{}",
-        render_flag_table(
-            "by dataset",
-            &rows_of(&db.q5(Relation::R1, ErrorType::Inconsistencies))
-        )
+        render_flag_table("by dataset", &rows_of(&db.q5(Relation::R1, ErrorType::Inconsistencies)))
     );
 }

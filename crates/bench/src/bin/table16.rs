@@ -9,19 +9,16 @@
 //! the same qualitative judgement the paper makes from its Q2/Q3/Q4/Q5
 //! tables.
 
-use cleanml_bench::{banner, config_from_args, header};
+use cleanml_bench::{banner, config_from_args, header, run_study_cli};
 use cleanml_core::database::{CleanMlDb, FlagDist};
 use cleanml_core::schema::ErrorType;
-use cleanml_core::{run_study, Relation};
+use cleanml_core::Relation;
 use cleanml_stats::Flag;
 
 /// Spread (max − min) of positive-flag percentage across groups.
 fn p_spread<K>(map: &std::collections::BTreeMap<K, FlagDist>) -> f64 {
-    let pcts: Vec<f64> = map
-        .values()
-        .filter(|d| d.total() > 0)
-        .map(|d| d.pct(Flag::Positive))
-        .collect();
+    let pcts: Vec<f64> =
+        map.values().filter(|d| d.total() > 0).map(|d| d.pct(Flag::Positive)).collect();
     if pcts.len() < 2 {
         return 0.0;
     }
@@ -83,7 +80,7 @@ fn main() {
         ErrorType::Mislabels,
         ErrorType::Outliers,
     ];
-    let db = run_study(&all, &cfg).expect("study run");
+    let db = run_study_cli(&all, &cfg);
 
     header("Summary of Empirical Findings for Single Error Types");
     println!(

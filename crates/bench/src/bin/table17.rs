@@ -7,7 +7,7 @@
 //! types. `--cap N` bounds each error type's method catalogue inside the
 //! Cartesian product (default 3; `--paper` uses the full catalogue).
 
-use cleanml_bench::{banner, config_from_args, dist_of, header};
+use cleanml_bench::{banner, config_from_args, dist_of, grouped_flags, header};
 use cleanml_core::analysis::render_flag_table;
 use cleanml_core::mixed::compare_mixed_vs_single;
 use cleanml_core::schema::ErrorType;
@@ -44,17 +44,18 @@ fn main() {
     ];
 
     header("Cleaning Mixed Error Types vs. Single Error Type");
+    // One job per (dataset, single error type): all comparisons run
+    // concurrently on the engine's job pool.
+    let grouped = grouped_flags(&comparisons, |name, single| {
+        let spec = spec_by_name(name).expect("known dataset");
+        let data = generate(spec, dataset_seed(name, cfg.base_seed));
+        compare_mixed_vs_single(&data, single, cap, &cfg).expect("comparison").flag
+    });
+
     let mut rows = Vec::new();
-    for (datasets, single) in comparisons {
-        let mut flags = Vec::new();
-        for name in datasets {
-            let spec = spec_by_name(name).expect("known dataset");
-            let data = generate(spec, dataset_seed(name, cfg.base_seed));
-            let cmp = compare_mixed_vs_single(&data, single, cap, &cfg).expect("comparison");
-            flags.push(cmp.flag);
-        }
+    for ((datasets, single), row_flags) in comparisons.iter().zip(&grouped) {
         let label = format!("{} | mixed vs {}", datasets.join(","), single.name());
-        rows.push((label, dist_of(&flags)));
+        rows.push((label, dist_of(row_flags)));
     }
     print!("{}", render_flag_table("P = mixed better, N = mixed worse", &rows));
 }

@@ -9,12 +9,12 @@
 //!
 //! P = cleaning better than the robust model.
 
-use cleanml_bench::{banner, config_from_args, dist_of, header};
+use cleanml_bench::{banner, config_from_args, dist_of, header, job_workers};
 use cleanml_core::analysis::render_flag_table;
 use cleanml_core::robust::{compare_cleaning_vs_robust, table18_pool, RobustBaseline};
 use cleanml_core::schema::ErrorType;
 use cleanml_core::study::generate_datasets_for;
-use cleanml_stats::Flag;
+use cleanml_engine::parallel_map;
 
 fn run_row(
     label: &str,
@@ -24,12 +24,12 @@ fn run_row(
     cfg: &cleanml_core::ExperimentConfig,
 ) -> (String, cleanml_core::FlagDist) {
     let pool = table18_pool(lr_only);
-    let mut flags: Vec<Flag> = Vec::new();
-    for data in generate_datasets_for(error_type, cfg.base_seed) {
-        let cmp = compare_cleaning_vs_robust(&data, error_type, &pool, baseline, cfg)
-            .expect("comparison");
-        flags.push(cmp.flag);
-    }
+    // Generate eagerly (shared mislabel bases are built once), then fan the
+    // per-dataset comparisons out on the engine pool.
+    let datasets = generate_datasets_for(error_type, cfg.base_seed);
+    let flags = parallel_map(&datasets, job_workers(), |data| {
+        compare_cleaning_vs_robust(data, error_type, &pool, baseline, cfg).expect("comparison").flag
+    });
     (label.to_owned(), dist_of(&flags))
 }
 

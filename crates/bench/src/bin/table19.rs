@@ -5,13 +5,12 @@
 //! the three inconsistency datasets' canonical spellings.
 //! P = human cleaning better than the best automatic method.
 
-use cleanml_bench::{banner, config_from_args, dist_of, header};
+use cleanml_bench::{banner, config_from_args, dist_of, grouped_flags, header};
 use cleanml_core::analysis::render_flag_table;
 use cleanml_core::human::compare_human_vs_automatic;
 use cleanml_core::schema::ErrorType;
 use cleanml_core::study::dataset_seed;
 use cleanml_datagen::{generate, spec_by_name};
-use cleanml_stats::Flag;
 
 fn main() {
     let cfg = config_from_args();
@@ -24,16 +23,16 @@ fn main() {
     ];
 
     header("Automatic Cleaning vs Human Cleaning (P = human better)");
+    // One job per (dataset, error type), all run concurrently.
+    let grouped = grouped_flags(&comparisons, |name, et| {
+        let spec = spec_by_name(name).expect("known dataset");
+        let data = generate(spec, dataset_seed(name, cfg.base_seed));
+        compare_human_vs_automatic(&data, et, &cfg).expect("comparison").flag
+    });
+
     let mut rows = Vec::new();
-    for (datasets, et) in comparisons {
-        let mut flags: Vec<Flag> = Vec::new();
-        for name in datasets {
-            let spec = spec_by_name(name).expect("known dataset");
-            let data = generate(spec, dataset_seed(name, cfg.base_seed));
-            let cmp = compare_human_vs_automatic(&data, et, &cfg).expect("comparison");
-            flags.push(cmp.flag);
-        }
-        rows.push((format!("{} | {}", datasets.join(","), et.name()), dist_of(&flags)));
+    for ((datasets, et), row_flags) in comparisons.iter().zip(&grouped) {
+        rows.push((format!("{} | {}", datasets.join(","), et.name()), dist_of(row_flags)));
     }
     print!("{}", render_flag_table("per-dataset flags aggregated", &rows));
 }

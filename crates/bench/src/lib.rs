@@ -4,21 +4,31 @@
 //! scientific ablation binaries, and Criterion micro-benchmarks.
 //!
 //! Every `tableNN` binary regenerates the corresponding table of the paper's
-//! evaluation section from scratch — generate datasets, run the §IV protocol,
-//! apply Benjamini–Yekutieli, issue the §V-A queries — and prints rows in
-//! the paper's `NN% (count)` format. Absolute counts depend on the synthetic
-//! stand-ins (see `DESIGN.md` §4); the *shape* — which flags dominate, which
-//! methods/models/datasets deviate — is the reproduction target, recorded in
-//! `EXPERIMENTS.md`.
+//! evaluation section from scratch — generate datasets, run the §IV protocol
+//! through the `cleanml-engine` scheduler, apply Benjamini–Yekutieli, issue
+//! the §V-A queries — and prints rows in the paper's `NN% (count)` format.
+//! Absolute counts depend on the synthetic stand-ins (see `DESIGN.md` §4);
+//! the *shape* — which flags dominate, which methods/models/datasets
+//! deviate — is the reproduction target, recorded in `EXPERIMENTS.md`.
 //!
 //! All binaries accept a profile argument:
 //!
 //! * `--quick` — 6 splits, no tuning (seconds; CI smoke).
 //! * `--standard` — the default: paper's 20 splits, default hyper-parameters.
 //! * `--paper` — 20 splits with random search + 5-fold CV (slow).
+//!
+//! plus the engine flags:
+//!
+//! * `--workers N` — worker threads (default: all cores).
+//! * `--cache-dir DIR` — persistent artifact cache; a re-run against a warm
+//!   cache skips all finished training.
+
+use std::sync::mpsc;
 
 use cleanml_core::database::FlagDist;
-use cleanml_core::ExperimentConfig;
+use cleanml_core::schema::ErrorType;
+use cleanml_core::{CleanMlDb, ExperimentConfig};
+use cleanml_engine::{parallel_map, Engine, EngineConfig, EngineEvent};
 use cleanml_stats::Flag;
 
 /// Parses the common CLI profile flags.
@@ -42,6 +52,110 @@ pub fn config_from_args() -> ExperimentConfig {
         }
     }
     cfg
+}
+
+/// Parses the engine CLI flags (`--workers`, `--cache-dir`).
+pub fn engine_from_args() -> EngineConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(0);
+    let cache_dir = args
+        .iter()
+        .position(|a| a == "--cache-dir")
+        .and_then(|p| args.get(p + 1))
+        .map(std::path::PathBuf::from);
+    EngineConfig { workers, cache_dir }
+}
+
+/// Worker count the binaries should use for coarse-grained
+/// [`cleanml_engine::parallel_map`] jobs.
+pub fn job_workers() -> usize {
+    engine_from_args().effective_workers()
+}
+
+/// Runs a study through the engine with live progress on stderr — the
+/// shared entry point of every `tableNN` binary.
+pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> CleanMlDb {
+    let engine_cfg = engine_from_args();
+    let (tx, rx) = mpsc::channel();
+    let mut engine = Engine::new(engine_cfg).with_events(tx);
+    eprintln!("[engine] {} workers", engine.workers());
+
+    let render = std::thread::spawn(move || {
+        let mut to_run = 0usize;
+        let mut done = 0usize;
+        for event in rx {
+            match event {
+                EngineEvent::GraphReady { total, cache_hits, pruned, to_run: t } => {
+                    to_run = t;
+                    eprintln!(
+                        "[engine] {total} tasks: {t} to run, {cache_hits} cache hits, \
+                         {pruned} pruned"
+                    );
+                }
+                EngineEvent::TaskFinished { ok: true, .. } => {
+                    done += 1;
+                    if done.is_multiple_of(100) || done == to_run {
+                        eprint!("\r[engine] {done}/{to_run} tasks done");
+                    }
+                }
+                EngineEvent::RunFinished if to_run > 0 => {
+                    eprintln!();
+                }
+                _ => {}
+            }
+        }
+    });
+
+    let started = std::time::Instant::now();
+    let (db, report) = engine.run_study_with_report(error_types, cfg).expect("engine study run");
+    drop(engine); // closes the event channel
+    render.join().expect("progress thread");
+    let by_kind: Vec<String> =
+        report.executed.iter().map(|(k, n)| format!("{} {}", n, k.name())).collect();
+    eprintln!(
+        "[engine] executed {} tasks in {:.1?} ({}); cache: {} hits, {} pruned",
+        report.executed_total(),
+        started.elapsed(),
+        if by_kind.is_empty() { "all cached".to_string() } else { by_kind.join(", ") },
+        report.cache_hits,
+        report.pruned,
+    );
+    db
+}
+
+/// Fans the per-dataset jobs of grouped comparisons (Tables 17/19) out on
+/// the engine job pool and regroups the flags by comparison, preserving
+/// order.
+pub fn grouped_flags<F>(comparisons: &[(&[&str], ErrorType)], f: F) -> Vec<Vec<Flag>>
+where
+    F: Fn(&str, ErrorType) -> Flag + Sync,
+{
+    let jobs: Vec<(usize, &str, ErrorType)> = comparisons
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, (datasets, et))| datasets.iter().map(move |&d| (ci, d, *et)))
+        .collect();
+    let flags = parallel_map(&jobs, job_workers(), |&(_, name, et)| f(name, et));
+    let mut grouped = vec![Vec::new(); comparisons.len()];
+    for (&(ci, _, _), flag) in jobs.iter().zip(flags) {
+        grouped[ci].push(flag);
+    }
+    grouped
+}
+
+/// Escapes one CSV field per RFC 4180: fields containing commas, quotes,
+/// newlines or carriage returns are quoted, with embedded quotes doubled.
+pub fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
 }
 
 /// Prints a section header.
@@ -91,5 +205,29 @@ mod tests {
         m.insert("EEG".to_string(), FlagDist { p: 1, s: 0, n: 0 });
         let rows = rows_of(&m);
         assert_eq!(rows[0].0, "EEG");
+    }
+
+    #[test]
+    fn grouped_flags_preserves_comparison_order() {
+        let comparisons: [(&[&str], ErrorType); 2] =
+            [(&["A", "B"], ErrorType::Outliers), (&["C"], ErrorType::Duplicates)];
+        let grouped = grouped_flags(&comparisons, |name, et| {
+            if name == "B" || et == ErrorType::Duplicates {
+                Flag::Positive
+            } else {
+                Flag::Insignificant
+            }
+        });
+        assert_eq!(grouped, vec![vec![Flag::Insignificant, Flag::Positive], vec![Flag::Positive]]);
+    }
+
+    #[test]
+    fn csv_escaping_covers_rfc4180() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(csv_escape("cr\rhere"), "\"cr\rhere\"");
+        assert_eq!(csv_escape(""), "");
     }
 }

@@ -21,7 +21,9 @@ use std::collections::HashMap;
 use cleanml_dataset::{ColumnKind, ColumnRole, Table};
 
 use crate::report::TableReport;
-use crate::similarity::{levenshtein_similarity, numeric_similarity, token_jaccard, trigram_jaccard};
+use crate::similarity::{
+    levenshtein_similarity, numeric_similarity, token_jaccard, trigram_jaccard,
+};
 use crate::zeroer::PairGmm;
 use crate::Result;
 
@@ -105,11 +107,8 @@ fn pair_features(
 ) -> Vec<f64> {
     let ta = record_text(table, a, text_cols);
     let tb = record_text(table, b, text_cols);
-    let mut v = vec![
-        levenshtein_similarity(&ta, &tb),
-        token_jaccard(&ta, &tb),
-        trigram_jaccard(&ta, &tb),
-    ];
+    let mut v =
+        vec![levenshtein_similarity(&ta, &tb), token_jaccard(&ta, &tb), trigram_jaccard(&ta, &tb)];
     if !num_cols.is_empty() {
         let mut sum = 0.0;
         let mut n = 0usize;
@@ -226,7 +225,9 @@ impl FittedDuplicates {
                 for r in 0..table.n_rows() {
                     let key: Vec<Option<String>> = keys
                         .iter()
-                        .map(|&c| table.column(c).ok().and_then(|col| col.cat_str(r).map(str::to_owned)))
+                        .map(|&c| {
+                            table.column(c).ok().and_then(|col| col.cat_str(r).map(str::to_owned))
+                        })
                         .collect();
                     // Rows with any missing key attribute never collide.
                     if key.iter().any(Option::is_none) {

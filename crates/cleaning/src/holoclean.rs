@@ -76,7 +76,8 @@ impl HoloCleanImputer {
 
         let signal_cats: Vec<usize> = (0..schema.len())
             .filter(|&c| {
-                Some(c) != label && schema.fields()[c].kind == ColumnKind::Categorical
+                Some(c) != label
+                    && schema.fields()[c].kind == ColumnKind::Categorical
                     && schema.fields()[c].role != ColumnRole::Key
             })
             .collect();
@@ -134,10 +135,8 @@ impl HoloCleanImputer {
                         e.1 += 1;
                     }
                 }
-                let means: HashMap<String, (f64, usize)> = sums
-                    .into_iter()
-                    .map(|(k, (s, c))| (k, (s / c as f64, c)))
-                    .collect();
+                let means: HashMap<String, (f64, usize)> =
+                    sums.into_iter().map(|(k, (s, c))| (k, (s / c as f64, c))).collect();
                 if !means.is_empty() {
                     model.group_means.insert(sig, means);
                 }
@@ -151,7 +150,7 @@ impl HoloCleanImputer {
                 let scol = train.column(sig)?;
                 if let Some((r_val, s_mean, s_std)) = pearson(train, tcol, scol) {
                     if r_val.abs() >= MIN_ABS_R
-                        && best.map_or(true, |(_, br, _, _)| r_val.abs() > br.abs())
+                        && best.is_none_or(|(_, br, _, _)| r_val.abs() > br.abs())
                     {
                         best = Some((sig, r_val, s_mean, s_std));
                     }
@@ -225,7 +224,8 @@ impl HoloCleanImputer {
             if let Ok(scol) = table.column(sig) {
                 if let Some(x) = scol.num(row) {
                     if s_std > 0.0 && model.global_std > 0.0 {
-                        let pred = model.global_mean + r * (model.global_std / s_std) * (x - s_mean);
+                        let pred =
+                            model.global_mean + r * (model.global_std / s_std) * (x - s_mean);
                         let w = r.abs();
                         estimate += w * pred;
                         weight_sum += w;
@@ -324,8 +324,7 @@ mod tests {
         let young = imp.impute_numeric(&train, 0, 3).unwrap(); // age 20
         let old = imp.impute_numeric(&train, 39, 3).unwrap(); // age 59
         assert!(old > young, "old={old} young={young}");
-        let global_mean: f64 =
-            train.column(3).unwrap().numeric_values().iter().sum::<f64>() / 40.0;
+        let global_mean: f64 = train.column(3).unwrap().numeric_values().iter().sum::<f64>() / 40.0;
         assert!(young < global_mean);
         assert!(old > global_mean);
     }
@@ -341,8 +340,7 @@ mod tests {
         let mut t = Table::new(schema);
         for i in 0..30 {
             let (city, price) = if i % 2 == 0 { ("NYC", 100.0) } else { ("SLC", 10.0) };
-            t.push_row(vec![Value::from(city), Value::from(price), Value::from("a")])
-                .unwrap();
+            t.push_row(vec![Value::from(city), Value::from(price), Value::from("a")]).unwrap();
         }
         // second class so label has 2 values
         t.push_row(vec![Value::from("NYC"), Value::from(100.0), Value::from("b")]).unwrap();
@@ -379,13 +377,7 @@ mod tests {
         let train = train_table();
         let a = HoloCleanImputer::fit(&train).unwrap();
         let b = HoloCleanImputer::fit(&train).unwrap();
-        assert_eq!(
-            a.impute_numeric(&train, 5, 3),
-            b.impute_numeric(&train, 5, 3)
-        );
-        assert_eq!(
-            a.impute_categorical(&train, 5, 1),
-            b.impute_categorical(&train, 5, 1)
-        );
+        assert_eq!(a.impute_numeric(&train, 5, 3), b.impute_numeric(&train, 5, 3));
+        assert_eq!(a.impute_categorical(&train, 5, 1), b.impute_categorical(&train, 5, 1));
     }
 }

@@ -68,11 +68,7 @@ pub fn fit(train: &Table) -> Result<FittedInconsistency> {
         let mut clusters: HashMap<String, HashMap<String, usize>> = HashMap::new();
         for r in 0..train.n_rows() {
             if let Some(v) = c.cat_str(r) {
-                *clusters
-                    .entry(fingerprint(v))
-                    .or_default()
-                    .entry(v.to_owned())
-                    .or_insert(0) += 1;
+                *clusters.entry(fingerprint(v)).or_default().entry(v.to_owned()).or_insert(0) += 1;
             }
         }
         let mut canon_col = HashMap::new();
@@ -96,10 +92,7 @@ pub fn fit(train: &Table) -> Result<FittedInconsistency> {
 impl FittedInconsistency {
     /// Number of training clusters with ≥ 2 distinct spellings (diagnostics).
     pub fn n_inconsistent_clusters(&self) -> usize {
-        self.inconsistent
-            .values()
-            .map(|m| m.values().filter(|&&b| b).count())
-            .sum()
+        self.inconsistent.values().map(|m| m.values().filter(|&&b| b).count()).sum()
     }
 
     /// Cleans one table by merging every value to its cluster's canonical
@@ -157,10 +150,7 @@ mod tests {
     }
 
     fn table_with_inconsistencies() -> Table {
-        let schema = Schema::new(vec![
-            FieldMeta::cat_feature("state"),
-            FieldMeta::label("y"),
-        ]);
+        let schema = Schema::new(vec![FieldMeta::cat_feature("state"), FieldMeta::label("y")]);
         let mut t = Table::new(schema);
         for (v, y) in [
             ("California", "p"),

@@ -191,11 +191,7 @@ impl CleaningMethod {
                 Repair::HoloClean,
             ]
             .into_iter()
-            .map(|repair| CleaningMethod {
-                error_type,
-                detection: Detection::Empty,
-                repair,
-            })
+            .map(|repair| CleaningMethod { error_type, detection: Detection::Empty, repair })
             .collect(),
             ErrorType::Outliers => {
                 let mut v = Vec::with_capacity(10);
@@ -217,7 +213,11 @@ impl CleaningMethod {
                     detection: Detection::KeyCollision,
                     repair: Repair::KeepOne,
                 },
-                CleaningMethod { error_type, detection: Detection::ZeroEr, repair: Repair::KeepOne },
+                CleaningMethod {
+                    error_type,
+                    detection: Detection::ZeroEr,
+                    repair: Repair::KeepOne,
+                },
             ],
             ErrorType::Inconsistencies => vec![CleaningMethod {
                 error_type,
@@ -404,18 +404,12 @@ mod tests {
     }
 
     fn numeric_table() -> Table {
-        let schema = Schema::new(vec![
-            FieldMeta::num_feature("x"),
-            FieldMeta::label("y"),
-        ]);
+        let schema = Schema::new(vec![FieldMeta::num_feature("x"), FieldMeta::label("y")]);
         let mut t = Table::new(schema);
         for i in 0..40 {
             let x = if i == 39 { 1000.0 } else { (i % 10) as f64 };
-            t.push_row(vec![
-                Value::from(x),
-                Value::from(if i % 2 == 0 { "p" } else { "n" }),
-            ])
-            .unwrap();
+            t.push_row(vec![Value::from(x), Value::from(if i % 2 == 0 { "p" } else { "n" })])
+                .unwrap();
         }
         t
     }

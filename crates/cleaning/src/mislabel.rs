@@ -83,7 +83,7 @@ impl ConfidentLearning {
             let mut best: Option<(usize, f64)> = None;
             for j in 0..k {
                 let p = probs[i * k + j];
-                if p >= t[j] && best.map_or(true, |(_, bp)| p > bp) {
+                if p >= t[j] && best.is_none_or(|(_, bp)| p > bp) {
                     best = Some((j, p));
                 }
             }
@@ -96,9 +96,9 @@ impl ConfidentLearning {
         // Prune by noise rate: per (i, j) off-diagonal cell, relabel the
         // joint[i][j] examples labeled i with the largest p_j.
         let mut to_fix: Vec<(usize, usize)> = Vec::new(); // (row, new class)
-        for y in 0..k {
-            for j in 0..k {
-                if y == j || joint[y][j] == 0 {
+        for (y, joint_y) in joint.iter().enumerate() {
+            for (j, &cell_count) in joint_y.iter().enumerate() {
+                if y == j || cell_count == 0 {
                     continue;
                 }
                 let mut candidates: Vec<(usize, f64)> = (0..n)
@@ -108,7 +108,7 @@ impl ConfidentLearning {
                 candidates.sort_by(|a, b| {
                     b.1.partial_cmp(&a.1).expect("finite probs").then(a.0.cmp(&b.0))
                 });
-                candidates.truncate(joint[y][j]);
+                candidates.truncate(cell_count);
                 for (i, _) in candidates {
                     to_fix.push((i, j));
                 }

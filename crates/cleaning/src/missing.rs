@@ -122,11 +122,8 @@ pub fn fit(repair: MissingRepair, train: &Table) -> Result<FittedMissing> {
             cat_modes.insert(col, mode);
         }
     }
-    let holoclean = if repair == MissingRepair::HoloClean {
-        Some(HoloCleanImputer::fit(train)?)
-    } else {
-        None
-    };
+    let holoclean =
+        if repair == MissingRepair::HoloClean { Some(HoloCleanImputer::fit(train)?) } else { None };
 
     Ok(FittedMissing { repair, num_stats, cat_modes, holoclean })
 }
@@ -201,12 +198,7 @@ impl FittedMissing {
             }
         };
 
-        let report = TableReport {
-            rows_before,
-            rows_after: out.n_rows(),
-            detected,
-            repaired,
-        };
+        let report = TableReport { rows_before, rows_after: out.n_rows(), detected, repaired };
         Ok((out, report))
     }
 }
@@ -263,11 +255,8 @@ mod tests {
     #[test]
     fn mean_mode_imputation() {
         let t = dirty_table();
-        let cleaner = fit(
-            MissingRepair::Impute { num: NumImpute::Mean, cat: CatImpute::Mode },
-            &t,
-        )
-        .unwrap();
+        let cleaner =
+            fit(MissingRepair::Impute { num: NumImpute::Mean, cat: CatImpute::Mode }, &t).unwrap();
         let (clean, report) = cleaner.apply(&t).unwrap();
         assert_eq!(clean.n_rows(), 6);
         assert_eq!(clean.n_missing_cells(), 0);
@@ -281,11 +270,9 @@ mod tests {
     #[test]
     fn median_is_outlier_robust() {
         let t = dirty_table();
-        let cleaner = fit(
-            MissingRepair::Impute { num: NumImpute::Median, cat: CatImpute::Mode },
-            &t,
-        )
-        .unwrap();
+        let cleaner =
+            fit(MissingRepair::Impute { num: NumImpute::Median, cat: CatImpute::Mode }, &t)
+                .unwrap();
         let (clean, _) = cleaner.apply(&t).unwrap();
         // median of 1,2,3,100 = 2.5 — not dragged to 26.5 by the outlier
         assert_eq!(clean.get(3, 0).unwrap(), Value::Num(2.5));
@@ -294,11 +281,8 @@ mod tests {
     #[test]
     fn dummy_category_injected() {
         let t = dirty_table();
-        let cleaner = fit(
-            MissingRepair::Impute { num: NumImpute::Mode, cat: CatImpute::Dummy },
-            &t,
-        )
-        .unwrap();
+        let cleaner =
+            fit(MissingRepair::Impute { num: NumImpute::Mode, cat: CatImpute::Dummy }, &t).unwrap();
         let (clean, _) = cleaner.apply(&t).unwrap();
         assert_eq!(clean.get(4, 1).unwrap(), Value::Str(DUMMY_CATEGORY.into()));
         // numeric mode of 1,2,3,100 -> 1 (all unique, smallest wins)
@@ -312,11 +296,9 @@ mod tests {
         let schema = train.schema().clone();
         let mut test = Table::new(schema);
         test.push_row(vec![Value::Null, Value::Null, Value::from("p")]).unwrap();
-        let cleaner = fit(
-            MissingRepair::Impute { num: NumImpute::Mean, cat: CatImpute::Mode },
-            &train,
-        )
-        .unwrap();
+        let cleaner =
+            fit(MissingRepair::Impute { num: NumImpute::Mean, cat: CatImpute::Mode }, &train)
+                .unwrap();
         let (clean, _) = cleaner.apply(&test).unwrap();
         assert_eq!(clean.get(0, 0).unwrap(), Value::Num(26.5)); // train mean
         assert_eq!(clean.get(0, 1).unwrap(), Value::Str("a".into())); // train mode
@@ -349,11 +331,8 @@ mod tests {
         let mut t = Table::new(schema);
         t.push_row(vec![Value::Null, Value::from("a")]).unwrap();
         t.push_row(vec![Value::Null, Value::from("b")]).unwrap();
-        let cleaner = fit(
-            MissingRepair::Impute { num: NumImpute::Mean, cat: CatImpute::Mode },
-            &t,
-        )
-        .unwrap();
+        let cleaner =
+            fit(MissingRepair::Impute { num: NumImpute::Mean, cat: CatImpute::Mode }, &t).unwrap();
         let (clean, _) = cleaner.apply(&t).unwrap();
         assert_eq!(clean.get(0, 0).unwrap(), Value::Num(0.0));
     }

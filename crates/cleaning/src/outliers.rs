@@ -134,11 +134,7 @@ pub fn fit(
             }
             OutlierDetection::IsolationForest { contamination, n_trees } => {
                 let values = c.numeric_values();
-                let forest = IsolationForest1D::fit(
-                    &values,
-                    n_trees,
-                    seed.wrapping_add(i as u64),
-                );
+                let forest = IsolationForest1D::fit(&values, n_trees, seed.wrapping_add(i as u64));
                 let mut scores: Vec<f64> = values.iter().map(|&v| forest.score(v)).collect();
                 scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
                 let threshold = if scores.is_empty() {
@@ -158,11 +154,8 @@ pub fn fit(
         for &col in &cols {
             let c = train.column(col)?;
             let det = &detectors[&col];
-            let mut inliers: Vec<f64> = c
-                .numeric_values()
-                .into_iter()
-                .filter(|&v| !is_outlier(det, v))
-                .collect();
+            let mut inliers: Vec<f64> =
+                c.numeric_values().into_iter().filter(|&v| !is_outlier(det, v)).collect();
             if inliers.is_empty() {
                 inliers = c.numeric_values();
             }
@@ -195,11 +188,8 @@ pub fn fit(
         }
     }
 
-    let holoclean = if repair == OutlierRepair::HoloClean {
-        Some(HoloCleanImputer::fit(train)?)
-    } else {
-        None
-    };
+    let holoclean =
+        if repair == OutlierRepair::HoloClean { Some(HoloCleanImputer::fit(train)?) } else { None };
 
     Ok(FittedOutliers { detection, repair, detectors, repair_values, holoclean })
 }
@@ -338,12 +328,8 @@ impl IsolationForest1D {
         if self.c_psi <= 0.0 {
             return 0.5;
         }
-        let mean_path: f64 = self
-            .trees
-            .iter()
-            .map(|t| path_length(t, v, 0))
-            .sum::<f64>()
-            / self.trees.len() as f64;
+        let mean_path: f64 =
+            self.trees.iter().map(|t| path_length(t, v, 0)).sum::<f64>() / self.trees.len() as f64;
         2f64.powf(-mean_path / self.c_psi)
     }
 }
@@ -404,13 +390,8 @@ mod tests {
     #[test]
     fn sd_detects_extremes() {
         let t = table_with_outliers();
-        let cleaner = fit(
-            OutlierDetection::Sd { n_sigmas: 3.0 },
-            OutlierRepair::Mean,
-            &t,
-            0,
-        )
-        .unwrap();
+        let cleaner =
+            fit(OutlierDetection::Sd { n_sigmas: 3.0 }, OutlierRepair::Mean, &t, 0).unwrap();
         let cells = cleaner.detect(&t).unwrap();
         assert!(cells.contains(&(60, 0)), "x=500 missed: {cells:?}");
         assert!(cells.contains(&(61, 1)), "z=-400 missed: {cells:?}");
@@ -421,8 +402,7 @@ mod tests {
     #[test]
     fn iqr_detects_extremes() {
         let t = table_with_outliers();
-        let cleaner =
-            fit(OutlierDetection::Iqr { k: 1.5 }, OutlierRepair::Median, &t, 0).unwrap();
+        let cleaner = fit(OutlierDetection::Iqr { k: 1.5 }, OutlierRepair::Median, &t, 0).unwrap();
         let cells = cleaner.detect(&t).unwrap();
         assert!(cells.contains(&(60, 0)));
         assert!(cells.contains(&(61, 1)));
@@ -446,13 +426,8 @@ mod tests {
     #[test]
     fn repair_uses_inlier_statistics() {
         let t = table_with_outliers();
-        let cleaner = fit(
-            OutlierDetection::Sd { n_sigmas: 3.0 },
-            OutlierRepair::Mean,
-            &t,
-            0,
-        )
-        .unwrap();
+        let cleaner =
+            fit(OutlierDetection::Sd { n_sigmas: 3.0 }, OutlierRepair::Mean, &t, 0).unwrap();
         let (clean, report) = cleaner.apply(&t).unwrap();
         assert!(report.repaired >= 2);
         let fixed = clean.get(60, 0).unwrap().as_num().unwrap();
@@ -465,13 +440,8 @@ mod tests {
     #[test]
     fn holoclean_repair_applies() {
         let t = table_with_outliers();
-        let cleaner = fit(
-            OutlierDetection::Sd { n_sigmas: 3.0 },
-            OutlierRepair::HoloClean,
-            &t,
-            0,
-        )
-        .unwrap();
+        let cleaner =
+            fit(OutlierDetection::Sd { n_sigmas: 3.0 }, OutlierRepair::HoloClean, &t, 0).unwrap();
         let (clean, _) = cleaner.apply(&t).unwrap();
         let fixed = clean.get(60, 0).unwrap().as_num().unwrap();
         assert!(fixed.abs() < 50.0, "repaired value {fixed}");
@@ -491,13 +461,8 @@ mod tests {
     #[test]
     fn bounds_fitted_on_train_only() {
         let train = table_with_outliers();
-        let cleaner = fit(
-            OutlierDetection::Sd { n_sigmas: 3.0 },
-            OutlierRepair::Mean,
-            &train,
-            0,
-        )
-        .unwrap();
+        let cleaner =
+            fit(OutlierDetection::Sd { n_sigmas: 3.0 }, OutlierRepair::Mean, &train, 0).unwrap();
         // A fresh table with one extreme value: detected via *train* bounds.
         let schema = train.schema().clone();
         let mut test = Table::new(schema);
@@ -511,12 +476,14 @@ mod tests {
         let schema = Schema::new(vec![FieldMeta::num_feature("x"), FieldMeta::label("y")]);
         let mut t = Table::new(schema);
         for i in 0..20 {
-            t.push_row(vec![Value::from(i as f64), Value::from(if i % 2 == 0 { "a" } else { "b" })])
-                .unwrap();
+            t.push_row(vec![
+                Value::from(i as f64),
+                Value::from(if i % 2 == 0 { "a" } else { "b" }),
+            ])
+            .unwrap();
         }
         t.push_row(vec![Value::Null, Value::from("a")]).unwrap();
-        let cleaner =
-            fit(OutlierDetection::Iqr { k: 1.5 }, OutlierRepair::Mean, &t, 0).unwrap();
+        let cleaner = fit(OutlierDetection::Iqr { k: 1.5 }, OutlierRepair::Mean, &t, 0).unwrap();
         let cells = cleaner.detect(&t).unwrap();
         assert!(cells.iter().all(|&(r, _)| r != 20));
     }

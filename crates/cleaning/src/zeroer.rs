@@ -108,14 +108,9 @@ impl PairGmm {
                 break; // collapsed; keep previous parameters
             }
             for d in 0..dim {
-                let m1: f64 =
-                    points.iter().zip(&resp).map(|(p, r)| r * p[d]).sum::<f64>() / w1;
-                let m0: f64 = points
-                    .iter()
-                    .zip(&resp)
-                    .map(|(p, r)| (1.0 - r) * p[d])
-                    .sum::<f64>()
-                    / w0;
+                let m1: f64 = points.iter().zip(&resp).map(|(p, r)| r * p[d]).sum::<f64>() / w1;
+                let m0: f64 =
+                    points.iter().zip(&resp).map(|(p, r)| (1.0 - r) * p[d]).sum::<f64>() / w0;
                 let v1: f64 = points
                     .iter()
                     .zip(&resp)
@@ -132,10 +127,8 @@ impl PairGmm {
                 // Dominance constraint (match above unmatch on every
                 // feature) plus seed anchoring (no drifting down the
                 // similarity shoulder away from the near-identical seeds).
-                gmm.means[1][d] = m1
-                    .max(m0 + DOMINANCE_GAP)
-                    .max(gmm.seed_means[d] - SEED_SLACK)
-                    .min(1.0);
+                gmm.means[1][d] =
+                    m1.max(m0 + DOMINANCE_GAP).max(gmm.seed_means[d] - SEED_SLACK).min(1.0);
                 gmm.vars[0][d] = v0.max(MIN_UNMATCH_VAR);
                 // Matches are near-identical: cap their spread.
                 gmm.vars[1][d] = v1.clamp(VAR_FLOOR, MAX_MATCH_VAR);
@@ -172,9 +165,10 @@ impl PairGmm {
 
     fn log_density(&self, point: &[f64], comp: usize) -> f64 {
         let mut ll = 0.0;
-        for d in 0..self.dim {
-            let dev = point[d] - self.means[comp][d];
-            let var = self.vars[comp][d];
+        for (p, (m, &var)) in
+            point[..self.dim].iter().zip(self.means[comp].iter().zip(&self.vars[comp]))
+        {
+            let dev = p - m;
             ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + dev * dev / var);
         }
         ll

@@ -11,17 +11,9 @@ use crate::database::FlagDist;
 pub fn render_flag_table(title: &str, rows: &[(String, FlagDist)]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let label_width = rows
-        .iter()
-        .map(|(name, _)| name.len())
-        .chain(std::iter::once(5))
-        .max()
-        .unwrap_or(5);
-    let _ = writeln!(
-        out,
-        "{:<label_width$}  {:>12} {:>12} {:>12}",
-        "group", "P", "S", "N"
-    );
+    let label_width =
+        rows.iter().map(|(name, _)| name.len()).chain(std::iter::once(5)).max().unwrap_or(5);
+    let _ = writeln!(out, "{:<label_width$}  {:>12} {:>12} {:>12}", "group", "P", "S", "N");
     for (name, dist) in rows {
         let _ = writeln!(
             out,

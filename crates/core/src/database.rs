@@ -133,21 +133,9 @@ impl CleanMlDb {
     /// Runs an arbitrary correction per relation (for the ablation bench
     /// comparing BY with BH / Bonferroni / uncorrected).
     pub fn apply_correction(&mut self, correction: Correction, alpha: f64) {
-        correct_rows(
-            self.r1.iter_mut().map(|r| (&mut r.flag, &r.evidence)),
-            correction,
-            alpha,
-        );
-        correct_rows(
-            self.r2.iter_mut().map(|r| (&mut r.flag, &r.evidence)),
-            correction,
-            alpha,
-        );
-        correct_rows(
-            self.r3.iter_mut().map(|r| (&mut r.flag, &r.evidence)),
-            correction,
-            alpha,
-        );
+        correct_rows(self.r1.iter_mut().map(|r| (&mut r.flag, &r.evidence)), correction, alpha);
+        correct_rows(self.r2.iter_mut().map(|r| (&mut r.flag, &r.evidence)), correction, alpha);
+        correct_rows(self.r3.iter_mut().map(|r| (&mut r.flag, &r.evidence)), correction, alpha);
     }
 
     // --- Query templates (paper §V-A) ------------------------------------
@@ -224,7 +212,14 @@ impl CleanMlDb {
         match relation {
             Relation::R1 => {
                 for r in self.r1.iter().filter(|r| r.error_type == error_type) {
-                    f(r.flag, &r.dataset, r.scenario, Some(r.detection), Some(r.repair), Some(r.model));
+                    f(
+                        r.flag,
+                        &r.dataset,
+                        r.scenario,
+                        Some(r.detection),
+                        Some(r.repair),
+                        Some(r.model),
+                    );
                 }
             }
             Relation::R2 => {

@@ -97,10 +97,7 @@ pub fn compare_human_vs_automatic(
     cfg: &ExperimentConfig,
 ) -> Result<HumanComparison> {
     if !data.error_types.contains(&error_type) {
-        return Err(CoreError::Unsupported(format!(
-            "{} does not carry {}",
-            data.name, error_type
-        )));
+        return Err(CoreError::Unsupported(format!("{} does not carry {}", data.name, error_type)));
     }
     let metric = metric_for(data)?;
     let classes = label_classes(&data.dirty)?;
@@ -126,7 +123,7 @@ pub fn compare_human_vs_automatic(
                 cfg,
                 seed.wrapping_add(100 + mi as u64),
             )?;
-            if best.map_or(true, |(bv, _)| eval.val > bv) {
+            if best.is_none_or(|(bv, _)| eval.val > bv) {
                 best = Some((eval.val, eval.acc));
             }
         }

@@ -15,6 +15,9 @@
 //! * [`analysis`] — paper-style table rendering.
 //! * [`study`] — orchestration across datasets/error types, including the
 //!   13 mislabel variants.
+//! * [`tasks`] — the protocol decomposed into pure, `Send` task units
+//!   (`Split` → `Clean` → `Train` → `Evaluate`) that `cleanml-engine`
+//!   schedules across a worker pool.
 //! * [`mixed`] — cleaning mixed error types vs. single types (§VII-A,
 //!   Table 17).
 //! * [`robust`] — cleaning vs. robust-ML baselines NaCL and MLP (§VII-B,
@@ -32,10 +35,11 @@ pub mod robust;
 pub mod runner;
 pub mod schema;
 pub mod study;
+pub mod tasks;
 
 pub use config::ExperimentConfig;
 pub use database::{CleanMlDb, FlagDist, Relation};
 pub use error::CoreError;
 pub use runner::{evaluate_grid, run_r1_experiment, EvalGrid, ExperimentOutcome, Result};
 pub use schema::{Flag, Scenario, Spec1, Spec2, Spec3};
-pub use study::{generate_datasets_for, run_study};
+pub use study::{dataset_plan, generate_datasets_for, run_study, DatasetPlan};

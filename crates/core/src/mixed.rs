@@ -53,11 +53,8 @@ pub fn clean_sequence(
 /// Cartesian product of per-error-type catalogues (each truncated to
 /// `cap` methods), ordered by [`MIXED_ORDER`].
 pub fn mixed_method_space(error_types: &[ErrorType], cap: usize) -> Vec<Vec<CleaningMethod>> {
-    let ordered: Vec<ErrorType> = MIXED_ORDER
-        .iter()
-        .copied()
-        .filter(|et| error_types.contains(et))
-        .collect();
+    let ordered: Vec<ErrorType> =
+        MIXED_ORDER.iter().copied().filter(|et| error_types.contains(et)).collect();
     let mut combos: Vec<Vec<CleaningMethod>> = vec![Vec::new()];
     for et in ordered {
         let methods: Vec<CleaningMethod> =
@@ -97,10 +94,7 @@ pub fn compare_mixed_vs_single(
     cfg: &ExperimentConfig,
 ) -> Result<MixedComparison> {
     if !data.error_types.contains(&single) {
-        return Err(CoreError::Unsupported(format!(
-            "{} does not carry {}",
-            data.name, single
-        )));
+        return Err(CoreError::Unsupported(format!("{} does not carry {}", data.name, single)));
     }
     if data.error_types.len() < 2 {
         return Err(CoreError::Unsupported(format!(
@@ -124,10 +118,18 @@ pub fn compare_mixed_vs_single(
         let best_in = |space: &[Vec<CleaningMethod>]| -> Result<f64> {
             let mut best: Option<(f64, f64)> = None; // (val, acc)
             for (ci, combo) in space.iter().enumerate() {
-                let (tr, te) = clean_sequence(combo, &train0, &test0, seed.wrapping_add(ci as u64))?;
-                let eval =
-                    best_model_eval(&tr, &te, pool, metric, &classes, cfg, seed.wrapping_add(ci as u64))?;
-                if best.map_or(true, |(bv, _)| eval.val > bv) {
+                let (tr, te) =
+                    clean_sequence(combo, &train0, &test0, seed.wrapping_add(ci as u64))?;
+                let eval = best_model_eval(
+                    &tr,
+                    &te,
+                    pool,
+                    metric,
+                    &classes,
+                    cfg,
+                    seed.wrapping_add(ci as u64),
+                )?;
+                if best.is_none_or(|(bv, _)| eval.val > bv) {
                     best = Some((eval.val, eval.acc));
                 }
             }

@@ -95,7 +95,7 @@ pub fn compare_cleaning_vs_robust(
                 cfg,
                 seed.wrapping_add(100 + mi as u64),
             )?;
-            if best.as_ref().map_or(true, |(bv, _, _)| eval.val > *bv) {
+            if best.as_ref().is_none_or(|(bv, _, _)| eval.val > *bv) {
                 best = Some((eval.val, eval.acc, out.test));
             }
         }

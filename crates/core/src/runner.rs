@@ -24,16 +24,16 @@
 //! "dirty" training set is the deletion-repaired one, and only scenario BD
 //! exists.
 
-use cleanml_cleaning::{clean_pair, CleaningMethod, ErrorType};
+use cleanml_cleaning::{CleaningMethod, ErrorType};
 use cleanml_datagen::GeneratedDataset;
-use cleanml_dataset::{Encoder, FeatureMatrix, Table};
-use cleanml_ml::cv::random_search;
+use cleanml_dataset::{Encoder, Table};
 use cleanml_ml::{FittedModel, Metric, ModelKind, PAPER_MODELS};
 use cleanml_stats::{flag_from_tests, paired_t_test, Flag};
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
 use crate::schema::{Evidence, Row1, Row2, Row3, Scenario, Spec1};
+use crate::tasks::{self, DatasetContext, TrainedModel};
 
 /// Result alias for study execution.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -83,10 +83,7 @@ pub fn metric_for(data: &GeneratedDataset) -> Result<Metric> {
         .min_by_key(|&&(_, n)| n)
         .and_then(|&(id, _)| col.dict_str(id))
         .ok_or_else(|| CoreError::Stats("no classes observed".into()))?;
-    let positive = classes
-        .iter()
-        .position(|c| c == minority)
-        .expect("minority class is observed");
+    let positive = classes.iter().position(|c| c == minority).expect("minority class is observed");
     Ok(Metric::F1 { positive })
 }
 
@@ -105,101 +102,38 @@ pub fn label_classes(table: &Table) -> Result<Vec<String>> {
     Ok(classes)
 }
 
-/// Fits one model family with the configured search and returns the fitted
-/// model plus its validation score.
-fn fit_scored(
-    kind: ModelKind,
-    data: &FeatureMatrix,
-    cfg: &ExperimentConfig,
-    metric: Metric,
-    seed: u64,
-) -> Result<(FittedModel, f64)> {
-    let search = random_search(kind, data, cfg.search, seed, metric)?;
-    let model = search.spec.fit(data, seed)?;
-    Ok((model, search.val_score))
-}
-
-fn score_model(
-    model: &FittedModel,
-    data: &FeatureMatrix,
-    metric: Metric,
-) -> Result<f64> {
-    let preds = model.predict(data)?;
-    Ok(metric.score(data.labels(), &preds))
-}
-
 /// Evaluates one split; returns `cells[method][model]`.
-#[allow(clippy::too_many_arguments)]
+///
+/// This is the serial composition of the pure task units in
+/// [`crate::tasks`] — the engine schedules exactly the same units across a
+/// worker pool, so both paths produce identical cells.
 fn eval_split(
     data: &GeneratedDataset,
     error_type: ErrorType,
     methods: &[CleaningMethod],
     models: &[ModelKind],
-    metric: Metric,
-    classes: &[String],
+    ctx: &DatasetContext,
     cfg: &ExperimentConfig,
     split: usize,
 ) -> Result<Vec<Vec<CellEval>>> {
-    let (train0, test0) = data.dirty.split(cfg.test_fraction, cfg.split_seed(split))?;
+    let split_art = tasks::make_split(data, error_type, ctx, cfg, split)?;
     let fit_seed = cfg.fit_seed(split);
 
-    // The dirty baseline: deletion for missing values, the raw partition
-    // otherwise (paper Table 5 vs Table 4).
-    let dirty_train = match error_type {
-        ErrorType::MissingValues => train0.drop_rows_with_missing(),
-        _ => train0.clone(),
-    };
-    let dirty_test = test0.clone();
-
     // Dirty-side models are method-independent: fit once.
-    let enc_dirty = Encoder::fit_with_classes(&dirty_train, classes)?;
-    let dirty_matrix = enc_dirty.transform(&dirty_train)?;
-    let mut dirty_models: Vec<(FittedModel, f64)> = Vec::with_capacity(models.len());
-    for (ki, &kind) in models.iter().enumerate() {
-        dirty_models.push(fit_scored(
-            kind,
-            &dirty_matrix,
-            cfg,
-            metric,
-            fit_seed.wrapping_add(ki as u64),
-        )?);
-    }
+    let dirty_models: Vec<TrainedModel> = models
+        .iter()
+        .enumerate()
+        .map(|(ki, &kind)| tasks::train_dirty(kind, ki, &split_art, ctx, cfg, fit_seed))
+        .collect::<Result<_>>()?;
 
     let mut out = Vec::with_capacity(methods.len());
     for (mi, method) in methods.iter().enumerate() {
-        let outcome = clean_pair(method, &train0, &test0, fit_seed.wrapping_add(1000 + mi as u64))?;
-
-        let enc_clean = Encoder::fit_with_classes(&outcome.train, classes)?;
-        let clean_train_m = enc_clean.transform(&outcome.train)?;
-        let clean_test_m = enc_clean.transform(&outcome.test)?;
-        let dirty_test_m = match error_type {
-            ErrorType::MissingValues => None,
-            _ => Some(enc_clean.transform(&dirty_test)?),
-        };
-        let clean_test_for_dirty = enc_dirty.transform(&outcome.test)?;
-
+        let clean = tasks::make_clean(method, mi, error_type, &split_art, ctx, fit_seed)?;
         let mut row = Vec::with_capacity(models.len());
         for (ki, &kind) in models.iter().enumerate() {
-            let (clean_model, val_clean) = fit_scored(
-                kind,
-                &clean_train_m,
-                cfg,
-                metric,
-                fit_seed.wrapping_add(2000 + (mi * models.len() + ki) as u64),
-            )?;
-            let acc_d = score_model(&clean_model, &clean_test_m, metric)?;
-            let acc_c = match &dirty_test_m {
-                Some(m) => Some(score_model(&clean_model, m, metric)?),
-                None => None,
-            };
-            let acc_b = score_model(&dirty_models[ki].0, &clean_test_for_dirty, metric)?;
-            row.push(CellEval {
-                val_dirty: dirty_models[ki].1,
-                val_clean,
-                acc_b,
-                acc_c,
-                acc_d,
-            });
+            let clean_model =
+                tasks::train_clean(kind, ki, mi, models.len(), &clean, ctx, cfg, fit_seed)?;
+            row.push(tasks::evaluate_cell(&dirty_models[ki], &clean_model, &clean, ctx)?);
         }
         out.push(row);
     }
@@ -213,13 +147,7 @@ pub fn evaluate_grid(
     error_type: ErrorType,
     cfg: &ExperimentConfig,
 ) -> Result<EvalGrid> {
-    evaluate_grid_with(
-        data,
-        error_type,
-        &CleaningMethod::catalogue(error_type),
-        &PAPER_MODELS,
-        cfg,
-    )
+    evaluate_grid_with(data, error_type, &CleaningMethod::catalogue(error_type), &PAPER_MODELS, cfg)
 }
 
 /// Runs the grid with explicit method/model subsets (used by the focused
@@ -234,8 +162,7 @@ pub fn evaluate_grid_with(
     if methods.is_empty() || models.is_empty() {
         return Err(CoreError::Unsupported("empty method or model list".into()));
     }
-    let metric = metric_for(data)?;
-    let classes = label_classes(&data.dirty)?;
+    let ctx = tasks::dataset_context(data)?;
 
     let cells: Vec<Vec<Vec<CellEval>>> = if cfg.parallel && cfg.n_splits > 1 {
         // One thread per split; the paper's 20 splits are comfortably within
@@ -243,10 +170,8 @@ pub fn evaluate_grid_with(
         let results: Vec<Result<Vec<Vec<CellEval>>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..cfg.n_splits)
                 .map(|s| {
-                    let classes = &classes;
-                    scope.spawn(move || {
-                        eval_split(data, error_type, methods, models, metric, classes, cfg, s)
-                    })
+                    let ctx = &ctx;
+                    scope.spawn(move || eval_split(data, error_type, methods, models, ctx, cfg, s))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("split thread panicked")).collect()
@@ -254,7 +179,7 @@ pub fn evaluate_grid_with(
         results.into_iter().collect::<Result<Vec<_>>>()?
     } else {
         (0..cfg.n_splits)
-            .map(|s| eval_split(data, error_type, methods, models, metric, &classes, cfg, s))
+            .map(|s| eval_split(data, error_type, methods, models, &ctx, cfg, s))
             .collect::<Result<Vec<_>>>()?
     };
 
@@ -263,10 +188,38 @@ pub fn evaluate_grid_with(
         error_type,
         methods: methods.to_vec(),
         models: models.to_vec(),
-        metric,
+        metric: ctx.metric,
         n_splits: cfg.n_splits,
         cells,
     })
+}
+
+impl EvalGrid {
+    /// Assembles a grid from externally computed cells
+    /// (`cells[split][method][model]`) — the engine's reduction step.
+    pub fn from_parts(
+        dataset: String,
+        error_type: ErrorType,
+        methods: Vec<CleaningMethod>,
+        models: Vec<ModelKind>,
+        metric: Metric,
+        cells: Vec<Vec<Vec<CellEval>>>,
+    ) -> Result<Self> {
+        let n_splits = cells.len();
+        if n_splits == 0 || methods.is_empty() || models.is_empty() {
+            return Err(CoreError::Unsupported("empty grid dimensions".into()));
+        }
+        for per_split in &cells {
+            if per_split.len() != methods.len()
+                || per_split.iter().any(|row| row.len() != models.len())
+            {
+                return Err(CoreError::Unsupported(
+                    "cells shape does not match methods × models".into(),
+                ));
+            }
+        }
+        Ok(EvalGrid { dataset, error_type, methods, models, metric, n_splits, cells })
+    }
 }
 
 fn evidence(before: &[f64], after: &[f64]) -> Result<(Flag, Evidence)> {
@@ -468,13 +421,13 @@ pub fn best_model_eval(
     let test_m = enc.transform(test)?;
     let mut best: Option<(ModelKind, f64, FittedModel)> = None;
     for (ki, &kind) in pool.iter().enumerate() {
-        let (model, val) = fit_scored(kind, &train_m, cfg, metric, seed.wrapping_add(ki as u64))?;
-        if best.as_ref().map_or(true, |(_, bv, _)| val > *bv) {
-            best = Some((kind, val, model));
+        let trained = tasks::fit_scored(kind, &train_m, cfg, metric, seed.wrapping_add(ki as u64))?;
+        if best.as_ref().is_none_or(|(_, bv, _)| trained.val > *bv) {
+            best = Some((kind, trained.val, trained.model));
         }
     }
     let (kind, val, model) = best.expect("pool non-empty");
-    let acc = score_model(&model, &test_m, metric)?;
+    let acc = tasks::score_model(&model, &test_m, metric)?;
     Ok(BestEval { kind, val, acc })
 }
 

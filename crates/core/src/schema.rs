@@ -43,10 +43,14 @@ impl Scenario {
 
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", match self {
-            Scenario::BD => "BD",
-            Scenario::CD => "CD",
-        })
+        write!(
+            f,
+            "{}",
+            match self {
+                Scenario::BD => "BD",
+                Scenario::CD => "CD",
+            }
+        )
     }
 }
 
@@ -136,10 +140,7 @@ mod tests {
     #[test]
     fn scenarios_per_error_type() {
         assert_eq!(Scenario::for_error(ErrorType::MissingValues), &[Scenario::BD]);
-        assert_eq!(
-            Scenario::for_error(ErrorType::Outliers),
-            &[Scenario::BD, Scenario::CD]
-        );
+        assert_eq!(Scenario::for_error(ErrorType::Outliers), &[Scenario::BD, Scenario::CD]);
         assert_eq!(Scenario::BD.to_string(), "BD");
         assert_eq!(Scenario::CD.to_string(), "CD");
     }

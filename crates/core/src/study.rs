@@ -26,24 +26,62 @@ pub fn dataset_seed(name: &str, base_seed: u64) -> u64 {
     fnv1a(name) ^ base_seed.rotate_left(17)
 }
 
-/// The datasets participating in `error_type`'s experiments.
+/// One planned dataset of a study: everything needed to *generate* it,
+/// without generating it. The engine builds `GenerateDataset` tasks from
+/// plans so that a base dataset shared by several mislabel variants (or by
+/// several error types) is generated exactly once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetPlan {
+    /// Final dataset name (e.g. `EEGuniform` for an injected variant).
+    pub name: String,
+    /// Name of the base [`cleanml_datagen::DatasetSpec`].
+    pub spec_name: &'static str,
+    /// Seed for generating the base dataset.
+    pub seed: u64,
+    /// Mislabel-injection step applied on top of the base, if any.
+    pub variant: Option<(MislabelStrategy, u64)>,
+}
+
+impl DatasetPlan {
+    /// Generates the planned dataset (base generation plus optional
+    /// injection).
+    pub fn realize(&self) -> GeneratedDataset {
+        let spec = cleanml_datagen::spec_by_name(self.spec_name).expect("known dataset");
+        let base = generate(spec, self.seed);
+        match self.variant {
+            Some((strategy, variant_seed)) => {
+                inject_mislabel_variant(&base, strategy, variant_seed)
+            }
+            None => base,
+        }
+    }
+}
+
+/// The datasets participating in `error_type`'s experiments, as plans.
 ///
 /// For mislabels this is the paper's 13 variants: Clothing (real mislabels)
 /// plus {EEG, Marketing, Titanic, USCensus} × {uniform, major, minor}
 /// injection (paper §III-B5). For every other error type it is the Table 3
 /// column.
-pub fn generate_datasets_for(error_type: ErrorType, base_seed: u64) -> Vec<GeneratedDataset> {
+pub fn dataset_plan(error_type: ErrorType, base_seed: u64) -> Vec<DatasetPlan> {
     match error_type {
         ErrorType::Mislabels => {
             let mut out = Vec::with_capacity(13);
-            let clothing = cleanml_datagen::spec_by_name("Clothing").expect("known dataset");
-            out.push(generate(clothing, dataset_seed("Clothing", base_seed)));
+            out.push(DatasetPlan {
+                name: "Clothing".into(),
+                spec_name: "Clothing",
+                seed: dataset_seed("Clothing", base_seed),
+                variant: None,
+            });
             for name in MISLABEL_INJECTION_DATASETS {
-                let spec = cleanml_datagen::spec_by_name(name).expect("known dataset");
-                let base = generate(spec, dataset_seed(name, base_seed));
                 for strategy in MislabelStrategy::all() {
                     let variant_seed = dataset_seed(name, base_seed) ^ fnv1a(strategy.suffix());
-                    out.push(inject_mislabel_variant(&base, strategy, variant_seed));
+                    out.push(DatasetPlan {
+                        name: format!("{name}{}", strategy.suffix()),
+                        spec_name: name,
+                        seed: dataset_seed(name, base_seed),
+                        variant: Some((strategy, variant_seed)),
+                    });
                 }
             }
             out
@@ -51,9 +89,38 @@ pub fn generate_datasets_for(error_type: ErrorType, base_seed: u64) -> Vec<Gener
         _ => specs()
             .iter()
             .filter(|s| s.error_types.contains(&error_type))
-            .map(|s| generate(s, dataset_seed(s.name, base_seed)))
+            .map(|s| DatasetPlan {
+                name: s.name.to_owned(),
+                spec_name: s.name,
+                seed: dataset_seed(s.name, base_seed),
+                variant: None,
+            })
             .collect(),
     }
+}
+
+/// The datasets participating in `error_type`'s experiments, generated
+/// eagerly. Base datasets shared by several mislabel variants are generated
+/// once and reused.
+pub fn generate_datasets_for(error_type: ErrorType, base_seed: u64) -> Vec<GeneratedDataset> {
+    let mut bases: Vec<((&'static str, u64), GeneratedDataset)> = Vec::new();
+    dataset_plan(error_type, base_seed)
+        .into_iter()
+        .map(|plan| {
+            let key = (plan.spec_name, plan.seed);
+            if !bases.iter().any(|(k, _)| *k == key) {
+                let spec = cleanml_datagen::spec_by_name(plan.spec_name).expect("known dataset");
+                bases.push((key, generate(spec, plan.seed)));
+            }
+            let base = &bases.iter().find(|(k, _)| *k == key).expect("just inserted").1;
+            match plan.variant {
+                Some((strategy, variant_seed)) => {
+                    inject_mislabel_variant(base, strategy, variant_seed)
+                }
+                None => base.clone(),
+            }
+        })
+        .collect()
 }
 
 /// Runs the study for the given error types and returns the populated
@@ -100,6 +167,21 @@ mod tests {
     }
 
     #[test]
+    fn plan_matches_eager_generation() {
+        for et in [ErrorType::Outliers, ErrorType::Mislabels] {
+            let plans = dataset_plan(et, 2);
+            let eager = generate_datasets_for(et, 2);
+            assert_eq!(plans.len(), eager.len());
+            for (plan, data) in plans.iter().zip(&eager) {
+                assert_eq!(plan.name, data.name);
+                let realized = plan.realize();
+                assert_eq!(realized.name, data.name);
+                assert_eq!(realized.dirty, data.dirty, "{}", plan.name);
+            }
+        }
+    }
+
+    #[test]
     fn dataset_seeds_stable_and_distinct() {
         assert_eq!(dataset_seed("EEG", 5), dataset_seed("EEG", 5));
         assert_ne!(dataset_seed("EEG", 5), dataset_seed("EEG", 6));
@@ -110,11 +192,7 @@ mod tests {
     /// three relations with the right cardinalities.
     #[test]
     fn tiny_study_populates_relations() {
-        let cfg = ExperimentConfig {
-            n_splits: 3,
-            parallel: true,
-            ..ExperimentConfig::quick()
-        };
+        let cfg = ExperimentConfig { n_splits: 3, parallel: true, ..ExperimentConfig::quick() };
         let db = run_study(&[ErrorType::Inconsistencies], &cfg).unwrap();
         // 4 datasets × 1 method × 7 models × 2 scenarios
         assert_eq!(db.r1.len(), 56);

@@ -61,12 +61,7 @@ impl ErrorState {
 /// `mar_driver` names a numeric column, rows whose driver value exceeds the
 /// column mean miss at double the rate (missing-at-random conditioned on an
 /// observed attribute — the Titanic/Credit pattern).
-pub fn inject_missing(
-    state: &mut ErrorState,
-    rate: f64,
-    mar_driver: Option<&str>,
-    seed: u64,
-) {
+pub fn inject_missing(state: &mut ErrorState, rate: f64, mar_driver: Option<&str>, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let feature_cols = state.dirty.schema().feature_indices();
     let driver = mar_driver.and_then(|name| {
@@ -117,10 +112,7 @@ pub fn inject_outliers(state: &mut ErrorState, rate: f64, magnitude: f64, seed: 
             if state.dirty.column(c).unwrap().num(r).is_some() && rng.random::<f64>() < rate {
                 let u = rng.random_range(5.0..12.0) * magnitude;
                 let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
-                state
-                    .dirty
-                    .set(r, c, Value::Num(mean + sign * u * std))
-                    .expect("row in range");
+                state.dirty.set(r, c, Value::Num(mean + sign * u * std)).expect("row in range");
             }
         }
     }
@@ -375,17 +367,8 @@ fn observed_classes(table: &Table, label_col: usize) -> Vec<String> {
 }
 
 fn flip_label(table: &mut Table, row: usize, label_col: usize, classes: &[String]) {
-    let current = table
-        .column(label_col)
-        .unwrap()
-        .cat_str(row)
-        .expect("label present")
-        .to_owned();
-    let other = classes
-        .iter()
-        .find(|c| **c != current)
-        .expect("two classes")
-        .clone();
+    let current = table.column(label_col).unwrap().cat_str(row).expect("label present").to_owned();
+    let other = classes.iter().find(|c| **c != current).expect("two classes").clone();
     table.set(row, label_col, Value::Str(other)).expect("row in range");
 }
 
@@ -603,10 +586,7 @@ mod tests {
             // flipped rows disagree with ground truth
             let label = v.dirty.label_index().unwrap();
             for &r in &v.mislabeled_rows {
-                assert_ne!(
-                    v.dirty.get(r, label).unwrap(),
-                    v.clean_cells.get(r, label).unwrap()
-                );
+                assert_ne!(v.dirty.get(r, label).unwrap(), v.clean_cells.get(r, label).unwrap());
             }
         }
     }
@@ -620,13 +600,8 @@ mod tests {
         // count class sizes in the ground truth
         let counts = ds.dirty.class_counts().unwrap();
         let (minority_id, _) = counts.iter().min_by_key(|&&(_, n)| n).copied().unwrap();
-        let minority_name = ds
-            .dirty
-            .column(label)
-            .unwrap()
-            .dict_str(minority_id)
-            .unwrap()
-            .to_owned();
+        let minority_name =
+            ds.dirty.column(label).unwrap().dict_str(minority_id).unwrap().to_owned();
         for &r in &v.mislabeled_rows {
             // the *original* label of each flipped row was the minority class
             assert_eq!(

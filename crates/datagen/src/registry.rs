@@ -179,16 +179,38 @@ fn citation(seed: u64) -> ErrorState {
                 role: ColumnRole::Key,
                 word_pools: vec![
                     vec![
-                        "Scalable", "Adaptive", "Robust", "Efficient", "Learned",
-                        "Holistic", "Incremental", "Distributed", "Approximate", "Secure",
+                        "Scalable",
+                        "Adaptive",
+                        "Robust",
+                        "Efficient",
+                        "Learned",
+                        "Holistic",
+                        "Incremental",
+                        "Distributed",
+                        "Approximate",
+                        "Secure",
                     ],
                     vec![
-                        "Query", "Index", "Cleaning", "Stream", "Graph", "Join",
-                        "Transaction", "Schema", "Cache", "Sketch",
+                        "Query",
+                        "Index",
+                        "Cleaning",
+                        "Stream",
+                        "Graph",
+                        "Join",
+                        "Transaction",
+                        "Schema",
+                        "Cache",
+                        "Sketch",
                     ],
                     vec![
-                        "Processing", "Optimization", "Detection", "Analytics",
-                        "Systems", "Maintenance", "Estimation", "Discovery",
+                        "Processing",
+                        "Optimization",
+                        "Detection",
+                        "Analytics",
+                        "Systems",
+                        "Maintenance",
+                        "Estimation",
+                        "Discovery",
                     ],
                 ],
             },
@@ -212,7 +234,8 @@ fn citation(seed: u64) -> ErrorState {
 }
 
 fn eeg(seed: u64) -> ErrorState {
-    let chan = |name, effect| NumFeat { name, mean: 4300.0, std: 35.0, effect, factor_loading: 0.8 };
+    let chan =
+        |name, effect| NumFeat { name, mean: 4300.0, std: 35.0, effect, factor_loading: 0.8 };
     let m = BaseModel {
         n_rows: 600,
         numeric: vec![
@@ -240,7 +263,13 @@ fn marketing(seed: u64) -> ErrorState {
         numeric: vec![
             NumFeat { name: "age", mean: 42.0, std: 13.0, effect: 0.5, factor_loading: 0.4 },
             NumFeat { name: "household", mean: 2.8, std: 1.3, effect: -0.3, factor_loading: 0.2 },
-            NumFeat { name: "years_resident", mean: 9.0, std: 6.0, effect: 0.4, factor_loading: 0.4 },
+            NumFeat {
+                name: "years_resident",
+                mean: 9.0,
+                std: 6.0,
+                effect: 0.4,
+                factor_loading: 0.4,
+            },
         ],
         categorical: vec![
             CatFeat {
@@ -306,16 +335,26 @@ fn movie(seed: u64) -> ErrorState {
                 role: ColumnRole::Key,
                 word_pools: vec![
                     vec![
-                        "Midnight", "Crimson", "Silent", "Golden", "Broken", "Electric",
-                        "Hollow", "Paper", "Winter", "Neon", "Savage", "Gentle",
+                        "Midnight", "Crimson", "Silent", "Golden", "Broken", "Electric", "Hollow",
+                        "Paper", "Winter", "Neon", "Savage", "Gentle",
                     ],
                     vec![
-                        "Horizon", "Mirror", "Garden", "Empire", "River", "Signal",
-                        "Harvest", "Letters", "Protocol", "Reckoning", "Orchard", "Static",
+                        "Horizon",
+                        "Mirror",
+                        "Garden",
+                        "Empire",
+                        "River",
+                        "Signal",
+                        "Harvest",
+                        "Letters",
+                        "Protocol",
+                        "Reckoning",
+                        "Orchard",
+                        "Static",
                     ],
                     vec![
-                        "Rising", "Falling", "Returns", "Awakens", "Divided", "Unbound",
-                        "Part II", "Redux", "Forever", "Zero",
+                        "Rising", "Falling", "Returns", "Awakens", "Divided", "Unbound", "Part II",
+                        "Redux", "Forever", "Zero",
                     ],
                 ],
             },
@@ -344,7 +383,13 @@ fn company(seed: u64) -> ErrorState {
         n_rows: 460,
         numeric: vec![
             NumFeat { name: "revenue_m", mean: 120.0, std: 60.0, effect: 1.0, factor_loading: 0.6 },
-            NumFeat { name: "employees", mean: 800.0, std: 400.0, effect: 0.4, factor_loading: 0.6 },
+            NumFeat {
+                name: "employees",
+                mean: 800.0,
+                std: 400.0,
+                effect: 0.4,
+                factor_loading: 0.6,
+            },
             NumFeat { name: "age_years", mean: 25.0, std: 15.0, effect: 0.3, factor_loading: 0.2 },
         ],
         categorical: vec![
@@ -391,7 +436,13 @@ fn restaurant(seed: u64) -> ErrorState {
         n_rows: 360,
         numeric: vec![
             NumFeat { name: "price", mean: 28.0, std: 12.0, effect: 0.6, factor_loading: 0.4 },
-            NumFeat { name: "review_count", mean: 180.0, std: 90.0, effect: 0.9, factor_loading: 0.5 },
+            NumFeat {
+                name: "review_count",
+                mean: 180.0,
+                std: 90.0,
+                effect: 0.9,
+                factor_loading: 0.5,
+            },
         ],
         categorical: vec![
             CatFeat {
@@ -419,16 +470,16 @@ fn restaurant(seed: u64) -> ErrorState {
                 role: ColumnRole::Key,
                 word_pools: vec![
                     vec![
-                        "Golden", "Blue", "Rustic", "Urban", "Little", "Grand", "Silver",
-                        "Velvet", "Wild", "Humble", "Brick", "Salty",
+                        "Golden", "Blue", "Rustic", "Urban", "Little", "Grand", "Silver", "Velvet",
+                        "Wild", "Humble", "Brick", "Salty",
                     ],
                     vec![
                         "Dragon", "Olive", "Harbor", "Maple", "Lantern", "Garden", "Fig",
                         "Juniper", "Saffron", "Clove", "Anchor", "Thistle",
                     ],
                     vec![
-                        "Kitchen", "Bistro", "Table", "House", "Cantina", "Grill",
-                        "Tavern", "Eatery", "Counter", "Parlor",
+                        "Kitchen", "Bistro", "Table", "House", "Cantina", "Grill", "Tavern",
+                        "Eatery", "Counter", "Parlor",
                     ],
                 ],
             },
@@ -483,10 +534,7 @@ fn titanic(seed: u64) -> ErrorState {
             NumFeat { name: "siblings", mean: 0.9, std: 1.0, effect: -0.3, factor_loading: 0.1 },
         ],
         categorical: vec![
-            CatFeat {
-                name: "sex",
-                categories: vec![("female", 1.0, 1.2), ("male", 1.7, -0.8)],
-            },
+            CatFeat { name: "sex", categories: vec![("female", 1.0, 1.2), ("male", 1.7, -0.8)] },
             CatFeat {
                 name: "pclass",
                 categories: vec![("first", 1.0, 0.9), ("second", 1.2, 0.2), ("third", 2.5, -0.7)],
@@ -510,7 +558,13 @@ fn credit(seed: u64) -> ErrorState {
     let m = BaseModel {
         n_rows: 600,
         numeric: vec![
-            NumFeat { name: "income", mean: 5200.0, std: 2200.0, effect: -0.8, factor_loading: 0.5 },
+            NumFeat {
+                name: "income",
+                mean: 5200.0,
+                std: 2200.0,
+                effect: -0.8,
+                factor_loading: 0.5,
+            },
             NumFeat { name: "debt_ratio", mean: 0.35, std: 0.2, effect: 1.1, factor_loading: 0.5 },
             NumFeat { name: "utilization", mean: 0.5, std: 0.3, effect: 1.0, factor_loading: 0.6 },
             NumFeat { name: "age", mean: 45.0, std: 14.0, effect: -0.4, factor_loading: 0.2 },
@@ -533,8 +587,20 @@ fn university(seed: u64) -> ErrorState {
         n_rows: 420,
         numeric: vec![
             NumFeat { name: "tuition_k", mean: 28.0, std: 12.0, effect: 0.8, factor_loading: 0.5 },
-            NumFeat { name: "enrollment_k", mean: 18.0, std: 9.0, effect: 0.3, factor_loading: 0.3 },
-            NumFeat { name: "student_faculty", mean: 16.0, std: 5.0, effect: -0.6, factor_loading: 0.4 },
+            NumFeat {
+                name: "enrollment_k",
+                mean: 18.0,
+                std: 9.0,
+                effect: 0.3,
+                factor_loading: 0.3,
+            },
+            NumFeat {
+                name: "student_faculty",
+                mean: 16.0,
+                std: 5.0,
+                effect: -0.6,
+                factor_loading: 0.4,
+            },
         ],
         categorical: vec![
             CatFeat {
@@ -575,7 +641,13 @@ fn uscensus(seed: u64) -> ErrorState {
         numeric: vec![
             NumFeat { name: "age", mean: 39.0, std: 13.0, effect: 0.5, factor_loading: 0.3 },
             NumFeat { name: "hours_week", mean: 40.0, std: 11.0, effect: 0.6, factor_loading: 0.4 },
-            NumFeat { name: "education_num", mean: 10.0, std: 2.5, effect: 0.9, factor_loading: 0.4 },
+            NumFeat {
+                name: "education_num",
+                mean: 10.0,
+                std: 2.5,
+                effect: 0.9,
+                factor_loading: 0.4,
+            },
         ],
         categorical: vec![
             CatFeat {
@@ -622,7 +694,13 @@ fn airbnb(seed: u64) -> ErrorState {
         numeric: vec![
             NumFeat { name: "price", mean: 150.0, std: 70.0, effect: -0.5, factor_loading: 0.5 },
             NumFeat { name: "reviews", mean: 45.0, std: 30.0, effect: 0.9, factor_loading: 0.4 },
-            NumFeat { name: "availability", mean: 180.0, std: 90.0, effect: -0.3, factor_loading: 0.2 },
+            NumFeat {
+                name: "availability",
+                mean: 180.0,
+                std: 90.0,
+                effect: -0.3,
+                factor_loading: 0.2,
+            },
             NumFeat { name: "min_nights", mean: 4.0, std: 3.0, effect: -0.4, factor_loading: 0.2 },
         ],
         categorical: vec![
@@ -650,16 +728,30 @@ fn airbnb(seed: u64) -> ErrorState {
                 role: ColumnRole::Key,
                 word_pools: vec![
                     vec![
-                        "Sunny", "Cozy", "Spacious", "Charming", "Modern", "Quiet",
-                        "Bright", "Rustic", "Artsy", "Serene",
+                        "Sunny", "Cozy", "Spacious", "Charming", "Modern", "Quiet", "Bright",
+                        "Rustic", "Artsy", "Serene",
                     ],
                     vec![
-                        "Loft", "Studio", "Apartment", "Room", "Suite", "Flat",
-                        "Duplex", "Penthouse", "Hideaway", "Nook",
+                        "Loft",
+                        "Studio",
+                        "Apartment",
+                        "Room",
+                        "Suite",
+                        "Flat",
+                        "Duplex",
+                        "Penthouse",
+                        "Hideaway",
+                        "Nook",
                     ],
                     vec![
-                        "Near Park", "Downtown", "By Subway", "With View",
-                        "Garden Level", "Steps To Beach", "Old Town", "Riverside",
+                        "Near Park",
+                        "Downtown",
+                        "By Subway",
+                        "With View",
+                        "Garden Level",
+                        "Steps To Beach",
+                        "Old Town",
+                        "Riverside",
                     ],
                 ],
             },
@@ -690,7 +782,13 @@ fn babyproduct(seed: u64) -> ErrorState {
         numeric: vec![
             NumFeat { name: "weight_lb", mean: 6.0, std: 3.0, effect: 0.5, factor_loading: 0.5 },
             NumFeat { name: "rating", mean: 4.1, std: 0.6, effect: 0.7, factor_loading: 0.3 },
-            NumFeat { name: "review_count", mean: 120.0, std: 80.0, effect: 0.4, factor_loading: 0.4 },
+            NumFeat {
+                name: "review_count",
+                mean: 120.0,
+                std: 80.0,
+                effect: 0.4,
+                factor_loading: 0.4,
+            },
         ],
         categorical: vec![
             CatFeat {
@@ -705,7 +803,11 @@ fn babyproduct(seed: u64) -> ErrorState {
             },
             CatFeat {
                 name: "brand_tier",
-                categories: vec![("premium", 1.2, 1.0), ("midrange", 2.5, 0.0), ("value", 2.0, -0.8)],
+                categories: vec![
+                    ("premium", 1.2, 1.0),
+                    ("midrange", 2.5, 0.0),
+                    ("value", 2.0, -0.8),
+                ],
             },
         ],
         text: vec![TextCol {
@@ -841,10 +943,7 @@ mod tests {
             let counts = ds.dirty.class_counts().unwrap();
             let max = counts.iter().map(|&(_, n)| n).max().unwrap();
             let total: usize = counts.iter().map(|&(_, n)| n).sum();
-            assert!(
-                max as f64 > 0.65 * total as f64,
-                "{name} not actually imbalanced: {counts:?}"
-            );
+            assert!(max as f64 > 0.65 * total as f64, "{name} not actually imbalanced: {counts:?}");
         }
         assert!(!spec_by_name("Titanic").unwrap().imbalanced);
     }

@@ -110,7 +110,9 @@ impl Column {
     pub fn push(&mut self, value: Value) -> Result<()> {
         match (&mut self.data, value) {
             (ColumnData::Numeric(v), Value::Null) => v.push(None),
-            (ColumnData::Numeric(v), Value::Num(x)) => v.push(if x.is_nan() { None } else { Some(x) }),
+            (ColumnData::Numeric(v), Value::Num(x)) => {
+                v.push(if x.is_nan() { None } else { Some(x) })
+            }
             (ColumnData::Categorical { values, .. }, Value::Null) => values.push(None),
             (ColumnData::Categorical { values, dict, index }, Value::Str(s)) => {
                 let id = Self::intern(dict, index, s);
@@ -153,7 +155,9 @@ impl Column {
         }
         match (&mut self.data, value) {
             (ColumnData::Numeric(v), Value::Null) => v[row] = None,
-            (ColumnData::Numeric(v), Value::Num(x)) => v[row] = if x.is_nan() { None } else { Some(x) },
+            (ColumnData::Numeric(v), Value::Num(x)) => {
+                v[row] = if x.is_nan() { None } else { Some(x) }
+            }
             (ColumnData::Categorical { values, .. }, Value::Null) => values[row] = None,
             (ColumnData::Categorical { values, dict, index }, Value::Str(s)) => {
                 let id = Self::intern(dict, index, s);
@@ -190,11 +194,9 @@ impl Column {
     /// Categorical cell accessor as borrowed string.
     pub fn cat_str(&self, row: usize) -> Option<&str> {
         match &self.data {
-            ColumnData::Categorical { values, dict, .. } => values
-                .get(row)
-                .copied()
-                .flatten()
-                .map(|id| dict[id as usize].as_str()),
+            ColumnData::Categorical { values, dict, .. } => {
+                values.get(row).copied().flatten().map(|id| dict[id as usize].as_str())
+            }
             ColumnData::Numeric(_) => None,
         }
     }

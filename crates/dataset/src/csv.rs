@@ -95,7 +95,8 @@ pub fn read_csv(text: &str) -> Result<Table> {
 pub fn read_csv_with_roles(text: &str, role_of: &dyn Fn(&str) -> ColumnRole) -> Result<Table> {
     let rows = parse_rows(text)?;
     let mut it = rows.into_iter();
-    let header = it.next().ok_or(DatasetError::Csv { line: 1, message: "missing header".into() })?;
+    let header =
+        it.next().ok_or(DatasetError::Csv { line: 1, message: "missing header".into() })?;
     let data_rows: Vec<Vec<String>> = it.collect();
 
     for (i, r) in data_rows.iter().enumerate() {
@@ -139,7 +140,9 @@ pub fn read_csv_with_roles(text: &str, role_of: &dyn Fn(&str) -> ColumnRole) -> 
                     Value::Null
                 } else {
                     match kind {
-                        ColumnKind::Numeric => Value::from(s.parse::<f64>().expect("inferred numeric")),
+                        ColumnKind::Numeric => {
+                            Value::from(s.parse::<f64>().expect("inferred numeric"))
+                        }
                         ColumnKind::Categorical => Value::from(s),
                     }
                 }
@@ -157,7 +160,7 @@ pub fn read_csv_file(path: &Path) -> Result<Table> {
 }
 
 fn escape(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_owned()
@@ -168,8 +171,7 @@ fn escape(field: &str) -> String {
 /// Missing cells serialize as empty fields.
 pub fn write_csv(table: &Table) -> String {
     let mut out = String::new();
-    let header: Vec<String> =
-        table.schema().fields().iter().map(|f| escape(&f.name)).collect();
+    let header: Vec<String> = table.schema().fields().iter().map(|f| escape(&f.name)).collect();
     let _ = writeln!(out, "{}", header.join(","));
     for r in 0..table.n_rows() {
         let cells: Vec<String> = table
@@ -209,9 +211,25 @@ mod tests {
     }
 
     #[test]
+    fn carriage_return_fields_round_trip() {
+        // \r inside a field must be quoted on write and preserved on read
+        // (an unquoted \r is swallowed as CRLF framing).
+        assert_eq!(escape("a\rb"), "\"a\rb\"");
+        let text = "c,label\n\"a\rb\",yes\nplain,no\n";
+        let t = read_csv(text).unwrap();
+        assert_eq!(t.get(0, 0).unwrap(), Value::Str("a\rb".into()));
+        let back = read_csv(&write_csv(&t)).unwrap();
+        assert_eq!(back.get(0, 0).unwrap(), Value::Str("a\rb".into()));
+    }
+
+    #[test]
     fn roles_assigned() {
         let t = read_csv_with_roles(SAMPLE, &|name| {
-            if name == "label" { ColumnRole::Label } else { ColumnRole::Feature }
+            if name == "label" {
+                ColumnRole::Label
+            } else {
+                ColumnRole::Feature
+            }
         })
         .unwrap();
         assert_eq!(t.label_index().unwrap(), 2);

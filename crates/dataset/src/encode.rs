@@ -203,12 +203,8 @@ impl Encoder {
         for col in schema.categorical_feature_indices() {
             let c = train.column(col)?;
             let counts = c.category_counts();
-            let mut by_freq: Vec<(usize, usize)> = counts
-                .iter()
-                .enumerate()
-                .filter(|(_, &n)| n > 0)
-                .map(|(id, &n)| (id, n))
-                .collect();
+            let mut by_freq: Vec<(usize, usize)> =
+                counts.iter().enumerate().filter(|(_, &n)| n > 0).map(|(id, &n)| (id, n)).collect();
             // most frequent first; ties broken by first-seen id for determinism
             by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             by_freq.truncate(max_onehot);
@@ -274,12 +270,8 @@ impl Encoder {
         let mut missing = Vec::with_capacity(n_rows * self.n_cols);
         let mut labels = Vec::with_capacity(n_rows);
 
-        let class_index: HashMap<&str, usize> = self
-            .label_classes
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.as_str(), i))
-            .collect();
+        let class_index: HashMap<&str, usize> =
+            self.label_classes.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
 
         let label_col = table.column(self.label_col)?;
 
@@ -288,11 +280,7 @@ impl Encoder {
             .categorical
             .iter()
             .map(|spec| {
-                spec.categories
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, s)| (s.as_str(), slot))
-                    .collect()
+                spec.categories.iter().enumerate().map(|(slot, s)| (s.as_str(), slot)).collect()
             })
             .collect();
 
@@ -476,8 +464,7 @@ mod tests {
         train.push_row(vec![Value::from(1.0), Value::from("p")]).unwrap();
         train.push_row(vec![Value::from(2.0), Value::from("p")]).unwrap();
         // "n" never observed in train but declared up front.
-        let enc =
-            Encoder::fit_with_classes(&train, &["p".to_string(), "n".to_string()]).unwrap();
+        let enc = Encoder::fit_with_classes(&train, &["p".to_string(), "n".to_string()]).unwrap();
         assert_eq!(enc.label_classes(), &["n".to_string(), "p".to_string()]);
         let mut test = Table::new(schema);
         test.push_row(vec![Value::from(3.0), Value::from("n")]).unwrap();

@@ -49,7 +49,9 @@ impl fmt::Display for DatasetError {
             }
             DatasetError::MissingLabel => write!(f, "schema has no label column"),
             DatasetError::Empty(what) => write!(f, "{what} is empty"),
-            DatasetError::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            DatasetError::Csv { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
             DatasetError::Io(message) => write!(f, "I/O error: {message}"),
             DatasetError::Encode(message) => write!(f, "encoding error: {message}"),
         }
@@ -74,7 +76,11 @@ mod tests {
         assert!(e.to_string().contains("age"));
         let e = DatasetError::RowArity { expected: 3, got: 2 };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
-        let e = DatasetError::KindMismatch { column: "c".into(), expected: "numeric", got: "categorical" };
+        let e = DatasetError::KindMismatch {
+            column: "c".into(),
+            expected: "numeric",
+            got: "categorical",
+        };
         assert!(e.to_string().contains("numeric"));
     }
 

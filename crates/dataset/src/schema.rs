@@ -136,12 +136,7 @@ impl Schema {
 
     /// Indices of columns with the given role.
     pub fn indices_with_role(&self, role: ColumnRole) -> Vec<usize> {
-        self.fields
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.role == role)
-            .map(|(i, _)| i)
-            .collect()
+        self.fields.iter().enumerate().filter(|(_, f)| f.role == role).map(|(i, _)| i).collect()
     }
 
     /// Indices of numeric feature columns.

@@ -57,10 +57,8 @@ pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usiz
     (0..k)
         .map(|f| {
             let val = folds[f].clone();
-            let train: Vec<usize> = (0..k)
-                .filter(|&g| g != f)
-                .flat_map(|g| folds[g].iter().copied())
-                .collect();
+            let train: Vec<usize> =
+                (0..k).filter(|&g| g != f).flat_map(|g| folds[g].iter().copied()).collect();
             (train, val)
         })
         .collect()

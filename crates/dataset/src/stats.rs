@@ -136,7 +136,16 @@ mod tests {
 
     #[test]
     fn std_dev_population() {
-        let c = col(&[Some(2.0), Some(4.0), Some(4.0), Some(4.0), Some(5.0), Some(5.0), Some(7.0), Some(9.0)]);
+        let c = col(&[
+            Some(2.0),
+            Some(4.0),
+            Some(4.0),
+            Some(4.0),
+            Some(5.0),
+            Some(5.0),
+            Some(7.0),
+            Some(9.0),
+        ]);
         assert!((std_dev(&c).unwrap() - 2.0).abs() < 1e-12);
         assert_eq!(std_dev(&col(&[Some(3.0)])), Some(0.0));
     }

@@ -31,12 +31,8 @@ impl Table {
 
     /// Creates an empty table with row capacity `n`.
     pub fn with_capacity(schema: Schema, n: usize) -> Self {
-        let columns = schema
-            .fields()
-            .iter()
-            .cloned()
-            .map(|f| Column::with_capacity(f, n))
-            .collect();
+        let columns =
+            schema.fields().iter().cloned().map(|f| Column::with_capacity(f, n)).collect();
         Table { schema, columns, n_rows: 0 }
     }
 
@@ -70,9 +66,7 @@ impl Table {
     /// Mutable column at `index`.
     pub fn column_mut(&mut self, index: usize) -> Result<&mut Column> {
         let n = self.columns.len();
-        self.columns
-            .get_mut(index)
-            .ok_or(DatasetError::ColumnOutOfBounds { index, n_columns: n })
+        self.columns.get_mut(index).ok_or(DatasetError::ColumnOutOfBounds { index, n_columns: n })
     }
 
     /// Column by name.
@@ -181,8 +175,7 @@ impl Table {
         let col = self.column(idx)?;
         (0..self.n_rows)
             .map(|r| {
-                col.cat_id(r)
-                    .ok_or(DatasetError::Encode(format!("row {r} has a missing label")))
+                col.cat_id(r).ok_or(DatasetError::Encode(format!("row {r} has a missing label")))
             })
             .collect()
     }
@@ -200,11 +193,7 @@ impl Table {
 
     /// Total number of missing cells across feature columns.
     pub fn n_missing_cells(&self) -> usize {
-        self.schema
-            .feature_indices()
-            .into_iter()
-            .map(|i| self.columns[i].n_missing())
-            .sum()
+        self.schema.feature_indices().into_iter().map(|i| self.columns[i].n_missing()).sum()
     }
 
     /// Drops every row that has at least one missing cell in a feature
@@ -295,10 +284,7 @@ mod tests {
     #[test]
     fn push_row_arity_checked() {
         let mut t = sample();
-        assert!(matches!(
-            t.push_row(vec![Value::Num(1.0)]),
-            Err(DatasetError::RowArity { .. })
-        ));
+        assert!(matches!(t.push_row(vec![Value::Num(1.0)]), Err(DatasetError::RowArity { .. })));
         // failed kind check must not corrupt the table
         let before = t.n_rows();
         let bad = t.push_row(vec![Value::from("str"), Value::from("a"), Value::from("p")]);

@@ -7,11 +7,7 @@ use cleanml_dataset::{Encoder, FieldMeta, Schema, Table, Value};
 
 /// Strategy: a small mixed-type table with a label column.
 fn arb_table() -> impl Strategy<Value = Table> {
-    let row = (
-        prop::option::of(-1e6f64..1e6),
-        prop::option::of("[a-z]{1,6}"),
-        prop::bool::ANY,
-    );
+    let row = (prop::option::of(-1e6f64..1e6), prop::option::of("[a-z]{1,6}"), prop::bool::ANY);
     prop::collection::vec(row, 1..40).prop_map(|rows| {
         let schema = Schema::new(vec![
             FieldMeta::num_feature("x"),

@@ -1,0 +1,214 @@
+//! Content-addressed artifact cache.
+//!
+//! Every task's inputs (dataset spec, seeds, method, model, budget, …) are
+//! folded into a canonical string; its 128-bit FNV-1a digest is the task's
+//! **content address**. Two layers sit behind one interface:
+//!
+//! * an in-memory map — deduplicates shared work inside a run (e.g. a base
+//!   dataset used by three mislabel variants) and makes in-process re-runs
+//!   free;
+//! * an optional on-disk layer under a run directory — persists the
+//!   artifacts that have a stable serial form (grid cells and dataset
+//!   contexts), so a *resumed or repeated* study skips every finished
+//!   training task.
+//!
+//! Floats are serialized via their IEEE-754 bit patterns, so a warm run
+//! reproduces byte-identical relations.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+
+/// 128-bit content address (two independent FNV-1a passes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u64, pub u64);
+
+fn fnv1a(s: &str, mut h: u64, prime: u64) -> u64 {
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(prime);
+    }
+    h
+}
+
+impl CacheKey {
+    /// Hashes a canonical task-input description.
+    pub fn of(canonical: &str) -> CacheKey {
+        CacheKey(
+            fnv1a(canonical, 0xcbf2_9ce4_8422_2325, 0x100_0000_01b3),
+            // second pass: different offset basis decorrelates the halves
+            fnv1a(canonical, 0x6c62_272e_07bb_0142, 0x100_0000_01b3).rotate_left(1)
+                ^ canonical.len() as u64,
+        )
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// Serial form for artifacts that survive on disk. Artifacts that return
+/// `None` from [`DiskCodec::encode`] live only in memory.
+pub trait DiskCodec: Sized {
+    fn encode(&self) -> Option<String>;
+    fn decode(text: &str) -> Option<Self>;
+}
+
+/// Hit/miss counters, split by layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub memory_hits: usize,
+    pub disk_hits: usize,
+    pub misses: usize,
+    pub disk_writes: usize,
+}
+
+impl CacheStats {
+    pub fn hits(&self) -> usize {
+        self.memory_hits + self.disk_hits
+    }
+}
+
+/// The two-layer cache.
+pub struct ArtifactCache<A> {
+    memory: HashMap<CacheKey, A>,
+    disk: Option<PathBuf>,
+    pub stats: CacheStats,
+}
+
+impl<A: Clone + DiskCodec> ArtifactCache<A> {
+    /// Creates a cache; `disk` enables the persistent layer under that
+    /// directory (created on demand).
+    pub fn new(disk: Option<PathBuf>) -> Self {
+        ArtifactCache { memory: HashMap::new(), disk, stats: CacheStats::default() }
+    }
+
+    /// Resets only the statistics (kept across runs otherwise).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of artifacts resident in memory.
+    pub fn len(&self) -> usize {
+        self.memory.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.memory.is_empty()
+    }
+
+    fn disk_path(&self, key: CacheKey) -> Option<PathBuf> {
+        self.disk.as_ref().map(|d| d.join(format!("{key}.art")))
+    }
+
+    /// Looks `key` up in memory, then on disk. A disk hit is promoted into
+    /// memory.
+    pub fn get(&mut self, key: CacheKey) -> Option<A> {
+        if let Some(a) = self.memory.get(&key) {
+            self.stats.memory_hits += 1;
+            return Some(a.clone());
+        }
+        if let Some(path) = self.disk_path(key) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Some(a) = A::decode(&text) {
+                    self.stats.disk_hits += 1;
+                    self.memory.insert(key, a.clone());
+                    return Some(a);
+                }
+                // corrupt entry: drop it so the re-run overwrites
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Stores an artifact under its content address in both layers.
+    pub fn put(&mut self, key: CacheKey, artifact: &A) {
+        if let (Some(path), Some(text)) = (self.disk_path(key), artifact.encode()) {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if std::fs::write(&path, text).is_ok() {
+                self.stats.disk_writes += 1;
+            }
+        }
+        self.memory.insert(key, artifact.clone());
+    }
+}
+
+/// Helpers for the IEEE-754 round-trip encoding used by [`DiskCodec`]
+/// implementations.
+pub fn f64_to_field(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+pub fn f64_from_field(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob(f64);
+
+    impl DiskCodec for Blob {
+        fn encode(&self) -> Option<String> {
+            Some(format!("blob {}", f64_to_field(self.0)))
+        }
+        fn decode(text: &str) -> Option<Self> {
+            let rest = text.strip_prefix("blob ")?;
+            f64_from_field(rest.trim()).map(Blob)
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        assert_eq!(CacheKey::of("train/EEG/3"), CacheKey::of("train/EEG/3"));
+        assert_ne!(CacheKey::of("train/EEG/3"), CacheKey::of("train/EEG/4"));
+        assert_ne!(CacheKey::of("a"), CacheKey::of("b"));
+        assert_eq!(format!("{}", CacheKey(1, 2)).len(), 32);
+    }
+
+    #[test]
+    fn memory_layer_round_trips() {
+        let mut c: ArtifactCache<Blob> = ArtifactCache::new(None);
+        let k = CacheKey::of("x");
+        assert!(c.get(k).is_none());
+        c.put(k, &Blob(0.5));
+        assert_eq!(c.get(k), Some(Blob(0.5)));
+        assert_eq!(c.stats.memory_hits, 1);
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.disk_writes, 0);
+    }
+
+    #[test]
+    fn disk_layer_survives_a_fresh_cache() {
+        let dir = std::env::temp_dir().join(format!("cleanml-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let k = CacheKey::of("persisted");
+        {
+            let mut c: ArtifactCache<Blob> = ArtifactCache::new(Some(dir.clone()));
+            c.put(k, &Blob(std::f64::consts::PI));
+            assert_eq!(c.stats.disk_writes, 1);
+        }
+        let mut fresh: ArtifactCache<Blob> = ArtifactCache::new(Some(dir.clone()));
+        assert_eq!(fresh.get(k), Some(Blob(std::f64::consts::PI)));
+        assert_eq!(fresh.stats.disk_hits, 1);
+        // corrupt entries are discarded, not trusted
+        std::fs::write(dir.join(format!("{}.art", CacheKey::of("bad"))), "garbage").unwrap();
+        assert!(fresh.get(CacheKey::of("bad")).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_fields_round_trip_exactly() {
+        for x in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, std::f64::consts::E, -1e300] {
+            assert_eq!(f64_from_field(&f64_to_field(x)), Some(x));
+        }
+    }
+}

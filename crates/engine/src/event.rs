@@ -1,0 +1,82 @@
+//! Progress and telemetry events emitted while a study executes.
+
+use std::sync::mpsc::Sender;
+
+/// The typed task categories of the study DAG (paper protocol steps plus
+/// the engine's own bookkeeping nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TaskKind {
+    /// Generate a synthetic dataset (or inject a mislabel variant).
+    GenerateDataset,
+    /// Derive the per-dataset metric / label-class context.
+    Context,
+    /// Seeded 70/30 split plus the dirty-side baseline.
+    Split,
+    /// Fit one cleaning method and encode its evaluation matrices.
+    Clean,
+    /// Train one model family (dirty- or clean-side) with its search budget.
+    Train,
+    /// Score one (split, method, model) cell on cases B/C/D.
+    Evaluate,
+    /// Assemble an [`cleanml_core::EvalGrid`] from its cells.
+    Reduce,
+}
+
+impl TaskKind {
+    pub const ALL: [TaskKind; 7] = [
+        TaskKind::GenerateDataset,
+        TaskKind::Context,
+        TaskKind::Split,
+        TaskKind::Clean,
+        TaskKind::Train,
+        TaskKind::Evaluate,
+        TaskKind::Reduce,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::GenerateDataset => "generate",
+            TaskKind::Context => "context",
+            TaskKind::Split => "split",
+            TaskKind::Clean => "clean",
+            TaskKind::Train => "train",
+            TaskKind::Evaluate => "evaluate",
+            TaskKind::Reduce => "reduce",
+        }
+    }
+}
+
+/// One progress event. Sent best-effort: a dropped receiver never fails the
+/// run.
+#[derive(Debug, Clone)]
+pub enum EngineEvent {
+    /// The DAG is built and resolved against the cache.
+    GraphReady {
+        /// Total tasks in the DAG.
+        total: usize,
+        /// Tasks satisfied directly from the cache.
+        cache_hits: usize,
+        /// Tasks skipped because nothing downstream demands them (their
+        /// consumers were cache hits).
+        pruned: usize,
+        /// Tasks that will execute.
+        to_run: usize,
+    },
+    /// A worker picked the task up.
+    TaskStarted { id: usize, kind: TaskKind, label: String },
+    /// The task finished (`ok == false` means it errored and the run is
+    /// aborting).
+    TaskFinished { id: usize, kind: TaskKind, ok: bool },
+    /// The whole run completed.
+    RunFinished,
+}
+
+/// Where events go.
+pub type EventSink = Sender<EngineEvent>;
+
+/// Best-effort send.
+pub fn emit(sink: &Option<EventSink>, event: EngineEvent) {
+    if let Some(s) = sink {
+        let _ = s.send(event);
+    }
+}

@@ -1,0 +1,71 @@
+//! Coarse-grained parallelism for the §VII comparison studies.
+//!
+//! Tables 17–19 and the ablations are not grid-shaped — each row is one
+//! self-contained comparison (its own cleaning-method search and model
+//! selection) — so instead of decomposing them into the typed DAG they run
+//! as independent jobs on a claim-the-next-index worker pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on `workers` threads, preserving input order
+/// in the output.
+///
+/// Panics in `f` propagate after all workers wind down.
+pub fn parallel_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    return;
+                }
+                let out = f(&items[i]);
+                *results[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result lock").expect("every index claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for workers in [1, 3, 8] {
+            let out = parallel_map(&items, workers, |&x| x * x);
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = parallel_map(&[] as &[usize], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_are_computed_concurrently_but_deterministic() {
+        let items: Vec<u64> = (0..32).collect();
+        let a = parallel_map(&items, 8, |&x| x.wrapping_mul(0x9E3779B97F4A7C15));
+        let b = parallel_map(&items, 2, |&x| x.wrapping_mul(0x9E3779B97F4A7C15));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,50 @@
+//! # cleanml-engine
+//!
+//! The parallel study-execution engine: the layer between the `study`
+//! orchestration of `cleanml-core` and the substrates.
+//!
+//! The serial runner walks datasets and error types in a nested loop and
+//! recomputes everything on every invocation. This crate instead
+//!
+//! 1. **decomposes** a study into a DAG of typed tasks —
+//!    `GenerateDataset`, `Context`, `Split`, `Clean(method)`,
+//!    `Train(model, variant)`, `Evaluate(cell)`, `Reduce(grid)` — built
+//!    from the pure task units of [`cleanml_core::tasks`] ([`graph`]);
+//! 2. **schedules** independent tasks across all datasets and error types
+//!    on a work-stealing worker pool ([`pool`]);
+//! 3. **remembers** finished work in a content-addressed artifact cache —
+//!    an in-memory layer that deduplicates shared work inside a run, and an
+//!    optional on-disk layer under a run directory that lets repeated or
+//!    resumed studies skip every finished training task ([`cache`]);
+//! 4. **reports** progress (tasks queued / running / done, cache hits) on
+//!    an event channel the `study` binary renders ([`event`]).
+//!
+//! Task bodies are deterministic in their explicit seeds, and the relations
+//! are assembled in plan order, so a run with any worker count — including
+//! the degenerate 1-worker case — produces byte-identical R1/R2/R3
+//! relations to [`cleanml_core::run_study`].
+//!
+//! ```no_run
+//! use cleanml_engine::{Engine, EngineConfig};
+//! use cleanml_core::{schema::ErrorType, ExperimentConfig};
+//!
+//! let mut engine = Engine::new(EngineConfig { workers: 8, ..Default::default() });
+//! let db = engine
+//!     .run_study(&[ErrorType::Outliers], &ExperimentConfig::quick())
+//!     .expect("study");
+//! println!("{} R1 rows", db.r1.len());
+//! ```
+
+pub mod cache;
+pub mod event;
+pub mod graph;
+pub mod jobs;
+pub mod pool;
+pub mod study;
+
+pub use cache::{ArtifactCache, CacheKey, CacheStats};
+pub use event::{EngineEvent, EventSink, TaskKind};
+pub use graph::{TaskGraph, TaskId};
+pub use jobs::parallel_map;
+pub use pool::RunReport;
+pub use study::{Artifact, Engine, EngineConfig};

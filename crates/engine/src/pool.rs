@@ -1,0 +1,419 @@
+//! Work-stealing execution of a resolved [`TaskGraph`].
+//!
+//! Each worker owns a deque: new-ready tasks are pushed to the owner's back
+//! and popped LIFO (locality — a freshly unblocked `Train` task reuses the
+//! `Clean` artifact still hot in cache), while idle workers steal FIFO from
+//! victims' fronts (old, wide tasks first — the classic Blumofe–Leiserson
+//! discipline, here with mutex-guarded deques rather than lock-free
+//! Chase–Lev buffers, which at ≤ a few dozen workers measure the same).
+//!
+//! Scheduling state (dependency counters, result slots) lives outside the
+//! deques; completion of the final task wakes every sleeper and the pool
+//! drains.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use cleanml_core::CoreError;
+
+use crate::cache::DiskCodec;
+use crate::event::{emit, EngineEvent, EventSink, TaskKind};
+use crate::graph::{NodeState, TaskGraph, TaskId};
+
+/// Per-run execution report: what actually ran, what the cache absorbed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Tasks executed on the pool, by kind.
+    pub executed: Vec<(TaskKind, usize)>,
+    /// Tasks satisfied directly from the cache.
+    pub cache_hits: usize,
+    /// Tasks never run because no consumer demanded them.
+    pub pruned: usize,
+    /// Total nodes in the DAG.
+    pub total: usize,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl RunReport {
+    /// Executed-task count for one kind.
+    pub fn executed(&self, kind: TaskKind) -> usize {
+        self.executed.iter().find(|(k, _)| *k == kind).map_or(0, |(_, n)| *n)
+    }
+
+    /// Total executed tasks.
+    pub fn executed_total(&self) -> usize {
+        self.executed.iter().map(|(_, n)| n).sum()
+    }
+}
+
+struct Shared<'g, A> {
+    deques: Vec<Mutex<VecDeque<TaskId>>>,
+    /// `pending[id]`: unfinished dependencies; task becomes ready at zero.
+    pending: Vec<AtomicUsize>,
+    dependents: Vec<Vec<TaskId>>,
+    /// `consumers_left[id]`: runnable tasks that still need id's artifact.
+    /// When it reaches zero and the node is not retained, the artifact is
+    /// dropped — a paper-scale run would otherwise hold every trained model
+    /// in memory until the end.
+    consumers_left: Vec<AtomicUsize>,
+    retain: &'g [bool],
+    slots: &'g [Mutex<Option<A>>],
+    remaining: AtomicUsize,
+    abort: AtomicBool,
+    error: Mutex<Option<CoreError>>,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    executed: Vec<AtomicUsize>, // indexed by TaskKind::ALL position
+}
+
+fn kind_index(kind: TaskKind) -> usize {
+    TaskKind::ALL.iter().position(|&k| k == kind).expect("kind listed")
+}
+
+/// Per-node artifacts (`None` for pruned or retired nodes) plus
+/// executed-task counts by kind.
+pub type ExecutionOutcome<A> = (Vec<Option<A>>, Vec<(TaskKind, usize)>);
+
+/// Executes every `Run` node of a resolved graph on `workers` threads.
+///
+/// `retain` marks nodes whose artifact must survive the run (sinks, nodes
+/// worth caching); everything else is dropped as soon as its last consumer
+/// finishes.
+pub fn execute<A>(
+    graph: TaskGraph<A>,
+    workers: usize,
+    retain: Vec<bool>,
+    events: &Option<EventSink>,
+) -> Result<ExecutionOutcome<A>, CoreError>
+where
+    A: Clone + Send + Sync + DiskCodec,
+{
+    let workers = workers.max(1);
+    let n = graph.nodes.len();
+    let mut nodes = graph.nodes;
+    assert_eq!(retain.len(), n, "retain mask must cover every node");
+
+    let slots: Vec<Mutex<Option<A>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mut runs: Vec<Mutex<Option<crate::graph::TaskFn<A>>>> = Vec::with_capacity(n);
+    let mut meta: Vec<(TaskKind, String, NodeState)> = Vec::with_capacity(n);
+    let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    let mut consumers: Vec<usize> = vec![0; n];
+    let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
+    let mut deps: Vec<Vec<TaskId>> = Vec::with_capacity(n);
+    let mut to_run = 0usize;
+
+    for (id, node) in nodes.iter_mut().enumerate() {
+        let prefilled = node.prefilled.take();
+        let runnable = node.state == NodeState::Run;
+        let mut unfinished = 0;
+        if runnable {
+            to_run += 1;
+            for &d in &node.deps {
+                consumers[d] += 1;
+                // deps precede their consumers, so meta[d] is final here
+                if meta[d].2 == NodeState::Run {
+                    dependents[d].push(id);
+                    unfinished += 1;
+                }
+            }
+        }
+        *slots[id].lock().expect("slot") = prefilled;
+        pending.push(AtomicUsize::new(unfinished));
+        deps.push(node.deps.clone());
+        runs.push(Mutex::new(if runnable { node.run.take() } else { None }));
+        meta.push((node.kind, std::mem::take(&mut node.label), node.state));
+    }
+
+    let shared = Shared {
+        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending,
+        dependents,
+        consumers_left: consumers.into_iter().map(AtomicUsize::new).collect(),
+        retain: &retain,
+        slots: &slots,
+        remaining: AtomicUsize::new(to_run),
+        abort: AtomicBool::new(false),
+        error: Mutex::new(None),
+        sleep: Mutex::new(()),
+        wake: Condvar::new(),
+        executed: TaskKind::ALL.iter().map(|_| AtomicUsize::new(0)).collect(),
+    };
+
+    // Seed the deques round-robin with the initially ready tasks.
+    {
+        let mut next = 0usize;
+        for (id, m) in meta.iter().enumerate() {
+            if m.2 == NodeState::Run && shared.pending[id].load(Ordering::Relaxed) == 0 {
+                shared.deques[next % workers].lock().expect("deque").push_back(id);
+                next += 1;
+            }
+        }
+    }
+
+    if to_run > 0 {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let shared = &shared;
+                let runs = &runs;
+                let meta = &meta;
+                let deps = &deps;
+                let events = events.clone();
+                scope.spawn(move || {
+                    worker_loop(w, workers, shared, runs, meta, deps, &events);
+                });
+            }
+        });
+    }
+
+    if let Some(err) = shared.error.lock().expect("error slot").take() {
+        return Err(err);
+    }
+
+    let executed: Vec<(TaskKind, usize)> = TaskKind::ALL
+        .iter()
+        .map(|&k| (k, shared.executed[kind_index(k)].load(Ordering::Relaxed)))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    let artifacts: Vec<Option<A>> =
+        slots.into_iter().map(|s| s.into_inner().expect("slot lock poisoned")).collect();
+    Ok((artifacts, executed))
+}
+
+fn worker_loop<A>(
+    me: usize,
+    workers: usize,
+    shared: &Shared<'_, A>,
+    runs: &[Mutex<Option<crate::graph::TaskFn<A>>>],
+    meta: &[(TaskKind, String, NodeState)],
+    deps: &[Vec<TaskId>],
+    events: &Option<EventSink>,
+) where
+    A: Clone + Send + Sync,
+{
+    loop {
+        if shared.abort.load(Ordering::Acquire) || shared.remaining.load(Ordering::Acquire) == 0 {
+            shared.wake.notify_all();
+            return;
+        }
+        let task = pop_or_steal(me, workers, shared);
+        let Some(id) = task else {
+            // Nothing to do anywhere: sleep until a completion frees work.
+            let guard = shared.sleep.lock().expect("sleep lock");
+            let has_work = shared.remaining.load(Ordering::Acquire) == 0
+                || shared.abort.load(Ordering::Acquire)
+                || shared.deques.iter().any(|d| !d.lock().expect("deque").is_empty());
+            if !has_work {
+                let _unused = shared
+                    .wake
+                    .wait_timeout(guard, std::time::Duration::from_millis(50))
+                    .expect("condvar");
+            }
+            continue;
+        };
+
+        let (kind, ref label, _) = meta[id];
+        emit(events, EngineEvent::TaskStarted { id, kind, label: label.clone() });
+
+        let run = runs[id].lock().expect("run slot").take();
+        let Some(run) = run else { continue };
+        let inputs: Vec<A> = deps[id]
+            .iter()
+            .map(|&d| {
+                shared.slots[d]
+                    .lock()
+                    .expect("slot")
+                    .clone()
+                    .expect("dependency finished before consumer")
+            })
+            .collect();
+        let outcome = catch_unwind(AssertUnwindSafe(move || run(inputs)));
+        let outcome = match outcome {
+            Ok(r) => r,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic".into());
+                Err(CoreError::Unsupported(format!("task '{label}' panicked: {msg}")))
+            }
+        };
+
+        match outcome {
+            Ok(artifact) => {
+                *shared.slots[id].lock().expect("slot") = Some(artifact);
+                shared.executed[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+                emit(events, EngineEvent::TaskFinished { id, kind, ok: true });
+                // Retire inputs this task no longer shares with anyone.
+                for &d in &deps[id] {
+                    if shared.consumers_left[d].fetch_sub(1, Ordering::AcqRel) == 1
+                        && !shared.retain[d]
+                    {
+                        *shared.slots[d].lock().expect("slot") = None;
+                    }
+                }
+                let mut released = 0usize;
+                for &dep_id in &shared.dependents[id] {
+                    if shared.pending[dep_id].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        shared.deques[me].lock().expect("deque").push_back(dep_id);
+                        released += 1;
+                    }
+                }
+                let left = shared.remaining.fetch_sub(1, Ordering::AcqRel) - 1;
+                if released > 0 || left == 0 {
+                    shared.wake.notify_all();
+                }
+            }
+            Err(err) => {
+                emit(events, EngineEvent::TaskFinished { id, kind, ok: false });
+                *shared.error.lock().expect("error slot") = Some(err);
+                shared.abort.store(true, Ordering::Release);
+                shared.wake.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+fn pop_or_steal<A>(me: usize, workers: usize, shared: &Shared<'_, A>) -> Option<TaskId> {
+    // Own deque: newest first (depth-first descent keeps artifacts hot).
+    if let Some(id) = shared.deques[me].lock().expect("deque").pop_back() {
+        return Some(id);
+    }
+    // Steal: oldest task of the first non-empty victim.
+    for offset in 1..workers {
+        let victim = (me + offset) % workers;
+        if let Some(id) = shared.deques[victim].lock().expect("deque").pop_front() {
+            return Some(id);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{ArtifactCache, CacheKey};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct V(i64);
+
+    impl DiskCodec for V {
+        fn encode(&self) -> Option<String> {
+            None
+        }
+        fn decode(_: &str) -> Option<Self> {
+            None
+        }
+    }
+
+    fn diamond() -> (TaskGraph<V>, TaskId) {
+        let mut g: TaskGraph<V> = TaskGraph::new();
+        let a = g.task(TaskKind::GenerateDataset, "a", CacheKey::of("a"), vec![], |_| Ok(V(1)));
+        let b = g.task(TaskKind::Split, "b", CacheKey::of("b"), vec![a], |d| Ok(V(d[0].0 * 2)));
+        let c = g.task(TaskKind::Split, "c", CacheKey::of("c"), vec![a], |d| Ok(V(d[0].0 * 3)));
+        let d = g
+            .task(TaskKind::Reduce, "d", CacheKey::of("d"), vec![b, c], |d| Ok(V(d[0].0 + d[1].0)));
+        (g, d)
+    }
+
+    fn retain_only(n: usize, keep: &[TaskId]) -> Vec<bool> {
+        let mut r = vec![false; n];
+        for &id in keep {
+            r[id] = true;
+        }
+        r
+    }
+
+    #[test]
+    fn diamond_executes_in_dependency_order() {
+        for workers in [1, 4] {
+            let (mut g, sink) = diamond();
+            let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
+            g.resolve(&mut cache, &[sink]);
+            let retain = retain_only(g.len(), &[sink]);
+            let (arts, executed) = execute(g, workers, retain, &None).unwrap();
+            assert_eq!(arts[sink], Some(V(5)));
+            let total: usize = executed.iter().map(|(_, n)| n).sum();
+            assert_eq!(total, 4, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn unretained_intermediates_are_retired() {
+        let (mut g, sink) = diamond();
+        let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
+        g.resolve(&mut cache, &[sink]);
+        let retain = retain_only(g.len(), &[sink]);
+        let (arts, _) = execute(g, 2, retain, &None).unwrap();
+        assert_eq!(arts[sink], Some(V(5)));
+        // a, b, c each fed only the now-finished downstream tasks
+        assert_eq!(arts[0], None);
+        assert_eq!(arts[1], None);
+        assert_eq!(arts[2], None);
+    }
+
+    #[test]
+    fn cached_sink_runs_nothing() {
+        let (mut g, sink) = diamond();
+        let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
+        cache.put(CacheKey::of("d"), &V(5));
+        let (hits, pruned, to_run) = g.resolve(&mut cache, &[sink]);
+        assert_eq!((hits, pruned, to_run), (1, 3, 0));
+        let retain = retain_only(g.len(), &[sink]);
+        let (arts, executed) = execute(g, 4, retain, &None).unwrap();
+        assert_eq!(arts[sink], Some(V(5)));
+        assert!(executed.is_empty());
+    }
+
+    #[test]
+    fn task_error_aborts_run() {
+        let mut g: TaskGraph<V> = TaskGraph::new();
+        let a = g.task(TaskKind::Train, "boom", CacheKey::of("boom"), vec![], |_| {
+            Err(CoreError::Unsupported("nope".into()))
+        });
+        let b = g.task(TaskKind::Evaluate, "after", CacheKey::of("after"), vec![a], |_| Ok(V(1)));
+        let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
+        g.resolve(&mut cache, &[b]);
+        let retain = retain_only(g.len(), &[b]);
+        assert!(execute(g, 2, retain, &None).is_err());
+    }
+
+    #[test]
+    fn task_panic_becomes_error() {
+        let mut g: TaskGraph<V> = TaskGraph::new();
+        let sink = g.task(TaskKind::Train, "p", CacheKey::of("p"), vec![], |_| panic!("kaboom"));
+        let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
+        g.resolve(&mut cache, &[sink]);
+        let retain = retain_only(g.len(), &[sink]);
+        let err = execute(g, 2, retain, &None).unwrap_err();
+        assert!(err.to_string().contains("kaboom"), "{err}");
+    }
+
+    #[test]
+    fn wide_graph_saturates_many_workers() {
+        let mut g: TaskGraph<V> = TaskGraph::new();
+        let leaves: Vec<TaskId> = (0..100)
+            .map(|i| {
+                g.task(
+                    TaskKind::Train,
+                    format!("leaf{i}"),
+                    CacheKey::of(&format!("leaf{i}")),
+                    vec![],
+                    move |_| Ok(V(i as i64)),
+                )
+            })
+            .collect();
+        let sum = g.task(TaskKind::Reduce, "sum", CacheKey::of("sum"), leaves.clone(), |d| {
+            Ok(V(d.iter().map(|v| v.0).sum()))
+        });
+        let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
+        g.resolve(&mut cache, &[sum]);
+        let retain = retain_only(g.len(), &[sum]);
+        let (arts, _) = execute(g, 8, retain, &None).unwrap();
+        assert_eq!(arts[sum], Some(V(4950)));
+    }
+}

@@ -1,0 +1,658 @@
+//! Decomposing a CleanML study into the typed task DAG and running it.
+//!
+//! For every `(error type, dataset)` of the study the builder emits
+//!
+//! ```text
+//! GenerateDataset ─► Context ─┬─► Split(s) ─┬─► Train(dirty, k)
+//!                             │             └─► Clean(m) ─► Train(clean, m, k)
+//!                             │                     │             │
+//!                             │                     └──────┬──────┘
+//!                             │                            ▼
+//!                             └─────────────────────► Evaluate(s, m, k)
+//!                                                          │
+//!                                  Reduce(grid) ◄──────────┘  (all cells)
+//! ```
+//!
+//! and the scheduler executes every node across *all* datasets and error
+//! types concurrently — the outer sequential loop of
+//! [`cleanml_core::run_study`] becomes graph width. Task bodies are the
+//! pure units of [`cleanml_core::tasks`], so any worker count reproduces
+//! the serial path bit for bit.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cleanml_cleaning::{CleaningMethod, ErrorType};
+use cleanml_core::runner::CellEval;
+use cleanml_core::runner::Result;
+use cleanml_core::study::{dataset_plan, DatasetPlan};
+use cleanml_core::tasks::{self, CleanArtifact, DatasetContext, SplitArtifact, TrainedModel};
+use cleanml_core::{CleanMlDb, CoreError, EvalGrid, ExperimentConfig};
+use cleanml_datagen::{generate, inject_mislabel_variant, spec_by_name, GeneratedDataset};
+use cleanml_ml::{Metric, ModelKind, PAPER_MODELS};
+
+use crate::cache::{f64_from_field, f64_to_field, ArtifactCache, CacheKey, CacheStats, DiskCodec};
+use crate::event::{emit, EngineEvent, EventSink, TaskKind};
+use crate::graph::{NodeState, TaskGraph, TaskId};
+use crate::pool::{execute, RunReport};
+
+/// Everything that flows along DAG edges. Heavy payloads sit behind `Arc`,
+/// so cloning an artifact into a consumer is pointer-cheap.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    Dataset(Arc<GeneratedDataset>),
+    Context(Arc<DatasetContext>),
+    Split(Arc<SplitArtifact>),
+    Clean(Arc<CleanArtifact>),
+    Trained(Arc<TrainedModel>),
+    Cell(CellEval),
+    Grid(Arc<EvalGrid>),
+}
+
+impl Artifact {
+    fn dataset(&self) -> &GeneratedDataset {
+        match self {
+            Artifact::Dataset(d) => d,
+            other => panic!("expected dataset artifact, got {other:?}"),
+        }
+    }
+    fn context(&self) -> &DatasetContext {
+        match self {
+            Artifact::Context(c) => c,
+            other => panic!("expected context artifact, got {other:?}"),
+        }
+    }
+    fn split(&self) -> &SplitArtifact {
+        match self {
+            Artifact::Split(s) => s,
+            other => panic!("expected split artifact, got {other:?}"),
+        }
+    }
+    fn clean(&self) -> &CleanArtifact {
+        match self {
+            Artifact::Clean(c) => c,
+            other => panic!("expected clean artifact, got {other:?}"),
+        }
+    }
+    fn trained(&self) -> &TrainedModel {
+        match self {
+            Artifact::Trained(t) => t,
+            other => panic!("expected trained artifact, got {other:?}"),
+        }
+    }
+    fn cell(&self) -> CellEval {
+        match self {
+            Artifact::Cell(c) => *c,
+            other => panic!("expected cell artifact, got {other:?}"),
+        }
+    }
+    fn grid(&self) -> &Arc<EvalGrid> {
+        match self {
+            Artifact::Grid(g) => g,
+            other => panic!("expected grid artifact, got {other:?}"),
+        }
+    }
+}
+
+fn encode_metric(m: Metric) -> String {
+    match m {
+        Metric::Accuracy => "acc".into(),
+        Metric::F1 { positive } => format!("f1:{positive}"),
+    }
+}
+
+fn decode_metric(s: &str) -> Option<Metric> {
+    if s == "acc" {
+        return Some(Metric::Accuracy);
+    }
+    s.strip_prefix("f1:").and_then(|i| i.parse().ok()).map(|positive| Metric::F1 { positive })
+}
+
+fn hex_of(s: &str) -> String {
+    s.bytes().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Option<String> {
+    // chunk the raw bytes — slicing the &str would panic on a corrupt
+    // cache entry containing multibyte chars at odd positions
+    let raw = s.as_bytes();
+    if !raw.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes: Option<Vec<u8>> = raw
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some((hi * 16 + lo) as u8)
+        })
+        .collect();
+    String::from_utf8(bytes?).ok()
+}
+
+impl DiskCodec for Artifact {
+    /// Grid cells and dataset contexts persist; tables, matrices and models
+    /// stay in memory only (their serial form is not worth the IO — a warm
+    /// cache prunes the tasks that would need them).
+    fn encode(&self) -> Option<String> {
+        match self {
+            Artifact::Cell(c) => Some(format!(
+                "cell v1 {} {} {} {} {}",
+                f64_to_field(c.val_dirty),
+                f64_to_field(c.val_clean),
+                f64_to_field(c.acc_b),
+                c.acc_c.map_or_else(|| "-".into(), f64_to_field),
+                f64_to_field(c.acc_d),
+            )),
+            Artifact::Context(ctx) => {
+                // `c` prefix keeps an empty class name a non-empty field,
+                // so the whitespace-split decode round-trips losslessly.
+                let classes: Vec<String> =
+                    ctx.classes.iter().map(|c| format!("c{}", hex_of(c))).collect();
+                Some(format!("ctx v2 {} {}", encode_metric(ctx.metric), classes.join(" ")))
+            }
+            _ => None,
+        }
+    }
+
+    fn decode(text: &str) -> Option<Self> {
+        let mut parts = text.split_whitespace();
+        match (parts.next()?, parts.next()?) {
+            ("cell", "v1") => {
+                let val_dirty = f64_from_field(parts.next()?)?;
+                let val_clean = f64_from_field(parts.next()?)?;
+                let acc_b = f64_from_field(parts.next()?)?;
+                let acc_c = match parts.next()? {
+                    "-" => None,
+                    field => Some(f64_from_field(field)?),
+                };
+                let acc_d = f64_from_field(parts.next()?)?;
+                Some(Artifact::Cell(CellEval { val_dirty, val_clean, acc_b, acc_c, acc_d }))
+            }
+            ("ctx", "v2") => {
+                let metric = decode_metric(parts.next()?)?;
+                let classes: Option<Vec<String>> =
+                    parts.map(|field| unhex(field.strip_prefix('c')?)).collect();
+                Some(Artifact::Context(Arc::new(DatasetContext { metric, classes: classes? })))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker threads (`0` = all available cores).
+    pub workers: usize,
+    /// Run directory for the persistent cache layer; `None` disables it.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl EngineConfig {
+    /// Resolved worker count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// The study-execution engine: a reusable scheduler + artifact cache. Run
+/// it twice in one process (or point `cache_dir` at a previous run's
+/// directory) and finished work is skipped.
+pub struct Engine {
+    cfg: EngineConfig,
+    cache: ArtifactCache<Artifact>,
+    events: Option<EventSink>,
+}
+
+impl Engine {
+    pub fn new(cfg: EngineConfig) -> Self {
+        let cache = ArtifactCache::new(cfg.cache_dir.clone());
+        Engine { cfg, cache, events: None }
+    }
+
+    /// Attaches a progress-event sink.
+    pub fn with_events(mut self, sink: EventSink) -> Self {
+        self.events = Some(sink);
+        self
+    }
+
+    pub fn workers(&self) -> usize {
+        self.cfg.effective_workers()
+    }
+
+    /// Cache counters of the most recent run.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats
+    }
+
+    /// Runs the full study for `error_types` through the scheduler and
+    /// returns the populated, BY-corrected database — the parallel
+    /// equivalent of [`cleanml_core::run_study`].
+    pub fn run_study(
+        &mut self,
+        error_types: &[ErrorType],
+        cfg: &ExperimentConfig,
+    ) -> Result<CleanMlDb> {
+        self.run_study_with_report(error_types, cfg).map(|(db, _)| db)
+    }
+
+    /// [`Engine::run_study`] plus the execution report (task counts, cache
+    /// hits, prunes).
+    pub fn run_study_with_report(
+        &mut self,
+        error_types: &[ErrorType],
+        cfg: &ExperimentConfig,
+    ) -> Result<(CleanMlDb, RunReport)> {
+        self.cache.reset_stats();
+        let mut graph: TaskGraph<Artifact> = TaskGraph::new();
+        let mut grids: Vec<TaskId> = Vec::new();
+        for &et in error_types {
+            for plan in dataset_plan(et, cfg.base_seed) {
+                grids.push(build_grid_tasks(&mut graph, &plan, et, *cfg));
+            }
+        }
+
+        let (cache_hits, pruned, to_run) = graph.resolve(&mut self.cache, &grids);
+        let total = graph.len();
+        emit(&self.events, EngineEvent::GraphReady { total, cache_hits, pruned, to_run });
+
+        // Snapshot addressing info before the graph is consumed.
+        let index: Vec<(CacheKey, TaskKind, NodeState)> =
+            graph.nodes.iter().map(|n| (n.key, n.kind, n.state)).collect();
+        let retain: Vec<bool> = graph
+            .nodes
+            .iter()
+            .map(|n| {
+                matches!(
+                    n.kind,
+                    TaskKind::GenerateDataset
+                        | TaskKind::Context
+                        | TaskKind::Evaluate
+                        | TaskKind::Reduce
+                )
+            })
+            .collect();
+
+        let workers = self.workers();
+        let (artifacts, executed) = execute(graph, workers, retain, &self.events)?;
+
+        // Content-address every freshly produced, retained artifact.
+        for (id, artifact) in artifacts.iter().enumerate() {
+            if index[id].2 == NodeState::Run {
+                if let Some(a) = artifact {
+                    self.cache.put(index[id].0, a);
+                }
+            }
+        }
+
+        let mut db = CleanMlDb::default();
+        for &gid in &grids {
+            let grid = artifacts[gid]
+                .as_ref()
+                .ok_or_else(|| CoreError::Stats("grid artifact missing after run".into()))?
+                .grid();
+            db.r1.extend(grid.r1_rows()?);
+            db.r2.extend(grid.r2_rows()?);
+            db.r3.extend(grid.r3_rows()?);
+        }
+        db.apply_benjamini_yekutieli(cfg.alpha);
+        emit(&self.events, EngineEvent::RunFinished);
+
+        let report = RunReport { executed, cache_hits, pruned, total, workers };
+        Ok((db, report))
+    }
+}
+
+/// Canonical content-address strings. Seeds and float parameters are
+/// rendered as exact bit patterns, so a key never aliases across configs.
+fn data_cname(plan: &DatasetPlan) -> String {
+    let base = format!("gen/{}/{:016x}", plan.spec_name, plan.seed);
+    match plan.variant {
+        None => base,
+        Some((strategy, vseed)) => {
+            format!("var/{base}/{}/{vseed:016x}", strategy.suffix())
+        }
+    }
+}
+
+fn budget_tag(cfg: &ExperimentConfig) -> String {
+    format!("bud{}x{}", cfg.search.n_candidates, cfg.search.cv_folds)
+}
+
+/// Emits all tasks of one dataset × error-type grid; returns the reduce
+/// node.
+fn build_grid_tasks(
+    g: &mut TaskGraph<Artifact>,
+    plan: &DatasetPlan,
+    et: ErrorType,
+    cfg: ExperimentConfig,
+) -> TaskId {
+    let methods = CleaningMethod::catalogue(et);
+    let models: Vec<ModelKind> = PAPER_MODELS.to_vec();
+    let (n_methods, n_models) = (methods.len(), models.len());
+
+    // GenerateDataset: the base spec, plus the injection step for mislabel
+    // variants. Base generation is shared across variants and error types
+    // through content-addressed dedup.
+    let base_cname = format!("gen/{}/{:016x}", plan.spec_name, plan.seed);
+    let (spec_name, seed) = (plan.spec_name, plan.seed);
+    let base_id = g.task(
+        TaskKind::GenerateDataset,
+        base_cname.clone(),
+        CacheKey::of(&base_cname),
+        vec![],
+        move |_| {
+            let spec = spec_by_name(spec_name).expect("known dataset spec");
+            Ok(Artifact::Dataset(Arc::new(generate(spec, seed))))
+        },
+    );
+    let dname = data_cname(plan);
+    let data_id = match plan.variant {
+        None => base_id,
+        Some((strategy, vseed)) => g.task(
+            TaskKind::GenerateDataset,
+            dname.clone(),
+            CacheKey::of(&dname),
+            vec![base_id],
+            move |d| {
+                Ok(Artifact::Dataset(Arc::new(inject_mislabel_variant(
+                    d[0].dataset(),
+                    strategy,
+                    vseed,
+                ))))
+            },
+        ),
+    };
+
+    let ctx_cname = format!("ctx/{dname}");
+    let ctx_id = g.task(
+        TaskKind::Context,
+        ctx_cname,
+        CacheKey::of(&format!("ctx/{dname}")),
+        vec![data_id],
+        |d| Ok(Artifact::Context(Arc::new(tasks::dataset_context(d[0].dataset())?))),
+    );
+
+    let mut cell_ids: Vec<TaskId> = Vec::with_capacity(cfg.n_splits * n_methods * n_models);
+    for s in 0..cfg.n_splits {
+        let split_cname = format!(
+            "split/{dname}/{}/s{s}/frac{:016x}/seed{:016x}",
+            et.name(),
+            cfg.test_fraction.to_bits(),
+            cfg.split_seed(s),
+        );
+        let split_id = g.task(
+            TaskKind::Split,
+            format!("split/{}/{}/s{s}", plan.name, et.name()),
+            CacheKey::of(&split_cname),
+            vec![data_id, ctx_id],
+            move |d| {
+                Ok(Artifact::Split(Arc::new(tasks::make_split(
+                    d[0].dataset(),
+                    et,
+                    d[1].context(),
+                    &cfg,
+                    s,
+                )?)))
+            },
+        );
+        let fit_seed = cfg.fit_seed(s);
+
+        let dirty_ids: Vec<(TaskId, String)> = models
+            .iter()
+            .enumerate()
+            .map(|(ki, &kind)| {
+                let cname = format!(
+                    "traind/{split_cname}/{}/seed{:016x}/{}",
+                    kind.name(),
+                    fit_seed.wrapping_add(ki as u64),
+                    budget_tag(&cfg),
+                );
+                let id = g.task(
+                    TaskKind::Train,
+                    format!("train/{}/{}/s{s}/dirty/{}", plan.name, et.name(), kind.name()),
+                    CacheKey::of(&cname),
+                    vec![split_id, ctx_id],
+                    move |d| {
+                        Ok(Artifact::Trained(Arc::new(tasks::train_dirty(
+                            kind,
+                            ki,
+                            d[0].split(),
+                            d[1].context(),
+                            &cfg,
+                            fit_seed,
+                        )?)))
+                    },
+                );
+                (id, cname)
+            })
+            .collect();
+
+        for (mi, &method) in methods.iter().enumerate() {
+            let clean_cname = format!(
+                "clean/{split_cname}/{}-{}/seed{:016x}",
+                method.detection.name(),
+                method.repair.name(),
+                fit_seed.wrapping_add(1000 + mi as u64),
+            );
+            let clean_id = g.task(
+                TaskKind::Clean,
+                format!(
+                    "clean/{}/{}/s{s}/{}-{}",
+                    plan.name,
+                    et.name(),
+                    method.detection.name(),
+                    method.repair.name()
+                ),
+                CacheKey::of(&clean_cname),
+                vec![split_id, ctx_id],
+                move |d| {
+                    Ok(Artifact::Clean(Arc::new(tasks::make_clean(
+                        &method,
+                        mi,
+                        et,
+                        d[0].split(),
+                        d[1].context(),
+                        fit_seed,
+                    )?)))
+                },
+            );
+
+            for (ki, &kind) in models.iter().enumerate() {
+                let tclean_cname = format!(
+                    "trainc/{clean_cname}/{}/seed{:016x}/{}",
+                    kind.name(),
+                    fit_seed.wrapping_add(2000 + (mi * n_models + ki) as u64),
+                    budget_tag(&cfg),
+                );
+                let tclean_id = g.task(
+                    TaskKind::Train,
+                    format!(
+                        "train/{}/{}/s{s}/{}-{}/{}",
+                        plan.name,
+                        et.name(),
+                        method.detection.name(),
+                        method.repair.name(),
+                        kind.name()
+                    ),
+                    CacheKey::of(&tclean_cname),
+                    vec![clean_id, ctx_id],
+                    move |d| {
+                        Ok(Artifact::Trained(Arc::new(tasks::train_clean(
+                            kind,
+                            ki,
+                            mi,
+                            n_models,
+                            d[0].clean(),
+                            d[1].context(),
+                            &cfg,
+                            fit_seed,
+                        )?)))
+                    },
+                );
+
+                let cell_cname = format!("cell/{}|{tclean_cname}", dirty_ids[ki].1);
+                let cell_id = g.task(
+                    TaskKind::Evaluate,
+                    format!("cell/{}/{}/s{s}/m{mi}/{}", plan.name, et.name(), kind.name()),
+                    CacheKey::of(&cell_cname),
+                    vec![dirty_ids[ki].0, tclean_id, clean_id, ctx_id],
+                    move |d| {
+                        Ok(Artifact::Cell(tasks::evaluate_cell(
+                            d[0].trained(),
+                            d[1].trained(),
+                            d[2].clean(),
+                            d[3].context(),
+                        )?))
+                    },
+                );
+                cell_ids.push(cell_id);
+            }
+        }
+    }
+
+    let grid_cname = format!(
+        "grid/{dname}/{}/splits{}/frac{:016x}/base{:016x}/{}/methods{}/models{}",
+        et.name(),
+        cfg.n_splits,
+        cfg.test_fraction.to_bits(),
+        cfg.base_seed,
+        budget_tag(&cfg),
+        n_methods,
+        n_models,
+    );
+    let mut deps = vec![ctx_id];
+    deps.extend(&cell_ids);
+    let dataset_name = plan.name.clone();
+    let (n_splits, methods_owned, models_owned) = (cfg.n_splits, methods, models);
+    g.task(
+        TaskKind::Reduce,
+        format!("grid/{}/{}", plan.name, et.name()),
+        CacheKey::of(&grid_cname),
+        deps,
+        move |d| {
+            let metric = d[0].context().metric;
+            let mut cells: Vec<Vec<Vec<CellEval>>> = Vec::with_capacity(n_splits);
+            let mut it = d[1..].iter();
+            for _ in 0..n_splits {
+                let mut per_split = Vec::with_capacity(methods_owned.len());
+                for _ in 0..methods_owned.len() {
+                    let mut row = Vec::with_capacity(models_owned.len());
+                    for _ in 0..models_owned.len() {
+                        row.push(it.next().expect("cell count matches").cell());
+                    }
+                    per_split.push(row);
+                }
+                cells.push(per_split);
+            }
+            Ok(Artifact::Grid(Arc::new(EvalGrid::from_parts(
+                dataset_name,
+                et,
+                methods_owned,
+                models_owned,
+                metric,
+                cells,
+            )?)))
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_codec_round_trips() {
+        let cell = Artifact::Cell(CellEval {
+            val_dirty: 0.75,
+            val_clean: 0.8,
+            acc_b: 0.7,
+            acc_c: None,
+            acc_d: 0.9,
+        });
+        let decoded = Artifact::decode(&cell.encode().unwrap()).unwrap();
+        assert_eq!(decoded.cell(), cell.cell());
+
+        let cell_cd = Artifact::Cell(CellEval {
+            val_dirty: 0.1,
+            val_clean: 0.2,
+            acc_b: 0.3,
+            acc_c: Some(0.4),
+            acc_d: 0.5,
+        });
+        let decoded = Artifact::decode(&cell_cd.encode().unwrap()).unwrap();
+        assert_eq!(decoded.cell(), cell_cd.cell());
+
+        let ctx = Artifact::Context(Arc::new(DatasetContext {
+            metric: Metric::F1 { positive: 1 },
+            classes: vec!["no".into(), "yes with space".into(), String::new()],
+        }));
+        let decoded = Artifact::decode(&ctx.encode().unwrap()).unwrap();
+        assert_eq!(decoded.context(), ctx.context());
+
+        assert!(Artifact::decode("nonsense").is_none());
+        assert!(Artifact::decode("cell v1 zz").is_none());
+        // corrupt multibyte content must be a miss, not a panic
+        assert!(Artifact::decode("ctx v2 acc c€xzz").is_none());
+        assert!(Artifact::decode("ctx v2 acc c€x").is_none());
+    }
+
+    #[test]
+    fn heavy_artifacts_do_not_persist() {
+        let split_like = Artifact::Trained(Arc::new(TrainedModel {
+            model: cleanml_ml::ModelSpec::default_for(ModelKind::NaiveBayes)
+                .fit(
+                    &cleanml_dataset::FeatureMatrix::from_parts(
+                        vec![0.0, 1.0, 0.0, 1.0],
+                        4,
+                        1,
+                        vec![0, 1, 0, 1],
+                        2,
+                    ),
+                    1,
+                )
+                .unwrap(),
+            val: 0.5,
+        }));
+        assert!(split_like.encode().is_none());
+    }
+
+    #[test]
+    fn grid_graph_has_expected_shape() {
+        let cfg = ExperimentConfig { n_splits: 2, ..ExperimentConfig::quick() };
+        let mut g: TaskGraph<Artifact> = TaskGraph::new();
+        let plans = dataset_plan(ErrorType::Inconsistencies, cfg.base_seed);
+        let grid = build_grid_tasks(&mut g, &plans[0], ErrorType::Inconsistencies, cfg);
+        // 1 generate + 1 ctx + per split (1 split + 7 dirty train + 1 method
+        // × (1 clean + 7 train + 7 cells)) + 1 reduce
+        let expected = 2 + 2 * (1 + 7 + 1 + 7 + 7) + 1;
+        assert_eq!(g.len(), expected);
+        assert_eq!(grid, g.len() - 1);
+    }
+
+    #[test]
+    fn shared_base_dataset_is_deduplicated() {
+        let cfg = ExperimentConfig { n_splits: 2, ..ExperimentConfig::quick() };
+        let mut g: TaskGraph<Artifact> = TaskGraph::new();
+        let plans = dataset_plan(ErrorType::Mislabels, cfg.base_seed);
+        // EEGuniform and EEGmajor share the EEG base generation task.
+        let eeg_variants: Vec<&DatasetPlan> =
+            plans.iter().filter(|p| p.spec_name == "EEG").collect();
+        assert!(eeg_variants.len() >= 2);
+        build_grid_tasks(&mut g, eeg_variants[0], ErrorType::Mislabels, cfg);
+        let before = g.len();
+        build_grid_tasks(&mut g, eeg_variants[1], ErrorType::Mislabels, cfg);
+        let gen_nodes = g
+            .nodes
+            .iter()
+            .filter(|n| n.kind == TaskKind::GenerateDataset && n.label.starts_with("gen/EEG"))
+            .count();
+        assert_eq!(gen_nodes, 1, "base generation emitted once");
+        assert!(g.len() > before, "variant still adds its own tasks");
+    }
+}

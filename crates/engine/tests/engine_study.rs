@@ -1,0 +1,129 @@
+//! End-to-end engine guarantees: determinism across worker counts,
+//! equivalence with the serial runner, and warm-cache resumption that
+//! re-trains nothing.
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+
+use cleanml_core::schema::ErrorType;
+use cleanml_core::{run_study, CleanMlDb, ExperimentConfig};
+use cleanml_engine::{Engine, EngineConfig, EngineEvent, TaskKind};
+
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig { n_splits: 2, parallel: false, ..ExperimentConfig::quick() }
+}
+
+fn assert_identical(a: &CleanMlDb, b: &CleanMlDb, what: &str) {
+    assert_eq!(a.r1, b.r1, "{what}: R1 differs");
+    assert_eq!(a.r2, b.r2, "{what}: R2 differs");
+    assert_eq!(a.r3, b.r3, "{what}: R3 differs");
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cleanml-engine-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn one_and_eight_workers_match_the_serial_path() {
+    let cfg = tiny_cfg();
+    let ets = [ErrorType::Inconsistencies];
+
+    let serial = run_study(&ets, &cfg).expect("serial study");
+
+    let mut one = Engine::new(EngineConfig { workers: 1, cache_dir: None });
+    let (db_one, report_one) = one.run_study_with_report(&ets, &cfg).expect("1-worker study");
+
+    let mut eight = Engine::new(EngineConfig { workers: 8, cache_dir: None });
+    let (db_eight, report_eight) = eight.run_study_with_report(&ets, &cfg).expect("8-worker study");
+
+    assert_identical(&serial, &db_one, "serial vs 1 worker");
+    assert_identical(&db_one, &db_eight, "1 worker vs 8 workers");
+
+    // Both engine runs executed the same DAG from a cold cache.
+    assert_eq!(report_one.total, report_eight.total);
+    assert_eq!(report_one.executed_total(), report_eight.executed_total());
+    assert!(report_one.executed(TaskKind::Train) > 0, "cold run must train");
+    assert_eq!(report_one.workers, 1);
+    assert_eq!(report_eight.workers, 8);
+}
+
+#[test]
+fn warm_disk_cache_resumes_with_zero_training() {
+    let cfg = tiny_cfg();
+    let ets = [ErrorType::Inconsistencies];
+    let dir = temp_dir("warm");
+
+    // Cold run: populates the run directory.
+    let mut cold = Engine::new(EngineConfig { workers: 2, cache_dir: Some(dir.clone()) });
+    let (db_cold, report_cold) = cold.run_study_with_report(&ets, &cfg).expect("cold study");
+    assert!(report_cold.executed(TaskKind::Train) > 0);
+    assert!(cold.cache_stats().disk_writes > 0, "cells and contexts must persist");
+
+    // Warm run in a *fresh* engine (new process semantics): every cell and
+    // context is served from disk; no dataset is regenerated, no model is
+    // trained, no cell is re-evaluated — only the grid reduction runs.
+    let mut warm = Engine::new(EngineConfig { workers: 2, cache_dir: Some(dir.clone()) });
+    let (db_warm, report_warm) = warm.run_study_with_report(&ets, &cfg).expect("warm study");
+    assert_identical(&db_cold, &db_warm, "cold vs warm");
+
+    assert_eq!(report_warm.executed(TaskKind::Train), 0, "warm run re-trained");
+    assert_eq!(report_warm.executed(TaskKind::Evaluate), 0);
+    assert_eq!(report_warm.executed(TaskKind::GenerateDataset), 0);
+    assert_eq!(report_warm.executed(TaskKind::Split), 0);
+    assert_eq!(report_warm.executed(TaskKind::Clean), 0);
+    // Everything demanded besides the reduce sinks came from the cache:
+    // 100% hits over the non-reduce frontier.
+    let grids = report_warm.executed(TaskKind::Reduce);
+    assert!(grids > 0);
+    assert_eq!(report_warm.executed_total(), grids);
+    assert_eq!(
+        report_warm.cache_hits + report_warm.pruned + grids,
+        report_warm.total,
+        "every non-reduce task was a cache hit or pruned"
+    );
+    assert!(warm.cache_stats().disk_hits > 0);
+
+    // Third run on the same engine: the in-memory layer now holds the
+    // grids themselves, so *nothing* executes at all.
+    let (db_mem, report_mem) = warm.run_study_with_report(&ets, &cfg).expect("memory study");
+    assert_identical(&db_cold, &db_mem, "cold vs in-memory");
+    assert_eq!(report_mem.executed_total(), 0, "in-memory rerun ran tasks");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn progress_events_cover_the_run() {
+    let cfg = tiny_cfg();
+    let ets = [ErrorType::Inconsistencies];
+    let (tx, rx) = mpsc::channel();
+    let mut engine = Engine::new(EngineConfig { workers: 2, cache_dir: None }).with_events(tx);
+    let (_, report) = engine.run_study_with_report(&ets, &cfg).expect("study");
+
+    let events: Vec<EngineEvent> = rx.try_iter().collect();
+    let mut saw_graph = false;
+    let mut started = 0usize;
+    let mut finished = 0usize;
+    let mut run_finished = false;
+    for e in &events {
+        match e {
+            EngineEvent::GraphReady { total, to_run, .. } => {
+                saw_graph = true;
+                assert_eq!(*total, report.total);
+                assert_eq!(*to_run, report.executed_total());
+            }
+            EngineEvent::TaskStarted { .. } => started += 1,
+            EngineEvent::TaskFinished { ok, .. } => {
+                assert!(ok);
+                finished += 1;
+            }
+            EngineEvent::RunFinished => run_finished = true,
+        }
+    }
+    assert!(saw_graph, "GraphReady not emitted");
+    assert!(run_finished, "RunFinished not emitted");
+    assert_eq!(finished, report.executed_total());
+    assert_eq!(started, finished);
+}

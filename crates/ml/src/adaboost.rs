@@ -56,7 +56,7 @@ impl AdaBoost {
         if params.n_rounds == 0 {
             return Err(MlError::InvalidParam { param: "n_rounds", message: "0".into() });
         }
-        if !(params.learning_rate > 0.0) {
+        if params.learning_rate.is_nan() || params.learning_rate <= 0.0 {
             return Err(MlError::InvalidParam {
                 param: "learning_rate",
                 message: format!("{}", params.learning_rate),
@@ -104,8 +104,7 @@ impl AdaBoost {
                 break;
             }
 
-            let alpha =
-                params.learning_rate * (((1.0 - err) / err).ln() + (k as f64 - 1.0).ln());
+            let alpha = params.learning_rate * (((1.0 - err) / err).ln() + (k as f64 - 1.0).ln());
             for ((w, p), y) in weights.iter_mut().zip(&preds).zip(data.labels()) {
                 if p != y {
                     *w *= alpha.exp();
@@ -123,7 +122,10 @@ impl AdaBoost {
     /// Normalized per-class weighted votes (flat `n × k`).
     pub fn predict_proba(&self, data: &FeatureMatrix) -> Result<Vec<f64>> {
         if data.n_cols() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: data.n_cols() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: data.n_cols(),
+            });
         }
         let k = self.n_classes;
         let mut votes = vec![0.0; data.n_rows() * k];
@@ -178,18 +180,11 @@ mod tests {
     #[test]
     fn boosting_beats_single_stump() {
         let data = diagonal_classes(200);
-        let stump = AdaBoost::fit(
-            &AdaBoostParams { n_rounds: 1, ..Default::default() },
-            &data,
-            0,
-        )
-        .unwrap();
-        let boosted = AdaBoost::fit(
-            &AdaBoostParams { n_rounds: 60, ..Default::default() },
-            &data,
-            0,
-        )
-        .unwrap();
+        let stump =
+            AdaBoost::fit(&AdaBoostParams { n_rounds: 1, ..Default::default() }, &data, 0).unwrap();
+        let boosted =
+            AdaBoost::fit(&AdaBoostParams { n_rounds: 60, ..Default::default() }, &data, 0)
+                .unwrap();
         let acc_stump = accuracy(data.labels(), &stump.predict(&data).unwrap());
         let acc_boost = accuracy(data.labels(), &boosted.predict(&data).unwrap());
         assert!(acc_boost > acc_stump, "{acc_boost} <= {acc_stump}");
@@ -198,13 +193,7 @@ mod tests {
 
     #[test]
     fn perfect_learner_short_circuits() {
-        let data = FeatureMatrix::from_parts(
-            vec![0.0, 1.0, 10.0, 11.0],
-            4,
-            1,
-            vec![0, 0, 1, 1],
-            2,
-        );
+        let data = FeatureMatrix::from_parts(vec![0.0, 1.0, 10.0, 11.0], 4, 1, vec![0, 0, 1, 1], 2);
         let model = AdaBoost::fit(&AdaBoostParams::default(), &data, 0).unwrap();
         assert_eq!(model.n_learners(), 1);
         assert_eq!(model.predict(&data).unwrap(), vec![0, 0, 1, 1]);
@@ -230,12 +219,9 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let data = diagonal_classes(10);
-        assert!(AdaBoost::fit(
-            &AdaBoostParams { n_rounds: 0, ..Default::default() },
-            &data,
-            0
-        )
-        .is_err());
+        assert!(
+            AdaBoost::fit(&AdaBoostParams { n_rounds: 0, ..Default::default() }, &data, 0).is_err()
+        );
         assert!(AdaBoost::fit(
             &AdaBoostParams { learning_rate: 0.0, ..Default::default() },
             &data,

@@ -104,11 +104,8 @@ pub fn random_search(
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
     let mut best: Option<SearchResult> = None;
     for c in 0..n_candidates {
-        let spec = if c == 0 {
-            ModelSpec::default_for(kind)
-        } else {
-            ModelSpec::sample(kind, &mut rng)
-        };
+        let spec =
+            if c == 0 { ModelSpec::default_for(kind) } else { ModelSpec::sample(kind, &mut rng) };
         let score = cross_val_score(&spec, data, budget.cv_folds, seed, metric)?;
         let better = match &best {
             None => true,
@@ -192,14 +189,8 @@ mod tests {
     #[test]
     fn search_no_tuning_is_default_spec() {
         let data = blobs(50);
-        let r = random_search(
-            ModelKind::Knn,
-            &data,
-            SearchBudget::none(),
-            3,
-            Metric::Accuracy,
-        )
-        .unwrap();
+        let r = random_search(ModelKind::Knn, &data, SearchBudget::none(), 3, Metric::Accuracy)
+            .unwrap();
         assert_eq!(r.spec, ModelSpec::default_for(ModelKind::Knn));
     }
 
@@ -207,14 +198,8 @@ mod tests {
     fn search_deterministic() {
         let data = blobs(50);
         let go = || {
-            random_search(
-                ModelKind::XGBoost,
-                &data,
-                SearchBudget::small(),
-                11,
-                Metric::Accuracy,
-            )
-            .unwrap()
+            random_search(ModelKind::XGBoost, &data, SearchBudget::small(), 11, Metric::Accuracy)
+                .unwrap()
         };
         let a = go();
         let b = go();
@@ -226,8 +211,7 @@ mod tests {
     fn f1_metric_usable() {
         let data = blobs(50);
         let spec = ModelSpec::default_for(ModelKind::LogisticRegression);
-        let score =
-            cross_val_score(&spec, &data, 3, 0, Metric::F1 { positive: 1 }).unwrap();
+        let score = cross_val_score(&spec, &data, 3, 0, Metric::F1 { positive: 1 }).unwrap();
         assert!(score > 0.8);
     }
 }

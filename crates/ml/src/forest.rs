@@ -60,10 +60,8 @@ impl RandomForest {
             return Err(MlError::EmptyTrainingSet);
         }
         let d = data.n_cols();
-        let max_features = params
-            .max_features
-            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize)
-            .clamp(1, d);
+        let max_features =
+            params.max_features.unwrap_or_else(|| (d as f64).sqrt().ceil() as usize).clamp(1, d);
         let tree_params = TreeParams {
             max_depth: params.max_depth,
             min_samples_split: 2,
@@ -76,9 +74,7 @@ impl RandomForest {
         for t in 0..params.n_trees {
             let boot: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
             let sample = data.select_rows(&boot);
-            let tree_seed = seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(t as u64);
+            let tree_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(t as u64);
             trees.push(DecisionTree::fit(&tree_params, &sample, tree_seed)?);
         }
         Ok(RandomForest { trees, n_features: d, n_classes: data.n_classes() })
@@ -87,7 +83,10 @@ impl RandomForest {
     /// Mean of per-tree leaf distributions (flat `n × k`).
     pub fn predict_proba(&self, data: &FeatureMatrix) -> Result<Vec<f64>> {
         if data.n_cols() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: data.n_cols() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: data.n_cols(),
+            });
         }
         let k = self.n_classes;
         let mut acc = vec![0.0; data.n_rows() * k];
@@ -126,11 +125,7 @@ mod tests {
         for i in 0..n {
             let t = i as f64 / n as f64 * std::f64::consts::PI;
             let c = i % 2;
-            let (x, y) = if c == 0 {
-                (t.cos(), t.sin())
-            } else {
-                (1.0 - t.cos(), 0.3 - t.sin())
-            };
+            let (x, y) = if c == 0 { (t.cos(), t.sin()) } else { (1.0 - t.cos(), 0.3 - t.sin()) };
             data.push(x + (i as f64 * 0.37).sin() * 0.05);
             data.push(y + (i as f64 * 0.73).cos() * 0.05);
             labels.push(c);
@@ -179,12 +174,8 @@ mod tests {
     #[test]
     fn zero_trees_rejected() {
         let data = two_moons_like(10);
-        assert!(RandomForest::fit(
-            &ForestParams { n_trees: 0, ..Default::default() },
-            &data,
-            0
-        )
-        .is_err());
+        assert!(RandomForest::fit(&ForestParams { n_trees: 0, ..Default::default() }, &data, 0)
+            .is_err());
     }
 
     #[test]

@@ -63,10 +63,10 @@ impl GbdtParams {
         if self.n_rounds == 0 {
             return Err(MlError::InvalidParam { param: "n_rounds", message: "0".into() });
         }
-        if !(self.eta > 0.0) {
+        if self.eta.is_nan() || self.eta <= 0.0 {
             return Err(MlError::InvalidParam { param: "eta", message: format!("{}", self.eta) });
         }
-        if !(self.lambda >= 0.0) {
+        if self.lambda.is_nan() || self.lambda < 0.0 {
             return Err(MlError::InvalidParam {
                 param: "lambda",
                 message: format!("{}", self.lambda),
@@ -170,7 +170,10 @@ impl Gbdt {
     /// Softmax class probabilities (flat `n × k`).
     pub fn predict_proba(&self, data: &FeatureMatrix) -> Result<Vec<f64>> {
         if data.n_cols() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: data.n_cols() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: data.n_cols(),
+            });
         }
         let k = self.n_classes;
         let mut out = vec![0.0; data.n_rows() * k];
@@ -204,7 +207,12 @@ fn score(g: f64, h: f64, lambda: f64) -> f64 {
     g * g / (h + lambda)
 }
 
-fn build_reg_node(ctx: &GradCtx<'_>, nodes: &mut Vec<RNode>, rows: Vec<usize>, depth: usize) -> usize {
+fn build_reg_node(
+    ctx: &GradCtx<'_>,
+    nodes: &mut Vec<RNode>,
+    rows: Vec<usize>,
+    depth: usize,
+) -> usize {
     let g_total: f64 = rows.iter().map(|&r| ctx.grad[r]).sum();
     let h_total: f64 = rows.iter().map(|&r| ctx.hess[r]).sum();
     let lambda = ctx.params.lambda;
@@ -225,9 +233,7 @@ fn build_reg_node(ctx: &GradCtx<'_>, nodes: &mut Vec<RNode>, rows: Vec<usize>, d
     let mut order = rows.clone();
     for f in 0..d {
         order.sort_by(|&a, &b| {
-            ctx.data.row(a)[f]
-                .partial_cmp(&ctx.data.row(b)[f])
-                .expect("finite features")
+            ctx.data.row(a)[f].partial_cmp(&ctx.data.row(b)[f]).expect("finite features")
         });
         let mut gl = 0.0;
         let mut hl = 0.0;
@@ -300,10 +306,8 @@ mod tests {
     #[test]
     fn more_rounds_fit_tighter() {
         let data = ring_data(150);
-        let short =
-            Gbdt::fit(&GbdtParams { n_rounds: 1, ..Default::default() }, &data, 0).unwrap();
-        let long =
-            Gbdt::fit(&GbdtParams { n_rounds: 40, ..Default::default() }, &data, 0).unwrap();
+        let short = Gbdt::fit(&GbdtParams { n_rounds: 1, ..Default::default() }, &data, 0).unwrap();
+        let long = Gbdt::fit(&GbdtParams { n_rounds: 40, ..Default::default() }, &data, 0).unwrap();
         let a_short = accuracy(data.labels(), &short.predict(&data).unwrap());
         let a_long = accuracy(data.labels(), &long.predict(&data).unwrap());
         assert!(a_long >= a_short);
@@ -353,9 +357,7 @@ mod tests {
         let big_gamma =
             Gbdt::fit(&GbdtParams { gamma: 1e9, n_rounds: 3, ..Default::default() }, &data, 0)
                 .unwrap();
-        let count = |m: &Gbdt| -> usize {
-            m.trees.iter().flatten().map(|t| t.nodes.len()).sum()
-        };
+        let count = |m: &Gbdt| -> usize { m.trees.iter().flatten().map(|t| t.nodes.len()).sum() };
         assert!(count(&big_gamma) < count(&no_gamma));
     }
 

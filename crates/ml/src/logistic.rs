@@ -37,10 +37,10 @@ impl LogisticParams {
     }
 
     fn validate(&self) -> Result<()> {
-        if !(self.l2 >= 0.0) {
+        if self.l2.is_nan() || self.l2 < 0.0 {
             return Err(MlError::InvalidParam { param: "l2", message: format!("{}", self.l2) });
         }
-        if !(self.lr > 0.0) {
+        if self.lr.is_nan() || self.lr <= 0.0 {
             return Err(MlError::InvalidParam { param: "lr", message: format!("{}", self.lr) });
         }
         if self.epochs == 0 {
@@ -129,7 +129,10 @@ impl Logistic {
     /// Per-class probabilities for each row (row-major `n × k`).
     pub fn predict_proba(&self, data: &FeatureMatrix) -> Result<Vec<f64>> {
         if data.n_cols() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: data.n_cols() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: data.n_cols(),
+            });
         }
         let n = data.n_rows();
         let k = self.n_classes;
@@ -138,8 +141,8 @@ impl Logistic {
         for i in 0..n {
             let x = data.row(i);
             let row = &mut out[i * k..(i + 1) * k];
-            for c in 0..k {
-                row[c] = self.bias[c] + dot(&self.weights[c * d..(c + 1) * d], x);
+            for (c, out_c) in row.iter_mut().enumerate() {
+                *out_c = self.bias[c] + dot(&self.weights[c * d..(c + 1) * d], x);
             }
             softmax(row);
         }
@@ -226,8 +229,10 @@ mod tests {
     #[test]
     fn l2_shrinks_weights() {
         let data = blobs(50, 2.0);
-        let loose = Logistic::fit(&LogisticParams { l2: 1e-6, ..Default::default() }, &data).unwrap();
-        let tight = Logistic::fit(&LogisticParams { l2: 0.5, ..Default::default() }, &data).unwrap();
+        let loose =
+            Logistic::fit(&LogisticParams { l2: 1e-6, ..Default::default() }, &data).unwrap();
+        let tight =
+            Logistic::fit(&LogisticParams { l2: 0.5, ..Default::default() }, &data).unwrap();
         let norm = |m: &Logistic| m.weights.iter().map(|w| w * w).sum::<f64>();
         assert!(norm(&tight) < norm(&loose));
     }

@@ -61,9 +61,7 @@ pub fn f1_binary(y_true: &[usize], y_pred: &[usize], positive: usize) -> f64 {
 /// Unweighted mean of per-class F1 scores.
 pub fn macro_f1(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
     assert!(n_classes > 0, "need at least one class");
-    let sum: f64 = (0..n_classes)
-        .map(|c| precision_recall_f1(y_true, y_pred, c).2)
-        .sum();
+    let sum: f64 = (0..n_classes).map(|c| precision_recall_f1(y_true, y_pred, c).2).sum();
     sum / n_classes as f64
 }
 

@@ -54,7 +54,7 @@ impl MlpParams {
         if self.hidden1 == 0 || self.hidden2 == 0 {
             return Err(MlError::InvalidParam { param: "hidden", message: "0".into() });
         }
-        if !(self.lr > 0.0) {
+        if self.lr.is_nan() || self.lr <= 0.0 {
             return Err(MlError::InvalidParam { param: "lr", message: format!("{}", self.lr) });
         }
         if !(0.0..1.0).contains(&self.momentum) {
@@ -84,9 +84,7 @@ impl Layer {
     fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Layer {
         // He initialization for ReLU layers.
         let scale = (2.0 / n_in as f64).sqrt();
-        let w = (0..n_in * n_out)
-            .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale)
-            .collect();
+        let w = (0..n_in * n_out).map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale).collect();
         Layer { w, b: vec![0.0; n_out], n_in, n_out }
     }
 
@@ -238,7 +236,10 @@ impl Mlp {
     /// Softmax class probabilities (flat `n × k`).
     pub fn predict_proba(&self, data: &FeatureMatrix) -> Result<Vec<f64>> {
         if data.n_cols() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: data.n_cols() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: data.n_cols(),
+            });
         }
         let mut h1 = Vec::new();
         let mut h2 = Vec::new();
@@ -293,12 +294,7 @@ mod tests {
     #[test]
     fn probabilities_normalized() {
         let data = xor_blobs(50);
-        let mlp = Mlp::fit(
-            &MlpParams { epochs: 5, ..Default::default() },
-            &data,
-            0,
-        )
-        .unwrap();
+        let mlp = Mlp::fit(&MlpParams { epochs: 5, ..Default::default() }, &data, 0).unwrap();
         for row in mlp.predict_proba(&data).unwrap().chunks_exact(2) {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             assert!(row.iter().all(|p| p.is_finite()));

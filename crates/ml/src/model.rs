@@ -162,7 +162,10 @@ impl ModelSpec {
 #[derive(Debug, Clone)]
 pub enum FittedModel {
     /// Fallback for single-class training data.
-    Constant { class: usize, n_classes: usize },
+    Constant {
+        class: usize,
+        n_classes: usize,
+    },
     Logistic(Logistic),
     Knn(Knn),
     Tree(DecisionTree),

@@ -61,7 +61,7 @@ impl NaclParams {
                 message: format!("{}", self.dropout),
             });
         }
-        if !(self.l2 >= 0.0) {
+        if self.l2.is_nan() || self.l2 < 0.0 {
             return Err(MlError::InvalidParam { param: "l2", message: format!("{}", self.l2) });
         }
         if self.epochs == 0 {
@@ -108,11 +108,7 @@ impl Nacl {
                 let x = data.row(i);
                 // Apply dropout mask for this (epoch, sample).
                 for (xdj, &xj) in xd.iter_mut().zip(x) {
-                    *xdj = if rng.random::<f64>() < params.dropout {
-                        0.0
-                    } else {
-                        xj * keep_scale
-                    };
+                    *xdj = if rng.random::<f64>() < params.dropout { 0.0 } else { xj * keep_scale };
                 }
                 for c in 0..k {
                     let w = &weights[c * d..(c + 1) * d];
@@ -147,7 +143,10 @@ impl Nacl {
     /// marginalized (contribute zero in standardized space).
     pub fn predict_proba(&self, data: &FeatureMatrix) -> Result<Vec<f64>> {
         if data.n_cols() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: data.n_cols() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: data.n_cols(),
+            });
         }
         let d = self.n_features;
         let k = self.n_classes;
@@ -156,7 +155,7 @@ impl Nacl {
             let x = data.row(i);
             let miss = data.missing_row(i);
             let row = &mut out[i * k..(i + 1) * k];
-            for c in 0..k {
+            for (c, out_c) in row.iter_mut().enumerate() {
                 let w = &self.weights[c * d..(c + 1) * d];
                 let mut z = self.bias[c];
                 for j in 0..d {
@@ -164,7 +163,7 @@ impl Nacl {
                         z += w[j] * x[j];
                     }
                 }
-                row[c] = z;
+                *out_c = z;
             }
             softmax(row);
         }

@@ -29,9 +29,7 @@ impl Default for NbParams {
 impl NbParams {
     /// Samples hyper-parameters for random search.
     pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        NbParams {
-            var_smoothing: *[1e-9, 1e-7, 1e-5].choose(rng).expect("non-empty"),
-        }
+        NbParams { var_smoothing: *[1e-9, 1e-7, 1e-5].choose(rng).expect("non-empty") }
     }
 }
 
@@ -51,7 +49,7 @@ pub struct GaussianNb {
 impl GaussianNb {
     /// Estimates per-class Gaussians.
     pub fn fit(params: &NbParams, data: &FeatureMatrix) -> Result<GaussianNb> {
-        if !(params.var_smoothing >= 0.0) {
+        if params.var_smoothing.is_nan() || params.var_smoothing < 0.0 {
             return Err(MlError::InvalidParam {
                 param: "var_smoothing",
                 message: format!("{}", params.var_smoothing),
@@ -116,7 +114,10 @@ impl GaussianNb {
     /// Posterior class probabilities (flat `n × k`).
     pub fn predict_proba(&self, data: &FeatureMatrix) -> Result<Vec<f64>> {
         if data.n_cols() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: data.n_cols() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: data.n_cols(),
+            });
         }
         let d = self.n_features;
         let k = self.n_classes;
@@ -125,7 +126,7 @@ impl GaussianNb {
         for i in 0..data.n_rows() {
             let x = data.row(i);
             let row = &mut out[i * k..(i + 1) * k];
-            for c in 0..k {
+            for (c, out_c) in row.iter_mut().enumerate() {
                 let m = &self.means[c * d..(c + 1) * d];
                 let v = &self.vars[c * d..(c + 1) * d];
                 let mut ll = self.log_priors[c];
@@ -133,7 +134,7 @@ impl GaussianNb {
                     let dev = xj - mj;
                     ll += -0.5 * (ln_2pi + vj.ln() + dev * dev / vj);
                 }
-                row[c] = ll;
+                *out_c = ll;
             }
             crate::logistic::softmax(row);
         }

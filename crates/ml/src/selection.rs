@@ -81,21 +81,13 @@ mod tests {
     #[test]
     fn selects_a_tree_family_on_xor() {
         let data = xor_data(120);
-        let sel = select_best_model(
-            &PAPER_MODELS,
-            &data,
-            SearchBudget::none(),
-            3,
-            Metric::Accuracy,
-        )
-        .unwrap();
+        let sel =
+            select_best_model(&PAPER_MODELS, &data, SearchBudget::none(), 3, Metric::Accuracy)
+                .unwrap();
         assert_eq!(sel.leaderboard.len(), 7);
         // The winner must be one of the nonlinear families.
         assert!(
-            !matches!(
-                sel.spec.kind(),
-                ModelKind::LogisticRegression | ModelKind::NaiveBayes
-            ),
+            !matches!(sel.spec.kind(), ModelKind::LogisticRegression | ModelKind::NaiveBayes),
             "winner was {}",
             sel.spec.kind()
         );
@@ -115,11 +107,7 @@ mod tests {
             Metric::Accuracy,
         )
         .unwrap();
-        let max = sel
-            .leaderboard
-            .iter()
-            .map(|(_, s)| *s)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = sel.leaderboard.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(sel.val_score, max);
     }
 
@@ -127,14 +115,8 @@ mod tests {
     fn deterministic() {
         let data = xor_data(60);
         let go = || {
-            select_best_model(
-                &PAPER_MODELS,
-                &data,
-                SearchBudget::none(),
-                5,
-                Metric::Accuracy,
-            )
-            .unwrap()
+            select_best_model(&PAPER_MODELS, &data, SearchBudget::none(), 5, Metric::Accuracy)
+                .unwrap()
         };
         let a = go();
         let b = go();

@@ -138,7 +138,10 @@ impl DecisionTree {
     /// Per-class probabilities (flat `n × k`).
     pub fn predict_proba(&self, data: &FeatureMatrix) -> Result<Vec<f64>> {
         if data.n_cols() != self.n_features {
-            return Err(MlError::DimensionMismatch { expected: self.n_features, got: data.n_cols() });
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: data.n_cols(),
+            });
         }
         let k = self.n_classes;
         let mut out = Vec::with_capacity(data.n_rows() * k);
@@ -189,7 +192,12 @@ impl DecisionTree {
 }
 
 /// Recursively builds the subtree for `rows`, returning its node index.
-fn build_node(ctx: &mut BuildCtx<'_>, nodes: &mut Vec<Node>, rows: Vec<usize>, depth: usize) -> usize {
+fn build_node(
+    ctx: &mut BuildCtx<'_>,
+    nodes: &mut Vec<Node>,
+    rows: Vec<usize>,
+    depth: usize,
+) -> usize {
     let k = ctx.n_classes;
     let mut counts = vec![0.0; k];
     let mut total = 0.0;
@@ -224,9 +232,8 @@ fn build_node(ctx: &mut BuildCtx<'_>, nodes: &mut Vec<Node>, rows: Vec<usize>, d
         return idx;
     };
 
-    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
-        .into_iter()
-        .partition(|&r| ctx.data.row(r)[feature] <= threshold);
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.into_iter().partition(|&r| ctx.data.row(r)[feature] <= threshold);
 
     // Reserve this node's slot before children so indices stay stable.
     let idx = nodes.len();
@@ -354,12 +361,8 @@ mod tests {
     #[test]
     fn depth_limit_respected() {
         let data = xor_data();
-        let tree = DecisionTree::fit(
-            &TreeParams { max_depth: 1, ..Default::default() },
-            &data,
-            0,
-        )
-        .unwrap();
+        let tree = DecisionTree::fit(&TreeParams { max_depth: 1, ..Default::default() }, &data, 0)
+            .unwrap();
         assert!(tree.depth() <= 1);
     }
 
@@ -373,12 +376,8 @@ mod tests {
             vec![0, 0, 0, 1, 1, 1],
             2,
         );
-        let tree = DecisionTree::fit(
-            &TreeParams { max_depth: 1, ..Default::default() },
-            &data,
-            0,
-        )
-        .unwrap();
+        let tree = DecisionTree::fit(&TreeParams { max_depth: 1, ..Default::default() }, &data, 0)
+            .unwrap();
         let preds = tree.predict(&data).unwrap();
         assert_eq!(preds, vec![0, 0, 0, 1, 1, 1]);
         assert_eq!(tree.n_nodes(), 3);
@@ -397,41 +396,20 @@ mod tests {
     fn weights_steer_the_split() {
         // Same feature values, conflicting labels; weights decide the leaf.
         let data = FeatureMatrix::from_parts(vec![0.0, 0.0], 2, 1, vec![0, 1], 2);
-        let t = DecisionTree::fit_weighted(
-            &TreeParams::default(),
-            &data,
-            &[0.9, 0.1],
-            0,
-        )
-        .unwrap();
+        let t = DecisionTree::fit_weighted(&TreeParams::default(), &data, &[0.9, 0.1], 0).unwrap();
         assert_eq!(t.predict(&data).unwrap(), vec![0, 0]);
-        let t = DecisionTree::fit_weighted(
-            &TreeParams::default(),
-            &data,
-            &[0.1, 0.9],
-            0,
-        )
-        .unwrap();
+        let t = DecisionTree::fit_weighted(&TreeParams::default(), &data, &[0.1, 0.9], 0).unwrap();
         assert_eq!(t.predict(&data).unwrap(), vec![1, 1]);
     }
 
     #[test]
     fn min_samples_leaf_respected() {
-        let data = FeatureMatrix::from_parts(
-            vec![0.0, 1.0, 2.0, 3.0],
-            4,
-            1,
-            vec![0, 0, 0, 1],
-            2,
-        );
+        let data = FeatureMatrix::from_parts(vec![0.0, 1.0, 2.0, 3.0], 4, 1, vec![0, 0, 0, 1], 2);
         // Requiring 2 samples per leaf forbids isolating the single class-1 row
         // at threshold 2.5; the best legal split is at 1.5.
-        let tree = DecisionTree::fit(
-            &TreeParams { min_samples_leaf: 2, ..Default::default() },
-            &data,
-            0,
-        )
-        .unwrap();
+        let tree =
+            DecisionTree::fit(&TreeParams { min_samples_leaf: 2, ..Default::default() }, &data, 0)
+                .unwrap();
         for i in 0..4 {
             let row = data.row(i);
             let _ = row; // tree must exist and predict without panicking
@@ -443,12 +421,8 @@ mod tests {
     #[test]
     fn probabilities_are_distributions() {
         let data = xor_data();
-        let tree = DecisionTree::fit(
-            &TreeParams { max_depth: 1, ..Default::default() },
-            &data,
-            0,
-        )
-        .unwrap();
+        let tree = DecisionTree::fit(&TreeParams { max_depth: 1, ..Default::default() }, &data, 0)
+            .unwrap();
         let probs = tree.predict_proba(&data).unwrap();
         for row in probs.chunks_exact(2) {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);

@@ -10,22 +10,15 @@ use cleanml_ml::{ModelKind, ModelSpec, PAPER_MODELS};
 /// Strategy: a small random binary-classification matrix.
 fn arb_matrix() -> impl Strategy<Value = FeatureMatrix> {
     (2usize..30, 1usize..4).prop_flat_map(|(n, d)| {
-        (
-            prop::collection::vec(-5.0f64..5.0, n * d),
-            prop::collection::vec(0usize..2, n),
-        )
+        (prop::collection::vec(-5.0f64..5.0, n * d), prop::collection::vec(0usize..2, n))
             .prop_map(move |(data, labels)| FeatureMatrix::from_parts(data, n, d, labels, 2))
     })
 }
 
 /// Cheap model families exercised per proptest case (the full seven run in
 /// the unit tests; proptest multiplies cases, so keep the hot loop small).
-const FAST_KINDS: [ModelKind; 4] = [
-    ModelKind::DecisionTree,
-    ModelKind::NaiveBayes,
-    ModelKind::Knn,
-    ModelKind::LogisticRegression,
-];
+const FAST_KINDS: [ModelKind; 4] =
+    [ModelKind::DecisionTree, ModelKind::NaiveBayes, ModelKind::Knn, ModelKind::LogisticRegression];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

@@ -60,11 +60,8 @@ fn step_up(p_values: &[f64], alpha: f64, c: f64) -> Vec<bool> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| {
-        p_values[a]
-            .partial_cmp(&p_values[b])
-            .expect("p-values must not be NaN")
-    });
+    order
+        .sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("p-values must not be NaN"));
 
     let mut k_max: Option<usize> = None;
     for (rank0, &idx) in order.iter().enumerate() {

@@ -216,17 +216,11 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert_eq!(
-            paired_t_test(&[1.0], &[1.0]),
-            Err(TTestError::TooFewPairs(1))
-        );
+        assert_eq!(paired_t_test(&[1.0], &[1.0]), Err(TTestError::TooFewPairs(1)));
         assert_eq!(
             paired_t_test(&[1.0, 2.0], &[1.0]),
             Err(TTestError::LengthMismatch { after: 2, before: 1 })
         );
-        assert_eq!(
-            paired_t_test(&[1.0, f64::NAN], &[1.0, 2.0]),
-            Err(TTestError::NonFinite)
-        );
+        assert_eq!(paired_t_test(&[1.0, f64::NAN], &[1.0, 2.0]), Err(TTestError::NonFinite));
     }
 }

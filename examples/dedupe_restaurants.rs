@@ -29,16 +29,10 @@ fn main() {
 
         // A detected pair is correct when at least one side is an injected
         // duplicate (the other being its source or a sibling duplicate).
-        let tp = pairs
-            .iter()
-            .filter(|(a, b)| injected.contains(a) || injected.contains(b))
-            .count();
+        let tp = pairs.iter().filter(|(a, b)| injected.contains(a) || injected.contains(b)).count();
         let fp = pairs.len() - tp;
-        let found: HashSet<usize> = pairs
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .filter(|r| injected.contains(r))
-            .collect();
+        let found: HashSet<usize> =
+            pairs.iter().flat_map(|&(a, b)| [a, b]).filter(|r| injected.contains(r)).collect();
         let precision = if pairs.is_empty() { 1.0 } else { tp as f64 / pairs.len() as f64 };
         let recall = found.len() as f64 / injected.len().max(1) as f64;
 

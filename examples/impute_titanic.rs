@@ -24,10 +24,7 @@ fn main() {
     let (train, test) = data.dirty.split(0.3, 1).expect("split");
     let (_, truth_test) = data.clean_cells.split(0.3, 1).expect("aligned split");
 
-    println!(
-        "\n{:<12} {:>10} {:>12} {:>14}",
-        "repair", "test acc", "rows kept", "age RMSE"
-    );
+    println!("\n{:<12} {:>10} {:>12} {:>14}", "repair", "test acc", "rows kept", "age RMSE");
     for repair in MissingRepair::all() {
         let cleaner = missing::fit(repair, &train).expect("fit");
         let (ctrain, _) = cleaner.apply(&train).expect("train");
@@ -37,9 +34,8 @@ fn main() {
         let enc = Encoder::fit(&ctrain).expect("encode");
         let train_m = enc.transform(&ctrain).expect("transform");
         let test_m = enc.transform(&ctest).expect("transform");
-        let model = ModelSpec::default_for(ModelKind::DecisionTree)
-            .fit(&train_m, 3)
-            .expect("fit model");
+        let model =
+            ModelSpec::default_for(ModelKind::DecisionTree).fit(&train_m, 3).expect("fit model");
         let preds = model.predict(&test_m).expect("predict");
         let acc = accuracy(test_m.labels(), &preds);
 
@@ -66,13 +62,7 @@ fn main() {
             }
         };
 
-        println!(
-            "{:<12} {:>10.3} {:>12} {:>14.2}",
-            repair.name(),
-            acc,
-            ctest.n_rows(),
-            rmse
-        );
+        println!("{:<12} {:>10.3} {:>12} {:>14.2}", repair.name(), acc, ctest.n_rows(), rmse);
     }
 
     println!(

@@ -16,6 +16,9 @@
 //!   ground truth.
 //! * [`core`] — the study framework: R1/R2/R3 relations, the 20-split
 //!   experiment runner, the results database and its Q1–Q5 analyses.
+//! * [`engine`] — the parallel study-execution engine: a work-stealing
+//!   scheduler over typed task DAGs with a content-addressed artifact
+//!   cache for resumable, deduplicated runs.
 //!
 //! ## Quickstart
 //!
@@ -47,5 +50,6 @@ pub use cleanml_cleaning as cleaning;
 pub use cleanml_core as core;
 pub use cleanml_datagen as datagen;
 pub use cleanml_dataset as dataset;
+pub use cleanml_engine as engine;
 pub use cleanml_ml as ml;
 pub use cleanml_stats as stats;
