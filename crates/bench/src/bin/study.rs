@@ -5,11 +5,15 @@
 //!
 //! ```sh
 //! cargo run --release -p cleanml-bench --bin study -- \
-//!     [--quick|--paper] [--workers N] [--cache-dir DIR] [out_dir]
+//!     [--quick|--paper] [--workers N] [--cache-dir DIR] \
+//!     [--cache-max-bytes N[k|m|g]] [out_dir]
 //! ```
 //!
-//! With `--cache-dir`, a repeated or resumed invocation skips every
-//! finished training task via the engine's content-addressed cache.
+//! With `--cache-dir`, a repeated or resumed invocation — including one
+//! killed mid-run — skips every finished cleaning, training and
+//! evaluation task via the engine's content-addressed artifact store;
+//! `--cache-max-bytes` keeps the run directory under a byte budget with
+//! LRU eviction.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -85,7 +89,7 @@ fn dump(db: &CleanMlDb, dir: &Path) -> std::io::Result<()> {
 /// a preceding flag.
 fn out_dir_from_args() -> PathBuf {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let value_flags = ["--splits", "--seed", "--workers", "--cache-dir"];
+    let value_flags = ["--splits", "--seed", "--workers", "--cache-dir", "--cache-max-bytes"];
     let mut skip_next = false;
     for a in &args {
         if skip_next {

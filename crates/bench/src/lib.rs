@@ -20,8 +20,10 @@
 //! plus the engine flags:
 //!
 //! * `--workers N` — worker threads (default: all cores).
-//! * `--cache-dir DIR` — persistent artifact cache; a re-run against a warm
-//!   cache skips all finished training.
+//! * `--cache-dir DIR` — persistent artifact cache; a killed or repeated
+//!   run against a warm cache skips all finished cleaning and training.
+//! * `--cache-max-bytes N[k|m|g]` — byte budget for the cache directory;
+//!   least-recently-used artifacts are evicted to stay under it.
 
 use std::sync::mpsc;
 
@@ -54,7 +56,8 @@ pub fn config_from_args() -> ExperimentConfig {
     cfg
 }
 
-/// Parses the engine CLI flags (`--workers`, `--cache-dir`).
+/// Parses the engine CLI flags (`--workers`, `--cache-dir`,
+/// `--cache-max-bytes`).
 pub fn engine_from_args() -> EngineConfig {
     let args: Vec<String> = std::env::args().collect();
     let workers = args
@@ -68,7 +71,30 @@ pub fn engine_from_args() -> EngineConfig {
         .position(|a| a == "--cache-dir")
         .and_then(|p| args.get(p + 1))
         .map(std::path::PathBuf::from);
-    EngineConfig { workers, cache_dir }
+    let cache_max_bytes = args.iter().position(|a| a == "--cache-max-bytes").map(|p| {
+        let value = args.get(p + 1).map(String::as_str).unwrap_or("");
+        // An explicitly requested byte budget must never be silently
+        // dropped — an unbounded run the user believes is capped is worse
+        // than no flag at all.
+        parse_byte_size(value).unwrap_or_else(|| {
+            eprintln!("error: --cache-max-bytes expects N[k|m|g], got `{value}`");
+            std::process::exit(2);
+        })
+    });
+    EngineConfig { workers, cache_dir, cache_max_bytes }
+}
+
+/// Parses a byte size: a plain integer, optionally suffixed `k`/`m`/`g`
+/// (case-insensitive, powers of 1024), e.g. `64m`.
+pub fn parse_byte_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 10),
+        'm' | 'M' => (&s[..s.len() - 1], 20),
+        'g' | 'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(1u64 << shift)
 }
 
 /// Worker count the binaries should use for coarse-grained
@@ -113,17 +139,27 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
 
     let started = std::time::Instant::now();
     let (db, report) = engine.run_study_with_report(error_types, cfg).expect("engine study run");
+    let stats = engine.cache_stats();
+    let store_line = engine.disk_store().map(|s| {
+        format!(
+            "; store: {} writes, {} evicted, {} B",
+            stats.disk_writes,
+            stats.disk_evictions,
+            s.total_bytes()
+        )
+    });
     drop(engine); // closes the event channel
     render.join().expect("progress thread");
     let by_kind: Vec<String> =
         report.executed.iter().map(|(k, n)| format!("{} {}", n, k.name())).collect();
     eprintln!(
-        "[engine] executed {} tasks in {:.1?} ({}); cache: {} hits, {} pruned",
+        "[engine] executed {} tasks in {:.1?} ({}); cache: {} hits, {} pruned{}",
         report.executed_total(),
         started.elapsed(),
         if by_kind.is_empty() { "all cached".to_string() } else { by_kind.join(", ") },
         report.cache_hits,
         report.pruned,
+        store_line.unwrap_or_default(),
     );
     db
 }
@@ -229,5 +265,17 @@ mod tests {
         assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
         assert_eq!(csv_escape("cr\rhere"), "\"cr\rhere\"");
         assert_eq!(csv_escape(""), "");
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_byte_size("12345"), Some(12345));
+        assert_eq!(parse_byte_size("64k"), Some(64 << 10));
+        assert_eq!(parse_byte_size("8M"), Some(8 << 20));
+        assert_eq!(parse_byte_size("2g"), Some(2 << 30));
+        assert_eq!(parse_byte_size(" 1k "), Some(1024));
+        assert_eq!(parse_byte_size("x"), None);
+        assert_eq!(parse_byte_size(""), None);
+        assert_eq!(parse_byte_size("18446744073709551615g"), None, "overflow rejected");
     }
 }

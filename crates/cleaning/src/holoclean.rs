@@ -25,23 +25,31 @@
 //! noticeably better* than simple imputation for downstream ML, which this
 //! same-signal engine evaluates fairly.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use cleanml_dataset::{ColumnKind, ColumnRole, Table};
 
 use crate::Result;
 
 /// Per-column co-occurrence statistics for one categorical target.
+///
+/// The per-signal maps are `BTreeMap`s, not `HashMap`s, on purpose: scoring
+/// accumulates floating-point terms while iterating them, and float
+/// addition is not associative — with a hash map's per-process-randomized
+/// iteration order, two *processes* imputing the same cell could disagree
+/// in the low bits, which breaks the artifact store's guarantee that a
+/// resumed study is byte-identical to an uninterrupted one.
 #[derive(Debug, Clone, Default)]
 struct CatModel {
     /// Candidate value → training frequency.
     prior: HashMap<String, usize>,
     /// Signal column index → (signal value → (candidate → count)).
-    cooc: HashMap<usize, HashMap<String, HashMap<String, usize>>>,
+    cooc: BTreeMap<usize, HashMap<String, HashMap<String, usize>>>,
     n_rows: usize,
 }
 
-/// Statistics for one numeric target.
+/// Statistics for one numeric target. See [`CatModel`] for why the
+/// iterated map is ordered.
 #[derive(Debug, Clone, Default)]
 struct NumModel {
     /// Number of observed training values; 0 means the model is unusable.
@@ -49,7 +57,7 @@ struct NumModel {
     global_mean: f64,
     global_std: f64,
     /// Signal categorical column → (signal value → (mean, count)).
-    group_means: HashMap<usize, HashMap<String, (f64, usize)>>,
+    group_means: BTreeMap<usize, HashMap<String, (f64, usize)>>,
     /// Best numeric predictor: (column, pearson r, its mean, its std).
     best_numeric: Option<(usize, f64, f64, f64)>,
 }

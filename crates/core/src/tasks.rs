@@ -49,7 +49,7 @@ pub fn dataset_context(data: &GeneratedDataset) -> Result<DatasetContext> {
 
 /// Output of the `Split` task: the seeded 70/30 partition plus the
 /// dirty-side baseline artifacts every method shares.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SplitArtifact {
     /// Raw dirty training partition (input to cleaning).
     pub train0: Table,
@@ -85,7 +85,7 @@ pub fn make_split(
 
 /// Output of the `Clean(method)` task: every encoded matrix the method's
 /// train/evaluate steps consume.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CleanArtifact {
     /// Cleaned training matrix (clean-side training input).
     pub clean_train_m: FeatureMatrix,
@@ -122,7 +122,7 @@ pub fn make_clean(
 }
 
 /// Output of a `Train` task: a fitted model plus its validation score.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainedModel {
     pub model: FittedModel,
     pub val: f64,

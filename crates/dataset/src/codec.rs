@@ -1,0 +1,328 @@
+//! Exact, whitespace-token serial forms for the data-plane types.
+//!
+//! The engine's artifact store (`cleanml-engine`) persists cleaned tables,
+//! encoders and feature matrices on disk so an interrupted study resumes
+//! without redoing finished work. These codecs provide the *lossless* text
+//! form those artifacts are stored in:
+//!
+//! * floats are written as their IEEE-754 bit patterns (16 hex digits), so
+//!   a decoded value is bit-identical to the original — a warm run
+//!   reproduces byte-identical result relations;
+//! * strings are written as `s`-prefixed byte-hex tokens, so arbitrary
+//!   content (whitespace, newlines, quotes, the empty string) survives the
+//!   whitespace-token framing;
+//! * every compound value is length-prefixed, so a truncated or corrupt
+//!   entry decodes to `None` instead of a mangled artifact.
+//!
+//! The token stream is a plain [`str::split_whitespace`] iterator; codecs
+//! compose by appending to / consuming from the same stream, which is how
+//! [`crate::encode::Encoder`] and the `cleanml-ml` model codecs nest inside
+//! the engine's artifact envelope.
+
+use crate::schema::{ColumnKind, ColumnRole, FieldMeta, Schema};
+use crate::table::Table;
+
+/// The token stream all codecs read from.
+pub type Tokens<'a> = std::str::SplitWhitespace<'a>;
+
+/// Appends an `f64` as its 16-hex-digit IEEE-754 bit pattern.
+pub fn push_f64(out: &mut String, x: f64) {
+    out.push(' ');
+    out.push_str(&format!("{:016x}", x.to_bits()));
+}
+
+/// Reads an `f64` written by [`push_f64`]. The token must be exactly 16 hex
+/// digits — a truncated tail would otherwise still parse, silently altering
+/// the value.
+pub fn take_f64(parts: &mut Tokens<'_>) -> Option<f64> {
+    let tok = parts.next()?;
+    if tok.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
+}
+
+/// Appends a `usize` in decimal.
+pub fn push_usize(out: &mut String, x: usize) {
+    out.push(' ');
+    out.push_str(&x.to_string());
+}
+
+/// Reads a `usize` written by [`push_usize`].
+pub fn take_usize(parts: &mut Tokens<'_>) -> Option<usize> {
+    parts.next()?.parse().ok()
+}
+
+/// Appends a string as one `s`-prefixed byte-hex token (`""` → `s`).
+pub fn push_str(out: &mut String, s: &str) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    out.push(' ');
+    out.push('s');
+    for b in s.bytes() {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 15) as usize] as char);
+    }
+}
+
+/// Reads a string written by [`push_str`].
+pub fn take_str(parts: &mut Tokens<'_>) -> Option<String> {
+    let raw = parts.next()?.strip_prefix('s')?.as_bytes();
+    if !raw.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes: Option<Vec<u8>> = raw
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some((hi * 16 + lo) as u8)
+        })
+        .collect();
+    String::from_utf8(bytes?).ok()
+}
+
+/// Expects the literal token `tag` next in the stream.
+pub fn expect(parts: &mut Tokens<'_>, tag: &str) -> Option<()> {
+    (parts.next()? == tag).then_some(())
+}
+
+fn kind_tag(kind: ColumnKind) -> &'static str {
+    match kind {
+        ColumnKind::Numeric => "n",
+        ColumnKind::Categorical => "c",
+    }
+}
+
+fn kind_of(tag: &str) -> Option<ColumnKind> {
+    match tag {
+        "n" => Some(ColumnKind::Numeric),
+        "c" => Some(ColumnKind::Categorical),
+        _ => None,
+    }
+}
+
+fn role_tag(role: ColumnRole) -> &'static str {
+    match role {
+        ColumnRole::Feature => "F",
+        ColumnRole::Label => "L",
+        ColumnRole::Key => "K",
+        ColumnRole::Ignore => "I",
+    }
+}
+
+fn role_of(tag: &str) -> Option<ColumnRole> {
+    match tag {
+        "F" => Some(ColumnRole::Feature),
+        "L" => Some(ColumnRole::Label),
+        "K" => Some(ColumnRole::Key),
+        "I" => Some(ColumnRole::Ignore),
+        _ => None,
+    }
+}
+
+/// Appends a [`Table`] to the token stream, serializing the columnar
+/// storage *exactly*: numeric columns as bit-pattern cells (`-` = missing),
+/// categorical columns as their interned dictionary (in id order, unused
+/// entries included) plus per-row ids.
+///
+/// Preserving the dictionary verbatim — rather than re-interning cell
+/// strings on decode — matters for correctness, not just fidelity:
+/// downstream tie-breaks (the encoder's frequency sort, cleaning-method
+/// mode selection) are keyed on dictionary ids, so a decoded table must be
+/// structurally identical to the original or a resumed study would diverge
+/// from an uninterrupted one.
+pub fn encode_table_into(out: &mut String, t: &Table) {
+    out.push_str(" T2");
+    push_usize(out, t.n_columns());
+    push_usize(out, t.n_rows());
+    for f in t.schema().fields() {
+        push_str(out, &f.name);
+        out.push(' ');
+        out.push_str(kind_tag(f.kind));
+        out.push(' ');
+        out.push_str(role_tag(f.role));
+    }
+    for col in t.columns() {
+        match col.data() {
+            crate::ColumnData::Numeric(cells) => {
+                for cell in cells {
+                    match cell {
+                        Some(x) => push_f64(out, *x),
+                        None => out.push_str(" -"),
+                    }
+                }
+            }
+            crate::ColumnData::Categorical { values, dict, .. } => {
+                push_usize(out, dict.len());
+                for entry in dict {
+                    push_str(out, entry);
+                }
+                for id in values {
+                    match id {
+                        Some(id) => push_usize(out, *id as usize),
+                        None => out.push_str(" -"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reads a [`Table`] written by [`encode_table_into`].
+pub fn decode_table_from(parts: &mut Tokens<'_>) -> Option<Table> {
+    expect(parts, "T2")?;
+    let n_cols = take_usize(parts)?;
+    let n_rows = take_usize(parts)?;
+    let mut fields = Vec::with_capacity(n_cols.min(1 << 20));
+    for _ in 0..n_cols {
+        let name = take_str(parts)?;
+        let kind = kind_of(parts.next()?)?;
+        let role = role_of(parts.next()?)?;
+        fields.push(FieldMeta::new(name, kind, role));
+    }
+    let mut columns = Vec::with_capacity(n_cols.min(1 << 20));
+    for meta in &fields {
+        let data = match meta.kind {
+            ColumnKind::Numeric => {
+                let mut cells = Vec::with_capacity(n_rows.min(1 << 20));
+                for _ in 0..n_rows {
+                    cells.push(match parts.clone().next()? {
+                        "-" => {
+                            parts.next();
+                            None
+                        }
+                        _ => Some(take_f64(parts)?),
+                    });
+                }
+                crate::ColumnData::Numeric(cells)
+            }
+            ColumnKind::Categorical => {
+                let dict_len = take_usize(parts)?;
+                let mut dict = Vec::with_capacity(dict_len.min(1 << 20));
+                for _ in 0..dict_len {
+                    dict.push(take_str(parts)?);
+                }
+                let mut values = Vec::with_capacity(n_rows.min(1 << 20));
+                for _ in 0..n_rows {
+                    values.push(match parts.clone().next()? {
+                        "-" => {
+                            parts.next();
+                            None
+                        }
+                        _ => Some(u32::try_from(take_usize(parts)?).ok()?),
+                    });
+                }
+                crate::ColumnData::Categorical { values, dict, index: Default::default() }
+            }
+        };
+        columns.push(crate::Column::from_parts(meta.clone(), data)?);
+    }
+    Table::from_columns(Schema::new(fields), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn round_trip(t: &Table) -> Table {
+        let mut out = String::new();
+        encode_table_into(&mut out, t);
+        let mut parts = out.split_whitespace();
+        let back = decode_table_from(&mut parts).expect("decode");
+        assert!(parts.next().is_none(), "trailing tokens");
+        back
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = String::new();
+        for x in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, -1e300, f64::MIN_POSITIVE] {
+            out.clear();
+            push_f64(&mut out, x);
+            let got = take_f64(&mut out.split_whitespace()).unwrap();
+            assert_eq!(got.to_bits(), x.to_bits());
+        }
+        for s in ["", " ", "a b\nc", "NaN", "héllo \"q\"", "\t"] {
+            out.clear();
+            push_str(&mut out, s);
+            assert_eq!(take_str(&mut out.split_whitespace()).unwrap(), s);
+        }
+        out.clear();
+        push_usize(&mut out, 12345);
+        assert_eq!(take_usize(&mut out.split_whitespace()), Some(12345));
+    }
+
+    #[test]
+    fn corrupt_tokens_decode_to_none() {
+        assert!(take_f64(&mut "zz".split_whitespace()).is_none());
+        assert!(take_str(&mut "x61".split_whitespace()).is_none());
+        assert!(take_str(&mut "s6".split_whitespace()).is_none());
+        assert!(take_str(&mut "sgg".split_whitespace()).is_none());
+        assert!(take_usize(&mut "-3".split_whitespace()).is_none());
+        assert!(expect(&mut "U".split_whitespace(), "T").is_none());
+    }
+
+    #[test]
+    fn table_round_trips_exactly() {
+        let schema = Schema::new(vec![
+            FieldMeta::num_feature("x"),
+            FieldMeta::cat_feature("name with space"),
+            FieldMeta::key("id"),
+            FieldMeta::label("y"),
+        ]);
+        let mut t = Table::new(schema);
+        for (x, s, id, y) in [
+            (Some(1.5), Some(" padded "), "a", "p"),
+            (None, Some("NaN"), "b", "n"),
+            (Some(-0.0), None, "c", "p"),
+            (Some(f64::MAX), Some(""), "d", "n"),
+        ] {
+            t.push_row(vec![Value::from(x), Value::from(s), Value::from(id), Value::from(y)])
+                .unwrap();
+        }
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = Table::new(Schema::new(vec![FieldMeta::num_feature("only")]));
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn dictionary_order_survives_row_filtering() {
+        // After `retain_rows`, the dictionary still holds entries no row
+        // references, in the original interning order. The codec must
+        // reproduce that storage exactly — the encoder's frequency-sort
+        // tie-break is keyed on dictionary ids, so a re-interned decode
+        // would change downstream results (the bug a kill-resume e2e run
+        // surfaced on the Movie dataset).
+        let schema = Schema::new(vec![FieldMeta::cat_feature("c")]);
+        let mut t = Table::new(schema);
+        for s in ["zeta", "alpha", "zeta", "beta"] {
+            t.push_row(vec![Value::from(s)]).unwrap();
+        }
+        t.retain_rows(&[false, true, false, true]); // drops every "zeta" row
+        let back = round_trip(&t);
+        assert_eq!(back, t, "column storage must be structurally identical");
+        match back.column(0).unwrap().data() {
+            crate::ColumnData::Categorical { dict, values, .. } => {
+                assert_eq!(dict, &["zeta", "alpha", "beta"], "unused entry kept in id order");
+                assert_eq!(values, &[Some(1), Some(2)]);
+            }
+            _ => panic!("categorical column expected"),
+        }
+    }
+
+    #[test]
+    fn truncated_table_is_none() {
+        let schema = Schema::new(vec![FieldMeta::num_feature("x")]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::from(1.0)]).unwrap();
+        let mut out = String::new();
+        encode_table_into(&mut out, &t);
+        let cut = &out[..out.len() - 4];
+        assert!(decode_table_from(&mut cut.split_whitespace()).is_none());
+    }
+}

@@ -65,6 +65,35 @@ impl Column {
         Column { meta, data }
     }
 
+    /// Reassembles a column from raw storage (the artifact codec's decode
+    /// path). The categorical reverse index is rebuilt from the dictionary;
+    /// any incoming index is ignored. Returns `None` when the storage is
+    /// inconsistent: kind mismatch, an id outside the dictionary, or a
+    /// duplicate dictionary string.
+    ///
+    /// This must preserve the dictionary *exactly* — ids, order, and
+    /// entries no surviving row references — because downstream tie-breaks
+    /// (e.g. the encoder's frequency sort) are keyed on dictionary ids: a
+    /// re-interned column would decode to a semantically different table.
+    pub(crate) fn from_parts(meta: FieldMeta, data: ColumnData) -> Option<Column> {
+        let data = match (meta.kind, data) {
+            (ColumnKind::Numeric, ColumnData::Numeric(v)) => ColumnData::Numeric(v),
+            (ColumnKind::Categorical, ColumnData::Categorical { values, dict, .. }) => {
+                if values.iter().flatten().any(|&id| id as usize >= dict.len()) {
+                    return None;
+                }
+                let index: HashMap<String, CatId> =
+                    dict.iter().enumerate().map(|(i, s)| (s.clone(), i as CatId)).collect();
+                if index.len() != dict.len() {
+                    return None; // duplicate dictionary strings
+                }
+                ColumnData::Categorical { values, dict, index }
+            }
+            _ => return None,
+        };
+        Some(Column { meta, data })
+    }
+
     /// Column metadata.
     pub fn meta(&self) -> &FieldMeta {
         &self.meta

@@ -3,9 +3,19 @@
 //! CleanML's datasets ship as CSV files; this module lets examples load and
 //! dump tables without an external dependency. The dialect is RFC-4180-ish:
 //! comma separators, `"`-quoted fields with `""` escapes, `\n` or `\r\n`
-//! line endings. Empty fields (and the literal placeholders `NaN`, `nan`,
-//! `NA`, `null`, `NULL`) parse as missing cells, mirroring how the paper's
-//! pipeline detects missing values ("empty or NaN entries", §III-B1).
+//! line endings. *Unquoted* empty fields (and the literal placeholders
+//! `NaN`, `nan`, `NA`, `null`, `NULL`) parse as missing cells, mirroring how
+//! the paper's pipeline detects missing values ("empty or NaN entries",
+//! §III-B1). Quoting is semantic: a quoted field keeps edge whitespace, is
+//! never a null placeholder, and always reads as a string — so
+//! [`write_csv`] quotes any string value a bare field would mangle, and
+//! `read_csv(write_csv(t))` reproduces `t` exactly for arbitrary string
+//! content (the property `crates/dataset/tests/proptests.rs` checks).
+//!
+//! Because quoting carries meaning, external files written in quote-all
+//! style (Excel, pandas `QUOTE_ALL`) read every column as categorical and
+//! `"NaN"` as the literal string: strip the quoting (or re-export with
+//! minimal quoting) before loading such a file through this reader.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -19,14 +29,51 @@ use crate::Result;
 /// Placeholder strings treated as missing cells on read.
 const NULL_TOKENS: [&str; 5] = ["NaN", "nan", "NA", "null", "NULL"];
 
-/// Parses CSV text into rows of raw string fields.
-fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+/// One raw parsed field: its text plus whether it was `"`-quoted in the
+/// source. Quoting is semantic — quoted fields keep edge whitespace verbatim
+/// and are never interpreted as null placeholders.
+#[derive(Debug, Clone, PartialEq)]
+struct RawField {
+    text: String,
+    quoted: bool,
+}
+
+impl RawField {
+    /// The field's value as seen by inference/parsing: unquoted fields are
+    /// trimmed, quoted fields are taken verbatim.
+    fn value(&self) -> &str {
+        if self.quoted {
+            &self.text
+        } else {
+            self.text.trim()
+        }
+    }
+
+    /// `true` when the field denotes a missing cell. Only *unquoted* empty
+    /// fields or null placeholders count: `"NaN"` (quoted) is the literal
+    /// string, `NaN` (bare) is a missing cell.
+    fn is_null(&self) -> bool {
+        !self.quoted && is_null_token(self.value())
+    }
+}
+
+/// Parses CSV text into rows of raw fields.
+fn parse_rows(text: &str) -> Result<Vec<Vec<RawField>>> {
     let mut rows = Vec::new();
-    let mut row: Vec<String> = Vec::new();
+    let mut row: Vec<RawField> = Vec::new();
     let mut field = String::new();
     let mut in_quotes = false;
+    // Set once a closing quote ends the field body; only a separator (or a
+    // `""` escape, handled in the quoted branch) may follow.
+    let mut quoted = false;
     let mut chars = text.chars().peekable();
     let mut line = 1usize;
+
+    macro_rules! take_field {
+        () => {
+            RawField { text: std::mem::take(&mut field), quoted: std::mem::take(&mut quoted) }
+        };
+    }
 
     while let Some(c) = chars.next() {
         if in_quotes {
@@ -37,6 +84,7 @@ fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
                         field.push('"');
                     } else {
                         in_quotes = false;
+                        quoted = true;
                     }
                 }
                 '\n' => {
@@ -48,7 +96,7 @@ fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
         } else {
             match c {
                 '"' => {
-                    if !field.is_empty() {
+                    if !field.is_empty() || quoted {
                         return Err(DatasetError::Csv {
                             line,
                             message: "quote inside unquoted field".into(),
@@ -57,23 +105,31 @@ fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
                     in_quotes = true;
                 }
                 ',' => {
-                    row.push(std::mem::take(&mut field));
+                    row.push(take_field!());
                 }
                 '\r' => { /* swallow; \n follows in CRLF */ }
                 '\n' => {
                     line += 1;
-                    row.push(std::mem::take(&mut field));
+                    row.push(take_field!());
                     rows.push(std::mem::take(&mut row));
                 }
-                _ => field.push(c),
+                _ => {
+                    if quoted {
+                        return Err(DatasetError::Csv {
+                            line,
+                            message: "text after closing quote".into(),
+                        });
+                    }
+                    field.push(c);
+                }
             }
         }
     }
     if in_quotes {
         return Err(DatasetError::Csv { line, message: "unterminated quoted field".into() });
     }
-    if !field.is_empty() || !row.is_empty() {
-        row.push(field);
+    if !field.is_empty() || quoted || !row.is_empty() {
+        row.push(take_field!());
         rows.push(row);
     }
     Ok(rows)
@@ -97,7 +153,7 @@ pub fn read_csv_with_roles(text: &str, role_of: &dyn Fn(&str) -> ColumnRole) -> 
     let mut it = rows.into_iter();
     let header =
         it.next().ok_or(DatasetError::Csv { line: 1, message: "missing header".into() })?;
-    let data_rows: Vec<Vec<String>> = it.collect();
+    let data_rows: Vec<Vec<RawField>> = it.collect();
 
     for (i, r) in data_rows.iter().enumerate() {
         if r.len() != header.len() {
@@ -108,15 +164,16 @@ pub fn read_csv_with_roles(text: &str, role_of: &dyn Fn(&str) -> ColumnRole) -> 
         }
     }
 
-    // Infer kinds.
+    // Infer kinds. Quoted fields are always string-valued: `"1.5"` denotes
+    // the literal text, so its column is categorical.
     let mut kinds = vec![ColumnKind::Numeric; header.len()];
     for (c, kind) in kinds.iter_mut().enumerate() {
         let all_numeric = data_rows
             .iter()
-            .map(|r| r[c].trim())
-            .filter(|s| !is_null_token(s))
-            .all(|s| s.parse::<f64>().is_ok());
-        let any_value = data_rows.iter().any(|r| !is_null_token(r[c].trim()));
+            .map(|r| &r[c])
+            .filter(|f| !f.is_null())
+            .all(|f| !f.quoted && f.value().parse::<f64>().is_ok());
+        let any_value = data_rows.iter().any(|r| !r[c].is_null());
         if !all_numeric || !any_value {
             *kind = ColumnKind::Categorical;
         }
@@ -125,7 +182,7 @@ pub fn read_csv_with_roles(text: &str, role_of: &dyn Fn(&str) -> ColumnRole) -> 
     let fields: Vec<FieldMeta> = header
         .iter()
         .zip(&kinds)
-        .map(|(name, &kind)| FieldMeta::new(name.clone(), kind, role_of(name)))
+        .map(|(name, &kind)| FieldMeta::new(name.text.clone(), kind, role_of(&name.text)))
         .collect();
     let schema = Schema::new(fields);
     let mut table = Table::with_capacity(schema, data_rows.len());
@@ -134,16 +191,15 @@ pub fn read_csv_with_roles(text: &str, role_of: &dyn Fn(&str) -> ColumnRole) -> 
         let values: Vec<Value> = r
             .iter()
             .zip(&kinds)
-            .map(|(s, &kind)| {
-                let s = s.trim();
-                if is_null_token(s) {
+            .map(|(f, &kind)| {
+                if f.is_null() {
                     Value::Null
                 } else {
                     match kind {
                         ColumnKind::Numeric => {
-                            Value::from(s.parse::<f64>().expect("inferred numeric"))
+                            Value::from(f.value().parse::<f64>().expect("inferred numeric"))
                         }
-                        ColumnKind::Categorical => Value::from(s),
+                        ColumnKind::Categorical => Value::from(f.value()),
                     }
                 }
             })
@@ -159,8 +215,24 @@ pub fn read_csv_file(path: &Path) -> Result<Table> {
     read_csv(&text)
 }
 
+/// `true` when a string field must be `"`-quoted to survive a round-trip:
+/// syntax characters, edge whitespace (the bare form would be trimmed), the
+/// empty string and null placeholders (the bare form would read as missing),
+/// and anything that parses as a number (the bare form could flip a
+/// categorical column's inferred kind).
+fn needs_quotes(field: &str) -> bool {
+    field.is_empty()
+        || field.contains(',')
+        || field.contains('"')
+        || field.contains('\n')
+        || field.contains('\r')
+        || field.trim() != field
+        || is_null_token(field)
+        || field.parse::<f64>().is_ok()
+}
+
 fn escape(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+    if needs_quotes(field) {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_owned()
@@ -268,6 +340,60 @@ mod tests {
                 assert_eq!(t.get(r, c).unwrap(), t2.get(r, c).unwrap(), "cell {r},{c}");
             }
         }
+    }
+
+    #[test]
+    fn edge_whitespace_round_trips() {
+        // Bare fields are trimmed; quoted fields keep edge whitespace.
+        assert_eq!(escape(" x"), "\" x\"");
+        assert_eq!(escape("x \t"), "\"x \t\"");
+        let t = read_csv("c\n\" padded \"\nbare\n").unwrap();
+        assert_eq!(t.get(0, 0).unwrap(), Value::Str(" padded ".into()));
+        let back = read_csv(&write_csv(&t)).unwrap();
+        assert_eq!(back.get(0, 0).unwrap(), Value::Str(" padded ".into()));
+        // unquoted fields still trim, as before
+        let t = read_csv("a,b\n 1 , x\n").unwrap();
+        assert_eq!(t.get(0, 0).unwrap(), Value::Num(1.0));
+        assert_eq!(t.get(0, 1).unwrap(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn quoted_null_tokens_are_literal_strings() {
+        // A value literally equal to a null placeholder must round-trip.
+        for token in ["NaN", "nan", "NA", "null", "NULL", ""] {
+            assert_eq!(escape(token), format!("\"{token}\""));
+        }
+        let t = read_csv("c\n\"NaN\"\n\"\"\nNaN\nplain\n").unwrap();
+        assert_eq!(t.get(0, 0).unwrap(), Value::Str("NaN".into()));
+        assert_eq!(t.get(1, 0).unwrap(), Value::Str(String::new()));
+        assert_eq!(t.get(2, 0).unwrap(), Value::Null);
+        let back = read_csv(&write_csv(&t)).unwrap();
+        for r in 0..t.n_rows() {
+            assert_eq!(t.get(r, 0).unwrap(), back.get(r, 0).unwrap(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn quoted_numeric_strings_stay_categorical() {
+        // `"1.5"` denotes the literal text; the column must not flip to
+        // numeric on re-read.
+        let t = read_csv("c\n\"1.5\"\n\"2\"\n").unwrap();
+        assert_eq!(t.schema().field(0).unwrap().kind, ColumnKind::Categorical);
+        assert_eq!(t.get(0, 0).unwrap(), Value::Str("1.5".into()));
+        let back = read_csv(&write_csv(&t)).unwrap();
+        assert_eq!(back.schema().field(0).unwrap().kind, ColumnKind::Categorical);
+        assert_eq!(back.get(1, 0).unwrap(), Value::Str("2".into()));
+    }
+
+    #[test]
+    fn text_after_closing_quote_rejected() {
+        let err = read_csv("a\n\"abc\"def\n").unwrap_err();
+        assert!(matches!(err, DatasetError::Csv { line: 2, .. }), "{err:?}");
+        assert!(err.to_string().contains("text after closing quote"), "{err}");
+        // a second opening quote after a closed field is just as malformed
+        assert!(read_csv("a\n\"abc\"\"def\"x\n").is_err());
+        // quoted-then-quote at top level
+        assert!(matches!(read_csv("a\n\"x\" \n"), Err(DatasetError::Csv { .. })));
     }
 
     #[test]

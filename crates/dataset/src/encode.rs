@@ -117,16 +117,82 @@ impl FeatureMatrix {
             feature_names: self.feature_names.clone(),
         }
     }
+
+    /// Appends the matrix to an artifact token stream (see [`crate::codec`]).
+    /// Floats are written as bit patterns; the missingness mask is written
+    /// sparsely (index list) since encoded matrices are mostly complete.
+    pub fn encode_into(&self, out: &mut String) {
+        use crate::codec::{push_f64, push_str, push_usize};
+        out.push_str(" M");
+        push_usize(out, self.n_rows);
+        push_usize(out, self.n_cols);
+        push_usize(out, self.n_classes);
+        for &x in &self.data {
+            push_f64(out, x);
+        }
+        let missing: Vec<usize> =
+            self.missing.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        push_usize(out, missing.len());
+        for i in missing {
+            push_usize(out, i);
+        }
+        for &l in &self.labels {
+            push_usize(out, l);
+        }
+        for name in &self.feature_names {
+            push_str(out, name);
+        }
+    }
+
+    /// Reads a matrix written by [`FeatureMatrix::encode_into`]; `None` on
+    /// any truncation or inconsistency.
+    pub fn decode_from(parts: &mut crate::codec::Tokens<'_>) -> Option<FeatureMatrix> {
+        use crate::codec::{expect, take_f64, take_str, take_usize};
+        expect(parts, "M")?;
+        let n_rows = take_usize(parts)?;
+        let n_cols = take_usize(parts)?;
+        let n_classes = take_usize(parts)?;
+        let cells = n_rows.checked_mul(n_cols)?;
+        if cells > (1 << 32) {
+            return None; // far beyond any real study matrix: corrupt sizes
+        }
+        // Capacities are clamped: a corrupt size token must decode to
+        // `None` (when its cells never materialize in the stream), not
+        // abort the process on a huge up-front allocation.
+        let mut data = Vec::with_capacity(cells.min(1 << 20));
+        for _ in 0..cells {
+            data.push(take_f64(parts)?);
+        }
+        let mut missing = vec![false; cells];
+        let n_missing = take_usize(parts)?;
+        for _ in 0..n_missing {
+            let i = take_usize(parts)?;
+            *missing.get_mut(i)? = true;
+        }
+        let mut labels = Vec::with_capacity(n_rows.min(1 << 20));
+        for _ in 0..n_rows {
+            let l = take_usize(parts)?;
+            if l >= n_classes.max(1) {
+                return None;
+            }
+            labels.push(l);
+        }
+        let mut feature_names = Vec::with_capacity(n_cols.min(1 << 20));
+        for _ in 0..n_cols {
+            feature_names.push(take_str(parts)?);
+        }
+        Some(FeatureMatrix { data, missing, n_rows, n_cols, labels, n_classes, feature_names })
+    }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct NumSpec {
     col: usize,
     mean: f64,
     std: f64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct CatSpec {
     col: usize,
     /// Category strings kept as one-hot dimensions (top-`max_onehot` by
@@ -135,7 +201,7 @@ struct CatSpec {
 }
 
 /// Learned feature/label encoding. See the [module docs](self).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Encoder {
     numeric: Vec<NumSpec>,
     categorical: Vec<CatSpec>,
@@ -328,6 +394,73 @@ impl Encoder {
             feature_names: self.feature_names.clone(),
         })
     }
+
+    /// Appends the fitted encoder to an artifact token stream (see
+    /// [`crate::codec`]).
+    pub fn encode_into(&self, out: &mut String) {
+        use crate::codec::{push_f64, push_str, push_usize};
+        out.push_str(" E");
+        push_usize(out, self.label_col);
+        push_usize(out, self.n_cols);
+        push_usize(out, self.numeric.len());
+        for spec in &self.numeric {
+            push_usize(out, spec.col);
+            push_f64(out, spec.mean);
+            push_f64(out, spec.std);
+        }
+        push_usize(out, self.categorical.len());
+        for spec in &self.categorical {
+            push_usize(out, spec.col);
+            push_usize(out, spec.categories.len());
+            for cat in &spec.categories {
+                push_str(out, cat);
+            }
+        }
+        push_usize(out, self.label_classes.len());
+        for class in &self.label_classes {
+            push_str(out, class);
+        }
+        for name in &self.feature_names {
+            push_str(out, name);
+        }
+    }
+
+    /// Reads an encoder written by [`Encoder::encode_into`].
+    pub fn decode_from(parts: &mut crate::codec::Tokens<'_>) -> Option<Encoder> {
+        use crate::codec::{expect, take_f64, take_str, take_usize};
+        expect(parts, "E")?;
+        let label_col = take_usize(parts)?;
+        let n_cols = take_usize(parts)?;
+        let n_numeric = take_usize(parts)?;
+        let mut numeric = Vec::with_capacity(n_numeric.min(1 << 20));
+        for _ in 0..n_numeric {
+            let col = take_usize(parts)?;
+            let mean = take_f64(parts)?;
+            let std = take_f64(parts)?;
+            numeric.push(NumSpec { col, mean, std });
+        }
+        let n_cat = take_usize(parts)?;
+        let mut categorical = Vec::with_capacity(n_cat.min(1 << 20));
+        for _ in 0..n_cat {
+            let col = take_usize(parts)?;
+            let n_categories = take_usize(parts)?;
+            let mut categories = Vec::with_capacity(n_categories.min(1 << 20));
+            for _ in 0..n_categories {
+                categories.push(take_str(parts)?);
+            }
+            categorical.push(CatSpec { col, categories });
+        }
+        let n_classes = take_usize(parts)?;
+        let mut label_classes = Vec::with_capacity(n_classes.min(1 << 20));
+        for _ in 0..n_classes {
+            label_classes.push(take_str(parts)?);
+        }
+        let mut feature_names = Vec::with_capacity(n_cols.min(1 << 20));
+        for _ in 0..n_cols {
+            feature_names.push(take_str(parts)?);
+        }
+        Some(Encoder { numeric, categorical, label_col, label_classes, n_cols, feature_names })
+    }
 }
 
 #[cfg(test)]
@@ -478,5 +611,38 @@ mod tests {
         let t = sample();
         assert!(Encoder::fit_with_classes(&t, &["p".to_string()]).is_err());
         assert!(Encoder::fit_with_classes(&t, &[]).is_err());
+    }
+
+    #[test]
+    fn matrix_codec_round_trips_exactly() {
+        let t = sample();
+        let enc = Encoder::fit(&t).unwrap();
+        let m = enc.transform(&t).unwrap();
+        assert!(m.missing.iter().any(|&b| b), "sample exercises the missing mask");
+        let mut out = String::new();
+        m.encode_into(&mut out);
+        let mut parts = out.split_whitespace();
+        let back = FeatureMatrix::decode_from(&mut parts).expect("decode");
+        assert!(parts.next().is_none(), "trailing tokens");
+        assert_eq!(back, m);
+        // corrupt/truncated streams are rejected, not mis-decoded
+        assert!(FeatureMatrix::decode_from(&mut "M 1".split_whitespace()).is_none());
+        let cut = &out[..out.len() - 3];
+        assert!(FeatureMatrix::decode_from(&mut cut.split_whitespace()).is_none());
+    }
+
+    #[test]
+    fn encoder_codec_round_trips_exactly() {
+        let t = sample();
+        let enc = Encoder::fit_with_classes(&t, &["p".into(), "n".into(), "extra".into()]).unwrap();
+        let mut out = String::new();
+        enc.encode_into(&mut out);
+        let mut parts = out.split_whitespace();
+        let back = Encoder::decode_from(&mut parts).expect("decode");
+        assert!(parts.next().is_none(), "trailing tokens");
+        assert_eq!(back, enc);
+        // the decoded encoder transforms identically
+        assert_eq!(back.transform(&t).unwrap(), enc.transform(&t).unwrap());
+        assert!(Encoder::decode_from(&mut "E 0".split_whitespace()).is_none());
     }
 }

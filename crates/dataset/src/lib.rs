@@ -39,6 +39,7 @@
 //! assert_eq!(t.column(0).unwrap().n_missing(), 1);
 //! ```
 
+pub mod codec;
 pub mod column;
 pub mod csv;
 pub mod encode;

@@ -36,6 +36,23 @@ impl Table {
         Table { schema, columns, n_rows: 0 }
     }
 
+    /// Reassembles a table from complete columns (the artifact codec's
+    /// decode path). Returns `None` when the columns are ragged or disagree
+    /// with the schema.
+    pub(crate) fn from_columns(schema: Schema, columns: Vec<Column>) -> Option<Table> {
+        if schema.len() != columns.len() {
+            return None;
+        }
+        let n_rows = columns.first().map_or(0, |c| c.len());
+        if columns.iter().any(|c| c.len() != n_rows) {
+            return None;
+        }
+        if schema.fields().iter().zip(&columns).any(|(f, c)| f != c.meta()) {
+            return None;
+        }
+        Some(Table { schema, columns, n_rows })
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -1,9 +1,45 @@
-//! Property-based tests for the tabular substrate.
+//! Property-based tests for the tabular substrate, including the dialect
+//! guarantee the artifact store depends on: `read_csv(write_csv(t))`
+//! reproduces `t` exactly for *arbitrary* string content — edge whitespace,
+//! embedded quotes/commas/CR/LF, null placeholders, numeric-looking text.
 
 use proptest::prelude::*;
 
+use cleanml_dataset::codec::{decode_table_from, encode_table_into};
 use cleanml_dataset::csv::{read_csv, write_csv};
-use cleanml_dataset::{Encoder, FieldMeta, Schema, Table, Value};
+use cleanml_dataset::{ColumnKind, Encoder, FieldMeta, Schema, Table, Value};
+
+/// Characters that historically broke the dialect, over-weighted on purpose.
+const PALETTE: &[char] =
+    &['a', 'b', 'Z', '0', '7', '.', '-', '+', 'e', ' ', '\t', ',', '"', '\n', '\r', 'é', '€', '_'];
+
+/// Strings that must survive verbatim even though they collide with the
+/// dialect's null placeholders and number syntax.
+const TRAPS: &[&str] =
+    &["", "NaN", "nan", "NA", "null", "NULL", " ", "1.5", "-0", "3e7", " x", "x ", "\"\"", "inf"];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    (0usize..4, prop::collection::vec(0usize..PALETTE.len(), 0..10)).prop_map(|(pick, ix)| {
+        if pick == 0 {
+            TRAPS[ix.iter().sum::<usize>() % TRAPS.len()].to_string()
+        } else {
+            ix.into_iter().map(|i| PALETTE[i]).collect()
+        }
+    })
+}
+
+/// A categorical table with arbitrary string cells (`None` = missing).
+fn string_table(columns: Vec<Vec<Option<String>>>) -> Table {
+    let n_cols = columns.len();
+    let n_rows = columns[0].len();
+    let fields = (0..n_cols).map(|c| FieldMeta::cat_feature(format!("col{c}"))).collect();
+    let mut t = Table::with_capacity(Schema::new(fields), n_rows);
+    for r in 0..n_rows {
+        let row = columns.iter().map(|col| Value::from(col[r].as_deref())).collect();
+        t.push_row(row).expect("well-formed row");
+    }
+    t
+}
 
 /// Strategy: a small mixed-type table with a label column.
 fn arb_table() -> impl Strategy<Value = Table> {
@@ -108,5 +144,67 @@ proptest! {
             (0..tab.n_rows()).filter(|&r| col.cat_str(r) == Some("pos")).count()
         };
         prop_assert_eq!(count(&train) + count(&test), count(&t));
+    }
+
+    /// Arbitrary string tables survive a CSV write/read cycle cell-for-cell,
+    /// and no non-empty column flips kind (quoting pins categoricals).
+    #[test]
+    fn csv_round_trips_arbitrary_strings(
+        cols in (1usize..4, 1usize..8).prop_flat_map(|(c, r)| {
+            prop::collection::vec(
+                prop::collection::vec(prop::option::of(arb_string()), r..r + 1),
+                c..c + 1,
+            )
+        })
+    ) {
+        let t = string_table(cols);
+        let text = write_csv(&t);
+        let back = read_csv(&text).expect("written CSV must parse");
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        prop_assert_eq!(back.n_columns(), t.n_columns());
+        for c in 0..t.n_columns() {
+            let has_value = (0..t.n_rows()).any(|r| t.get(r, c).unwrap() != Value::Null);
+            if has_value {
+                prop_assert_eq!(
+                    back.schema().field(c).unwrap().kind,
+                    ColumnKind::Categorical,
+                    "column {} flipped kind\nCSV:\n{}", c, text
+                );
+            }
+            for r in 0..t.n_rows() {
+                prop_assert_eq!(
+                    t.get(r, c).unwrap(),
+                    back.get(r, c).unwrap(),
+                    "cell ({}, {})\nCSV:\n{}", r, c, text
+                );
+            }
+        }
+    }
+
+    /// The parser never panics on arbitrary text — it parses or rejects.
+    #[test]
+    fn csv_parser_is_total(raw in prop::collection::vec(0usize..PALETTE.len(), 0..40)) {
+        let text: String = raw.into_iter().map(|i| PALETTE[i]).collect();
+        let _ = read_csv(&text); // Ok or Err, never a panic
+    }
+
+    /// The artifact token codec (the engine's on-disk table form) is exact
+    /// for arbitrary mixed tables.
+    #[test]
+    fn token_codec_round_trips_arbitrary_tables(
+        strings in prop::collection::vec(prop::option::of(arb_string()), 1..6),
+        nums in prop::collection::vec(prop::option::of(-1e300f64..1e300), 1..6)
+    ) {
+        let n_rows = strings.len().min(nums.len());
+        let fields = vec![FieldMeta::cat_feature("s"), FieldMeta::num_feature("x")];
+        let mut t = Table::with_capacity(Schema::new(fields), n_rows);
+        for r in 0..n_rows {
+            t.push_row(vec![Value::from(strings[r].as_deref()), Value::from(nums[r])])
+                .expect("row");
+        }
+        let mut out = String::new();
+        encode_table_into(&mut out, &t);
+        let back = decode_table_from(&mut out.split_whitespace()).expect("decode");
+        prop_assert_eq!(back, t);
     }
 }

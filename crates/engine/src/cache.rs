@@ -1,4 +1,4 @@
-//! Content-addressed artifact cache.
+//! Content-addressed artifact store.
 //!
 //! Every task's inputs (dataset spec, seeds, method, model, budget, …) are
 //! folded into a canonical string; its 128-bit FNV-1a digest is the task's
@@ -7,17 +7,34 @@
 //! * an in-memory map — deduplicates shared work inside a run (e.g. a base
 //!   dataset used by three mislabel variants) and makes in-process re-runs
 //!   free;
-//! * an optional on-disk layer under a run directory — persists the
-//!   artifacts that have a stable serial form (grid cells and dataset
-//!   contexts), so a *resumed or repeated* study skips every finished
-//!   training task.
+//! * an optional on-disk layer ([`DiskStore`]) under a run directory —
+//!   persists every artifact with a stable serial form (grid cells, dataset
+//!   contexts, splits, cleaned matrices and trained models), so a *resumed
+//!   or repeated* study skips all finished work, at task granularity.
+//!
+//! The disk layer is a real store, not a directory of loose files:
+//!
+//! * **atomic writes** — artifacts are written to a process-unique temp
+//!   file and `rename`d into place, so a concurrent reader (a second
+//!   process sharing `--cache-dir`) can never observe a torn entry;
+//! * **an index file** (`index.v1`) — sizes and logical last-access times
+//!   per entry, rebuilt from a directory scan when stale or missing (e.g.
+//!   after a kill), flushed atomically itself;
+//! * **size-capped LRU eviction** — with a byte budget configured
+//!   (`--cache-max-bytes`), entries are touched on read and the
+//!   oldest-accessed are deleted before a new write would exceed the cap,
+//!   so the run directory stays bounded for arbitrarily long studies
+//!   (per writing process: concurrent capped processes can combine to
+//!   overshoot transiently, healed at the next open).
 //!
 //! Floats are serialized via their IEEE-754 bit patterns, so a warm run
 //! reproduces byte-identical relations.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// 128-bit content address (two independent FNV-1a passes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -41,6 +58,19 @@ impl CacheKey {
                 ^ canonical.len() as u64,
         )
     }
+
+    /// Parses the 32-hex-digit form produced by `Display` (artifact file
+    /// stems). Non-ASCII input is rejected before slicing: a stray file
+    /// with a multi-byte char straddling byte 16 must be a `None`, not a
+    /// char-boundary panic during the directory scan.
+    pub fn parse(s: &str) -> Option<CacheKey> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(CacheKey(hi, lo))
+    }
 }
 
 impl fmt::Display for CacheKey {
@@ -54,6 +84,15 @@ impl fmt::Display for CacheKey {
 pub trait DiskCodec: Sized {
     fn encode(&self) -> Option<String>;
     fn decode(text: &str) -> Option<Self>;
+
+    /// Whether a disk hit should also be inserted into the unbounded
+    /// in-memory map. Heavy artifacts (tables, matrices, models) return
+    /// `false`: they are prefilled into the demanding graph node and
+    /// retired after their last consumer, instead of accumulating for the
+    /// engine's lifetime.
+    fn promote_to_memory(&self) -> bool {
+        true
+    }
 }
 
 /// Hit/miss counters, split by layer.
@@ -63,6 +102,7 @@ pub struct CacheStats {
     pub disk_hits: usize,
     pub misses: usize,
     pub disk_writes: usize,
+    pub disk_evictions: usize,
 }
 
 impl CacheStats {
@@ -71,23 +111,336 @@ impl CacheStats {
     }
 }
 
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    /// Entry payload size in bytes.
+    size: u64,
+    /// Logical last-access time (monotonic per store, persisted).
+    access: u64,
+}
+
+#[derive(Debug, Default)]
+struct IndexState {
+    entries: HashMap<CacheKey, IndexEntry>,
+    /// Logical clock; strictly increases across loads, stores and touches.
+    clock: u64,
+    /// Mutations since the last flush.
+    dirty: usize,
+}
+
+impl IndexState {
+    fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.size).sum()
+    }
+
+    fn touch(&mut self, key: CacheKey) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.access = clock;
+            self.dirty += 1;
+        }
+    }
+}
+
+/// Mutations accumulated before the index file is rewritten. Touches lost
+/// in a crash only age LRU ordering; the entry list itself is rebuilt from
+/// a directory scan on the next open.
+const FLUSH_EVERY: usize = 32;
+
+/// The persistent, thread-safe artifact layer: one directory of
+/// content-addressed `<key>.art` files plus an `index.v1` sidecar.
+///
+/// Shared (via `Arc`) between the [`ArtifactCache`] front-end and the
+/// worker pool, which persists artifacts the moment tasks finish so a
+/// killed run loses nothing that completed.
+pub struct DiskStore {
+    dir: PathBuf,
+    max_bytes: Option<u64>,
+    state: Mutex<IndexState>,
+    writes: AtomicUsize,
+    evictions: AtomicUsize,
+    tmp_seq: AtomicUsize,
+}
+
+impl DiskStore {
+    const INDEX: &'static str = "index.v1";
+    const INDEX_MAGIC: &'static str = "cleanml-artifact-index v1";
+
+    /// Opens (or creates) the store under `dir`. A stale or missing index
+    /// — the normal state after a killed run — is reconciled against a
+    /// directory scan: entries without a file are dropped, files without
+    /// an entry are adopted with the oldest possible access time.
+    pub fn open(dir: PathBuf, max_bytes: Option<u64>) -> Arc<DiskStore> {
+        let _ = std::fs::create_dir_all(&dir);
+        let mut state = Self::load_index(&dir.join(Self::INDEX)).unwrap_or_default();
+        Self::reconcile(&dir, &mut state);
+        let store = DiskStore {
+            dir,
+            max_bytes,
+            state: Mutex::new(state),
+            writes: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            tmp_seq: AtomicUsize::new(0),
+        };
+        // A fresh cap may be tighter than what a previous run left behind.
+        store.enforce_cap_for(0);
+        store.flush();
+        Arc::new(store)
+    }
+
+    fn load_index(path: &Path) -> Option<IndexState> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != Self::INDEX_MAGIC {
+            return None;
+        }
+        let clock: u64 = lines.next()?.strip_prefix("clock ")?.parse().ok()?;
+        let mut entries = HashMap::new();
+        for line in lines {
+            let mut f = line.split_whitespace();
+            let key = CacheKey::parse(f.next()?)?;
+            let size: u64 = f.next()?.parse().ok()?;
+            let access: u64 = f.next()?.parse().ok()?;
+            entries.insert(key, IndexEntry { size, access });
+        }
+        Some(IndexState { entries, clock, dirty: 0 })
+    }
+
+    /// Brings the index in line with the files actually present.
+    fn reconcile(dir: &Path, state: &mut IndexState) {
+        let mut present: HashMap<CacheKey, u64> = HashMap::new();
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for entry in rd.flatten() {
+                let path = entry.path();
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(stem) = name.strip_suffix(".art") {
+                    if let (Some(key), Ok(meta)) = (CacheKey::parse(stem), entry.metadata()) {
+                        present.insert(key, meta.len());
+                        continue;
+                    }
+                }
+                // leftover temp file from a crashed writer
+                if name.contains(".tmp-") {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        state.entries.retain(|k, _| present.contains_key(k));
+        for (key, size) in present {
+            // adopt unindexed files (written after the last index flush)
+            // as least-recently-used, and trust the filesystem for sizes
+            state.entries.entry(key).or_insert(IndexEntry { size, access: 0 }).size = size;
+        }
+        state.dirty += 1;
+    }
+
+    fn art_path(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{key}.art"))
+    }
+
+    /// Reads an entry, touching its LRU slot. A missing or unreadable file
+    /// drops the index entry.
+    pub fn load(&self, key: CacheKey) -> Option<String> {
+        match std::fs::read_to_string(self.art_path(key)) {
+            Ok(text) => {
+                let mut state = self.state.lock().expect("index lock");
+                state.touch(key);
+                self.flush_if_due(state);
+                Some(text)
+            }
+            Err(_) => {
+                let mut state = self.state.lock().expect("index lock");
+                state.entries.remove(&key);
+                None
+            }
+        }
+    }
+
+    /// Persists `text` under `key` atomically (temp file + rename), evicting
+    /// least-recently-used entries first when a byte cap is configured.
+    /// Returns `true` when the entry was newly written; an existing entry is
+    /// only touched. An entry larger than the whole cap is not stored.
+    pub fn store(&self, key: CacheKey, text: &str) -> bool {
+        let size = text.len() as u64;
+        if self.max_bytes.is_some_and(|cap| size > cap) {
+            return false;
+        }
+        // The index lock is deliberately held across the file write and
+        // rename below: eviction must happen before the incoming bytes
+        // touch disk, and no concurrent store may write between the two,
+        // or the directory could transiently exceed the byte cap. This
+        // serializes persistence, but task compute dominates wall-clock by
+        // orders of magnitude, and the strict bound is the contract.
+        let mut state = self.state.lock().expect("index lock");
+        if state.entries.contains_key(&key) {
+            state.touch(key);
+            self.flush_if_due(state);
+            return false;
+        }
+        self.evict_until_fits(&mut state, size);
+
+        // Unique temp name per process *and* per write: two processes (or
+        // threads) racing on the same key each rename a complete file.
+        let tmp = self.dir.join(format!(
+            "{key}.tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let ok =
+            std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, self.art_path(key)).is_ok();
+        if !ok {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        state.clock += 1;
+        let access = state.clock;
+        state.entries.insert(key, IndexEntry { size, access });
+        state.dirty += 1;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.flush_if_due(state);
+        true
+    }
+
+    /// Deletes an entry (used when a decode reveals corruption).
+    pub fn remove(&self, key: CacheKey) {
+        let _ = std::fs::remove_file(self.art_path(key));
+        let mut state = self.state.lock().expect("index lock");
+        if state.entries.remove(&key).is_some() {
+            state.dirty += 1;
+        }
+    }
+
+    /// Evicts oldest-accessed entries until `incoming` more bytes fit under
+    /// the cap. Ties (e.g. freshly adopted files) break by key, so two
+    /// processes sharing the directory evict in the same order.
+    fn evict_until_fits(&self, state: &mut IndexState, incoming: u64) {
+        let Some(cap) = self.max_bytes else { return };
+        let mut total = state.total_bytes();
+        while total + incoming > cap && !state.entries.is_empty() {
+            let victim = state
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.access, k.0, k.1))
+                .map(|(k, e)| (*k, e.size))
+                .expect("non-empty");
+            let _ = std::fs::remove_file(self.art_path(victim.0));
+            state.entries.remove(&victim.0);
+            state.dirty += 1;
+            total -= victim.1;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn enforce_cap_for(&self, incoming: u64) {
+        let mut state = self.state.lock().expect("index lock");
+        self.evict_until_fits(&mut state, incoming);
+    }
+
+    fn flush_if_due(&self, state: std::sync::MutexGuard<'_, IndexState>) {
+        if state.dirty >= FLUSH_EVERY {
+            self.flush_locked(state);
+        }
+    }
+
+    /// Atomically rewrites the index file.
+    pub fn flush(&self) {
+        let state = self.state.lock().expect("index lock");
+        self.flush_locked(state);
+    }
+
+    fn flush_locked(&self, mut state: std::sync::MutexGuard<'_, IndexState>) {
+        use std::fmt::Write as _;
+        let mut text = format!("{}\nclock {}\n", Self::INDEX_MAGIC, state.clock);
+        let mut keys: Vec<&CacheKey> = state.entries.keys().collect();
+        keys.sort(); // deterministic file content
+        for key in keys {
+            let e = state.entries[key];
+            let _ = writeln!(text, "{key} {} {}", e.size, e.access);
+        }
+        let tmp = self.dir.join(format!(
+            "{}.tmp-{}-{}",
+            Self::INDEX,
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, text).is_ok()
+            && std::fs::rename(&tmp, self.dir.join(Self::INDEX)).is_ok()
+        {
+            state.dirty = 0;
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Bytes of artifact payload currently indexed.
+    pub fn total_bytes(&self) -> u64 {
+        self.state.lock().expect("index lock").total_bytes()
+    }
+
+    /// Number of entries currently indexed.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("index lock").entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries written since the last [`DiskStore::reset_counters`].
+    pub fn writes(&self) -> usize {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the byte cap since the last reset.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    pub fn reset_counters(&self) {
+        self.writes.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// The two-layer cache.
 pub struct ArtifactCache<A> {
     memory: HashMap<CacheKey, A>,
-    disk: Option<PathBuf>,
+    disk: Option<Arc<DiskStore>>,
     pub stats: CacheStats,
 }
 
 impl<A: Clone + DiskCodec> ArtifactCache<A> {
-    /// Creates a cache; `disk` enables the persistent layer under that
-    /// directory (created on demand).
+    /// Creates a cache; `disk` enables an uncapped persistent layer under
+    /// that directory.
     pub fn new(disk: Option<PathBuf>) -> Self {
+        Self::with_store(disk.map(|d| DiskStore::open(d, None)))
+    }
+
+    /// Creates a cache over an existing (possibly shared, possibly
+    /// size-capped) disk store.
+    pub fn with_store(disk: Option<Arc<DiskStore>>) -> Self {
         ArtifactCache { memory: HashMap::new(), disk, stats: CacheStats::default() }
+    }
+
+    /// The persistent layer, if any.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.disk.as_ref()
     }
 
     /// Resets only the statistics (kept across runs otherwise).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+        if let Some(store) = &self.disk {
+            store.reset_counters();
+        }
     }
 
     /// Number of artifacts resident in memory.
@@ -99,26 +452,25 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
         self.memory.is_empty()
     }
 
-    fn disk_path(&self, key: CacheKey) -> Option<PathBuf> {
-        self.disk.as_ref().map(|d| d.join(format!("{key}.art")))
-    }
-
     /// Looks `key` up in memory, then on disk. A disk hit is promoted into
-    /// memory.
+    /// memory when the artifact opts in (small artifacts only — see
+    /// [`DiskCodec::promote_to_memory`]).
     pub fn get(&mut self, key: CacheKey) -> Option<A> {
         if let Some(a) = self.memory.get(&key) {
             self.stats.memory_hits += 1;
             return Some(a.clone());
         }
-        if let Some(path) = self.disk_path(key) {
-            if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Some(store) = &self.disk {
+            if let Some(text) = store.load(key) {
                 if let Some(a) = A::decode(&text) {
                     self.stats.disk_hits += 1;
-                    self.memory.insert(key, a.clone());
+                    if a.promote_to_memory() {
+                        self.memory.insert(key, a.clone());
+                    }
                     return Some(a);
                 }
                 // corrupt entry: drop it so the re-run overwrites
-                let _ = std::fs::remove_file(&path);
+                store.remove(key);
             }
         }
         self.stats.misses += 1;
@@ -127,11 +479,8 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
 
     /// Stores an artifact under its content address in both layers.
     pub fn put(&mut self, key: CacheKey, artifact: &A) {
-        if let (Some(path), Some(text)) = (self.disk_path(key), artifact.encode()) {
-            if let Some(dir) = path.parent() {
-                let _ = std::fs::create_dir_all(dir);
-            }
-            if std::fs::write(&path, text).is_ok() {
+        if let (Some(store), Some(text)) = (&self.disk, artifact.encode()) {
+            if store.store(key, &text) {
                 self.stats.disk_writes += 1;
             }
         }
@@ -166,12 +515,22 @@ mod tests {
         }
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cleanml-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn keys_are_stable_and_distinct() {
         assert_eq!(CacheKey::of("train/EEG/3"), CacheKey::of("train/EEG/3"));
         assert_ne!(CacheKey::of("train/EEG/3"), CacheKey::of("train/EEG/4"));
         assert_ne!(CacheKey::of("a"), CacheKey::of("b"));
         assert_eq!(format!("{}", CacheKey(1, 2)).len(), 32);
+        let k = CacheKey::of("round-trip");
+        assert_eq!(CacheKey::parse(&k.to_string()), Some(k));
+        assert_eq!(CacheKey::parse("xyz"), None);
     }
 
     #[test]
@@ -188,8 +547,7 @@ mod tests {
 
     #[test]
     fn disk_layer_survives_a_fresh_cache() {
-        let dir = std::env::temp_dir().join(format!("cleanml-cache-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("fresh");
         let k = CacheKey::of("persisted");
         {
             let mut c: ArtifactCache<Blob> = ArtifactCache::new(Some(dir.clone()));
@@ -202,6 +560,95 @@ mod tests {
         // corrupt entries are discarded, not trusted
         std::fs::write(dir.join(format!("{}.art", CacheKey::of("bad"))), "garbage").unwrap();
         assert!(fresh.get(CacheKey::of("bad")).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writes_are_atomic_via_rename() {
+        let dir = temp_dir("atomic");
+        let store = DiskStore::open(dir.clone(), None);
+        store.store(CacheKey::of("a"), "payload");
+        // no temp residue after a completed write
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_rebuilds_after_stale_or_missing_file() {
+        let dir = temp_dir("rebuild");
+        let (ka, kb) = (CacheKey::of("a"), CacheKey::of("b"));
+        {
+            let store = DiskStore::open(dir.clone(), None);
+            store.store(ka, "aaaa");
+            store.store(kb, "bbbbbb");
+        } // drop flushes the index
+          // simulate a kill after more writes than index flushes: an
+          // unindexed file appears, an indexed one disappears
+        std::fs::remove_file(dir.join(format!("{kb}.art"))).unwrap();
+        let kc = CacheKey::of("c");
+        std::fs::write(dir.join(format!("{kc}.art")), "cc").unwrap();
+        std::fs::write(dir.join(format!("{kc}.tmp-999-0")), "torn").unwrap();
+
+        let store = DiskStore::open(dir.clone(), None);
+        assert_eq!(store.len(), 2, "a kept, b dropped, c adopted");
+        assert_eq!(store.total_bytes(), 4 + 2);
+        assert!(store.load(kb).is_none());
+        assert_eq!(store.load(kc).as_deref(), Some("cc"));
+        assert!(!dir.join(format!("{kc}.tmp-999-0")).exists(), "temp residue cleaned");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_cap_and_touch_on_read() {
+        let dir = temp_dir("lru");
+        let store = DiskStore::open(dir.clone(), Some(10));
+        let (ka, kb, kc) = (CacheKey::of("a"), CacheKey::of("b"), CacheKey::of("c"));
+        assert!(store.store(ka, "aaaa")); // 4 bytes
+        assert!(store.store(kb, "bbbb")); // 8 bytes total
+                                          // touching `a` makes `b` the LRU entry
+        assert_eq!(store.load(ka).as_deref(), Some("aaaa"));
+        assert!(store.store(kc, "cccc")); // would be 12 > 10: evicts b
+        assert_eq!(store.evictions(), 1);
+        assert!(store.total_bytes() <= 10);
+        assert!(store.load(kb).is_none(), "LRU entry evicted");
+        assert_eq!(store.load(ka).as_deref(), Some("aaaa"), "recently read survives");
+        assert_eq!(store.load(kc).as_deref(), Some("cccc"));
+        // an entry larger than the whole cap is refused outright
+        assert!(!store.store(CacheKey::of("huge"), &"x".repeat(64)));
+        assert!(store.total_bytes() <= 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_with_tighter_cap_shrinks_directory() {
+        let dir = temp_dir("shrink");
+        {
+            let store = DiskStore::open(dir.clone(), None);
+            for i in 0..8 {
+                store.store(CacheKey::of(&format!("k{i}")), &"y".repeat(8));
+            }
+            assert_eq!(store.total_bytes(), 64);
+        }
+        let store = DiskStore::open(dir.clone(), Some(24));
+        assert!(store.total_bytes() <= 24);
+        assert!(store.len() <= 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_is_idempotent_per_key() {
+        let dir = temp_dir("idem");
+        let store = DiskStore::open(dir.clone(), None);
+        let k = CacheKey::of("once");
+        assert!(store.store(k, "v"));
+        assert!(!store.store(k, "v"), "second write is a touch, not a write");
+        assert_eq!(store.writes(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

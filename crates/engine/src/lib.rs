@@ -42,9 +42,9 @@ pub mod jobs;
 pub mod pool;
 pub mod study;
 
-pub use cache::{ArtifactCache, CacheKey, CacheStats};
+pub use cache::{ArtifactCache, CacheKey, CacheStats, DiskStore};
 pub use event::{EngineEvent, EventSink, TaskKind};
 pub use graph::{TaskGraph, TaskId};
 pub use jobs::parallel_map;
-pub use pool::RunReport;
+pub use pool::{PersistSink, RunReport};
 pub use study::{Artifact, Engine, EngineConfig};

@@ -14,13 +14,22 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use cleanml_core::CoreError;
 
-use crate::cache::DiskCodec;
+use crate::cache::{CacheKey, DiskCodec, DiskStore};
 use crate::event::{emit, EngineEvent, EventSink, TaskKind};
 use crate::graph::{NodeState, TaskGraph, TaskId};
+
+/// Disk persistence wiring for a run: the shared store plus each node's
+/// content address. Workers write codec-capable artifacts the moment their
+/// task finishes — not at the end of the run — so a killed study keeps
+/// every completed `Clean`/`Train`/`Evaluate` result.
+pub struct PersistSink {
+    pub store: Arc<DiskStore>,
+    pub keys: Vec<CacheKey>,
+}
 
 /// Per-run execution report: what actually ran, what the cache absorbed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -81,11 +90,13 @@ pub type ExecutionOutcome<A> = (Vec<Option<A>>, Vec<(TaskKind, usize)>);
 ///
 /// `retain` marks nodes whose artifact must survive the run (sinks, nodes
 /// worth caching); everything else is dropped as soon as its last consumer
-/// finishes.
+/// finishes. With a `persist` sink, every finished artifact with a serial
+/// form is additionally written to the disk store as it is produced.
 pub fn execute<A>(
     graph: TaskGraph<A>,
     workers: usize,
     retain: Vec<bool>,
+    persist: Option<PersistSink>,
     events: &Option<EventSink>,
 ) -> Result<ExecutionOutcome<A>, CoreError>
 where
@@ -95,6 +106,9 @@ where
     let n = graph.nodes.len();
     let mut nodes = graph.nodes;
     assert_eq!(retain.len(), n, "retain mask must cover every node");
+    if let Some(sink) = &persist {
+        assert_eq!(sink.keys.len(), n, "persist keys must cover every node");
+    }
 
     let slots: Vec<Mutex<Option<A>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let mut runs: Vec<Mutex<Option<crate::graph::TaskFn<A>>>> = Vec::with_capacity(n);
@@ -160,9 +174,10 @@ where
                 let runs = &runs;
                 let meta = &meta;
                 let deps = &deps;
+                let persist = &persist;
                 let events = events.clone();
                 scope.spawn(move || {
-                    worker_loop(w, workers, shared, runs, meta, deps, &events);
+                    worker_loop(w, workers, shared, runs, meta, deps, persist, &events);
                 });
             }
         });
@@ -182,6 +197,7 @@ where
     Ok((artifacts, executed))
 }
 
+#[allow(clippy::too_many_arguments)] // private; mirrors execute's wiring
 fn worker_loop<A>(
     me: usize,
     workers: usize,
@@ -189,9 +205,10 @@ fn worker_loop<A>(
     runs: &[Mutex<Option<crate::graph::TaskFn<A>>>],
     meta: &[(TaskKind, String, NodeState)],
     deps: &[Vec<TaskId>],
+    persist: &Option<PersistSink>,
     events: &Option<EventSink>,
 ) where
-    A: Clone + Send + Sync,
+    A: Clone + Send + Sync + DiskCodec,
 {
     loop {
         if shared.abort.load(Ordering::Acquire) || shared.remaining.load(Ordering::Acquire) == 0 {
@@ -244,6 +261,14 @@ fn worker_loop<A>(
 
         match outcome {
             Ok(artifact) => {
+                // Durability before progress: the artifact reaches disk
+                // before any dependent can observe it, so a kill at any
+                // point leaves only complete, replayable state.
+                if let Some(sink) = persist {
+                    if let Some(text) = artifact.encode() {
+                        sink.store.store(sink.keys[id], &text);
+                    }
+                }
                 *shared.slots[id].lock().expect("slot") = Some(artifact);
                 shared.executed[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
                 emit(events, EngineEvent::TaskFinished { id, kind, ok: true });
@@ -335,7 +360,7 @@ mod tests {
             let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
             g.resolve(&mut cache, &[sink]);
             let retain = retain_only(g.len(), &[sink]);
-            let (arts, executed) = execute(g, workers, retain, &None).unwrap();
+            let (arts, executed) = execute(g, workers, retain, None, &None).unwrap();
             assert_eq!(arts[sink], Some(V(5)));
             let total: usize = executed.iter().map(|(_, n)| n).sum();
             assert_eq!(total, 4, "workers={workers}");
@@ -348,7 +373,7 @@ mod tests {
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
         g.resolve(&mut cache, &[sink]);
         let retain = retain_only(g.len(), &[sink]);
-        let (arts, _) = execute(g, 2, retain, &None).unwrap();
+        let (arts, _) = execute(g, 2, retain, None, &None).unwrap();
         assert_eq!(arts[sink], Some(V(5)));
         // a, b, c each fed only the now-finished downstream tasks
         assert_eq!(arts[0], None);
@@ -364,7 +389,7 @@ mod tests {
         let (hits, pruned, to_run) = g.resolve(&mut cache, &[sink]);
         assert_eq!((hits, pruned, to_run), (1, 3, 0));
         let retain = retain_only(g.len(), &[sink]);
-        let (arts, executed) = execute(g, 4, retain, &None).unwrap();
+        let (arts, executed) = execute(g, 4, retain, None, &None).unwrap();
         assert_eq!(arts[sink], Some(V(5)));
         assert!(executed.is_empty());
     }
@@ -379,7 +404,7 @@ mod tests {
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
         g.resolve(&mut cache, &[b]);
         let retain = retain_only(g.len(), &[b]);
-        assert!(execute(g, 2, retain, &None).is_err());
+        assert!(execute(g, 2, retain, None, &None).is_err());
     }
 
     #[test]
@@ -389,8 +414,45 @@ mod tests {
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
         g.resolve(&mut cache, &[sink]);
         let retain = retain_only(g.len(), &[sink]);
-        let err = execute(g, 2, retain, &None).unwrap_err();
+        let err = execute(g, 2, retain, None, &None).unwrap_err();
         assert!(err.to_string().contains("kaboom"), "{err}");
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct P(i64);
+
+    impl DiskCodec for P {
+        fn encode(&self) -> Option<String> {
+            Some(format!("p {}", self.0))
+        }
+        fn decode(text: &str) -> Option<Self> {
+            text.strip_prefix("p ")?.trim().parse().ok().map(P)
+        }
+    }
+
+    #[test]
+    fn finished_artifacts_persist_even_when_retired_from_memory() {
+        let dir = std::env::temp_dir().join(format!("cleanml-pool-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(dir.clone(), None);
+
+        let mut g: TaskGraph<P> = TaskGraph::new();
+        let a = g.task(TaskKind::Train, "a", CacheKey::of("a"), vec![], |_| Ok(P(7)));
+        let b = g.task(TaskKind::Evaluate, "b", CacheKey::of("b"), vec![a], |d| Ok(P(d[0].0 + 1)));
+        let mut cache: ArtifactCache<P> = ArtifactCache::new(None);
+        g.resolve(&mut cache, &[b]);
+        let keys = vec![CacheKey::of("a"), CacheKey::of("b")];
+        let retain = retain_only(g.len(), &[b]);
+        let persist = Some(PersistSink { store: store.clone(), keys });
+        let (arts, _) = execute(g, 2, retain, persist, &None).unwrap();
+
+        // `a` was retired from memory after its last consumer…
+        assert_eq!(arts[0], None);
+        // …but both artifacts reached the disk store during the run.
+        assert_eq!(store.load(CacheKey::of("a")).as_deref(), Some("p 7"));
+        assert_eq!(store.load(CacheKey::of("b")).as_deref(), Some("p 8"));
+        assert_eq!(store.writes(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -413,7 +475,7 @@ mod tests {
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
         g.resolve(&mut cache, &[sum]);
         let retain = retain_only(g.len(), &[sum]);
-        let (arts, _) = execute(g, 8, retain, &None).unwrap();
+        let (arts, _) = execute(g, 8, retain, None, &None).unwrap();
         assert_eq!(arts[sum], Some(V(4950)));
     }
 }

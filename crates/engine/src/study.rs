@@ -31,10 +31,15 @@ use cleanml_core::{CleanMlDb, CoreError, EvalGrid, ExperimentConfig};
 use cleanml_datagen::{generate, inject_mislabel_variant, spec_by_name, GeneratedDataset};
 use cleanml_ml::{Metric, ModelKind, PAPER_MODELS};
 
-use crate::cache::{f64_from_field, f64_to_field, ArtifactCache, CacheKey, CacheStats, DiskCodec};
+use cleanml_dataset::codec as dcodec;
+use cleanml_dataset::{Encoder, FeatureMatrix};
+
+use crate::cache::{
+    f64_from_field, f64_to_field, ArtifactCache, CacheKey, CacheStats, DiskCodec, DiskStore,
+};
 use crate::event::{emit, EngineEvent, EventSink, TaskKind};
 use crate::graph::{NodeState, TaskGraph, TaskId};
-use crate::pool::{execute, RunReport};
+use crate::pool::{execute, PersistSink, RunReport};
 
 /// Everything that flows along DAG edges. Heavy payloads sit behind `Arc`,
 /// so cloning an artifact into a consumer is pointer-cheap.
@@ -131,9 +136,11 @@ fn unhex(s: &str) -> Option<String> {
 }
 
 impl DiskCodec for Artifact {
-    /// Grid cells and dataset contexts persist; tables, matrices and models
-    /// stay in memory only (their serial form is not worth the IO — a warm
-    /// cache prunes the tasks that would need them).
+    /// Everything with a stable serial form persists: grid cells, dataset
+    /// contexts, splits (the partition tables plus the dirty-side encoder
+    /// and matrix), cleaned matrices and trained models. Only generated
+    /// datasets (cheap, deterministic) and reduced grids (reassembled from
+    /// cells) stay in memory.
     fn encode(&self) -> Option<String> {
         match self {
             Artifact::Cell(c) => Some(format!(
@@ -150,6 +157,36 @@ impl DiskCodec for Artifact {
                 let classes: Vec<String> =
                     ctx.classes.iter().map(|c| format!("c{}", hex_of(c))).collect();
                 Some(format!("ctx v2 {} {}", encode_metric(ctx.metric), classes.join(" ")))
+            }
+            Artifact::Split(s) => {
+                let mut out = String::from("split v2");
+                dcodec::encode_table_into(&mut out, &s.train0);
+                dcodec::encode_table_into(&mut out, &s.test0);
+                dcodec::encode_table_into(&mut out, &s.dirty_train);
+                s.enc_dirty.encode_into(&mut out);
+                s.dirty_matrix.encode_into(&mut out);
+                Some(out)
+            }
+            Artifact::Clean(c) => {
+                let mut out = String::from("clean v1");
+                c.clean_train_m.encode_into(&mut out);
+                c.clean_test_m.encode_into(&mut out);
+                match &c.dirty_test_m {
+                    Some(m) => {
+                        out.push_str(" +");
+                        m.encode_into(&mut out);
+                    }
+                    None => out.push_str(" -"),
+                }
+                c.clean_test_for_dirty.encode_into(&mut out);
+                Some(out)
+            }
+            Artifact::Trained(t) => {
+                let mut out = String::from("trained v1");
+                out.push(' ');
+                out.push_str(&f64_to_field(t.val));
+                cleanml_ml::codec::encode_model_into(&mut out, &t.model);
+                Some(out)
             }
             _ => None,
         }
@@ -175,8 +212,50 @@ impl DiskCodec for Artifact {
                     parts.map(|field| unhex(field.strip_prefix('c')?)).collect();
                 Some(Artifact::Context(Arc::new(DatasetContext { metric, classes: classes? })))
             }
+            ("split", "v2") => {
+                let train0 = dcodec::decode_table_from(&mut parts)?;
+                let test0 = dcodec::decode_table_from(&mut parts)?;
+                let dirty_train = dcodec::decode_table_from(&mut parts)?;
+                let enc_dirty = Encoder::decode_from(&mut parts)?;
+                let dirty_matrix = FeatureMatrix::decode_from(&mut parts)?;
+                Some(Artifact::Split(Arc::new(SplitArtifact {
+                    train0,
+                    test0,
+                    dirty_train,
+                    enc_dirty,
+                    dirty_matrix,
+                })))
+            }
+            ("clean", "v1") => {
+                let clean_train_m = FeatureMatrix::decode_from(&mut parts)?;
+                let clean_test_m = FeatureMatrix::decode_from(&mut parts)?;
+                let dirty_test_m = match parts.next()? {
+                    "+" => Some(FeatureMatrix::decode_from(&mut parts)?),
+                    "-" => None,
+                    _ => return None,
+                };
+                let clean_test_for_dirty = FeatureMatrix::decode_from(&mut parts)?;
+                Some(Artifact::Clean(Arc::new(CleanArtifact {
+                    clean_train_m,
+                    clean_test_m,
+                    dirty_test_m,
+                    clean_test_for_dirty,
+                })))
+            }
+            ("trained", "v1") => {
+                let val = f64_from_field(parts.next()?)?;
+                let model = cleanml_ml::codec::decode_model_from(&mut parts)?;
+                Some(Artifact::Trained(Arc::new(TrainedModel { model, val })))
+            }
             _ => None,
         }
+    }
+
+    /// Only the small artifacts accumulate in the unbounded in-memory map;
+    /// splits, cleaned matrices and trained models are prefilled into their
+    /// demanding nodes and retired after their last consumer instead.
+    fn promote_to_memory(&self) -> bool {
+        matches!(self, Artifact::Cell(_) | Artifact::Context(_))
     }
 }
 
@@ -187,6 +266,10 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Run directory for the persistent cache layer; `None` disables it.
     pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the run directory (`--cache-max-bytes`): the disk
+    /// store evicts least-recently-used artifacts to stay under it. `None`
+    /// leaves the store unbounded.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl EngineConfig {
@@ -206,13 +289,15 @@ impl EngineConfig {
 pub struct Engine {
     cfg: EngineConfig,
     cache: ArtifactCache<Artifact>,
+    store: Option<Arc<DiskStore>>,
     events: Option<EventSink>,
 }
 
 impl Engine {
     pub fn new(cfg: EngineConfig) -> Self {
-        let cache = ArtifactCache::new(cfg.cache_dir.clone());
-        Engine { cfg, cache, events: None }
+        let store = cfg.cache_dir.clone().map(|dir| DiskStore::open(dir, cfg.cache_max_bytes));
+        let cache = ArtifactCache::with_store(store.clone());
+        Engine { cfg, cache, store, events: None }
     }
 
     /// Attaches a progress-event sink.
@@ -225,9 +310,21 @@ impl Engine {
         self.cfg.effective_workers()
     }
 
-    /// Cache counters of the most recent run.
+    /// The persistent artifact store, if a cache directory is configured.
+    pub fn disk_store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
+    }
+
+    /// Cache counters of the most recent run. Disk writes and evictions
+    /// come from the shared store, which also counts the artifacts the
+    /// worker pool persisted mid-run.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats
+        let mut stats = self.cache.stats;
+        if let Some(store) = &self.store {
+            stats.disk_writes = store.writes();
+            stats.disk_evictions = store.evictions();
+        }
+        stats
     }
 
     /// Runs the full study for `error_types` through the scheduler and
@@ -279,7 +376,11 @@ impl Engine {
             .collect();
 
         let workers = self.workers();
-        let (artifacts, executed) = execute(graph, workers, retain, &self.events)?;
+        let persist = self.store.clone().map(|store| PersistSink {
+            store,
+            keys: index.iter().map(|(key, _, _)| *key).collect(),
+        });
+        let (artifacts, executed) = execute(graph, workers, retain, persist, &self.events)?;
 
         // Content-address every freshly produced, retained artifact.
         for (id, artifact) in artifacts.iter().enumerate() {
@@ -301,6 +402,9 @@ impl Engine {
             db.r3.extend(grid.r3_rows()?);
         }
         db.apply_benjamini_yekutieli(cfg.alpha);
+        if let Some(store) = &self.store {
+            store.flush();
+        }
         emit(&self.events, EngineEvent::RunFinished);
 
         let report = RunReport { executed, cache_hits, pruned, total, workers };
@@ -603,8 +707,8 @@ mod tests {
     }
 
     #[test]
-    fn heavy_artifacts_do_not_persist() {
-        let split_like = Artifact::Trained(Arc::new(TrainedModel {
+    fn trained_model_codec_round_trips() {
+        let trained = Artifact::Trained(Arc::new(TrainedModel {
             model: cleanml_ml::ModelSpec::default_for(ModelKind::NaiveBayes)
                 .fit(
                     &cleanml_dataset::FeatureMatrix::from_parts(
@@ -619,7 +723,50 @@ mod tests {
                 .unwrap(),
             val: 0.5,
         }));
-        assert!(split_like.encode().is_none());
+        let text = trained.encode().expect("trained models persist");
+        assert!(text.starts_with("trained v1"));
+        let back = Artifact::decode(&text).expect("decode");
+        assert_eq!(back.trained(), trained.trained());
+        assert!(!trained.promote_to_memory(), "heavy artifacts stay out of the memory map");
+        assert!(Artifact::decode("trained v1 zz").is_none());
+    }
+
+    #[test]
+    fn split_and_clean_codecs_round_trip() {
+        use cleanml_datagen::{generate, spec_by_name};
+        let data = generate(spec_by_name("Sensor").unwrap(), 11);
+        let cfg = ExperimentConfig { n_splits: 2, ..ExperimentConfig::quick() };
+        let et = ErrorType::Outliers;
+        let ctx = tasks::dataset_context(&data).unwrap();
+        let split = tasks::make_split(&data, et, &ctx, &cfg, 0).unwrap();
+        let method = CleaningMethod::catalogue(et)[0];
+        let clean = tasks::make_clean(&method, 0, et, &split, &ctx, cfg.fit_seed(0)).unwrap();
+
+        let split_art = Artifact::Split(Arc::new(split));
+        let text = split_art.encode().expect("splits persist");
+        assert!(text.starts_with("split v2"));
+        let back = Artifact::decode(&text).expect("decode split");
+        assert_eq!(back.split(), split_art.split());
+        assert!(!split_art.promote_to_memory());
+
+        let clean_art = Artifact::Clean(Arc::new(clean));
+        let text = clean_art.encode().expect("cleaned matrices persist");
+        assert!(text.starts_with("clean v1"));
+        let back = Artifact::decode(&text).expect("decode clean");
+        assert_eq!(back.clean(), clean_art.clean());
+
+        // missing-values cleans carry no dirty-test matrix: the `-` arm
+        let et = ErrorType::MissingValues;
+        let split = tasks::make_split(&data, et, &ctx, &cfg, 1).unwrap();
+        let method = CleaningMethod::catalogue(et)[0];
+        let clean = tasks::make_clean(&method, 0, et, &split, &ctx, cfg.fit_seed(1)).unwrap();
+        assert!(clean.dirty_test_m.is_none());
+        let clean_art = Artifact::Clean(Arc::new(clean));
+        let back = Artifact::decode(&clean_art.encode().unwrap()).expect("decode clean -");
+        assert_eq!(back.clean(), clean_art.clean());
+
+        // generated datasets still have no serial form
+        assert!(Artifact::Dataset(Arc::new(data)).encode().is_none());
     }
 
     #[test]

@@ -32,10 +32,10 @@ fn one_and_eight_workers_match_the_serial_path() {
 
     let serial = run_study(&ets, &cfg).expect("serial study");
 
-    let mut one = Engine::new(EngineConfig { workers: 1, cache_dir: None });
+    let mut one = Engine::new(EngineConfig { workers: 1, cache_dir: None, ..Default::default() });
     let (db_one, report_one) = one.run_study_with_report(&ets, &cfg).expect("1-worker study");
 
-    let mut eight = Engine::new(EngineConfig { workers: 8, cache_dir: None });
+    let mut eight = Engine::new(EngineConfig { workers: 8, cache_dir: None, ..Default::default() });
     let (db_eight, report_eight) = eight.run_study_with_report(&ets, &cfg).expect("8-worker study");
 
     assert_identical(&serial, &db_one, "serial vs 1 worker");
@@ -56,7 +56,11 @@ fn warm_disk_cache_resumes_with_zero_training() {
     let dir = temp_dir("warm");
 
     // Cold run: populates the run directory.
-    let mut cold = Engine::new(EngineConfig { workers: 2, cache_dir: Some(dir.clone()) });
+    let mut cold = Engine::new(EngineConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    });
     let (db_cold, report_cold) = cold.run_study_with_report(&ets, &cfg).expect("cold study");
     assert!(report_cold.executed(TaskKind::Train) > 0);
     assert!(cold.cache_stats().disk_writes > 0, "cells and contexts must persist");
@@ -64,7 +68,11 @@ fn warm_disk_cache_resumes_with_zero_training() {
     // Warm run in a *fresh* engine (new process semantics): every cell and
     // context is served from disk; no dataset is regenerated, no model is
     // trained, no cell is re-evaluated — only the grid reduction runs.
-    let mut warm = Engine::new(EngineConfig { workers: 2, cache_dir: Some(dir.clone()) });
+    let mut warm = Engine::new(EngineConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    });
     let (db_warm, report_warm) = warm.run_study_with_report(&ets, &cfg).expect("warm study");
     assert_identical(&db_cold, &db_warm, "cold vs warm");
 
@@ -94,12 +102,182 @@ fn warm_disk_cache_resumes_with_zero_training() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Sum of artifact payload bytes currently in a run directory.
+fn art_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .filter(|e| {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    // artifact payloads and their in-flight temp files; the
+                    // index sidecar is bookkeeping, not cached payload
+                    !name.starts_with("index.v1")
+                        && (name.ends_with(".art") || name.contains(".tmp-"))
+                })
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// The acceptance scenario: a study killed mid-run (simulated by the exact
+/// disk state such a kill leaves — finished Clean/Train artifacts present,
+/// unfinished cells absent, index stale) resumes with *zero* retraining and
+/// reproduces the uninterrupted run's relations bit for bit.
+#[test]
+fn killed_run_resumes_without_retraining() {
+    let cfg = tiny_cfg();
+    let ets = [ErrorType::Inconsistencies];
+    let dir = temp_dir("killed");
+
+    let serial = run_study(&ets, &cfg).expect("serial study");
+
+    let mut cold = Engine::new(EngineConfig {
+        workers: 4,
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let (db_cold, report_cold) = cold.run_study_with_report(&ets, &cfg).expect("cold study");
+    assert_identical(&serial, &db_cold, "serial vs cold");
+    assert!(report_cold.executed(TaskKind::Train) > 0);
+    drop(cold);
+
+    // Simulate the kill: every Evaluate artifact vanishes (those tasks had
+    // not finished), and the index file is stale (never flushed after the
+    // final writes) — the store must rebuild it from the directory scan.
+    let mut dropped_cells = 0usize;
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "art") {
+            let text = std::fs::read_to_string(&path).unwrap();
+            if text.starts_with("cell v1") {
+                std::fs::remove_file(&path).unwrap();
+                dropped_cells += 1;
+            }
+        }
+    }
+    assert!(dropped_cells > 0, "study must have persisted cells");
+    let _ = std::fs::remove_file(dir.join("index.v1"));
+
+    let mut resumed = Engine::new(EngineConfig {
+        workers: 4,
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let (db_resumed, report) = resumed.run_study_with_report(&ets, &cfg).expect("resumed study");
+
+    // The acceptance criterion: zero (dataset, error, model, split) cells
+    // are retrained — models, cleaned matrices and splits all come back
+    // from the artifact store; only the lost evaluations and the grid
+    // reductions execute.
+    assert_eq!(report.executed(TaskKind::Train), 0, "resume retrained a model");
+    assert_eq!(report.executed(TaskKind::Clean), 0, "resume re-cleaned");
+    assert_eq!(report.executed(TaskKind::Split), 0, "resume re-split");
+    assert_eq!(report.executed(TaskKind::GenerateDataset), 0, "resume regenerated data");
+    assert_eq!(report.executed(TaskKind::Evaluate), dropped_cells, "exactly the lost cells");
+    assert!(report.executed(TaskKind::Reduce) > 0);
+
+    // Relations are bit-identical to the uninterrupted serial run, so the
+    // CSVs rendered from them are byte-identical.
+    assert_identical(&serial, &db_resumed, "serial vs resumed");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With `cache_max_bytes` set, the run completes correctly and the run
+/// directory (artifacts + temp files) never exceeds the cap — checked
+/// continuously from the event stream while workers are writing.
+#[test]
+fn byte_capped_cache_stays_bounded() {
+    let cfg = tiny_cfg();
+    let ets = [ErrorType::Inconsistencies];
+    let dir = temp_dir("capped");
+    let cap: u64 = 48 * 1024;
+
+    let (tx, rx) = mpsc::channel();
+    let watch_dir = dir.clone();
+    let watcher = std::thread::spawn(move || {
+        let mut max_seen = 0u64;
+        for event in rx {
+            if let EngineEvent::TaskFinished { .. } = event {
+                max_seen = max_seen.max(art_bytes(&watch_dir));
+            }
+        }
+        max_seen
+    });
+
+    let mut engine = Engine::new(EngineConfig {
+        workers: 4,
+        cache_dir: Some(dir.clone()),
+        cache_max_bytes: Some(cap),
+    })
+    .with_events(tx);
+    let db = engine.run_study(&ets, &cfg).expect("capped study");
+    let stats = engine.cache_stats();
+    assert!(stats.disk_evictions > 0, "cap must actually bite: {stats:?}");
+    assert!(engine.disk_store().unwrap().total_bytes() <= cap);
+    drop(engine);
+    let max_seen = watcher.join().expect("watcher");
+    assert!(max_seen <= cap, "run directory exceeded the cap: {max_seen} > {cap}");
+    assert!(art_bytes(&dir) <= cap);
+
+    // and the capped run still produces the exact study result
+    let serial = run_study(&ets, &cfg).expect("serial study");
+    assert_identical(&serial, &db, "serial vs capped");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two engines sharing one cache directory concurrently (two-process
+/// semantics): atomic writes mean neither can observe a torn artifact, and
+/// both produce the exact study relations.
+#[test]
+fn concurrent_engines_share_a_cache_dir_safely() {
+    let cfg = tiny_cfg();
+    let ets = [ErrorType::Inconsistencies];
+    let dir = temp_dir("shared");
+
+    let run = |dir: std::path::PathBuf| {
+        std::thread::spawn(move || {
+            let mut engine = Engine::new(EngineConfig {
+                workers: 2,
+                cache_dir: Some(dir),
+                ..Default::default()
+            });
+            engine.run_study(&[ErrorType::Inconsistencies], &cfg).expect("shared-dir study")
+        })
+    };
+    let (a, b) = (run(dir.clone()), run(dir.clone()));
+    let db_a = a.join().expect("engine a");
+    let db_b = b.join().expect("engine b");
+
+    let serial = run_study(&ets, &cfg).expect("serial study");
+    assert_identical(&serial, &db_a, "serial vs engine a");
+    assert_identical(&serial, &db_b, "serial vs engine b");
+
+    // the directory is left fully warm: a third engine re-trains nothing
+    let mut warm = Engine::new(EngineConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let (db_warm, report) = warm.run_study_with_report(&ets, &cfg).expect("warm study");
+    assert_identical(&serial, &db_warm, "serial vs warm");
+    assert_eq!(report.executed_total(), report.executed(TaskKind::Reduce));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn progress_events_cover_the_run() {
     let cfg = tiny_cfg();
     let ets = [ErrorType::Inconsistencies];
     let (tx, rx) = mpsc::channel();
-    let mut engine = Engine::new(EngineConfig { workers: 2, cache_dir: None }).with_events(tx);
+    let mut engine =
+        Engine::new(EngineConfig { workers: 2, cache_dir: None, ..Default::default() })
+            .with_events(tx);
     let (_, report) = engine.run_study_with_report(&ets, &cfg).expect("study");
 
     let events: Vec<EngineEvent> = rx.try_iter().collect();

@@ -43,7 +43,7 @@ impl AdaBoostParams {
 }
 
 /// A fitted SAMME ensemble.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaBoost {
     learners: Vec<(f64, DecisionTree)>,
     n_features: usize,
@@ -155,6 +155,38 @@ impl AdaBoost {
     /// Number of fitted weak learners (may stop early).
     pub fn n_learners(&self) -> usize {
         self.learners.len()
+    }
+}
+
+impl AdaBoost {
+    /// Appends the weighted learner ensemble to an artifact token stream.
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        use cleanml_dataset::codec::{push_f64, push_usize};
+        push_usize(out, self.n_features);
+        push_usize(out, self.n_classes);
+        push_usize(out, self.learners.len());
+        for (alpha, tree) in &self.learners {
+            push_f64(out, *alpha);
+            tree.encode_into(out);
+        }
+    }
+
+    /// Reads an ensemble written by [`AdaBoost::encode_into`].
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<AdaBoost> {
+        use cleanml_dataset::codec::{take_f64, take_usize};
+        let n_features = take_usize(parts)?;
+        let n_classes = take_usize(parts)?;
+        let n_learners = take_usize(parts)?;
+        if n_learners == 0 {
+            return None;
+        }
+        let mut learners = Vec::with_capacity(n_learners.min(1 << 16));
+        for _ in 0..n_learners {
+            let alpha = take_f64(parts)?;
+            let tree = DecisionTree::decode_from(parts)?;
+            learners.push((alpha, tree));
+        }
+        Some(AdaBoost { learners, n_features, n_classes })
     }
 }
 

@@ -1,0 +1,205 @@
+//! Lossless token codecs for every fitted model variant.
+//!
+//! The engine's artifact store persists `Train` results on disk so an
+//! interrupted study never retrains a finished model. Each
+//! [`FittedModel`] variant serializes through the whitespace-token
+//! primitives of [`cleanml_dataset::codec`]: floats as IEEE-754 bit
+//! patterns (decode is bit-identical, so a resumed run reproduces the exact
+//! predictions of the original), vectors length-prefixed (truncation
+//! decodes to `None`, never to a plausible-but-wrong model).
+//!
+//! The per-variant field codecs live next to their structs (e.g.
+//! [`crate::tree`] encodes its own node arena); this module owns the
+//! variant tag dispatch.
+
+use cleanml_dataset::codec::{push_f64, push_usize, take_f64, take_usize, Tokens};
+
+use crate::adaboost::AdaBoost;
+use crate::forest::RandomForest;
+use crate::gbdt::Gbdt;
+use crate::knn::Knn;
+use crate::logistic::Logistic;
+use crate::mlp::Mlp;
+use crate::model::FittedModel;
+use crate::nacl::Nacl;
+use crate::naive_bayes::GaussianNb;
+use crate::tree::DecisionTree;
+
+/// Appends a length-prefixed `f64` slice.
+pub(crate) fn push_f64_vec(out: &mut String, v: &[f64]) {
+    push_usize(out, v.len());
+    for &x in v {
+        push_f64(out, x);
+    }
+}
+
+/// Reads a slice written by [`push_f64_vec`].
+pub(crate) fn take_f64_vec(parts: &mut Tokens<'_>) -> Option<Vec<f64>> {
+    let n = take_usize(parts)?;
+    let mut v = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        v.push(take_f64(parts)?);
+    }
+    Some(v)
+}
+
+/// Appends a fitted model (variant tag + fields) to the token stream.
+pub fn encode_model_into(out: &mut String, model: &FittedModel) {
+    match model {
+        FittedModel::Constant { class, n_classes } => {
+            out.push_str(" const");
+            push_usize(out, *class);
+            push_usize(out, *n_classes);
+        }
+        FittedModel::Logistic(m) => {
+            out.push_str(" logit");
+            m.encode_into(out);
+        }
+        FittedModel::Knn(m) => {
+            out.push_str(" knn");
+            m.encode_into(out);
+        }
+        FittedModel::Tree(m) => {
+            out.push_str(" tree");
+            m.encode_into(out);
+        }
+        FittedModel::Forest(m) => {
+            out.push_str(" forest");
+            m.encode_into(out);
+        }
+        FittedModel::AdaBoost(m) => {
+            out.push_str(" ada");
+            m.encode_into(out);
+        }
+        FittedModel::Gbdt(m) => {
+            out.push_str(" gbdt");
+            m.encode_into(out);
+        }
+        FittedModel::NaiveBayes(m) => {
+            out.push_str(" nb");
+            m.encode_into(out);
+        }
+        FittedModel::Mlp(m) => {
+            out.push_str(" mlp");
+            m.encode_into(out);
+        }
+        FittedModel::Nacl(m) => {
+            out.push_str(" nacl");
+            m.encode_into(out);
+        }
+    }
+}
+
+/// Reads a model written by [`encode_model_into`]; `None` on an unknown tag
+/// or any malformed field.
+pub fn decode_model_from(parts: &mut Tokens<'_>) -> Option<FittedModel> {
+    Some(match parts.next()? {
+        "const" => {
+            let class = take_usize(parts)?;
+            let n_classes = take_usize(parts)?;
+            if class >= n_classes.max(1) {
+                return None;
+            }
+            FittedModel::Constant { class, n_classes }
+        }
+        "logit" => FittedModel::Logistic(Logistic::decode_from(parts)?),
+        "knn" => FittedModel::Knn(Knn::decode_from(parts)?),
+        "tree" => FittedModel::Tree(DecisionTree::decode_from(parts)?),
+        "forest" => FittedModel::Forest(RandomForest::decode_from(parts)?),
+        "ada" => FittedModel::AdaBoost(AdaBoost::decode_from(parts)?),
+        "gbdt" => FittedModel::Gbdt(Gbdt::decode_from(parts)?),
+        "nb" => FittedModel::NaiveBayes(GaussianNb::decode_from(parts)?),
+        "mlp" => FittedModel::Mlp(Mlp::decode_from(parts)?),
+        "nacl" => FittedModel::Nacl(Nacl::decode_from(parts)?),
+        _ => return None,
+    })
+}
+
+/// Serializes a fitted model to one self-contained string.
+pub fn encode_model(model: &FittedModel) -> String {
+    let mut out = String::new();
+    encode_model_into(&mut out, model);
+    out
+}
+
+/// Parses a string produced by [`encode_model`].
+pub fn decode_model(text: &str) -> Option<FittedModel> {
+    let mut parts = text.split_whitespace();
+    let model = decode_model_from(&mut parts)?;
+    parts.next().is_none().then_some(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelKind, ModelSpec, PAPER_MODELS};
+    use cleanml_dataset::FeatureMatrix;
+
+    fn blobs(n: usize) -> FeatureMatrix {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let base = if c == 0 { -2.0 } else { 2.0 };
+            let noise = ((i * 31 % 67) as f64 / 67.0 - 0.5) * 0.8;
+            data.push(base + noise);
+            data.push(base - noise);
+            labels.push(c);
+        }
+        FeatureMatrix::from_parts(data, n, 2, labels, 2)
+    }
+
+    #[test]
+    fn every_variant_round_trips_bit_exactly() {
+        let data = blobs(60);
+        let mut kinds: Vec<ModelKind> = PAPER_MODELS.to_vec();
+        kinds.extend([ModelKind::Mlp, ModelKind::Nacl]);
+        for kind in kinds {
+            let model = ModelSpec::default_for(kind).fit(&data, 7).unwrap();
+            let text = encode_model(&model);
+            let back = decode_model(&text)
+                .unwrap_or_else(|| panic!("{kind}: decode failed for {text:.60}…"));
+            assert_eq!(back, model, "{kind}");
+            // decoded model predicts identically
+            assert_eq!(back.predict(&data).unwrap(), model.predict(&data).unwrap(), "{kind}");
+            assert_eq!(
+                back.predict_proba(&data).unwrap(),
+                model.predict_proba(&data).unwrap(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_round_trips() {
+        let m = FittedModel::Constant { class: 1, n_classes: 3 };
+        assert_eq!(decode_model(&encode_model(&m)), Some(m));
+        assert!(decode_model("const 5 2").is_none(), "class out of range");
+    }
+
+    #[test]
+    fn malformed_streams_rejected() {
+        assert!(decode_model("").is_none());
+        assert!(decode_model("alien 1 2").is_none());
+        assert!(decode_model("logit 2").is_none(), "truncated");
+        let data = blobs(20);
+        let model = ModelSpec::default_for(ModelKind::DecisionTree).fit(&data, 1).unwrap();
+        let text = encode_model(&model);
+        assert!(decode_model(&format!("{text} extra")).is_none(), "trailing tokens");
+        let cut = &text[..text.len() - 18];
+        assert!(decode_model(cut).is_none(), "truncated tree");
+    }
+
+    #[test]
+    fn cyclic_tree_arenas_rejected() {
+        // A token-valid but cyclic arena (node 1 pointing back at node 0)
+        // must decode to None — accepting it would hang prediction.
+        let zeros = format!(" 2 {0} {0}", "0000000000000000");
+        let cycle =
+            format!("tree 2 2 3 S 0 3ff0000000000000 1 2 S 1 3ff0000000000000 0 2 L{zeros}");
+        assert!(decode_model(&cycle).is_none(), "back-edge split accepted");
+        // self-loop at the root
+        let self_loop = format!("tree 2 2 2 S 0 3ff0000000000000 0 1 L{zeros}");
+        assert!(decode_model(&self_loop).is_none(), "self-loop accepted");
+    }
+}

@@ -41,7 +41,7 @@ impl ForestParams {
 }
 
 /// A fitted random forest.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
     n_features: usize,
@@ -110,6 +110,37 @@ impl RandomForest {
     /// Number of trees (diagnostics).
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+}
+
+impl RandomForest {
+    /// Appends every member tree to an artifact token stream.
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        use cleanml_dataset::codec::push_usize;
+        push_usize(out, self.n_features);
+        push_usize(out, self.n_classes);
+        push_usize(out, self.trees.len());
+        for tree in &self.trees {
+            tree.encode_into(out);
+        }
+    }
+
+    /// Reads a forest written by [`RandomForest::encode_into`].
+    pub(crate) fn decode_from(
+        parts: &mut cleanml_dataset::codec::Tokens<'_>,
+    ) -> Option<RandomForest> {
+        use cleanml_dataset::codec::take_usize;
+        let n_features = take_usize(parts)?;
+        let n_classes = take_usize(parts)?;
+        let n_trees = take_usize(parts)?;
+        if n_trees == 0 {
+            return None;
+        }
+        let mut trees = Vec::with_capacity(n_trees.min(1 << 16));
+        for _ in 0..n_trees {
+            trees.push(DecisionTree::decode_from(parts)?);
+        }
+        Some(RandomForest { trees, n_features, n_classes })
     }
 }
 

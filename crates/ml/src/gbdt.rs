@@ -76,14 +76,14 @@ impl GbdtParams {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum RNode {
     Leaf(f64),
     Split { feature: usize, threshold: f64, left: usize, right: usize },
 }
 
 /// One regression tree over gradient statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct RegTree {
     nodes: Vec<RNode>,
 }
@@ -103,7 +103,7 @@ impl RegTree {
 }
 
 /// A fitted gradient-boosted ensemble.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Gbdt {
     /// `rounds × classes` trees.
     trees: Vec<Vec<RegTree>>,
@@ -274,6 +274,103 @@ fn build_reg_node(
     let right = build_reg_node(ctx, nodes, right_rows, depth + 1);
     nodes[idx] = RNode::Split { feature, threshold, left, right };
     idx
+}
+
+impl RegTree {
+    fn encode_into(&self, out: &mut String) {
+        use cleanml_dataset::codec::{push_f64, push_usize};
+        push_usize(out, self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                RNode::Leaf(w) => {
+                    out.push_str(" L");
+                    push_f64(out, *w);
+                }
+                RNode::Split { feature, threshold, left, right } => {
+                    out.push_str(" S");
+                    push_usize(out, *feature);
+                    push_f64(out, *threshold);
+                    push_usize(out, *left);
+                    push_usize(out, *right);
+                }
+            }
+        }
+    }
+
+    fn decode_from(
+        parts: &mut cleanml_dataset::codec::Tokens<'_>,
+        n_features: usize,
+    ) -> Option<RegTree> {
+        use cleanml_dataset::codec::{take_f64, take_usize};
+        let n_nodes = take_usize(parts)?;
+        let mut nodes = Vec::with_capacity(n_nodes.min(1 << 20));
+        for i in 0..n_nodes {
+            let node = match parts.next()? {
+                "L" => RNode::Leaf(take_f64(parts)?),
+                "S" => {
+                    let feature = take_usize(parts)?;
+                    let threshold = take_f64(parts)?;
+                    let left = take_usize(parts)?;
+                    let right = take_usize(parts)?;
+                    // forward-only children: no out-of-bounds, no cycles
+                    if feature >= n_features
+                        || left <= i
+                        || right <= i
+                        || left >= n_nodes
+                        || right >= n_nodes
+                    {
+                        return None;
+                    }
+                    RNode::Split { feature, threshold, left, right }
+                }
+                _ => return None,
+            };
+            nodes.push(node);
+        }
+        if nodes.is_empty() {
+            return None;
+        }
+        Some(RegTree { nodes })
+    }
+}
+
+impl Gbdt {
+    /// Appends the boosted ensemble to an artifact token stream.
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        use cleanml_dataset::codec::{push_f64, push_usize};
+        push_usize(out, self.n_features);
+        push_usize(out, self.n_classes);
+        push_f64(out, self.eta);
+        push_usize(out, self.trees.len());
+        for round in &self.trees {
+            push_usize(out, round.len());
+            for tree in round {
+                tree.encode_into(out);
+            }
+        }
+    }
+
+    /// Reads an ensemble written by [`Gbdt::encode_into`].
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Gbdt> {
+        use cleanml_dataset::codec::{take_f64, take_usize};
+        let n_features = take_usize(parts)?;
+        let n_classes = take_usize(parts)?;
+        let eta = take_f64(parts)?;
+        let n_rounds = take_usize(parts)?;
+        let mut trees = Vec::with_capacity(n_rounds.min(1 << 16));
+        for _ in 0..n_rounds {
+            let width = take_usize(parts)?;
+            if width != n_classes {
+                return None;
+            }
+            let mut round = Vec::with_capacity(width);
+            for _ in 0..width {
+                round.push(RegTree::decode_from(parts, n_features)?);
+            }
+            trees.push(round);
+        }
+        Some(Gbdt { trees, eta, n_features, n_classes })
+    }
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ impl KnnParams {
 }
 
 /// A fitted (memorized) KNN model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Knn {
     train: FeatureMatrix,
     k: usize,
@@ -99,6 +99,22 @@ impl Knn {
     /// Effective k (clamped to the training size).
     pub fn k(&self) -> usize {
         self.k
+    }
+}
+
+impl Knn {
+    /// Appends the memorized training matrix and `k` to an artifact token
+    /// stream.
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        cleanml_dataset::codec::push_usize(out, self.k);
+        self.train.encode_into(out);
+    }
+
+    /// Reads a model written by [`Knn::encode_into`].
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Knn> {
+        let k = cleanml_dataset::codec::take_usize(parts)?;
+        let train = FeatureMatrix::decode_from(parts)?;
+        (k >= 1 && k <= train.n_rows()).then_some(Knn { train, k })
     }
 }
 

@@ -28,6 +28,7 @@
 //! paper's R2 relation).
 
 pub mod adaboost;
+pub mod codec;
 pub mod cv;
 pub mod error;
 pub mod forest;
@@ -42,6 +43,7 @@ pub mod naive_bayes;
 pub mod selection;
 pub mod tree;
 
+pub use codec::{decode_model, encode_model};
 pub use error::MlError;
 pub use metrics::{accuracy, confusion_matrix, f1_binary, macro_f1, Metric};
 pub use model::{FittedModel, ModelKind, ModelSpec, PAPER_MODELS};

@@ -51,7 +51,7 @@ impl LogisticParams {
 }
 
 /// A fitted softmax regression model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Logistic {
     /// `n_classes × n_features` weight matrix, row-major by class.
     weights: Vec<f64>,
@@ -177,6 +177,28 @@ pub(crate) fn argmax_rows(probs: &[f64], k: usize) -> Vec<usize> {
                 .expect("k > 0")
         })
         .collect()
+}
+
+impl Logistic {
+    /// Appends the fitted weights to an artifact token stream.
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        use cleanml_dataset::codec::push_usize;
+        push_usize(out, self.n_features);
+        push_usize(out, self.n_classes);
+        crate::codec::push_f64_vec(out, &self.weights);
+        crate::codec::push_f64_vec(out, &self.bias);
+    }
+
+    /// Reads a model written by [`Logistic::encode_into`].
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Logistic> {
+        use cleanml_dataset::codec::take_usize;
+        let n_features = take_usize(parts)?;
+        let n_classes = take_usize(parts)?;
+        let weights = crate::codec::take_f64_vec(parts)?;
+        let bias = crate::codec::take_f64_vec(parts)?;
+        (weights.len() == n_classes.checked_mul(n_features)? && bias.len() == n_classes)
+            .then_some(Logistic { weights, bias, n_features, n_classes })
+    }
 }
 
 #[cfg(test)]

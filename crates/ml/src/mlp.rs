@@ -71,7 +71,7 @@ impl MlpParams {
 }
 
 /// Dense layer parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Layer {
     /// `out × in` weights.
     w: Vec<f64>,
@@ -98,7 +98,7 @@ impl Layer {
 }
 
 /// A fitted MLP.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     l1: Layer,
     l2: Layer,
@@ -261,6 +261,57 @@ impl Mlp {
     pub fn predict(&self, data: &FeatureMatrix) -> Result<Vec<usize>> {
         let probs = self.predict_proba(data)?;
         Ok(crate::logistic::argmax_rows(&probs, self.n_classes))
+    }
+}
+
+impl Layer {
+    fn encode_into(&self, out: &mut String) {
+        use cleanml_dataset::codec::push_usize;
+        push_usize(out, self.n_in);
+        push_usize(out, self.n_out);
+        crate::codec::push_f64_vec(out, &self.w);
+        crate::codec::push_f64_vec(out, &self.b);
+    }
+
+    fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Layer> {
+        use cleanml_dataset::codec::take_usize;
+        let n_in = take_usize(parts)?;
+        let n_out = take_usize(parts)?;
+        let w = crate::codec::take_f64_vec(parts)?;
+        let b = crate::codec::take_f64_vec(parts)?;
+        (w.len() == n_in.checked_mul(n_out)? && b.len() == n_out).then_some(Layer {
+            w,
+            b,
+            n_in,
+            n_out,
+        })
+    }
+}
+
+impl Mlp {
+    /// Appends the three dense layers to an artifact token stream.
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        use cleanml_dataset::codec::push_usize;
+        push_usize(out, self.n_features);
+        push_usize(out, self.n_classes);
+        self.l1.encode_into(out);
+        self.l2.encode_into(out);
+        self.l3.encode_into(out);
+    }
+
+    /// Reads a network written by [`Mlp::encode_into`].
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Mlp> {
+        use cleanml_dataset::codec::take_usize;
+        let n_features = take_usize(parts)?;
+        let n_classes = take_usize(parts)?;
+        let l1 = Layer::decode_from(parts)?;
+        let l2 = Layer::decode_from(parts)?;
+        let l3 = Layer::decode_from(parts)?;
+        (l1.n_in == n_features
+            && l2.n_in == l1.n_out
+            && l3.n_in == l2.n_out
+            && l3.n_out == n_classes)
+            .then_some(Mlp { l1, l2, l3, n_features, n_classes })
     }
 }
 

@@ -159,7 +159,7 @@ impl ModelSpec {
 }
 
 /// A trained model ready to predict.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FittedModel {
     /// Fallback for single-class training data.
     Constant {

@@ -72,7 +72,7 @@ impl NaclParams {
 }
 
 /// A fitted dropout-robust logistic regression.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Nacl {
     weights: Vec<f64>,
     bias: Vec<f64>,
@@ -174,6 +174,28 @@ impl Nacl {
     pub fn predict(&self, data: &FeatureMatrix) -> Result<Vec<usize>> {
         let probs = self.predict_proba(data)?;
         Ok(argmax_rows(&probs, self.n_classes))
+    }
+}
+
+impl Nacl {
+    /// Appends the fitted weights to an artifact token stream.
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        use cleanml_dataset::codec::push_usize;
+        push_usize(out, self.n_features);
+        push_usize(out, self.n_classes);
+        crate::codec::push_f64_vec(out, &self.weights);
+        crate::codec::push_f64_vec(out, &self.bias);
+    }
+
+    /// Reads a model written by [`Nacl::encode_into`].
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Nacl> {
+        use cleanml_dataset::codec::take_usize;
+        let n_features = take_usize(parts)?;
+        let n_classes = take_usize(parts)?;
+        let weights = crate::codec::take_f64_vec(parts)?;
+        let bias = crate::codec::take_f64_vec(parts)?;
+        (weights.len() == n_classes.checked_mul(n_features)? && bias.len() == n_classes)
+            .then_some(Nacl { weights, bias, n_features, n_classes })
     }
 }
 

@@ -34,7 +34,7 @@ impl NbParams {
 }
 
 /// A fitted Gaussian Naive Bayes model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GaussianNb {
     /// `k × d` means.
     means: Vec<f64>,
@@ -145,6 +145,33 @@ impl GaussianNb {
     pub fn predict(&self, data: &FeatureMatrix) -> Result<Vec<usize>> {
         let probs = self.predict_proba(data)?;
         Ok(crate::logistic::argmax_rows(&probs, self.n_classes))
+    }
+}
+
+impl GaussianNb {
+    /// Appends the per-class Gaussians to an artifact token stream.
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        use cleanml_dataset::codec::push_usize;
+        push_usize(out, self.n_features);
+        push_usize(out, self.n_classes);
+        crate::codec::push_f64_vec(out, &self.means);
+        crate::codec::push_f64_vec(out, &self.vars);
+        crate::codec::push_f64_vec(out, &self.log_priors);
+    }
+
+    /// Reads a model written by [`GaussianNb::encode_into`].
+    pub(crate) fn decode_from(
+        parts: &mut cleanml_dataset::codec::Tokens<'_>,
+    ) -> Option<GaussianNb> {
+        use cleanml_dataset::codec::take_usize;
+        let n_features = take_usize(parts)?;
+        let n_classes = take_usize(parts)?;
+        let means = crate::codec::take_f64_vec(parts)?;
+        let vars = crate::codec::take_f64_vec(parts)?;
+        let log_priors = crate::codec::take_f64_vec(parts)?;
+        let cells = n_classes.checked_mul(n_features)?;
+        (means.len() == cells && vars.len() == cells && log_priors.len() == n_classes)
+            .then_some(GaussianNb { means, vars, log_priors, n_features, n_classes })
     }
 }
 

@@ -62,7 +62,7 @@ impl TreeParams {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         /// Class probability distribution at the leaf (weighted).
@@ -78,7 +78,7 @@ enum Node {
 }
 
 /// A fitted CART classifier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
     nodes: Vec<Node>,
     n_features: usize,
@@ -314,6 +314,78 @@ fn find_best_split(
         }
     }
     best
+}
+
+impl DecisionTree {
+    /// Appends the node arena to an artifact token stream.
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        use cleanml_dataset::codec::{push_f64, push_usize};
+        push_usize(out, self.n_features);
+        push_usize(out, self.n_classes);
+        push_usize(out, self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { dist } => {
+                    out.push_str(" L");
+                    crate::codec::push_f64_vec(out, dist);
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    out.push_str(" S");
+                    push_usize(out, *feature);
+                    push_f64(out, *threshold);
+                    push_usize(out, *left);
+                    push_usize(out, *right);
+                }
+            }
+        }
+    }
+
+    /// Reads a tree written by [`DecisionTree::encode_into`].
+    pub(crate) fn decode_from(
+        parts: &mut cleanml_dataset::codec::Tokens<'_>,
+    ) -> Option<DecisionTree> {
+        use cleanml_dataset::codec::{take_f64, take_usize};
+        let n_features = take_usize(parts)?;
+        let n_classes = take_usize(parts)?;
+        let n_nodes = take_usize(parts)?;
+        let mut nodes = Vec::with_capacity(n_nodes.min(1 << 20));
+        for i in 0..n_nodes {
+            let node = match parts.next()? {
+                "L" => {
+                    let dist = crate::codec::take_f64_vec(parts)?;
+                    if dist.len() != n_classes {
+                        return None;
+                    }
+                    Node::Leaf { dist }
+                }
+                "S" => {
+                    let feature = take_usize(parts)?;
+                    let threshold = take_f64(parts)?;
+                    let left = take_usize(parts)?;
+                    let right = take_usize(parts)?;
+                    // Children must point strictly forward in the arena
+                    // (the builder reserves the parent slot before pushing
+                    // children), so a corrupt entry can neither walk out
+                    // of bounds nor form a cycle that hangs prediction.
+                    if feature >= n_features
+                        || left <= i
+                        || right <= i
+                        || left >= n_nodes
+                        || right >= n_nodes
+                    {
+                        return None;
+                    }
+                    Node::Split { feature, threshold, left, right }
+                }
+                _ => return None,
+            };
+            nodes.push(node);
+        }
+        if nodes.is_empty() {
+            return None;
+        }
+        Some(DecisionTree { nodes, n_features, n_classes })
+    }
 }
 
 #[cfg(test)]
