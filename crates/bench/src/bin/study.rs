@@ -6,7 +6,7 @@
 //! ```sh
 //! cargo run --release -p cleanml-bench --bin study -- \
 //!     [--quick|--paper] [--workers N] [--cache-dir DIR] \
-//!     [--cache-max-bytes N[k|m|g]] [out_dir]
+//!     [--cache-max-bytes N[k|m|g]] [--cache-stats] [out_dir]
 //! ```
 //!
 //! With `--cache-dir`, a repeated or resumed invocation — including one

@@ -24,13 +24,15 @@
 //!   run against a warm cache skips all finished cleaning and training.
 //! * `--cache-max-bytes N[k|m|g]` — byte budget for the cache directory;
 //!   least-recently-used artifacts are evicted to stay under it.
+//! * `--cache-stats` — print an end-of-run cache summary line (memory/disk
+//!   hits, misses, writes, evictions, store size).
 
 use std::sync::mpsc;
 
 use cleanml_core::database::FlagDist;
 use cleanml_core::schema::ErrorType;
 use cleanml_core::{CleanMlDb, ExperimentConfig};
-use cleanml_engine::{parallel_map, Engine, EngineConfig, EngineEvent};
+use cleanml_engine::{parallel_map, CacheStats, Engine, EngineConfig, EngineEvent};
 use cleanml_stats::Flag;
 
 /// Parses the common CLI profile flags.
@@ -140,12 +142,11 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
     let started = std::time::Instant::now();
     let (db, report) = engine.run_study_with_report(error_types, cfg).expect("engine study run");
     let stats = engine.cache_stats();
-    let store_line = engine.disk_store().map(|s| {
+    let store_totals = engine.disk_store().map(|s| (s.total_bytes(), s.len()));
+    let store_line = store_totals.map(|(bytes, _)| {
         format!(
             "; store: {} writes, {} evicted, {} B",
-            stats.disk_writes,
-            stats.disk_evictions,
-            s.total_bytes()
+            stats.disk_writes, stats.disk_evictions, bytes
         )
     });
     drop(engine); // closes the event channel
@@ -161,7 +162,27 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
         report.pruned,
         store_line.unwrap_or_default(),
     );
+    if std::env::args().any(|a| a == "--cache-stats") {
+        println!("{}", cache_stats_line(&stats, store_totals));
+    }
     db
+}
+
+/// Renders the end-of-run `--cache-stats` summary: layer-by-layer counters
+/// plus the persistent store's size, in a stable greppable format.
+pub fn cache_stats_line(stats: &CacheStats, store_totals: Option<(u64, usize)>) -> String {
+    let (store_bytes, store_entries) = store_totals.unwrap_or((0, 0));
+    format!(
+        "[cache-stats] memory_hits={} disk_hits={} misses={} disk_writes={} \
+         disk_evictions={} store_entries={} store_bytes={}",
+        stats.memory_hits,
+        stats.disk_hits,
+        stats.misses,
+        stats.disk_writes,
+        stats.disk_evictions,
+        store_entries,
+        store_bytes,
+    )
 }
 
 /// Fans the per-dataset jobs of grouped comparisons (Tables 17/19) out on
@@ -265,6 +286,24 @@ mod tests {
         assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
         assert_eq!(csv_escape("cr\rhere"), "\"cr\rhere\"");
         assert_eq!(csv_escape(""), "");
+    }
+
+    #[test]
+    fn cache_stats_line_is_stable_and_greppable() {
+        let stats = CacheStats {
+            memory_hits: 1,
+            disk_hits: 2,
+            misses: 3,
+            disk_writes: 4,
+            disk_evictions: 5,
+        };
+        assert_eq!(
+            cache_stats_line(&stats, Some((1024, 7))),
+            "[cache-stats] memory_hits=1 disk_hits=2 misses=3 disk_writes=4 \
+             disk_evictions=5 store_entries=7 store_bytes=1024"
+        );
+        // no persistent layer: store fields read as zero, line shape stable
+        assert!(cache_stats_line(&stats, None).ends_with("store_entries=0 store_bytes=0"));
     }
 
     #[test]

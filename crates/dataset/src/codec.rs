@@ -1,129 +1,319 @@
-//! Exact, whitespace-token serial forms for the data-plane types.
+//! Binary wire format for the data-plane artifacts.
 //!
 //! The engine's artifact store (`cleanml-engine`) persists cleaned tables,
-//! encoders and feature matrices on disk so an interrupted study resumes
-//! without redoing finished work. These codecs provide the *lossless* text
-//! form those artifacts are stored in:
+//! encoders, feature matrices and trained models on disk so an interrupted
+//! study resumes without redoing finished work, and the planned distributed
+//! executor ships the same artifacts across sockets. This module is the
+//! *wire layer* those serial forms are built from:
 //!
-//! * floats are written as their IEEE-754 bit patterns (16 hex digits), so
-//!   a decoded value is bit-identical to the original — a warm run
+//! * integers are LEB128 varints ([`push_u64`]/[`take_u64`]), so the
+//!   ubiquitous small counts and ids cost one byte instead of a decimal
+//!   token plus separator;
+//! * floats are the 8 little-endian bytes of their IEEE-754 bit pattern —
+//!   a decoded value is bit-identical to the original, so a warm run
 //!   reproduces byte-identical result relations;
-//! * strings are written as `s`-prefixed byte-hex tokens, so arbitrary
-//!   content (whitespace, newlines, quotes, the empty string) survives the
-//!   whitespace-token framing;
-//! * every compound value is length-prefixed, so a truncated or corrupt
-//!   entry decodes to `None` instead of a mangled artifact.
+//! * strings are length-prefixed raw bytes, so arbitrary content
+//!   (whitespace, newlines, quotes, the empty string) needs no escaping;
+//! * every compound value is length- or count-prefixed and every decoder
+//!   bounds its allocations by the bytes actually present, so a truncated
+//!   or corrupt entry decodes to `None` instead of a mangled artifact or
+//!   an abort-by-allocation.
 //!
-//! The token stream is a plain [`str::split_whitespace`] iterator; codecs
-//! compose by appending to / consuming from the same stream, which is how
-//! [`crate::encode::Encoder`] and the `cleanml-ml` model codecs nest inside
-//! the engine's artifact envelope.
+//! Codecs compose by appending to the same `Vec<u8>` / consuming from the
+//! same [`Reader`], which is how [`crate::encode::Encoder`] and the
+//! `cleanml-ml` model codecs nest inside the engine's artifact envelope.
+//!
+//! # The artifact frame
+//!
+//! A *stored* artifact (a file in the run directory, or a payload on a
+//! socket) is wrapped in a fixed 22-byte frame header:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "CMAF"
+//!      4     2  format version (little-endian u16, currently 2)
+//!      6     8  payload length (little-endian u64)
+//!     14     8  FNV-1a 64 checksum of the payload (little-endian u64)
+//!     22     …  payload
+//! ```
+//!
+//! [`open_frame`] validates all four fields before a decoder sees a single
+//! payload byte: truncated, corrupt, legacy-version or foreign files fail
+//! closed at the frame boundary instead of deep inside a codec.
 
 use crate::schema::{ColumnKind, ColumnRole, FieldMeta, Schema};
 use crate::table::Table;
 
-/// The token stream all codecs read from.
-pub type Tokens<'a> = std::str::SplitWhitespace<'a>;
-
-/// Appends an `f64` as its 16-hex-digit IEEE-754 bit pattern.
-pub fn push_f64(out: &mut String, x: f64) {
-    out.push(' ');
-    out.push_str(&format!("{:016x}", x.to_bits()));
+/// Sequential cursor over an encoded byte buffer. All `take_*` primitives
+/// read from it; a `None` from any of them means the buffer is truncated or
+/// corrupt at the current position.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
 }
 
-/// Reads an `f64` written by [`push_f64`]. The token must be exactly 16 hex
-/// digits — a truncated tail would otherwise still parse, silently altering
-/// the value.
-pub fn take_f64(parts: &mut Tokens<'_>) -> Option<f64> {
-    let tok = parts.next()?;
-    if tok.len() != 16 {
-        return None;
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
     }
-    u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` once every byte has been consumed — decoders use this to
+    /// reject trailing garbage.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn byte(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if n > self.remaining() {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
 }
 
-/// Appends a `usize` in decimal.
-pub fn push_usize(out: &mut String, x: usize) {
-    out.push(' ');
-    out.push_str(&x.to_string());
+/// Appends a `u64` as a LEB128 varint (7 value bits per byte, continuation
+/// in the high bit; ≤ 10 bytes).
+pub fn push_u64(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint written by [`push_u64`]. Rejects encodings longer than
+/// 10 bytes and 10th bytes that overflow 64 bits, so a corrupt stream can
+/// neither loop nor wrap silently.
+pub fn take_u64(r: &mut Reader<'_>) -> Option<u64> {
+    let mut x: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let byte = r.byte()?;
+        let bits = (byte & 0x7f) as u64;
+        // the 10th byte (shift 63) may only contribute the final bit
+        if shift == 63 && bits > 1 {
+            return None;
+        }
+        x |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Some(x);
+        }
+    }
+    None
+}
+
+/// Appends a `usize` as a varint.
+pub fn push_usize(out: &mut Vec<u8>, x: usize) {
+    push_u64(out, x as u64);
 }
 
 /// Reads a `usize` written by [`push_usize`].
-pub fn take_usize(parts: &mut Tokens<'_>) -> Option<usize> {
-    parts.next()?.parse().ok()
+pub fn take_usize(r: &mut Reader<'_>) -> Option<usize> {
+    usize::try_from(take_u64(r)?).ok()
 }
 
-/// Appends a string as one `s`-prefixed byte-hex token (`""` → `s`).
-pub fn push_str(out: &mut String, s: &str) {
-    const HEX: &[u8; 16] = b"0123456789abcdef";
-    out.push(' ');
-    out.push('s');
-    for b in s.bytes() {
-        out.push(HEX[(b >> 4) as usize] as char);
-        out.push(HEX[(b & 15) as usize] as char);
+/// Appends an `f64` as the 8 little-endian bytes of its bit pattern.
+pub fn push_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_bits().to_le_bytes());
+}
+
+/// Reads an `f64` written by [`push_f64`]; bit-identical round trip.
+pub fn take_f64(r: &mut Reader<'_>) -> Option<f64> {
+    let bytes: [u8; 8] = r.take(8)?.try_into().ok()?;
+    Some(f64::from_bits(u64::from_le_bytes(bytes)))
+}
+
+const BITS_ZERO: u64 = 0.0f64.to_bits();
+const BITS_ONE: u64 = 1.0f64.to_bits();
+
+/// Appends an `f64` in the compact form used for bulk numeric payloads
+/// (feature-matrix cells, table columns, model weight vectors): the
+/// overwhelmingly common exact `0.0` and `1.0` — one-hot cells, class
+/// indicators, absent probabilities — cost one byte; every other bit
+/// pattern (including `-0.0` and NaNs, kept bit-exact) costs nine.
+pub fn push_f64_compact(out: &mut Vec<u8>, x: f64) {
+    match x.to_bits() {
+        BITS_ZERO => out.push(0),
+        BITS_ONE => out.push(1),
+        bits => {
+            out.push(0xff);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
     }
 }
 
-/// Reads a string written by [`push_str`].
-pub fn take_str(parts: &mut Tokens<'_>) -> Option<String> {
-    let raw = parts.next()?.strip_prefix('s')?.as_bytes();
-    if !raw.len().is_multiple_of(2) {
+/// Reads an `f64` written by [`push_f64_compact`]; bit-identical round
+/// trip.
+pub fn take_f64_compact(r: &mut Reader<'_>) -> Option<f64> {
+    match r.byte()? {
+        0 => Some(0.0),
+        1 => Some(1.0),
+        0xff => take_f64(r),
+        _ => None,
+    }
+}
+
+/// Appends a length-prefixed byte string.
+pub fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    push_usize(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a byte string written by [`push_bytes`]. The declared length is
+/// checked against the bytes actually present *before* anything is sliced
+/// or allocated, so an oversized length token is a clean `None`, never an
+/// attempted huge allocation.
+pub fn take_bytes<'a>(r: &mut Reader<'a>) -> Option<&'a [u8]> {
+    let len = take_usize(r)?;
+    r.take(len)
+}
+
+/// Appends a string as length-prefixed UTF-8 bytes.
+pub fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_bytes(out, s.as_bytes());
+}
+
+/// Reads a string written by [`push_str`]; non-UTF-8 content is rejected.
+pub fn take_str(r: &mut Reader<'_>) -> Option<String> {
+    String::from_utf8(take_bytes(r)?.to_vec()).ok()
+}
+
+/// Appends a one-byte tag (variant discriminants, presence markers).
+pub fn push_tag(out: &mut Vec<u8>, tag: u8) {
+    out.push(tag);
+}
+
+/// Reads a tag byte.
+pub fn take_tag(r: &mut Reader<'_>) -> Option<u8> {
+    r.byte()
+}
+
+/// Expects the exact byte `tag` next in the stream.
+pub fn expect(r: &mut Reader<'_>, tag: u8) -> Option<()> {
+    (r.byte()? == tag).then_some(())
+}
+
+// ---------------------------------------------------------------------------
+// The artifact frame
+// ---------------------------------------------------------------------------
+
+/// Frame magic: the first four bytes of every stored artifact.
+pub const FRAME_MAGIC: [u8; 4] = *b"CMAF";
+
+/// Current artifact format version. Bump on any incompatible payload
+/// change; [`open_frame`] rejects every other version, which the store
+/// treats as a cache miss (the entry is GC'd and recomputed).
+pub const FORMAT_VERSION: u16 = 2;
+
+/// Fixed frame header size: magic + version + payload length + checksum.
+pub const FRAME_HEADER_LEN: usize = 22;
+
+/// 64-bit FNV-1a over a byte slice. The absorb step `h = (h ^ b) * prime`
+/// is injective in `h` for fixed `b`, so corruption confined to a single
+/// byte of an equal-length payload is *always* detected (the diverged
+/// states can never reconverge over an identical suffix) — in particular
+/// every single-bit flip. Corruption spanning multiple bytes is caught
+/// probabilistically (missed with chance ~2⁻⁶⁴), as for any 64-bit digest.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps a payload in the versioned, checksummed artifact frame.
+pub fn seal_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a framed artifact and returns its payload. `None` if the
+/// magic or version is wrong (legacy or foreign file), the declared length
+/// does not match the bytes present *exactly* (truncation or trailing
+/// junk), or the checksum fails (corruption).
+pub fn open_frame(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < FRAME_HEADER_LEN || bytes[..4] != FRAME_MAGIC {
         return None;
     }
-    let bytes: Option<Vec<u8>> = raw
-        .chunks(2)
-        .map(|pair| {
-            let hi = (pair[0] as char).to_digit(16)?;
-            let lo = (pair[1] as char).to_digit(16)?;
-            Some((hi * 16 + lo) as u8)
-        })
-        .collect();
-    String::from_utf8(bytes?).ok()
+    let version = u16::from_le_bytes(bytes[4..6].try_into().ok()?);
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let len = u64::from_le_bytes(bytes[6..14].try_into().ok()?);
+    let payload = &bytes[FRAME_HEADER_LEN..];
+    if len != payload.len() as u64 {
+        return None;
+    }
+    let checksum = u64::from_le_bytes(bytes[14..22].try_into().ok()?);
+    (fnv1a64(payload) == checksum).then_some(payload)
 }
 
-/// Expects the literal token `tag` next in the stream.
-pub fn expect(parts: &mut Tokens<'_>, tag: &str) -> Option<()> {
-    (parts.next()? == tag).then_some(())
-}
+// ---------------------------------------------------------------------------
+// Table codec
+// ---------------------------------------------------------------------------
 
-fn kind_tag(kind: ColumnKind) -> &'static str {
+fn kind_tag(kind: ColumnKind) -> u8 {
     match kind {
-        ColumnKind::Numeric => "n",
-        ColumnKind::Categorical => "c",
+        ColumnKind::Numeric => b'n',
+        ColumnKind::Categorical => b'c',
     }
 }
 
-fn kind_of(tag: &str) -> Option<ColumnKind> {
+fn kind_of(tag: u8) -> Option<ColumnKind> {
     match tag {
-        "n" => Some(ColumnKind::Numeric),
-        "c" => Some(ColumnKind::Categorical),
+        b'n' => Some(ColumnKind::Numeric),
+        b'c' => Some(ColumnKind::Categorical),
         _ => None,
     }
 }
 
-fn role_tag(role: ColumnRole) -> &'static str {
+fn role_tag(role: ColumnRole) -> u8 {
     match role {
-        ColumnRole::Feature => "F",
-        ColumnRole::Label => "L",
-        ColumnRole::Key => "K",
-        ColumnRole::Ignore => "I",
+        ColumnRole::Feature => b'F',
+        ColumnRole::Label => b'L',
+        ColumnRole::Key => b'K',
+        ColumnRole::Ignore => b'I',
     }
 }
 
-fn role_of(tag: &str) -> Option<ColumnRole> {
+fn role_of(tag: u8) -> Option<ColumnRole> {
     match tag {
-        "F" => Some(ColumnRole::Feature),
-        "L" => Some(ColumnRole::Label),
-        "K" => Some(ColumnRole::Key),
-        "I" => Some(ColumnRole::Ignore),
+        b'F' => Some(ColumnRole::Feature),
+        b'L' => Some(ColumnRole::Label),
+        b'K' => Some(ColumnRole::Key),
+        b'I' => Some(ColumnRole::Ignore),
         _ => None,
     }
 }
 
-/// Appends a [`Table`] to the token stream, serializing the columnar
-/// storage *exactly*: numeric columns as bit-pattern cells (`-` = missing),
-/// categorical columns as their interned dictionary (in id order, unused
-/// entries included) plus per-row ids.
+/// Appends a [`Table`], serializing the columnar storage *exactly*:
+/// numeric columns as presence-tagged bit-pattern cells, categorical
+/// columns as their interned dictionary (in id order, unused entries
+/// included) plus per-row ids.
 ///
 /// Preserving the dictionary verbatim — rather than re-interning cell
 /// strings on decode — matters for correctness, not just fidelity:
@@ -131,24 +321,25 @@ fn role_of(tag: &str) -> Option<ColumnRole> {
 /// mode selection) are keyed on dictionary ids, so a decoded table must be
 /// structurally identical to the original or a resumed study would diverge
 /// from an uninterrupted one.
-pub fn encode_table_into(out: &mut String, t: &Table) {
-    out.push_str(" T2");
+pub fn encode_table_into(out: &mut Vec<u8>, t: &Table) {
+    push_tag(out, b'T');
     push_usize(out, t.n_columns());
     push_usize(out, t.n_rows());
     for f in t.schema().fields() {
         push_str(out, &f.name);
-        out.push(' ');
-        out.push_str(kind_tag(f.kind));
-        out.push(' ');
-        out.push_str(role_tag(f.role));
+        push_tag(out, kind_tag(f.kind));
+        push_tag(out, role_tag(f.role));
     }
     for col in t.columns() {
         match col.data() {
             crate::ColumnData::Numeric(cells) => {
                 for cell in cells {
                     match cell {
-                        Some(x) => push_f64(out, *x),
-                        None => out.push_str(" -"),
+                        Some(x) => {
+                            push_tag(out, 1);
+                            push_f64_compact(out, *x);
+                        }
+                        None => push_tag(out, 0),
                     }
                 }
             }
@@ -159,8 +350,11 @@ pub fn encode_table_into(out: &mut String, t: &Table) {
                 }
                 for id in values {
                     match id {
-                        Some(id) => push_usize(out, *id as usize),
-                        None => out.push_str(" -"),
+                        Some(id) => {
+                            push_tag(out, 1);
+                            push_u64(out, *id as u64);
+                        }
+                        None => push_tag(out, 0),
                     }
                 }
             }
@@ -169,15 +363,18 @@ pub fn encode_table_into(out: &mut String, t: &Table) {
 }
 
 /// Reads a [`Table`] written by [`encode_table_into`].
-pub fn decode_table_from(parts: &mut Tokens<'_>) -> Option<Table> {
-    expect(parts, "T2")?;
-    let n_cols = take_usize(parts)?;
-    let n_rows = take_usize(parts)?;
+pub fn decode_table_from(r: &mut Reader<'_>) -> Option<Table> {
+    expect(r, b'T')?;
+    let n_cols = take_usize(r)?;
+    let n_rows = take_usize(r)?;
+    // Capacities are clamped: a corrupt size must decode to `None` (when
+    // its cells never materialize in the stream), not abort the process on
+    // a huge up-front allocation.
     let mut fields = Vec::with_capacity(n_cols.min(1 << 20));
     for _ in 0..n_cols {
-        let name = take_str(parts)?;
-        let kind = kind_of(parts.next()?)?;
-        let role = role_of(parts.next()?)?;
+        let name = take_str(r)?;
+        let kind = kind_of(take_tag(r)?)?;
+        let role = role_of(take_tag(r)?)?;
         fields.push(FieldMeta::new(name, kind, role));
     }
     let mut columns = Vec::with_capacity(n_cols.min(1 << 20));
@@ -186,30 +383,26 @@ pub fn decode_table_from(parts: &mut Tokens<'_>) -> Option<Table> {
             ColumnKind::Numeric => {
                 let mut cells = Vec::with_capacity(n_rows.min(1 << 20));
                 for _ in 0..n_rows {
-                    cells.push(match parts.clone().next()? {
-                        "-" => {
-                            parts.next();
-                            None
-                        }
-                        _ => Some(take_f64(parts)?),
+                    cells.push(match take_tag(r)? {
+                        0 => None,
+                        1 => Some(take_f64_compact(r)?),
+                        _ => return None,
                     });
                 }
                 crate::ColumnData::Numeric(cells)
             }
             ColumnKind::Categorical => {
-                let dict_len = take_usize(parts)?;
+                let dict_len = take_usize(r)?;
                 let mut dict = Vec::with_capacity(dict_len.min(1 << 20));
                 for _ in 0..dict_len {
-                    dict.push(take_str(parts)?);
+                    dict.push(take_str(r)?);
                 }
                 let mut values = Vec::with_capacity(n_rows.min(1 << 20));
                 for _ in 0..n_rows {
-                    values.push(match parts.clone().next()? {
-                        "-" => {
-                            parts.next();
-                            None
-                        }
-                        _ => Some(u32::try_from(take_usize(parts)?).ok()?),
+                    values.push(match take_tag(r)? {
+                        0 => None,
+                        1 => Some(u32::try_from(take_u64(r)?).ok()?),
+                        _ => return None,
                     });
                 }
                 crate::ColumnData::Categorical { values, dict, index: Default::default() }
@@ -226,41 +419,121 @@ mod tests {
     use crate::value::Value;
 
     fn round_trip(t: &Table) -> Table {
-        let mut out = String::new();
+        let mut out = Vec::new();
         encode_table_into(&mut out, t);
-        let mut parts = out.split_whitespace();
-        let back = decode_table_from(&mut parts).expect("decode");
-        assert!(parts.next().is_none(), "trailing tokens");
+        let mut r = Reader::new(&out);
+        let back = decode_table_from(&mut r).expect("decode");
+        assert!(r.is_empty(), "trailing bytes");
         back
     }
 
     #[test]
     fn primitives_round_trip() {
-        let mut out = String::new();
+        let mut out = Vec::new();
         for x in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, -1e300, f64::MIN_POSITIVE] {
             out.clear();
             push_f64(&mut out, x);
-            let got = take_f64(&mut out.split_whitespace()).unwrap();
+            let got = take_f64(&mut Reader::new(&out)).unwrap();
             assert_eq!(got.to_bits(), x.to_bits());
         }
         for s in ["", " ", "a b\nc", "NaN", "héllo \"q\"", "\t"] {
             out.clear();
             push_str(&mut out, s);
-            assert_eq!(take_str(&mut out.split_whitespace()).unwrap(), s);
+            assert_eq!(take_str(&mut Reader::new(&out)).unwrap(), s);
         }
-        out.clear();
-        push_usize(&mut out, 12345);
-        assert_eq!(take_usize(&mut out.split_whitespace()), Some(12345));
+        for n in [0u64, 1, 127, 128, 16383, 16384, u64::from(u32::MAX), u64::MAX] {
+            out.clear();
+            push_u64(&mut out, n);
+            let mut r = Reader::new(&out);
+            assert_eq!(take_u64(&mut r), Some(n));
+            assert!(r.is_empty());
+        }
     }
 
     #[test]
-    fn corrupt_tokens_decode_to_none() {
-        assert!(take_f64(&mut "zz".split_whitespace()).is_none());
-        assert!(take_str(&mut "x61".split_whitespace()).is_none());
-        assert!(take_str(&mut "s6".split_whitespace()).is_none());
-        assert!(take_str(&mut "sgg".split_whitespace()).is_none());
-        assert!(take_usize(&mut "-3".split_whitespace()).is_none());
-        assert!(expect(&mut "U".split_whitespace(), "T").is_none());
+    fn varint_sizes_are_compact() {
+        let mut out = Vec::new();
+        push_u64(&mut out, 0);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        push_u64(&mut out, 127);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        push_u64(&mut out, 128);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        push_u64(&mut out, u64::MAX);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn corrupt_streams_decode_to_none() {
+        // truncated varint (continuation bit set, no next byte)
+        assert!(take_u64(&mut Reader::new(&[0x80])).is_none());
+        // overlong varint: 10th byte contributing more than the final bit
+        let overlong = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert!(take_u64(&mut Reader::new(&overlong)).is_none());
+        // 11-byte varint
+        let eleven = [0xff; 11];
+        assert!(take_u64(&mut Reader::new(&eleven)).is_none());
+        // truncated f64
+        assert!(take_f64(&mut Reader::new(&[0, 1, 2])).is_none());
+        // string length larger than the remaining bytes
+        let mut huge = Vec::new();
+        push_usize(&mut huge, usize::MAX);
+        huge.push(b'x');
+        assert!(take_str(&mut Reader::new(&huge)).is_none());
+        // non-UTF-8 string content
+        let mut bad = Vec::new();
+        push_bytes(&mut bad, &[0xff, 0xfe]);
+        assert!(take_str(&mut Reader::new(&bad)).is_none());
+        assert!(take_bytes(&mut Reader::new(&bad)).is_some(), "raw bytes still readable");
+        // wrong tag
+        assert!(expect(&mut Reader::new(b"U"), b'T').is_none());
+        assert!(expect(&mut Reader::new(&[]), b'T').is_none());
+    }
+
+    #[test]
+    fn frames_round_trip_and_fail_closed() {
+        let payload = b"the artifact payload".to_vec();
+        let framed = seal_frame(&payload);
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + payload.len());
+        assert_eq!(open_frame(&framed), Some(payload.as_slice()));
+
+        // the empty payload is a valid frame
+        let empty = seal_frame(&[]);
+        assert_eq!(open_frame(&empty), Some(&[][..]));
+
+        // every truncation fails closed
+        for cut in 0..framed.len() {
+            assert!(open_frame(&framed[..cut]).is_none(), "truncated at {cut}");
+        }
+        // trailing junk fails closed (length is exact, not a minimum)
+        let mut long = framed.clone();
+        long.push(0);
+        assert!(open_frame(&long).is_none());
+        // wrong magic
+        let mut bad = framed.clone();
+        bad[0] ^= 1;
+        assert!(open_frame(&bad).is_none());
+        // legacy / future version
+        let mut bad = framed.clone();
+        bad[4] = 1;
+        assert!(open_frame(&bad).is_none());
+        let mut bad = framed.clone();
+        bad[4] = FORMAT_VERSION as u8 + 1;
+        assert!(open_frame(&bad).is_none());
+        // corrupt payload byte: checksum catches it
+        let mut bad = framed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(open_frame(&bad).is_none());
+        // corrupt checksum byte
+        let mut bad = framed;
+        bad[14] ^= 0x40;
+        assert!(open_frame(&bad).is_none());
+        // hex-text-era artifacts have no magic at all
+        assert!(open_frame(b"cell v1 3fe0000000000000").is_none());
     }
 
     #[test]
@@ -320,9 +593,10 @@ mod tests {
         let schema = Schema::new(vec![FieldMeta::num_feature("x")]);
         let mut t = Table::new(schema);
         t.push_row(vec![Value::from(1.0)]).unwrap();
-        let mut out = String::new();
+        let mut out = Vec::new();
         encode_table_into(&mut out, &t);
-        let cut = &out[..out.len() - 4];
-        assert!(decode_table_from(&mut cut.split_whitespace()).is_none());
+        for cut in 0..out.len() {
+            assert!(decode_table_from(&mut Reader::new(&out[..cut])).is_none(), "cut {cut}");
+        }
     }
 }

@@ -118,17 +118,20 @@ impl FeatureMatrix {
         }
     }
 
-    /// Appends the matrix to an artifact token stream (see [`crate::codec`]).
-    /// Floats are written as bit patterns; the missingness mask is written
-    /// sparsely (index list) since encoded matrices are mostly complete.
-    pub fn encode_into(&self, out: &mut String) {
-        use crate::codec::{push_f64, push_str, push_usize};
-        out.push_str(" M");
+    /// Appends the matrix to an artifact byte stream (see [`crate::codec`]).
+    /// Floats are written as raw bit patterns; the missingness mask is
+    /// written sparsely (index list) since encoded matrices are mostly
+    /// complete.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::{push_f64_compact, push_str, push_tag, push_usize};
+        push_tag(out, b'M');
         push_usize(out, self.n_rows);
         push_usize(out, self.n_cols);
         push_usize(out, self.n_classes);
         for &x in &self.data {
-            push_f64(out, x);
+            // one-hot dimensions dominate encoded matrices, so the 0/1
+            // compact form shrinks the biggest artifact class ~5×
+            push_f64_compact(out, x);
         }
         let missing: Vec<usize> =
             self.missing.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
@@ -146,12 +149,12 @@ impl FeatureMatrix {
 
     /// Reads a matrix written by [`FeatureMatrix::encode_into`]; `None` on
     /// any truncation or inconsistency.
-    pub fn decode_from(parts: &mut crate::codec::Tokens<'_>) -> Option<FeatureMatrix> {
-        use crate::codec::{expect, take_f64, take_str, take_usize};
-        expect(parts, "M")?;
-        let n_rows = take_usize(parts)?;
-        let n_cols = take_usize(parts)?;
-        let n_classes = take_usize(parts)?;
+    pub fn decode_from(r: &mut crate::codec::Reader<'_>) -> Option<FeatureMatrix> {
+        use crate::codec::{expect, take_f64_compact, take_str, take_usize};
+        expect(r, b'M')?;
+        let n_rows = take_usize(r)?;
+        let n_cols = take_usize(r)?;
+        let n_classes = take_usize(r)?;
         let cells = n_rows.checked_mul(n_cols)?;
         if cells > (1 << 32) {
             return None; // far beyond any real study matrix: corrupt sizes
@@ -159,19 +162,24 @@ impl FeatureMatrix {
         // Capacities are clamped: a corrupt size token must decode to
         // `None` (when its cells never materialize in the stream), not
         // abort the process on a huge up-front allocation.
+        // Cells round-trip the full f64 domain: a source table can
+        // legitimately carry non-finite numerics (an unquoted `inf` CSV
+        // cell standardizes to inf), and an artifact that encodes but
+        // never decodes would silently turn every warm resume of that
+        // dataset into a re-run. Corruption is the frame checksum's job.
         let mut data = Vec::with_capacity(cells.min(1 << 20));
         for _ in 0..cells {
-            data.push(take_f64(parts)?);
+            data.push(take_f64_compact(r)?);
         }
         let mut missing = vec![false; cells];
-        let n_missing = take_usize(parts)?;
+        let n_missing = take_usize(r)?;
         for _ in 0..n_missing {
-            let i = take_usize(parts)?;
+            let i = take_usize(r)?;
             *missing.get_mut(i)? = true;
         }
         let mut labels = Vec::with_capacity(n_rows.min(1 << 20));
         for _ in 0..n_rows {
-            let l = take_usize(parts)?;
+            let l = take_usize(r)?;
             if l >= n_classes.max(1) {
                 return None;
             }
@@ -179,7 +187,7 @@ impl FeatureMatrix {
         }
         let mut feature_names = Vec::with_capacity(n_cols.min(1 << 20));
         for _ in 0..n_cols {
-            feature_names.push(take_str(parts)?);
+            feature_names.push(take_str(r)?);
         }
         Some(FeatureMatrix { data, missing, n_rows, n_cols, labels, n_classes, feature_names })
     }
@@ -395,11 +403,11 @@ impl Encoder {
         })
     }
 
-    /// Appends the fitted encoder to an artifact token stream (see
+    /// Appends the fitted encoder to an artifact byte stream (see
     /// [`crate::codec`]).
-    pub fn encode_into(&self, out: &mut String) {
-        use crate::codec::{push_f64, push_str, push_usize};
-        out.push_str(" E");
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::{push_f64, push_str, push_tag, push_usize};
+        push_tag(out, b'E');
         push_usize(out, self.label_col);
         push_usize(out, self.n_cols);
         push_usize(out, self.numeric.len());
@@ -426,38 +434,38 @@ impl Encoder {
     }
 
     /// Reads an encoder written by [`Encoder::encode_into`].
-    pub fn decode_from(parts: &mut crate::codec::Tokens<'_>) -> Option<Encoder> {
+    pub fn decode_from(r: &mut crate::codec::Reader<'_>) -> Option<Encoder> {
         use crate::codec::{expect, take_f64, take_str, take_usize};
-        expect(parts, "E")?;
-        let label_col = take_usize(parts)?;
-        let n_cols = take_usize(parts)?;
-        let n_numeric = take_usize(parts)?;
+        expect(r, b'E')?;
+        let label_col = take_usize(r)?;
+        let n_cols = take_usize(r)?;
+        let n_numeric = take_usize(r)?;
         let mut numeric = Vec::with_capacity(n_numeric.min(1 << 20));
         for _ in 0..n_numeric {
-            let col = take_usize(parts)?;
-            let mean = take_f64(parts)?;
-            let std = take_f64(parts)?;
+            let col = take_usize(r)?;
+            let mean = take_f64(r)?;
+            let std = take_f64(r)?;
             numeric.push(NumSpec { col, mean, std });
         }
-        let n_cat = take_usize(parts)?;
+        let n_cat = take_usize(r)?;
         let mut categorical = Vec::with_capacity(n_cat.min(1 << 20));
         for _ in 0..n_cat {
-            let col = take_usize(parts)?;
-            let n_categories = take_usize(parts)?;
+            let col = take_usize(r)?;
+            let n_categories = take_usize(r)?;
             let mut categories = Vec::with_capacity(n_categories.min(1 << 20));
             for _ in 0..n_categories {
-                categories.push(take_str(parts)?);
+                categories.push(take_str(r)?);
             }
             categorical.push(CatSpec { col, categories });
         }
-        let n_classes = take_usize(parts)?;
+        let n_classes = take_usize(r)?;
         let mut label_classes = Vec::with_capacity(n_classes.min(1 << 20));
         for _ in 0..n_classes {
-            label_classes.push(take_str(parts)?);
+            label_classes.push(take_str(r)?);
         }
         let mut feature_names = Vec::with_capacity(n_cols.min(1 << 20));
         for _ in 0..n_cols {
-            feature_names.push(take_str(parts)?);
+            feature_names.push(take_str(r)?);
         }
         Some(Encoder { numeric, categorical, label_col, label_classes, n_cols, feature_names })
     }
@@ -619,30 +627,30 @@ mod tests {
         let enc = Encoder::fit(&t).unwrap();
         let m = enc.transform(&t).unwrap();
         assert!(m.missing.iter().any(|&b| b), "sample exercises the missing mask");
-        let mut out = String::new();
+        let mut out = Vec::new();
         m.encode_into(&mut out);
-        let mut parts = out.split_whitespace();
-        let back = FeatureMatrix::decode_from(&mut parts).expect("decode");
-        assert!(parts.next().is_none(), "trailing tokens");
+        let mut r = crate::codec::Reader::new(&out);
+        let back = FeatureMatrix::decode_from(&mut r).expect("decode");
+        assert!(r.is_empty(), "trailing bytes");
         assert_eq!(back, m);
         // corrupt/truncated streams are rejected, not mis-decoded
-        assert!(FeatureMatrix::decode_from(&mut "M 1".split_whitespace()).is_none());
+        assert!(FeatureMatrix::decode_from(&mut crate::codec::Reader::new(b"M1")).is_none());
         let cut = &out[..out.len() - 3];
-        assert!(FeatureMatrix::decode_from(&mut cut.split_whitespace()).is_none());
+        assert!(FeatureMatrix::decode_from(&mut crate::codec::Reader::new(cut)).is_none());
     }
 
     #[test]
     fn encoder_codec_round_trips_exactly() {
         let t = sample();
         let enc = Encoder::fit_with_classes(&t, &["p".into(), "n".into(), "extra".into()]).unwrap();
-        let mut out = String::new();
+        let mut out = Vec::new();
         enc.encode_into(&mut out);
-        let mut parts = out.split_whitespace();
-        let back = Encoder::decode_from(&mut parts).expect("decode");
-        assert!(parts.next().is_none(), "trailing tokens");
+        let mut r = crate::codec::Reader::new(&out);
+        let back = Encoder::decode_from(&mut r).expect("decode");
+        assert!(r.is_empty(), "trailing bytes");
         assert_eq!(back, enc);
         // the decoded encoder transforms identically
         assert_eq!(back.transform(&t).unwrap(), enc.transform(&t).unwrap());
-        assert!(Encoder::decode_from(&mut "E 0".split_whitespace()).is_none());
+        assert!(Encoder::decode_from(&mut crate::codec::Reader::new(b"E0")).is_none());
     }
 }

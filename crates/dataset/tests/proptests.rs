@@ -5,9 +5,12 @@
 
 use proptest::prelude::*;
 
-use cleanml_dataset::codec::{decode_table_from, encode_table_into};
+use cleanml_dataset::codec::{
+    decode_table_from, encode_table_into, open_frame, push_f64, push_str, push_u64, seal_frame,
+    take_bytes, take_f64, take_str, take_u64, Reader, FRAME_HEADER_LEN,
+};
 use cleanml_dataset::csv::{read_csv, write_csv};
-use cleanml_dataset::{ColumnKind, Encoder, FieldMeta, Schema, Table, Value};
+use cleanml_dataset::{ColumnKind, Encoder, FeatureMatrix, FieldMeta, Schema, Table, Value};
 
 /// Characters that historically broke the dialect, over-weighted on purpose.
 const PALETTE: &[char] =
@@ -188,12 +191,14 @@ proptest! {
         let _ = read_csv(&text); // Ok or Err, never a panic
     }
 
-    /// The artifact token codec (the engine's on-disk table form) is exact
-    /// for arbitrary mixed tables.
+    /// The binary artifact codec (the engine's on-disk table form) is exact
+    /// for arbitrary mixed tables, and every truncation of the stream fails
+    /// closed.
     #[test]
-    fn token_codec_round_trips_arbitrary_tables(
+    fn wire_codec_round_trips_arbitrary_tables(
         strings in prop::collection::vec(prop::option::of(arb_string()), 1..6),
-        nums in prop::collection::vec(prop::option::of(-1e300f64..1e300), 1..6)
+        nums in prop::collection::vec(prop::option::of(-1e300f64..1e300), 1..6),
+        cut in 0usize..1000
     ) {
         let n_rows = strings.len().min(nums.len());
         let fields = vec![FieldMeta::cat_feature("s"), FieldMeta::num_feature("x")];
@@ -202,9 +207,117 @@ proptest! {
             t.push_row(vec![Value::from(strings[r].as_deref()), Value::from(nums[r])])
                 .expect("row");
         }
-        let mut out = String::new();
+        let mut out = Vec::new();
         encode_table_into(&mut out, &t);
-        let back = decode_table_from(&mut out.split_whitespace()).expect("decode");
+        let mut r = Reader::new(&out);
+        let back = decode_table_from(&mut r).expect("decode");
+        prop_assert!(r.is_empty(), "trailing bytes");
         prop_assert_eq!(back, t);
+        let cut = cut % out.len();
+        prop_assert!(decode_table_from(&mut Reader::new(&out[..cut])).is_none());
+    }
+
+    /// Wire primitives are exact for arbitrary values and reject every
+    /// truncation.
+    #[test]
+    fn wire_primitives_round_trip(x in any::<u64>(), f in any::<f64>(), s in arb_string()) {
+        let mut out = Vec::new();
+        push_u64(&mut out, x);
+        push_f64(&mut out, f);
+        push_str(&mut out, &s);
+        let mut r = Reader::new(&out);
+        prop_assert_eq!(take_u64(&mut r), Some(x));
+        prop_assert_eq!(take_f64(&mut r).map(f64::to_bits), Some(f.to_bits()));
+        let got = take_str(&mut r);
+        prop_assert_eq!(got.as_deref(), Some(s.as_str()));
+        prop_assert!(r.is_empty());
+        for cut in 0..out.len() {
+            let mut r = Reader::new(&out[..cut]);
+            // reading the full triple from any prefix must fail somewhere
+            let complete = take_u64(&mut r).is_some()
+                && take_f64(&mut r).is_some()
+                && take_str(&mut r).is_some();
+            prop_assert!(!complete, "truncation at {} decoded fully", cut);
+        }
+    }
+
+    /// An oversized length prefix is rejected before any allocation: a
+    /// buffer declaring a huge string/byte length decodes to `None` no
+    /// matter how large the declared size is.
+    #[test]
+    fn oversized_length_tokens_never_allocate(declared in any::<u64>(), junk in prop::collection::vec(any::<u8>(), 0..32)) {
+        let mut out = Vec::new();
+        push_u64(&mut out, declared);
+        out.extend_from_slice(&junk);
+        let mut r = Reader::new(&out);
+        if let Some(bytes) = take_bytes(&mut r) {
+            // only lengths actually backed by bytes may succeed
+            prop_assert!(bytes.len() as u64 == declared && declared <= junk.len() as u64);
+        }
+    }
+
+    /// Frame integrity: any single bit flip anywhere in a sealed frame is
+    /// detected (FNV-1a's absorb step is injective per byte, so equal-length
+    /// payload corruption always changes the checksum), and every
+    /// truncation or extension fails closed.
+    #[test]
+    fn frame_detects_any_single_bit_flip(
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+        flip_bit in 0usize..10_000,
+        cut in 0usize..10_000
+    ) {
+        let framed = seal_frame(&payload);
+        prop_assert_eq!(open_frame(&framed), Some(payload.as_slice()));
+        prop_assert_eq!(framed.len(), FRAME_HEADER_LEN + payload.len());
+
+        let mut corrupt = framed.clone();
+        let bit = flip_bit % (framed.len() * 8);
+        corrupt[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(open_frame(&corrupt).is_none(), "bit flip {} accepted", bit);
+
+        let cut = cut % framed.len();
+        prop_assert!(open_frame(&framed[..cut]).is_none(), "truncation at {} accepted", cut);
+        let mut long = framed;
+        long.push(0);
+        prop_assert!(open_frame(&long).is_none(), "trailing byte accepted");
+    }
+
+    /// Arbitrary bytes fed to the table decoder parse or reject — never a
+    /// panic, never a runaway allocation.
+    #[test]
+    fn table_decoder_is_total(raw in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_table_from(&mut Reader::new(&raw));
+        let _ = open_frame(&raw);
+        let _ = FeatureMatrix::decode_from(&mut Reader::new(&raw));
+        let _ = Encoder::decode_from(&mut Reader::new(&raw));
+    }
+
+    /// Encoder and FeatureMatrix binary codecs are exact: decode(encode(x))
+    /// is structurally identical and transforms/predicts identically.
+    #[test]
+    fn encoder_and_matrix_codecs_round_trip(t in arb_table()) {
+        let complete = t.drop_rows_with_missing();
+        if complete.n_rows() == 0 {
+            return Ok(());
+        }
+        let classes = ["neg".to_string(), "pos".to_string()];
+        let enc = match Encoder::fit_with_classes(&complete, &classes) {
+            Ok(e) => e,
+            Err(_) => return Ok(()),
+        };
+        let mut out = Vec::new();
+        enc.encode_into(&mut out);
+        let mut r = Reader::new(&out);
+        let enc_back = Encoder::decode_from(&mut r).expect("encoder decode");
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(&enc_back, &enc);
+
+        let m = enc.transform(&t).expect("transform");
+        let mut out = Vec::new();
+        m.encode_into(&mut out);
+        let mut r = Reader::new(&out);
+        let m_back = FeatureMatrix::decode_from(&mut r).expect("matrix decode");
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(m_back, m);
     }
 }

@@ -44,6 +44,23 @@ impl TaskKind {
             TaskKind::Reduce => "reduce",
         }
     }
+
+    /// Static relative cost of one task of this kind, used to seed worker
+    /// deques heaviest-first so the expensive work starts immediately and
+    /// the critical path shortens. The ordering (Train ≫ Clean ≫ Split ≫
+    /// the bookkeeping kinds) reflects measured quick-study profiles; a
+    /// follow-up replaces these constants with observed per-task costs.
+    pub fn cost_weight(self) -> u32 {
+        match self {
+            TaskKind::Train => 1000,
+            TaskKind::Clean => 100,
+            TaskKind::Split => 40,
+            TaskKind::GenerateDataset => 20,
+            TaskKind::Context => 4,
+            TaskKind::Evaluate => 2,
+            TaskKind::Reduce => 1,
+        }
+    }
 }
 
 /// One progress event. Sent best-effort: a dropped receiver never fails the

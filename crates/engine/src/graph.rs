@@ -147,10 +147,10 @@ mod tests {
     struct V(i64);
 
     impl DiskCodec for V {
-        fn encode(&self) -> Option<String> {
+        fn encode(&self) -> Option<Vec<u8>> {
             None
         }
-        fn decode(_: &str) -> Option<Self> {
+        fn decode(_: &[u8]) -> Option<Self> {
             None
         }
     }

@@ -156,13 +156,32 @@ where
         executed: TaskKind::ALL.iter().map(|_| AtomicUsize::new(0)).collect(),
     };
 
-    // Seed the deques round-robin with the initially ready tasks.
+    // Seed the deques with the initially ready tasks, heaviest kind first
+    // (static Train ≫ Clean ≫ Split weights): on a cold run the frontier is
+    // all-generate, but on a partial resume it spans the whole DAG, and
+    // dispatching the expensive stragglers immediately shortens the
+    // critical path. Tasks are dealt round-robin in descending weight, and
+    // each worker's share is pushed in ascending weight so its LIFO
+    // `pop_back` starts with its heaviest task.
     {
-        let mut next = 0usize;
-        for (id, m) in meta.iter().enumerate() {
-            if m.2 == NodeState::Run && shared.pending[id].load(Ordering::Relaxed) == 0 {
-                shared.deques[next % workers].lock().expect("deque").push_back(id);
-                next += 1;
+        let mut ready: Vec<TaskId> = meta
+            .iter()
+            .enumerate()
+            .filter(|(id, m)| {
+                m.2 == NodeState::Run && shared.pending[*id].load(Ordering::Relaxed) == 0
+            })
+            .map(|(id, _)| id)
+            .collect();
+        // stable graph order within a weight class keeps runs reproducible
+        ready.sort_by_key(|&id| (std::cmp::Reverse(meta[id].0.cost_weight()), id));
+        let mut shares: Vec<Vec<TaskId>> = vec![Vec::new(); workers];
+        for (i, id) in ready.into_iter().enumerate() {
+            shares[i % workers].push(id);
+        }
+        for (w, share) in shares.into_iter().enumerate() {
+            let mut deque = shared.deques[w].lock().expect("deque");
+            for &id in share.iter().rev() {
+                deque.push_back(id);
             }
         }
     }
@@ -265,8 +284,8 @@ fn worker_loop<A>(
                 // before any dependent can observe it, so a kill at any
                 // point leaves only complete, replayable state.
                 if let Some(sink) = persist {
-                    if let Some(text) = artifact.encode() {
-                        sink.store.store(sink.keys[id], &text);
+                    if let Some(payload) = artifact.encode() {
+                        sink.store.store(sink.keys[id], &payload);
                     }
                 }
                 *shared.slots[id].lock().expect("slot") = Some(artifact);
@@ -327,10 +346,10 @@ mod tests {
     struct V(i64);
 
     impl DiskCodec for V {
-        fn encode(&self) -> Option<String> {
+        fn encode(&self) -> Option<Vec<u8>> {
             None
         }
-        fn decode(_: &str) -> Option<Self> {
+        fn decode(_: &[u8]) -> Option<Self> {
             None
         }
     }
@@ -422,10 +441,11 @@ mod tests {
     struct P(i64);
 
     impl DiskCodec for P {
-        fn encode(&self) -> Option<String> {
-            Some(format!("p {}", self.0))
+        fn encode(&self) -> Option<Vec<u8>> {
+            Some(format!("p {}", self.0).into_bytes())
         }
-        fn decode(text: &str) -> Option<Self> {
+        fn decode(bytes: &[u8]) -> Option<Self> {
+            let text = std::str::from_utf8(bytes).ok()?;
             text.strip_prefix("p ")?.trim().parse().ok().map(P)
         }
     }
@@ -449,10 +469,58 @@ mod tests {
         // `a` was retired from memory after its last consumer…
         assert_eq!(arts[0], None);
         // …but both artifacts reached the disk store during the run.
-        assert_eq!(store.load(CacheKey::of("a")).as_deref(), Some("p 7"));
-        assert_eq!(store.load(CacheKey::of("b")).as_deref(), Some("p 8"));
+        assert_eq!(store.load(CacheKey::of("a")).as_deref(), Some(&b"p 7"[..]));
+        assert_eq!(store.load(CacheKey::of("b")).as_deref(), Some(&b"p 8"[..]));
         assert_eq!(store.writes(), 2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ready_frontier_is_dispatched_heaviest_first() {
+        // A resume-shaped frontier: independent ready tasks of mixed kinds.
+        // With one worker there is no stealing, so the execution order *is*
+        // the seeding policy: Train before Clean before Split before the
+        // bookkeeping kinds, regardless of insertion order.
+        let mut g: TaskGraph<V> = TaskGraph::new();
+        let kinds = [
+            TaskKind::Evaluate,
+            TaskKind::Split,
+            TaskKind::Train,
+            TaskKind::Context,
+            TaskKind::Clean,
+            TaskKind::GenerateDataset,
+        ];
+        let ids: Vec<TaskId> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                g.task(kind, format!("t{i}"), CacheKey::of(&format!("t{i}")), vec![], move |_| {
+                    Ok(V(i as i64))
+                })
+            })
+            .collect();
+        let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
+        g.resolve(&mut cache, &ids);
+        let retain = vec![true; g.len()];
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (arts, _) = execute(g, 1, retain, None, &Some(tx)).unwrap();
+        assert!(arts.iter().all(Option::is_some));
+        let started: Vec<TaskKind> = rx
+            .try_iter()
+            .filter_map(|e| match e {
+                EngineEvent::TaskStarted { kind, .. } => Some(kind),
+                _ => None,
+            })
+            .collect();
+        let expected = [
+            TaskKind::Train,
+            TaskKind::Clean,
+            TaskKind::Split,
+            TaskKind::GenerateDataset,
+            TaskKind::Context,
+            TaskKind::Evaluate,
+        ];
+        assert_eq!(started, expected, "seeding must order by descending cost weight");
     }
 
     #[test]

@@ -32,11 +32,10 @@ use cleanml_datagen::{generate, inject_mislabel_variant, spec_by_name, Generated
 use cleanml_ml::{Metric, ModelKind, PAPER_MODELS};
 
 use cleanml_dataset::codec as dcodec;
+use cleanml_dataset::codec::Reader;
 use cleanml_dataset::{Encoder, FeatureMatrix};
 
-use crate::cache::{
-    f64_from_field, f64_to_field, ArtifactCache, CacheKey, CacheStats, DiskCodec, DiskStore,
-};
+use crate::cache::{ArtifactCache, CacheKey, CacheStats, DiskCodec, DiskStore};
 use crate::event::{emit, EngineEvent, EventSink, TaskKind};
 use crate::graph::{NodeState, TaskGraph, TaskId};
 use crate::pool::{execute, PersistSink, RunReport};
@@ -99,40 +98,32 @@ impl Artifact {
     }
 }
 
-fn encode_metric(m: Metric) -> String {
+fn encode_metric(out: &mut Vec<u8>, m: Metric) {
     match m {
-        Metric::Accuracy => "acc".into(),
-        Metric::F1 { positive } => format!("f1:{positive}"),
+        Metric::Accuracy => dcodec::push_tag(out, b'A'),
+        Metric::F1 { positive } => {
+            dcodec::push_tag(out, b'F');
+            dcodec::push_usize(out, positive);
+        }
     }
 }
 
-fn decode_metric(s: &str) -> Option<Metric> {
-    if s == "acc" {
-        return Some(Metric::Accuracy);
+fn decode_metric(r: &mut Reader<'_>) -> Option<Metric> {
+    match dcodec::take_tag(r)? {
+        b'A' => Some(Metric::Accuracy),
+        b'F' => Some(Metric::F1 { positive: dcodec::take_usize(r)? }),
+        _ => None,
     }
-    s.strip_prefix("f1:").and_then(|i| i.parse().ok()).map(|positive| Metric::F1 { positive })
 }
 
-fn hex_of(s: &str) -> String {
-    s.bytes().map(|b| format!("{b:02x}")).collect()
-}
-
-fn unhex(s: &str) -> Option<String> {
-    // chunk the raw bytes — slicing the &str would panic on a corrupt
-    // cache entry containing multibyte chars at odd positions
-    let raw = s.as_bytes();
-    if !raw.len().is_multiple_of(2) {
-        return None;
-    }
-    let bytes: Option<Vec<u8>> = raw
-        .chunks(2)
-        .map(|pair| {
-            let hi = (pair[0] as char).to_digit(16)?;
-            let lo = (pair[1] as char).to_digit(16)?;
-            Some((hi * 16 + lo) as u8)
-        })
-        .collect();
-    String::from_utf8(bytes?).ok()
+/// Leading payload byte of each persisted [`Artifact`] variant — the
+/// dispatch tag inside the (already version-checked) artifact frame.
+mod tag {
+    pub const CELL: u8 = b'C';
+    pub const CONTEXT: u8 = b'X';
+    pub const SPLIT: u8 = b'S';
+    pub const CLEAN: u8 = b'K';
+    pub const TRAINED: u8 = b'T';
 }
 
 impl DiskCodec for Artifact {
@@ -140,115 +131,127 @@ impl DiskCodec for Artifact {
     /// contexts, splits (the partition tables plus the dirty-side encoder
     /// and matrix), cleaned matrices and trained models. Only generated
     /// datasets (cheap, deterministic) and reduced grids (reassembled from
-    /// cells) stay in memory.
-    fn encode(&self) -> Option<String> {
+    /// cells) stay in memory. The payload carries no version of its own —
+    /// the artifact frame the store wraps around it does.
+    fn encode(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
         match self {
-            Artifact::Cell(c) => Some(format!(
-                "cell v1 {} {} {} {} {}",
-                f64_to_field(c.val_dirty),
-                f64_to_field(c.val_clean),
-                f64_to_field(c.acc_b),
-                c.acc_c.map_or_else(|| "-".into(), f64_to_field),
-                f64_to_field(c.acc_d),
-            )),
+            Artifact::Cell(c) => {
+                dcodec::push_tag(&mut out, tag::CELL);
+                dcodec::push_f64(&mut out, c.val_dirty);
+                dcodec::push_f64(&mut out, c.val_clean);
+                dcodec::push_f64(&mut out, c.acc_b);
+                match c.acc_c {
+                    Some(x) => {
+                        dcodec::push_tag(&mut out, 1);
+                        dcodec::push_f64(&mut out, x);
+                    }
+                    None => dcodec::push_tag(&mut out, 0),
+                }
+                dcodec::push_f64(&mut out, c.acc_d);
+            }
             Artifact::Context(ctx) => {
-                // `c` prefix keeps an empty class name a non-empty field,
-                // so the whitespace-split decode round-trips losslessly.
-                let classes: Vec<String> =
-                    ctx.classes.iter().map(|c| format!("c{}", hex_of(c))).collect();
-                Some(format!("ctx v2 {} {}", encode_metric(ctx.metric), classes.join(" ")))
+                dcodec::push_tag(&mut out, tag::CONTEXT);
+                encode_metric(&mut out, ctx.metric);
+                dcodec::push_usize(&mut out, ctx.classes.len());
+                for class in &ctx.classes {
+                    dcodec::push_str(&mut out, class);
+                }
             }
             Artifact::Split(s) => {
-                let mut out = String::from("split v2");
+                dcodec::push_tag(&mut out, tag::SPLIT);
                 dcodec::encode_table_into(&mut out, &s.train0);
                 dcodec::encode_table_into(&mut out, &s.test0);
                 dcodec::encode_table_into(&mut out, &s.dirty_train);
                 s.enc_dirty.encode_into(&mut out);
                 s.dirty_matrix.encode_into(&mut out);
-                Some(out)
             }
             Artifact::Clean(c) => {
-                let mut out = String::from("clean v1");
+                dcodec::push_tag(&mut out, tag::CLEAN);
                 c.clean_train_m.encode_into(&mut out);
                 c.clean_test_m.encode_into(&mut out);
                 match &c.dirty_test_m {
                     Some(m) => {
-                        out.push_str(" +");
+                        dcodec::push_tag(&mut out, 1);
                         m.encode_into(&mut out);
                     }
-                    None => out.push_str(" -"),
+                    None => dcodec::push_tag(&mut out, 0),
                 }
                 c.clean_test_for_dirty.encode_into(&mut out);
-                Some(out)
             }
             Artifact::Trained(t) => {
-                let mut out = String::from("trained v1");
-                out.push(' ');
-                out.push_str(&f64_to_field(t.val));
+                dcodec::push_tag(&mut out, tag::TRAINED);
+                dcodec::push_f64(&mut out, t.val);
                 cleanml_ml::codec::encode_model_into(&mut out, &t.model);
-                Some(out)
             }
-            _ => None,
+            _ => return None,
         }
+        Some(out)
     }
 
-    fn decode(text: &str) -> Option<Self> {
-        let mut parts = text.split_whitespace();
-        match (parts.next()?, parts.next()?) {
-            ("cell", "v1") => {
-                let val_dirty = f64_from_field(parts.next()?)?;
-                let val_clean = f64_from_field(parts.next()?)?;
-                let acc_b = f64_from_field(parts.next()?)?;
-                let acc_c = match parts.next()? {
-                    "-" => None,
-                    field => Some(f64_from_field(field)?),
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let artifact = match dcodec::take_tag(&mut r)? {
+            tag::CELL => {
+                let val_dirty = dcodec::take_f64(&mut r)?;
+                let val_clean = dcodec::take_f64(&mut r)?;
+                let acc_b = dcodec::take_f64(&mut r)?;
+                let acc_c = match dcodec::take_tag(&mut r)? {
+                    0 => None,
+                    1 => Some(dcodec::take_f64(&mut r)?),
+                    _ => return None,
                 };
-                let acc_d = f64_from_field(parts.next()?)?;
-                Some(Artifact::Cell(CellEval { val_dirty, val_clean, acc_b, acc_c, acc_d }))
+                let acc_d = dcodec::take_f64(&mut r)?;
+                Artifact::Cell(CellEval { val_dirty, val_clean, acc_b, acc_c, acc_d })
             }
-            ("ctx", "v2") => {
-                let metric = decode_metric(parts.next()?)?;
-                let classes: Option<Vec<String>> =
-                    parts.map(|field| unhex(field.strip_prefix('c')?)).collect();
-                Some(Artifact::Context(Arc::new(DatasetContext { metric, classes: classes? })))
+            tag::CONTEXT => {
+                let metric = decode_metric(&mut r)?;
+                let n = dcodec::take_usize(&mut r)?;
+                let mut classes = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    classes.push(dcodec::take_str(&mut r)?);
+                }
+                Artifact::Context(Arc::new(DatasetContext { metric, classes }))
             }
-            ("split", "v2") => {
-                let train0 = dcodec::decode_table_from(&mut parts)?;
-                let test0 = dcodec::decode_table_from(&mut parts)?;
-                let dirty_train = dcodec::decode_table_from(&mut parts)?;
-                let enc_dirty = Encoder::decode_from(&mut parts)?;
-                let dirty_matrix = FeatureMatrix::decode_from(&mut parts)?;
-                Some(Artifact::Split(Arc::new(SplitArtifact {
+            tag::SPLIT => {
+                let train0 = dcodec::decode_table_from(&mut r)?;
+                let test0 = dcodec::decode_table_from(&mut r)?;
+                let dirty_train = dcodec::decode_table_from(&mut r)?;
+                let enc_dirty = Encoder::decode_from(&mut r)?;
+                let dirty_matrix = FeatureMatrix::decode_from(&mut r)?;
+                Artifact::Split(Arc::new(SplitArtifact {
                     train0,
                     test0,
                     dirty_train,
                     enc_dirty,
                     dirty_matrix,
-                })))
+                }))
             }
-            ("clean", "v1") => {
-                let clean_train_m = FeatureMatrix::decode_from(&mut parts)?;
-                let clean_test_m = FeatureMatrix::decode_from(&mut parts)?;
-                let dirty_test_m = match parts.next()? {
-                    "+" => Some(FeatureMatrix::decode_from(&mut parts)?),
-                    "-" => None,
+            tag::CLEAN => {
+                let clean_train_m = FeatureMatrix::decode_from(&mut r)?;
+                let clean_test_m = FeatureMatrix::decode_from(&mut r)?;
+                let dirty_test_m = match dcodec::take_tag(&mut r)? {
+                    0 => None,
+                    1 => Some(FeatureMatrix::decode_from(&mut r)?),
                     _ => return None,
                 };
-                let clean_test_for_dirty = FeatureMatrix::decode_from(&mut parts)?;
-                Some(Artifact::Clean(Arc::new(CleanArtifact {
+                let clean_test_for_dirty = FeatureMatrix::decode_from(&mut r)?;
+                Artifact::Clean(Arc::new(CleanArtifact {
                     clean_train_m,
                     clean_test_m,
                     dirty_test_m,
                     clean_test_for_dirty,
-                })))
+                }))
             }
-            ("trained", "v1") => {
-                let val = f64_from_field(parts.next()?)?;
-                let model = cleanml_ml::codec::decode_model_from(&mut parts)?;
-                Some(Artifact::Trained(Arc::new(TrainedModel { model, val })))
+            tag::TRAINED => {
+                let val = dcodec::take_f64(&mut r)?;
+                let model = cleanml_ml::codec::decode_model_from(&mut r)?;
+                Artifact::Trained(Arc::new(TrainedModel { model, val }))
             }
-            _ => None,
-        }
+            _ => return None,
+        };
+        // trailing bytes mean the entry was not produced by this encoder
+        r.is_empty().then_some(artifact)
     }
 
     /// Only the small artifacts accumulate in the unbounded in-memory map;
@@ -699,11 +702,16 @@ mod tests {
         let decoded = Artifact::decode(&ctx.encode().unwrap()).unwrap();
         assert_eq!(decoded.context(), ctx.context());
 
-        assert!(Artifact::decode("nonsense").is_none());
-        assert!(Artifact::decode("cell v1 zz").is_none());
-        // corrupt multibyte content must be a miss, not a panic
-        assert!(Artifact::decode("ctx v2 acc c€xzz").is_none());
-        assert!(Artifact::decode("ctx v2 acc c€x").is_none());
+        assert!(Artifact::decode(b"nonsense").is_none());
+        assert!(Artifact::decode(b"").is_none());
+        // truncations and trailing bytes are misses, not panics
+        let bytes = ctx.encode().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(Artifact::decode(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        let mut long = bytes;
+        long.push(0);
+        assert!(Artifact::decode(&long).is_none(), "trailing byte");
     }
 
     #[test]
@@ -723,12 +731,12 @@ mod tests {
                 .unwrap(),
             val: 0.5,
         }));
-        let text = trained.encode().expect("trained models persist");
-        assert!(text.starts_with("trained v1"));
-        let back = Artifact::decode(&text).expect("decode");
+        let bytes = trained.encode().expect("trained models persist");
+        assert_eq!(bytes[0], b'T');
+        let back = Artifact::decode(&bytes).expect("decode");
         assert_eq!(back.trained(), trained.trained());
         assert!(!trained.promote_to_memory(), "heavy artifacts stay out of the memory map");
-        assert!(Artifact::decode("trained v1 zz").is_none());
+        assert!(Artifact::decode(b"T\x01\x02").is_none());
     }
 
     #[test]
@@ -743,19 +751,19 @@ mod tests {
         let clean = tasks::make_clean(&method, 0, et, &split, &ctx, cfg.fit_seed(0)).unwrap();
 
         let split_art = Artifact::Split(Arc::new(split));
-        let text = split_art.encode().expect("splits persist");
-        assert!(text.starts_with("split v2"));
-        let back = Artifact::decode(&text).expect("decode split");
+        let bytes = split_art.encode().expect("splits persist");
+        assert_eq!(bytes[0], b'S');
+        let back = Artifact::decode(&bytes).expect("decode split");
         assert_eq!(back.split(), split_art.split());
         assert!(!split_art.promote_to_memory());
 
         let clean_art = Artifact::Clean(Arc::new(clean));
-        let text = clean_art.encode().expect("cleaned matrices persist");
-        assert!(text.starts_with("clean v1"));
-        let back = Artifact::decode(&text).expect("decode clean");
+        let bytes = clean_art.encode().expect("cleaned matrices persist");
+        assert_eq!(bytes[0], b'K');
+        let back = Artifact::decode(&bytes).expect("decode clean");
         assert_eq!(back.clean(), clean_art.clean());
 
-        // missing-values cleans carry no dirty-test matrix: the `-` arm
+        // missing-values cleans carry no dirty-test matrix: the absent arm
         let et = ErrorType::MissingValues;
         let split = tasks::make_split(&data, et, &ctx, &cfg, 1).unwrap();
         let method = CleaningMethod::catalogue(et)[0];

@@ -112,7 +112,7 @@ fn art_bytes(dir: &std::path::Path) -> u64 {
                     let name = name.to_string_lossy();
                     // artifact payloads and their in-flight temp files; the
                     // index sidecar is bookkeeping, not cached payload
-                    !name.starts_with("index.v1")
+                    !name.starts_with("index.v2")
                         && (name.ends_with(".art") || name.contains(".tmp-"))
                 })
                 .filter_map(|e| e.metadata().ok())
@@ -147,19 +147,21 @@ fn killed_run_resumes_without_retraining() {
     // Simulate the kill: every Evaluate artifact vanishes (those tasks had
     // not finished), and the index file is stale (never flushed after the
     // final writes) — the store must rebuild it from the directory scan.
+    // Cells are recognized by their payload dispatch tag inside the frame.
     let mut dropped_cells = 0usize;
     for entry in std::fs::read_dir(&dir).unwrap().flatten() {
         let path = entry.path();
         if path.extension().is_some_and(|e| e == "art") {
-            let text = std::fs::read_to_string(&path).unwrap();
-            if text.starts_with("cell v1") {
+            let bytes = std::fs::read(&path).unwrap();
+            let payload = cleanml_dataset::codec::open_frame(&bytes).expect("stored frame valid");
+            if payload.first() == Some(&b'C') {
                 std::fs::remove_file(&path).unwrap();
                 dropped_cells += 1;
             }
         }
     }
     assert!(dropped_cells > 0, "study must have persisted cells");
-    let _ = std::fs::remove_file(dir.join("index.v1"));
+    let _ = std::fs::remove_file(dir.join("index.v2"));
 
     let mut resumed = Engine::new(EngineConfig {
         workers: 4,
@@ -267,6 +269,75 @@ fn concurrent_engines_share_a_cache_dir_safely() {
     assert_identical(&serial, &db_warm, "serial vs warm");
     assert_eq!(report.executed_total(), report.executed(TaskKind::Reduce));
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A warm store whose entries have been corrupted (bit flips, truncations)
+/// or replaced by hex-text-era files degrades to cache misses: the study
+/// re-runs the affected tasks, produces bit-identical relations, and GCs
+/// every bad entry — no panic, no hang, no mangled artifact.
+#[test]
+fn corrupt_and_legacy_store_entries_degrade_to_misses() {
+    let cfg = tiny_cfg();
+    let ets = [ErrorType::Inconsistencies];
+    let dir = temp_dir("corrupt");
+
+    let mut cold = Engine::new(EngineConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let (db_cold, _) = cold.run_study_with_report(&ets, &cfg).expect("cold study");
+    drop(cold);
+
+    // Vandalize the store: rotate through a bit flip mid-payload, a
+    // truncation, and a hex-text-era replacement.
+    let mut vandalized = 0usize;
+    for (i, entry) in std::fs::read_dir(&dir).unwrap().flatten().enumerate() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "art") {
+            continue;
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        match i % 3 {
+            0 => {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x10;
+                std::fs::write(&path, &bytes).unwrap();
+            }
+            1 => {
+                bytes.truncate(bytes.len() / 2);
+                std::fs::write(&path, &bytes).unwrap();
+            }
+            _ => {
+                std::fs::write(&path, "trained v1 3fe0000000000000 const 0 2").unwrap();
+            }
+        }
+        vandalized += 1;
+    }
+    assert!(vandalized > 0, "cold run must have persisted artifacts");
+
+    let mut resumed = Engine::new(EngineConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let (db_resumed, report) = resumed.run_study_with_report(&ets, &cfg).expect("resumed study");
+    assert_identical(&db_cold, &db_resumed, "cold vs corrupt-store resume");
+    assert!(report.executed_total() > 0, "corrupt entries must re-run, not serve");
+
+    // Every surviving entry is once again a valid frame.
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "art") {
+            let bytes = std::fs::read(&path).unwrap();
+            assert!(
+                cleanml_dataset::codec::open_frame(&bytes).is_some(),
+                "store left with an invalid frame: {}",
+                path.display()
+            );
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -159,8 +159,8 @@ impl AdaBoost {
 }
 
 impl AdaBoost {
-    /// Appends the weighted learner ensemble to an artifact token stream.
-    pub(crate) fn encode_into(&self, out: &mut String) {
+    /// Appends the weighted learner ensemble to an artifact byte stream.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         use cleanml_dataset::codec::{push_f64, push_usize};
         push_usize(out, self.n_features);
         push_usize(out, self.n_classes);
@@ -172,7 +172,7 @@ impl AdaBoost {
     }
 
     /// Reads an ensemble written by [`AdaBoost::encode_into`].
-    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<AdaBoost> {
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Reader<'_>) -> Option<AdaBoost> {
         use cleanml_dataset::codec::{take_f64, take_usize};
         let n_features = take_usize(parts)?;
         let n_classes = take_usize(parts)?;

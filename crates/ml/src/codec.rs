@@ -1,18 +1,22 @@
-//! Lossless token codecs for every fitted model variant.
+//! Binary codecs for every fitted model variant.
 //!
 //! The engine's artifact store persists `Train` results on disk so an
 //! interrupted study never retrains a finished model. Each
-//! [`FittedModel`] variant serializes through the whitespace-token
-//! primitives of [`cleanml_dataset::codec`]: floats as IEEE-754 bit
-//! patterns (decode is bit-identical, so a resumed run reproduces the exact
-//! predictions of the original), vectors length-prefixed (truncation
-//! decodes to `None`, never to a plausible-but-wrong model).
+//! [`FittedModel`] variant serializes through the binary wire primitives
+//! of [`cleanml_dataset::codec`]: floats as raw IEEE-754 bit patterns
+//! (decode is bit-identical, so a resumed run reproduces the exact
+//! predictions of the original), vectors length-prefixed with bounded
+//! decode allocations (truncation decodes to `None`, never to a
+//! plausible-but-wrong model).
 //!
 //! The per-variant field codecs live next to their structs (e.g.
 //! [`crate::tree`] encodes its own node arena); this module owns the
 //! variant tag dispatch.
 
-use cleanml_dataset::codec::{push_f64, push_usize, take_f64, take_usize, Tokens};
+use cleanml_dataset::codec::{
+    push_f64, push_f64_compact, push_tag, push_usize, take_f64, take_f64_compact, take_tag,
+    take_usize, Reader,
+};
 
 use crate::adaboost::AdaBoost;
 use crate::forest::RandomForest;
@@ -25,66 +29,100 @@ use crate::nacl::Nacl;
 use crate::naive_bayes::GaussianNb;
 use crate::tree::DecisionTree;
 
-/// Appends a length-prefixed `f64` slice.
-pub(crate) fn push_f64_vec(out: &mut String, v: &[f64]) {
+/// Appends a length-prefixed `f64` slice of dense learned values (weights,
+/// biases, Gaussians): raw 8-byte patterns, since gradient-descent output
+/// is essentially never exactly 0/1 and the compact tag would only add a
+/// byte per element.
+pub(crate) fn push_f64_vec(out: &mut Vec<u8>, v: &[f64]) {
     push_usize(out, v.len());
     for &x in v {
         push_f64(out, x);
     }
 }
 
-/// Reads a slice written by [`push_f64_vec`].
-pub(crate) fn take_f64_vec(parts: &mut Tokens<'_>) -> Option<Vec<f64>> {
+/// Reads a slice written by [`push_f64_vec`]; the allocation is bounded by
+/// the bytes actually present, so a corrupt length is a clean `None`.
+/// Values round-trip the full f64 domain — models trained on tables with
+/// non-finite cells persist non-finite parameters, and an artifact that
+/// encodes but never decodes would silently defeat the warm cache.
+pub(crate) fn take_f64_vec(parts: &mut Reader<'_>) -> Option<Vec<f64>> {
     let n = take_usize(parts)?;
-    let mut v = Vec::with_capacity(n.min(1 << 20));
+    if n.checked_mul(8)? > parts.remaining() {
+        return None;
+    }
+    let mut v = Vec::with_capacity(n);
     for _ in 0..n {
         v.push(take_f64(parts)?);
     }
     Some(v)
 }
 
-/// Appends a fitted model (variant tag + fields) to the token stream.
-pub fn encode_model_into(out: &mut String, model: &FittedModel) {
+/// Like [`push_f64_vec`], but in the compact 0/1 form — for class
+/// *distributions* (tree and forest leaves are overwhelmingly pure, so
+/// most elements are exact 0.0 or 1.0 and cost one byte).
+pub(crate) fn push_dist_vec(out: &mut Vec<u8>, v: &[f64]) {
+    push_usize(out, v.len());
+    for &x in v {
+        push_f64_compact(out, x);
+    }
+}
+
+/// Reads a slice written by [`push_dist_vec`]; each element is at least
+/// one byte, bounding the allocation.
+pub(crate) fn take_dist_vec(parts: &mut Reader<'_>) -> Option<Vec<f64>> {
+    let n = take_usize(parts)?;
+    if n > parts.remaining() {
+        return None;
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(take_f64_compact(parts)?);
+    }
+    Some(v)
+}
+
+/// Appends a fitted model (variant tag byte + fields) to the byte stream.
+pub fn encode_model_into(out: &mut Vec<u8>, model: &FittedModel) {
     match model {
         FittedModel::Constant { class, n_classes } => {
-            out.push_str(" const");
+            push_tag(out, b'c');
             push_usize(out, *class);
             push_usize(out, *n_classes);
         }
         FittedModel::Logistic(m) => {
-            out.push_str(" logit");
+            push_tag(out, b'l');
             m.encode_into(out);
         }
         FittedModel::Knn(m) => {
-            out.push_str(" knn");
+            push_tag(out, b'k');
             m.encode_into(out);
         }
         FittedModel::Tree(m) => {
-            out.push_str(" tree");
+            push_tag(out, b't');
             m.encode_into(out);
         }
         FittedModel::Forest(m) => {
-            out.push_str(" forest");
+            push_tag(out, b'f');
             m.encode_into(out);
         }
         FittedModel::AdaBoost(m) => {
-            out.push_str(" ada");
+            push_tag(out, b'a');
             m.encode_into(out);
         }
         FittedModel::Gbdt(m) => {
-            out.push_str(" gbdt");
+            push_tag(out, b'g');
             m.encode_into(out);
         }
         FittedModel::NaiveBayes(m) => {
-            out.push_str(" nb");
+            push_tag(out, b'n');
             m.encode_into(out);
         }
         FittedModel::Mlp(m) => {
-            out.push_str(" mlp");
+            push_tag(out, b'm');
             m.encode_into(out);
         }
         FittedModel::Nacl(m) => {
-            out.push_str(" nacl");
+            push_tag(out, b'z');
             m.encode_into(out);
         }
     }
@@ -92,9 +130,9 @@ pub fn encode_model_into(out: &mut String, model: &FittedModel) {
 
 /// Reads a model written by [`encode_model_into`]; `None` on an unknown tag
 /// or any malformed field.
-pub fn decode_model_from(parts: &mut Tokens<'_>) -> Option<FittedModel> {
-    Some(match parts.next()? {
-        "const" => {
+pub fn decode_model_from(parts: &mut Reader<'_>) -> Option<FittedModel> {
+    Some(match take_tag(parts)? {
+        b'c' => {
             let class = take_usize(parts)?;
             let n_classes = take_usize(parts)?;
             if class >= n_classes.max(1) {
@@ -102,31 +140,32 @@ pub fn decode_model_from(parts: &mut Tokens<'_>) -> Option<FittedModel> {
             }
             FittedModel::Constant { class, n_classes }
         }
-        "logit" => FittedModel::Logistic(Logistic::decode_from(parts)?),
-        "knn" => FittedModel::Knn(Knn::decode_from(parts)?),
-        "tree" => FittedModel::Tree(DecisionTree::decode_from(parts)?),
-        "forest" => FittedModel::Forest(RandomForest::decode_from(parts)?),
-        "ada" => FittedModel::AdaBoost(AdaBoost::decode_from(parts)?),
-        "gbdt" => FittedModel::Gbdt(Gbdt::decode_from(parts)?),
-        "nb" => FittedModel::NaiveBayes(GaussianNb::decode_from(parts)?),
-        "mlp" => FittedModel::Mlp(Mlp::decode_from(parts)?),
-        "nacl" => FittedModel::Nacl(Nacl::decode_from(parts)?),
+        b'l' => FittedModel::Logistic(Logistic::decode_from(parts)?),
+        b'k' => FittedModel::Knn(Knn::decode_from(parts)?),
+        b't' => FittedModel::Tree(DecisionTree::decode_from(parts)?),
+        b'f' => FittedModel::Forest(RandomForest::decode_from(parts)?),
+        b'a' => FittedModel::AdaBoost(AdaBoost::decode_from(parts)?),
+        b'g' => FittedModel::Gbdt(Gbdt::decode_from(parts)?),
+        b'n' => FittedModel::NaiveBayes(GaussianNb::decode_from(parts)?),
+        b'm' => FittedModel::Mlp(Mlp::decode_from(parts)?),
+        b'z' => FittedModel::Nacl(Nacl::decode_from(parts)?),
         _ => return None,
     })
 }
 
-/// Serializes a fitted model to one self-contained string.
-pub fn encode_model(model: &FittedModel) -> String {
-    let mut out = String::new();
+/// Serializes a fitted model to one self-contained byte buffer.
+pub fn encode_model(model: &FittedModel) -> Vec<u8> {
+    let mut out = Vec::new();
     encode_model_into(&mut out, model);
     out
 }
 
-/// Parses a string produced by [`encode_model`].
-pub fn decode_model(text: &str) -> Option<FittedModel> {
-    let mut parts = text.split_whitespace();
+/// Parses a buffer produced by [`encode_model`]; trailing bytes are
+/// rejected.
+pub fn decode_model(bytes: &[u8]) -> Option<FittedModel> {
+    let mut parts = Reader::new(bytes);
     let model = decode_model_from(&mut parts)?;
-    parts.next().is_none().then_some(model)
+    parts.is_empty().then_some(model)
 }
 
 #[cfg(test)]
@@ -156,9 +195,9 @@ mod tests {
         kinds.extend([ModelKind::Mlp, ModelKind::Nacl]);
         for kind in kinds {
             let model = ModelSpec::default_for(kind).fit(&data, 7).unwrap();
-            let text = encode_model(&model);
-            let back = decode_model(&text)
-                .unwrap_or_else(|| panic!("{kind}: decode failed for {text:.60}…"));
+            let bytes = encode_model(&model);
+            let back = decode_model(&bytes)
+                .unwrap_or_else(|| panic!("{kind}: decode failed for {} bytes", bytes.len()));
             assert_eq!(back, model, "{kind}");
             // decoded model predicts identically
             assert_eq!(back.predict(&data).unwrap(), model.predict(&data).unwrap(), "{kind}");
@@ -174,32 +213,62 @@ mod tests {
     fn constant_round_trips() {
         let m = FittedModel::Constant { class: 1, n_classes: 3 };
         assert_eq!(decode_model(&encode_model(&m)), Some(m));
-        assert!(decode_model("const 5 2").is_none(), "class out of range");
+        let out_of_range = encode_model(&FittedModel::Constant { class: 5, n_classes: 2 });
+        assert!(decode_model(&out_of_range).is_none(), "class out of range");
     }
 
     #[test]
     fn malformed_streams_rejected() {
-        assert!(decode_model("").is_none());
-        assert!(decode_model("alien 1 2").is_none());
-        assert!(decode_model("logit 2").is_none(), "truncated");
+        assert!(decode_model(b"").is_none());
+        assert!(decode_model(b"Q\x01\x02").is_none(), "unknown variant tag");
+        assert!(decode_model(b"l\x02").is_none(), "truncated");
         let data = blobs(20);
         let model = ModelSpec::default_for(ModelKind::DecisionTree).fit(&data, 1).unwrap();
-        let text = encode_model(&model);
-        assert!(decode_model(&format!("{text} extra")).is_none(), "trailing tokens");
-        let cut = &text[..text.len() - 18];
-        assert!(decode_model(cut).is_none(), "truncated tree");
+        let bytes = encode_model(&model);
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_model(&long).is_none(), "trailing bytes");
+        for cut in 0..bytes.len() {
+            assert!(decode_model(&bytes[..cut]).is_none(), "truncated tree at {cut}");
+        }
     }
 
     #[test]
     fn cyclic_tree_arenas_rejected() {
-        // A token-valid but cyclic arena (node 1 pointing back at node 0)
-        // must decode to None — accepting it would hang prediction.
-        let zeros = format!(" 2 {0} {0}", "0000000000000000");
-        let cycle =
-            format!("tree 2 2 3 S 0 3ff0000000000000 1 2 S 1 3ff0000000000000 0 2 L{zeros}");
+        use cleanml_dataset::codec::{push_f64, push_tag, push_usize};
+        // A structurally valid but cyclic arena (node 1 pointing back at
+        // node 0) must decode to None — accepting it would hang prediction.
+        let leaf = |out: &mut Vec<u8>| {
+            push_tag(out, b'L');
+            push_usize(out, 2); // dist len
+            push_f64_compact(out, 0.0);
+            push_f64_compact(out, 0.0);
+        };
+        let split = |out: &mut Vec<u8>, feature: usize, left: usize, right: usize| {
+            push_tag(out, b'S');
+            push_usize(out, feature);
+            push_f64(out, 1.0);
+            push_usize(out, left);
+            push_usize(out, right);
+        };
+        let mut cycle = Vec::new();
+        push_tag(&mut cycle, b't'); // FittedModel::Tree
+        push_usize(&mut cycle, 2); // n_features
+        push_usize(&mut cycle, 2); // n_classes
+        push_usize(&mut cycle, 3); // n_nodes
+        split(&mut cycle, 0, 1, 2);
+        split(&mut cycle, 1, 0, 2); // back-edge to node 0
+        leaf(&mut cycle);
         assert!(decode_model(&cycle).is_none(), "back-edge split accepted");
+
         // self-loop at the root
-        let self_loop = format!("tree 2 2 2 S 0 3ff0000000000000 0 1 L{zeros}");
+        let mut self_loop = Vec::new();
+        push_tag(&mut self_loop, b't');
+        push_usize(&mut self_loop, 2);
+        push_usize(&mut self_loop, 2);
+        push_usize(&mut self_loop, 2);
+        split(&mut self_loop, 0, 0, 1); // left child = itself
+        leaf(&mut self_loop);
         assert!(decode_model(&self_loop).is_none(), "self-loop accepted");
     }
 }

@@ -114,8 +114,8 @@ impl RandomForest {
 }
 
 impl RandomForest {
-    /// Appends every member tree to an artifact token stream.
-    pub(crate) fn encode_into(&self, out: &mut String) {
+    /// Appends every member tree to an artifact byte stream.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         use cleanml_dataset::codec::push_usize;
         push_usize(out, self.n_features);
         push_usize(out, self.n_classes);
@@ -127,7 +127,7 @@ impl RandomForest {
 
     /// Reads a forest written by [`RandomForest::encode_into`].
     pub(crate) fn decode_from(
-        parts: &mut cleanml_dataset::codec::Tokens<'_>,
+        parts: &mut cleanml_dataset::codec::Reader<'_>,
     ) -> Option<RandomForest> {
         use cleanml_dataset::codec::take_usize;
         let n_features = take_usize(parts)?;

@@ -277,17 +277,17 @@ fn build_reg_node(
 }
 
 impl RegTree {
-    fn encode_into(&self, out: &mut String) {
-        use cleanml_dataset::codec::{push_f64, push_usize};
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        use cleanml_dataset::codec::{push_f64, push_tag, push_usize};
         push_usize(out, self.nodes.len());
         for node in &self.nodes {
             match node {
                 RNode::Leaf(w) => {
-                    out.push_str(" L");
+                    push_tag(out, b'L');
                     push_f64(out, *w);
                 }
                 RNode::Split { feature, threshold, left, right } => {
-                    out.push_str(" S");
+                    push_tag(out, b'S');
                     push_usize(out, *feature);
                     push_f64(out, *threshold);
                     push_usize(out, *left);
@@ -298,16 +298,16 @@ impl RegTree {
     }
 
     fn decode_from(
-        parts: &mut cleanml_dataset::codec::Tokens<'_>,
+        parts: &mut cleanml_dataset::codec::Reader<'_>,
         n_features: usize,
     ) -> Option<RegTree> {
         use cleanml_dataset::codec::{take_f64, take_usize};
         let n_nodes = take_usize(parts)?;
         let mut nodes = Vec::with_capacity(n_nodes.min(1 << 20));
         for i in 0..n_nodes {
-            let node = match parts.next()? {
-                "L" => RNode::Leaf(take_f64(parts)?),
-                "S" => {
+            let node = match cleanml_dataset::codec::take_tag(parts)? {
+                b'L' => RNode::Leaf(take_f64(parts)?),
+                b'S' => {
                     let feature = take_usize(parts)?;
                     let threshold = take_f64(parts)?;
                     let left = take_usize(parts)?;
@@ -335,8 +335,8 @@ impl RegTree {
 }
 
 impl Gbdt {
-    /// Appends the boosted ensemble to an artifact token stream.
-    pub(crate) fn encode_into(&self, out: &mut String) {
+    /// Appends the boosted ensemble to an artifact byte stream.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         use cleanml_dataset::codec::{push_f64, push_usize};
         push_usize(out, self.n_features);
         push_usize(out, self.n_classes);
@@ -351,7 +351,7 @@ impl Gbdt {
     }
 
     /// Reads an ensemble written by [`Gbdt::encode_into`].
-    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Gbdt> {
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Reader<'_>) -> Option<Gbdt> {
         use cleanml_dataset::codec::{take_f64, take_usize};
         let n_features = take_usize(parts)?;
         let n_classes = take_usize(parts)?;

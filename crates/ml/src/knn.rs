@@ -105,13 +105,13 @@ impl Knn {
 impl Knn {
     /// Appends the memorized training matrix and `k` to an artifact token
     /// stream.
-    pub(crate) fn encode_into(&self, out: &mut String) {
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         cleanml_dataset::codec::push_usize(out, self.k);
         self.train.encode_into(out);
     }
 
     /// Reads a model written by [`Knn::encode_into`].
-    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Knn> {
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Reader<'_>) -> Option<Knn> {
         let k = cleanml_dataset::codec::take_usize(parts)?;
         let train = FeatureMatrix::decode_from(parts)?;
         (k >= 1 && k <= train.n_rows()).then_some(Knn { train, k })

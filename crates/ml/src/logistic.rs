@@ -165,23 +165,23 @@ pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Row-wise argmax over a flat `n × k` probability matrix.
+/// Row-wise argmax over a flat `n × k` probability matrix. `total_cmp`
+/// orders identically to `partial_cmp` for real probability rows (softmax
+/// outputs are non-negative) and stays total — no panic — when scores
+/// overflowed to NaN, which adversarially corrupted-but-finite decoded
+/// weights can produce.
 pub(crate) fn argmax_rows(probs: &[f64], k: usize) -> Vec<usize> {
     probs
         .chunks_exact(k)
         .map(|row| {
-            row.iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("probs are finite"))
-                .map(|(i, _)| i)
-                .expect("k > 0")
+            row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).expect("k > 0")
         })
         .collect()
 }
 
 impl Logistic {
-    /// Appends the fitted weights to an artifact token stream.
-    pub(crate) fn encode_into(&self, out: &mut String) {
+    /// Appends the fitted weights to an artifact byte stream.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         use cleanml_dataset::codec::push_usize;
         push_usize(out, self.n_features);
         push_usize(out, self.n_classes);
@@ -190,7 +190,7 @@ impl Logistic {
     }
 
     /// Reads a model written by [`Logistic::encode_into`].
-    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Logistic> {
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Reader<'_>) -> Option<Logistic> {
         use cleanml_dataset::codec::take_usize;
         let n_features = take_usize(parts)?;
         let n_classes = take_usize(parts)?;

@@ -265,7 +265,7 @@ impl Mlp {
 }
 
 impl Layer {
-    fn encode_into(&self, out: &mut String) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
         use cleanml_dataset::codec::push_usize;
         push_usize(out, self.n_in);
         push_usize(out, self.n_out);
@@ -273,7 +273,7 @@ impl Layer {
         crate::codec::push_f64_vec(out, &self.b);
     }
 
-    fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Layer> {
+    fn decode_from(parts: &mut cleanml_dataset::codec::Reader<'_>) -> Option<Layer> {
         use cleanml_dataset::codec::take_usize;
         let n_in = take_usize(parts)?;
         let n_out = take_usize(parts)?;
@@ -289,8 +289,8 @@ impl Layer {
 }
 
 impl Mlp {
-    /// Appends the three dense layers to an artifact token stream.
-    pub(crate) fn encode_into(&self, out: &mut String) {
+    /// Appends the three dense layers to an artifact byte stream.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         use cleanml_dataset::codec::push_usize;
         push_usize(out, self.n_features);
         push_usize(out, self.n_classes);
@@ -300,7 +300,7 @@ impl Mlp {
     }
 
     /// Reads a network written by [`Mlp::encode_into`].
-    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Mlp> {
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Reader<'_>) -> Option<Mlp> {
         use cleanml_dataset::codec::take_usize;
         let n_features = take_usize(parts)?;
         let n_classes = take_usize(parts)?;

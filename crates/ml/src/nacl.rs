@@ -178,8 +178,8 @@ impl Nacl {
 }
 
 impl Nacl {
-    /// Appends the fitted weights to an artifact token stream.
-    pub(crate) fn encode_into(&self, out: &mut String) {
+    /// Appends the fitted weights to an artifact byte stream.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         use cleanml_dataset::codec::push_usize;
         push_usize(out, self.n_features);
         push_usize(out, self.n_classes);
@@ -188,7 +188,7 @@ impl Nacl {
     }
 
     /// Reads a model written by [`Nacl::encode_into`].
-    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Tokens<'_>) -> Option<Nacl> {
+    pub(crate) fn decode_from(parts: &mut cleanml_dataset::codec::Reader<'_>) -> Option<Nacl> {
         use cleanml_dataset::codec::take_usize;
         let n_features = take_usize(parts)?;
         let n_classes = take_usize(parts)?;

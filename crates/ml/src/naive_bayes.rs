@@ -149,8 +149,8 @@ impl GaussianNb {
 }
 
 impl GaussianNb {
-    /// Appends the per-class Gaussians to an artifact token stream.
-    pub(crate) fn encode_into(&self, out: &mut String) {
+    /// Appends the per-class Gaussians to an artifact byte stream.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         use cleanml_dataset::codec::push_usize;
         push_usize(out, self.n_features);
         push_usize(out, self.n_classes);
@@ -161,7 +161,7 @@ impl GaussianNb {
 
     /// Reads a model written by [`GaussianNb::encode_into`].
     pub(crate) fn decode_from(
-        parts: &mut cleanml_dataset::codec::Tokens<'_>,
+        parts: &mut cleanml_dataset::codec::Reader<'_>,
     ) -> Option<GaussianNb> {
         use cleanml_dataset::codec::take_usize;
         let n_features = take_usize(parts)?;

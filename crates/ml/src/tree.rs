@@ -317,20 +317,20 @@ fn find_best_split(
 }
 
 impl DecisionTree {
-    /// Appends the node arena to an artifact token stream.
-    pub(crate) fn encode_into(&self, out: &mut String) {
-        use cleanml_dataset::codec::{push_f64, push_usize};
+    /// Appends the node arena to an artifact byte stream.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        use cleanml_dataset::codec::{push_f64, push_tag, push_usize};
         push_usize(out, self.n_features);
         push_usize(out, self.n_classes);
         push_usize(out, self.nodes.len());
         for node in &self.nodes {
             match node {
                 Node::Leaf { dist } => {
-                    out.push_str(" L");
-                    crate::codec::push_f64_vec(out, dist);
+                    push_tag(out, b'L');
+                    crate::codec::push_dist_vec(out, dist);
                 }
                 Node::Split { feature, threshold, left, right } => {
-                    out.push_str(" S");
+                    push_tag(out, b'S');
                     push_usize(out, *feature);
                     push_f64(out, *threshold);
                     push_usize(out, *left);
@@ -342,7 +342,7 @@ impl DecisionTree {
 
     /// Reads a tree written by [`DecisionTree::encode_into`].
     pub(crate) fn decode_from(
-        parts: &mut cleanml_dataset::codec::Tokens<'_>,
+        parts: &mut cleanml_dataset::codec::Reader<'_>,
     ) -> Option<DecisionTree> {
         use cleanml_dataset::codec::{take_f64, take_usize};
         let n_features = take_usize(parts)?;
@@ -350,15 +350,15 @@ impl DecisionTree {
         let n_nodes = take_usize(parts)?;
         let mut nodes = Vec::with_capacity(n_nodes.min(1 << 20));
         for i in 0..n_nodes {
-            let node = match parts.next()? {
-                "L" => {
-                    let dist = crate::codec::take_f64_vec(parts)?;
+            let node = match cleanml_dataset::codec::take_tag(parts)? {
+                b'L' => {
+                    let dist = crate::codec::take_dist_vec(parts)?;
                     if dist.len() != n_classes {
                         return None;
                     }
                     Node::Leaf { dist }
                 }
-                "S" => {
+                b'S' => {
                     let feature = take_usize(parts)?;
                     let threshold = take_f64(parts)?;
                     let left = take_usize(parts)?;

@@ -74,4 +74,42 @@ proptest! {
             prop_assert!(acc > 0.99, "{kind} failed separable data: {acc}");
         }
     }
+
+    /// The binary model codec round-trips arbitrary fitted models
+    /// bit-exactly, and every truncation of the encoding fails closed.
+    #[test]
+    fn model_codec_round_trips(m in arb_matrix(), seed in any::<u64>()) {
+        for kind in FAST_KINDS {
+            let model = ModelSpec::default_for(kind).fit(&m, seed).expect("fit");
+            let bytes = cleanml_ml::codec::encode_model(&model);
+            let back = cleanml_ml::codec::decode_model(&bytes).expect("decode");
+            prop_assert_eq!(&back, &model, "{}", kind);
+            prop_assert_eq!(
+                back.predict_proba(&m).expect("p"),
+                model.predict_proba(&m).expect("p"),
+                "{}", kind
+            );
+            for cut in 0..bytes.len() {
+                prop_assert!(
+                    cleanml_ml::codec::decode_model(&bytes[..cut]).is_none(),
+                    "{}: truncation at {} decoded", kind, cut
+                );
+            }
+        }
+    }
+
+    /// Adversarial mutation: flipping any byte of a valid model encoding
+    /// parses or rejects — never a panic, never a hang, never a runaway
+    /// allocation. (In the store such bytes can't even reach the decoder:
+    /// the artifact frame's checksum rejects them first. This property
+    /// covers future transports that might skip the frame.)
+    #[test]
+    fn model_decoder_is_total(m in arb_matrix(), seed in any::<u64>(), mutate in any::<u64>()) {
+        let kind = FAST_KINDS[(seed % FAST_KINDS.len() as u64) as usize];
+        let model = ModelSpec::default_for(kind).fit(&m, seed).expect("fit");
+        let mut bytes = cleanml_ml::codec::encode_model(&model);
+        let pos = (mutate as usize) % bytes.len();
+        bytes[pos] ^= (mutate >> 8) as u8 | 1;
+        let _ = cleanml_ml::codec::decode_model(&bytes); // Some or None, no panic
+    }
 }

@@ -129,6 +129,15 @@ impl Arbitrary for bool {
     }
 }
 
+impl Arbitrary for f64 {
+    /// Full-domain floats via random bit patterns — includes NaNs,
+    /// infinities, subnormals and both zeros, which is exactly what
+    /// bit-exact codec properties need to see.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
 /// The strategy returned by [`crate::any`].
 #[derive(Debug, Clone, Copy)]
 pub struct Any<T>(pub PhantomData<T>);
