@@ -6,7 +6,8 @@
 //! ```sh
 //! cargo run --release -p cleanml-bench --bin study -- \
 //!     [--quick|--paper] [--workers N] [--cache-dir DIR] \
-//!     [--cache-max-bytes N[k|m|g]] [--cache-stats] [out_dir]
+//!     [--cache-max-bytes N[k|m|g]] [--cache-stats] \
+//!     [--listen ADDR] [--lease-timeout SECS] [out_dir]
 //! ```
 //!
 //! With `--cache-dir`, a repeated or resumed invocation — including one
@@ -14,6 +15,11 @@
 //! evaluation task via the engine's content-addressed artifact store;
 //! `--cache-max-bytes` keeps the run directory under a byte budget with
 //! LRU eviction.
+//!
+//! With `--listen`, this process becomes a distributed coordinator:
+//! `cleanml-worker --connect ADDR` processes lease ready tasks over TCP
+//! and ship artifacts back into the shared store; a worker killed mid-run
+//! costs only its in-flight task (re-leased after `--lease-timeout`).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -89,7 +95,15 @@ fn dump(db: &CleanMlDb, dir: &Path) -> std::io::Result<()> {
 /// a preceding flag.
 fn out_dir_from_args() -> PathBuf {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let value_flags = ["--splits", "--seed", "--workers", "--cache-dir", "--cache-max-bytes"];
+    let value_flags = [
+        "--splits",
+        "--seed",
+        "--workers",
+        "--cache-dir",
+        "--cache-max-bytes",
+        "--listen",
+        "--lease-timeout",
+    ];
     let mut skip_next = false;
     for a in &args {
         if skip_next {

@@ -25,14 +25,18 @@
 //! * `--cache-max-bytes N[k|m|g]` — byte budget for the cache directory;
 //!   least-recently-used artifacts are evicted to stay under it.
 //! * `--cache-stats` — print an end-of-run cache summary line (memory/disk
-//!   hits, misses, writes, evictions, store size).
+//!   hits, misses, writes, evictions, store size, remote accounting).
+//! * `--listen ADDR` — accept remote `cleanml-worker` connections; remote
+//!   workers lease ready tasks and ship artifacts back over TCP.
+//! * `--lease-timeout SECS` — how long a leased worker may go silent
+//!   before its task is re-queued (default 5).
 
 use std::sync::mpsc;
 
 use cleanml_core::database::FlagDist;
 use cleanml_core::schema::ErrorType;
 use cleanml_core::{CleanMlDb, ExperimentConfig};
-use cleanml_engine::{parallel_map, CacheStats, Engine, EngineConfig, EngineEvent};
+use cleanml_engine::{parallel_map, CacheStats, Engine, EngineConfig, EngineEvent, RunReport};
 use cleanml_stats::Flag;
 
 /// Parses the common CLI profile flags.
@@ -59,7 +63,7 @@ pub fn config_from_args() -> ExperimentConfig {
 }
 
 /// Parses the engine CLI flags (`--workers`, `--cache-dir`,
-/// `--cache-max-bytes`).
+/// `--cache-max-bytes`, `--listen`, `--lease-timeout`).
 pub fn engine_from_args() -> EngineConfig {
     let args: Vec<String> = std::env::args().collect();
     let workers = args
@@ -83,7 +87,31 @@ pub fn engine_from_args() -> EngineConfig {
             std::process::exit(2);
         })
     });
-    EngineConfig { workers, cache_dir, cache_max_bytes }
+    let listen = args.iter().position(|a| a == "--listen").map(|p| {
+        // An explicitly requested coordinator must never silently run
+        // local-only (workers elsewhere would retry against nothing).
+        args.get(p + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --listen expects HOST:PORT");
+            std::process::exit(2);
+        })
+    });
+    let lease_timeout = args
+        .iter()
+        .position(|a| a == "--lease-timeout")
+        .map(|p| {
+            let value = args.get(p + 1).map(String::as_str).unwrap_or("");
+            // Same contract as the byte budget: an explicit deadline is
+            // never silently replaced by the default.
+            match value.parse::<u64>() {
+                Ok(secs) if secs > 0 => std::time::Duration::from_secs(secs),
+                _ => {
+                    eprintln!("error: --lease-timeout expects whole seconds > 0, got `{value}`");
+                    std::process::exit(2);
+                }
+            }
+        })
+        .unwrap_or(cleanml_engine::DEFAULT_LEASE_TIMEOUT);
+    EngineConfig { workers, cache_dir, cache_max_bytes, listen, lease_timeout }
 }
 
 /// Parses a byte size: a plain integer, optionally suffixed `k`/`m`/`g`
@@ -112,6 +140,9 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
     let (tx, rx) = mpsc::channel();
     let mut engine = Engine::new(engine_cfg).with_events(tx);
     eprintln!("[engine] {} workers", engine.workers());
+    if let Some(addr) = engine.remote_addr() {
+        eprintln!("[engine] listening on {addr} (connect with: cleanml-worker --connect {addr})");
+    }
 
     let render = std::thread::spawn(move || {
         let mut to_run = 0usize;
@@ -130,6 +161,19 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
                     if done.is_multiple_of(100) || done == to_run {
                         eprint!("\r[engine] {done}/{to_run} tasks done");
                     }
+                }
+                EngineEvent::WorkerJoined { worker } => {
+                    eprintln!("\n[engine] remote worker joined: {worker}");
+                }
+                EngineEvent::LeaseExpired { worker, id, kind } => {
+                    eprintln!(
+                        "\n[engine] lease expired: task {id} ({}) re-queued after silence \
+                         from {worker}",
+                        kind.name()
+                    );
+                }
+                EngineEvent::WorkerLeft { worker, completed } => {
+                    eprintln!("\n[engine] remote worker left: {worker} ({completed} tasks)");
                 }
                 EngineEvent::RunFinished if to_run > 0 => {
                     eprintln!();
@@ -153,28 +197,45 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
     render.join().expect("progress thread");
     let by_kind: Vec<String> =
         report.executed.iter().map(|(k, n)| format!("{} {}", n, k.name())).collect();
+    let remote_line = if report.remote_workers > 0 {
+        format!(
+            "; remote: {} workers executed {} tasks, {} leases re-queued",
+            report.remote_workers,
+            report.remote_total(),
+            report.releases,
+        )
+    } else {
+        String::new()
+    };
     eprintln!(
-        "[engine] executed {} tasks in {:.1?} ({}); cache: {} hits, {} pruned{}",
+        "[engine] executed {} tasks in {:.1?} ({}); cache: {} hits, {} pruned{}{}",
         report.executed_total(),
         started.elapsed(),
         if by_kind.is_empty() { "all cached".to_string() } else { by_kind.join(", ") },
         report.cache_hits,
         report.pruned,
         store_line.unwrap_or_default(),
+        remote_line,
     );
     if std::env::args().any(|a| a == "--cache-stats") {
-        println!("{}", cache_stats_line(&stats, store_totals));
+        println!("{}", cache_stats_line(&stats, store_totals, &report));
     }
     db
 }
 
-/// Renders the end-of-run `--cache-stats` summary: layer-by-layer counters
-/// plus the persistent store's size, in a stable greppable format.
-pub fn cache_stats_line(stats: &CacheStats, store_totals: Option<(u64, usize)>) -> String {
+/// Renders the end-of-run `--cache-stats` summary: layer-by-layer counters,
+/// the persistent store's size, and the run's execution provenance (local
+/// vs remote, plus re-leased orphans), in a stable greppable format.
+pub fn cache_stats_line(
+    stats: &CacheStats,
+    store_totals: Option<(u64, usize)>,
+    report: &RunReport,
+) -> String {
     let (store_bytes, store_entries) = store_totals.unwrap_or((0, 0));
     format!(
         "[cache-stats] memory_hits={} disk_hits={} misses={} disk_writes={} \
-         disk_evictions={} store_entries={} store_bytes={}",
+         disk_evictions={} store_entries={} store_bytes={} executed_local={} \
+         executed_remote={} remote_workers={} releases={}",
         stats.memory_hits,
         stats.disk_hits,
         stats.misses,
@@ -182,6 +243,10 @@ pub fn cache_stats_line(stats: &CacheStats, store_totals: Option<(u64, usize)>) 
         stats.disk_evictions,
         store_entries,
         store_bytes,
+        report.local_total(),
+        report.remote_total(),
+        report.remote_workers,
+        report.releases,
     )
 }
 
@@ -290,6 +355,7 @@ mod tests {
 
     #[test]
     fn cache_stats_line_is_stable_and_greppable() {
+        use cleanml_engine::TaskKind;
         let stats = CacheStats {
             memory_hits: 1,
             disk_hits: 2,
@@ -297,13 +363,24 @@ mod tests {
             disk_writes: 4,
             disk_evictions: 5,
         };
+        let report = RunReport {
+            executed: vec![(TaskKind::Train, 6), (TaskKind::Reduce, 2)],
+            remote_executed: vec![(TaskKind::Train, 9)],
+            remote_workers: 2,
+            releases: 1,
+            ..Default::default()
+        };
         assert_eq!(
-            cache_stats_line(&stats, Some((1024, 7))),
+            cache_stats_line(&stats, Some((1024, 7)), &report),
             "[cache-stats] memory_hits=1 disk_hits=2 misses=3 disk_writes=4 \
-             disk_evictions=5 store_entries=7 store_bytes=1024"
+             disk_evictions=5 store_entries=7 store_bytes=1024 executed_local=8 \
+             executed_remote=9 remote_workers=2 releases=1"
         );
-        // no persistent layer: store fields read as zero, line shape stable
-        assert!(cache_stats_line(&stats, None).ends_with("store_entries=0 store_bytes=0"));
+        // no persistent layer / purely local run: fields read as zero,
+        // line shape stable
+        let local = cache_stats_line(&stats, None, &RunReport::default());
+        assert!(local.contains("store_entries=0 store_bytes=0"));
+        assert!(local.ends_with("executed_local=0 executed_remote=0 remote_workers=0 releases=0"));
     }
 
     #[test]

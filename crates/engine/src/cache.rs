@@ -162,11 +162,19 @@ impl IndexState {
 const FLUSH_EVERY: usize = 32;
 
 /// The persistent, thread-safe artifact layer: one directory of
-/// content-addressed `<key>.art` files plus an `index.v1` sidecar.
+/// content-addressed `<key>.art` files plus an `index.v2` sidecar.
 ///
 /// Shared (via `Arc`) between the [`ArtifactCache`] front-end and the
 /// worker pool, which persists artifacts the moment tasks finish so a
 /// killed run loses nothing that completed.
+///
+/// The store is also the coordinator side's serve/accept plane for remote
+/// workers: a `Fetch {key}` that misses the in-memory slots is answered
+/// from [`DiskStore::load`] (touching the LRU slot like any other use),
+/// and a `Done` payload — already validated by a full artifact decode —
+/// lands through [`DiskStore::store`]'s atomic write path before any
+/// dependent task can observe it, so a partial or torn artifact can reach
+/// neither a reader process nor a remote peer.
 pub struct DiskStore {
     dir: PathBuf,
     max_bytes: Option<u64>,

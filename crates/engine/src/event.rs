@@ -84,6 +84,15 @@ pub enum EngineEvent {
     /// The task finished (`ok == false` means it errored and the run is
     /// aborting).
     TaskFinished { id: usize, kind: TaskKind, ok: bool },
+    /// A remote worker completed the protocol handshake and joined the
+    /// run's ready frontier.
+    WorkerJoined { worker: String },
+    /// A lease died — deadline missed or connection dropped — and its task
+    /// re-entered the ready frontier for someone else to claim.
+    LeaseExpired { worker: String, id: usize, kind: TaskKind },
+    /// A remote worker's session ended (orderly or not) after completing
+    /// `completed` leased tasks.
+    WorkerLeft { worker: String, completed: usize },
     /// The whole run completed.
     RunFinished,
 }

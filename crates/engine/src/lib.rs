@@ -17,7 +17,11 @@
 //!    optional on-disk layer under a run directory that lets repeated or
 //!    resumed studies skip every finished training task ([`cache`]);
 //! 4. **reports** progress (tasks queued / running / done, cache hits) on
-//!    an event channel the `study` binary renders ([`event`]).
+//!    an event channel the `study` binary renders ([`event`]);
+//! 5. **distributes** — with `--listen`, remote `cleanml-worker` processes
+//!    join over TCP, lease ready tasks and ship artifacts back as CMAF
+//!    frames; a worker killed mid-lease costs only its in-flight task
+//!    ([`remote`]).
 //!
 //! Task bodies are deterministic in their explicit seeds, and the relations
 //! are assembled in plan order, so a run with any worker count — including
@@ -40,6 +44,7 @@ pub mod event;
 pub mod graph;
 pub mod jobs;
 pub mod pool;
+pub mod remote;
 pub mod study;
 
 pub use cache::{ArtifactCache, CacheKey, CacheStats, DiskStore};
@@ -47,4 +52,5 @@ pub use event::{EngineEvent, EventSink, TaskKind};
 pub use graph::{TaskGraph, TaskId};
 pub use jobs::parallel_map;
 pub use pool::{PersistSink, RunReport};
-pub use study::{Artifact, Engine, EngineConfig};
+pub use remote::{FaultPlan, RemoteHub, WorkerSummary, DEFAULT_LEASE_TIMEOUT};
+pub use study::{build_study_graph, Artifact, Engine, EngineConfig};

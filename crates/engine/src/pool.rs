@@ -1,17 +1,27 @@
-//! Work-stealing execution of a resolved [`TaskGraph`].
+//! Work-stealing execution of a resolved [`TaskGraph`], local and remote.
 //!
-//! Each worker owns a deque: new-ready tasks are pushed to the owner's back
-//! and popped LIFO (locality — a freshly unblocked `Train` task reuses the
-//! `Clean` artifact still hot in cache), while idle workers steal FIFO from
-//! victims' fronts (old, wide tasks first — the classic Blumofe–Leiserson
-//! discipline, here with mutex-guarded deques rather than lock-free
-//! Chase–Lev buffers, which at ≤ a few dozen workers measure the same).
+//! Each local worker owns a deque: new-ready tasks are pushed to the
+//! owner's back and popped LIFO (locality — a freshly unblocked `Train`
+//! task reuses the `Clean` artifact still hot in cache), while idle workers
+//! steal FIFO from victims' fronts (old, wide tasks first — the classic
+//! Blumofe–Leiserson discipline, here with mutex-guarded deques rather than
+//! lock-free Chase–Lev buffers, which at ≤ a few dozen workers measure the
+//! same).
+//!
+//! With a [`RemoteLink`] attached, remote workers join the same frontier:
+//! each accepted connection gets a lease-service thread that *claims* ready
+//! tasks from the deques (heaviest leasable first), ships them over the
+//! wire and applies the identical completion bookkeeping when the artifact
+//! comes back — so local threads and remote workers race for the same work
+//! and a task's provenance never changes its effect. An expired or
+//! disconnected lease re-enters the frontier via [`reinject`]; the task is
+//! simply executed by whoever claims it next.
 //!
 //! Scheduling state (dependency counters, result slots) lives outside the
 //! deques; completion of the final task wakes every sleeper and the pool
 //! drains.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -21,6 +31,7 @@ use cleanml_core::CoreError;
 use crate::cache::{CacheKey, DiskCodec, DiskStore};
 use crate::event::{emit, EngineEvent, EventSink, TaskKind};
 use crate::graph::{NodeState, TaskGraph, TaskId};
+use crate::remote::coordinator::{dispatch, RemoteCtx, RemoteHub};
 
 /// Disk persistence wiring for a run: the shared store plus each node's
 /// content address. Workers write codec-capable artifacts the moment their
@@ -31,72 +42,225 @@ pub struct PersistSink {
     pub keys: Vec<CacheKey>,
 }
 
-/// Per-run execution report: what actually ran, what the cache absorbed.
+/// Remote-execution wiring for a run: the hub accepting worker
+/// connections, every node's content address (the wire lookup plane for
+/// `Fetch`), and the encoded [`crate::remote::proto::StudySpec`] workers
+/// rebuild the graph from.
+pub struct RemoteLink {
+    pub hub: Arc<RemoteHub>,
+    pub keys: Vec<CacheKey>,
+    pub spec: Vec<u8>,
+}
+
+/// Per-run execution report: what actually ran, where, and what the cache
+/// absorbed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunReport {
-    /// Tasks executed on the pool, by kind.
+    /// Tasks executed on the local pool, by kind.
     pub executed: Vec<(TaskKind, usize)>,
+    /// Tasks executed by remote workers, by kind.
+    pub remote_executed: Vec<(TaskKind, usize)>,
     /// Tasks satisfied directly from the cache.
     pub cache_hits: usize,
     /// Tasks never run because no consumer demanded them.
     pub pruned: usize,
     /// Total nodes in the DAG.
     pub total: usize,
-    /// Worker threads used.
+    /// Local worker threads used.
     pub workers: usize,
+    /// Remote workers that completed a handshake during the run.
+    pub remote_workers: usize,
+    /// Leases orphaned by a worker death or deadline expiry whose tasks
+    /// re-entered the ready frontier (and were then executed by someone
+    /// else — the run does not finish otherwise).
+    pub releases: usize,
 }
 
 impl RunReport {
-    /// Executed-task count for one kind.
+    /// Locally executed task count for one kind.
     pub fn executed(&self, kind: TaskKind) -> usize {
         self.executed.iter().find(|(k, _)| *k == kind).map_or(0, |(_, n)| *n)
     }
 
-    /// Total executed tasks.
-    pub fn executed_total(&self) -> usize {
+    /// Remotely executed task count for one kind.
+    pub fn remote(&self, kind: TaskKind) -> usize {
+        self.remote_executed.iter().find(|(k, _)| *k == kind).map_or(0, |(_, n)| *n)
+    }
+
+    /// Tasks executed on the local pool.
+    pub fn local_total(&self) -> usize {
         self.executed.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Tasks executed by remote workers.
+    pub fn remote_total(&self) -> usize {
+        self.remote_executed.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total executed tasks, local and remote: every to-run task is
+    /// executed exactly once, wherever it lands.
+    pub fn executed_total(&self) -> usize {
+        self.local_total() + self.remote_total()
     }
 }
 
-struct Shared<'g, A> {
-    deques: Vec<Mutex<VecDeque<TaskId>>>,
+/// Node metadata the executors need after the graph is consumed.
+pub(crate) type NodeMeta = (TaskKind, String, NodeState);
+
+pub(crate) struct Shared<'g, A> {
+    pub(crate) deques: Vec<Mutex<VecDeque<TaskId>>>,
     /// `pending[id]`: unfinished dependencies; task becomes ready at zero.
-    pending: Vec<AtomicUsize>,
-    dependents: Vec<Vec<TaskId>>,
+    pub(crate) pending: Vec<AtomicUsize>,
+    pub(crate) dependents: Vec<Vec<TaskId>>,
     /// `consumers_left[id]`: runnable tasks that still need id's artifact.
     /// When it reaches zero and the node is not retained, the artifact is
     /// dropped — a paper-scale run would otherwise hold every trained model
-    /// in memory until the end.
-    consumers_left: Vec<AtomicUsize>,
-    retain: &'g [bool],
-    slots: &'g [Mutex<Option<A>>],
-    remaining: AtomicUsize,
-    abort: AtomicBool,
-    error: Mutex<Option<CoreError>>,
-    sleep: Mutex<()>,
-    wake: Condvar,
-    executed: Vec<AtomicUsize>, // indexed by TaskKind::ALL position
+    /// in memory until the end. A leased task counts as unfinished until
+    /// its artifact lands, so remote workers can always fetch their inputs.
+    pub(crate) consumers_left: Vec<AtomicUsize>,
+    pub(crate) retain: &'g [bool],
+    pub(crate) slots: &'g [Mutex<Option<A>>],
+    pub(crate) remaining: AtomicUsize,
+    pub(crate) abort: AtomicBool,
+    pub(crate) error: Mutex<Option<CoreError>>,
+    pub(crate) sleep: Mutex<()>,
+    pub(crate) wake: Condvar,
+    /// Local executions, indexed by `TaskKind::ALL` position.
+    pub(crate) executed: Vec<AtomicUsize>,
+    /// Remote executions, same indexing.
+    pub(crate) remote_executed: Vec<AtomicUsize>,
+    /// Remote workers that completed a handshake.
+    pub(crate) remote_workers: AtomicUsize,
+    /// Orphaned leases whose tasks re-entered the frontier.
+    pub(crate) releases: AtomicUsize,
 }
 
-fn kind_index(kind: TaskKind) -> usize {
+pub(crate) fn kind_index(kind: TaskKind) -> usize {
     TaskKind::ALL.iter().position(|&k| k == kind).expect("kind listed")
 }
 
-/// Per-node artifacts (`None` for pruned or retired nodes) plus
-/// executed-task counts by kind.
-pub type ExecutionOutcome<A> = (Vec<Option<A>>, Vec<(TaskKind, usize)>);
+/// Execution counters of one run, split by provenance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    pub executed: Vec<(TaskKind, usize)>,
+    pub remote_executed: Vec<(TaskKind, usize)>,
+    pub remote_workers: usize,
+    pub releases: usize,
+}
 
-/// Executes every `Run` node of a resolved graph on `workers` threads.
+/// Per-node artifacts (`None` for pruned or retired nodes) plus execution
+/// counters.
+pub type ExecutionOutcome<A> = (Vec<Option<A>>, ExecStats);
+
+impl<A> Shared<'_, A> {
+    /// Returns orphaned tasks to the ready frontier, heaviest kind first
+    /// (the same LIFO trick the seeding uses: pushed in ascending weight so
+    /// `pop_back` yields the heaviest), and wakes sleepers to claim them.
+    pub(crate) fn reinject(&self, ids: &[TaskId], meta: &[NodeMeta]) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut ordered: Vec<TaskId> = ids.to_vec();
+        ordered.sort_by_key(|&id| (std::cmp::Reverse(meta[id].0.cost_weight()), id));
+        let home = ids[0] % self.deques.len();
+        {
+            let mut deque = self.deques[home].lock().expect("deque");
+            for &id in ordered.iter().rev() {
+                deque.push_back(id);
+            }
+        }
+        self.releases.fetch_add(ids.len(), Ordering::Relaxed);
+        self.wake.notify_all();
+    }
+}
+
+/// Completion bookkeeping shared by local workers and remote lease
+/// handlers: persist the artifact (durability before progress — it reaches
+/// disk before any dependent can observe it), publish it, retire inputs
+/// whose last consumer this was, release newly-ready dependents onto
+/// `home`'s deque, and wake sleepers.
+///
+/// `payload` short-circuits re-encoding when the artifact already travelled
+/// the wire in its serial form.
+#[allow(clippy::too_many_arguments)] // crate-private; mirrors execute's wiring
+pub(crate) fn finish_ok<A>(
+    shared: &Shared<'_, A>,
+    id: TaskId,
+    artifact: A,
+    payload: Option<&[u8]>,
+    home: usize,
+    remote: bool,
+    meta: &[NodeMeta],
+    deps: &[Vec<TaskId>],
+    persist: &Option<PersistSink>,
+    events: &Option<EventSink>,
+) where
+    A: Clone + Send + Sync + DiskCodec,
+{
+    let kind = meta[id].0;
+    if let Some(sink) = persist {
+        match payload {
+            Some(bytes) => {
+                sink.store.store(sink.keys[id], bytes);
+            }
+            None => {
+                if let Some(bytes) = artifact.encode() {
+                    sink.store.store(sink.keys[id], &bytes);
+                }
+            }
+        }
+    }
+    *shared.slots[id].lock().expect("slot") = Some(artifact);
+    let counters = if remote { &shared.remote_executed } else { &shared.executed };
+    counters[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+    emit(events, EngineEvent::TaskFinished { id, kind, ok: true });
+    // Retire inputs this task no longer shares with anyone.
+    for &d in &deps[id] {
+        if shared.consumers_left[d].fetch_sub(1, Ordering::AcqRel) == 1 && !shared.retain[d] {
+            *shared.slots[d].lock().expect("slot") = None;
+        }
+    }
+    let mut released = 0usize;
+    for &dep_id in &shared.dependents[id] {
+        if shared.pending[dep_id].fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.deques[home].lock().expect("deque").push_back(dep_id);
+            released += 1;
+        }
+    }
+    let left = shared.remaining.fetch_sub(1, Ordering::AcqRel) - 1;
+    if released > 0 || left == 0 {
+        shared.wake.notify_all();
+    }
+}
+
+/// Records a task failure and aborts the run.
+pub(crate) fn finish_err<A>(
+    shared: &Shared<'_, A>,
+    id: TaskId,
+    kind: TaskKind,
+    err: CoreError,
+    events: &Option<EventSink>,
+) {
+    emit(events, EngineEvent::TaskFinished { id, kind, ok: false });
+    *shared.error.lock().expect("error slot") = Some(err);
+    shared.abort.store(true, Ordering::Release);
+    shared.wake.notify_all();
+}
+
+/// Executes every `Run` node of a resolved graph on `workers` local
+/// threads, plus any remote workers that connect through `remote`.
 ///
 /// `retain` marks nodes whose artifact must survive the run (sinks, nodes
 /// worth caching); everything else is dropped as soon as its last consumer
 /// finishes. With a `persist` sink, every finished artifact with a serial
-/// form is additionally written to the disk store as it is produced.
+/// form is additionally written to the disk store as it is produced —
+/// including artifacts shipped back by remote workers.
 pub fn execute<A>(
     graph: TaskGraph<A>,
     workers: usize,
     retain: Vec<bool>,
     persist: Option<PersistSink>,
+    remote: Option<RemoteLink>,
     events: &Option<EventSink>,
 ) -> Result<ExecutionOutcome<A>, CoreError>
 where
@@ -109,10 +273,13 @@ where
     if let Some(sink) = &persist {
         assert_eq!(sink.keys.len(), n, "persist keys must cover every node");
     }
+    if let Some(link) = &remote {
+        assert_eq!(link.keys.len(), n, "remote keys must cover every node");
+    }
 
     let slots: Vec<Mutex<Option<A>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let mut runs: Vec<Mutex<Option<crate::graph::TaskFn<A>>>> = Vec::with_capacity(n);
-    let mut meta: Vec<(TaskKind, String, NodeState)> = Vec::with_capacity(n);
+    let mut meta: Vec<NodeMeta> = Vec::with_capacity(n);
     let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
     let mut consumers: Vec<usize> = vec![0; n];
     let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
@@ -154,6 +321,9 @@ where
         sleep: Mutex::new(()),
         wake: Condvar::new(),
         executed: TaskKind::ALL.iter().map(|_| AtomicUsize::new(0)).collect(),
+        remote_executed: TaskKind::ALL.iter().map(|_| AtomicUsize::new(0)).collect(),
+        remote_workers: AtomicUsize::new(0),
+        releases: AtomicUsize::new(0),
     };
 
     // Seed the deques with the initially ready tasks, heaviest kind first
@@ -186,6 +356,12 @@ where
         }
     }
 
+    // The wire lookup plane: content address → node, for serving `Fetch`.
+    let key_index: HashMap<CacheKey, TaskId> = remote
+        .as_ref()
+        .map(|link| link.keys.iter().enumerate().map(|(id, &k)| (k, id)).collect())
+        .unwrap_or_default();
+
     if to_run > 0 {
         std::thread::scope(|scope| {
             for w in 0..workers {
@@ -199,6 +375,20 @@ where
                     worker_loop(w, workers, shared, runs, meta, deps, persist, &events);
                 });
             }
+            if let Some(link) = &remote {
+                let ctx = RemoteCtx {
+                    shared: &shared,
+                    meta: &meta,
+                    deps: &deps,
+                    persist: &persist,
+                    events: events.clone(),
+                    keys: &link.keys,
+                    key_index: &key_index,
+                    spec: &link.spec,
+                    hub: &link.hub,
+                };
+                scope.spawn(move || dispatch(scope, ctx));
+            }
         });
     }
 
@@ -206,14 +396,22 @@ where
         return Err(err);
     }
 
-    let executed: Vec<(TaskKind, usize)> = TaskKind::ALL
-        .iter()
-        .map(|&k| (k, shared.executed[kind_index(k)].load(Ordering::Relaxed)))
-        .filter(|&(_, n)| n > 0)
-        .collect();
+    let counts = |counters: &[AtomicUsize]| -> Vec<(TaskKind, usize)> {
+        TaskKind::ALL
+            .iter()
+            .map(|&k| (k, counters[kind_index(k)].load(Ordering::Relaxed)))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    };
+    let stats = ExecStats {
+        executed: counts(&shared.executed),
+        remote_executed: counts(&shared.remote_executed),
+        remote_workers: shared.remote_workers.load(Ordering::Relaxed),
+        releases: shared.releases.load(Ordering::Relaxed),
+    };
     let artifacts: Vec<Option<A>> =
         slots.into_iter().map(|s| s.into_inner().expect("slot lock poisoned")).collect();
-    Ok((artifacts, executed))
+    Ok((artifacts, stats))
 }
 
 #[allow(clippy::too_many_arguments)] // private; mirrors execute's wiring
@@ -222,7 +420,7 @@ fn worker_loop<A>(
     workers: usize,
     shared: &Shared<'_, A>,
     runs: &[Mutex<Option<crate::graph::TaskFn<A>>>],
-    meta: &[(TaskKind, String, NodeState)],
+    meta: &[NodeMeta],
     deps: &[Vec<TaskId>],
     persist: &Option<PersistSink>,
     events: &Option<EventSink>,
@@ -280,42 +478,10 @@ fn worker_loop<A>(
 
         match outcome {
             Ok(artifact) => {
-                // Durability before progress: the artifact reaches disk
-                // before any dependent can observe it, so a kill at any
-                // point leaves only complete, replayable state.
-                if let Some(sink) = persist {
-                    if let Some(payload) = artifact.encode() {
-                        sink.store.store(sink.keys[id], &payload);
-                    }
-                }
-                *shared.slots[id].lock().expect("slot") = Some(artifact);
-                shared.executed[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
-                emit(events, EngineEvent::TaskFinished { id, kind, ok: true });
-                // Retire inputs this task no longer shares with anyone.
-                for &d in &deps[id] {
-                    if shared.consumers_left[d].fetch_sub(1, Ordering::AcqRel) == 1
-                        && !shared.retain[d]
-                    {
-                        *shared.slots[d].lock().expect("slot") = None;
-                    }
-                }
-                let mut released = 0usize;
-                for &dep_id in &shared.dependents[id] {
-                    if shared.pending[dep_id].fetch_sub(1, Ordering::AcqRel) == 1 {
-                        shared.deques[me].lock().expect("deque").push_back(dep_id);
-                        released += 1;
-                    }
-                }
-                let left = shared.remaining.fetch_sub(1, Ordering::AcqRel) - 1;
-                if released > 0 || left == 0 {
-                    shared.wake.notify_all();
-                }
+                finish_ok(shared, id, artifact, None, me, false, meta, deps, persist, events);
             }
             Err(err) => {
-                emit(events, EngineEvent::TaskFinished { id, kind, ok: false });
-                *shared.error.lock().expect("error slot") = Some(err);
-                shared.abort.store(true, Ordering::Release);
-                shared.wake.notify_all();
+                finish_err(shared, id, kind, err, events);
                 return;
             }
         }
@@ -379,10 +545,13 @@ mod tests {
             let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
             g.resolve(&mut cache, &[sink]);
             let retain = retain_only(g.len(), &[sink]);
-            let (arts, executed) = execute(g, workers, retain, None, &None).unwrap();
+            let (arts, stats) = execute(g, workers, retain, None, None, &None).unwrap();
             assert_eq!(arts[sink], Some(V(5)));
-            let total: usize = executed.iter().map(|(_, n)| n).sum();
+            let total: usize = stats.executed.iter().map(|(_, n)| n).sum();
             assert_eq!(total, 4, "workers={workers}");
+            assert_eq!(stats.remote_workers, 0);
+            assert_eq!(stats.releases, 0);
+            assert!(stats.remote_executed.is_empty());
         }
     }
 
@@ -392,7 +561,7 @@ mod tests {
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
         g.resolve(&mut cache, &[sink]);
         let retain = retain_only(g.len(), &[sink]);
-        let (arts, _) = execute(g, 2, retain, None, &None).unwrap();
+        let (arts, _) = execute(g, 2, retain, None, None, &None).unwrap();
         assert_eq!(arts[sink], Some(V(5)));
         // a, b, c each fed only the now-finished downstream tasks
         assert_eq!(arts[0], None);
@@ -408,9 +577,9 @@ mod tests {
         let (hits, pruned, to_run) = g.resolve(&mut cache, &[sink]);
         assert_eq!((hits, pruned, to_run), (1, 3, 0));
         let retain = retain_only(g.len(), &[sink]);
-        let (arts, executed) = execute(g, 4, retain, None, &None).unwrap();
+        let (arts, stats) = execute(g, 4, retain, None, None, &None).unwrap();
         assert_eq!(arts[sink], Some(V(5)));
-        assert!(executed.is_empty());
+        assert!(stats.executed.is_empty());
     }
 
     #[test]
@@ -423,7 +592,7 @@ mod tests {
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
         g.resolve(&mut cache, &[b]);
         let retain = retain_only(g.len(), &[b]);
-        assert!(execute(g, 2, retain, None, &None).is_err());
+        assert!(execute(g, 2, retain, None, None, &None).is_err());
     }
 
     #[test]
@@ -433,7 +602,7 @@ mod tests {
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
         g.resolve(&mut cache, &[sink]);
         let retain = retain_only(g.len(), &[sink]);
-        let err = execute(g, 2, retain, None, &None).unwrap_err();
+        let err = execute(g, 2, retain, None, None, &None).unwrap_err();
         assert!(err.to_string().contains("kaboom"), "{err}");
     }
 
@@ -464,7 +633,7 @@ mod tests {
         let keys = vec![CacheKey::of("a"), CacheKey::of("b")];
         let retain = retain_only(g.len(), &[b]);
         let persist = Some(PersistSink { store: store.clone(), keys });
-        let (arts, _) = execute(g, 2, retain, persist, &None).unwrap();
+        let (arts, _) = execute(g, 2, retain, persist, None, &None).unwrap();
 
         // `a` was retired from memory after its last consumer…
         assert_eq!(arts[0], None);
@@ -503,7 +672,7 @@ mod tests {
         g.resolve(&mut cache, &ids);
         let retain = vec![true; g.len()];
         let (tx, rx) = std::sync::mpsc::channel();
-        let (arts, _) = execute(g, 1, retain, None, &Some(tx)).unwrap();
+        let (arts, _) = execute(g, 1, retain, None, None, &Some(tx)).unwrap();
         assert!(arts.iter().all(Option::is_some));
         let started: Vec<TaskKind> = rx
             .try_iter()
@@ -543,7 +712,7 @@ mod tests {
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
         g.resolve(&mut cache, &[sum]);
         let retain = retain_only(g.len(), &[sum]);
-        let (arts, _) = execute(g, 8, retain, None, &None).unwrap();
+        let (arts, _) = execute(g, 8, retain, None, None, &None).unwrap();
         assert_eq!(arts[sum], Some(V(4950)));
     }
 }

@@ -1,0 +1,381 @@
+//! Coordinator side of the remote executor: the listening hub plus the
+//! per-connection lease-service loops that plug remote workers into the
+//! scheduler's ready frontier.
+//!
+//! A [`RemoteHub`] owns the TCP listener for the engine's whole lifetime —
+//! workers may connect before a study starts or join mid-run — and queues
+//! accepted sockets. While a run executes, [`dispatch`] drains that queue
+//! and spawns one scoped lease-service thread per connection; the thread
+//! performs the `Hello`/`Welcome` handshake and then behaves like a worker
+//! thread whose "execution" is the wire: it claims a ready task (heaviest
+//! leasable first), sends a `Lease`, serves `Fetch` requests for the task's
+//! inputs from the in-memory slots or the disk store, and on `Done` applies
+//! the exact completion bookkeeping a local worker would — the shipped
+//! payload lands in the [`crate::cache::DiskStore`] *before* any dependent
+//! can observe the artifact.
+//!
+//! Fault containment is the point of the lease: a worker that misses its
+//! deadline (no `Done`, no `Heartbeat`, no `Fetch`) or whose connection
+//! drops is declared dead, its connection is severed so a late `Done` can
+//! never double-complete, and the orphaned task re-enters the ready
+//! frontier for whoever claims it next. A `kill -9`'d worker therefore
+//! costs exactly its in-flight lease and nothing else.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
+use std::time::{Duration, Instant};
+
+use crate::cache::{CacheKey, DiskCodec};
+use crate::event::{emit, EngineEvent, EventSink};
+use crate::graph::TaskId;
+use crate::pool::{finish_err, finish_ok, NodeMeta, PersistSink, Shared};
+use crate::remote::proto::{self, leasable, poll_recv, Message, Polled, PROTOCOL_VERSION};
+
+/// How often idle loops look for new work or new connections.
+const POLL: Duration = Duration::from_millis(20);
+/// Budget for a connected worker to complete the `Hello` handshake.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default lease deadline: how long a worker may go silent (no `Done`,
+/// `Fetch` or `Heartbeat`) before its task is re-queued. Workers heartbeat
+/// at a quarter of this, so only a dead worker ever expires.
+pub const DEFAULT_LEASE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The accept side of the coordinator. Lives as long as the engine;
+/// connections accepted between runs wait in the queue until the next
+/// study starts.
+pub struct RemoteHub {
+    addr: SocketAddr,
+    lease_timeout: Duration,
+    pending: Arc<Mutex<Vec<TcpStream>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl RemoteHub {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept thread.
+    pub fn bind(addr: &str, lease_timeout: Duration) -> io::Result<Arc<RemoteHub>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let pending: Arc<Mutex<Vec<TcpStream>>> = Arc::default();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (q, stop) = (Arc::clone(&pending), Arc::clone(&shutdown));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => q.lock().expect("pending lock").push(stream),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                    Err(_) => std::thread::sleep(POLL),
+                }
+            }
+        });
+        Ok(Arc::new(RemoteHub { addr: local, lease_timeout, pending, shutdown }))
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn lease_timeout(&self) -> Duration {
+        self.lease_timeout
+    }
+
+    fn try_take(&self) -> Option<TcpStream> {
+        self.pending.lock().expect("pending lock").pop()
+    }
+}
+
+impl Drop for RemoteHub {
+    fn drop(&mut self) {
+        // The accept thread exits on its next poll; queued sockets close,
+        // which unblocks any worker still waiting for a `Welcome`.
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// Everything a lease-service thread needs, borrowed from
+/// [`crate::pool::execute`]'s stack frame (all threads are scoped inside
+/// it).
+pub(crate) struct RemoteCtx<'a, A> {
+    pub shared: &'a Shared<'a, A>,
+    pub meta: &'a [NodeMeta],
+    pub deps: &'a [Vec<TaskId>],
+    pub persist: &'a Option<PersistSink>,
+    pub events: Option<EventSink>,
+    pub keys: &'a [CacheKey],
+    pub key_index: &'a HashMap<CacheKey, TaskId>,
+    pub spec: &'a [u8],
+    pub hub: &'a RemoteHub,
+}
+
+impl<A> Clone for RemoteCtx<'_, A> {
+    fn clone(&self) -> Self {
+        RemoteCtx {
+            shared: self.shared,
+            meta: self.meta,
+            deps: self.deps,
+            persist: self.persist,
+            events: self.events.clone(),
+            keys: self.keys,
+            key_index: self.key_index,
+            spec: self.spec,
+            hub: self.hub,
+        }
+    }
+}
+
+impl<A> RemoteCtx<'_, A> {
+    fn run_over(&self) -> bool {
+        self.shared.abort.load(Ordering::Acquire)
+            || self.shared.remaining.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Accepts queued connections for the duration of one run, spawning a
+/// lease-service thread per worker inside the pool's scope.
+pub(crate) fn dispatch<'scope, 'env, A>(
+    scope: &'scope Scope<'scope, 'env>,
+    ctx: RemoteCtx<'scope, A>,
+) where
+    A: Clone + Send + Sync + DiskCodec,
+{
+    while !ctx.run_over() {
+        if let Some(stream) = ctx.hub.try_take() {
+            let worker_ctx = ctx.clone();
+            scope.spawn(move || serve_worker(worker_ctx, stream));
+        } else {
+            std::thread::sleep(POLL);
+        }
+    }
+}
+
+/// Claims the globally heaviest leasable ready task across all local
+/// deques. Non-leasable kinds (dataset generation, grid reduction) are
+/// left for the local pool.
+///
+/// Two passes, one deque lock at a time: the first finds the deque holding
+/// the heaviest leasable task, the second removes the heaviest leasable
+/// task that deque *now* holds. Local workers may reshuffle between the
+/// passes — a slightly-lighter claim (or a `None`, retried next tick) is
+/// fine; what matters is never blocking the local pool on a cross-deque
+/// lock ladder.
+fn claim_leasable<A>(shared: &Shared<'_, A>, meta: &[NodeMeta]) -> Option<TaskId> {
+    let mut best: Option<(u32, usize)> = None; // (cost weight, deque index)
+    for (di, deque) in shared.deques.iter().enumerate() {
+        let q = deque.lock().expect("deque");
+        for &id in q.iter() {
+            let kind = meta[id].0;
+            if leasable(kind) && best.is_none_or(|(w, _)| kind.cost_weight() > w) {
+                best = Some((kind.cost_weight(), di));
+            }
+        }
+    }
+    let (_, di) = best?;
+    let mut q = shared.deques[di].lock().expect("deque");
+    let pos = q
+        .iter()
+        .enumerate()
+        .filter(|&(_, &id)| leasable(meta[id].0))
+        .max_by_key(|&(pos, &id)| (meta[id].0.cost_weight(), pos))
+        .map(|(pos, _)| pos)?;
+    q.remove(pos)
+}
+
+/// Serves one Fetch: in-memory slot first (cloning out of the slot is
+/// Arc-cheap for study artifacts), then the disk store's framed payload.
+/// Artifacts without a wire form — generated datasets — answer
+/// `NoArtifact`, and the worker recomputes them locally (they are cheap
+/// and deterministic by construction).
+fn serve_fetch<A>(ctx: &RemoteCtx<'_, A>, key: CacheKey) -> Message
+where
+    A: Clone + Send + Sync + DiskCodec,
+{
+    if let Some(&id) = ctx.key_index.get(&key) {
+        let held = ctx.shared.slots[id].lock().expect("slot").clone();
+        if let Some(payload) = held.and_then(|a| a.encode()) {
+            return Message::Artifact { key, payload };
+        }
+    }
+    if let Some(sink) = ctx.persist {
+        if let Some(payload) = sink.store.load(key) {
+            return Message::Artifact { key, payload };
+        }
+    }
+    Message::NoArtifact { key }
+}
+
+/// The per-connection lease loop. Any protocol violation, decode failure,
+/// disconnection or deadline miss severs the connection; an in-flight
+/// lease is re-injected into the frontier, so the only way a task is lost
+/// is if the whole coordinator dies — and the disk store covers that.
+fn serve_worker<A>(ctx: RemoteCtx<'_, A>, stream: TcpStream)
+where
+    A: Clone + Send + Sync + DiskCodec,
+{
+    // The accepted stream must be blocking regardless of platform: BSD
+    // kernels propagate the listener's O_NONBLOCK through accept(2)
+    // (Linux does not), and a non-blocking stream would turn every
+    // partially-arrived frame into a WouldBlock that reads as a dead
+    // worker.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    // The handshake wait polls in short slices: a client that connects but
+    // never speaks (a probe, a scanner, a stalled worker) must not pin the
+    // run's thread scope open past the end of the run — only up to one
+    // poll slice past it.
+    let handshake_deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let name = loop {
+        if ctx.run_over() {
+            return;
+        }
+        match poll_recv(&stream, POLL) {
+            Polled::Pending => {
+                if Instant::now() >= handshake_deadline {
+                    return;
+                }
+            }
+            Polled::Msg(Message::Hello { version, name }) if version == PROTOCOL_VERSION => {
+                break name;
+            }
+            Polled::Msg(Message::Hello { version, .. }) => {
+                let reason =
+                    format!("protocol version {version}, coordinator speaks {PROTOCOL_VERSION}");
+                let _ = proto::send(&mut &stream, &Message::Reject { reason });
+                return;
+            }
+            Polled::Msg(_) | Polled::Closed => return,
+        }
+    };
+    if proto::send(&mut &stream, &Message::Welcome { spec: ctx.spec.to_vec() }).is_err() {
+        return;
+    }
+    ctx.shared.remote_workers.fetch_add(1, Ordering::Relaxed);
+    emit(&ctx.events, EngineEvent::WorkerJoined { worker: name.clone() });
+
+    let mut completed = 0usize;
+    loop {
+        if ctx.run_over() {
+            let _ = proto::send(&mut &stream, &Message::Bye);
+            break;
+        }
+        // Worker-initiated traffic while idle: heartbeats are fine, a Bye
+        // or a closed socket retires the worker.
+        match poll_recv(&stream, Duration::from_millis(1)) {
+            Polled::Pending => {}
+            Polled::Msg(Message::Heartbeat) => continue,
+            Polled::Msg(_) | Polled::Closed => break,
+        }
+        let Some(id) = claim_leasable(ctx.shared, ctx.meta) else {
+            std::thread::sleep(POLL);
+            continue;
+        };
+
+        let (kind, ref label, _) = ctx.meta[id];
+        emit(&ctx.events, EngineEvent::TaskStarted { id, kind, label: label.clone() });
+        let lease_timeout = ctx.hub.lease_timeout();
+        let lease = Message::Lease {
+            id: id as u64,
+            key: ctx.keys[id],
+            kind,
+            deadline_ms: lease_timeout.as_millis() as u64,
+        };
+        if proto::send(&mut &stream, &lease).is_err() {
+            orphan(&ctx, &name, id);
+            break;
+        }
+
+        // The lease conversation: serve fetches, extend on traffic, and
+        // either complete the task or declare the worker dead.
+        let mut deadline = Instant::now() + lease_timeout;
+        let outcome = loop {
+            if ctx.shared.abort.load(Ordering::Acquire) {
+                let _ = proto::send(&mut &stream, &Message::Bye);
+                break LeaseOutcome::Aborted;
+            }
+            match poll_recv(&stream, POLL) {
+                Polled::Pending => {
+                    if Instant::now() >= deadline {
+                        break LeaseOutcome::Dead;
+                    }
+                }
+                Polled::Closed => break LeaseOutcome::Dead,
+                Polled::Msg(msg) => {
+                    deadline = Instant::now() + lease_timeout;
+                    match msg {
+                        Message::Fetch { key } => {
+                            if proto::send(&mut &stream, &serve_fetch(&ctx, key)).is_err() {
+                                break LeaseOutcome::Dead;
+                            }
+                        }
+                        Message::Heartbeat => {}
+                        Message::Done { id: done_id, payload } if done_id == id as u64 => {
+                            // The payload must decode to a whole artifact
+                            // before anything reaches the store or a slot:
+                            // a truncated or corrupt shipment poisons the
+                            // connection, not the run.
+                            match A::decode(&payload) {
+                                Some(artifact) => {
+                                    let home = id % ctx.shared.deques.len();
+                                    finish_ok(
+                                        ctx.shared,
+                                        id,
+                                        artifact,
+                                        Some(&payload),
+                                        home,
+                                        true,
+                                        ctx.meta,
+                                        ctx.deps,
+                                        ctx.persist,
+                                        &ctx.events,
+                                    );
+                                    completed += 1;
+                                    break LeaseOutcome::Completed;
+                                }
+                                None => break LeaseOutcome::Dead,
+                            }
+                        }
+                        Message::Failed { error, .. } => {
+                            let err = cleanml_core::CoreError::Unsupported(format!(
+                                "remote worker '{name}' failed task '{label}': {error}"
+                            ));
+                            finish_err(ctx.shared, id, kind, err, &ctx.events);
+                            break LeaseOutcome::Aborted;
+                        }
+                        // Done for a stale id, Bye mid-lease, or any
+                        // coordinator-side message echoed back: protocol
+                        // violation — sever.
+                        _ => break LeaseOutcome::Dead,
+                    }
+                }
+            }
+        };
+        match outcome {
+            LeaseOutcome::Completed => continue,
+            LeaseOutcome::Aborted => break,
+            LeaseOutcome::Dead => {
+                orphan(&ctx, &name, id);
+                break;
+            }
+        }
+    }
+    emit(&ctx.events, EngineEvent::WorkerLeft { worker: name, completed });
+}
+
+enum LeaseOutcome {
+    Completed,
+    Dead,
+    Aborted,
+}
+
+/// Re-queues a task whose lease died and records the event.
+fn orphan<A>(ctx: &RemoteCtx<'_, A>, worker: &str, id: TaskId) {
+    let kind = ctx.meta[id].0;
+    ctx.shared.reinject(&[id], ctx.meta);
+    emit(&ctx.events, EngineEvent::LeaseExpired { worker: worker.to_string(), id, kind });
+}

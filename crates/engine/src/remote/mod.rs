@@ -1,0 +1,33 @@
+//! Distributed execution: lease-based remote workers over the CMAF wire
+//! format.
+//!
+//! The study DAG and the content-addressed artifact plane were built
+//! network-shape from the start — a task is a pure function of explicitly
+//! seeded inputs, and every artifact with a serial form travels as the
+//! same framed, checksummed bytes whether it lands on disk or on a socket.
+//! This module cashes that in:
+//!
+//! * [`proto`] — the binary message codec (`Hello`/`Lease`/`Fetch`/
+//!   `Artifact`/`Done`/`Heartbeat`/`Bye`), each message one CMAF frame;
+//! * [`coordinator`] — the [`RemoteHub`] listener plus the per-connection
+//!   lease-service loops that let remote workers claim tasks from the same
+//!   ready frontier the local pool works;
+//! * [`worker`] — the stateless worker session: rebuild the identical
+//!   graph from the wire spec, fetch inputs by content address, compute,
+//!   ship the artifact back.
+//!
+//! The correctness contract is the repository's usual one, extended across
+//! machines: a study executed by any mix of local threads and remote
+//! workers — including workers that die mid-lease — produces relations
+//! byte-identical to the serial path. Leases are how faults stay cheap: a
+//! worker that goes silent past its deadline forfeits exactly its
+//! in-flight task, which re-enters the frontier (heaviest first) for
+//! whoever claims it next.
+
+pub mod coordinator;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{RemoteHub, DEFAULT_LEASE_TIMEOUT};
+pub use proto::{leasable, Message, StudySpec, MAX_MESSAGE_BYTES, PROTOCOL_VERSION};
+pub use worker::{run_worker, FaultPlan, WorkerSummary};

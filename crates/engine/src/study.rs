@@ -19,8 +19,10 @@
 //! pure units of [`cleanml_core::tasks`], so any worker count reproduces
 //! the serial path bit for bit.
 
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use cleanml_cleaning::{CleaningMethod, ErrorType};
 use cleanml_core::runner::CellEval;
@@ -38,7 +40,8 @@ use cleanml_dataset::{Encoder, FeatureMatrix};
 use crate::cache::{ArtifactCache, CacheKey, CacheStats, DiskCodec, DiskStore};
 use crate::event::{emit, EngineEvent, EventSink, TaskKind};
 use crate::graph::{NodeState, TaskGraph, TaskId};
-use crate::pool::{execute, PersistSink, RunReport};
+use crate::pool::{execute, PersistSink, RemoteLink, RunReport};
+use crate::remote::{RemoteHub, StudySpec};
 
 /// Everything that flows along DAG edges. Heavy payloads sit behind `Arc`,
 /// so cloning an artifact into a consumer is pointer-cheap.
@@ -263,7 +266,7 @@ impl DiskCodec for Artifact {
 }
 
 /// Engine knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads (`0` = all available cores).
     pub workers: usize,
@@ -273,6 +276,25 @@ pub struct EngineConfig {
     /// store evicts least-recently-used artifacts to stay under it. `None`
     /// leaves the store unbounded.
     pub cache_max_bytes: Option<u64>,
+    /// `--listen ADDR`: accept remote `cleanml-worker` connections on this
+    /// address (`127.0.0.1:0` binds an ephemeral port, reported by
+    /// [`Engine::remote_addr`]). `None` keeps execution purely local.
+    pub listen: Option<String>,
+    /// `--lease-timeout`: how long a leased worker may go silent (no
+    /// `Done`, `Fetch` or `Heartbeat`) before its task is re-queued.
+    pub lease_timeout: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            cache_dir: None,
+            cache_max_bytes: None,
+            listen: None,
+            lease_timeout: crate::remote::DEFAULT_LEASE_TIMEOUT,
+        }
+    }
 }
 
 impl EngineConfig {
@@ -293,14 +315,23 @@ pub struct Engine {
     cfg: EngineConfig,
     cache: ArtifactCache<Artifact>,
     store: Option<Arc<DiskStore>>,
+    hub: Option<Arc<RemoteHub>>,
     events: Option<EventSink>,
 }
 
 impl Engine {
+    /// Creates an engine. With `listen` set, the remote hub binds
+    /// immediately (panicking on an unusable address — a misconfigured
+    /// coordinator must fail loudly, not run silently local-only) and
+    /// keeps accepting workers across runs.
     pub fn new(cfg: EngineConfig) -> Self {
         let store = cfg.cache_dir.clone().map(|dir| DiskStore::open(dir, cfg.cache_max_bytes));
         let cache = ArtifactCache::with_store(store.clone());
-        Engine { cfg, cache, store, events: None }
+        let hub = cfg.listen.as_deref().map(|addr| {
+            RemoteHub::bind(addr, cfg.lease_timeout)
+                .unwrap_or_else(|e| panic!("cannot listen on {addr}: {e}"))
+        });
+        Engine { cfg, cache, store, hub, events: None }
     }
 
     /// Attaches a progress-event sink.
@@ -316,6 +347,11 @@ impl Engine {
     /// The persistent artifact store, if a cache directory is configured.
     pub fn disk_store(&self) -> Option<&Arc<DiskStore>> {
         self.store.as_ref()
+    }
+
+    /// The address remote workers connect to, if `listen` is configured.
+    pub fn remote_addr(&self) -> Option<SocketAddr> {
+        self.hub.as_ref().map(|h| h.local_addr())
     }
 
     /// Cache counters of the most recent run. Disk writes and evictions
@@ -349,14 +385,7 @@ impl Engine {
         cfg: &ExperimentConfig,
     ) -> Result<(CleanMlDb, RunReport)> {
         self.cache.reset_stats();
-        let mut graph: TaskGraph<Artifact> = TaskGraph::new();
-        let mut grids: Vec<TaskId> = Vec::new();
-        for &et in error_types {
-            for plan in dataset_plan(et, cfg.base_seed) {
-                grids.push(build_grid_tasks(&mut graph, &plan, et, *cfg));
-            }
-        }
-
+        let (mut graph, grids) = build_study_graph(error_types, cfg);
         let (cache_hits, pruned, to_run) = graph.resolve(&mut self.cache, &grids);
         let total = graph.len();
         emit(&self.events, EngineEvent::GraphReady { total, cache_hits, pruned, to_run });
@@ -383,7 +412,12 @@ impl Engine {
             store,
             keys: index.iter().map(|(key, _, _)| *key).collect(),
         });
-        let (artifacts, executed) = execute(graph, workers, retain, persist, &self.events)?;
+        let remote = self.hub.clone().map(|hub| RemoteLink {
+            hub,
+            keys: index.iter().map(|(key, _, _)| *key).collect(),
+            spec: StudySpec { error_types: error_types.to_vec(), cfg: *cfg }.encode(),
+        });
+        let (artifacts, stats) = execute(graph, workers, retain, persist, remote, &self.events)?;
 
         // Content-address every freshly produced, retained artifact.
         for (id, artifact) in artifacts.iter().enumerate() {
@@ -410,9 +444,39 @@ impl Engine {
         }
         emit(&self.events, EngineEvent::RunFinished);
 
-        let report = RunReport { executed, cache_hits, pruned, total, workers };
+        let report = RunReport {
+            executed: stats.executed,
+            remote_executed: stats.remote_executed,
+            cache_hits,
+            pruned,
+            total,
+            workers,
+            remote_workers: stats.remote_workers,
+            releases: stats.releases,
+        };
         Ok((db, report))
     }
+}
+
+/// Builds the complete study DAG for `error_types` under `cfg` and returns
+/// it with the grid (reduce) sink of every dataset × error-type pair.
+///
+/// This is deliberately a pure function of its arguments: the coordinator
+/// and every remote worker call it with the same [`StudySpec`]-shipped
+/// inputs and obtain graphs whose node ids and content addresses agree bit
+/// for bit — the lease protocol's whole addressing plane rests on that.
+pub fn build_study_graph(
+    error_types: &[ErrorType],
+    cfg: &ExperimentConfig,
+) -> (TaskGraph<Artifact>, Vec<TaskId>) {
+    let mut graph: TaskGraph<Artifact> = TaskGraph::new();
+    let mut grids: Vec<TaskId> = Vec::new();
+    for &et in error_types {
+        for plan in dataset_plan(et, cfg.base_seed) {
+            grids.push(build_grid_tasks(&mut graph, &plan, et, *cfg));
+        }
+    }
+    (graph, grids)
 }
 
 /// Canonical content-address strings. Seeds and float parameters are

@@ -214,6 +214,7 @@ fn byte_capped_cache_stays_bounded() {
         workers: 4,
         cache_dir: Some(dir.clone()),
         cache_max_bytes: Some(cap),
+        ..Default::default()
     })
     .with_events(tx);
     let db = engine.run_study(&ets, &cfg).expect("capped study");
@@ -369,6 +370,7 @@ fn progress_events_cover_the_run() {
                 finished += 1;
             }
             EngineEvent::RunFinished => run_finished = true,
+            other => panic!("local-only run emitted a remote event: {other:?}"),
         }
     }
     assert!(saw_graph, "GraphReady not emitted");
