@@ -1,0 +1,164 @@
+//! `cleanml-query` — client for a resident `cleanml-serve` engine.
+//!
+//! Submits a whole study or one `(dataset, error type, method, model)`
+//! cell, streams progress to stderr while the engine computes (or answers
+//! straight from its warm cache), and prints the R1/R2/R3 CSV text to
+//! stdout:
+//!
+//! ```sh
+//! # whole study for two error types
+//! cleanml-query --connect 127.0.0.1:7401 --quick --errors outliers,duplicates
+//!
+//! # one cell: dataset / detection / repair / model
+//! cleanml-query --connect 127.0.0.1:7401 --quick --errors outliers \
+//!     --cell "Sensor/IQR/Mean/Logistic Regression" --cache-stats
+//! ```
+//!
+//! `--cache-stats` appends the server's accounting line; a warm repeat of
+//! the same request reports `executed_train=0` — the memo answered, no
+//! model was retrained.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cleanml_bench::{
+    cache_stats_line, config_from_args, parse_error_types, stats_from_serve_report,
+};
+use cleanml_core::schema::ErrorType;
+use cleanml_engine::remote::{poll_recv, proto, Message, Polled, Request, ServeReport, StudySpec};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|p| args.get(p + 1)).cloned()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cleanml-query --connect HOST:PORT [--quick|--standard|--paper]\n\
+         \u{20}      [--splits N] [--seed N] [--errors LIST] [--cell D/DET/REP/MODEL]\n\
+         \u{20}      [--cache-stats] [--retry SECS]\n\
+         submits a study (or one cell) to a cleanml-serve engine and prints the CSVs;\n\
+         LIST is comma-separated error types (default: all five),\n\
+         a --cell names dataset/detection/repair/model and needs exactly one error type"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(addr) = arg_value(&args, "--connect") else { usage() };
+    let cfg = config_from_args();
+    let error_types: Vec<ErrorType> = match arg_value(&args, "--errors") {
+        Some(list) => parse_error_types(&list).unwrap_or_else(|| {
+            eprintln!("error: unknown error type in `{list}`");
+            std::process::exit(2);
+        }),
+        None => ErrorType::all().to_vec(),
+    };
+    let request = match arg_value(&args, "--cell") {
+        Some(cell) => {
+            let parts: Vec<&str> = cell.split('/').collect();
+            let [dataset, detection, repair, model] = parts[..] else {
+                eprintln!("error: --cell expects DATASET/DETECTION/REPAIR/MODEL, got `{cell}`");
+                std::process::exit(2);
+            };
+            if error_types.len() != 1 {
+                eprintln!("error: a --cell query needs exactly one --errors entry");
+                std::process::exit(2);
+            }
+            Request::Cell {
+                spec: StudySpec { error_types, cfg },
+                dataset: dataset.trim().to_string(),
+                detection: detection.trim().to_string(),
+                repair: repair.trim().to_string(),
+                model: model.trim().to_string(),
+            }
+        }
+        None => Request::Study(StudySpec { error_types, cfg }),
+    };
+    let retry_secs = arg_value(&args, "--retry").and_then(|s| s.parse::<u64>().ok()).unwrap_or(30);
+    let want_stats = args.iter().any(|a| a == "--cache-stats");
+
+    // The server may still be starting in a scripted launch: retry the
+    // connect for a bounded window (mirrors cleanml-worker).
+    let deadline = Instant::now() + Duration::from_secs(retry_secs);
+    let stream = loop {
+        match TcpStream::connect(&addr) {
+            Ok(stream) => break stream,
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("[query] {addr} not ready ({e}); retrying");
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Err(e) => {
+                eprintln!("[query] cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    if let Err(e) = proto::send(&mut &stream, &Message::Submit { request: request.encode() }) {
+        eprintln!("[query] cannot submit: {e}");
+        std::process::exit(1);
+    }
+
+    let mut announced = false;
+    loop {
+        match poll_recv(&stream, Duration::from_secs(5)) {
+            Polled::Pending => {
+                // the server Status stream doubles as its liveness signal;
+                // probe back so a vanished server fails the write
+                if proto::send(&mut &stream, &Message::Heartbeat).is_err() {
+                    eprintln!("\n[query] server connection lost");
+                    std::process::exit(1);
+                }
+            }
+            Polled::Closed => {
+                eprintln!("\n[query] server closed the connection before a result");
+                std::process::exit(1);
+            }
+            Polled::Msg(Message::Status { done, to_run, cache_hits, pruned }) => {
+                if !announced {
+                    eprintln!(
+                        "[query] submitted: {to_run} tasks to run, {cache_hits} cache hits, \
+                         {pruned} pruned"
+                    );
+                    announced = true;
+                }
+                eprint!("\r[query] {done}/{to_run} tasks done");
+            }
+            Polled::Msg(Message::ResultCsv { csv, report }) => {
+                if announced {
+                    eprintln!();
+                }
+                match String::from_utf8(csv) {
+                    Ok(text) => print!("{text}"),
+                    Err(_) => {
+                        eprintln!("[query] server sent non-UTF-8 CSV");
+                        std::process::exit(1);
+                    }
+                }
+                if want_stats {
+                    match ServeReport::decode(&report) {
+                        Some(sr) => {
+                            let (stats, totals, run) = stats_from_serve_report(&sr);
+                            println!("{}", cache_stats_line(&stats, totals, &run));
+                        }
+                        None => eprintln!("[query] server report did not decode"),
+                    }
+                }
+                std::process::exit(0);
+            }
+            Polled::Msg(Message::ServeError { error }) => {
+                if announced {
+                    eprintln!();
+                }
+                eprintln!("[query] request failed: {error}");
+                std::process::exit(1);
+            }
+            Polled::Msg(Message::Heartbeat) | Polled::Msg(Message::Bye) => {}
+            Polled::Msg(other) => {
+                eprintln!("\n[query] unexpected message from server: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

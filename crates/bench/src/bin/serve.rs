@@ -1,0 +1,58 @@
+//! `cleanml-serve` — the resident CleanML engine as a daemon.
+//!
+//! One long-lived [`cleanml_engine::Engine`] owns the worker pool, the
+//! warm in-memory memo and the persistent artifact store; the `--listen`
+//! socket serves *both* peer kinds on one port:
+//!
+//! * `cleanml-query` clients submit studies or single cells and stream
+//!   results back — concurrent submissions dedupe into the same in-flight
+//!   tasks, and repeat queries answer from the warm cache in milliseconds;
+//! * `cleanml-worker` processes lease ready tasks and ship artifacts
+//!   back, exactly as against a `--listen` study run.
+//!
+//! ```sh
+//! cargo run --release -p cleanml-bench --bin cleanml-serve -- \
+//!     --listen 127.0.0.1:7401 --workers 8 \
+//!     --cache-dir serve_cache --cache-max-bytes 2g
+//! cargo run --release -p cleanml-bench --bin cleanml-query -- \
+//!     --connect 127.0.0.1:7401 --quick --errors outliers
+//! ```
+//!
+//! The daemon is loopback-grade: there is no authentication or TLS yet,
+//! so do not expose the listener beyond trusted networks.
+
+use std::time::Duration;
+
+use cleanml_bench::engine_from_args;
+use cleanml_engine::Engine;
+
+fn main() {
+    let cfg = engine_from_args();
+    if cfg.listen.is_none() {
+        eprintln!(
+            "usage: cleanml-serve --listen HOST:PORT [--workers N] [--cache-dir DIR]\n\
+             \u{20}      [--cache-max-bytes N[k|m|g]] [--lease-timeout SECS]\n\
+             a resident engine serving cleanml-query clients and cleanml-worker leases"
+        );
+        std::process::exit(2);
+    }
+    let engine = Engine::new(cfg);
+    let addr = engine.remote_addr().expect("--listen was required above");
+    println!("[cleanml-serve] serving on {addr} with {} workers", engine.workers());
+    match engine.disk_store() {
+        Some(store) => println!(
+            "[cleanml-serve] artifact store: {} entries, {} B warm",
+            store.len(),
+            store.total_bytes()
+        ),
+        None => println!("[cleanml-serve] no --cache-dir: memo is in-memory only"),
+    }
+    println!("[cleanml-serve] query:  cleanml-query --connect {addr} [--quick] [--errors LIST]");
+    println!("[cleanml-serve] worker: cleanml-worker --connect {addr}");
+
+    // The engine's hub service runs on its own threads; this thread only
+    // keeps the process (and with it the warm memo) alive.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -21,73 +21,19 @@
 //! and ship artifacts back into the shared store; a worker killed mid-run
 //! costs only its in-flight task (re-leased after `--lease-timeout`).
 
-use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use cleanml_bench::{banner, config_from_args, csv_escape, header, run_study_cli};
+use cleanml_bench::{banner, config_from_args, header, run_study_cli};
 use cleanml_core::schema::ErrorType;
 use cleanml_core::{CleanMlDb, Relation};
 
+/// Writes the relations in their canonical CSV form — the same renderers
+/// the serving layer ships over the wire, so a `cleanml-query` response
+/// byte-matches these files.
 fn dump(db: &CleanMlDb, dir: &Path) -> std::io::Result<()> {
-    let mut r1 = String::from(
-        "dataset,error_type,detection,repair,model,scenario,flag,p_two,p_upper,p_lower,mean_before,mean_after,n_splits\n",
-    );
-    for r in &db.r1 {
-        let _ = writeln!(
-            r1,
-            "{},{},{},{},{},{},{},{:e},{:e},{:e},{},{},{}",
-            csv_escape(&r.dataset),
-            r.error_type.name(),
-            r.detection.name(),
-            r.repair.name(),
-            r.model.name(),
-            r.scenario,
-            r.flag,
-            r.evidence.p_two,
-            r.evidence.p_upper,
-            r.evidence.p_lower,
-            r.evidence.mean_before,
-            r.evidence.mean_after,
-            r.evidence.n_splits,
-        );
-    }
-    std::fs::write(dir.join("r1.csv"), r1)?;
-
-    let mut r2 = String::from(
-        "dataset,error_type,detection,repair,scenario,flag,p_two,mean_before,mean_after\n",
-    );
-    for r in &db.r2 {
-        let _ = writeln!(
-            r2,
-            "{},{},{},{},{},{},{:e},{},{}",
-            csv_escape(&r.dataset),
-            r.error_type.name(),
-            r.detection.name(),
-            r.repair.name(),
-            r.scenario,
-            r.flag,
-            r.evidence.p_two,
-            r.evidence.mean_before,
-            r.evidence.mean_after,
-        );
-    }
-    std::fs::write(dir.join("r2.csv"), r2)?;
-
-    let mut r3 = String::from("dataset,error_type,scenario,flag,p_two,mean_before,mean_after\n");
-    for r in &db.r3 {
-        let _ = writeln!(
-            r3,
-            "{},{},{},{},{:e},{},{}",
-            csv_escape(&r.dataset),
-            r.error_type.name(),
-            r.scenario,
-            r.flag,
-            r.evidence.p_two,
-            r.evidence.mean_before,
-            r.evidence.mean_after,
-        );
-    }
-    std::fs::write(dir.join("r3.csv"), r3)?;
+    std::fs::write(dir.join("r1.csv"), db.r1_csv())?;
+    std::fs::write(dir.join("r2.csv"), db.r2_csv())?;
+    std::fs::write(dir.join("r3.csv"), db.r3_csv())?;
     Ok(())
 }
 

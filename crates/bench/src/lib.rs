@@ -36,7 +36,9 @@ use std::sync::mpsc;
 use cleanml_core::database::FlagDist;
 use cleanml_core::schema::ErrorType;
 use cleanml_core::{CleanMlDb, ExperimentConfig};
-use cleanml_engine::{parallel_map, CacheStats, Engine, EngineConfig, EngineEvent, RunReport};
+use cleanml_engine::{
+    parallel_map, CacheStats, Engine, EngineConfig, EngineEvent, RunReport, ServeReport,
+};
 use cleanml_stats::Flag;
 
 /// Parses the common CLI profile flags.
@@ -133,6 +135,45 @@ pub fn job_workers() -> usize {
     engine_from_args().effective_workers()
 }
 
+/// Parses one error-type name, tolerant of case, spaces and underscores
+/// (`missing_values`, `Missing Values` and `missingvalues` all match).
+pub fn parse_error_type(token: &str) -> Option<ErrorType> {
+    let norm = |s: &str| -> String {
+        s.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_ascii_lowercase()
+    };
+    let wanted = norm(token);
+    ErrorType::all().into_iter().find(|et| norm(et.name()) == wanted)
+}
+
+/// Parses a comma-separated error-type list for `--errors`.
+pub fn parse_error_types(list: &str) -> Option<Vec<ErrorType>> {
+    list.split(',').map(|tok| parse_error_type(tok.trim())).collect()
+}
+
+/// Rebuilds the [`cache_stats_line`] inputs from a wire [`ServeReport`] —
+/// how `cleanml-query` prints the server's accounting.
+pub fn stats_from_serve_report(r: &ServeReport) -> (CacheStats, Option<(u64, usize)>, RunReport) {
+    let stats = CacheStats {
+        memory_hits: r.memory_hits as usize,
+        disk_hits: r.disk_hits as usize,
+        misses: r.misses as usize,
+        disk_writes: r.disk_writes as usize,
+        disk_evictions: r.disk_evictions as usize,
+    };
+    let totals = Some((r.store_bytes, r.store_entries as usize));
+    let report = RunReport {
+        executed: r.executed.iter().map(|&(k, n)| (k, n as usize)).collect(),
+        remote_executed: r.remote_executed.iter().map(|&(k, n)| (k, n as usize)).collect(),
+        cache_hits: r.cache_hits as usize,
+        pruned: r.pruned as usize,
+        total: r.total as usize,
+        workers: 0,
+        remote_workers: r.remote_workers as usize,
+        releases: r.releases as usize,
+    };
+    (stats, totals, report)
+}
+
 /// Runs a study through the engine with live progress on stderr — the
 /// shared entry point of every `tableNN` binary.
 pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> CleanMlDb {
@@ -226,16 +267,20 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
 /// Renders the end-of-run `--cache-stats` summary: layer-by-layer counters,
 /// the persistent store's size, and the run's execution provenance (local
 /// vs remote, plus re-leased orphans), in a stable greppable format.
+/// `executed_train` counts `Train` tasks across both provenances — the
+/// warm-memo acceptance signal (a warm serve answers with
+/// `executed_train=0`).
 pub fn cache_stats_line(
     stats: &CacheStats,
     store_totals: Option<(u64, usize)>,
     report: &RunReport,
 ) -> String {
+    use cleanml_engine::TaskKind;
     let (store_bytes, store_entries) = store_totals.unwrap_or((0, 0));
     format!(
         "[cache-stats] memory_hits={} disk_hits={} misses={} disk_writes={} \
          disk_evictions={} store_entries={} store_bytes={} executed_local={} \
-         executed_remote={} remote_workers={} releases={}",
+         executed_remote={} executed_train={} remote_workers={} releases={}",
         stats.memory_hits,
         stats.disk_hits,
         stats.misses,
@@ -245,6 +290,7 @@ pub fn cache_stats_line(
         store_bytes,
         report.local_total(),
         report.remote_total(),
+        report.executed(TaskKind::Train) + report.remote(TaskKind::Train),
         report.remote_workers,
         report.releases,
     )
@@ -270,15 +316,10 @@ where
     grouped
 }
 
-/// Escapes one CSV field per RFC 4180: fields containing commas, quotes,
-/// newlines or carriage returns are quoted, with embedded quotes doubled.
-pub fn csv_escape(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_owned()
-    }
-}
+/// The canonical RFC-4180 field escaping lives beside the relation
+/// renderers in `cleanml_core::database`; re-exported here for the table
+/// binaries.
+pub use cleanml_core::database::csv_escape;
 
 /// Prints a section header.
 pub fn header(title: &str) {
@@ -374,13 +415,49 @@ mod tests {
             cache_stats_line(&stats, Some((1024, 7)), &report),
             "[cache-stats] memory_hits=1 disk_hits=2 misses=3 disk_writes=4 \
              disk_evictions=5 store_entries=7 store_bytes=1024 executed_local=8 \
-             executed_remote=9 remote_workers=2 releases=1"
+             executed_remote=9 executed_train=15 remote_workers=2 releases=1"
         );
         // no persistent layer / purely local run: fields read as zero,
         // line shape stable
         let local = cache_stats_line(&stats, None, &RunReport::default());
         assert!(local.contains("store_entries=0 store_bytes=0"));
-        assert!(local.ends_with("executed_local=0 executed_remote=0 remote_workers=0 releases=0"));
+        assert!(local.ends_with(
+            "executed_local=0 executed_remote=0 executed_train=0 remote_workers=0 releases=0"
+        ));
+    }
+
+    #[test]
+    fn error_type_names_parse_tolerantly() {
+        assert_eq!(parse_error_type("missing_values"), Some(ErrorType::MissingValues));
+        assert_eq!(parse_error_type("Missing Values"), Some(ErrorType::MissingValues));
+        assert_eq!(parse_error_type("MISLABELS"), Some(ErrorType::Mislabels));
+        assert_eq!(parse_error_type("nonsense"), None);
+        assert_eq!(
+            parse_error_types("outliers, duplicates"),
+            Some(vec![ErrorType::Outliers, ErrorType::Duplicates])
+        );
+        assert_eq!(parse_error_types("outliers,bogus"), None);
+    }
+
+    #[test]
+    fn serve_report_reconstructs_the_stats_line() {
+        use cleanml_engine::TaskKind;
+        let report = ServeReport {
+            memory_hits: 5,
+            disk_hits: 1,
+            misses: 2,
+            store_entries: 3,
+            store_bytes: 4096,
+            executed: vec![(TaskKind::Reduce, 2)],
+            cache_hits: 9,
+            ..Default::default()
+        };
+        let (stats, totals, run) = stats_from_serve_report(&report);
+        let line = cache_stats_line(&stats, totals, &run);
+        assert!(line.contains("memory_hits=5"), "{line}");
+        assert!(line.contains("store_bytes=4096"), "{line}");
+        assert!(line.contains("executed_local=2"), "{line}");
+        assert!(line.contains("executed_train=0"), "{line}");
     }
 
     #[test]

@@ -236,6 +236,97 @@ impl CleanMlDb {
     }
 }
 
+/// Escapes one CSV field per RFC 4180: fields containing commas, quotes,
+/// newlines or carriage returns are quoted, with embedded quotes doubled.
+/// The single canonical implementation — `cleanml_bench` re-exports it —
+/// so the dumped files and the serving layer's wire CSV can never drift.
+pub fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// CSV rendering of the relations — the canonical on-disk / on-wire form
+/// shared by the `study` binary's dump and the serving layer's
+/// `ResultCsv`. Floats render p-values in `{:e}` and means in `{}` so a
+/// byte-compare across runs is a real determinism check.
+impl CleanMlDb {
+    /// R1 as CSV text, header included.
+    pub fn r1_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "dataset,error_type,detection,repair,model,scenario,flag,p_two,p_upper,p_lower,mean_before,mean_after,n_splits\n",
+        );
+        for r in &self.r1 {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{:e},{:e},{:e},{},{},{}",
+                csv_escape(&r.dataset),
+                r.error_type.name(),
+                r.detection.name(),
+                r.repair.name(),
+                r.model.name(),
+                r.scenario,
+                r.flag,
+                r.evidence.p_two,
+                r.evidence.p_upper,
+                r.evidence.p_lower,
+                r.evidence.mean_before,
+                r.evidence.mean_after,
+                r.evidence.n_splits,
+            );
+        }
+        out
+    }
+
+    /// R2 as CSV text, header included.
+    pub fn r2_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "dataset,error_type,detection,repair,scenario,flag,p_two,mean_before,mean_after\n",
+        );
+        for r in &self.r2 {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{:e},{},{}",
+                csv_escape(&r.dataset),
+                r.error_type.name(),
+                r.detection.name(),
+                r.repair.name(),
+                r.scenario,
+                r.flag,
+                r.evidence.p_two,
+                r.evidence.mean_before,
+                r.evidence.mean_after,
+            );
+        }
+        out
+    }
+
+    /// R3 as CSV text, header included.
+    pub fn r3_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out =
+            String::from("dataset,error_type,scenario,flag,p_two,mean_before,mean_after\n");
+        for r in &self.r3 {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:e},{},{}",
+                csv_escape(&r.dataset),
+                r.error_type.name(),
+                r.scenario,
+                r.flag,
+                r.evidence.p_two,
+                r.evidence.mean_before,
+                r.evidence.mean_after,
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -456,12 +456,127 @@ impl Drop for DiskStore {
     }
 }
 
+/// Default number of *unpinned* warm artifacts [`Retention`] keeps
+/// resident before LRU eviction kicks in.
+pub const DEFAULT_WARM_ENTRIES: usize = 256;
+
+/// Cross-submission in-memory retention for finished artifacts.
+///
+/// The single-run engine retired an artifact the moment its last consumer
+/// finished — correct when one graph owns the process, wasteful for a
+/// resident engine where the next submission may demand the same content
+/// address seconds later. `Retention` generalizes that policy:
+///
+/// * **pins** — refcounts aggregated over *live submissions*: every active
+///   submission pins the keys it needs to survive until collection (its
+///   sinks). A pinned entry is never evicted, no matter the cap.
+/// * **warm LRU** — retired artifacts (consumers done, nobody retaining)
+///   are parked here instead of dropped. Unpinned entries are bounded by
+///   an entry cap with least-recently-used eviction, so a long-lived
+///   serving process holds a working set, not an unbounded history.
+///
+/// A later submission that dedupes onto an already-retired task recovers
+/// the artifact from here without touching the disk store or re-running
+/// the task body.
+pub struct Retention<A> {
+    pins: HashMap<CacheKey, usize>,
+    warm: HashMap<CacheKey, (A, u64)>,
+    clock: u64,
+    cap: usize,
+}
+
+impl<A: Clone> Retention<A> {
+    /// Creates a retention set keeping at most `cap` unpinned warm entries.
+    pub fn new(cap: usize) -> Self {
+        Retention { pins: HashMap::new(), warm: HashMap::new(), clock: 0, cap }
+    }
+
+    /// Registers one live submission's interest in `key`.
+    pub fn pin(&mut self, key: CacheKey) {
+        *self.pins.entry(key).or_insert(0) += 1;
+    }
+
+    /// Releases one submission's interest; the entry becomes evictable
+    /// when the last pin drops.
+    pub fn unpin(&mut self, key: CacheKey) {
+        if let Some(n) = self.pins.get_mut(&key) {
+            *n -= 1;
+            if *n == 0 {
+                self.pins.remove(&key);
+                self.enforce_cap();
+            }
+        }
+    }
+
+    /// Parks a retired artifact. Unpinned entries beyond the cap evict
+    /// least-recently-used first; pinned entries always fit.
+    pub fn insert(&mut self, key: CacheKey, artifact: A) {
+        self.clock += 1;
+        let clock = self.clock;
+        self.warm.insert(key, (artifact, clock));
+        self.enforce_cap();
+    }
+
+    /// Recovers a warm artifact, touching its LRU slot.
+    pub fn get(&mut self, key: CacheKey) -> Option<A> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (artifact, access) = self.warm.get_mut(&key)?;
+        *access = clock;
+        Some(artifact.clone())
+    }
+
+    /// Warm entries currently resident (pinned and unpinned).
+    pub fn len(&self) -> usize {
+        self.warm.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.warm.is_empty()
+    }
+
+    /// Live pin count for `key` (refcount over live submissions).
+    pub fn pins(&self, key: CacheKey) -> usize {
+        self.pins.get(&key).copied().unwrap_or(0)
+    }
+
+    fn enforce_cap(&mut self) {
+        loop {
+            let unpinned = self.warm.keys().filter(|k| !self.pins.contains_key(k)).count();
+            if unpinned <= self.cap {
+                return;
+            }
+            // oldest unpinned entry; key breaks ties deterministically
+            let victim = self
+                .warm
+                .iter()
+                .filter(|(k, _)| !self.pins.contains_key(*k))
+                .min_by_key(|(k, (_, access))| (*access, k.0, k.1))
+                .map(|(k, _)| *k)
+                .expect("unpinned > cap >= 0 implies a victim");
+            self.warm.remove(&victim);
+        }
+    }
+}
+
 /// The two-layer cache.
 pub struct ArtifactCache<A> {
-    memory: HashMap<CacheKey, A>,
+    memory: HashMap<CacheKey, (A, u64)>,
+    clock: u64,
+    /// Entry cap for the memory layer; least-recently-used entries evict
+    /// beyond it, so a resident engine's memo cannot grow without bound.
+    memo_cap: usize,
     disk: Option<Arc<DiskStore>>,
     pub stats: CacheStats,
 }
+
+/// Default entry cap for [`ArtifactCache`]'s in-memory layer. Generous —
+/// a full five-error-type study retains a few thousand artifacts — but
+/// bounded, so a long-lived serving daemon answering varied query traffic
+/// (every distinct config a distinct content address) evicts
+/// least-recently-used memo entries instead of accreting them forever.
+/// Evicting only ever costs a disk hit or a recompute, never correctness.
+pub const DEFAULT_MEMO_ENTRIES: usize = 65_536;
 
 impl<A: Clone + DiskCodec> ArtifactCache<A> {
     /// Creates a cache; `disk` enables an uncapped persistent layer under
@@ -473,7 +588,39 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
     /// Creates a cache over an existing (possibly shared, possibly
     /// size-capped) disk store.
     pub fn with_store(disk: Option<Arc<DiskStore>>) -> Self {
-        ArtifactCache { memory: HashMap::new(), disk, stats: CacheStats::default() }
+        ArtifactCache {
+            memory: HashMap::new(),
+            clock: 0,
+            memo_cap: DEFAULT_MEMO_ENTRIES,
+            disk,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Overrides the memory-layer entry cap.
+    pub fn with_memo_cap(mut self, cap: usize) -> Self {
+        self.memo_cap = cap.max(1);
+        self.enforce_memo_cap();
+        self
+    }
+
+    fn remember(&mut self, key: CacheKey, artifact: A) {
+        self.clock += 1;
+        let clock = self.clock;
+        self.memory.insert(key, (artifact, clock));
+        self.enforce_memo_cap();
+    }
+
+    fn enforce_memo_cap(&mut self) {
+        while self.memory.len() > self.memo_cap {
+            let victim = self
+                .memory
+                .iter()
+                .min_by_key(|(k, (_, access))| (*access, k.0, k.1))
+                .map(|(k, _)| *k)
+                .expect("len > cap >= 1 implies a victim");
+            self.memory.remove(&victim);
+        }
     }
 
     /// The persistent layer, if any.
@@ -502,16 +649,19 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
     /// memory when the artifact opts in (small artifacts only — see
     /// [`DiskCodec::promote_to_memory`]).
     pub fn get(&mut self, key: CacheKey) -> Option<A> {
-        if let Some(a) = self.memory.get(&key) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some((a, access)) = self.memory.get_mut(&key) {
+            *access = clock;
             self.stats.memory_hits += 1;
             return Some(a.clone());
         }
-        if let Some(store) = &self.disk {
+        if let Some(store) = self.disk.clone() {
             if let Some(payload) = store.load(key) {
                 if let Some(a) = A::decode(&payload) {
                     self.stats.disk_hits += 1;
                     if a.promote_to_memory() {
-                        self.memory.insert(key, a.clone());
+                        self.remember(key, a.clone());
                     }
                     return Some(a);
                 }
@@ -530,7 +680,7 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
                 self.stats.disk_writes += 1;
             }
         }
-        self.memory.insert(key, artifact.clone());
+        self.remember(key, artifact.clone());
     }
 }
 
@@ -753,6 +903,50 @@ mod tests {
         assert!(store.total_bytes() <= 3 * framed(8));
         assert!(store.len() <= 3);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_layer_is_bounded_with_lru_eviction() {
+        let mut c: ArtifactCache<Blob> = ArtifactCache::new(None).with_memo_cap(2);
+        let (ka, kb, kc) = (CacheKey::of("ma"), CacheKey::of("mb"), CacheKey::of("mc"));
+        c.put(ka, &Blob(1.0));
+        c.put(kb, &Blob(2.0));
+        assert!(c.get(ka).is_some()); // touch: b becomes LRU
+        c.put(kc, &Blob(3.0));
+        assert_eq!(c.len(), 2, "memo stays under its entry cap");
+        assert!(c.get(kb).is_none(), "LRU memo entry evicted");
+        assert_eq!(c.get(ka), Some(Blob(1.0)));
+        assert_eq!(c.get(kc), Some(Blob(3.0)));
+    }
+
+    #[test]
+    fn retention_pins_survive_eviction_and_lru_orders_the_rest() {
+        let mut r: Retention<Blob> = Retention::new(2);
+        let (ka, kb, kc, kd) =
+            (CacheKey::of("ra"), CacheKey::of("rb"), CacheKey::of("rc"), CacheKey::of("rd"));
+        r.pin(ka);
+        r.pin(ka); // two live submissions
+        r.insert(ka, Blob(1.0));
+        r.insert(kb, Blob(2.0));
+        r.insert(kc, Blob(3.0));
+        // touching b makes c the LRU unpinned entry
+        assert!(r.get(kb).is_some());
+        r.insert(kd, Blob(4.0)); // third unpinned entry: evicts c
+        assert_eq!(r.len(), 3, "a pinned + b, d warm");
+        assert!(r.get(kc).is_none(), "LRU unpinned entry evicted");
+        assert_eq!(r.get(ka), Some(Blob(1.0)), "pinned entry never evicted");
+
+        // one submission releases its pin: still pinned by the other
+        r.unpin(ka);
+        assert_eq!(r.pins(ka), 1);
+        r.insert(CacheKey::of("re"), Blob(5.0)); // evicts an unpinned entry
+        assert_eq!(r.get(ka), Some(Blob(1.0)));
+
+        // last pin drops: `a` becomes evictable like any warm entry, and
+        // the cap is re-enforced immediately (3 unpinned > cap 2)
+        r.unpin(ka);
+        assert_eq!(r.pins(ka), 0);
+        assert_eq!(r.len(), 2);
     }
 
     #[test]

@@ -5,13 +5,18 @@
 //! selection) — so instead of decomposing them into the typed DAG they run
 //! as independent jobs on a claim-the-next-index worker pool.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Applies `f` to every item on `workers` threads, preserving input order
 /// in the output.
 ///
-/// Panics in `f` propagate after all workers wind down.
+/// A panic in `f` propagates to the caller with its *original* payload:
+/// workers catch their own unwind, record the first payload, and the
+/// remaining items are abandoned. (A naive scoped-thread version would
+/// instead surface the scope's generic "a scoped thread panicked" — or a
+/// poisoned-mutex `expect` — and lose the payload entirely.)
 pub fn parallel_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
 where
     T: Sync,
@@ -23,6 +28,7 @@ where
         return items.iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let results: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -31,11 +37,27 @@ where
                 if i >= items.len() {
                     return;
                 }
-                let out = f(&items[i]);
-                *results[i].lock().expect("result slot") = Some(out);
+                match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(out) => {
+                        *results[i].lock().expect("result slot") = Some(out);
+                    }
+                    Err(payload) => {
+                        let mut first = panicked.lock().expect("panic slot");
+                        if first.is_none() {
+                            *first = Some(payload);
+                        }
+                        // abandon the remaining items so every worker
+                        // winds down promptly
+                        next.store(items.len(), Ordering::Relaxed);
+                        return;
+                    }
+                }
             });
         }
     });
+    if let Some(payload) = panicked.into_inner().expect("panic slot") {
+        resume_unwind(payload);
+    }
     results
         .into_iter()
         .map(|m| m.into_inner().expect("result lock").expect("every index claimed"))
@@ -67,5 +89,36 @@ mod tests {
         let a = parallel_map(&items, 8, |&x| x.wrapping_mul(0x9E3779B97F4A7C15));
         let b = parallel_map(&items, 2, |&x| x.wrapping_mul(0x9E3779B97F4A7C15));
         assert_eq!(a, b);
+    }
+
+    /// The original panic payload must reach the caller — not a poisoned
+    /// mutex message, not the scope's generic "a scoped thread panicked".
+    #[test]
+    fn worker_panic_surfaces_its_original_payload() {
+        for workers in [2, 8] {
+            let items: Vec<usize> = (0..64).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(&items, workers, |&x| {
+                    if x == 7 {
+                        panic!("boom at item {x}");
+                    }
+                    x
+                })
+            }))
+            .expect_err("panicking f must propagate");
+            let msg = caught
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+                .expect("payload must stay downcastable");
+            assert_eq!(msg, "boom at item 7");
+            assert!(!msg.contains("poisoned"), "poison error leaked: {msg}");
+        }
+        // &'static str payloads survive too
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&[1, 2, 3], 2, |_| -> usize { std::panic::panic_any("static-str") })
+        }))
+        .expect_err("panic_any must propagate");
+        assert_eq!(caught.downcast_ref::<&str>().copied(), Some("static-str"));
     }
 }

@@ -21,7 +21,12 @@
 //! 5. **distributes** — with `--listen`, remote `cleanml-worker` processes
 //!    join over TCP, lease ready tasks and ship artifacts back as CMAF
 //!    frames; a worker killed mid-lease costs only its in-flight task
-//!    ([`remote`]).
+//!    ([`remote`]);
+//! 6. **serves** — the [`Engine`] is a resident core: the pool, the warm
+//!    memo and the store live as long as the engine, concurrent
+//!    submissions ([`Engine::submit_study`], [`Engine::submit_query`])
+//!    dedupe into the same in-flight tasks, and the same listener answers
+//!    `cleanml-query` clients with rendered CSVs ([`serve`]).
 //!
 //! Task bodies are deterministic in their explicit seeds, and the relations
 //! are assembled in plan order, so a run with any worker count — including
@@ -45,12 +50,18 @@ pub mod graph;
 pub mod jobs;
 pub mod pool;
 pub mod remote;
+pub mod serve;
 pub mod study;
 
-pub use cache::{ArtifactCache, CacheKey, CacheStats, DiskStore};
+pub use cache::{ArtifactCache, CacheKey, CacheStats, DiskStore, Retention};
 pub use event::{EngineEvent, EventSink, TaskKind};
 pub use graph::{TaskGraph, TaskId};
 pub use jobs::parallel_map;
-pub use pool::{PersistSink, RunReport};
-pub use remote::{FaultPlan, RemoteHub, WorkerSummary, DEFAULT_LEASE_TIMEOUT};
-pub use study::{build_study_graph, Artifact, Engine, EngineConfig};
+pub use pool::{CostModel, ExecStats, PersistSink, Pool, RunReport, SubmissionHandle};
+pub use remote::{
+    FaultPlan, RemoteHub, Request, ServeReport, StudySpec, WorkerSummary, DEFAULT_LEASE_TIMEOUT,
+};
+pub use study::{
+    build_query_graph, build_study_graph, Artifact, CellQuery, Engine, EngineConfig,
+    StudySubmission,
+};

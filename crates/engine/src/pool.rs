@@ -1,51 +1,83 @@
-//! Work-stealing execution of a resolved [`TaskGraph`], local and remote.
+//! The resident execution core: a long-lived worker pool serving many
+//! concurrent, content-address-deduplicated submissions.
 //!
-//! Each local worker owns a deque: new-ready tasks are pushed to the
-//! owner's back and popped LIFO (locality — a freshly unblocked `Train`
-//! task reuses the `Clean` artifact still hot in cache), while idle workers
-//! steal FIFO from victims' fronts (old, wide tasks first — the classic
-//! Blumofe–Leiserson discipline, here with mutex-guarded deques rather than
-//! lock-free Chase–Lev buffers, which at ≤ a few dozen workers measure the
-//! same).
+//! Earlier revisions executed one resolved graph per [`execute`] call: a
+//! thread scope owned the dependency counters, the artifact slots and the
+//! deques, and everything warm died with the run. This module replaces
+//! that lifecycle with a [`Pool`] that owns its worker threads, its ready
+//! frontier and its retention layer for its whole lifetime, and accepts
+//! any number of overlapping [`Pool::submit`] calls:
 //!
-//! With a [`RemoteLink`] attached, remote workers join the same frontier:
-//! each accepted connection gets a lease-service thread that *claims* ready
-//! tasks from the deques (heaviest leasable first), ships them over the
-//! wire and applies the identical completion bookkeeping when the artifact
-//! comes back — so local threads and remote workers race for the same work
-//! and a task's provenance never changes its effect. An expired or
-//! disconnected lease re-enters the frontier via [`reinject`]; the task is
-//! simply executed by whoever claims it next.
+//! * every submission's graph is **merged** into one resident task table
+//!   keyed by content address — two concurrent submissions demanding the
+//!   same `Train` task share a single in-flight entry rather than
+//!   computing it twice, and a later submission reuses a finished entry's
+//!   artifact straight from memory;
+//! * scheduling state is **per task**, completion bookkeeping is **per
+//!   submission**: each submission tracks its own remaining count, event
+//!   sink and execution counters, so progress, results, failures and
+//!   cancellation are isolated — a task body error fails exactly the
+//!   submissions demanding that task, and a [`SubmissionHandle::cancel`]
+//!   releases its subgraph without disturbing anything shared;
+//! * artifact retirement generalizes from per-run consumer counts to
+//!   cross-submission refcounts: an artifact whose consumers finished and
+//!   whose retaining submissions collected moves into the size-capped warm
+//!   LRU ([`crate::cache::Retention`]) instead of vanishing, ready for the
+//!   next submission that dedupes onto it.
 //!
-//! Scheduling state (dependency counters, result slots) lives outside the
-//! deques; completion of the final task wakes every sleeper and the pool
-//! drains.
+//! Local workers keep the work-stealing discipline (LIFO own deque, FIFO
+//! steals) under one scheduler lock; remote lease threads
+//! ([`crate::remote::coordinator`]) claim from the same deques, guided by
+//! per-deque kind-count summaries instead of a full frontier scan. Ready
+//! tasks are ordered heaviest-first by an adaptive cost model
+//! ([`CostModel`]): static per-kind weights until enough completed tasks
+//! have been observed, then an EWMA of measured runtimes that re-weights
+//! the frontier mid-run.
+//!
+//! [`execute`] survives as a thin compatibility wrapper — one pool, one
+//! submission, wait, shut down — so the single-run call sites and their
+//! byte-identity guarantees are unchanged.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use cleanml_core::CoreError;
 
-use crate::cache::{CacheKey, DiskCodec, DiskStore};
+use crate::cache::{CacheKey, DiskCodec, DiskStore, Retention, DEFAULT_WARM_ENTRIES};
 use crate::event::{emit, EngineEvent, EventSink, TaskKind};
-use crate::graph::{NodeState, TaskGraph, TaskId};
-use crate::remote::coordinator::{dispatch, RemoteCtx, RemoteHub};
+use crate::graph::{NodeState, TaskFn, TaskGraph};
+use crate::remote::coordinator::spawn_hub_service;
+use crate::remote::RemoteHub;
+
+/// Number of task kinds (indexes the per-kind counter arrays).
+pub(crate) const NKINDS: usize = TaskKind::ALL.len();
+
+pub(crate) fn kind_index(kind: TaskKind) -> usize {
+    TaskKind::ALL.iter().position(|&k| k == kind).expect("kind listed")
+}
+
+/// Index of a task in the resident table (distinct from a submission
+/// graph's [`crate::graph::TaskId`]: entries persist across submissions).
+pub(crate) type Gid = usize;
+
+/// Submission identifier, unique per pool.
+pub type SubId = u64;
 
 /// Disk persistence wiring for a run: the shared store plus each node's
-/// content address. Workers write codec-capable artifacts the moment their
-/// task finishes — not at the end of the run — so a killed study keeps
-/// every completed `Clean`/`Train`/`Evaluate` result.
+/// content address. Retained for [`execute`] compatibility; the resident
+/// pool persists by the task entry's own key.
 pub struct PersistSink {
     pub store: Arc<DiskStore>,
     pub keys: Vec<CacheKey>,
 }
 
-/// Remote-execution wiring for a run: the hub accepting worker
-/// connections, every node's content address (the wire lookup plane for
-/// `Fetch`), and the encoded [`crate::remote::proto::StudySpec`] workers
-/// rebuild the graph from.
+/// Remote-execution wiring for an [`execute`] call: the hub accepting
+/// worker connections, every node's content address, and the encoded
+/// [`crate::remote::proto::StudySpec`] workers rebuild the graph from.
 pub struct RemoteLink {
     pub hub: Arc<RemoteHub>,
     pub keys: Vec<CacheKey>,
@@ -104,42 +136,7 @@ impl RunReport {
     }
 }
 
-/// Node metadata the executors need after the graph is consumed.
-pub(crate) type NodeMeta = (TaskKind, String, NodeState);
-
-pub(crate) struct Shared<'g, A> {
-    pub(crate) deques: Vec<Mutex<VecDeque<TaskId>>>,
-    /// `pending[id]`: unfinished dependencies; task becomes ready at zero.
-    pub(crate) pending: Vec<AtomicUsize>,
-    pub(crate) dependents: Vec<Vec<TaskId>>,
-    /// `consumers_left[id]`: runnable tasks that still need id's artifact.
-    /// When it reaches zero and the node is not retained, the artifact is
-    /// dropped — a paper-scale run would otherwise hold every trained model
-    /// in memory until the end. A leased task counts as unfinished until
-    /// its artifact lands, so remote workers can always fetch their inputs.
-    pub(crate) consumers_left: Vec<AtomicUsize>,
-    pub(crate) retain: &'g [bool],
-    pub(crate) slots: &'g [Mutex<Option<A>>],
-    pub(crate) remaining: AtomicUsize,
-    pub(crate) abort: AtomicBool,
-    pub(crate) error: Mutex<Option<CoreError>>,
-    pub(crate) sleep: Mutex<()>,
-    pub(crate) wake: Condvar,
-    /// Local executions, indexed by `TaskKind::ALL` position.
-    pub(crate) executed: Vec<AtomicUsize>,
-    /// Remote executions, same indexing.
-    pub(crate) remote_executed: Vec<AtomicUsize>,
-    /// Remote workers that completed a handshake.
-    pub(crate) remote_workers: AtomicUsize,
-    /// Orphaned leases whose tasks re-entered the frontier.
-    pub(crate) releases: AtomicUsize,
-}
-
-pub(crate) fn kind_index(kind: TaskKind) -> usize {
-    TaskKind::ALL.iter().position(|&k| k == kind).expect("kind listed")
-}
-
-/// Execution counters of one run, split by provenance.
+/// Execution counters of one submission, split by provenance.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     pub executed: Vec<(TaskKind, usize)>,
@@ -152,103 +149,1135 @@ pub struct ExecStats {
 /// counters.
 pub type ExecutionOutcome<A> = (Vec<Option<A>>, ExecStats);
 
-impl<A> Shared<'_, A> {
-    /// Returns orphaned tasks to the ready frontier, heaviest kind first
-    /// (the same LIFO trick the seeding uses: pushed in ascending weight so
-    /// `pop_back` yields the heaviest), and wakes sleepers to claim them.
-    pub(crate) fn reinject(&self, ids: &[TaskId], meta: &[NodeMeta]) {
-        if ids.is_empty() {
-            return;
+// ---------------------------------------------------------------------------
+// Adaptive cost model (observed per-kind runtimes)
+// ---------------------------------------------------------------------------
+
+/// Completed-task samples needed for a kind before observed cost replaces
+/// the static prior.
+pub const MIN_COST_SAMPLES: u64 = 4;
+
+/// Observed per-[`TaskKind`] runtimes, kept for the pool's whole lifetime.
+///
+/// Each locally executed task feeds an exponentially weighted moving
+/// average of its wall-clock microseconds. Frontier ordering asks
+/// [`CostModel::effective_weight`]: until [`MIN_COST_SAMPLES`] completions
+/// of a kind have been seen it answers the static
+/// [`TaskKind::cost_weight`] prior (scaled into the microsecond domain so
+/// observed and unobserved kinds stay comparable); after that, the EWMA —
+/// so the ready frontier re-weights itself mid-run as real costs emerge.
+#[derive(Debug)]
+pub struct CostModel {
+    counts: [AtomicU64; NKINDS],
+    ewma_micros: [AtomicU64; NKINDS],
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            ewma_micros: std::array::from_fn(|_| AtomicU64::new(0)),
         }
-        let mut ordered: Vec<TaskId> = ids.to_vec();
-        ordered.sort_by_key(|&id| (std::cmp::Reverse(meta[id].0.cost_weight()), id));
-        let home = ids[0] % self.deques.len();
-        {
-            let mut deque = self.deques[home].lock().expect("deque");
-            for &id in ordered.iter().rev() {
-                deque.push_back(id);
-            }
-        }
-        self.releases.fetch_add(ids.len(), Ordering::Relaxed);
-        self.wake.notify_all();
     }
 }
 
-/// Completion bookkeeping shared by local workers and remote lease
-/// handlers: persist the artifact (durability before progress — it reaches
-/// disk before any dependent can observe it), publish it, retire inputs
-/// whose last consumer this was, release newly-ready dependents onto
-/// `home`'s deque, and wake sleepers.
-///
-/// `payload` short-circuits re-encoding when the artifact already travelled
-/// the wire in its serial form.
-#[allow(clippy::too_many_arguments)] // crate-private; mirrors execute's wiring
-pub(crate) fn finish_ok<A>(
-    shared: &Shared<'_, A>,
-    id: TaskId,
-    artifact: A,
-    payload: Option<&[u8]>,
-    home: usize,
-    remote: bool,
-    meta: &[NodeMeta],
-    deps: &[Vec<TaskId>],
-    persist: &Option<PersistSink>,
-    events: &Option<EventSink>,
-) where
-    A: Clone + Send + Sync + DiskCodec,
+impl CostModel {
+    /// Records one completed task's runtime.
+    pub fn record(&self, kind: TaskKind, elapsed: Duration) {
+        let i = kind_index(kind);
+        let sample = (elapsed.as_micros() as u64).max(1);
+        let seen = self.counts[i].fetch_add(1, Ordering::Relaxed);
+        if seen == 0 {
+            self.ewma_micros[i].store(sample, Ordering::Relaxed);
+        } else {
+            // racy read-modify-write: an occasionally lost update only
+            // nudges the average, which is itself an approximation
+            let old = self.ewma_micros[i].load(Ordering::Relaxed);
+            self.ewma_micros[i].store((3 * old + sample) / 4, Ordering::Relaxed);
+        }
+    }
+
+    /// `(samples, ewma_micros)` for a kind, if any task of it completed.
+    pub fn observed(&self, kind: TaskKind) -> Option<(u64, u64)> {
+        let i = kind_index(kind);
+        let n = self.counts[i].load(Ordering::Relaxed);
+        (n > 0).then(|| (n, self.ewma_micros[i].load(Ordering::Relaxed)))
+    }
+
+    /// Scheduling weight for a kind: observed EWMA microseconds once
+    /// enough samples exist, the static prior (scaled to microseconds)
+    /// before that.
+    pub fn effective_weight(&self, kind: TaskKind) -> u64 {
+        let i = kind_index(kind);
+        if self.counts[i].load(Ordering::Relaxed) >= MIN_COST_SAMPLES {
+            self.ewma_micros[i].load(Ordering::Relaxed).max(1)
+        } else {
+            kind.cost_weight() as u64 * 100
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resident scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Unfinished dependencies remain.
+    Waiting,
+    /// In a deque, claimable by local workers and lease threads.
+    Queued,
+    /// Claimed (locally or by a remote lease).
+    Running,
+    /// Finished; `artifact` holds the result until retirement.
+    Done,
+    /// The task body errored; demanding submissions were failed.
+    Failed,
+    /// No live submission demands it any more (cancelled out from under).
+    Orphaned,
+}
+
+pub(crate) struct TaskEntry<A> {
+    pub(crate) key: CacheKey,
+    pub(crate) kind: TaskKind,
+    pub(crate) label: String,
+    deps: Vec<Gid>,
+    dependents: Vec<Gid>,
+    pending: usize,
+    pub(crate) phase: Phase,
+    run: Option<TaskFn<A>>,
+    pub(crate) artifact: Option<A>,
+    /// Runnable, not-yet-finished consumer entries across *all* live
+    /// submissions. At zero (with no retains) the artifact moves to the
+    /// warm LRU.
+    consumers_left: usize,
+    /// Live submissions that need the artifact to survive until they
+    /// collect (their sinks).
+    retain_refs: usize,
+    /// Live submissions whose subgraph includes this entry.
+    subs: Vec<SubId>,
+    /// Submission that first demanded the entry's current execution;
+    /// execution counters are attributed here.
+    origin: SubId,
+    /// `(spec key, graph-local id)` per study spec that contains this
+    /// task — the addressing plane remote workers lease by.
+    pub(crate) spec_locals: Vec<(u64, u64)>,
+}
+
+/// One worker's deque plus per-kind occupancy counts, maintained on every
+/// push and pop, so a lease thread picks its victim deque from `NKINDS`
+/// integers instead of walking the whole ready frontier.
+pub(crate) struct DequeState {
+    pub(crate) q: VecDeque<Gid>,
+    pub(crate) counts: [usize; NKINDS],
+}
+
+impl DequeState {
+    fn new() -> Self {
+        DequeState { q: VecDeque::new(), counts: [0; NKINDS] }
+    }
+}
+
+struct SpecEntry {
+    key: u64,
+    bytes: Vec<u8>,
+    live: usize,
+}
+
+struct SubEntry {
+    /// Every resident entry in this submission's subgraph.
+    tasks: Vec<Gid>,
+    /// Submission graph index → resident entry (None for pruned nodes).
+    node_of: Vec<Option<Gid>>,
+    /// Entries whose artifact must survive until collection.
+    retained: Vec<Gid>,
+    spec_key: Option<u64>,
+    /// Entries not yet `Done` when merged; reaches zero at completion.
+    remaining: usize,
+    /// Initial `remaining` (for progress reporting).
+    to_run: usize,
+    executed: [usize; NKINDS],
+    remote_executed: [usize; NKINDS],
+    remote_workers: usize,
+    releases: usize,
+    events: Option<EventSink>,
+    error: Option<CoreError>,
+    done: bool,
+    /// Refs on tasks/retention already released (cancel or failure path).
+    abandoned: bool,
+}
+
+pub(crate) struct State<A> {
+    pub(crate) tasks: Vec<TaskEntry<A>>,
+    pub(crate) by_key: HashMap<CacheKey, Gid>,
+    pub(crate) deques: Vec<DequeState>,
+    pub(crate) retention: Retention<A>,
+    subs: HashMap<SubId, SubEntry>,
+    specs: Vec<SpecEntry>,
+    next_sub: SubId,
+    /// Round-robin cursor: consecutive submissions seed different home
+    /// deques first.
+    rr: usize,
+}
+
+pub(crate) struct PoolInner<A> {
+    pub(crate) state: Mutex<State<A>>,
+    /// Wakes workers and lease threads when the frontier grows.
+    pub(crate) work: Condvar,
+    /// Wakes submission waiters on completion/cancellation/failure.
+    pub(crate) client: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) costs: CostModel,
+    pub(crate) persist: Option<Arc<DiskStore>>,
+    pub(crate) n_workers: usize,
+}
+
+fn spec_key_of(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ bytes.len() as u64
+}
+
+fn counts_vec(counts: &[usize; NKINDS]) -> Vec<(TaskKind, usize)> {
+    TaskKind::ALL.iter().map(|&k| (k, counts[kind_index(k)])).filter(|&(_, n)| n > 0).collect()
+}
+
+const CANCELLED: &str = "submission cancelled";
+
+impl<A> PoolInner<A>
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
 {
-    let kind = meta[id].0;
-    if let Some(sink) = persist {
-        match payload {
-            Some(bytes) => {
-                sink.store.store(sink.keys[id], bytes);
+    // -- frontier ----------------------------------------------------------
+
+    /// Queues a `Waiting` entry onto deque `home` (callers notify).
+    fn enqueue(&self, st: &mut State<A>, gid: Gid, home: usize) {
+        debug_assert_eq!(st.tasks[gid].phase, Phase::Waiting);
+        st.tasks[gid].phase = Phase::Queued;
+        let ki = kind_index(st.tasks[gid].kind);
+        let home = home % st.deques.len();
+        let deque = &mut st.deques[home];
+        deque.counts[ki] += 1;
+        deque.q.push_back(gid);
+    }
+
+    /// Pops the newest entry of deque `di` that is still claimable,
+    /// dropping stale ids (entries orphaned while queued) on the way.
+    fn pop_back_runnable(&self, st: &mut State<A>, di: usize) -> Option<Gid> {
+        while let Some(gid) = st.deques[di].q.pop_back() {
+            st.deques[di].counts[kind_index(st.tasks[gid].kind)] -= 1;
+            if st.tasks[gid].phase == Phase::Queued {
+                return Some(gid);
             }
-            None => {
-                if let Some(bytes) = artifact.encode() {
-                    sink.store.store(sink.keys[id], &bytes);
+        }
+        None
+    }
+
+    /// Steals the oldest claimable entry from deque `di`'s front.
+    fn pop_front_runnable(&self, st: &mut State<A>, di: usize) -> Option<Gid> {
+        while let Some(gid) = st.deques[di].q.pop_front() {
+            st.deques[di].counts[kind_index(st.tasks[gid].kind)] -= 1;
+            if st.tasks[gid].phase == Phase::Queued {
+                return Some(gid);
+            }
+        }
+        None
+    }
+
+    /// Own deque newest-first (depth-first descent keeps artifacts hot),
+    /// then steal oldest-first from victims — the classic discipline.
+    fn pop_or_steal(&self, st: &mut State<A>, me: usize) -> Option<Gid> {
+        if let Some(gid) = self.pop_back_runnable(st, me) {
+            return Some(gid);
+        }
+        for offset in 1..st.deques.len() {
+            let victim = (me + offset) % st.deques.len();
+            if let Some(gid) = self.pop_front_runnable(st, victim) {
+                return Some(gid);
+            }
+        }
+        None
+    }
+
+    /// Claims the heaviest leasable ready task whose spec map contains
+    /// `spec_key`, for a remote lease thread.
+    ///
+    /// The victim deque is chosen from the per-deque kind-count summaries
+    /// — `O(workers × kinds)` integers — replacing the old full scan of
+    /// every deque's contents. Only the chosen deque is then walked to
+    /// extract the matching element; a miss there (stale ids, or entries
+    /// of a different spec) falls through to the next-best deque.
+    pub(crate) fn claim_leasable(&self, st: &mut State<A>, spec_key: u64) -> Option<(Gid, u64)> {
+        let mut order: Vec<(u64, usize)> = st
+            .deques
+            .iter()
+            .enumerate()
+            .filter_map(|(di, d)| {
+                TaskKind::ALL
+                    .iter()
+                    .filter(|&&k| crate::remote::leasable(k) && d.counts[kind_index(k)] > 0)
+                    .map(|&k| self.costs.effective_weight(k))
+                    .max()
+                    .map(|w| (w, di))
+            })
+            .collect();
+        order.sort_by_key(|&(w, di)| (std::cmp::Reverse(w), di));
+        for (_, di) in order {
+            // pick the heaviest matching element; prefer the newest (the
+            // back) within a weight class, mirroring local LIFO pops
+            let best = st.deques[di]
+                .q
+                .iter()
+                .enumerate()
+                .filter(|&(_, &gid)| {
+                    let t = &st.tasks[gid];
+                    t.phase == Phase::Queued
+                        && crate::remote::leasable(t.kind)
+                        && t.spec_locals.iter().any(|&(k, _)| k == spec_key)
+                })
+                .max_by_key(|&(pos, &gid)| (self.costs.effective_weight(st.tasks[gid].kind), pos))
+                .map(|(pos, _)| pos);
+            if let Some(pos) = best {
+                let gid = st.deques[di].q.remove(pos).expect("position just found");
+                st.deques[di].counts[kind_index(st.tasks[gid].kind)] -= 1;
+                st.tasks[gid].phase = Phase::Running;
+                let local = st.tasks[gid]
+                    .spec_locals
+                    .iter()
+                    .find(|&&(k, _)| k == spec_key)
+                    .map(|&(_, id)| id)
+                    .expect("spec filter matched");
+                return Some((gid, local));
+            }
+        }
+        None
+    }
+
+    /// Returns an orphaned lease's task to the frontier and wakes
+    /// claimants; the `releases` counter lands on the task's origin
+    /// submission (or the first live one still demanding it).
+    pub(crate) fn reinject(&self, st: &mut State<A>, gid: Gid) {
+        debug_assert_eq!(st.tasks[gid].phase, Phase::Running);
+        st.tasks[gid].phase = Phase::Waiting;
+        let home = gid % st.deques.len();
+        self.enqueue(st, gid, home);
+        if let Some(sid) = self.attribution(st, gid) {
+            if let Some(sub) = st.subs.get_mut(&sid) {
+                sub.releases += 1;
+            }
+        }
+        self.work.notify_all();
+    }
+
+    // -- completion bookkeeping -------------------------------------------
+
+    fn attribution(&self, st: &State<A>, gid: Gid) -> Option<SubId> {
+        let entry = &st.tasks[gid];
+        entry
+            .subs
+            .iter()
+            .copied()
+            .find(|&s| s == entry.origin)
+            .or_else(|| entry.subs.first().copied())
+    }
+
+    pub(crate) fn emit_to_subs(&self, st: &State<A>, gid: Gid, event: EngineEvent) {
+        for sid in &st.tasks[gid].subs {
+            if let Some(sub) = st.subs.get(sid) {
+                emit(&sub.events, event.clone());
+            }
+        }
+    }
+
+    /// Marks `gid` started and prepares its execution: takes the body,
+    /// clones the input artifacts (Arc-cheap for study artifacts) and
+    /// emits `TaskStarted` to every demanding submission. Returns `None`
+    /// if the body was already consumed (defensive; should not happen).
+    fn prepare(&self, st: &mut State<A>, gid: Gid, local_id: Option<u64>) -> Option<Job<A>> {
+        st.tasks[gid].phase = Phase::Running;
+        let kind = st.tasks[gid].kind;
+        let id = local_id.map_or(gid, |l| l as usize);
+        let label = st.tasks[gid].label.clone();
+        // the body first: TaskStarted is only emitted for tasks that will
+        // also emit TaskFinished
+        let run = st.tasks[gid].run.take()?;
+        self.emit_to_subs(st, gid, EngineEvent::TaskStarted { id, kind, label: label.clone() });
+        let inputs: Vec<A> = st.tasks[gid]
+            .deps
+            .clone()
+            .iter()
+            .map(|&d| st.tasks[d].artifact.clone().expect("dependency finished before consumer"))
+            .collect();
+        Some(Job { gid, kind, key: st.tasks[gid].key, label, run, inputs })
+    }
+
+    fn dec_consumer(&self, st: &mut State<A>, gid: Gid) {
+        st.tasks[gid].consumers_left -= 1;
+        self.maybe_retire(st, gid);
+    }
+
+    /// Parks the artifact in the warm LRU once nothing live references it.
+    fn maybe_retire(&self, st: &mut State<A>, gid: Gid) {
+        let entry = &mut st.tasks[gid];
+        if entry.phase == Phase::Done
+            && entry.consumers_left == 0
+            && entry.retain_refs == 0
+            && entry.artifact.is_some()
+        {
+            let artifact = entry.artifact.take().expect("just checked");
+            let key = entry.key;
+            st.retention.insert(key, artifact);
+        }
+    }
+
+    /// Completion bookkeeping shared by local workers and remote lease
+    /// threads (the artifact has already been persisted by the caller,
+    /// outside the scheduler lock — durability before progress): publish
+    /// the artifact, credit counters, notify each demanding submission,
+    /// retire inputs whose last consumer this was, and release
+    /// newly-ready dependents onto `home`'s deque heaviest-first.
+    pub(crate) fn complete_ok(
+        &self,
+        st: &mut State<A>,
+        gid: Gid,
+        artifact: A,
+        home: usize,
+        remote: bool,
+        local_id: Option<u64>,
+    ) {
+        let kind = st.tasks[gid].kind;
+        st.tasks[gid].artifact = Some(artifact);
+        st.tasks[gid].phase = Phase::Done;
+        st.tasks[gid].run = None;
+        let id = local_id.map_or(gid, |l| l as usize);
+
+        if let Some(sid) = self.attribution(st, gid) {
+            if let Some(sub) = st.subs.get_mut(&sid) {
+                let counters = if remote { &mut sub.remote_executed } else { &mut sub.executed };
+                counters[kind_index(kind)] += 1;
+            }
+        }
+        let demanding = st.tasks[gid].subs.clone();
+        for sid in demanding {
+            if let Some(sub) = st.subs.get_mut(&sid) {
+                emit(&sub.events, EngineEvent::TaskFinished { id, kind, ok: true });
+                sub.remaining -= 1;
+                if sub.remaining == 0 && !sub.done {
+                    sub.done = true;
+                    emit(&sub.events, EngineEvent::RunFinished);
                 }
             }
         }
+
+        for d in st.tasks[gid].deps.clone() {
+            self.dec_consumer(st, d);
+        }
+
+        let mut released: Vec<Gid> = Vec::new();
+        for dep in st.tasks[gid].dependents.clone() {
+            if st.tasks[dep].phase == Phase::Waiting {
+                st.tasks[dep].pending -= 1;
+                if st.tasks[dep].pending == 0 {
+                    released.push(dep);
+                }
+            }
+        }
+        // Heaviest observed-or-static cost first: sorted descending, then
+        // pushed in reverse so the home deque's LIFO pop starts with the
+        // heaviest — this is where mid-run re-weighting bites.
+        released.sort_by_key(|&g| {
+            (std::cmp::Reverse(self.costs.effective_weight(st.tasks[g].kind)), g)
+        });
+        let notify = !released.is_empty();
+        for &g in released.iter().rev() {
+            self.enqueue(st, g, home);
+        }
+
+        self.maybe_retire(st, gid);
+        if notify {
+            self.work.notify_all();
+        }
+        self.client.notify_all();
     }
-    *shared.slots[id].lock().expect("slot") = Some(artifact);
-    let counters = if remote { &shared.remote_executed } else { &shared.executed };
-    counters[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
-    emit(events, EngineEvent::TaskFinished { id, kind, ok: true });
-    // Retire inputs this task no longer shares with anyone.
-    for &d in &deps[id] {
-        if shared.consumers_left[d].fetch_sub(1, Ordering::AcqRel) == 1 && !shared.retain[d] {
-            *shared.slots[d].lock().expect("slot") = None;
+
+    /// Records a task failure: the entry is poisoned and every submission
+    /// demanding it fails (and releases the rest of its subgraph); other
+    /// submissions are untouched.
+    pub(crate) fn complete_err(
+        &self,
+        st: &mut State<A>,
+        gid: Gid,
+        err: CoreError,
+        local_id: Option<u64>,
+    ) {
+        let kind = st.tasks[gid].kind;
+        st.tasks[gid].phase = Phase::Failed;
+        st.tasks[gid].run = None;
+        let id = local_id.map_or(gid, |l| l as usize);
+        self.emit_to_subs(st, gid, EngineEvent::TaskFinished { id, kind, ok: false });
+        for d in st.tasks[gid].deps.clone() {
+            self.dec_consumer(st, d);
+        }
+        for sid in st.tasks[gid].subs.clone() {
+            self.abandon_sub(st, sid, Some(err.clone()));
+        }
+        self.client.notify_all();
+    }
+
+    /// Fails or cancels a submission: releases its holds on every task
+    /// and orphans the parts of its subgraph nothing else demands.
+    fn abandon_sub(&self, st: &mut State<A>, sid: SubId, err: Option<CoreError>) {
+        let Some(sub) = st.subs.get_mut(&sid) else { return };
+        if sub.done {
+            return; // completed (or already abandoned): results are final
+        }
+        sub.done = true;
+        sub.abandoned = true;
+        sub.error = Some(err.unwrap_or_else(|| CoreError::Unsupported(CANCELLED.into())));
+        let spec_key = sub.spec_key.take();
+        let retained = std::mem::take(&mut sub.retained);
+        let tasks = sub.tasks.clone();
+        if let Some(key) = spec_key {
+            self.release_spec(st, key);
+        }
+        for gid in retained {
+            st.tasks[gid].retain_refs -= 1;
+            let key = st.tasks[gid].key;
+            st.retention.unpin(key);
+        }
+        for gid in tasks {
+            st.tasks[gid].subs.retain(|s| *s != sid);
+            if st.tasks[gid].subs.is_empty()
+                && matches!(st.tasks[gid].phase, Phase::Waiting | Phase::Queued)
+            {
+                // nothing live demands it: release its holds on its
+                // inputs; a queued id goes stale and is skipped at pop
+                st.tasks[gid].phase = Phase::Orphaned;
+                for d in st.tasks[gid].deps.clone() {
+                    self.dec_consumer(st, d);
+                }
+            }
+            self.maybe_retire(st, gid);
+        }
+        self.client.notify_all();
+    }
+
+    /// Drops a collected (or abandoned-and-reaped) submission.
+    fn cleanup_sub(&self, st: &mut State<A>, sid: SubId) {
+        let Some(sub) = st.subs.remove(&sid) else { return };
+        if sub.abandoned {
+            return; // refs already released on the abandon path
+        }
+        if let Some(key) = sub.spec_key {
+            self.release_spec(st, key);
+        }
+        for gid in &sub.retained {
+            st.tasks[*gid].retain_refs -= 1;
+            let key = st.tasks[*gid].key;
+            st.retention.unpin(key);
+        }
+        for gid in sub.tasks {
+            st.tasks[gid].subs.retain(|s| *s != sid);
+            self.maybe_retire(st, gid);
         }
     }
-    let mut released = 0usize;
-    for &dep_id in &shared.dependents[id] {
-        if shared.pending[dep_id].fetch_sub(1, Ordering::AcqRel) == 1 {
-            shared.deques[home].lock().expect("deque").push_back(dep_id);
-            released += 1;
+
+    fn release_spec(&self, st: &mut State<A>, key: u64) {
+        if let Some(pos) = st.specs.iter().position(|s| s.key == key) {
+            st.specs[pos].live -= 1;
+            if st.specs[pos].live == 0 {
+                st.specs.remove(pos);
+            }
         }
     }
-    let left = shared.remaining.fetch_sub(1, Ordering::AcqRel) - 1;
-    if released > 0 || left == 0 {
-        shared.wake.notify_all();
+
+    // -- remote support ----------------------------------------------------
+
+    /// Oldest live spec, for welcoming a freshly connected worker.
+    pub(crate) fn pick_spec(&self, st: &State<A>) -> Option<(u64, Vec<u8>)> {
+        st.specs.iter().find(|s| s.live > 0).map(|s| (s.key, s.bytes.clone()))
+    }
+
+    /// Whether any live submission still runs under `spec_key` (a worker
+    /// bound to a retired spec is sent `Bye`).
+    pub(crate) fn spec_live(&self, st: &State<A>, spec_key: u64) -> bool {
+        st.specs.iter().any(|s| s.key == spec_key && s.live > 0)
+    }
+
+    /// Credits a completed worker handshake to every live submission of
+    /// the spec and emits `WorkerJoined` on their event sinks.
+    pub(crate) fn worker_joined(&self, st: &mut State<A>, spec_key: u64, name: &str) {
+        let sids: Vec<SubId> = st
+            .subs
+            .iter()
+            .filter(|(_, s)| s.spec_key == Some(spec_key) && !s.done)
+            .map(|(id, _)| *id)
+            .collect();
+        for sid in sids {
+            let sub = st.subs.get_mut(&sid).expect("listed");
+            sub.remote_workers += 1;
+            emit(&sub.events, EngineEvent::WorkerJoined { worker: name.to_string() });
+        }
+    }
+
+    /// Emits a worker-lifecycle event to every live submission of a spec.
+    pub(crate) fn emit_to_spec(&self, st: &State<A>, spec_key: u64, event: EngineEvent) {
+        for sub in st.subs.values() {
+            if sub.spec_key == Some(spec_key) && !sub.done {
+                emit(&sub.events, event.clone());
+            }
+        }
+    }
+
+    /// Emits `LeaseExpired` to the submissions demanding `gid`.
+    pub(crate) fn lease_expired(&self, st: &State<A>, gid: Gid, worker: &str, local_id: u64) {
+        let kind = st.tasks[gid].kind;
+        self.emit_to_subs(
+            st,
+            gid,
+            EngineEvent::LeaseExpired { worker: worker.to_string(), id: local_id as usize, kind },
+        );
+    }
+
+    /// Serves a remote `Fetch`: the resident entry's artifact, the warm
+    /// LRU, then (outside the lock, by the caller) the disk store.
+    pub(crate) fn fetch_artifact(&self, key: CacheKey) -> Option<A> {
+        let mut st = self.state.lock().expect("state lock");
+        if let Some(&gid) = st.by_key.get(&key) {
+            if let Some(a) = st.tasks[gid].artifact.clone() {
+                return Some(a);
+            }
+        }
+        st.retention.get(key)
     }
 }
 
-/// Records a task failure and aborts the run.
-pub(crate) fn finish_err<A>(
-    shared: &Shared<'_, A>,
-    id: TaskId,
+struct Job<A> {
+    gid: Gid,
     kind: TaskKind,
-    err: CoreError,
-    events: &Option<EventSink>,
+    key: CacheKey,
+    label: String,
+    run: TaskFn<A>,
+    inputs: Vec<A>,
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// The resident execution core. See the module docs.
+pub struct Pool<A>
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
+{
+    inner: Arc<PoolInner<A>>,
+    workers: Vec<JoinHandle<()>>,
+    services: Vec<JoinHandle<()>>,
+}
+
+impl<A> Pool<A>
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
+{
+    /// Spawns a pool with `workers` resident threads. With a `persist`
+    /// store, every finished artifact with a serial form is written to it
+    /// the moment its task completes.
+    pub fn new(workers: usize, persist: Option<Arc<DiskStore>>) -> Pool<A> {
+        let workers = workers.max(1);
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(State {
+                tasks: Vec::new(),
+                by_key: HashMap::new(),
+                deques: (0..workers).map(|_| DequeState::new()).collect(),
+                retention: Retention::new(DEFAULT_WARM_ENTRIES),
+                subs: HashMap::new(),
+                specs: Vec::new(),
+                next_sub: 0,
+                rr: 0,
+            }),
+            work: Condvar::new(),
+            client: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            costs: CostModel::default(),
+            persist,
+            n_workers: workers,
+        });
+        let threads = (0..workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner, w))
+            })
+            .collect();
+        Pool { inner, workers: threads, services: Vec::new() }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.inner.n_workers
+    }
+
+    /// The pool's adaptive cost model.
+    pub fn costs(&self) -> &CostModel {
+        &self.inner.costs
+    }
+
+    /// Starts serving `hub`'s connections for the pool's lifetime:
+    /// workers (`Hello`) lease tasks from the merged frontier; serving
+    /// clients (`Submit`) are handed to `clients` (rejected if `None`).
+    pub fn serve_hub(
+        &mut self,
+        hub: Arc<RemoteHub>,
+        clients: Option<crate::remote::coordinator::ClientHandler>,
+    ) {
+        let handle = spawn_hub_service(Arc::clone(&self.inner), hub, clients);
+        self.services.push(handle);
+    }
+
+    /// Merges a resolved graph into the resident table as one submission.
+    ///
+    /// `retain` marks nodes whose artifact must survive until the
+    /// submission is collected. `events` receives this submission's
+    /// progress stream. `spec` (an encoded
+    /// [`crate::remote::proto::StudySpec`]) advertises the submission to
+    /// remote workers; `None` keeps its tasks local-only.
+    pub fn submit(
+        &self,
+        graph: TaskGraph<A>,
+        retain: Vec<bool>,
+        events: Option<EventSink>,
+        spec: Option<Vec<u8>>,
+    ) -> SubmissionHandle<A> {
+        let mut nodes = graph.nodes;
+        let n = nodes.len();
+        assert_eq!(retain.len(), n, "retain mask must cover every node");
+
+        let mut st = self.inner.state.lock().expect("state lock");
+        let st = &mut *st;
+        let sid = st.next_sub;
+        st.next_sub += 1;
+
+        let spec_key = spec.as_ref().map(|bytes| {
+            let key = spec_key_of(bytes);
+            match st.specs.iter_mut().find(|s| s.key == key) {
+                Some(entry) => entry.live += 1,
+                None => st.specs.push(SpecEntry { key, bytes: clone_bytes(bytes), live: 1 }),
+            }
+            key
+        });
+
+        let mut sub = SubEntry {
+            tasks: Vec::with_capacity(n),
+            node_of: vec![None; n],
+            retained: Vec::new(),
+            spec_key,
+            remaining: 0,
+            to_run: 0,
+            executed: [0; NKINDS],
+            remote_executed: [0; NKINDS],
+            remote_workers: 0,
+            releases: 0,
+            events,
+            error: None,
+            done: false,
+            abandoned: false,
+        };
+        let mut seeds: Vec<Gid> = Vec::new();
+
+        for idx in 0..n {
+            let node = &mut nodes[idx];
+            let key = node.key;
+            let gid = match node.state {
+                NodeState::Pruned => continue,
+                NodeState::Cached => {
+                    let art = node.prefilled.take().expect("cached node prefilled");
+                    match st.by_key.get(&key).copied() {
+                        None => new_entry(st, idx, &mut nodes, sid, Some(art)),
+                        Some(gid) => {
+                            let entry = &mut st.tasks[gid];
+                            if entry.artifact.is_none()
+                                && matches!(
+                                    entry.phase,
+                                    Phase::Done | Phase::Orphaned | Phase::Failed
+                                )
+                            {
+                                // restore a retired/abandoned entry from
+                                // this submission's cache hit
+                                entry.artifact = Some(art);
+                                entry.phase = Phase::Done;
+                            }
+                            gid
+                        }
+                    }
+                }
+                NodeState::Run => match st.by_key.get(&key).copied() {
+                    None => new_entry(st, idx, &mut nodes, sid, None),
+                    Some(gid) => match st.tasks[gid].phase {
+                        Phase::Done if st.tasks[gid].artifact.is_some() => gid,
+                        Phase::Waiting | Phase::Queued | Phase::Running => gid,
+                        Phase::Done | Phase::Orphaned | Phase::Failed => {
+                            // retired or dead: recover the artifact from
+                            // the warm LRU, else re-arm with this
+                            // submission's task body
+                            if let Some(a) = st.retention.get(key) {
+                                st.tasks[gid].artifact = Some(a);
+                                st.tasks[gid].phase = Phase::Done;
+                                gid
+                            } else {
+                                reset_entry(st, gid, idx, &mut nodes, sid);
+                                gid
+                            }
+                        }
+                    },
+                },
+            };
+
+            let entry = &mut st.tasks[gid];
+            if !entry.subs.contains(&sid) {
+                entry.subs.push(sid);
+            }
+            if let Some(sk) = spec_key {
+                if !entry.spec_locals.iter().any(|&(k, _)| k == sk) {
+                    entry.spec_locals.push((sk, idx as u64));
+                }
+            }
+            if entry.phase != Phase::Done {
+                sub.remaining += 1;
+            }
+            if retain[idx] {
+                entry.retain_refs += 1;
+                sub.retained.push(gid);
+                st.retention.pin(key);
+            }
+            if entry.phase == Phase::Waiting && entry.pending == 0 {
+                seeds.push(gid);
+            }
+            sub.node_of[idx] = Some(gid);
+            sub.tasks.push(gid);
+        }
+
+        sub.to_run = sub.remaining;
+        if sub.remaining == 0 {
+            sub.done = true;
+            emit(&sub.events, EngineEvent::RunFinished);
+        }
+        st.subs.insert(sid, sub);
+
+        // Seed the frontier heaviest-first: tasks sorted by descending
+        // effective cost, dealt round-robin across the deques, each share
+        // pushed in ascending order so its owner's LIFO pop starts with
+        // its heaviest task. On a cold run the frontier is all-generate;
+        // on a partial resume it spans the whole DAG and dispatching the
+        // expensive stragglers first shortens the critical path.
+        seeds.sort_by_key(|&g| {
+            (std::cmp::Reverse(self.inner.costs.effective_weight(st.tasks[g].kind)), g)
+        });
+        let width = st.deques.len();
+        let start = st.rr;
+        st.rr = (st.rr + 1) % width;
+        let mut shares: Vec<Vec<Gid>> = vec![Vec::new(); width];
+        for (i, gid) in seeds.into_iter().enumerate() {
+            shares[(start + i) % width].push(gid);
+        }
+        for (w, share) in shares.into_iter().enumerate() {
+            for &gid in share.iter().rev() {
+                self.inner.enqueue(st, gid, w);
+            }
+        }
+
+        self.inner.work.notify_all();
+        self.inner.client.notify_all();
+        SubmissionHandle { inner: Arc::clone(&self.inner), id: sid, collected: false }
+    }
+}
+
+fn clone_bytes(b: &[u8]) -> Vec<u8> {
+    b.to_vec()
+}
+
+/// Creates a fresh resident entry from submission node `idx`. With
+/// `prefilled`, the entry is born `Done` (a cache hit feeding runnable
+/// consumers); otherwise it registers with its dependencies and waits.
+fn new_entry<A>(
+    st: &mut State<A>,
+    idx: usize,
+    nodes: &mut [crate::graph::TaskNode<A>],
+    sid: SubId,
+    prefilled: Option<A>,
+) -> Gid {
+    let gid = st.tasks.len();
+    let key = nodes[idx].key;
+    let done = prefilled.is_some();
+    st.tasks.push(TaskEntry {
+        key,
+        kind: nodes[idx].kind,
+        label: std::mem::take(&mut nodes[idx].label),
+        deps: Vec::new(),
+        dependents: Vec::new(),
+        pending: 0,
+        phase: if done { Phase::Done } else { Phase::Waiting },
+        run: if done { None } else { nodes[idx].run.take() },
+        artifact: prefilled,
+        consumers_left: 0,
+        retain_refs: 0,
+        subs: Vec::new(),
+        origin: sid,
+        spec_locals: Vec::new(),
+    });
+    st.by_key.insert(key, gid);
+    if !done {
+        arm_entry(st, gid, idx, nodes, sid);
+    }
+    gid
+}
+
+/// Re-arms a retired/orphaned/failed entry with submission node `idx`'s
+/// task body: recomputes its dependency edges and pending count against
+/// the current phases of its inputs.
+fn reset_entry<A>(
+    st: &mut State<A>,
+    gid: Gid,
+    idx: usize,
+    nodes: &mut [crate::graph::TaskNode<A>],
+    sid: SubId,
 ) {
-    emit(events, EngineEvent::TaskFinished { id, kind, ok: false });
-    *shared.error.lock().expect("error slot") = Some(err);
-    shared.abort.store(true, Ordering::Release);
-    shared.wake.notify_all();
+    st.tasks[gid].artifact = None;
+    st.tasks[gid].phase = Phase::Waiting;
+    // Any submission still listed here witnessed the entry's *previous*
+    // completion (reset happens only from Done/Orphaned/Failed, and the
+    // latter two guarantee an empty list): its `remaining` was already
+    // decremented, so it must NOT be decremented again when the re-armed
+    // entry re-completes. The stale sid stays in that submission's own
+    // task list, where cleanup handles it as a no-op.
+    st.tasks[gid].subs.clear();
+    arm_entry(st, gid, idx, nodes, sid);
+}
+
+fn arm_entry<A>(
+    st: &mut State<A>,
+    gid: Gid,
+    idx: usize,
+    nodes: &mut [crate::graph::TaskNode<A>],
+    sid: SubId,
+) {
+    // deps precede consumers in graph order, so every dep already has a
+    // resident entry (merged earlier in this same submission pass)
+    let sub_node_of = |st: &State<A>, d: usize| -> Gid {
+        *st.by_key.get(&nodes[d].key).expect("dependency merged before consumer")
+    };
+    let dep_gids: Vec<Gid> = nodes[idx].deps.clone().iter().map(|&d| sub_node_of(st, d)).collect();
+    let mut pending = 0;
+    for &d in &dep_gids {
+        st.tasks[d].consumers_left += 1;
+        if st.tasks[d].phase != Phase::Done {
+            debug_assert!(matches!(
+                st.tasks[d].phase,
+                Phase::Waiting | Phase::Queued | Phase::Running
+            ));
+            pending += 1;
+            if !st.tasks[d].dependents.contains(&gid) {
+                st.tasks[d].dependents.push(gid);
+            }
+        }
+    }
+    st.tasks[gid].deps = dep_gids;
+    st.tasks[gid].pending = pending;
+    st.tasks[gid].origin = sid;
+    if st.tasks[gid].run.is_none() {
+        st.tasks[gid].run = nodes[idx].run.take();
+    }
+    debug_assert!(st.tasks[gid].run.is_some(), "re-armed entry has a body");
+}
+
+impl<A> Drop for Pool<A>
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
+{
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("state lock");
+            let sids: Vec<SubId> = st.subs.keys().copied().collect();
+            for sid in sids {
+                self.inner.abandon_sub(
+                    &mut st,
+                    sid,
+                    Some(CoreError::Unsupported("engine shut down".into())),
+                );
+            }
+        }
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work.notify_all();
+        self.inner.client.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.services.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A live submission: progress, cancellation, and blocking collection.
+pub struct SubmissionHandle<A>
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
+{
+    inner: Arc<PoolInner<A>>,
+    id: SubId,
+    collected: bool,
+}
+
+impl<A> SubmissionHandle<A>
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
+{
+    pub fn id(&self) -> SubId {
+        self.id
+    }
+
+    /// Whether the submission has completed, failed or been cancelled.
+    pub fn done(&self) -> bool {
+        let st = self.inner.state.lock().expect("state lock");
+        st.subs.get(&self.id).is_none_or(|s| s.done)
+    }
+
+    /// `(finished, to_run)` task counts of this submission.
+    pub fn progress(&self) -> (usize, usize) {
+        let st = self.inner.state.lock().expect("state lock");
+        st.subs.get(&self.id).map_or((0, 0), |s| (s.to_run - s.remaining, s.to_run))
+    }
+
+    /// Cancels the submission: its exclusive subgraph is released (queued
+    /// tasks go stale, holds on shared artifacts drop) and
+    /// [`SubmissionHandle::wait`] returns an error. Tasks shared with
+    /// other live submissions are untouched.
+    pub fn cancel(&self) {
+        let mut st = self.inner.state.lock().expect("state lock");
+        self.inner.abandon_sub(&mut st, self.id, None);
+    }
+
+    /// Blocks until the submission completes, then returns the artifacts
+    /// of its graph nodes (`None` for pruned or already-retired nodes)
+    /// plus its execution counters.
+    pub fn wait(mut self) -> Result<ExecutionOutcome<A>, CoreError> {
+        self.collected = true;
+        let inner = Arc::clone(&self.inner);
+        let mut st = inner.state.lock().expect("state lock");
+        loop {
+            match st.subs.get(&self.id) {
+                None => {
+                    return Err(CoreError::Unsupported(
+                        "submission vanished before collection".into(),
+                    ))
+                }
+                Some(sub) if sub.done => break,
+                Some(_) => {
+                    let (guard, _) =
+                        inner.client.wait_timeout(st, Duration::from_millis(200)).expect("condvar");
+                    st = guard;
+                }
+            }
+        }
+        let sub = st.subs.get(&self.id).expect("checked above");
+        let error = sub.error.clone();
+        let node_of = sub.node_of.clone();
+        let stats = ExecStats {
+            executed: counts_vec(&sub.executed),
+            remote_executed: counts_vec(&sub.remote_executed),
+            remote_workers: sub.remote_workers,
+            releases: sub.releases,
+        };
+        let artifacts: Vec<Option<A>> =
+            node_of.iter().map(|g| g.and_then(|gid| st.tasks[gid].artifact.clone())).collect();
+        inner.cleanup_sub(&mut st, self.id);
+        drop(st);
+        match error {
+            Some(e) => Err(e),
+            None => Ok((artifacts, stats)),
+        }
+    }
+}
+
+impl<A> Drop for SubmissionHandle<A>
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
+{
+    fn drop(&mut self) {
+        if !self.collected {
+            let mut st = self.inner.state.lock().expect("state lock");
+            self.inner.abandon_sub(&mut st, self.id, None);
+            self.inner.cleanup_sub(&mut st, self.id);
+        }
+    }
+}
+
+fn worker_loop<A>(inner: &Arc<PoolInner<A>>, me: usize)
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
+{
+    loop {
+        let job = {
+            let mut st = inner.state.lock().expect("state lock");
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(gid) = inner.pop_or_steal(&mut st, me) {
+                    break inner.prepare(&mut st, gid, None);
+                }
+                let (guard, _) =
+                    inner.work.wait_timeout(st, Duration::from_millis(50)).expect("condvar");
+                st = guard;
+            }
+        };
+        let Some(job) = job else { continue };
+        let Job { gid, kind, key, label, run, inputs } = job;
+
+        let started = std::time::Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(move || run(inputs)));
+        let elapsed = started.elapsed();
+        let outcome = match outcome {
+            Ok(r) => r,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic".into());
+                Err(CoreError::Unsupported(format!("task '{label}' panicked: {msg}")))
+            }
+        };
+
+        match outcome {
+            Ok(artifact) => {
+                inner.costs.record(kind, elapsed);
+                // Durability before progress: the artifact reaches disk
+                // before any dependent can observe it — and before the
+                // scheduler lock is taken, so persistence never blocks
+                // scheduling.
+                if let Some(store) = &inner.persist {
+                    if let Some(bytes) = artifact.encode() {
+                        store.store(key, &bytes);
+                    }
+                }
+                let mut st = inner.state.lock().expect("state lock");
+                inner.complete_ok(&mut st, gid, artifact, me, false, None);
+            }
+            Err(err) => {
+                // Unlike the one-shot pool, a failure does not stop the
+                // worker: only the submissions demanding this task fail.
+                let mut st = inner.state.lock().expect("state lock");
+                inner.complete_err(&mut st, gid, err, None);
+            }
+        }
+    }
 }
 
 /// Executes every `Run` node of a resolved graph on `workers` local
-/// threads, plus any remote workers that connect through `remote`.
+/// threads, plus any remote workers that connect through `remote` — the
+/// one-shot compatibility path: spawn a resident [`Pool`], submit the
+/// graph as a single submission, wait, shut down.
 ///
 /// `retain` marks nodes whose artifact must survive the run (sinks, nodes
 /// worth caching); everything else is dropped as soon as its last consumer
@@ -264,11 +1293,9 @@ pub fn execute<A>(
     events: &Option<EventSink>,
 ) -> Result<ExecutionOutcome<A>, CoreError>
 where
-    A: Clone + Send + Sync + DiskCodec,
+    A: Clone + Send + Sync + DiskCodec + 'static,
 {
-    let workers = workers.max(1);
     let n = graph.nodes.len();
-    let mut nodes = graph.nodes;
     assert_eq!(retain.len(), n, "retain mask must cover every node");
     if let Some(sink) = &persist {
         assert_eq!(sink.keys.len(), n, "persist keys must cover every node");
@@ -276,237 +1303,20 @@ where
     if let Some(link) = &remote {
         assert_eq!(link.keys.len(), n, "remote keys must cover every node");
     }
-
-    let slots: Vec<Mutex<Option<A>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let mut runs: Vec<Mutex<Option<crate::graph::TaskFn<A>>>> = Vec::with_capacity(n);
-    let mut meta: Vec<NodeMeta> = Vec::with_capacity(n);
-    let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-    let mut consumers: Vec<usize> = vec![0; n];
-    let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
-    let mut deps: Vec<Vec<TaskId>> = Vec::with_capacity(n);
-    let mut to_run = 0usize;
-
-    for (id, node) in nodes.iter_mut().enumerate() {
-        let prefilled = node.prefilled.take();
-        let runnable = node.state == NodeState::Run;
-        let mut unfinished = 0;
-        if runnable {
-            to_run += 1;
-            for &d in &node.deps {
-                consumers[d] += 1;
-                // deps precede their consumers, so meta[d] is final here
-                if meta[d].2 == NodeState::Run {
-                    dependents[d].push(id);
-                    unfinished += 1;
-                }
-            }
-        }
-        *slots[id].lock().expect("slot") = prefilled;
-        pending.push(AtomicUsize::new(unfinished));
-        deps.push(node.deps.clone());
-        runs.push(Mutex::new(if runnable { node.run.take() } else { None }));
-        meta.push((node.kind, std::mem::take(&mut node.label), node.state));
+    let mut pool: Pool<A> = Pool::new(workers, persist.map(|sink| sink.store));
+    let spec = remote.as_ref().map(|link| link.spec.clone());
+    if let Some(link) = remote {
+        pool.serve_hub(link.hub, None);
     }
-
-    let shared = Shared {
-        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-        pending,
-        dependents,
-        consumers_left: consumers.into_iter().map(AtomicUsize::new).collect(),
-        retain: &retain,
-        slots: &slots,
-        remaining: AtomicUsize::new(to_run),
-        abort: AtomicBool::new(false),
-        error: Mutex::new(None),
-        sleep: Mutex::new(()),
-        wake: Condvar::new(),
-        executed: TaskKind::ALL.iter().map(|_| AtomicUsize::new(0)).collect(),
-        remote_executed: TaskKind::ALL.iter().map(|_| AtomicUsize::new(0)).collect(),
-        remote_workers: AtomicUsize::new(0),
-        releases: AtomicUsize::new(0),
-    };
-
-    // Seed the deques with the initially ready tasks, heaviest kind first
-    // (static Train ≫ Clean ≫ Split weights): on a cold run the frontier is
-    // all-generate, but on a partial resume it spans the whole DAG, and
-    // dispatching the expensive stragglers immediately shortens the
-    // critical path. Tasks are dealt round-robin in descending weight, and
-    // each worker's share is pushed in ascending weight so its LIFO
-    // `pop_back` starts with its heaviest task.
-    {
-        let mut ready: Vec<TaskId> = meta
-            .iter()
-            .enumerate()
-            .filter(|(id, m)| {
-                m.2 == NodeState::Run && shared.pending[*id].load(Ordering::Relaxed) == 0
-            })
-            .map(|(id, _)| id)
-            .collect();
-        // stable graph order within a weight class keeps runs reproducible
-        ready.sort_by_key(|&id| (std::cmp::Reverse(meta[id].0.cost_weight()), id));
-        let mut shares: Vec<Vec<TaskId>> = vec![Vec::new(); workers];
-        for (i, id) in ready.into_iter().enumerate() {
-            shares[i % workers].push(id);
-        }
-        for (w, share) in shares.into_iter().enumerate() {
-            let mut deque = shared.deques[w].lock().expect("deque");
-            for &id in share.iter().rev() {
-                deque.push_back(id);
-            }
-        }
-    }
-
-    // The wire lookup plane: content address → node, for serving `Fetch`.
-    let key_index: HashMap<CacheKey, TaskId> = remote
-        .as_ref()
-        .map(|link| link.keys.iter().enumerate().map(|(id, &k)| (k, id)).collect())
-        .unwrap_or_default();
-
-    if to_run > 0 {
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let shared = &shared;
-                let runs = &runs;
-                let meta = &meta;
-                let deps = &deps;
-                let persist = &persist;
-                let events = events.clone();
-                scope.spawn(move || {
-                    worker_loop(w, workers, shared, runs, meta, deps, persist, &events);
-                });
-            }
-            if let Some(link) = &remote {
-                let ctx = RemoteCtx {
-                    shared: &shared,
-                    meta: &meta,
-                    deps: &deps,
-                    persist: &persist,
-                    events: events.clone(),
-                    keys: &link.keys,
-                    key_index: &key_index,
-                    spec: &link.spec,
-                    hub: &link.hub,
-                };
-                scope.spawn(move || dispatch(scope, ctx));
-            }
-        });
-    }
-
-    if let Some(err) = shared.error.lock().expect("error slot").take() {
-        return Err(err);
-    }
-
-    let counts = |counters: &[AtomicUsize]| -> Vec<(TaskKind, usize)> {
-        TaskKind::ALL
-            .iter()
-            .map(|&k| (k, counters[kind_index(k)].load(Ordering::Relaxed)))
-            .filter(|&(_, n)| n > 0)
-            .collect()
-    };
-    let stats = ExecStats {
-        executed: counts(&shared.executed),
-        remote_executed: counts(&shared.remote_executed),
-        remote_workers: shared.remote_workers.load(Ordering::Relaxed),
-        releases: shared.releases.load(Ordering::Relaxed),
-    };
-    let artifacts: Vec<Option<A>> =
-        slots.into_iter().map(|s| s.into_inner().expect("slot lock poisoned")).collect();
-    Ok((artifacts, stats))
-}
-
-#[allow(clippy::too_many_arguments)] // private; mirrors execute's wiring
-fn worker_loop<A>(
-    me: usize,
-    workers: usize,
-    shared: &Shared<'_, A>,
-    runs: &[Mutex<Option<crate::graph::TaskFn<A>>>],
-    meta: &[NodeMeta],
-    deps: &[Vec<TaskId>],
-    persist: &Option<PersistSink>,
-    events: &Option<EventSink>,
-) where
-    A: Clone + Send + Sync + DiskCodec,
-{
-    loop {
-        if shared.abort.load(Ordering::Acquire) || shared.remaining.load(Ordering::Acquire) == 0 {
-            shared.wake.notify_all();
-            return;
-        }
-        let task = pop_or_steal(me, workers, shared);
-        let Some(id) = task else {
-            // Nothing to do anywhere: sleep until a completion frees work.
-            let guard = shared.sleep.lock().expect("sleep lock");
-            let has_work = shared.remaining.load(Ordering::Acquire) == 0
-                || shared.abort.load(Ordering::Acquire)
-                || shared.deques.iter().any(|d| !d.lock().expect("deque").is_empty());
-            if !has_work {
-                let _unused = shared
-                    .wake
-                    .wait_timeout(guard, std::time::Duration::from_millis(50))
-                    .expect("condvar");
-            }
-            continue;
-        };
-
-        let (kind, ref label, _) = meta[id];
-        emit(events, EngineEvent::TaskStarted { id, kind, label: label.clone() });
-
-        let run = runs[id].lock().expect("run slot").take();
-        let Some(run) = run else { continue };
-        let inputs: Vec<A> = deps[id]
-            .iter()
-            .map(|&d| {
-                shared.slots[d]
-                    .lock()
-                    .expect("slot")
-                    .clone()
-                    .expect("dependency finished before consumer")
-            })
-            .collect();
-        let outcome = catch_unwind(AssertUnwindSafe(move || run(inputs)));
-        let outcome = match outcome {
-            Ok(r) => r,
-            Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "opaque panic".into());
-                Err(CoreError::Unsupported(format!("task '{label}' panicked: {msg}")))
-            }
-        };
-
-        match outcome {
-            Ok(artifact) => {
-                finish_ok(shared, id, artifact, None, me, false, meta, deps, persist, events);
-            }
-            Err(err) => {
-                finish_err(shared, id, kind, err, events);
-                return;
-            }
-        }
-    }
-}
-
-fn pop_or_steal<A>(me: usize, workers: usize, shared: &Shared<'_, A>) -> Option<TaskId> {
-    // Own deque: newest first (depth-first descent keeps artifacts hot).
-    if let Some(id) = shared.deques[me].lock().expect("deque").pop_back() {
-        return Some(id);
-    }
-    // Steal: oldest task of the first non-empty victim.
-    for offset in 1..workers {
-        let victim = (me + offset) % workers;
-        if let Some(id) = shared.deques[victim].lock().expect("deque").pop_front() {
-            return Some(id);
-        }
-    }
-    None
+    let handle = pool.submit(graph, retain, events.clone(), spec);
+    handle.wait()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cache::{ArtifactCache, CacheKey};
+    use crate::graph::TaskId;
 
     #[derive(Debug, Clone, PartialEq)]
     struct V(i64);
@@ -649,7 +1459,8 @@ mod tests {
         // A resume-shaped frontier: independent ready tasks of mixed kinds.
         // With one worker there is no stealing, so the execution order *is*
         // the seeding policy: Train before Clean before Split before the
-        // bookkeeping kinds, regardless of insertion order.
+        // bookkeeping kinds, regardless of insertion order. (A fresh pool
+        // has no runtime samples, so the static weights order the seeds.)
         let mut g: TaskGraph<V> = TaskGraph::new();
         let kinds = [
             TaskKind::Evaluate,
@@ -693,6 +1504,62 @@ mod tests {
     }
 
     #[test]
+    fn observed_costs_reorder_the_frontier_mid_run() {
+        // Satellite acceptance: the EWMA cost model re-weights dispatch
+        // *during* a run. Statically Split (40) outweighs Evaluate (2);
+        // here Evaluate tasks are observably slow (they sleep), so once
+        // MIN_COST_SAMPLES of them have completed, a freshly released
+        // Evaluate must dispatch before a freshly released Split.
+        let mut g: TaskGraph<V> = TaskGraph::new();
+        let slow: Vec<TaskId> = (0..MIN_COST_SAMPLES)
+            .map(|i| {
+                g.task(
+                    TaskKind::Evaluate,
+                    format!("slow{i}"),
+                    CacheKey::of(&format!("slow{i}")),
+                    vec![],
+                    move |_| {
+                        std::thread::sleep(Duration::from_millis(25));
+                        Ok(V(i as i64))
+                    },
+                )
+            })
+            .collect();
+        let gate =
+            g.task(TaskKind::Reduce, "gate", CacheKey::of("gate"), slow.clone(), |_| Ok(V(0)));
+        // Released together when the gate finishes: under static weights
+        // Split would dispatch first; under observed costs Evaluate must.
+        let late_split =
+            g.task(TaskKind::Split, "late-split", CacheKey::of("late-split"), vec![gate], |_| {
+                Ok(V(1))
+            });
+        let late_eval =
+            g.task(TaskKind::Evaluate, "late-eval", CacheKey::of("late-eval"), vec![gate], |_| {
+                Ok(V(2))
+            });
+        let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
+        let sinks = [late_split, late_eval];
+        g.resolve(&mut cache, &sinks);
+        let retain = retain_only(g.len(), &sinks);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (arts, _) = execute(g, 1, retain, None, None, &Some(tx)).unwrap();
+        assert_eq!(arts[late_split], Some(V(1)));
+        assert_eq!(arts[late_eval], Some(V(2)));
+        let started: Vec<String> = rx
+            .try_iter()
+            .filter_map(|e| match e {
+                EngineEvent::TaskStarted { label, .. } if label.starts_with("late-") => Some(label),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            started,
+            vec!["late-eval".to_string(), "late-split".to_string()],
+            "observed Evaluate cost must outrank static Split weight mid-run"
+        );
+    }
+
+    #[test]
     fn wide_graph_saturates_many_workers() {
         let mut g: TaskGraph<V> = TaskGraph::new();
         let leaves: Vec<TaskId> = (0..100)
@@ -714,5 +1581,193 @@ mod tests {
         let retain = retain_only(g.len(), &[sum]);
         let (arts, _) = execute(g, 8, retain, None, None, &None).unwrap();
         assert_eq!(arts[sum], Some(V(4950)));
+    }
+
+    // -- resident-pool semantics ------------------------------------------
+
+    fn counting_graph(tag: &str, n_leaves: i64) -> (TaskGraph<V>, TaskId) {
+        let mut g: TaskGraph<V> = TaskGraph::new();
+        let leaves: Vec<TaskId> = (0..n_leaves)
+            .map(|i| {
+                g.task(
+                    TaskKind::Train,
+                    format!("{tag}-leaf{i}"),
+                    CacheKey::of(&format!("{tag}-leaf{i}")),
+                    vec![],
+                    move |_| {
+                        std::thread::sleep(Duration::from_millis(5));
+                        Ok(V(i))
+                    },
+                )
+            })
+            .collect();
+        let sum = g.task(
+            TaskKind::Reduce,
+            format!("{tag}-sum"),
+            CacheKey::of(&format!("{tag}-sum")),
+            leaves,
+            |d| Ok(V(d.iter().map(|v| v.0).sum())),
+        );
+        (g, sum)
+    }
+
+    #[test]
+    fn overlapping_submissions_share_in_flight_tasks() {
+        let pool: Pool<V> = Pool::new(4, None);
+        // Two submissions of the *same* graph, submitted back to back so
+        // the second merges while the first is in flight: the leaves must
+        // execute exactly once in total.
+        let (mut g1, s1) = counting_graph("share", 12);
+        let (mut g2, s2) = counting_graph("share", 12);
+        let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
+        g1.resolve(&mut cache, &[s1]);
+        let mut cache2: ArtifactCache<V> = ArtifactCache::new(None);
+        g2.resolve(&mut cache2, &[s2]);
+        let h1 = pool.submit(g1, retain_only(13, &[s1]), None, None);
+        let h2 = pool.submit(g2, retain_only(13, &[s2]), None, None);
+        let (a1, st1) = h1.wait().expect("first submission");
+        let (a2, st2) = h2.wait().expect("second submission");
+        assert_eq!(a1[s1], Some(V(66)));
+        assert_eq!(a2[s2], Some(V(66)));
+        let trains = |s: &ExecStats| {
+            s.executed.iter().find(|(k, _)| *k == TaskKind::Train).map_or(0, |(_, n)| *n)
+        };
+        assert_eq!(
+            trains(&st1) + trains(&st2),
+            12,
+            "overlapping submissions must dedupe onto the same in-flight tasks: {st1:?} {st2:?}"
+        );
+    }
+
+    #[test]
+    fn cancel_releases_a_subgraph_without_disturbing_the_other() {
+        let pool: Pool<V> = Pool::new(2, None);
+        let (mut g1, s1) = counting_graph("keep", 16);
+        let (mut g2, s2) = counting_graph("drop", 16);
+        let mut c1: ArtifactCache<V> = ArtifactCache::new(None);
+        g1.resolve(&mut c1, &[s1]);
+        let mut c2: ArtifactCache<V> = ArtifactCache::new(None);
+        g2.resolve(&mut c2, &[s2]);
+        let h1 = pool.submit(g1, retain_only(17, &[s1]), None, None);
+        let h2 = pool.submit(g2, retain_only(17, &[s2]), None, None);
+        h2.cancel();
+        let err = h2.wait().expect_err("cancelled submission must error");
+        assert!(err.to_string().contains("cancelled"), "{err}");
+        let (a1, _) = h1.wait().expect("surviving submission");
+        assert_eq!(a1[s1], Some(V(120)), "cancel must not disturb the other submission");
+    }
+
+    #[test]
+    fn warm_retention_revives_retired_artifacts_for_later_submissions() {
+        let pool: Pool<V> = Pool::new(2, None);
+        // First submission: leaf -> sink; the unretained leaf retires
+        // into the warm LRU when the sink finishes.
+        let mut g1: TaskGraph<V> = TaskGraph::new();
+        let leaf1 =
+            g1.task(TaskKind::Train, "warm-leaf", CacheKey::of("warm-leaf"), vec![], |_| Ok(V(7)));
+        let sink1 =
+            g1.task(TaskKind::Evaluate, "warm-a", CacheKey::of("warm-a"), vec![leaf1], |d| {
+                Ok(V(d[0].0 + 1))
+            });
+        let mut c: ArtifactCache<V> = ArtifactCache::new(None);
+        g1.resolve(&mut c, &[sink1]);
+        let (a1, st1) = pool.submit(g1, retain_only(2, &[sink1]), None, None).wait().unwrap();
+        assert_eq!(a1[sink1], Some(V(8)));
+        assert_eq!(st1.executed.iter().map(|(_, n)| n).sum::<usize>(), 2);
+
+        // Second submission demands the same leaf under a new sink: the
+        // leaf's artifact must come back from the warm LRU (V has no disk
+        // codec, so there is no other source) — only the new sink runs.
+        let mut g2: TaskGraph<V> = TaskGraph::new();
+        let leaf2 =
+            g2.task(TaskKind::Train, "warm-leaf", CacheKey::of("warm-leaf"), vec![], |_| Ok(V(7)));
+        let sink2 =
+            g2.task(TaskKind::Evaluate, "warm-b", CacheKey::of("warm-b"), vec![leaf2], |d| {
+                Ok(V(d[0].0 * 10))
+            });
+        let mut c2: ArtifactCache<V> = ArtifactCache::new(None);
+        g2.resolve(&mut c2, &[sink2]);
+        let (a2, st2) = pool.submit(g2, retain_only(2, &[sink2]), None, None).wait().unwrap();
+        assert_eq!(a2[sink2], Some(V(70)));
+        let trains =
+            st2.executed.iter().find(|(k, _)| *k == TaskKind::Train).map_or(0, |(_, n)| *n);
+        assert_eq!(trains, 0, "retired leaf must revive from the warm LRU, not re-run");
+    }
+
+    #[test]
+    fn rearmed_evicted_entry_does_not_double_count_a_live_submission() {
+        // Regression: S1 finishes but stays uncollected; its unretained
+        // leaf retires into the warm LRU and is then *evicted* by a flood
+        // of other retired artifacts. S2 re-demands the leaf, which must
+        // be re-armed and re-executed — WITHOUT decrementing S1's
+        // completed bookkeeping a second time (previously a usize
+        // underflow in `complete_ok`).
+        let pool: Pool<V> = Pool::new(1, None);
+
+        let mut g1: TaskGraph<V> = TaskGraph::new();
+        let l1 = g1
+            .task(TaskKind::Train, "evict-leaf", CacheKey::of("evict-leaf"), vec![], |_| Ok(V(5)));
+        let s1 = g1.task(TaskKind::Evaluate, "evict-a", CacheKey::of("evict-a"), vec![l1], |d| {
+            Ok(V(d[0].0 + 1))
+        });
+        let mut c1: ArtifactCache<V> = ArtifactCache::new(None);
+        g1.resolve(&mut c1, &[s1]);
+        let h1 = pool.submit(g1, retain_only(2, &[s1]), None, None);
+        while !h1.done() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // h1 deliberately NOT collected yet: S1 stays live in the table.
+
+        // Flood the warm LRU far past its cap so "evict-leaf" is evicted.
+        let flood = crate::cache::DEFAULT_WARM_ENTRIES + 50;
+        let (mut gf, sf) = counting_graph("flood", flood as i64);
+        let mut cf: ArtifactCache<V> = ArtifactCache::new(None);
+        gf.resolve(&mut cf, &[sf]);
+        pool.submit(gf, retain_only(flood + 1, &[sf]), None, None).wait().expect("flood");
+
+        // S2 re-demands the leaf under a new sink: re-armed, re-executed.
+        let mut g2: TaskGraph<V> = TaskGraph::new();
+        let l2 = g2
+            .task(TaskKind::Train, "evict-leaf", CacheKey::of("evict-leaf"), vec![], |_| Ok(V(5)));
+        let s2 = g2.task(TaskKind::Evaluate, "evict-b", CacheKey::of("evict-b"), vec![l2], |d| {
+            Ok(V(d[0].0 * 10))
+        });
+        let mut c2: ArtifactCache<V> = ArtifactCache::new(None);
+        g2.resolve(&mut c2, &[s2]);
+        let (a2, st2) = pool.submit(g2, retain_only(2, &[s2]), None, None).wait().expect("S2");
+        assert_eq!(a2[s2], Some(V(50)));
+        let trains =
+            st2.executed.iter().find(|(k, _)| *k == TaskKind::Train).map_or(0, |(_, n)| *n);
+        assert_eq!(trains, 1, "evicted leaf must re-execute for S2");
+
+        // And S1 is still collectable, with its own accounting intact.
+        let (a1, st1) = h1.wait().expect("S1 collects after the re-arm");
+        assert_eq!(a1[s1], Some(V(6)));
+        assert_eq!(st1.executed.iter().map(|(_, n)| n).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn a_failure_poisons_only_the_demanding_submission() {
+        let pool: Pool<V> = Pool::new(2, None);
+        let mut g1: TaskGraph<V> = TaskGraph::new();
+        let bad = g1.task(TaskKind::Train, "bad", CacheKey::of("fail-bad"), vec![], |_| {
+            Err(CoreError::Unsupported("nope".into()))
+        });
+        let s1 =
+            g1.task(TaskKind::Evaluate, "after", CacheKey::of("fail-after"), vec![bad], |_| {
+                Ok(V(1))
+            });
+        let mut c1: ArtifactCache<V> = ArtifactCache::new(None);
+        g1.resolve(&mut c1, &[s1]);
+
+        let (mut g2, s2) = counting_graph("healthy", 8);
+        let mut c2: ArtifactCache<V> = ArtifactCache::new(None);
+        g2.resolve(&mut c2, &[s2]);
+
+        let h1 = pool.submit(g1, retain_only(2, &[s1]), None, None);
+        let h2 = pool.submit(g2, retain_only(9, &[s2]), None, None);
+        assert!(h1.wait().is_err(), "failing submission must error");
+        let (a2, _) = h2.wait().expect("independent submission must survive a failure");
+        assert_eq!(a2[s2], Some(V(28)));
     }
 }

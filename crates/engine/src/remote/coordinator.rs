@@ -1,18 +1,27 @@
-//! Coordinator side of the remote executor: the listening hub plus the
-//! per-connection lease-service loops that plug remote workers into the
-//! scheduler's ready frontier.
+//! Coordinator side of the remote plane: the listening hub plus the
+//! per-connection service loops that plug remote peers into the resident
+//! engine.
 //!
-//! A [`RemoteHub`] owns the TCP listener for the engine's whole lifetime —
-//! workers may connect before a study starts or join mid-run — and queues
-//! accepted sockets. While a run executes, [`dispatch`] drains that queue
-//! and spawns one scoped lease-service thread per connection; the thread
-//! performs the `Hello`/`Welcome` handshake and then behaves like a worker
-//! thread whose "execution" is the wire: it claims a ready task (heaviest
-//! leasable first), sends a `Lease`, serves `Fetch` requests for the task's
-//! inputs from the in-memory slots or the disk store, and on `Done` applies
-//! the exact completion bookkeeping a local worker would — the shipped
-//! payload lands in the [`crate::cache::DiskStore`] *before* any dependent
-//! can observe the artifact.
+//! A [`RemoteHub`] owns the TCP listener for the engine's whole lifetime
+//! and queues accepted sockets. A hub service thread
+//! ([`spawn_hub_service`], running as long as the pool) drains that queue
+//! and classifies each connection by its first message:
+//!
+//! * **`Hello`** — a `cleanml-worker`. The connection gets a lease-service
+//!   thread that waits for a live study spec (workers may connect before
+//!   any submission exists), completes the `Hello`/`Welcome` handshake,
+//!   and then behaves like a worker thread whose "execution" is the wire:
+//!   it claims a ready task from the merged frontier (heaviest leasable
+//!   first, guided by the per-deque kind-count summaries), sends a
+//!   `Lease`, serves `Fetch` requests from the resident artifacts, the
+//!   warm LRU or the disk store, and on `Done` applies the exact
+//!   completion bookkeeping a local worker would — the shipped payload
+//!   lands in the [`crate::cache::DiskStore`] *before* any dependent can
+//!   observe the artifact.
+//! * **`Submit`** — a serving client (`cleanml-query`). The connection is
+//!   handed to the engine's [`ClientHandler`], which creates a submission
+//!   on the resident core, streams `Status`, and ships the rendered CSV
+//!   back as a `ResultCsv`. One listener therefore serves both planes.
 //!
 //! Fault containment is the point of the lease: a worker that misses its
 //! deadline (no `Done`, no `Heartbeat`, no `Fetch`) or whose connection
@@ -21,23 +30,21 @@
 //! frontier for whoever claims it next. A `kill -9`'d worker therefore
 //! costs exactly its in-flight lease and nothing else.
 
-use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread::Scope;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::cache::{CacheKey, DiskCodec};
-use crate::event::{emit, EngineEvent, EventSink};
-use crate::graph::TaskId;
-use crate::pool::{finish_err, finish_ok, NodeMeta, PersistSink, Shared};
-use crate::remote::proto::{self, leasable, poll_recv, Message, Polled, PROTOCOL_VERSION};
+use crate::event::EngineEvent;
+use crate::pool::PoolInner;
+use crate::remote::proto::{self, poll_recv, Message, Polled, PROTOCOL_VERSION};
 
 /// How often idle loops look for new work or new connections.
 const POLL: Duration = Duration::from_millis(20);
-/// Budget for a connected worker to complete the `Hello` handshake.
+/// Budget for a connected peer to send its first (classifying) message.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Default lease deadline: how long a worker may go silent (no `Done`,
@@ -46,8 +53,8 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 pub const DEFAULT_LEASE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The accept side of the coordinator. Lives as long as the engine;
-/// connections accepted between runs wait in the queue until the next
-/// study starts.
+/// connections accepted between submissions wait in the queue until the
+/// hub service picks them up.
 pub struct RemoteHub {
     addr: SocketAddr,
     lease_timeout: Duration,
@@ -99,170 +106,169 @@ impl Drop for RemoteHub {
     }
 }
 
-/// Everything a lease-service thread needs, borrowed from
-/// [`crate::pool::execute`]'s stack frame (all threads are scoped inside
-/// it).
-pub(crate) struct RemoteCtx<'a, A> {
-    pub shared: &'a Shared<'a, A>,
-    pub meta: &'a [NodeMeta],
-    pub deps: &'a [Vec<TaskId>],
-    pub persist: &'a Option<PersistSink>,
-    pub events: Option<EventSink>,
-    pub keys: &'a [CacheKey],
-    pub key_index: &'a HashMap<CacheKey, TaskId>,
-    pub spec: &'a [u8],
-    pub hub: &'a RemoteHub,
-}
+/// Handler for serving-client connections (first message `Submit`); runs
+/// on a dedicated thread per connection. The engine supplies one that
+/// creates a submission on the resident core; without one, clients are
+/// rejected.
+pub type ClientHandler = Arc<dyn Fn(TcpStream, Message) + Send + Sync>;
 
-impl<A> Clone for RemoteCtx<'_, A> {
-    fn clone(&self) -> Self {
-        RemoteCtx {
-            shared: self.shared,
-            meta: self.meta,
-            deps: self.deps,
-            persist: self.persist,
-            events: self.events.clone(),
-            keys: self.keys,
-            key_index: self.key_index,
-            spec: self.spec,
-            hub: self.hub,
-        }
-    }
-}
-
-impl<A> RemoteCtx<'_, A> {
-    fn run_over(&self) -> bool {
-        self.shared.abort.load(Ordering::Acquire)
-            || self.shared.remaining.load(Ordering::Acquire) == 0
-    }
-}
-
-/// Accepts queued connections for the duration of one run, spawning a
-/// lease-service thread per worker inside the pool's scope.
-pub(crate) fn dispatch<'scope, 'env, A>(
-    scope: &'scope Scope<'scope, 'env>,
-    ctx: RemoteCtx<'scope, A>,
-) where
-    A: Clone + Send + Sync + DiskCodec,
+/// Spawns the hub service: accept-queue draining plus per-connection
+/// classification, for as long as the pool lives.
+pub(crate) fn spawn_hub_service<A>(
+    inner: Arc<PoolInner<A>>,
+    hub: Arc<RemoteHub>,
+    clients: Option<ClientHandler>,
+) -> JoinHandle<()>
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
 {
-    while !ctx.run_over() {
-        if let Some(stream) = ctx.hub.try_take() {
-            let worker_ctx = ctx.clone();
-            scope.spawn(move || serve_worker(worker_ctx, stream));
-        } else {
-            std::thread::sleep(POLL);
-        }
-    }
-}
-
-/// Claims the globally heaviest leasable ready task across all local
-/// deques. Non-leasable kinds (dataset generation, grid reduction) are
-/// left for the local pool.
-///
-/// Two passes, one deque lock at a time: the first finds the deque holding
-/// the heaviest leasable task, the second removes the heaviest leasable
-/// task that deque *now* holds. Local workers may reshuffle between the
-/// passes — a slightly-lighter claim (or a `None`, retried next tick) is
-/// fine; what matters is never blocking the local pool on a cross-deque
-/// lock ladder.
-fn claim_leasable<A>(shared: &Shared<'_, A>, meta: &[NodeMeta]) -> Option<TaskId> {
-    let mut best: Option<(u32, usize)> = None; // (cost weight, deque index)
-    for (di, deque) in shared.deques.iter().enumerate() {
-        let q = deque.lock().expect("deque");
-        for &id in q.iter() {
-            let kind = meta[id].0;
-            if leasable(kind) && best.is_none_or(|(w, _)| kind.cost_weight() > w) {
-                best = Some((kind.cost_weight(), di));
+    std::thread::spawn(move || {
+        while !inner.shutdown.load(Ordering::Acquire) {
+            match hub.try_take() {
+                Some(stream) => {
+                    let inner = Arc::clone(&inner);
+                    let hub = Arc::clone(&hub);
+                    let clients = clients.clone();
+                    std::thread::spawn(move || classify(&inner, &hub, stream, clients));
+                }
+                None => std::thread::sleep(POLL),
             }
         }
-    }
-    let (_, di) = best?;
-    let mut q = shared.deques[di].lock().expect("deque");
-    let pos = q
-        .iter()
-        .enumerate()
-        .filter(|&(_, &id)| leasable(meta[id].0))
-        .max_by_key(|&(pos, &id)| (meta[id].0.cost_weight(), pos))
-        .map(|(pos, _)| pos)?;
-    q.remove(pos)
+    })
 }
 
-/// Serves one Fetch: in-memory slot first (cloning out of the slot is
-/// Arc-cheap for study artifacts), then the disk store's framed payload.
-/// Artifacts without a wire form — generated datasets — answer
-/// `NoArtifact`, and the worker recomputes them locally (they are cheap
-/// and deterministic by construction).
-fn serve_fetch<A>(ctx: &RemoteCtx<'_, A>, key: CacheKey) -> Message
-where
-    A: Clone + Send + Sync + DiskCodec,
+/// Reads a connection's first message and routes it: workers to the lease
+/// loop, serving clients to the engine handler, everything else dropped.
+fn classify<A>(
+    inner: &Arc<PoolInner<A>>,
+    hub: &RemoteHub,
+    stream: TcpStream,
+    clients: Option<ClientHandler>,
+) where
+    A: Clone + Send + Sync + DiskCodec + 'static,
 {
-    if let Some(&id) = ctx.key_index.get(&key) {
-        let held = ctx.shared.slots[id].lock().expect("slot").clone();
-        if let Some(payload) = held.and_then(|a| a.encode()) {
-            return Message::Artifact { key, payload };
+    // The accepted stream must be blocking regardless of platform: BSD
+    // kernels propagate the listener's O_NONBLOCK through accept(2)
+    // (Linux does not), and a non-blocking stream would turn every
+    // partially-arrived frame into a WouldBlock that reads as a dead peer.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let first = loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
         }
+        match poll_recv(&stream, POLL) {
+            Polled::Msg(msg) => break msg,
+            Polled::Pending => {
+                // a probe or scanner that never speaks must not pin a
+                // thread past the handshake budget
+                if Instant::now() >= deadline {
+                    return;
+                }
+            }
+            Polled::Closed => return,
+        }
+    };
+    match first {
+        hello @ Message::Hello { .. } => serve_worker(inner, hub, stream, hello),
+        submit @ Message::Submit { .. } => match clients {
+            Some(handler) => handler(stream, submit),
+            None => {
+                let reason = "this coordinator does not accept serving clients".to_string();
+                let _ = proto::send(&mut &stream, &Message::Reject { reason });
+            }
+        },
+        _ => {} // protocol violation: drop the connection
     }
-    if let Some(sink) = ctx.persist {
-        if let Some(payload) = sink.store.load(key) {
+}
+
+/// Serves one `Fetch`: the resident entry's artifact or the warm LRU
+/// (Arc-cheap clones, encoded outside the scheduler lock), then the disk
+/// store's framed payload. Artifacts without a wire form — generated
+/// datasets — answer `NoArtifact`, and the worker recomputes them locally
+/// (they are cheap and deterministic by construction).
+fn serve_fetch<A>(inner: &PoolInner<A>, key: CacheKey) -> Message
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
+{
+    if let Some(payload) = inner.fetch_artifact(key).and_then(|a| a.encode()) {
+        return Message::Artifact { key, payload };
+    }
+    if let Some(store) = &inner.persist {
+        if let Some(payload) = store.load(key) {
             return Message::Artifact { key, payload };
         }
     }
     Message::NoArtifact { key }
 }
 
+enum LeaseOutcome {
+    Completed,
+    Dead,
+    Aborted,
+}
+
 /// The per-connection lease loop. Any protocol violation, decode failure,
 /// disconnection or deadline miss severs the connection; an in-flight
 /// lease is re-injected into the frontier, so the only way a task is lost
 /// is if the whole coordinator dies — and the disk store covers that.
-fn serve_worker<A>(ctx: RemoteCtx<'_, A>, stream: TcpStream)
+fn serve_worker<A>(inner: &Arc<PoolInner<A>>, hub: &RemoteHub, stream: TcpStream, hello: Message)
 where
-    A: Clone + Send + Sync + DiskCodec,
+    A: Clone + Send + Sync + DiskCodec + 'static,
 {
-    // The accepted stream must be blocking regardless of platform: BSD
-    // kernels propagate the listener's O_NONBLOCK through accept(2)
-    // (Linux does not), and a non-blocking stream would turn every
-    // partially-arrived frame into a WouldBlock that reads as a dead
-    // worker.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_nodelay(true);
-    // The handshake wait polls in short slices: a client that connects but
-    // never speaks (a probe, a scanner, a stalled worker) must not pin the
-    // run's thread scope open past the end of the run — only up to one
-    // poll slice past it.
-    let handshake_deadline = Instant::now() + HANDSHAKE_TIMEOUT;
-    let name = loop {
-        if ctx.run_over() {
+    let name = match hello {
+        Message::Hello { version, name } if version == PROTOCOL_VERSION => name,
+        Message::Hello { version, .. } => {
+            let reason =
+                format!("protocol version {version}, coordinator speaks {PROTOCOL_VERSION}");
+            let _ = proto::send(&mut &stream, &Message::Reject { reason });
             return;
         }
+        _ => return,
+    };
+
+    // Wait for a live study spec: a worker may connect before the first
+    // submission exists. Its heartbeats are consumed while it waits.
+    let (spec_key, spec_bytes) = loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        {
+            let st = inner.state.lock().expect("state lock");
+            if let Some(spec) = inner.pick_spec(&st) {
+                break spec;
+            }
+        }
         match poll_recv(&stream, POLL) {
-            Polled::Pending => {
-                if Instant::now() >= handshake_deadline {
-                    return;
-                }
-            }
-            Polled::Msg(Message::Hello { version, name }) if version == PROTOCOL_VERSION => {
-                break name;
-            }
-            Polled::Msg(Message::Hello { version, .. }) => {
-                let reason =
-                    format!("protocol version {version}, coordinator speaks {PROTOCOL_VERSION}");
-                let _ = proto::send(&mut &stream, &Message::Reject { reason });
-                return;
-            }
+            Polled::Pending | Polled::Msg(Message::Heartbeat) => {}
             Polled::Msg(_) | Polled::Closed => return,
         }
     };
-    if proto::send(&mut &stream, &Message::Welcome { spec: ctx.spec.to_vec() }).is_err() {
+    if proto::send(&mut &stream, &Message::Welcome { spec: spec_bytes }).is_err() {
         return;
     }
-    ctx.shared.remote_workers.fetch_add(1, Ordering::Relaxed);
-    emit(&ctx.events, EngineEvent::WorkerJoined { worker: name.clone() });
+    {
+        let mut st = inner.state.lock().expect("state lock");
+        inner.worker_joined(&mut st, spec_key, &name);
+    }
 
+    let lease_timeout = hub.lease_timeout();
     let mut completed = 0usize;
     loop {
-        if ctx.run_over() {
+        if inner.shutdown.load(Ordering::Acquire) {
             let _ = proto::send(&mut &stream, &Message::Bye);
             break;
+        }
+        {
+            // the worker is bound to one spec (its rebuilt graph); once no
+            // live submission runs under it, the session ends cleanly
+            let st = inner.state.lock().expect("state lock");
+            if !inner.spec_live(&st, spec_key) {
+                drop(st);
+                let _ = proto::send(&mut &stream, &Message::Bye);
+                break;
+            }
         }
         // Worker-initiated traffic while idle: heartbeats are fine, a Bye
         // or a closed socket retires the worker.
@@ -271,22 +277,36 @@ where
             Polled::Msg(Message::Heartbeat) => continue,
             Polled::Msg(_) | Polled::Closed => break,
         }
-        let Some(id) = claim_leasable(ctx.shared, ctx.meta) else {
+        let claimed = {
+            let mut st = inner.state.lock().expect("state lock");
+            let claimed = inner.claim_leasable(&mut st, spec_key);
+            if let Some((gid, local_id)) = claimed {
+                let kind = st.tasks[gid].kind;
+                let label = st.tasks[gid].label.clone();
+                inner.emit_to_subs(
+                    &st,
+                    gid,
+                    EngineEvent::TaskStarted { id: local_id as usize, kind, label },
+                );
+            }
+            claimed
+        };
+        let Some((gid, local_id)) = claimed else {
             std::thread::sleep(POLL);
             continue;
         };
-
-        let (kind, ref label, _) = ctx.meta[id];
-        emit(&ctx.events, EngineEvent::TaskStarted { id, kind, label: label.clone() });
-        let lease_timeout = ctx.hub.lease_timeout();
+        let (kind, key, label) = {
+            let st = inner.state.lock().expect("state lock");
+            (st.tasks[gid].kind, st.tasks[gid].key, st.tasks[gid].label.clone())
+        };
         let lease = Message::Lease {
-            id: id as u64,
-            key: ctx.keys[id],
+            id: local_id,
+            key,
             kind,
             deadline_ms: lease_timeout.as_millis() as u64,
         };
         if proto::send(&mut &stream, &lease).is_err() {
-            orphan(&ctx, &name, id);
+            orphan(inner, gid, local_id, &name);
             break;
         }
 
@@ -294,8 +314,9 @@ where
         // either complete the task or declare the worker dead.
         let mut deadline = Instant::now() + lease_timeout;
         let outcome = loop {
-            if ctx.shared.abort.load(Ordering::Acquire) {
+            if inner.shutdown.load(Ordering::Acquire) {
                 let _ = proto::send(&mut &stream, &Message::Bye);
+                orphan(inner, gid, local_id, &name);
                 break LeaseOutcome::Aborted;
             }
             match poll_recv(&stream, POLL) {
@@ -309,30 +330,32 @@ where
                     deadline = Instant::now() + lease_timeout;
                     match msg {
                         Message::Fetch { key } => {
-                            if proto::send(&mut &stream, &serve_fetch(&ctx, key)).is_err() {
+                            if proto::send(&mut &stream, &serve_fetch(&**inner, key)).is_err() {
                                 break LeaseOutcome::Dead;
                             }
                         }
                         Message::Heartbeat => {}
-                        Message::Done { id: done_id, payload } if done_id == id as u64 => {
+                        Message::Done { id: done_id, payload } if done_id == local_id => {
                             // The payload must decode to a whole artifact
                             // before anything reaches the store or a slot:
                             // a truncated or corrupt shipment poisons the
                             // connection, not the run.
                             match A::decode(&payload) {
                                 Some(artifact) => {
-                                    let home = id % ctx.shared.deques.len();
-                                    finish_ok(
-                                        ctx.shared,
-                                        id,
+                                    // durability before progress, and
+                                    // before the scheduler lock
+                                    if let Some(store) = &inner.persist {
+                                        store.store(key, &payload);
+                                    }
+                                    let home = gid % inner.n_workers;
+                                    let mut st = inner.state.lock().expect("state lock");
+                                    inner.complete_ok(
+                                        &mut st,
+                                        gid,
                                         artifact,
-                                        Some(&payload),
                                         home,
                                         true,
-                                        ctx.meta,
-                                        ctx.deps,
-                                        ctx.persist,
-                                        &ctx.events,
+                                        Some(local_id),
                                     );
                                     completed += 1;
                                     break LeaseOutcome::Completed;
@@ -344,7 +367,8 @@ where
                             let err = cleanml_core::CoreError::Unsupported(format!(
                                 "remote worker '{name}' failed task '{label}': {error}"
                             ));
-                            finish_err(ctx.shared, id, kind, err, &ctx.events);
+                            let mut st = inner.state.lock().expect("state lock");
+                            inner.complete_err(&mut st, gid, err, Some(local_id));
                             break LeaseOutcome::Aborted;
                         }
                         // Done for a stale id, Bye mid-lease, or any
@@ -359,23 +383,21 @@ where
             LeaseOutcome::Completed => continue,
             LeaseOutcome::Aborted => break,
             LeaseOutcome::Dead => {
-                orphan(&ctx, &name, id);
+                orphan(inner, gid, local_id, &name);
                 break;
             }
         }
     }
-    emit(&ctx.events, EngineEvent::WorkerLeft { worker: name, completed });
-}
-
-enum LeaseOutcome {
-    Completed,
-    Dead,
-    Aborted,
+    let st = inner.state.lock().expect("state lock");
+    inner.emit_to_spec(&st, spec_key, EngineEvent::WorkerLeft { worker: name, completed });
 }
 
 /// Re-queues a task whose lease died and records the event.
-fn orphan<A>(ctx: &RemoteCtx<'_, A>, worker: &str, id: TaskId) {
-    let kind = ctx.meta[id].0;
-    ctx.shared.reinject(&[id], ctx.meta);
-    emit(&ctx.events, EngineEvent::LeaseExpired { worker: worker.to_string(), id, kind });
+fn orphan<A>(inner: &Arc<PoolInner<A>>, gid: usize, local_id: u64, worker: &str)
+where
+    A: Clone + Send + Sync + DiskCodec + 'static,
+{
+    let mut st = inner.state.lock().expect("state lock");
+    inner.lease_expired(&st, gid, worker, local_id);
+    inner.reinject(&mut st, gid);
 }

@@ -1,5 +1,5 @@
-//! Distributed execution: lease-based remote workers over the CMAF wire
-//! format.
+//! The remote plane: lease-based workers *and* serving clients over the
+//! CMAF wire format, on one listener.
 //!
 //! The study DAG and the content-addressed artifact plane were built
 //! network-shape from the start — a task is a pure function of explicitly
@@ -7,11 +7,14 @@
 //! same framed, checksummed bytes whether it lands on disk or on a socket.
 //! This module cashes that in:
 //!
-//! * [`proto`] — the binary message codec (`Hello`/`Lease`/`Fetch`/
-//!   `Artifact`/`Done`/`Heartbeat`/`Bye`), each message one CMAF frame;
-//! * [`coordinator`] — the [`RemoteHub`] listener plus the per-connection
-//!   lease-service loops that let remote workers claim tasks from the same
-//!   ready frontier the local pool works;
+//! * [`proto`] — the binary message codec. The worker conversation
+//!   (`Hello`/`Lease`/`Fetch`/`Artifact`/`Done`/`Heartbeat`/`Bye`) and the
+//!   serving conversation (`Submit`/`Status`/`ResultCsv`/`Cancel`) are
+//!   both CMAF frames over the same primitives;
+//! * [`coordinator`] — the [`RemoteHub`] listener plus the resident hub
+//!   service that classifies each connection by its first message: remote
+//!   workers claim tasks from the engine's merged ready frontier, serving
+//!   clients create submissions on the resident core;
 //! * [`worker`] — the stateless worker session: rebuild the identical
 //!   graph from the wire spec, fetch inputs by content address, compute,
 //!   ship the artifact back.
@@ -28,6 +31,9 @@ pub mod coordinator;
 pub mod proto;
 pub mod worker;
 
-pub use coordinator::{RemoteHub, DEFAULT_LEASE_TIMEOUT};
-pub use proto::{leasable, Message, StudySpec, MAX_MESSAGE_BYTES, PROTOCOL_VERSION};
+pub use coordinator::{ClientHandler, RemoteHub, DEFAULT_LEASE_TIMEOUT};
+pub use proto::{
+    leasable, poll_recv, Message, Polled, Request, ServeReport, StudySpec, MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+};
 pub use worker::{run_worker, FaultPlan, WorkerSummary};

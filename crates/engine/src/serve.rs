@@ -1,0 +1,143 @@
+//! The serving plane: per-connection handling of `cleanml-query` clients
+//! against a resident [`crate::Engine`].
+//!
+//! A client's first message is `Submit {request}` — a whole study or a
+//! single `(dataset, error type, method, model)` cell. The handler
+//! creates a submission on the resident core (deduping onto anything
+//! already in flight), streams `Status` frames while it runs (which
+//! double as keep-alives), honours a client `Cancel` or disconnect by
+//! releasing the submission's subgraph, and finally ships the rendered
+//! R1/R2/R3 CSV text plus a [`ServeReport`] the client can turn into a
+//! `--cache-stats` line.
+//!
+//! Connection threads hold only a [`Weak`] engine reference: an engine
+//! that dropped mid-conversation refuses further work instead of being
+//! kept alive by its own clients.
+
+use std::net::TcpStream;
+use std::sync::Weak;
+use std::time::Duration;
+
+use crate::event::TaskKind;
+use crate::remote::proto::{self, poll_recv, Message, Polled, Request, ServeReport};
+use crate::study::{CellQuery, EngineInner, StudySubmission};
+
+/// How often the server pushes a `Status` frame (and checks for a client
+/// `Cancel`).
+const STATUS_INTERVAL: Duration = Duration::from_millis(200);
+
+fn send_error(stream: &TcpStream, error: String) {
+    let _ = proto::send(&mut &*stream, &Message::ServeError { error });
+    let _ = proto::send(&mut &*stream, &Message::Bye);
+}
+
+fn kind_counts_u64(counts: &[(TaskKind, usize)]) -> Vec<(TaskKind, u64)> {
+    counts.iter().map(|&(k, n)| (k, n as u64)).collect()
+}
+
+/// Serves one `Submit` connection end to end. Invoked by the hub service
+/// with the already-read first message.
+pub(crate) fn handle_client(engine: &Weak<EngineInner>, stream: TcpStream, first: Message) {
+    let Some(inner) = engine.upgrade() else {
+        send_error(&stream, "engine is shutting down".into());
+        return;
+    };
+    let Message::Submit { request } = first else {
+        return;
+    };
+    let Some(request) = Request::decode(&request) else {
+        send_error(&stream, "undecodable request".into());
+        return;
+    };
+
+    let submission: StudySubmission = match request {
+        Request::Study(spec) => {
+            EngineInner::submit_study(&inner, &spec.error_types, &spec.cfg, None)
+        }
+        Request::Cell { spec, dataset, detection, repair, model } => {
+            let [error_type] = spec.error_types[..] else {
+                send_error(&stream, "a cell request names exactly one error type".into());
+                return;
+            };
+            let query = CellQuery { error_type, dataset, detection, repair, model };
+            match EngineInner::submit_query(&inner, &query, &spec.cfg, None) {
+                Ok(sub) => sub,
+                Err(e) => {
+                    send_error(&stream, e.to_string());
+                    return;
+                }
+            }
+        }
+    };
+
+    // Progress loop: one Status per interval (and always at least one,
+    // so even a memo-answered submission reports its hit counts),
+    // watching for Cancel or a vanished client. Cancellation releases
+    // the submission's exclusive subgraph; tasks shared with other
+    // submissions keep running.
+    loop {
+        let (done, to_run) = submission.progress();
+        let status = Message::Status {
+            done: done as u64,
+            to_run: to_run as u64,
+            cache_hits: submission.cache_hits() as u64,
+            pruned: submission.pruned() as u64,
+        };
+        if proto::send(&mut &stream, &status).is_err() {
+            submission.cancel();
+            let _ = submission.wait();
+            return;
+        }
+        if submission.done() {
+            break;
+        }
+        match poll_recv(&stream, STATUS_INTERVAL) {
+            Polled::Pending | Polled::Msg(Message::Heartbeat) => {}
+            Polled::Msg(Message::Cancel) => {
+                submission.cancel();
+                let _ = submission.wait(); // release holds before replying
+                send_error(&stream, "submission cancelled".into());
+                return;
+            }
+            Polled::Msg(_) | Polled::Closed => {
+                // protocol violation or vanished client: withdraw
+                submission.cancel();
+                let _ = submission.wait();
+                return;
+            }
+        }
+    }
+
+    let resolve = submission.resolve_stats();
+    let (cache_hits, pruned, total) =
+        (submission.cache_hits(), submission.pruned(), submission.total());
+    match submission.wait() {
+        Ok((db, report)) => {
+            let csv = format!("{}{}{}", db.r1_csv(), db.r2_csv(), db.r3_csv());
+            let (store_bytes, store_entries) = inner.store_totals();
+            let (disk_writes, disk_evictions) =
+                inner.store().map_or((0, 0), |s| (s.writes() as u64, s.evictions() as u64));
+            let serve_report = ServeReport {
+                memory_hits: resolve.memory_hits as u64,
+                disk_hits: resolve.disk_hits as u64,
+                misses: resolve.misses as u64,
+                disk_writes,
+                disk_evictions,
+                store_entries: store_entries as u64,
+                store_bytes,
+                executed: kind_counts_u64(&report.executed),
+                remote_executed: kind_counts_u64(&report.remote_executed),
+                remote_workers: report.remote_workers as u64,
+                releases: report.releases as u64,
+                cache_hits: cache_hits as u64,
+                pruned: pruned as u64,
+                total: total as u64,
+            };
+            let result =
+                Message::ResultCsv { csv: csv.into_bytes(), report: serve_report.encode() };
+            let _ = proto::send(&mut &stream, &result);
+            let _ = proto::send(&mut &stream, &Message::Bye);
+        }
+        Err(e) => send_error(&stream, e.to_string()),
+    }
+}

@@ -21,7 +21,7 @@
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
 
 use cleanml_cleaning::{CleaningMethod, ErrorType};
@@ -40,8 +40,8 @@ use cleanml_dataset::{Encoder, FeatureMatrix};
 use crate::cache::{ArtifactCache, CacheKey, CacheStats, DiskCodec, DiskStore};
 use crate::event::{emit, EngineEvent, EventSink, TaskKind};
 use crate::graph::{NodeState, TaskGraph, TaskId};
-use crate::pool::{execute, PersistSink, RemoteLink, RunReport};
-use crate::remote::{RemoteHub, StudySpec};
+use crate::pool::{Pool, RunReport, SubmissionHandle};
+use crate::remote::{ClientHandler, RemoteHub, StudySpec};
 
 /// Everything that flows along DAG edges. Heavy payloads sit behind `Arc`,
 /// so cloning an artifact into a consumer is pointer-cheap.
@@ -308,58 +308,95 @@ impl EngineConfig {
     }
 }
 
-/// The study-execution engine: a reusable scheduler + artifact cache. Run
-/// it twice in one process (or point `cache_dir` at a previous run's
-/// directory) and finished work is skipped.
+/// The resident study-execution engine: a long-lived worker pool, a warm
+/// in-memory memo and the persistent artifact store, owned for the
+/// engine's whole lifetime and shared by every submission.
+///
+/// One-shot use is unchanged — [`Engine::run_study`] builds, resolves,
+/// executes and collects. But the engine also accepts many *concurrent*
+/// submissions ([`Engine::submit_study`], [`Engine::submit_query`]):
+/// overlapping submissions dedupe into the same in-flight tasks by
+/// content address, a repeated submission answers from the warm memo
+/// without executing anything, and with `listen` configured the same
+/// listener serves lease-based remote workers *and* `cleanml-query`
+/// clients (see `cleanml-serve`).
 pub struct Engine {
-    cfg: EngineConfig,
-    cache: ArtifactCache<Artifact>,
+    inner: Arc<EngineInner>,
+}
+
+/// Engine state shared with the serving plane (client-connection threads
+/// hold a [`Weak`] to it, so a dropped engine refuses new clients instead
+/// of leaking).
+pub(crate) struct EngineInner {
+    cache: Mutex<ArtifactCache<Artifact>>,
     store: Option<Arc<DiskStore>>,
     hub: Option<Arc<RemoteHub>>,
-    events: Option<EventSink>,
+    pool: Pool<Artifact>,
+    events: Mutex<Option<EventSink>>,
 }
 
 impl Engine {
-    /// Creates an engine. With `listen` set, the remote hub binds
+    /// Creates an engine: the worker pool spawns immediately and lives
+    /// until the engine drops. With `listen` set, the remote hub binds
     /// immediately (panicking on an unusable address — a misconfigured
-    /// coordinator must fail loudly, not run silently local-only) and
-    /// keeps accepting workers across runs.
+    /// coordinator must fail loudly, not run silently local-only) and its
+    /// service loop classifies connections into workers and serving
+    /// clients for the engine's lifetime.
     pub fn new(cfg: EngineConfig) -> Self {
         let store = cfg.cache_dir.clone().map(|dir| DiskStore::open(dir, cfg.cache_max_bytes));
-        let cache = ArtifactCache::with_store(store.clone());
         let hub = cfg.listen.as_deref().map(|addr| {
             RemoteHub::bind(addr, cfg.lease_timeout)
                 .unwrap_or_else(|e| panic!("cannot listen on {addr}: {e}"))
         });
-        Engine { cfg, cache, store, hub, events: None }
+        let workers = cfg.effective_workers();
+        let inner = Arc::new_cyclic(|weak: &Weak<EngineInner>| {
+            let mut pool: Pool<Artifact> = Pool::new(workers, store.clone());
+            if let Some(hub) = &hub {
+                let weak = weak.clone();
+                let handler: ClientHandler = Arc::new(move |stream, first| {
+                    crate::serve::handle_client(&weak, stream, first);
+                });
+                pool.serve_hub(Arc::clone(hub), Some(handler));
+            }
+            EngineInner {
+                cache: Mutex::new(ArtifactCache::with_store(store.clone())),
+                store: store.clone(),
+                hub: hub.clone(),
+                pool,
+                events: Mutex::new(None),
+            }
+        });
+        Engine { inner }
     }
 
-    /// Attaches a progress-event sink.
-    pub fn with_events(mut self, sink: EventSink) -> Self {
-        self.events = Some(sink);
+    /// Attaches a progress-event sink (the default for submissions made
+    /// through this handle).
+    pub fn with_events(self, sink: EventSink) -> Self {
+        *self.inner.events.lock().expect("events lock") = Some(sink);
         self
     }
 
     pub fn workers(&self) -> usize {
-        self.cfg.effective_workers()
+        self.inner.pool.workers()
     }
 
     /// The persistent artifact store, if a cache directory is configured.
     pub fn disk_store(&self) -> Option<&Arc<DiskStore>> {
-        self.store.as_ref()
+        self.inner.store.as_ref()
     }
 
-    /// The address remote workers connect to, if `listen` is configured.
+    /// The address remote workers and serving clients connect to, if
+    /// `listen` is configured.
     pub fn remote_addr(&self) -> Option<SocketAddr> {
-        self.hub.as_ref().map(|h| h.local_addr())
+        self.inner.hub.as_ref().map(|h| h.local_addr())
     }
 
-    /// Cache counters of the most recent run. Disk writes and evictions
+    /// Cache counters since the last reset. Disk writes and evictions
     /// come from the shared store, which also counts the artifacts the
     /// worker pool persisted mid-run.
     pub fn cache_stats(&self) -> CacheStats {
-        let mut stats = self.cache.stats;
-        if let Some(store) = &self.store {
+        let mut stats = self.inner.cache.lock().expect("cache lock").stats;
+        if let Some(store) = &self.inner.store {
             stats.disk_writes = store.writes();
             stats.disk_evictions = store.evictions();
         }
@@ -378,17 +415,106 @@ impl Engine {
     }
 
     /// [`Engine::run_study`] plus the execution report (task counts, cache
-    /// hits, prunes).
+    /// hits, prunes): submit, then block until collected.
     pub fn run_study_with_report(
         &mut self,
         error_types: &[ErrorType],
         cfg: &ExperimentConfig,
     ) -> Result<(CleanMlDb, RunReport)> {
-        self.cache.reset_stats();
-        let (mut graph, grids) = build_study_graph(error_types, cfg);
-        let (cache_hits, pruned, to_run) = graph.resolve(&mut self.cache, &grids);
+        self.inner.cache.lock().expect("cache lock").reset_stats();
+        self.submit_study(error_types, cfg).wait()
+    }
+
+    /// Submits a whole study to the resident core and returns immediately
+    /// with a handle. Concurrent submissions share in-flight tasks by
+    /// content address.
+    pub fn submit_study(
+        &self,
+        error_types: &[ErrorType],
+        cfg: &ExperimentConfig,
+    ) -> StudySubmission {
+        let events = self.inner.events.lock().expect("events lock").clone();
+        EngineInner::submit_study(&self.inner, error_types, cfg, events)
+    }
+
+    /// [`Engine::submit_study`] with a submission-private event sink.
+    pub fn submit_study_with_events(
+        &self,
+        error_types: &[ErrorType],
+        cfg: &ExperimentConfig,
+        events: Option<EventSink>,
+    ) -> StudySubmission {
+        EngineInner::submit_study(&self.inner, error_types, cfg, events)
+    }
+
+    /// Submits a query-granular request — one `(dataset, error type,
+    /// cleaning method, model)` cell instead of a whole study. Cell tasks
+    /// share content addresses with the corresponding full-study tasks,
+    /// so a warm engine answers from the memo.
+    pub fn submit_query(
+        &self,
+        query: &CellQuery,
+        cfg: &ExperimentConfig,
+    ) -> Result<StudySubmission> {
+        let events = self.inner.events.lock().expect("events lock").clone();
+        EngineInner::submit_query(&self.inner, query, cfg, events)
+    }
+}
+
+impl EngineInner {
+    pub(crate) fn submit_study(
+        self: &Arc<Self>,
+        error_types: &[ErrorType],
+        cfg: &ExperimentConfig,
+        events: Option<EventSink>,
+    ) -> StudySubmission {
+        let (graph, grids) = build_study_graph(error_types, cfg);
+        // Advertise the submission to remote workers only when a hub
+        // exists; the spec is what a worker rebuilds its graph from.
+        let spec = self
+            .hub
+            .as_ref()
+            .map(|_| StudySpec { error_types: error_types.to_vec(), cfg: *cfg }.encode());
+        self.submit_graph(graph, grids, spec, events, cfg.alpha)
+    }
+
+    pub(crate) fn submit_query(
+        self: &Arc<Self>,
+        query: &CellQuery,
+        cfg: &ExperimentConfig,
+        events: Option<EventSink>,
+    ) -> Result<StudySubmission> {
+        let (graph, grids) = build_query_graph(query, cfg)?;
+        // Cell queries are not advertised to remote workers (their grids
+        // are not study-shaped); their leasable tasks still dedupe with
+        // any concurrently running study's.
+        Ok(self.submit_graph(graph, grids, None, events, cfg.alpha))
+    }
+
+    fn submit_graph(
+        self: &Arc<Self>,
+        mut graph: TaskGraph<Artifact>,
+        grids: Vec<TaskId>,
+        spec: Option<Vec<u8>>,
+        events: Option<EventSink>,
+        alpha: f64,
+    ) -> StudySubmission {
+        let (cache_hits, pruned, to_run, resolve_stats) = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let before = cache.stats;
+            let (hits, pruned, to_run) = graph.resolve(&mut cache, &grids);
+            let after = cache.stats;
+            let delta = CacheStats {
+                memory_hits: after.memory_hits - before.memory_hits,
+                disk_hits: after.disk_hits - before.disk_hits,
+                misses: after.misses - before.misses,
+                disk_writes: 0,
+                disk_evictions: 0,
+            };
+            (hits, pruned, to_run, delta)
+        };
         let total = graph.len();
-        emit(&self.events, EngineEvent::GraphReady { total, cache_hits, pruned, to_run });
+        emit(&events, EngineEvent::GraphReady { total, cache_hits, pruned, to_run });
 
         // Snapshot addressing info before the graph is consumed.
         let index: Vec<(CacheKey, TaskKind, NodeState)> =
@@ -407,23 +533,98 @@ impl Engine {
             })
             .collect();
 
-        let workers = self.workers();
-        let persist = self.store.clone().map(|store| PersistSink {
-            store,
-            keys: index.iter().map(|(key, _, _)| *key).collect(),
-        });
-        let remote = self.hub.clone().map(|hub| RemoteLink {
-            hub,
-            keys: index.iter().map(|(key, _, _)| *key).collect(),
-            spec: StudySpec { error_types: error_types.to_vec(), cfg: *cfg }.encode(),
-        });
-        let (artifacts, stats) = execute(graph, workers, retain, persist, remote, &self.events)?;
+        let handle = self.pool.submit(graph, retain, events, spec);
+        StudySubmission {
+            inner: Arc::clone(self),
+            handle,
+            index,
+            grids,
+            cache_hits,
+            pruned,
+            total,
+            alpha,
+            resolve_stats,
+        }
+    }
+
+    /// `(entries, payload bytes)` of the persistent store, zero without
+    /// one.
+    pub(crate) fn store_totals(&self) -> (u64, usize) {
+        self.store.as_ref().map_or((0, 0), |s| (s.total_bytes(), s.len()))
+    }
+
+    pub(crate) fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
+    }
+}
+
+/// A live study (or cell-query) submission on a resident [`Engine`]:
+/// progress, cancellation, and blocking collection into the BY-corrected
+/// relational database.
+pub struct StudySubmission {
+    inner: Arc<EngineInner>,
+    handle: SubmissionHandle<Artifact>,
+    index: Vec<(CacheKey, TaskKind, NodeState)>,
+    grids: Vec<TaskId>,
+    cache_hits: usize,
+    pruned: usize,
+    total: usize,
+    alpha: f64,
+    resolve_stats: CacheStats,
+}
+
+impl StudySubmission {
+    /// Whether the submission has completed, failed or been cancelled.
+    pub fn done(&self) -> bool {
+        self.handle.done()
+    }
+
+    /// `(finished, to_run)` task counts.
+    pub fn progress(&self) -> (usize, usize) {
+        self.handle.progress()
+    }
+
+    /// Cancels the submission: its exclusive subgraph is released; tasks
+    /// shared with other live submissions keep running for them.
+    pub fn cancel(&self) {
+        self.handle.cancel()
+    }
+
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    pub fn pruned(&self) -> usize {
+        self.pruned
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// This submission's resolve-time cache counters (memory/disk hits
+    /// and misses attributable to it alone).
+    pub fn resolve_stats(&self) -> CacheStats {
+        self.resolve_stats
+    }
+
+    /// Blocks until every task of the submission has finished, then
+    /// assembles and BY-corrects the relational database.
+    pub fn wait(self) -> Result<(CleanMlDb, RunReport)> {
+        let StudySubmission {
+            inner, handle, index, grids, cache_hits, pruned, total, alpha, ..
+        } = self;
+        let workers = inner.pool.workers();
+        let (artifacts, stats) = handle.wait()?;
 
         // Content-address every freshly produced, retained artifact.
-        for (id, artifact) in artifacts.iter().enumerate() {
-            if index[id].2 == NodeState::Run {
-                if let Some(a) = artifact {
-                    self.cache.put(index[id].0, a);
+        {
+            let mut cache = inner.cache.lock().expect("cache lock");
+            for (id, artifact) in artifacts.iter().enumerate() {
+                if index[id].2 == NodeState::Run {
+                    if let Some(a) = artifact {
+                        cache.put(index[id].0, a);
+                    }
                 }
             }
         }
@@ -438,11 +639,10 @@ impl Engine {
             db.r2.extend(grid.r2_rows()?);
             db.r3.extend(grid.r3_rows()?);
         }
-        db.apply_benjamini_yekutieli(cfg.alpha);
-        if let Some(store) = &self.store {
+        db.apply_benjamini_yekutieli(alpha);
+        if let Some(store) = inner.store() {
             store.flush();
         }
-        emit(&self.events, EngineEvent::RunFinished);
 
         let report = RunReport {
             executed: stats.executed,
@@ -495,6 +695,96 @@ fn budget_tag(cfg: &ExperimentConfig) -> String {
     format!("bud{}x{}", cfg.search.n_candidates, cfg.search.cv_folds)
 }
 
+/// One `(dataset, error type, cleaning method, model)` cell of the study
+/// grid, addressable without running the rest of the study. Names match
+/// the catalogue (`Detection::name` / `Repair::name` / `ModelKind::name`)
+/// and the dataset plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellQuery {
+    pub error_type: ErrorType,
+    pub dataset: String,
+    pub detection: String,
+    pub repair: String,
+    pub model: String,
+}
+
+/// Builds the 1×1 grid DAG for one cell and returns it with its reduce
+/// sink.
+///
+/// The cell keeps the *full-study* method and model indices in every seed
+/// and content address, so its `Split`/`Clean`/`Train`/`Evaluate` tasks
+/// are byte-for-byte the same tasks a whole study of this configuration
+/// would run — a warm engine answers a cell query from the memo, and a
+/// cold cell query pre-warms the study.
+pub fn build_query_graph(
+    q: &CellQuery,
+    cfg: &ExperimentConfig,
+) -> Result<(TaskGraph<Artifact>, Vec<TaskId>)> {
+    let et = q.error_type;
+    let plan = dataset_plan(et, cfg.base_seed)
+        .into_iter()
+        .find(|p| p.name == q.dataset)
+        .ok_or_else(|| {
+            CoreError::Unsupported(format!(
+                "unknown dataset '{}' for error type {}",
+                q.dataset,
+                et.name()
+            ))
+        })?;
+    let method = CleaningMethod::catalogue(et)
+        .into_iter()
+        .enumerate()
+        .find(|(_, m)| m.detection.name() == q.detection && m.repair.name() == q.repair)
+        .ok_or_else(|| {
+            CoreError::Unsupported(format!(
+                "unknown cleaning method '{}-{}' for error type {}",
+                q.detection,
+                q.repair,
+                et.name()
+            ))
+        })?;
+    let model = PAPER_MODELS
+        .iter()
+        .enumerate()
+        .find(|(_, k)| k.name() == q.model)
+        .map(|(ki, &k)| (ki, k))
+        .ok_or_else(|| CoreError::Unsupported(format!("unknown model '{}'", q.model)))?;
+
+    let mut graph: TaskGraph<Artifact> = TaskGraph::new();
+    let scope = GridScope {
+        methods: vec![method],
+        models: vec![model],
+        n_models_full: PAPER_MODELS.len(),
+        subset: true,
+    };
+    let grid = build_grid_tasks_scoped(&mut graph, &plan, et, *cfg, scope);
+    Ok((graph, vec![grid]))
+}
+
+/// Which slice of the method × model grid to emit. Indices are positions
+/// in the *full* catalogue/model list — they parameterize seeds and
+/// content addresses, so a subset cell is the same task as its full-study
+/// counterpart.
+struct GridScope {
+    methods: Vec<(usize, CleaningMethod)>,
+    models: Vec<(usize, ModelKind)>,
+    n_models_full: usize,
+    /// Subset grids get their own reduce content address (a 1×1 grid is
+    /// not the full grid artifact).
+    subset: bool,
+}
+
+impl GridScope {
+    fn full(et: ErrorType) -> GridScope {
+        GridScope {
+            methods: CleaningMethod::catalogue(et).into_iter().enumerate().collect(),
+            models: PAPER_MODELS.iter().copied().enumerate().collect(),
+            n_models_full: PAPER_MODELS.len(),
+            subset: false,
+        }
+    }
+}
+
 /// Emits all tasks of one dataset × error-type grid; returns the reduce
 /// node.
 fn build_grid_tasks(
@@ -503,8 +793,19 @@ fn build_grid_tasks(
     et: ErrorType,
     cfg: ExperimentConfig,
 ) -> TaskId {
-    let methods = CleaningMethod::catalogue(et);
-    let models: Vec<ModelKind> = PAPER_MODELS.to_vec();
+    build_grid_tasks_scoped(g, plan, et, cfg, GridScope::full(et))
+}
+
+/// Emits the tasks of one dataset × error-type grid restricted to
+/// `scope`'s methods × models; returns the reduce node.
+fn build_grid_tasks_scoped(
+    g: &mut TaskGraph<Artifact>,
+    plan: &DatasetPlan,
+    et: ErrorType,
+    cfg: ExperimentConfig,
+    scope: GridScope,
+) -> TaskId {
+    let GridScope { methods, models, n_models_full, subset } = scope;
     let (n_methods, n_models) = (methods.len(), models.len());
 
     // GenerateDataset: the base spec, plus the injection step for mislabel
@@ -576,8 +877,7 @@ fn build_grid_tasks(
 
         let dirty_ids: Vec<(TaskId, String)> = models
             .iter()
-            .enumerate()
-            .map(|(ki, &kind)| {
+            .map(|&(ki, kind)| {
                 let cname = format!(
                     "traind/{split_cname}/{}/seed{:016x}/{}",
                     kind.name(),
@@ -604,7 +904,7 @@ fn build_grid_tasks(
             })
             .collect();
 
-        for (mi, &method) in methods.iter().enumerate() {
+        for &(mi, method) in &methods {
             let clean_cname = format!(
                 "clean/{split_cname}/{}-{}/seed{:016x}",
                 method.detection.name(),
@@ -634,11 +934,11 @@ fn build_grid_tasks(
                 },
             );
 
-            for (ki, &kind) in models.iter().enumerate() {
+            for (pos_k, &(ki, kind)) in models.iter().enumerate() {
                 let tclean_cname = format!(
                     "trainc/{clean_cname}/{}/seed{:016x}/{}",
                     kind.name(),
-                    fit_seed.wrapping_add(2000 + (mi * n_models + ki) as u64),
+                    fit_seed.wrapping_add(2000 + (mi * n_models_full + ki) as u64),
                     budget_tag(&cfg),
                 );
                 let tclean_id = g.task(
@@ -658,7 +958,7 @@ fn build_grid_tasks(
                             kind,
                             ki,
                             mi,
-                            n_models,
+                            n_models_full,
                             d[0].clean(),
                             d[1].context(),
                             &cfg,
@@ -667,12 +967,12 @@ fn build_grid_tasks(
                     },
                 );
 
-                let cell_cname = format!("cell/{}|{tclean_cname}", dirty_ids[ki].1);
+                let cell_cname = format!("cell/{}|{tclean_cname}", dirty_ids[pos_k].1);
                 let cell_id = g.task(
                     TaskKind::Evaluate,
                     format!("cell/{}/{}/s{s}/m{mi}/{}", plan.name, et.name(), kind.name()),
                     CacheKey::of(&cell_cname),
-                    vec![dirty_ids[ki].0, tclean_id, clean_id, ctx_id],
+                    vec![dirty_ids[pos_k].0, tclean_id, clean_id, ctx_id],
                     move |d| {
                         Ok(Artifact::Cell(tasks::evaluate_cell(
                             d[0].trained(),
@@ -687,20 +987,39 @@ fn build_grid_tasks(
         }
     }
 
-    let grid_cname = format!(
-        "grid/{dname}/{}/splits{}/frac{:016x}/base{:016x}/{}/methods{}/models{}",
-        et.name(),
-        cfg.n_splits,
-        cfg.test_fraction.to_bits(),
-        cfg.base_seed,
-        budget_tag(&cfg),
-        n_methods,
-        n_models,
-    );
+    let grid_cname = if subset {
+        // a sliced grid is a different artifact from the full one — its
+        // content address names the selected full-catalogue indices
+        let mi_list: Vec<String> = methods.iter().map(|(mi, _)| mi.to_string()).collect();
+        let ki_list: Vec<String> = models.iter().map(|(ki, _)| ki.to_string()).collect();
+        format!(
+            "gridsub/{dname}/{}/splits{}/frac{:016x}/base{:016x}/{}/m{}/k{}",
+            et.name(),
+            cfg.n_splits,
+            cfg.test_fraction.to_bits(),
+            cfg.base_seed,
+            budget_tag(&cfg),
+            mi_list.join("-"),
+            ki_list.join("-"),
+        )
+    } else {
+        format!(
+            "grid/{dname}/{}/splits{}/frac{:016x}/base{:016x}/{}/methods{}/models{}",
+            et.name(),
+            cfg.n_splits,
+            cfg.test_fraction.to_bits(),
+            cfg.base_seed,
+            budget_tag(&cfg),
+            n_methods,
+            n_models,
+        )
+    };
     let mut deps = vec![ctx_id];
     deps.extend(&cell_ids);
     let dataset_name = plan.name.clone();
-    let (n_splits, methods_owned, models_owned) = (cfg.n_splits, methods, models);
+    let methods_owned: Vec<CleaningMethod> = methods.iter().map(|&(_, m)| m).collect();
+    let models_owned: Vec<ModelKind> = models.iter().map(|&(_, k)| k).collect();
+    let n_splits = cfg.n_splits;
     g.task(
         TaskKind::Reduce,
         format!("grid/{}/{}", plan.name, et.name()),
