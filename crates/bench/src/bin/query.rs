@@ -115,7 +115,7 @@ fn main() {
                 eprintln!("\n[query] server closed the connection before a result");
                 std::process::exit(1);
             }
-            Polled::Msg(Message::Status { done, to_run, cache_hits, pruned }) => {
+            Polled::Msg(Message::Status { done, to_run, cache_hits, pruned, .. }) => {
                 if !announced {
                     eprintln!(
                         "[query] submitted: {to_run} tasks to run, {cache_hits} cache hits, \
@@ -139,6 +139,12 @@ fn main() {
                 if want_stats {
                     match ServeReport::decode(&report) {
                         Some(sr) => {
+                            if sr.dropped_events > 0 {
+                                eprintln!(
+                                    "[query] warning: server dropped {} progress events",
+                                    sr.dropped_events
+                                );
+                            }
                             let (stats, totals, run) = stats_from_serve_report(&sr);
                             println!("{}", cache_stats_line(&stats, totals, &run));
                         }

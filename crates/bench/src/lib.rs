@@ -30,6 +30,8 @@
 //!   workers lease ready tasks and ship artifacts back over TCP.
 //! * `--lease-timeout SECS` — how long a leased worker may go silent
 //!   before its task is re-queued (default 5).
+//! * `--trace-out FILE` — record per-task spans and write them as Chrome
+//!   trace-event JSON on exit (load in `chrome://tracing` / Perfetto).
 
 use std::sync::mpsc;
 
@@ -38,6 +40,7 @@ use cleanml_core::schema::ErrorType;
 use cleanml_core::{CleanMlDb, ExperimentConfig};
 use cleanml_engine::{
     parallel_map, CacheStats, Engine, EngineConfig, EngineEvent, RunReport, ServeReport,
+    StatsSnapshot,
 };
 use cleanml_stats::Flag;
 
@@ -174,10 +177,60 @@ pub fn stats_from_serve_report(r: &ServeReport) -> (CacheStats, Option<(u64, usi
     (stats, totals, report)
 }
 
+/// Rebuilds the [`cache_stats_line`] inputs from a telemetry
+/// [`StatsSnapshot`] delta — the run's figures as the metrics registry
+/// observed them, rather than as the `RunReport` tallied them. The two
+/// agree for a single CLI run; deriving the line from the registry makes
+/// the `--cache-stats` output a cross-check of the telemetry plane.
+pub fn stats_from_registry_delta(d: &StatsSnapshot) -> (CacheStats, RunReport) {
+    use cleanml_engine::TaskKind;
+    let kinds = |counts: &[u64]| -> Vec<(TaskKind, usize)> {
+        TaskKind::ALL
+            .iter()
+            .zip(counts)
+            .filter(|&(_, &n)| n > 0)
+            .map(|(&k, &n)| (k, n as usize))
+            .collect()
+    };
+    let stats = CacheStats {
+        memory_hits: d.memory_hits as usize,
+        disk_hits: d.disk_hits as usize,
+        misses: d.misses as usize,
+        disk_writes: d.store_writes as usize,
+        disk_evictions: d.store_evictions as usize,
+    };
+    let report = RunReport {
+        executed: kinds(&d.executed_local),
+        remote_executed: kinds(&d.executed_remote),
+        cache_hits: 0,
+        pruned: 0,
+        total: 0,
+        workers: 0,
+        remote_workers: d.workers_joined as usize,
+        releases: d.releases as usize,
+    };
+    (stats, report)
+}
+
 /// Runs a study through the engine with live progress on stderr — the
 /// shared entry point of every `tableNN` binary.
 pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> CleanMlDb {
     let engine_cfg = engine_from_args();
+    let telemetry = cleanml_engine::telemetry::global();
+    let trace_out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--trace-out").map(|p| {
+            // An explicitly requested trace must never be silently
+            // skipped — same contract as the other engine flags.
+            args.get(p + 1).map(std::path::PathBuf::from).unwrap_or_else(|| {
+                eprintln!("error: --trace-out expects FILE");
+                std::process::exit(2);
+            })
+        })
+    };
+    if trace_out.is_some() {
+        telemetry.start_tracing();
+    }
     let (tx, rx) = mpsc::channel();
     let mut engine = Engine::new(engine_cfg).with_events(tx);
     eprintln!("[engine] {} workers", engine.workers());
@@ -225,7 +278,9 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
     });
 
     let started = std::time::Instant::now();
+    let before = telemetry.stats_snapshot();
     let (db, report) = engine.run_study_with_report(error_types, cfg).expect("engine study run");
+    let delta = telemetry.stats_snapshot().since(&before);
     let stats = engine.cache_stats();
     let store_totals = engine.disk_store().map(|s| (s.total_bytes(), s.len()));
     let store_line = store_totals.map(|(bytes, _)| {
@@ -259,7 +314,24 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
         remote_line,
     );
     if std::env::args().any(|a| a == "--cache-stats") {
-        println!("{}", cache_stats_line(&stats, store_totals, &report));
+        // The line is derived from the metrics registry (snapshot delta
+        // over the run), not the RunReport — byte-identical figures for a
+        // single run, and a standing cross-check that the telemetry plane
+        // counts what the scheduler does. With telemetry disabled the
+        // registry saw nothing, so fall back to the report.
+        let line = if telemetry.enabled() {
+            let (stats, run) = stats_from_registry_delta(&delta);
+            cache_stats_line(&stats, store_totals, &run)
+        } else {
+            cache_stats_line(&stats, store_totals, &report)
+        };
+        println!("{line}");
+    }
+    if let Some(path) = trace_out {
+        match telemetry.write_trace(&path) {
+            Ok(n) => eprintln!("[engine] wrote {n} trace events to {}", path.display()),
+            Err(e) => eprintln!("[engine] trace write failed ({}): {e}", path.display()),
+        }
     }
     db
 }

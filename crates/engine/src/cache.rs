@@ -345,16 +345,27 @@ impl DiskStore {
         state.entries.insert(key, IndexEntry { size, access });
         state.dirty += 1;
         self.writes.fetch_add(1, Ordering::Relaxed);
+        let t = crate::telemetry::global();
+        if t.enabled() {
+            t.store_writes.inc();
+            t.store_written_bytes.add(size);
+        }
         self.flush_if_due(state);
         true
     }
 
-    /// Deletes an entry (used when a decode reveals corruption).
+    /// Deletes an entry (used when a decode reveals corruption). Counted
+    /// as GC in the telemetry registry, bytes included.
     pub fn remove(&self, key: CacheKey) {
         let _ = std::fs::remove_file(self.art_path(key));
         let mut state = self.state.lock().expect("index lock");
-        if state.entries.remove(&key).is_some() {
+        if let Some(entry) = state.entries.remove(&key) {
             state.dirty += 1;
+            let t = crate::telemetry::global();
+            if t.enabled() {
+                t.store_gc.inc();
+                t.store_gc_bytes.add(entry.size);
+            }
         }
     }
 
@@ -363,6 +374,7 @@ impl DiskStore {
     /// processes sharing the directory evict in the same order.
     fn evict_until_fits(&self, state: &mut IndexState, incoming: u64) {
         let Some(cap) = self.max_bytes else { return };
+        let t = crate::telemetry::global();
         let mut total = state.total_bytes();
         while total + incoming > cap && !state.entries.is_empty() {
             let victim = state
@@ -376,6 +388,10 @@ impl DiskStore {
             state.dirty += 1;
             total -= victim.1;
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            if t.enabled() {
+                t.store_evictions.inc();
+                t.store_evicted_bytes.add(victim.1);
+            }
         }
     }
 
@@ -555,6 +571,10 @@ impl<A: Clone> Retention<A> {
                 .map(|(k, _)| *k)
                 .expect("unpinned > cap >= 0 implies a victim");
             self.warm.remove(&victim);
+            let t = crate::telemetry::global();
+            if t.enabled() {
+                t.warm_evictions.inc();
+            }
         }
     }
 }
@@ -620,6 +640,10 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
                 .map(|(k, _)| *k)
                 .expect("len > cap >= 1 implies a victim");
             self.memory.remove(&victim);
+            let t = crate::telemetry::global();
+            if t.enabled() {
+                t.memo_evictions.inc();
+            }
         }
     }
 
@@ -649,17 +673,24 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
     /// memory when the artifact opts in (small artifacts only — see
     /// [`DiskCodec::promote_to_memory`]).
     pub fn get(&mut self, key: CacheKey) -> Option<A> {
+        let t = crate::telemetry::global();
         self.clock += 1;
         let clock = self.clock;
         if let Some((a, access)) = self.memory.get_mut(&key) {
             *access = clock;
             self.stats.memory_hits += 1;
+            if t.enabled() {
+                t.cache_memory_hits.inc();
+            }
             return Some(a.clone());
         }
         if let Some(store) = self.disk.clone() {
             if let Some(payload) = store.load(key) {
                 if let Some(a) = A::decode(&payload) {
                     self.stats.disk_hits += 1;
+                    if t.enabled() {
+                        t.cache_disk_hits.inc();
+                    }
                     if a.promote_to_memory() {
                         self.remember(key, a.clone());
                     }
@@ -670,6 +701,9 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
             }
         }
         self.stats.misses += 1;
+        if t.enabled() {
+            t.cache_misses.inc();
+        }
         None
     }
 

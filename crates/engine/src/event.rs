@@ -100,9 +100,14 @@ pub enum EngineEvent {
 /// Where events go.
 pub type EventSink = Sender<EngineEvent>;
 
-/// Best-effort send.
+/// Best-effort send. A failed send (receiver dropped or never drained)
+/// is counted in the telemetry registry instead of vanishing, and the
+/// count is surfaced in `Status`/`ServeReport` frames so clients can see
+/// their progress view was lossy.
 pub fn emit(sink: &Option<EventSink>, event: EngineEvent) {
     if let Some(s) = sink {
-        let _ = s.send(event);
+        if s.send(event).is_err() {
+            crate::telemetry::global().events_dropped.inc();
+        }
     }
 }

@@ -26,7 +26,12 @@
 //!    memo and the store live as long as the engine, concurrent
 //!    submissions ([`Engine::submit_study`], [`Engine::submit_query`])
 //!    dedupe into the same in-flight tasks, and the same listener answers
-//!    `cleanml-query` clients with rendered CSVs ([`serve`]).
+//!    `cleanml-query` clients with rendered CSVs ([`serve`]);
+//! 7. **measures** — every plane feeds a zero-dependency telemetry
+//!    registry (counters, gauges, fixed-bucket latency histograms) that
+//!    the hub listener exposes as Prometheus text on `GET /metrics`, and
+//!    an optional Chrome trace-event span buffer written by
+//!    `--trace-out` ([`telemetry`]).
 //!
 //! Task bodies are deterministic in their explicit seeds, and the relations
 //! are assembled in plan order, so a run with any worker count — including
@@ -52,6 +57,7 @@ pub mod pool;
 pub mod remote;
 pub mod serve;
 pub mod study;
+pub mod telemetry;
 
 pub use cache::{ArtifactCache, CacheKey, CacheStats, DiskStore, Retention};
 pub use event::{EngineEvent, EventSink, TaskKind};
@@ -65,3 +71,4 @@ pub use study::{
     build_query_graph, build_study_graph, Artifact, CellQuery, Engine, EngineConfig,
     StudySubmission,
 };
+pub use telemetry::{HistogramSummary, StatsSnapshot, Telemetry};

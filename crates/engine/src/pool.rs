@@ -43,7 +43,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cleanml_core::CoreError;
 
@@ -262,6 +262,10 @@ pub(crate) struct TaskEntry<A> {
     /// `(spec key, graph-local id)` per study spec that contains this
     /// task — the addressing plane remote workers lease by.
     pub(crate) spec_locals: Vec<(u64, u64)>,
+    /// When the entry last entered a deque; consumed at claim time to
+    /// feed the queue-wait histogram (telemetry only, `None` when
+    /// telemetry is disabled).
+    queued_at: Option<Instant>,
 }
 
 /// One worker's deque plus per-kind occupancy counts, maintained on every
@@ -357,6 +361,9 @@ where
     fn enqueue(&self, st: &mut State<A>, gid: Gid, home: usize) {
         debug_assert_eq!(st.tasks[gid].phase, Phase::Waiting);
         st.tasks[gid].phase = Phase::Queued;
+        if crate::telemetry::global().enabled() {
+            st.tasks[gid].queued_at = Some(Instant::now());
+        }
         let ki = kind_index(st.tasks[gid].kind);
         let home = home % st.deques.len();
         let deque = &mut st.deques[home];
@@ -444,6 +451,12 @@ where
                 let gid = st.deques[di].q.remove(pos).expect("position just found");
                 st.deques[di].counts[kind_index(st.tasks[gid].kind)] -= 1;
                 st.tasks[gid].phase = Phase::Running;
+                if let Some(queued) = st.tasks[gid].queued_at.take() {
+                    let t = crate::telemetry::global();
+                    if t.enabled() {
+                        t.queue_seconds[kind_index(st.tasks[gid].kind)].observe(queued.elapsed());
+                    }
+                }
                 let local = st.tasks[gid]
                     .spec_locals
                     .iter()
@@ -464,6 +477,10 @@ where
         st.tasks[gid].phase = Phase::Waiting;
         let home = gid % st.deques.len();
         self.enqueue(st, gid, home);
+        let t = crate::telemetry::global();
+        if t.enabled() {
+            t.leases_reinjected.inc();
+        }
         if let Some(sid) = self.attribution(st, gid) {
             if let Some(sub) = st.subs.get_mut(&sid) {
                 sub.releases += 1;
@@ -501,6 +518,8 @@ where
         let kind = st.tasks[gid].kind;
         let id = local_id.map_or(gid, |l| l as usize);
         let label = st.tasks[gid].label.clone();
+        let queued_at = st.tasks[gid].queued_at.take();
+        let sub = self.attribution(st, gid);
         // the body first: TaskStarted is only emitted for tasks that will
         // also emit TaskFinished
         let run = st.tasks[gid].run.take()?;
@@ -511,7 +530,7 @@ where
             .iter()
             .map(|&d| st.tasks[d].artifact.clone().expect("dependency finished before consumer"))
             .collect();
-        Some(Job { gid, kind, key: st.tasks[gid].key, label, run, inputs })
+        Some(Job { gid, kind, key: st.tasks[gid].key, label, run, inputs, queued_at, sub })
     }
 
     fn dec_consumer(&self, st: &mut State<A>, gid: Gid) {
@@ -559,6 +578,11 @@ where
                 let counters = if remote { &mut sub.remote_executed } else { &mut sub.executed };
                 counters[kind_index(kind)] += 1;
             }
+        }
+        let t = crate::telemetry::global();
+        if t.enabled() {
+            let site = if remote { &t.tasks_remote } else { &t.tasks_local };
+            site[kind_index(kind)].inc();
         }
         let demanding = st.tasks[gid].subs.clone();
         for sid in demanding {
@@ -616,6 +640,10 @@ where
         let kind = st.tasks[gid].kind;
         st.tasks[gid].phase = Phase::Failed;
         st.tasks[gid].run = None;
+        let t = crate::telemetry::global();
+        if t.enabled() {
+            t.tasks_failed.inc();
+        }
         let id = local_id.map_or(gid, |l| l as usize);
         self.emit_to_subs(st, gid, EngineEvent::TaskFinished { id, kind, ok: false });
         for d in st.tasks[gid].deps.clone() {
@@ -762,6 +790,10 @@ struct Job<A> {
     label: String,
     run: TaskFn<A>,
     inputs: Vec<A>,
+    /// When the entry entered the ready frontier (telemetry only).
+    queued_at: Option<Instant>,
+    /// Submission the execution is attributed to (trace-span labeling).
+    sub: Option<SubId>,
 }
 
 // ---------------------------------------------------------------------------
@@ -1024,6 +1056,7 @@ fn new_entry<A>(
         subs: Vec::new(),
         origin: sid,
         spec_locals: Vec::new(),
+        queued_at: None,
     });
     st.by_key.insert(key, gid);
     if !done {
@@ -1232,9 +1265,11 @@ where
             }
         };
         let Some(job) = job else { continue };
-        let Job { gid, kind, key, label, run, inputs } = job;
+        let Job { gid, kind, key, label, run, inputs, queued_at, sub } = job;
 
-        let started = std::time::Instant::now();
+        let t = crate::telemetry::global();
+        let started = Instant::now();
+        let queue_wait = queued_at.map(|q| started.duration_since(q));
         let outcome = catch_unwind(AssertUnwindSafe(move || run(inputs)));
         let elapsed = started.elapsed();
         let outcome = match outcome {
@@ -1256,9 +1291,40 @@ where
                 // before any dependent can observe it — and before the
                 // scheduler lock is taken, so persistence never blocks
                 // scheduling.
+                let persist_start = Instant::now();
+                let mut persisted = false;
                 if let Some(store) = &inner.persist {
                     if let Some(bytes) = artifact.encode() {
                         store.store(key, &bytes);
+                        persisted = true;
+                    }
+                }
+                let persist_dur = persist_start.elapsed();
+                if t.enabled() {
+                    let ki = kind_index(kind);
+                    t.task_seconds[ki].observe(elapsed);
+                    if let Some(wait) = queue_wait {
+                        t.queue_seconds[ki].observe(wait);
+                    }
+                    if persisted {
+                        t.persist_seconds.observe(persist_dur);
+                    }
+                    if t.tracing_on() {
+                        let mut args: Vec<(&'static str, String)> = vec![
+                            ("kind", kind.name().to_string()),
+                            ("sub", sub.map_or_else(|| "-".into(), |s| s.to_string())),
+                        ];
+                        if let Some(wait) = queue_wait {
+                            args.push(("queue_ms", format!("{:.3}", wait.as_secs_f64() * 1e3)));
+                        }
+                        if persisted {
+                            args.push((
+                                "persist_ms",
+                                format!("{:.3}", persist_dur.as_secs_f64() * 1e3),
+                            ));
+                        }
+                        let span_dur = elapsed + persist_dur;
+                        t.span(&label, kind.name(), started, span_dur, me as u64, args);
                     }
                 }
                 let mut st = inner.state.lock().expect("state lock");

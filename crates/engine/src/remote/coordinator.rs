@@ -37,10 +37,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cleanml_dataset::codec::FRAME_MAGIC;
+
 use crate::cache::{CacheKey, DiskCodec};
 use crate::event::EngineEvent;
 use crate::pool::PoolInner;
+use crate::remote::http;
 use crate::remote::proto::{self, poll_recv, Message, Polled, PROTOCOL_VERSION};
+use crate::telemetry;
 
 /// How often idle loops look for new work or new connections.
 const POLL: Duration = Duration::from_millis(20);
@@ -137,8 +141,10 @@ where
     })
 }
 
-/// Reads a connection's first message and routes it: workers to the lease
-/// loop, serving clients to the engine handler, everything else dropped.
+/// Reads a connection's first bytes and routes it: CMAF frames to the
+/// worker lease loop or the serving-client handler (by first message),
+/// an HTTP `GET ` preamble to the bounded `/metrics` responder, and
+/// everything else dropped before it can touch the pool.
 fn classify<A>(
     inner: &Arc<PoolInner<A>>,
     hub: &RemoteHub,
@@ -154,6 +160,46 @@ fn classify<A>(
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_nodelay(true);
     let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    // Transport sniff, before the CMAF codec touches the stream: every
+    // legitimate frame opens with the magic, every HTTP scrape with
+    // "GET ". Peeking (not reading) keeps a frame intact for `poll_recv`
+    // below; four bytes of anything else close the connection unanswered.
+    let mut prefix = [0u8; 4];
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(POLL));
+        match stream.peek(&mut prefix) {
+            Ok(0) => return, // orderly close before any byte arrived
+            Ok(n) if n < 4 => {
+                if Instant::now() >= deadline {
+                    return;
+                }
+                // fewer than 4 bytes buffered: peek returns immediately,
+                // so pace the retry instead of spinning
+                std::thread::sleep(POLL);
+            }
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    if prefix == *b"GET " {
+        http::serve_http(&**inner, stream);
+        return;
+    }
+    if prefix != FRAME_MAGIC {
+        // neither a frame nor a scrape: garbage, fail closed
+        telemetry::global().http_rejected.inc();
+        return;
+    }
     let first = loop {
         if inner.shutdown.load(Ordering::Acquire) {
             return;
@@ -252,6 +298,12 @@ where
         let mut st = inner.state.lock().expect("state lock");
         inner.worker_joined(&mut st, spec_key, &name);
     }
+    let t = telemetry::global();
+    if t.enabled() {
+        t.workers_joined.inc();
+        t.workers_connected.inc();
+    }
+    let trace_tid = t.next_remote_tid();
 
     let lease_timeout = hub.lease_timeout();
     let mut completed = 0usize;
@@ -274,7 +326,12 @@ where
         // or a closed socket retires the worker.
         match poll_recv(&stream, Duration::from_millis(1)) {
             Polled::Pending => {}
-            Polled::Msg(Message::Heartbeat) => continue,
+            Polled::Msg(Message::Heartbeat) => {
+                if t.enabled() {
+                    t.heartbeats.inc();
+                }
+                continue;
+            }
             Polled::Msg(_) | Polled::Closed => break,
         }
         let claimed = {
@@ -309,6 +366,11 @@ where
             orphan(inner, gid, local_id, &name);
             break;
         }
+        let lease_start = Instant::now();
+        if t.enabled() {
+            t.leases_issued.inc();
+            t.leases_active.inc();
+        }
 
         // The lease conversation: serve fetches, extend on traffic, and
         // either complete the task or declare the worker dead.
@@ -328,18 +390,34 @@ where
                 Polled::Closed => break LeaseOutcome::Dead,
                 Polled::Msg(msg) => {
                     deadline = Instant::now() + lease_timeout;
+                    if t.enabled() {
+                        t.leases_renewed.inc();
+                    }
                     match msg {
                         Message::Fetch { key } => {
-                            if proto::send(&mut &stream, &serve_fetch(&**inner, key)).is_err() {
+                            let resp = serve_fetch(&**inner, key);
+                            if t.enabled() {
+                                if let Message::Artifact { payload, .. } = &resp {
+                                    t.fetch_bytes_out.add(payload.len() as u64);
+                                }
+                            }
+                            if proto::send(&mut &stream, &resp).is_err() {
                                 break LeaseOutcome::Dead;
                             }
                         }
-                        Message::Heartbeat => {}
+                        Message::Heartbeat => {
+                            if t.enabled() {
+                                t.heartbeats.inc();
+                            }
+                        }
                         Message::Done { id: done_id, payload } if done_id == local_id => {
                             // The payload must decode to a whole artifact
                             // before anything reaches the store or a slot:
                             // a truncated or corrupt shipment poisons the
                             // connection, not the run.
+                            if t.enabled() {
+                                t.fetch_bytes_in.add(payload.len() as u64);
+                            }
                             match A::decode(&payload) {
                                 Some(artifact) => {
                                     // durability before progress, and
@@ -379,14 +457,34 @@ where
                 }
             }
         };
+        if t.enabled() {
+            t.leases_active.dec();
+        }
         match outcome {
-            LeaseOutcome::Completed => continue,
+            LeaseOutcome::Completed => {
+                if t.enabled() {
+                    let dur = lease_start.elapsed();
+                    t.lease_seconds.observe(dur);
+                    if t.tracing_on() {
+                        let args = vec![
+                            ("kind", kind.name().to_string()),
+                            ("site", "remote".to_string()),
+                            ("worker", name.clone()),
+                        ];
+                        t.span(&label, kind.name(), lease_start, dur, trace_tid, args);
+                    }
+                }
+                continue;
+            }
             LeaseOutcome::Aborted => break,
             LeaseOutcome::Dead => {
                 orphan(inner, gid, local_id, &name);
                 break;
             }
         }
+    }
+    if t.enabled() {
+        t.workers_connected.dec();
     }
     let st = inner.state.lock().expect("state lock");
     inner.emit_to_spec(&st, spec_key, EngineEvent::WorkerLeft { worker: name, completed });
@@ -397,6 +495,10 @@ fn orphan<A>(inner: &Arc<PoolInner<A>>, gid: usize, local_id: u64, worker: &str)
 where
     A: Clone + Send + Sync + DiskCodec + 'static,
 {
+    let t = telemetry::global();
+    if t.enabled() {
+        t.leases_expired.inc();
+    }
     let mut st = inner.state.lock().expect("state lock");
     inner.lease_expired(&st, gid, worker, local_id);
     inner.reinject(&mut st, gid);

@@ -1,0 +1,137 @@
+//! A minimal, bounded HTTP/1.1 responder for `GET /metrics`.
+//!
+//! The hub listener classifies connections by their first bytes: CMAF
+//! frames go to the worker/serving planes, and an HTTP `GET ` preamble
+//! lands here. The responder follows the same fail-closed discipline as
+//! the CMAF codec: the request head is capped at [`MAX_REQUEST_BYTES`],
+//! read under a timeout, and anything malformed — oversized head,
+//! missing terminator, non-GET method, junk request line — closes the
+//! connection without a response and without ever touching the pool.
+//! Only `/metrics` is served; every other path is a 404. This is
+//! deliberately not a web server: one request per connection,
+//! `Connection: close`, no keep-alive, no body parsing.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::pool::PoolInner;
+use crate::telemetry;
+
+/// Hard cap on one request head (request line + headers). A scrape's
+/// head is well under 1 KiB; anything bigger is not a scraper.
+pub(crate) const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Budget for the whole request head to arrive.
+const HTTP_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Serves one already-classified HTTP connection end to end.
+pub(crate) fn serve_http<A>(inner: &PoolInner<A>, mut stream: TcpStream) {
+    let t = telemetry::global();
+    t.http_requests.inc();
+    let Some(path) = read_request_path(&mut stream) else {
+        t.http_rejected.inc();
+        return; // fail closed: no response for malformed requests
+    };
+    if path != "/metrics" {
+        respond(&mut stream, "404 Not Found", "text/plain; charset=utf-8", "not found\n");
+        return;
+    }
+    // Store occupancy is an instantaneous property of the disk index,
+    // not an event stream — refresh the gauges at scrape time.
+    if let Some(store) = &inner.persist {
+        t.store_bytes.set(store.total_bytes() as i64);
+        t.store_entries.set(store.len() as i64);
+    }
+    let body = t.render();
+    respond(&mut stream, "200 OK", "text/plain; version=0.0.4; charset=utf-8", &body);
+}
+
+/// Reads the request head (bounded, under a timeout) and parses the
+/// request line. `None` on any violation.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let _ = stream.set_read_timeout(Some(HTTP_TIMEOUT));
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let head_end = loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None, // closed or timed out mid-head
+            Ok(n) => n,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return None; // oversized head: not a scraper
+        }
+    };
+    parse_request_line(&buf[..head_end])
+}
+
+/// Index of the end of the request head: the first `\r\n\r\n` (or bare
+/// `\n\n` from hand-typed clients).
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n"))
+}
+
+/// Parses `GET <path> HTTP/1.x` out of the head's first line. `None` on
+/// anything else — wrong method, wrong token count, non-HTTP version,
+/// non-ASCII bytes.
+pub(crate) fn parse_request_line(head: &[u8]) -> Option<String> {
+    let head = std::str::from_utf8(head).ok()?;
+    let line = head.split(['\r', '\n']).next()?;
+    if !line.is_ascii() {
+        return None;
+    }
+    let mut tokens = line.split(' ').filter(|s| !s.is_empty());
+    let (method, path, version) = (tokens.next()?, tokens.next()?, tokens.next()?);
+    if tokens.next().is_some() || method != "GET" || !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    if !path.starts_with('/') {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_finds_crlf_and_bare_lf() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"), Some(23));
+        assert_eq!(find_head_end(b"GET / HTTP/1.0\n\n"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost: x\r\n"), None);
+    }
+
+    #[test]
+    fn request_line_parses_only_well_formed_gets() {
+        assert_eq!(
+            parse_request_line(b"GET /metrics HTTP/1.1\r\nHost: x"),
+            Some("/metrics".to_string())
+        );
+        assert_eq!(parse_request_line(b"GET / HTTP/1.0"), Some("/".to_string()));
+        assert_eq!(parse_request_line(b"POST /metrics HTTP/1.1"), None);
+        assert_eq!(parse_request_line(b"GET /metrics"), None);
+        assert_eq!(parse_request_line(b"GET /metrics HTTP/2"), None);
+        assert_eq!(parse_request_line(b"GET /metrics HTTP/1.1 extra"), None);
+        assert_eq!(parse_request_line(b"GET metrics HTTP/1.1"), None);
+        assert_eq!(parse_request_line(b"\xff\xfe\xfd"), None);
+        assert_eq!(parse_request_line(b""), None);
+    }
+}

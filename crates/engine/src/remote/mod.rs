@@ -12,9 +12,12 @@
 //!   serving conversation (`Submit`/`Status`/`ResultCsv`/`Cancel`) are
 //!   both CMAF frames over the same primitives;
 //! * [`coordinator`] — the [`RemoteHub`] listener plus the resident hub
-//!   service that classifies each connection by its first message: remote
-//!   workers claim tasks from the engine's merged ready frontier, serving
-//!   clients create submissions on the resident core;
+//!   service that classifies each connection by its first bytes: CMAF
+//!   frames open the worker plane (remote workers claim tasks from the
+//!   engine's merged ready frontier) or the serving plane (clients create
+//!   submissions on the resident core), while an HTTP `GET ` preamble is
+//!   routed to [`http`]'s bounded `/metrics` responder — telemetry rides
+//!   the same listener;
 //! * [`worker`] — the stateless worker session: rebuild the identical
 //!   graph from the wire spec, fetch inputs by content address, compute,
 //!   ship the artifact back.
@@ -28,6 +31,7 @@
 //! whoever claims it next.
 
 pub mod coordinator;
+pub(crate) mod http;
 pub mod proto;
 pub mod worker;
 

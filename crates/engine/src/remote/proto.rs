@@ -60,7 +60,9 @@ use crate::event::TaskKind;
 
 /// Remote-protocol version, negotiated in `Hello`. Independent of the
 /// artifact [`FORMAT_VERSION`]: the frame wrapper already pins that.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version history: 1 — initial worker + serving planes; 2 — `Status`
+/// and [`ServeReport`] grew a trailing `dropped_events` count.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a single message payload. The largest legitimate payload
 /// is one artifact (a split's tables for the biggest dataset — a few MiB);
@@ -242,6 +244,10 @@ pub struct ServeReport {
     pub cache_hits: u64,
     pub pruned: u64,
     pub total: u64,
+    /// Progress events the engine failed to deliver to any sink during
+    /// the server's lifetime (cumulative): a nonzero value tells the
+    /// client its progress view may have been lossy.
+    pub dropped_events: u64,
 }
 
 fn push_kind_counts(out: &mut Vec<u8>, counts: &[(TaskKind, u64)]) {
@@ -278,7 +284,14 @@ impl ServeReport {
         }
         push_kind_counts(&mut out, &self.executed);
         push_kind_counts(&mut out, &self.remote_executed);
-        for v in [self.remote_workers, self.releases, self.cache_hits, self.pruned, self.total] {
+        for v in [
+            self.remote_workers,
+            self.releases,
+            self.cache_hits,
+            self.pruned,
+            self.total,
+            self.dropped_events,
+        ] {
             push_u64(&mut out, v);
         }
         out
@@ -304,6 +317,7 @@ impl ServeReport {
             cache_hits: take_u64(&mut r)?,
             pruned: take_u64(&mut r)?,
             total: take_u64(&mut r)?,
+            dropped_events: take_u64(&mut r)?,
         };
         r.is_empty().then_some(report)
     }
@@ -366,8 +380,10 @@ pub enum Message {
     /// (encoded).
     Submit { request: Vec<u8> },
     /// Coordinator streams submission progress to a serving client (also
-    /// acts as a keep-alive while long tasks run).
-    Status { done: u64, to_run: u64, cache_hits: u64, pruned: u64 },
+    /// acts as a keep-alive while long tasks run). `dropped_events` is
+    /// the engine's cumulative count of undeliverable progress events —
+    /// nonzero means some progress was lost, not that nothing happened.
+    Status { done: u64, to_run: u64, cache_hits: u64, pruned: u64, dropped_events: u64 },
     /// Final answer to a `Submit`: the rendered R1/R2/R3 CSV text plus an
     /// encoded [`ServeReport`].
     ResultCsv { csv: Vec<u8>, report: Vec<u8> },
@@ -450,12 +466,13 @@ impl Message {
                 push_tag(&mut out, tag::SUBMIT);
                 push_bytes(&mut out, request);
             }
-            Message::Status { done, to_run, cache_hits, pruned } => {
+            Message::Status { done, to_run, cache_hits, pruned, dropped_events } => {
                 push_tag(&mut out, tag::STATUS);
                 push_u64(&mut out, *done);
                 push_u64(&mut out, *to_run);
                 push_u64(&mut out, *cache_hits);
                 push_u64(&mut out, *pruned);
+                push_u64(&mut out, *dropped_events);
             }
             Message::ResultCsv { csv, report } => {
                 push_tag(&mut out, tag::RESULT_CSV);
@@ -504,6 +521,7 @@ impl Message {
                 to_run: take_u64(&mut r)?,
                 cache_hits: take_u64(&mut r)?,
                 pruned: take_u64(&mut r)?,
+                dropped_events: take_u64(&mut r)?,
             },
             tag::RESULT_CSV => {
                 Message::ResultCsv { csv: take_payload(&mut r)?, report: take_payload(&mut r)? }
@@ -625,7 +643,7 @@ mod tests {
                 })
                 .encode(),
             },
-            Message::Status { done: 12, to_run: 99, cache_hits: 3, pruned: 4 },
+            Message::Status { done: 12, to_run: 99, cache_hits: 3, pruned: 4, dropped_events: 5 },
             Message::ResultCsv {
                 csv: b"dataset,error_type\nEEG,Outliers\n".to_vec(),
                 report: ServeReport { cache_hits: 7, ..Default::default() }.encode(),
@@ -758,6 +776,7 @@ mod tests {
             cache_hits: 9,
             pruned: 10,
             total: 11,
+            dropped_events: 12,
         };
         let bytes = report.encode();
         assert_eq!(ServeReport::decode(&bytes).as_ref(), Some(&report));

@@ -21,6 +21,23 @@ use std::time::Duration;
 use crate::event::TaskKind;
 use crate::remote::proto::{self, poll_recv, Message, Polled, Request, ServeReport};
 use crate::study::{CellQuery, EngineInner, StudySubmission};
+use crate::telemetry;
+
+/// Decrements the active-submissions gauge on every exit path.
+struct ActiveGuard;
+
+impl ActiveGuard {
+    fn new() -> ActiveGuard {
+        telemetry::global().submissions_active.inc();
+        ActiveGuard
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        telemetry::global().submissions_active.dec();
+    }
+}
 
 /// How often the server pushes a `Status` frame (and checks for a client
 /// `Cancel`).
@@ -50,11 +67,15 @@ pub(crate) fn handle_client(engine: &Weak<EngineInner>, stream: TcpStream, first
         return;
     };
 
+    let t = telemetry::global();
+    let _active = ActiveGuard::new();
     let submission: StudySubmission = match request {
         Request::Study(spec) => {
+            t.submissions_study.inc();
             EngineInner::submit_study(&inner, &spec.error_types, &spec.cfg, None)
         }
         Request::Cell { spec, dataset, detection, repair, model } => {
+            t.submissions_cell.inc();
             let [error_type] = spec.error_types[..] else {
                 send_error(&stream, "a cell request names exactly one error type".into());
                 return;
@@ -70,6 +91,12 @@ pub(crate) fn handle_client(engine: &Weak<EngineInner>, stream: TcpStream, first
         }
     };
 
+    // A submission with nothing to run was answered entirely from the
+    // warm memo/store: count it before the progress loop reports it.
+    if submission.progress().1 == 0 {
+        t.warm_answers.inc();
+    }
+
     // Progress loop: one Status per interval (and always at least one,
     // so even a memo-answered submission reports its hit counts),
     // watching for Cancel or a vanished client. Cancellation releases
@@ -82,6 +109,7 @@ pub(crate) fn handle_client(engine: &Weak<EngineInner>, stream: TcpStream, first
             to_run: to_run as u64,
             cache_hits: submission.cache_hits() as u64,
             pruned: submission.pruned() as u64,
+            dropped_events: t.events_dropped(),
         };
         if proto::send(&mut &stream, &status).is_err() {
             submission.cancel();
@@ -94,6 +122,7 @@ pub(crate) fn handle_client(engine: &Weak<EngineInner>, stream: TcpStream, first
         match poll_recv(&stream, STATUS_INTERVAL) {
             Polled::Pending | Polled::Msg(Message::Heartbeat) => {}
             Polled::Msg(Message::Cancel) => {
+                t.cancellations.inc();
                 submission.cancel();
                 let _ = submission.wait(); // release holds before replying
                 send_error(&stream, "submission cancelled".into());
@@ -132,6 +161,7 @@ pub(crate) fn handle_client(engine: &Weak<EngineInner>, stream: TcpStream, first
                 cache_hits: cache_hits as u64,
                 pruned: pruned as u64,
                 total: total as u64,
+                dropped_events: t.events_dropped(),
             };
             let result =
                 Message::ResultCsv { csv: csv.into_bytes(), report: serve_report.encode() };

@@ -403,6 +403,18 @@ impl Engine {
         stats
     }
 
+    /// The pool's observed per-kind task costs: `(kind, samples,
+    /// ewma_micros)` for every kind with at least one completed local
+    /// execution. This is the EWMA that drives frontier ordering
+    /// ([`crate::pool::CostModel::effective_weight`]); dumping it makes
+    /// the scheduler's cost beliefs auditable (`BENCH_quick.json`).
+    pub fn cost_observations(&self) -> Vec<(TaskKind, u64, u64)> {
+        TaskKind::ALL
+            .iter()
+            .filter_map(|&k| self.inner.pool.costs().observed(k).map(|(n, us)| (k, n, us)))
+            .collect()
+    }
+
     /// Runs the full study for `error_types` through the scheduler and
     /// returns the populated, BY-corrected database — the parallel
     /// equivalent of [`cleanml_core::run_study`].

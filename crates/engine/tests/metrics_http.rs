@@ -1,0 +1,150 @@
+//! The `/metrics` plane on the shared listener:
+//!
+//! * a plain HTTP `GET /metrics` against a live engine's hub returns
+//!   Prometheus text — `# TYPE` lines, per-kind task-latency histograms
+//!   with cumulative buckets, cache hit/miss counters;
+//! * hostile first contact fails closed: garbage magic, non-GET methods,
+//!   unknown paths and oversized request heads are all dropped without a
+//!   panic and without touching the task pool;
+//! * after every such rejection the same engine still computes a study
+//!   with byte-identical results.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cleanml_core::schema::ErrorType;
+use cleanml_core::{run_study, ExperimentConfig};
+use cleanml_engine::{Engine, EngineConfig};
+
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig { n_splits: 2, parallel: false, ..ExperimentConfig::quick() }
+}
+
+fn hub_engine(workers: usize) -> Engine {
+    Engine::new(EngineConfig { workers, listen: Some("127.0.0.1:0".into()), ..Default::default() })
+}
+
+/// Writes raw bytes to the hub and reads until the server closes. The
+/// responder always closes after one exchange, so EOF terminates every
+/// conversation — including the silent rejections.
+fn raw_exchange(addr: SocketAddr, request: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect to hub");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    // The server may close mid-write on oversized requests; that is the
+    // behaviour under test, not a failure.
+    let _ = stream.write_all(request);
+    let _ = stream.flush();
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    out
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let req = format!("GET {path} HTTP/1.1\r\nHost: cleanml\r\nConnection: close\r\n\r\n");
+    String::from_utf8_lossy(&raw_exchange(addr, req.as_bytes())).into_owned()
+}
+
+#[test]
+fn metrics_scrape_returns_prometheus_text_with_task_histograms() {
+    let cfg = tiny_cfg();
+    let ets = [ErrorType::Inconsistencies];
+    let mut engine = hub_engine(2);
+    let addr = engine.remote_addr().expect("hub bound");
+
+    // Execute real work first so the scrape shows a live registry, not
+    // an all-zero one.
+    engine.run_study_with_report(&ets, &cfg).expect("study run");
+
+    let response = http_get(addr, "/metrics");
+    let (head, body) = response.split_once("\r\n\r\n").expect("HTTP head/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "status line: {head}");
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "exposition content type: {head}"
+    );
+
+    // Counter families with # TYPE lines and executed work.
+    assert!(body.contains("# TYPE cleanml_tasks_executed_total counter"), "{body}");
+    assert!(
+        body.contains(r#"cleanml_tasks_executed_total{kind="train",site="local"}"#),
+        "per-kind executed counter missing:\n{body}"
+    );
+    assert!(body.contains("# TYPE cleanml_cache_hits_total counter"), "{body}");
+    assert!(body.contains(r#"cleanml_cache_hits_total{layer="memory"}"#), "{body}");
+    assert!(body.contains("cleanml_cache_misses_total"), "{body}");
+    assert!(body.contains("# TYPE cleanml_leases_active gauge"), "{body}");
+    assert!(body.contains("# TYPE cleanml_submissions_total counter"), "{body}");
+
+    // Per-kind latency histogram: buckets end at +Inf and the +Inf count
+    // equals the _count sample (cumulativeness is proven bucket-by-bucket
+    // in the unit tests; here we prove the wire rendering agrees).
+    assert!(body.contains("# TYPE cleanml_task_seconds histogram"), "{body}");
+    let inf = body
+        .lines()
+        .find(|l| l.starts_with(r#"cleanml_task_seconds_bucket{kind="train",le="+Inf"}"#))
+        .expect("train +Inf bucket");
+    let count = body
+        .lines()
+        .find(|l| l.starts_with(r#"cleanml_task_seconds_count{kind="train"}"#))
+        .expect("train count sample");
+    let value = |l: &str| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap();
+    assert_eq!(value(inf), value(count), "+Inf bucket vs count");
+    assert!(value(count) > 0, "the study trained; the histogram must have observations");
+
+    // The scrape itself is counted.
+    let again = http_get(addr, "/metrics");
+    assert!(again.contains("cleanml_http_requests_total"), "{again}");
+}
+
+#[test]
+fn hostile_first_contact_fails_closed_and_the_pool_still_serves() {
+    let cfg = tiny_cfg();
+    let ets = [ErrorType::Inconsistencies];
+    let serial = run_study(&ets, &cfg).expect("serial study");
+
+    let mut engine = hub_engine(2);
+    let addr = engine.remote_addr().expect("hub bound");
+
+    // Garbage magic: neither CMAF nor "GET " — dropped without a reply.
+    let reply = raw_exchange(addr, b"XYZW garbage that is neither frame nor http\r\n");
+    assert!(reply.is_empty(), "garbage magic must be dropped silently: {reply:?}");
+
+    // Non-GET method: the head parses as HTTP but is refused.
+    let reply = raw_exchange(addr, b"POST /metrics HTTP/1.1\r\n\r\n");
+    assert!(
+        reply.is_empty(),
+        "POST must be dropped silently: {:?}",
+        String::from_utf8_lossy(&reply)
+    );
+
+    // Malformed request line (three tokens required).
+    let reply = raw_exchange(addr, b"GET /metrics\r\n\r\n");
+    assert!(reply.is_empty(), "malformed request line must be dropped");
+
+    // Oversized head: far past the responder's byte cap, never
+    // terminated — the server must cut the connection, not buffer it.
+    let mut oversized = Vec::from(&b"GET /"[..]);
+    oversized.extend(std::iter::repeat_n(b'a', 64 * 1024));
+    let reply = raw_exchange(addr, &oversized);
+    assert!(reply.is_empty(), "oversized head must be dropped");
+
+    // Unknown path: a well-formed GET earns an explicit 404.
+    let reply = http_get(addr, "/health");
+    assert!(reply.starts_with("HTTP/1.1 404"), "unknown path: {reply}");
+
+    // None of the above touched the pool: the engine still computes the
+    // study, byte-identical to the serial path.
+    let (db, report) = engine.run_study_with_report(&ets, &cfg).expect("study after abuse");
+    assert_eq!(
+        format!("{}{}{}", db.r1_csv(), db.r2_csv(), db.r3_csv()),
+        format!("{}{}{}", serial.r1_csv(), serial.r2_csv(), serial.r3_csv()),
+        "hostile connections disturbed the study results"
+    );
+    assert!(report.executed_total() > 0, "cold study must execute tasks");
+
+    // And the metrics plane survived too, now counting its rejections.
+    let scrape = http_get(addr, "/metrics");
+    assert!(scrape.starts_with("HTTP/1.1 200"), "{scrape}");
+    assert!(scrape.contains("cleanml_http_rejected_total"), "{scrape}");
+}
