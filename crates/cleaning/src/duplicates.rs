@@ -24,7 +24,7 @@ use crate::report::TableReport;
 use crate::similarity::{
     levenshtein_similarity, numeric_similarity, token_jaccard, trigram_jaccard,
 };
-use crate::zeroer::PairGmm;
+use crate::zeroer::{PairGmm, SimMatrix};
 use crate::Result;
 
 /// Which duplicate detector to use.
@@ -97,18 +97,27 @@ fn record_text(table: &Table, row: usize, cols: &[usize]) -> String {
     s
 }
 
-/// Similarity vector of a record pair.
-fn pair_features(
+/// Similarity-vector width for a table: three text similarities plus one
+/// pooled numeric similarity when numeric features exist.
+fn feature_dim(num_cols: &[usize]) -> usize {
+    3 + usize::from(!num_cols.is_empty())
+}
+
+/// Writes the similarity vector of a record pair into `out` (width
+/// [`feature_dim`]); the caller reuses the scratch across pairs.
+fn pair_features_into(
     table: &Table,
     a: usize,
     b: usize,
     text_cols: &[usize],
     num_cols: &[usize],
-) -> Vec<f64> {
+    out: &mut [f64],
+) {
     let ta = record_text(table, a, text_cols);
     let tb = record_text(table, b, text_cols);
-    let mut v =
-        vec![levenshtein_similarity(&ta, &tb), token_jaccard(&ta, &tb), trigram_jaccard(&ta, &tb)];
+    out[0] = levenshtein_similarity(&ta, &tb);
+    out[1] = token_jaccard(&ta, &tb);
+    out[2] = trigram_jaccard(&ta, &tb);
     if !num_cols.is_empty() {
         let mut sum = 0.0;
         let mut n = 0usize;
@@ -119,9 +128,8 @@ fn pair_features(
                 n += 1;
             }
         }
-        v.push(if n > 0 { sum / n as f64 } else { 0.5 });
+        out[3] = if n > 0 { sum / n as f64 } else { 0.5 };
     }
-    v
 }
 
 /// Candidate pairs: all pairs for small tables, token-blocked pairs above
@@ -171,10 +179,13 @@ pub fn fit(detection: DuplicateDetection, train: &Table) -> Result<FittedDuplica
             let text_cols = text_columns(train);
             let num_cols = numeric_columns(train);
             let pairs = candidate_pairs(train, &text_cols);
-            let points: Vec<Vec<f64>> = pairs
-                .iter()
-                .map(|&(a, b)| pair_features(train, a, b, &text_cols, &num_cols))
-                .collect();
+            let dim = feature_dim(&num_cols);
+            let mut points = SimMatrix::zeroed(pairs.len(), dim);
+            let mut feat = vec![0.0; dim];
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                pair_features_into(train, a, b, &text_cols, &num_cols, &mut feat);
+                points.set_row(i, &feat);
+            }
             PairGmm::fit(&points)
         }
     };
@@ -253,11 +264,12 @@ impl FittedDuplicates {
                 let text_cols = text_columns(table);
                 let num_cols = numeric_columns(table);
                 let pairs = candidate_pairs(table, &text_cols);
+                let mut feat = vec![0.0; feature_dim(&num_cols)];
                 Ok(pairs
                     .into_iter()
                     .filter(|&(a, b)| {
-                        let f = pair_features(table, a, b, &text_cols, &num_cols);
-                        gmm.posterior_match(&f) > MATCH_THRESHOLD
+                        pair_features_into(table, a, b, &text_cols, &num_cols, &mut feat);
+                        gmm.posterior_match(&feat) > MATCH_THRESHOLD
                     })
                     .collect())
             }

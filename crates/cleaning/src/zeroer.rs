@@ -10,6 +10,62 @@
 //! blocking refinements and transitivity post-processing are omitted — see
 //! `DESIGN.md` §4.
 
+/// A flat column-major matrix of pair-similarity vectors: dimension `d` of
+/// all `n` pairs occupies the contiguous slice `data[d*n..(d+1)*n]`, mirroring
+/// the columnar arena used by `FeatureMatrix`. The fixed width makes ragged
+/// input unrepresentable and gives the EM M-step contiguous per-dimension
+/// sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMatrix {
+    data: Vec<f64>,
+    n: usize,
+    dim: usize,
+}
+
+impl SimMatrix {
+    /// An `n × dim` matrix of zeros.
+    pub fn zeroed(n: usize, dim: usize) -> SimMatrix {
+        SimMatrix { data: vec![0.0; n * dim], n, dim }
+    }
+
+    /// Number of pairs (rows).
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Similarity-vector width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Value of dimension `d` for pair `i`.
+    #[inline(always)]
+    pub fn at(&self, i: usize, d: usize) -> f64 {
+        self.data[d * self.n + i]
+    }
+
+    /// Contiguous column view of dimension `d` across all pairs.
+    pub fn col(&self, d: usize) -> &[f64] {
+        &self.data[d * self.n..(d + 1) * self.n]
+    }
+
+    /// Scatters one pair's similarity vector into the arena.
+    pub fn set_row(&mut self, i: usize, row: &[f64]) {
+        assert_eq!(row.len(), self.dim, "similarity vector width mismatch");
+        for (d, &v) in row.iter().enumerate() {
+            self.data[d * self.n + i] = v;
+        }
+    }
+
+    /// Gathers pair `i`'s similarity vector into `out`.
+    pub fn read_row(&self, i: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "similarity vector width mismatch");
+        for (d, o) in out.iter_mut().enumerate() {
+            *o = self.data[d * self.n + i];
+        }
+    }
+}
+
 /// A fitted 2-component diagonal Gaussian mixture.
 ///
 /// Component 0 is *unmatch*, component 1 is *match* (higher mean similarity).
@@ -56,36 +112,37 @@ impl PairGmm {
     /// pairs, so a large seed set would let EM converge to a
     /// "somewhat similar" cluster instead of the match cluster. Returns
     /// `None` when there are fewer than 2 points or zero dimensions.
-    pub fn fit(points: &[Vec<f64>]) -> Option<PairGmm> {
-        if points.len() < 2 {
+    pub fn fit(points: &SimMatrix) -> Option<PairGmm> {
+        let n = points.n_rows();
+        if n < 2 {
             return None;
         }
-        let dim = points[0].len();
-        if dim == 0 || points.iter().any(|p| p.len() != dim) {
+        let dim = points.dim();
+        if dim == 0 {
             return None;
         }
 
-        let mean_sim = |i: usize| points[i].iter().sum::<f64>() / dim as f64;
-        let mut seeds: Vec<usize> = (0..points.len()).filter(|&i| mean_sim(i) >= 0.8).collect();
+        let mean_sim = |i: usize| (0..dim).map(|d| points.at(i, d)).sum::<f64>() / dim as f64;
+        let mut seeds: Vec<usize> = (0..n).filter(|&i| mean_sim(i) >= 0.8).collect();
         if seeds.len() < 3 {
-            let mut ranked: Vec<usize> = (0..points.len()).collect();
+            let mut ranked: Vec<usize> = (0..n).collect();
             ranked.sort_by(|&a, &b| {
                 mean_sim(b).partial_cmp(&mean_sim(a)).expect("finite sims").then(a.cmp(&b))
             });
-            let n_top = (points.len() / 1000).max(3).min(points.len() - 1);
+            let n_top = (n / 1000).max(3).min(n - 1);
             seeds = ranked[..n_top].to_vec();
         }
         let n_match_init = seeds.len();
 
-        let mut resp: Vec<f64> = vec![0.0; points.len()]; // P(match | point)
+        let mut resp: Vec<f64> = vec![0.0; n]; // P(match | point)
         for &i in &seeds {
             resp[i] = 1.0;
         }
 
         let mut seed_means = vec![0.0; dim];
         for &i in &seeds {
-            for d in 0..dim {
-                seed_means[d] += points[i][d];
+            for (d, m) in seed_means.iter_mut().enumerate() {
+                *m += points.at(i, d);
             }
         }
         for m in &mut seed_means {
@@ -96,31 +153,29 @@ impl PairGmm {
             means: [vec![0.0; dim], vec![0.0; dim]],
             vars: [vec![VAR_FLOOR; dim], vec![VAR_FLOOR; dim]],
             seed_means,
-            match_prior: (n_match_init as f64 / points.len() as f64).min(MAX_MATCH_PRIOR),
+            match_prior: (n_match_init as f64 / n as f64).min(MAX_MATCH_PRIOR),
             dim,
         };
 
+        let mut row = vec![0.0; dim];
         for _ in 0..EM_ITERS {
-            // M step.
+            // M step, swept over contiguous per-dimension columns; every
+            // accumulator still receives its pairs in ascending order.
             let w1: f64 = resp.iter().sum();
-            let w0 = points.len() as f64 - w1;
+            let w0 = n as f64 - w1;
             if w1 < 1e-9 || w0 < 1e-9 {
                 break; // collapsed; keep previous parameters
             }
             for d in 0..dim {
-                let m1: f64 = points.iter().zip(&resp).map(|(p, r)| r * p[d]).sum::<f64>() / w1;
-                let m0: f64 =
-                    points.iter().zip(&resp).map(|(p, r)| (1.0 - r) * p[d]).sum::<f64>() / w0;
-                let v1: f64 = points
+                let col = points.col(d);
+                let m1: f64 = col.iter().zip(&resp).map(|(p, r)| r * p).sum::<f64>() / w1;
+                let m0: f64 = col.iter().zip(&resp).map(|(p, r)| (1.0 - r) * p).sum::<f64>() / w0;
+                let v1: f64 =
+                    col.iter().zip(&resp).map(|(p, r)| r * (p - m1) * (p - m1)).sum::<f64>() / w1;
+                let v0: f64 = col
                     .iter()
                     .zip(&resp)
-                    .map(|(p, r)| r * (p[d] - m1) * (p[d] - m1))
-                    .sum::<f64>()
-                    / w1;
-                let v0: f64 = points
-                    .iter()
-                    .zip(&resp)
-                    .map(|(p, r)| (1.0 - r) * (p[d] - m0) * (p[d] - m0))
+                    .map(|(p, r)| (1.0 - r) * (p - m0) * (p - m0))
                     .sum::<f64>()
                     / w0;
                 gmm.means[0][d] = m0;
@@ -133,11 +188,12 @@ impl PairGmm {
                 // Matches are near-identical: cap their spread.
                 gmm.vars[1][d] = v1.clamp(VAR_FLOOR, MAX_MATCH_VAR);
             }
-            gmm.match_prior = (w1 / points.len() as f64).clamp(1e-6, MAX_MATCH_PRIOR);
+            gmm.match_prior = (w1 / n as f64).clamp(1e-6, MAX_MATCH_PRIOR);
 
             // E step.
-            for (i, p) in points.iter().enumerate() {
-                resp[i] = gmm.posterior_match(p);
+            for (i, r) in resp.iter_mut().enumerate() {
+                points.read_row(i, &mut row);
+                *r = gmm.posterior_match(&row);
             }
         }
 
@@ -185,17 +241,23 @@ mod tests {
     use super::*;
 
     /// 90 low-similarity pairs + 10 high-similarity pairs.
-    fn bimodal_points() -> Vec<Vec<f64>> {
-        let mut pts = Vec::new();
+    fn bimodal_points() -> SimMatrix {
+        let mut pts = SimMatrix::zeroed(100, 3);
         for i in 0..90 {
             let jitter = (i as f64 * 0.37).sin() * 0.05;
-            pts.push(vec![0.2 + jitter, 0.15 - jitter, 0.25 + jitter * 0.5]);
+            pts.set_row(i, &[0.2 + jitter, 0.15 - jitter, 0.25 + jitter * 0.5]);
         }
         for i in 0..10 {
             let jitter = (i as f64 * 0.71).cos() * 0.03;
-            pts.push(vec![0.92 + jitter, 0.88 - jitter, 0.95 + jitter * 0.5]);
+            pts.set_row(90 + i, &[0.92 + jitter, 0.88 - jitter, 0.95 + jitter * 0.5]);
         }
         pts
+    }
+
+    fn row_of(pts: &SimMatrix, i: usize) -> Vec<f64> {
+        let mut out = vec![0.0; pts.dim()];
+        pts.read_row(i, &mut out);
+        out
     }
 
     #[test]
@@ -206,11 +268,13 @@ mod tests {
         let m1: f64 = gmm.match_mean().iter().sum::<f64>() / 3.0;
         assert!(m1 > 0.7, "match mean {m1}");
         // posteriors classify correctly
-        for p in &pts[..90] {
-            assert!(gmm.posterior_match(p) < 0.5, "false positive on {p:?}");
+        for i in 0..90 {
+            let p = row_of(&pts, i);
+            assert!(gmm.posterior_match(&p) < 0.5, "false positive on {p:?}");
         }
-        for p in &pts[90..] {
-            assert!(gmm.posterior_match(p) > 0.5, "false negative on {p:?}");
+        for i in 90..100 {
+            let p = row_of(&pts, i);
+            assert!(gmm.posterior_match(&p) > 0.5, "false negative on {p:?}");
         }
     }
 
@@ -219,22 +283,30 @@ mod tests {
         let pts = bimodal_points();
         let a = PairGmm::fit(&pts).unwrap();
         let b = PairGmm::fit(&pts).unwrap();
-        assert_eq!(a.posterior_match(&pts[0]), b.posterior_match(&pts[0]));
-        assert_eq!(a.posterior_match(&pts[95]), b.posterior_match(&pts[95]));
+        assert_eq!(a.posterior_match(&row_of(&pts, 0)), b.posterior_match(&row_of(&pts, 0)));
+        assert_eq!(a.posterior_match(&row_of(&pts, 95)), b.posterior_match(&row_of(&pts, 95)));
     }
 
     #[test]
     fn degenerate_inputs_rejected() {
-        assert!(PairGmm::fit(&[]).is_none());
-        assert!(PairGmm::fit(&[vec![0.5]]).is_none());
-        assert!(PairGmm::fit(&[vec![], vec![]]).is_none());
-        // ragged input
-        assert!(PairGmm::fit(&[vec![0.5], vec![0.5, 0.6]]).is_none());
+        assert!(PairGmm::fit(&SimMatrix::zeroed(0, 3)).is_none());
+        assert!(PairGmm::fit(&SimMatrix::zeroed(1, 3)).is_none());
+        assert!(PairGmm::fit(&SimMatrix::zeroed(2, 0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_rows_unrepresentable() {
+        let mut pts = SimMatrix::zeroed(2, 2);
+        pts.set_row(0, &[0.5]); // wrong width panics instead of corrupting
     }
 
     #[test]
     fn constant_points_do_not_crash() {
-        let pts = vec![vec![0.5, 0.5]; 20];
+        let mut pts = SimMatrix::zeroed(20, 2);
+        for i in 0..20 {
+            pts.set_row(i, &[0.5, 0.5]);
+        }
         let gmm = PairGmm::fit(&pts).unwrap();
         let p = gmm.posterior_match(&[0.5, 0.5]);
         assert!(p.is_finite());
@@ -254,5 +326,17 @@ mod tests {
         let pts = bimodal_points();
         let gmm = PairGmm::fit(&pts).unwrap();
         gmm.posterior_match(&[0.5]);
+    }
+
+    #[test]
+    fn sim_matrix_round_trips_rows_and_columns() {
+        let mut m = SimMatrix::zeroed(3, 2);
+        m.set_row(0, &[1.0, 2.0]);
+        m.set_row(1, &[3.0, 4.0]);
+        m.set_row(2, &[5.0, 6.0]);
+        assert_eq!(m.col(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(m.col(1), &[2.0, 4.0, 6.0]);
+        assert_eq!(m.at(1, 1), 4.0);
+        assert_eq!(row_of(&m, 2), vec![5.0, 6.0]);
     }
 }

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use cleanml_cleaning::missing::{self, CatImpute, MissingRepair, NumImpute};
 use cleanml_cleaning::outliers::{self, OutlierDetection, OutlierRepair};
-use cleanml_cleaning::zeroer::PairGmm;
+use cleanml_cleaning::zeroer::{PairGmm, SimMatrix};
 use cleanml_dataset::{FieldMeta, Schema, Table, Value};
 
 fn arb_numeric_table() -> impl Strategy<Value = Table> {
@@ -85,9 +85,13 @@ proptest! {
     /// The ZeroER mixture always yields finite posteriors in [0, 1].
     #[test]
     fn gmm_posteriors_bounded(
-        points in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 2..60),
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 2..60),
         query in prop::collection::vec(0.0f64..1.0, 3),
     ) {
+        let mut points = SimMatrix::zeroed(rows.len(), 3);
+        for (i, row) in rows.iter().enumerate() {
+            points.set_row(i, row);
+        }
         if let Some(gmm) = PairGmm::fit(&points) {
             let p = gmm.posterior_match(&query);
             prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p), "posterior {p}");

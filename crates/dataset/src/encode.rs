@@ -13,26 +13,78 @@
 //! §VII-B of the paper) can react to them.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use crate::column::Column;
 use crate::error::DatasetError;
 use crate::table::Table;
 use crate::Result;
 
-/// Dense row-major feature matrix with class labels.
-#[derive(Debug, Clone, PartialEq)]
+/// Dense feature matrix with class labels, stored as a flat column-major
+/// arena: column `j` occupies `data[j*n_rows..(j+1)*n_rows]`, so the
+/// per-feature sweeps that dominate training (threshold scans, gradient
+/// accumulation, distance loops) run over contiguous memory. The CMAF wire
+/// form stays canonical row-major (see [`FeatureMatrix::encode_into`]), so
+/// the in-memory flip is invisible to the artifact store.
+#[derive(Debug, Clone)]
 pub struct FeatureMatrix {
+    /// Column-major cell values.
     data: Vec<f64>,
+    /// Column-major missingness mask, parallel to `data`.
     missing: Vec<bool>,
     n_rows: usize,
     n_cols: usize,
     labels: Vec<usize>,
     n_classes: usize,
     feature_names: Vec<String>,
+    /// Lazily-built per-column argsort sidecar: `sorted[j]` lists row
+    /// indices in ascending `(value, row)` order. Built once per matrix on
+    /// first use; tree/GBDT split finding reuses it for every node (and,
+    /// for GBDT, every boosting round) instead of re-sorting.
+    sorted: OnceLock<Arc<Vec<Vec<u32>>>>,
+    /// Lazily-built *chained* argsort sidecar (see
+    /// [`FeatureMatrix::sorted_cols_chained`]).
+    sorted_chain: OnceLock<Arc<Vec<Vec<u32>>>>,
+}
+
+/// Equality is over the logical matrix; the sidecar is derived state.
+impl PartialEq for FeatureMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_rows == other.n_rows
+            && self.n_cols == other.n_cols
+            && self.n_classes == other.n_classes
+            && self.data == other.data
+            && self.missing == other.missing
+            && self.labels == other.labels
+            && self.feature_names == other.feature_names
+    }
 }
 
 impl FeatureMatrix {
-    /// Builds a matrix from raw parts (mainly for tests and generators).
+    fn from_columnar(
+        data: Vec<f64>,
+        missing: Vec<bool>,
+        n_rows: usize,
+        n_cols: usize,
+        labels: Vec<usize>,
+        n_classes: usize,
+        feature_names: Vec<String>,
+    ) -> Self {
+        FeatureMatrix {
+            data,
+            missing,
+            n_rows,
+            n_cols,
+            labels,
+            n_classes,
+            feature_names,
+            sorted: OnceLock::new(),
+            sorted_chain: OnceLock::new(),
+        }
+    }
+
+    /// Builds a matrix from raw *row-major* parts (mainly for tests and
+    /// generators); the values are transposed into the columnar arena.
     ///
     /// # Panics
     /// Panics if the dimensions are inconsistent.
@@ -46,9 +98,15 @@ impl FeatureMatrix {
         assert_eq!(data.len(), n_rows * n_cols, "data size mismatch");
         assert_eq!(labels.len(), n_rows, "label count mismatch");
         assert!(labels.iter().all(|&l| l < n_classes.max(1)), "label out of range");
+        let mut col_major = vec![0.0; data.len()];
+        for i in 0..n_rows {
+            for j in 0..n_cols {
+                col_major[j * n_rows + i] = data[i * n_cols + j];
+            }
+        }
         let missing = vec![false; data.len()];
         let feature_names = (0..n_cols).map(|i| format!("f{i}")).collect();
-        FeatureMatrix { data, missing, n_rows, n_cols, labels, n_classes, feature_names }
+        Self::from_columnar(col_major, missing, n_rows, n_cols, labels, n_classes, feature_names)
     }
 
     /// Number of examples.
@@ -71,19 +129,49 @@ impl FeatureMatrix {
         &self.labels
     }
 
-    /// Feature values of example `i`.
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    /// Cell value of example `i`, feature `j` (strided columnar access).
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[j * self.n_rows + i]
     }
 
-    /// Missingness flags of example `i` (parallel to [`FeatureMatrix::row`]).
-    pub fn missing_row(&self, i: usize) -> &[bool] {
-        &self.missing[i * self.n_cols..(i + 1) * self.n_cols]
+    /// Missingness of example `i`, feature `j`.
+    #[inline(always)]
+    pub fn missing_at(&self, i: usize, j: usize) -> bool {
+        self.missing[j * self.n_rows + i]
+    }
+
+    /// Zero-copy view of feature column `j` across all examples.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.n_rows..(j + 1) * self.n_rows]
+    }
+
+    /// Zero-copy missingness view of feature column `j`.
+    #[inline]
+    pub fn missing_col(&self, j: usize) -> &[bool] {
+        &self.missing[j * self.n_rows..(j + 1) * self.n_rows]
+    }
+
+    /// Copies the feature values of example `i` into `out`
+    /// (`out.len() == n_cols`); the row-major view for per-sample kernels.
+    pub fn read_row(&self, i: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.n_cols);
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.data[j * self.n_rows + i];
+        }
+    }
+
+    /// Feature values of example `i` as an owned vector (test/debug
+    /// convenience; hot paths should use [`FeatureMatrix::col`] or
+    /// [`FeatureMatrix::read_row`]).
+    pub fn row_vec(&self, i: usize) -> Vec<f64> {
+        (0..self.n_cols).map(|j| self.at(i, j)).collect()
     }
 
     /// `true` if any cell of example `i` was missing before encoding.
     pub fn row_has_missing(&self, i: usize) -> bool {
-        self.missing_row(i).iter().any(|&m| m)
+        (0..self.n_cols).any(|j| self.missing_at(i, j))
     }
 
     /// Names of the encoded dimensions (e.g. `age`, `city=NYC`).
@@ -91,50 +179,121 @@ impl FeatureMatrix {
         &self.feature_names
     }
 
-    /// Flat row-major data access.
+    /// Flat column-major data access (column `j` at `j*n_rows..`).
     pub fn data(&self) -> &[f64] {
         &self.data
     }
 
+    /// The per-column sorted-index sidecar: `sidecar[j]` holds every row
+    /// index, ordered by ascending `(value, row)`. Built once per matrix on
+    /// first use (thread-safe), then shared by reference.
+    ///
+    /// The `(value, row)` order is exactly what a stable sort by value
+    /// produces over an ascending-index row list, which is how the
+    /// tree/GBDT kernels keep their pre-refactor tie-breaking bit-for-bit.
+    pub fn sorted_cols(&self) -> &Arc<Vec<Vec<u32>>> {
+        self.sorted.get_or_init(|| {
+            let mut all = Vec::with_capacity(self.n_cols);
+            for j in 0..self.n_cols {
+                let col = self.col(j);
+                let mut idx: Vec<u32> = (0..self.n_rows as u32).collect();
+                idx.sort_unstable_by(|&a, &b| {
+                    col[a as usize]
+                        .partial_cmp(&col[b as usize])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                all.push(idx);
+            }
+            Arc::new(all)
+        })
+    }
+
+    /// The *chained* sorted-index sidecar: `sidecar[j]` is the identity
+    /// permutation stably sorted by column 0, then 1, … then `j` — i.e.
+    /// ascending by `(col_j, col_{j-1}, …, col_0, row)` lexicographically.
+    ///
+    /// This reproduces the exact tie order of a split finder that keeps one
+    /// scratch `order` buffer and re-sorts it stably per feature without
+    /// resetting (the pre-columnar GBDT kernel): since stable sorting
+    /// commutes with order-preserving subset restriction, a node's chained
+    /// order is the membership-filtered global chained order, so partitions
+    /// of these lists keep GBDT's gradient sweeps bit-for-bit.
+    pub fn sorted_cols_chained(&self) -> &Arc<Vec<Vec<u32>>> {
+        self.sorted_chain.get_or_init(|| {
+            let mut all = Vec::with_capacity(self.n_cols);
+            let mut ord: Vec<u32> = (0..self.n_rows as u32).collect();
+            for j in 0..self.n_cols {
+                let col = self.col(j);
+                // stable: ties keep the previous chain order
+                ord.sort_by(|&a, &b| {
+                    col[a as usize]
+                        .partial_cmp(&col[b as usize])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                all.push(ord.clone());
+            }
+            Arc::new(all)
+        })
+    }
+
     /// New matrix containing the examples at `indices`, in order. Indices may
-    /// repeat (bootstrap sampling).
+    /// repeat (bootstrap sampling). Gathered column-by-column.
     pub fn select_rows(&self, indices: &[usize]) -> FeatureMatrix {
-        let mut data = Vec::with_capacity(indices.len() * self.n_cols);
-        let mut missing = Vec::with_capacity(indices.len() * self.n_cols);
-        let mut labels = Vec::with_capacity(indices.len());
-        for &i in indices {
-            data.extend_from_slice(self.row(i));
-            missing.extend_from_slice(self.missing_row(i));
-            labels.push(self.labels[i]);
+        let n = indices.len();
+        let mut data = Vec::with_capacity(n * self.n_cols);
+        let mut missing = Vec::with_capacity(n * self.n_cols);
+        for j in 0..self.n_cols {
+            let col = self.col(j);
+            let mcol = self.missing_col(j);
+            for &i in indices {
+                data.push(col[i]);
+                missing.push(mcol[i]);
+            }
         }
-        FeatureMatrix {
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Self::from_columnar(
             data,
             missing,
-            n_rows: indices.len(),
-            n_cols: self.n_cols,
+            n,
+            self.n_cols,
             labels,
-            n_classes: self.n_classes,
-            feature_names: self.feature_names.clone(),
-        }
+            self.n_classes,
+            self.feature_names.clone(),
+        )
     }
 
     /// Appends the matrix to an artifact byte stream (see [`crate::codec`]).
     /// Floats are written as raw bit patterns; the missingness mask is
     /// written sparsely (index list) since encoded matrices are mostly
     /// complete.
+    ///
+    /// **Wire-order invariant:** cells and missing indices are written in
+    /// canonical *row-major* order (flat index `i*n_cols + j`) regardless of
+    /// the columnar in-memory layout, so artifacts produced before the
+    /// columnar refactor decode unchanged and vice versa — no store
+    /// invalidation, no format bump.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         use crate::codec::{push_f64_compact, push_str, push_tag, push_usize};
         push_tag(out, b'M');
         push_usize(out, self.n_rows);
         push_usize(out, self.n_cols);
         push_usize(out, self.n_classes);
-        for &x in &self.data {
-            // one-hot dimensions dominate encoded matrices, so the 0/1
-            // compact form shrinks the biggest artifact class ~5×
-            push_f64_compact(out, x);
+        for i in 0..self.n_rows {
+            for j in 0..self.n_cols {
+                // one-hot dimensions dominate encoded matrices, so the 0/1
+                // compact form shrinks the biggest artifact class ~5×
+                push_f64_compact(out, self.at(i, j));
+            }
         }
-        let missing: Vec<usize> =
-            self.missing.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        let mut missing: Vec<usize> = Vec::new();
+        for i in 0..self.n_rows {
+            for j in 0..self.n_cols {
+                if self.missing_at(i, j) {
+                    missing.push(i * self.n_cols + j);
+                }
+            }
+        }
         push_usize(out, missing.len());
         for i in missing {
             push_usize(out, i);
@@ -167,15 +326,29 @@ impl FeatureMatrix {
         // cell standardizes to inf), and an artifact that encodes but
         // never decodes would silently turn every warm resume of that
         // dataset into a re-run. Corruption is the frame checksum's job.
-        let mut data = Vec::with_capacity(cells.min(1 << 20));
+        // The stream is row-major (the canonical wire order). Stage it in
+        // that order — capacity clamped, growing only as cells actually
+        // materialize — then transpose into the columnar arena once the
+        // stream has proven the sizes honest.
+        let mut staged = Vec::with_capacity(cells.min(1 << 20));
         for _ in 0..cells {
-            data.push(take_f64_compact(r)?);
+            staged.push(take_f64_compact(r)?);
+        }
+        let mut data = vec![0.0; cells];
+        for i in 0..n_rows {
+            for j in 0..n_cols {
+                data[j * n_rows + i] = staged[i * n_cols + j];
+            }
         }
         let mut missing = vec![false; cells];
         let n_missing = take_usize(r)?;
         for _ in 0..n_missing {
-            let i = take_usize(r)?;
-            *missing.get_mut(i)? = true;
+            let flat = take_usize(r)?;
+            if n_cols == 0 || flat >= cells {
+                return None;
+            }
+            let (i, j) = (flat / n_cols, flat % n_cols);
+            missing[j * n_rows + i] = true;
         }
         let mut labels = Vec::with_capacity(n_rows.min(1 << 20));
         for _ in 0..n_rows {
@@ -189,7 +362,7 @@ impl FeatureMatrix {
         for _ in 0..n_cols {
             feature_names.push(take_str(r)?);
         }
-        Some(FeatureMatrix { data, missing, n_rows, n_cols, labels, n_classes, feature_names })
+        Some(Self::from_columnar(data, missing, n_rows, n_cols, labels, n_classes, feature_names))
     }
 }
 
@@ -340,8 +513,8 @@ impl Encoder {
     /// rejected — CleanML never evaluates on unlabeled rows.
     pub fn transform(&self, table: &Table) -> Result<FeatureMatrix> {
         let n_rows = table.n_rows();
-        let mut data = Vec::with_capacity(n_rows * self.n_cols);
-        let mut missing = Vec::with_capacity(n_rows * self.n_cols);
+        let mut data = vec![0.0; n_rows * self.n_cols];
+        let mut missing = vec![false; n_rows * self.n_cols];
         let mut labels = Vec::with_capacity(n_rows);
 
         let class_index: HashMap<&str, usize> =
@@ -358,31 +531,45 @@ impl Encoder {
             })
             .collect();
 
-        for r in 0..n_rows {
-            for spec in &self.numeric {
-                let c = table.column(spec.col)?;
+        // Each source column fills a contiguous stripe of the arena.
+        let mut j = 0usize;
+        for spec in &self.numeric {
+            let c = table.column(spec.col)?;
+            let (dcol, mcol) = (j * n_rows, j * n_rows);
+            for r in 0..n_rows {
                 match c.num(r) {
                     Some(x) => {
-                        let z = if spec.std > 0.0 { (x - spec.mean) / spec.std } else { 0.0 };
-                        data.push(z);
-                        missing.push(false);
+                        data[dcol + r] =
+                            if spec.std > 0.0 { (x - spec.mean) / spec.std } else { 0.0 };
                     }
                     None => {
-                        data.push(0.0); // standardized train mean
-                        missing.push(true);
+                        // standardized train mean stays 0.0
+                        missing[mcol + r] = true;
                     }
                 }
             }
-            for (spec, lookup) in self.categorical.iter().zip(&cat_lookup) {
-                let c = table.column(spec.col)?;
+            j += 1;
+        }
+        for (spec, lookup) in self.categorical.iter().zip(&cat_lookup) {
+            let c = table.column(spec.col)?;
+            for r in 0..n_rows {
                 let cell = c.cat_str(r);
                 let hot = cell.and_then(|s| lookup.get(s).copied());
                 let is_missing = cell.is_none();
                 for slot in 0..spec.categories.len() {
-                    data.push(if hot == Some(slot) { 1.0 } else { 0.0 });
-                    missing.push(is_missing);
+                    if hot == Some(slot) {
+                        data[(j + slot) * n_rows + r] = 1.0;
+                    }
+                    if is_missing {
+                        missing[(j + slot) * n_rows + r] = true;
+                    }
                 }
             }
+            j += spec.categories.len();
+        }
+        debug_assert_eq!(j, self.n_cols);
+
+        for r in 0..n_rows {
             let label_str = label_col
                 .cat_str(r)
                 .ok_or_else(|| DatasetError::Encode(format!("row {r} has a missing label")))?;
@@ -392,15 +579,15 @@ impl Encoder {
             labels.push(class);
         }
 
-        Ok(FeatureMatrix {
+        Ok(FeatureMatrix::from_columnar(
             data,
             missing,
             n_rows,
-            n_cols: self.n_cols,
+            self.n_cols,
             labels,
-            n_classes: self.label_classes.len(),
-            feature_names: self.feature_names.clone(),
-        })
+            self.label_classes.len(),
+            self.feature_names.clone(),
+        ))
     }
 
     /// Appends the fitted encoder to an artifact byte stream (see
@@ -516,8 +703,8 @@ mod tests {
         let m = enc.transform(&t).unwrap();
         // x values 1,3,5 -> mean 3, pop std sqrt(8/3)
         let std = (8.0f64 / 3.0).sqrt();
-        assert!((m.row(0)[0] - (1.0 - 3.0) / std).abs() < 1e-12);
-        assert!((m.row(1)[0] - 0.0).abs() < 1e-12);
+        assert!((m.at(0, 0) - (1.0 - 3.0) / std).abs() < 1e-12);
+        assert!((m.at(1, 0) - 0.0).abs() < 1e-12);
     }
 
     #[test]
@@ -527,10 +714,10 @@ mod tests {
         let m = enc.transform(&t).unwrap();
         assert!(m.row_has_missing(3));
         assert!(!m.row_has_missing(0));
-        assert_eq!(m.row(3)[0], 0.0); // mean-standardized
-        assert_eq!(m.row(3)[1], 0.0); // one-hot zeros
-        assert_eq!(m.row(3)[2], 0.0);
-        assert!(m.missing_row(3).iter().all(|&b| b));
+        assert_eq!(m.at(3, 0), 0.0); // mean-standardized
+        assert_eq!(m.at(3, 1), 0.0); // one-hot zeros
+        assert_eq!(m.at(3, 2), 0.0);
+        assert!((0..m.n_cols()).all(|j| m.missing_at(3, j)));
     }
 
     #[test]
@@ -564,7 +751,7 @@ mod tests {
         assert_eq!(enc.n_cols(), 5);
         let m = enc.transform(&t).unwrap();
         // "cat0" appears twice -> most frequent -> kept
-        assert_eq!(m.row(0)[0], 1.0);
+        assert_eq!(m.at(0, 0), 1.0);
     }
 
     #[test]
@@ -574,15 +761,36 @@ mod tests {
         let m = enc.transform(&t).unwrap();
         let s = m.select_rows(&[2, 0, 2]);
         assert_eq!(s.n_rows(), 3);
-        assert_eq!(s.row(0), m.row(2));
-        assert_eq!(s.row(1), m.row(0));
+        assert_eq!(s.row_vec(0), m.row_vec(2));
+        assert_eq!(s.row_vec(1), m.row_vec(0));
         assert_eq!(s.labels(), &[m.labels()[2], m.labels()[0], m.labels()[2]]);
     }
 
     #[test]
     fn from_parts_valid() {
         let m = FeatureMatrix::from_parts(vec![1.0, 2.0, 3.0, 4.0], 2, 2, vec![0, 1], 2);
-        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.row_vec(1), vec![3.0, 4.0]);
+        // from_parts takes row-major input; the arena stores columns
+        assert_eq!(m.col(0), &[1.0, 3.0]);
+        assert_eq!(m.col(1), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn sorted_sidecar_orders_by_value_then_row() {
+        let m = FeatureMatrix::from_parts(
+            vec![2.0, 0.0, 1.0, 1.0, 2.0, 0.0, 1.0, 1.0],
+            4,
+            2,
+            vec![0, 1, 0, 1],
+            2,
+        );
+        let sc = m.sorted_cols();
+        // col 0 = [2,1,2,1]: ties broken by ascending row
+        assert_eq!(sc[0], vec![1, 3, 0, 2]);
+        // col 1 = [0,1,0,1]
+        assert_eq!(sc[1], vec![0, 2, 1, 3]);
+        // the sidecar is built once and shared
+        assert!(Arc::ptr_eq(m.sorted_cols(), sc));
     }
 
     #[test]

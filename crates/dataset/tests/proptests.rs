@@ -292,6 +292,84 @@ proptest! {
         let _ = Encoder::decode_from(&mut Reader::new(&raw));
     }
 
+    /// The columnar arena is an exact relayout: every cell read through the
+    /// row view (`read_row`/`row_vec`), the column view (`col`), and the
+    /// strided scalar (`at`) is the same bits, missingness included — and
+    /// the sorted-index sidecars are true argsorts of the columns.
+    #[test]
+    fn row_and_column_views_agree(t in arb_table()) {
+        let complete = t.drop_rows_with_missing();
+        if complete.n_rows() == 0 {
+            return Ok(());
+        }
+        let classes = ["neg".to_string(), "pos".to_string()];
+        let enc = match Encoder::fit_with_classes(&complete, &classes) {
+            Ok(e) => e,
+            Err(_) => return Ok(()),
+        };
+        let m = enc.transform(&t).expect("transform");
+        let (n, d) = (m.n_rows(), m.n_cols());
+        let mut row = vec![0.0; d];
+        for i in 0..n {
+            m.read_row(i, &mut row);
+            let owned = m.row_vec(i);
+            for j in 0..d {
+                let through_col = m.col(j)[i];
+                prop_assert_eq!(m.at(i, j).to_bits(), through_col.to_bits(), "at ({},{})", i, j);
+                prop_assert_eq!(row[j].to_bits(), through_col.to_bits(), "read_row ({},{})", i, j);
+                prop_assert_eq!(owned[j].to_bits(), through_col.to_bits(), "row_vec ({},{})", i, j);
+                prop_assert_eq!(m.missing_at(i, j), m.missing_col(j)[i], "missing ({},{})", i, j);
+            }
+        }
+        // plain sidecar: each column's permutation, ascending by (value, row)
+        let sorted = m.sorted_cols();
+        prop_assert_eq!(sorted.len(), d);
+        for j in 0..d {
+            let col = m.col(j);
+            let idx = &sorted[j];
+            prop_assert_eq!(idx.len(), n);
+            let mut seen = vec![false; n];
+            for w in idx.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                prop_assert!(
+                    (col[a], a) <= (col[b], b),
+                    "column {} not sorted by (value, row)", j
+                );
+            }
+            for &i in idx.iter() {
+                seen[i as usize] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s), "column {} is not a permutation", j);
+        }
+        // chained sidecar: each stage is a permutation, non-decreasing in
+        // its own column, with ties keeping the previous stage's order
+        let chained = m.sorted_cols_chained();
+        prop_assert_eq!(chained.len(), d);
+        for j in 0..d {
+            let col = m.col(j);
+            let idx = &chained[j];
+            let prev_pos: Vec<usize> = if j == 0 {
+                (0..n).collect()
+            } else {
+                let mut pos = vec![0; n];
+                for (p, &i) in chained[j - 1].iter().enumerate() {
+                    pos[i as usize] = p;
+                }
+                pos
+            };
+            for w in idx.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                prop_assert!(col[a] <= col[b], "chain stage {} not sorted", j);
+                if col[a] == col[b] {
+                    prop_assert!(
+                        prev_pos[a] < prev_pos[b],
+                        "chain stage {} tie broke the previous order", j
+                    );
+                }
+            }
+        }
+    }
+
     /// Encoder and FeatureMatrix binary codecs are exact: decode(encode(x))
     /// is structurally identical and transforms/predicts identically.
     #[test]
@@ -320,4 +398,55 @@ proptest! {
         prop_assert!(r.is_empty());
         prop_assert_eq!(m_back, m);
     }
+}
+
+/// The matrix wire format is pinned to these exact bytes: the canonical
+/// row-major cell order (`i`-outer, `j`-inner) captured before the
+/// in-memory layout went columnar. A byte of drift here means every
+/// cached artifact store in the field silently turns into a cold re-run
+/// — this test must only ever change together with a deliberate store
+/// format bump.
+#[test]
+fn matrix_wire_golden_bytes_stay_stable() {
+    #[rustfmt::skip]
+    const GOLDEN: &[u8] = &[
+        0x4d, 0x04, 0x02, 0x02, 0x01, 0x01, 0x00, 0x00, 0xff, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0xf0, 0xbf, 0x01, 0xff, 0x92, 0x24, 0x49, 0x92, 0x24,
+        0x49, 0xc2, 0x3f, 0x00, 0x02, 0x02, 0x07, 0x01, 0x00, 0x01, 0x00, 0x01,
+        0x78, 0x03, 0x63, 0x3d, 0x61,
+    ];
+
+    let schema = Schema::new(vec![
+        FieldMeta::num_feature("x"),
+        FieldMeta::cat_feature("c"),
+        FieldMeta::label("y"),
+    ]);
+    let mut t = Table::new(schema);
+    let rows: Vec<(Option<f64>, Option<&str>, &str)> = vec![
+        (Some(1.5), Some("a"), "pos"),
+        (None, Some("b"), "neg"),
+        (Some(-2.0), Some("a"), "pos"),
+        (Some(0.0), None, "neg"),
+    ];
+    for (x, c, y) in rows {
+        t.push_row(vec![Value::from(x), Value::from(c), Value::from(y)]).expect("row");
+    }
+    let complete = t.drop_rows_with_missing();
+    let classes = ["neg".to_string(), "pos".to_string()];
+    let enc = Encoder::fit_with_classes(&complete, &classes).expect("fit");
+    let m = enc.transform(&t).expect("transform");
+
+    let mut out = Vec::new();
+    m.encode_into(&mut out);
+    assert_eq!(out, GOLDEN, "matrix wire bytes drifted from the committed format");
+
+    // and the committed bytes decode to the exact same matrix
+    let mut r = Reader::new(GOLDEN);
+    let back = FeatureMatrix::decode_from(&mut r).expect("golden decodes");
+    assert!(r.is_empty());
+    assert_eq!(back, m);
+    assert_eq!(back.n_rows(), 4);
+    assert_eq!(back.n_cols(), 2);
+    assert_eq!(back.labels(), &[1, 0, 1, 0]);
+    assert!(back.missing_at(1, 0) && back.missing_at(3, 1));
 }

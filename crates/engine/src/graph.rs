@@ -30,6 +30,10 @@ pub struct TaskNode<A> {
     pub kind: TaskKind,
     pub label: String,
     pub key: CacheKey,
+    /// Scheduling class (the dataset the task belongs to, typically):
+    /// the pool keys its observed-cost model per `(kind, class)`, so a
+    /// Train on one dataset does not inherit another's runtime profile.
+    pub class: Option<String>,
     pub deps: Vec<TaskId>,
     pub(crate) run: Option<TaskFn<A>>,
     pub(crate) prefilled: Option<A>,
@@ -84,6 +88,7 @@ impl<A> TaskGraph<A> {
             kind,
             label: label.into(),
             key,
+            class: None,
             deps,
             run: Some(Box::new(run)),
             prefilled: None,
@@ -91,6 +96,19 @@ impl<A> TaskGraph<A> {
         });
         self.by_key.insert(key, id);
         id
+    }
+
+    /// Assigns scheduling class `class` to every node from `from`
+    /// onwards that has none yet. Builders call this once per region
+    /// (e.g. one dataset's grid) instead of threading the class through
+    /// every `task` call; nodes deduplicated into an earlier region keep
+    /// their original class.
+    pub fn class_range(&mut self, from: TaskId, class: &str) {
+        for node in &mut self.nodes[from..] {
+            if node.class.is_none() {
+                node.class = Some(class.to_string());
+            }
+        }
     }
 }
 

@@ -63,7 +63,7 @@ pub use cache::{ArtifactCache, CacheKey, CacheStats, DiskStore, Retention};
 pub use event::{EngineEvent, EventSink, TaskKind};
 pub use graph::{TaskGraph, TaskId};
 pub use jobs::parallel_map;
-pub use pool::{CostModel, ExecStats, PersistSink, Pool, RunReport, SubmissionHandle};
+pub use pool::{ClassCosts, CostModel, ExecStats, PersistSink, Pool, RunReport, SubmissionHandle};
 pub use remote::{
     FaultPlan, RemoteHub, Request, ServeReport, StudySpec, WorkerSummary, DEFAULT_LEASE_TIMEOUT,
 };

@@ -31,8 +31,10 @@
 //! per-deque kind-count summaries instead of a full frontier scan. Ready
 //! tasks are ordered heaviest-first by an adaptive cost model
 //! ([`CostModel`]): static per-kind weights until enough completed tasks
-//! have been observed, then an EWMA of measured runtimes that re-weights
-//! the frontier mid-run.
+//! have been observed, then an EWMA of measured runtimes keyed per
+//! `(kind, class)` — class being the dataset a task belongs to — that
+//! re-weights the frontier mid-run and stretches remote lease deadlines
+//! for known-slow datasets.
 //!
 //! [`execute`] survives as a thin compatibility wrapper — one pool, one
 //! submission, wait, shut down — so the single-run call sites and their
@@ -153,39 +155,31 @@ pub type ExecutionOutcome<A> = (Vec<Option<A>>, ExecStats);
 // Adaptive cost model (observed per-kind runtimes)
 // ---------------------------------------------------------------------------
 
-/// Completed-task samples needed for a kind before observed cost replaces
-/// the static prior.
+/// Completed-task samples needed for a `(kind, class)` pair — or a kind
+/// aggregate — before observed cost replaces the next-coarser estimate.
 pub const MIN_COST_SAMPLES: u64 = 4;
 
-/// Observed per-[`TaskKind`] runtimes, kept for the pool's whole lifetime.
-///
-/// Each locally executed task feeds an exponentially weighted moving
-/// average of its wall-clock microseconds. Frontier ordering asks
-/// [`CostModel::effective_weight`]: until [`MIN_COST_SAMPLES`] completions
-/// of a kind have been seen it answers the static
-/// [`TaskKind::cost_weight`] prior (scaled into the microsecond domain so
-/// observed and unobserved kinds stay comparable); after that, the EWMA —
-/// so the ready frontier re-weights itself mid-run as real costs emerge.
+/// One scheduling class's observed runtimes: an EWMA of wall-clock
+/// microseconds per [`TaskKind`]. A class is typically a dataset — the
+/// unit across which same-kind runtimes actually differ (a Train on a
+/// 15k-row dataset is not a Train on a 600-row one).
 #[derive(Debug)]
-pub struct CostModel {
+pub struct ClassCosts {
     counts: [AtomicU64; NKINDS],
     ewma_micros: [AtomicU64; NKINDS],
 }
 
-impl Default for CostModel {
+impl Default for ClassCosts {
     fn default() -> Self {
-        CostModel {
+        ClassCosts {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             ewma_micros: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
 
-impl CostModel {
-    /// Records one completed task's runtime.
-    pub fn record(&self, kind: TaskKind, elapsed: Duration) {
-        let i = kind_index(kind);
-        let sample = (elapsed.as_micros() as u64).max(1);
+impl ClassCosts {
+    fn record_at(&self, i: usize, sample: u64) {
         let seen = self.counts[i].fetch_add(1, Ordering::Relaxed);
         if seen == 0 {
             self.ewma_micros[i].store(sample, Ordering::Relaxed);
@@ -197,22 +191,91 @@ impl CostModel {
         }
     }
 
-    /// `(samples, ewma_micros)` for a kind, if any task of it completed.
-    pub fn observed(&self, kind: TaskKind) -> Option<(u64, u64)> {
-        let i = kind_index(kind);
-        let n = self.counts[i].load(Ordering::Relaxed);
-        (n > 0).then(|| (n, self.ewma_micros[i].load(Ordering::Relaxed)))
+    /// EWMA microseconds at kind-index `i` once enough samples exist.
+    fn settled(&self, i: usize) -> Option<u64> {
+        (self.counts[i].load(Ordering::Relaxed) >= MIN_COST_SAMPLES)
+            .then(|| self.ewma_micros[i].load(Ordering::Relaxed).max(1))
+    }
+}
+
+/// Observed task runtimes, kept for the pool's whole lifetime and keyed
+/// per `(kind, class)` with a per-kind aggregate underneath.
+///
+/// Each locally executed task feeds two EWMAs of its wall-clock
+/// microseconds: its class's (when its graph node carried one) and the
+/// kind aggregate. Frontier ordering asks
+/// [`CostModel::effective_weight`], which answers from the finest level
+/// with [`MIN_COST_SAMPLES`] completions: the `(kind, class)` EWMA,
+/// else the kind EWMA, else the static [`TaskKind::cost_weight`] prior
+/// (scaled into the microsecond domain so observed and unobserved kinds
+/// stay comparable) — so the ready frontier re-weights itself mid-run as
+/// real costs emerge, and a heavy dataset's tasks outrank a light one's
+/// even within a kind.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    kinds: ClassCosts,
+    classes: Mutex<HashMap<String, Arc<ClassCosts>>>,
+}
+
+impl CostModel {
+    /// Interns scheduling class `name`, returning its cost table. Entries
+    /// resolve their class once at submission time and hold the `Arc`, so
+    /// the hot paths (record, frontier ordering) never touch the map.
+    pub fn class(&self, name: &str) -> Arc<ClassCosts> {
+        let mut map = self.classes.lock().expect("cost class map lock");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(ClassCosts::default());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
     }
 
-    /// Scheduling weight for a kind: observed EWMA microseconds once
-    /// enough samples exist, the static prior (scaled to microseconds)
-    /// before that.
-    pub fn effective_weight(&self, kind: TaskKind) -> u64 {
+    /// Records one completed task's runtime at both levels.
+    pub fn record(&self, kind: TaskKind, class: Option<&ClassCosts>, elapsed: Duration) {
         let i = kind_index(kind);
-        if self.counts[i].load(Ordering::Relaxed) >= MIN_COST_SAMPLES {
-            self.ewma_micros[i].load(Ordering::Relaxed).max(1)
-        } else {
-            kind.cost_weight() as u64 * 100
+        let sample = (elapsed.as_micros() as u64).max(1);
+        self.kinds.record_at(i, sample);
+        if let Some(c) = class {
+            c.record_at(i, sample);
+        }
+    }
+
+    /// `(samples, ewma_micros)` aggregated over a kind, if any task of it
+    /// completed.
+    pub fn observed(&self, kind: TaskKind) -> Option<(u64, u64)> {
+        let i = kind_index(kind);
+        let n = self.kinds.counts[i].load(Ordering::Relaxed);
+        (n > 0).then(|| (n, self.kinds.ewma_micros[i].load(Ordering::Relaxed)))
+    }
+
+    /// Scheduling weight for one task: its `(kind, class)` EWMA once that
+    /// pair has enough samples, the kind-aggregate EWMA next, the static
+    /// prior (scaled to microseconds) before either has settled.
+    pub fn effective_weight(&self, kind: TaskKind, class: Option<&ClassCosts>) -> u64 {
+        let i = kind_index(kind);
+        class
+            .and_then(|c| c.settled(i))
+            .or_else(|| self.kinds.settled(i))
+            .unwrap_or(kind.cost_weight() as u64 * 100)
+    }
+
+    /// Deadline for a remote lease of one task: never below `floor` (the
+    /// configured lease timeout), stretched to 4× the settled EWMA of the
+    /// finest observed level — so a lease on a known-slow dataset is not
+    /// declared dead by a deadline tuned for the average one.
+    pub fn lease_budget(
+        &self,
+        kind: TaskKind,
+        class: Option<&ClassCosts>,
+        floor: Duration,
+    ) -> Duration {
+        let i = kind_index(kind);
+        match class.and_then(|c| c.settled(i)).or_else(|| self.kinds.settled(i)) {
+            Some(ewma_us) => floor.max(Duration::from_micros(ewma_us.saturating_mul(4))),
+            None => floor,
         }
     }
 }
@@ -241,6 +304,9 @@ pub(crate) struct TaskEntry<A> {
     pub(crate) key: CacheKey,
     pub(crate) kind: TaskKind,
     pub(crate) label: String,
+    /// Interned cost-model class (resolved once at submission time);
+    /// `None` falls back to kind-aggregate costs.
+    pub(crate) class: Option<Arc<ClassCosts>>,
     deps: Vec<Gid>,
     dependents: Vec<Gid>,
     pending: usize,
@@ -426,7 +492,7 @@ where
                 TaskKind::ALL
                     .iter()
                     .filter(|&&k| crate::remote::leasable(k) && d.counts[kind_index(k)] > 0)
-                    .map(|&k| self.costs.effective_weight(k))
+                    .map(|&k| self.costs.effective_weight(k, None))
                     .max()
                     .map(|w| (w, di))
             })
@@ -445,7 +511,10 @@ where
                         && crate::remote::leasable(t.kind)
                         && t.spec_locals.iter().any(|&(k, _)| k == spec_key)
                 })
-                .max_by_key(|&(pos, &gid)| (self.costs.effective_weight(st.tasks[gid].kind), pos))
+                .max_by_key(|&(pos, &gid)| {
+                    let t = &st.tasks[gid];
+                    (self.costs.effective_weight(t.kind, t.class.as_deref()), pos)
+                })
                 .map(|(pos, _)| pos);
             if let Some(pos) = best {
                 let gid = st.deques[di].q.remove(pos).expect("position just found");
@@ -530,7 +599,8 @@ where
             .iter()
             .map(|&d| st.tasks[d].artifact.clone().expect("dependency finished before consumer"))
             .collect();
-        Some(Job { gid, kind, key: st.tasks[gid].key, label, run, inputs, queued_at, sub })
+        let class = st.tasks[gid].class.clone();
+        Some(Job { gid, kind, key: st.tasks[gid].key, label, class, run, inputs, queued_at, sub })
     }
 
     fn dec_consumer(&self, st: &mut State<A>, gid: Gid) {
@@ -613,7 +683,8 @@ where
         // pushed in reverse so the home deque's LIFO pop starts with the
         // heaviest — this is where mid-run re-weighting bites.
         released.sort_by_key(|&g| {
-            (std::cmp::Reverse(self.costs.effective_weight(st.tasks[g].kind)), g)
+            let t = &st.tasks[g];
+            (std::cmp::Reverse(self.costs.effective_weight(t.kind, t.class.as_deref())), g)
         });
         let notify = !released.is_empty();
         for &g in released.iter().rev() {
@@ -788,6 +859,8 @@ struct Job<A> {
     kind: TaskKind,
     key: CacheKey,
     label: String,
+    /// Cost-model class the runtime sample lands in.
+    class: Option<Arc<ClassCosts>>,
     run: TaskFn<A>,
     inputs: Vec<A>,
     /// When the entry entered the ready frontier (telemetry only).
@@ -925,7 +998,7 @@ where
                 NodeState::Cached => {
                     let art = node.prefilled.take().expect("cached node prefilled");
                     match st.by_key.get(&key).copied() {
-                        None => new_entry(st, idx, &mut nodes, sid, Some(art)),
+                        None => new_entry(st, &self.inner.costs, idx, &mut nodes, sid, Some(art)),
                         Some(gid) => {
                             let entry = &mut st.tasks[gid];
                             if entry.artifact.is_none()
@@ -944,7 +1017,7 @@ where
                     }
                 }
                 NodeState::Run => match st.by_key.get(&key).copied() {
-                    None => new_entry(st, idx, &mut nodes, sid, None),
+                    None => new_entry(st, &self.inner.costs, idx, &mut nodes, sid, None),
                     Some(gid) => match st.tasks[gid].phase {
                         Phase::Done if st.tasks[gid].artifact.is_some() => gid,
                         Phase::Waiting | Phase::Queued | Phase::Running => gid,
@@ -1003,7 +1076,8 @@ where
         // on a partial resume it spans the whole DAG and dispatching the
         // expensive stragglers first shortens the critical path.
         seeds.sort_by_key(|&g| {
-            (std::cmp::Reverse(self.inner.costs.effective_weight(st.tasks[g].kind)), g)
+            let t = &st.tasks[g];
+            (std::cmp::Reverse(self.inner.costs.effective_weight(t.kind, t.class.as_deref())), g)
         });
         let width = st.deques.len();
         let start = st.rr;
@@ -1033,6 +1107,7 @@ fn clone_bytes(b: &[u8]) -> Vec<u8> {
 /// consumers); otherwise it registers with its dependencies and waits.
 fn new_entry<A>(
     st: &mut State<A>,
+    costs: &CostModel,
     idx: usize,
     nodes: &mut [crate::graph::TaskNode<A>],
     sid: SubId,
@@ -1045,6 +1120,7 @@ fn new_entry<A>(
         key,
         kind: nodes[idx].kind,
         label: std::mem::take(&mut nodes[idx].label),
+        class: nodes[idx].class.as_deref().map(|c| costs.class(c)),
         deps: Vec::new(),
         dependents: Vec::new(),
         pending: 0,
@@ -1265,7 +1341,7 @@ where
             }
         };
         let Some(job) = job else { continue };
-        let Job { gid, kind, key, label, run, inputs, queued_at, sub } = job;
+        let Job { gid, kind, key, label, class, run, inputs, queued_at, sub } = job;
 
         let t = crate::telemetry::global();
         let started = Instant::now();
@@ -1286,7 +1362,7 @@ where
 
         match outcome {
             Ok(artifact) => {
-                inner.costs.record(kind, elapsed);
+                inner.costs.record(kind, class.as_deref(), elapsed);
                 // Durability before progress: the artifact reaches disk
                 // before any dependent can observe it — and before the
                 // scheduler lock is taken, so persistence never blocks
@@ -1623,6 +1699,55 @@ mod tests {
             vec!["late-eval".to_string(), "late-split".to_string()],
             "observed Evaluate cost must outrank static Split weight mid-run"
         );
+    }
+
+    #[test]
+    fn class_costs_refine_kind_aggregates() {
+        // Satellite acceptance: the cost model is keyed per (kind, class)
+        // — a Train on one dataset must not inherit another's runtime —
+        // with kind-aggregate and static-prior fallbacks underneath.
+        let costs = CostModel::default();
+        let heavy = costs.class("eeg");
+        let light = costs.class("university");
+        assert!(Arc::ptr_eq(&heavy, &costs.class("eeg")), "classes are interned");
+
+        // Nothing observed: both classes answer the static prior.
+        let prior = TaskKind::Train.cost_weight() as u64 * 100;
+        assert_eq!(costs.effective_weight(TaskKind::Train, Some(&heavy)), prior);
+        assert_eq!(costs.effective_weight(TaskKind::Train, None), prior);
+
+        // Settle the light class (which also settles the kind aggregate):
+        // the still-unsettled heavy class falls back to the aggregate.
+        for _ in 0..MIN_COST_SAMPLES {
+            costs.record(TaskKind::Train, Some(&light), Duration::from_micros(200));
+        }
+        let kind_level = costs.effective_weight(TaskKind::Train, None);
+        assert_eq!(kind_level, 200, "kind aggregate reflects the observed samples");
+        assert_eq!(costs.effective_weight(TaskKind::Train, Some(&heavy)), kind_level);
+
+        // Once the heavy class observes its own (much slower) Trains, the
+        // two classes diverge within the same kind.
+        for _ in 0..MIN_COST_SAMPLES {
+            costs.record(TaskKind::Train, Some(&heavy), Duration::from_millis(50));
+        }
+        let w_heavy = costs.effective_weight(TaskKind::Train, Some(&heavy));
+        let w_light = costs.effective_weight(TaskKind::Train, Some(&light));
+        assert_eq!(w_light, 200);
+        assert!(
+            w_heavy > 100 * w_light,
+            "per-dataset EWMAs must diverge within a kind: {w_heavy} vs {w_light}"
+        );
+
+        // Remote lease sizing: the floor holds for the fast class, while
+        // the slow class's deadline stretches to 4x its observed EWMA.
+        let floor = Duration::from_millis(5);
+        assert_eq!(costs.lease_budget(TaskKind::Train, Some(&light), floor), floor);
+        assert_eq!(
+            costs.lease_budget(TaskKind::Train, Some(&heavy), floor),
+            Duration::from_millis(200),
+        );
+        // Unobserved (kind, class) pairs never shrink below the floor.
+        assert_eq!(costs.lease_budget(TaskKind::Clean, Some(&heavy), floor), floor);
     }
 
     #[test]

@@ -43,6 +43,17 @@ use crate::graph::{NodeState, TaskGraph, TaskId};
 use crate::pool::{Pool, RunReport, SubmissionHandle};
 use crate::remote::{ClientHandler, RemoteHub, StudySpec};
 
+/// One batched Evaluate result: every `(dirty model, clean model)` cell of a
+/// `(dataset, split, cleaning method)` group, evaluated in model order by a
+/// single task instead of a swarm of sub-millisecond singletons. Each member
+/// keeps the content address its singleton `cell/…` task would have had, so
+/// the submission can fan the results back into the cache and query-granular
+/// [`CellQuery`] semantics are unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellBatch {
+    pub members: Vec<(CacheKey, CellEval)>,
+}
+
 /// Everything that flows along DAG edges. Heavy payloads sit behind `Arc`,
 /// so cloning an artifact into a consumer is pointer-cheap.
 #[derive(Debug, Clone)]
@@ -53,6 +64,7 @@ pub enum Artifact {
     Clean(Arc<CleanArtifact>),
     Trained(Arc<TrainedModel>),
     Cell(CellEval),
+    Cells(Arc<CellBatch>),
     Grid(Arc<EvalGrid>),
 }
 
@@ -93,6 +105,12 @@ impl Artifact {
             other => panic!("expected cell artifact, got {other:?}"),
         }
     }
+    fn cells(&self) -> &CellBatch {
+        match self {
+            Artifact::Cells(b) => b,
+            other => panic!("expected cell-batch artifact, got {other:?}"),
+        }
+    }
     fn grid(&self) -> &Arc<EvalGrid> {
         match self {
             Artifact::Grid(g) => g,
@@ -123,10 +141,38 @@ fn decode_metric(r: &mut Reader<'_>) -> Option<Metric> {
 /// dispatch tag inside the (already version-checked) artifact frame.
 mod tag {
     pub const CELL: u8 = b'C';
+    pub const CELLS: u8 = b'B';
     pub const CONTEXT: u8 = b'X';
     pub const SPLIT: u8 = b'S';
     pub const CLEAN: u8 = b'K';
     pub const TRAINED: u8 = b'T';
+}
+
+fn encode_cell(out: &mut Vec<u8>, c: &CellEval) {
+    dcodec::push_f64(out, c.val_dirty);
+    dcodec::push_f64(out, c.val_clean);
+    dcodec::push_f64(out, c.acc_b);
+    match c.acc_c {
+        Some(x) => {
+            dcodec::push_tag(out, 1);
+            dcodec::push_f64(out, x);
+        }
+        None => dcodec::push_tag(out, 0),
+    }
+    dcodec::push_f64(out, c.acc_d);
+}
+
+fn decode_cell(r: &mut Reader<'_>) -> Option<CellEval> {
+    let val_dirty = dcodec::take_f64(r)?;
+    let val_clean = dcodec::take_f64(r)?;
+    let acc_b = dcodec::take_f64(r)?;
+    let acc_c = match dcodec::take_tag(r)? {
+        0 => None,
+        1 => Some(dcodec::take_f64(r)?),
+        _ => return None,
+    };
+    let acc_d = dcodec::take_f64(r)?;
+    Some(CellEval { val_dirty, val_clean, acc_b, acc_c, acc_d })
 }
 
 impl DiskCodec for Artifact {
@@ -141,17 +187,16 @@ impl DiskCodec for Artifact {
         match self {
             Artifact::Cell(c) => {
                 dcodec::push_tag(&mut out, tag::CELL);
-                dcodec::push_f64(&mut out, c.val_dirty);
-                dcodec::push_f64(&mut out, c.val_clean);
-                dcodec::push_f64(&mut out, c.acc_b);
-                match c.acc_c {
-                    Some(x) => {
-                        dcodec::push_tag(&mut out, 1);
-                        dcodec::push_f64(&mut out, x);
-                    }
-                    None => dcodec::push_tag(&mut out, 0),
+                encode_cell(&mut out, c);
+            }
+            Artifact::Cells(b) => {
+                dcodec::push_tag(&mut out, tag::CELLS);
+                dcodec::push_usize(&mut out, b.members.len());
+                for (key, c) in &b.members {
+                    dcodec::push_u64(&mut out, key.0);
+                    dcodec::push_u64(&mut out, key.1);
+                    encode_cell(&mut out, c);
                 }
-                dcodec::push_f64(&mut out, c.acc_d);
             }
             Artifact::Context(ctx) => {
                 dcodec::push_tag(&mut out, tag::CONTEXT);
@@ -195,17 +240,16 @@ impl DiskCodec for Artifact {
     fn decode(bytes: &[u8]) -> Option<Self> {
         let mut r = Reader::new(bytes);
         let artifact = match dcodec::take_tag(&mut r)? {
-            tag::CELL => {
-                let val_dirty = dcodec::take_f64(&mut r)?;
-                let val_clean = dcodec::take_f64(&mut r)?;
-                let acc_b = dcodec::take_f64(&mut r)?;
-                let acc_c = match dcodec::take_tag(&mut r)? {
-                    0 => None,
-                    1 => Some(dcodec::take_f64(&mut r)?),
-                    _ => return None,
-                };
-                let acc_d = dcodec::take_f64(&mut r)?;
-                Artifact::Cell(CellEval { val_dirty, val_clean, acc_b, acc_c, acc_d })
+            tag::CELL => Artifact::Cell(decode_cell(&mut r)?),
+            tag::CELLS => {
+                let n = dcodec::take_usize(&mut r)?;
+                let mut members = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    let k0 = dcodec::take_u64(&mut r)?;
+                    let k1 = dcodec::take_u64(&mut r)?;
+                    members.push((CacheKey(k0, k1), decode_cell(&mut r)?));
+                }
+                Artifact::Cells(Arc::new(CellBatch { members }))
             }
             tag::CONTEXT => {
                 let metric = decode_metric(&mut r)?;
@@ -261,7 +305,7 @@ impl DiskCodec for Artifact {
     /// splits, cleaned matrices and trained models are prefilled into their
     /// demanding nodes and retired after their last consumer instead.
     fn promote_to_memory(&self) -> bool {
-        matches!(self, Artifact::Cell(_) | Artifact::Context(_))
+        matches!(self, Artifact::Cell(_) | Artifact::Cells(_) | Artifact::Context(_))
     }
 }
 
@@ -629,13 +673,20 @@ impl StudySubmission {
         let workers = inner.pool.workers();
         let (artifacts, stats) = handle.wait()?;
 
-        // Content-address every freshly produced, retained artifact.
+        // Content-address every freshly produced, retained artifact. Cell
+        // batches additionally fan their members out under the singleton
+        // `cell/…` addresses, keeping query-granular warm hits intact.
         {
             let mut cache = inner.cache.lock().expect("cache lock");
             for (id, artifact) in artifacts.iter().enumerate() {
                 if index[id].2 == NodeState::Run {
                     if let Some(a) = artifact {
                         cache.put(index[id].0, a);
+                        if let Artifact::Cells(batch) = a {
+                            for &(key, cell) in &batch.members {
+                                cache.put(key, &Artifact::Cell(cell));
+                            }
+                        }
                     }
                 }
             }
@@ -819,6 +870,10 @@ fn build_grid_tasks_scoped(
 ) -> TaskId {
     let GridScope { methods, models, n_models_full, subset } = scope;
     let (n_methods, n_models) = (methods.len(), models.len());
+    // Every node this grid adds belongs to `plan.name` for scheduling
+    // purposes: the pool's cost model is keyed per (kind, dataset), so a
+    // Train on EEG never borrows a Train-on-University runtime estimate.
+    let first_node = g.len();
 
     // GenerateDataset: the base spec, plus the injection step for mislabel
     // variants. Base generation is shared across variants and error types
@@ -946,6 +1001,9 @@ fn build_grid_tasks_scoped(
                 },
             );
 
+            // (dirty id, tclean id, singleton cell content name) per model —
+            // full grids fuse these into one batched Evaluate below.
+            let mut members: Vec<(TaskId, TaskId, String)> = Vec::with_capacity(n_models);
             for (pos_k, &(ki, kind)) in models.iter().enumerate() {
                 let tclean_cname = format!(
                     "trainc/{clean_cname}/{}/seed{:016x}/{}",
@@ -980,21 +1038,66 @@ fn build_grid_tasks_scoped(
                 );
 
                 let cell_cname = format!("cell/{}|{tclean_cname}", dirty_ids[pos_k].1);
-                let cell_id = g.task(
+                if subset {
+                    // Query-granular grids keep singleton Evaluate tasks at
+                    // the same content addresses as always, so a warm memo
+                    // (fanned out from a full study's batches) answers them.
+                    let cell_id = g.task(
+                        TaskKind::Evaluate,
+                        format!("cell/{}/{}/s{s}/m{mi}/{}", plan.name, et.name(), kind.name()),
+                        CacheKey::of(&cell_cname),
+                        vec![dirty_ids[pos_k].0, tclean_id, clean_id, ctx_id],
+                        move |d| {
+                            Ok(Artifact::Cell(tasks::evaluate_cell(
+                                d[0].trained(),
+                                d[1].trained(),
+                                d[2].clean(),
+                                d[3].context(),
+                            )?))
+                        },
+                    );
+                    cell_ids.push(cell_id);
+                } else {
+                    members.push((dirty_ids[pos_k].0, tclean_id, cell_cname));
+                }
+            }
+
+            if !subset {
+                // One fused Evaluate per (dataset, split, cleaning method):
+                // its content address derives from the member set, and the
+                // artifact carries each member's singleton address so the
+                // results fan back into the cache at collection time.
+                let batch_cname = format!(
+                    "cells/{}",
+                    members.iter().map(|(_, _, c)| c.as_str()).collect::<Vec<_>>().join("|")
+                );
+                let member_keys: Vec<CacheKey> =
+                    members.iter().map(|(_, _, c)| CacheKey::of(c)).collect();
+                let mut deps = vec![clean_id, ctx_id];
+                for &(dirty_id, tclean_id, _) in &members {
+                    deps.push(dirty_id);
+                    deps.push(tclean_id);
+                }
+                let batch_id = g.task(
                     TaskKind::Evaluate,
-                    format!("cell/{}/{}/s{s}/m{mi}/{}", plan.name, et.name(), kind.name()),
-                    CacheKey::of(&cell_cname),
-                    vec![dirty_ids[pos_k].0, tclean_id, clean_id, ctx_id],
+                    format!("cells/{}/{}/s{s}/m{mi}", plan.name, et.name()),
+                    CacheKey::of(&batch_cname),
+                    deps,
                     move |d| {
-                        Ok(Artifact::Cell(tasks::evaluate_cell(
-                            d[0].trained(),
-                            d[1].trained(),
-                            d[2].clean(),
-                            d[3].context(),
-                        )?))
+                        let mut out = Vec::with_capacity(member_keys.len());
+                        for (k, &key) in member_keys.iter().enumerate() {
+                            let cell = tasks::evaluate_cell(
+                                d[2 + 2 * k].trained(),
+                                d[3 + 2 * k].trained(),
+                                d[0].clean(),
+                                d[1].context(),
+                            )?;
+                            out.push((key, cell));
+                        }
+                        Ok(Artifact::Cells(Arc::new(CellBatch { members: out })))
                     },
                 );
-                cell_ids.push(cell_id);
+                cell_ids.push(batch_id);
             }
         }
     }
@@ -1032,7 +1135,7 @@ fn build_grid_tasks_scoped(
     let methods_owned: Vec<CleaningMethod> = methods.iter().map(|&(_, m)| m).collect();
     let models_owned: Vec<ModelKind> = models.iter().map(|&(_, k)| k).collect();
     let n_splits = cfg.n_splits;
-    g.task(
+    let reduce_id = g.task(
         TaskKind::Reduce,
         format!("grid/{}/{}", plan.name, et.name()),
         CacheKey::of(&grid_cname),
@@ -1044,11 +1147,19 @@ fn build_grid_tasks_scoped(
             for _ in 0..n_splits {
                 let mut per_split = Vec::with_capacity(methods_owned.len());
                 for _ in 0..methods_owned.len() {
-                    let mut row = Vec::with_capacity(models_owned.len());
-                    for _ in 0..models_owned.len() {
-                        row.push(it.next().expect("cell count matches").cell());
+                    // Full grids deliver one batch per (split, method) with
+                    // the models in order; subset grids deliver singleton
+                    // cells in the same model order.
+                    if subset {
+                        let mut row = Vec::with_capacity(models_owned.len());
+                        for _ in 0..models_owned.len() {
+                            row.push(it.next().expect("cell count matches").cell());
+                        }
+                        per_split.push(row);
+                    } else {
+                        let batch = it.next().expect("batch count matches").cells();
+                        per_split.push(batch.members.iter().map(|&(_, c)| c).collect());
                     }
-                    per_split.push(row);
                 }
                 cells.push(per_split);
             }
@@ -1061,7 +1172,9 @@ fn build_grid_tasks_scoped(
                 cells,
             )?)))
         },
-    )
+    );
+    g.class_range(first_node, &plan.name);
+    reduce_id
 }
 
 #[cfg(test)]
@@ -1179,10 +1292,47 @@ mod tests {
         let plans = dataset_plan(ErrorType::Inconsistencies, cfg.base_seed);
         let grid = build_grid_tasks(&mut g, &plans[0], ErrorType::Inconsistencies, cfg);
         // 1 generate + 1 ctx + per split (1 split + 7 dirty train + 1 method
-        // × (1 clean + 7 train + 7 cells)) + 1 reduce
-        let expected = 2 + 2 * (1 + 7 + 1 + 7 + 7) + 1;
+        // × (1 clean + 7 train + 1 fused evaluate batch)) + 1 reduce
+        let expected = 2 + 2 * (1 + 7 + 1 + 7 + 1) + 1;
         assert_eq!(g.len(), expected);
         assert_eq!(grid, g.len() - 1);
+    }
+
+    #[test]
+    fn cell_batch_codec_round_trips() {
+        let batch = Artifact::Cells(Arc::new(CellBatch {
+            members: vec![
+                (
+                    CacheKey::of("cell/a"),
+                    CellEval {
+                        val_dirty: 0.1,
+                        val_clean: 0.2,
+                        acc_b: 0.3,
+                        acc_c: None,
+                        acc_d: 0.4,
+                    },
+                ),
+                (
+                    CacheKey::of("cell/b"),
+                    CellEval {
+                        val_dirty: 0.5,
+                        val_clean: 0.6,
+                        acc_b: 0.7,
+                        acc_c: Some(0.8),
+                        acc_d: 0.9,
+                    },
+                ),
+            ],
+        }));
+        let bytes = batch.encode().expect("batches persist");
+        assert_eq!(bytes[0], b'B');
+        let back = Artifact::decode(&bytes).expect("decode");
+        assert_eq!(back.cells(), batch.cells());
+        assert!(batch.promote_to_memory(), "batches stay warm in the memo");
+        // truncations are misses, not panics
+        for cut in 0..bytes.len() {
+            assert!(Artifact::decode(&bytes[..cut]).is_none(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -40,12 +40,16 @@ pub const NKINDS: usize = TaskKind::ALL.len();
 
 /// Histogram bucket upper bounds, in seconds. Fixed at compile time so
 /// observation is a branch-free-ish scan; chosen to straddle the repo's
-/// task-cost spread (sub-millisecond reduces up to minute-scale trains).
-pub const BUCKET_BOUNDS_SECS: [f64; 10] =
-    [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0];
+/// task-cost spread — the 100 µs / 250 µs / 500 µs buckets resolve the
+/// sub-millisecond kinds (Evaluate, Reduce) whose quantiles a 1 ms floor
+/// would flatten to a meaningless "1.0".
+pub const BUCKET_BOUNDS_SECS: [f64; 13] =
+    [0.0001, 0.00025, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0];
 
-const BOUNDS_US: [u64; 10] =
-    [1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000, 60_000_000];
+const BOUNDS_US: [u64; 13] = [
+    100, 250, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000,
+    10_000_000, 60_000_000,
+];
 
 const NBUCKETS: usize = BUCKET_BOUNDS_SECS.len();
 

@@ -7,7 +7,7 @@ use std::sync::mpsc;
 
 use cleanml_core::schema::ErrorType;
 use cleanml_core::{run_study, CleanMlDb, ExperimentConfig};
-use cleanml_engine::{Engine, EngineConfig, EngineEvent, TaskKind};
+use cleanml_engine::{CellQuery, Engine, EngineConfig, EngineEvent, TaskKind};
 
 fn tiny_cfg() -> ExperimentConfig {
     ExperimentConfig { n_splits: 2, parallel: false, ..ExperimentConfig::quick() }
@@ -102,6 +102,59 @@ fn warm_disk_cache_resumes_with_zero_training() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn batched_and_singleton_evaluate_agree_cell_for_cell() {
+    let cfg = tiny_cfg();
+    let et = ErrorType::Inconsistencies;
+
+    // Full study: every Evaluate runs fused — one batch per
+    // (split, cleaning method) carrying all models.
+    let mut full = Engine::new(EngineConfig { workers: 2, cache_dir: None, ..Default::default() });
+    let (db_full, _) = full.run_study_with_report(&[et], &cfg).expect("full study");
+
+    // The same cell through a cold 1×1 query on a fresh engine: subset
+    // grids keep the singleton Evaluate path, so this exercises the
+    // other codepath end to end (no shared cache to hide behind).
+    let query = CellQuery {
+        error_type: et,
+        dataset: "University".into(),
+        detection: "OpenRefine".into(),
+        repair: "Merge".into(),
+        model: "Logistic Regression".into(),
+    };
+    let single = Engine::new(EngineConfig { workers: 2, cache_dir: None, ..Default::default() });
+    let sub = single.submit_query(&query, &cfg).expect("known cell");
+    let (db_cell, report) = sub.wait().expect("query run");
+    assert!(
+        report.executed(TaskKind::Evaluate) > 0,
+        "a cold query must execute singleton Evaluates"
+    );
+
+    // Cell-granular rows (R1) must agree on the raw evidence. Flags are
+    // excluded on purpose: BY correction runs over each database's own
+    // row family, which legitimately differs between a 1×1 query and the
+    // full study.
+    assert!(!db_cell.r1.is_empty());
+    for row in &db_cell.r1 {
+        let matched = db_full
+            .r1
+            .iter()
+            .find(|r| {
+                r.dataset == row.dataset
+                    && r.detection == row.detection
+                    && r.repair == row.repair
+                    && r.model == row.model
+                    && r.scenario == row.scenario
+            })
+            .expect("full study contains the queried cell");
+        assert_eq!(
+            matched.evidence, row.evidence,
+            "batched and singleton Evaluate disagree on {:?} scenario {:?}",
+            row.model, row.scenario
+        );
+    }
+}
+
 /// Sum of artifact payload bytes currently in a run directory.
 fn art_bytes(dir: &std::path::Path) -> u64 {
     std::fs::read_dir(dir)
@@ -147,20 +200,25 @@ fn killed_run_resumes_without_retraining() {
     // Simulate the kill: every Evaluate artifact vanishes (those tasks had
     // not finished), and the index file is stale (never flushed after the
     // final writes) — the store must rebuild it from the directory scan.
-    // Cells are recognized by their payload dispatch tag inside the frame.
-    let mut dropped_cells = 0usize;
+    // Evaluate batches and their fanned-out singleton cells are recognized
+    // by their payload dispatch tags inside the frame.
+    let mut dropped_batches = 0usize;
     for entry in std::fs::read_dir(&dir).unwrap().flatten() {
         let path = entry.path();
         if path.extension().is_some_and(|e| e == "art") {
             let bytes = std::fs::read(&path).unwrap();
             let payload = cleanml_dataset::codec::open_frame(&bytes).expect("stored frame valid");
-            if payload.first() == Some(&b'C') {
-                std::fs::remove_file(&path).unwrap();
-                dropped_cells += 1;
+            match payload.first() {
+                Some(&b'B') => {
+                    std::fs::remove_file(&path).unwrap();
+                    dropped_batches += 1;
+                }
+                Some(&b'C') => std::fs::remove_file(&path).unwrap(),
+                _ => {}
             }
         }
     }
-    assert!(dropped_cells > 0, "study must have persisted cells");
+    assert!(dropped_batches > 0, "study must have persisted evaluate batches");
     let _ = std::fs::remove_file(dir.join("index.v2"));
 
     let mut resumed = Engine::new(EngineConfig {
@@ -178,7 +236,7 @@ fn killed_run_resumes_without_retraining() {
     assert_eq!(report.executed(TaskKind::Clean), 0, "resume re-cleaned");
     assert_eq!(report.executed(TaskKind::Split), 0, "resume re-split");
     assert_eq!(report.executed(TaskKind::GenerateDataset), 0, "resume regenerated data");
-    assert_eq!(report.executed(TaskKind::Evaluate), dropped_cells, "exactly the lost cells");
+    assert_eq!(report.executed(TaskKind::Evaluate), dropped_batches, "exactly the lost batches");
     assert!(report.executed(TaskKind::Reduce) > 0);
 
     // Relations are bit-identical to the uninterrupted serial run, so the
@@ -292,7 +350,10 @@ fn corrupt_and_legacy_store_entries_degrade_to_misses() {
     drop(cold);
 
     // Vandalize the store: rotate through a bit flip mid-payload, a
-    // truncation, and a hex-text-era replacement.
+    // truncation, and a hex-text-era replacement. Fanned-out singleton
+    // cells (payload tag 'C') are skipped: a full-study graph only demands
+    // the fused batches, so an unread singleton copy would survive the
+    // resume unrepaired by design.
     let mut vandalized = 0usize;
     for (i, entry) in std::fs::read_dir(&dir).unwrap().flatten().enumerate() {
         let path = entry.path();
@@ -300,6 +361,11 @@ fn corrupt_and_legacy_store_entries_degrade_to_misses() {
             continue;
         }
         let mut bytes = std::fs::read(&path).unwrap();
+        if cleanml_dataset::codec::open_frame(&bytes)
+            .is_some_and(|payload| payload.first() == Some(&b'C'))
+        {
+            continue;
+        }
         match i % 3 {
             0 => {
                 let mid = bytes.len() / 2;

@@ -89,13 +89,14 @@ struct RegTree {
 }
 
 impl RegTree {
-    fn predict_one(&self, x: &[f64]) -> f64 {
+    /// Walks example `i` of a columnar matrix to its leaf weight.
+    fn predict_row(&self, data: &FeatureMatrix, i: usize) -> f64 {
         let mut at = 0usize;
         loop {
             match &self.nodes[at] {
                 RNode::Leaf(w) => return *w,
                 RNode::Split { feature, threshold, left, right } => {
-                    at = if x[*feature] <= *threshold { *left } else { *right };
+                    at = if data.at(i, *feature) <= *threshold { *left } else { *right };
                 }
             }
         }
@@ -153,11 +154,15 @@ impl Gbdt {
                 }
                 let ctx = GradCtx { data, grad: &grad, hess: &hess, params };
                 let mut nodes = Vec::new();
-                let rows: Vec<usize> = (0..n).collect();
-                build_reg_node(&ctx, &mut nodes, rows, 0);
+                let rows: Vec<u32> = (0..n as u32).collect();
+                // The chained sidecar is built once per matrix and reused by
+                // every tree of every round; each node inherits
+                // order-preserving partitions instead of re-sorting.
+                let lists: Vec<Vec<u32>> = data.sorted_cols_chained().iter().cloned().collect();
+                build_reg_node(&ctx, &mut nodes, rows, lists, 0);
                 let tree = RegTree { nodes };
                 for i in 0..n {
-                    scores[i * k + c] += params.eta * tree.predict_one(data.row(i));
+                    scores[i * k + c] += params.eta * tree.predict_row(data, i);
                 }
                 round_trees.push(tree);
             }
@@ -178,11 +183,10 @@ impl Gbdt {
         let k = self.n_classes;
         let mut out = vec![0.0; data.n_rows() * k];
         for i in 0..data.n_rows() {
-            let x = data.row(i);
             let row = &mut out[i * k..(i + 1) * k];
             for round in &self.trees {
                 for (c, tree) in round.iter().enumerate() {
-                    row[c] += self.eta * tree.predict_one(x);
+                    row[c] += self.eta * tree.predict_row(data, i);
                 }
             }
             crate::logistic::softmax(row);
@@ -207,14 +211,19 @@ fn score(g: f64, h: f64, lambda: f64) -> f64 {
     g * g / (h + lambda)
 }
 
+/// Recursively builds the regression subtree for `rows` (ascending-index
+/// membership); `lists[f]` is the same membership in the chained sort order
+/// of [`FeatureMatrix::sorted_cols_chained`], which reproduces the
+/// pre-columnar kernel's per-node cascading stable sorts bit-for-bit.
 fn build_reg_node(
     ctx: &GradCtx<'_>,
     nodes: &mut Vec<RNode>,
-    rows: Vec<usize>,
+    rows: Vec<u32>,
+    lists: Vec<Vec<u32>>,
     depth: usize,
 ) -> usize {
-    let g_total: f64 = rows.iter().map(|&r| ctx.grad[r]).sum();
-    let h_total: f64 = rows.iter().map(|&r| ctx.hess[r]).sum();
+    let g_total: f64 = rows.iter().map(|&r| ctx.grad[r as usize]).sum();
+    let h_total: f64 = rows.iter().map(|&r| ctx.hess[r as usize]).sum();
     let lambda = ctx.params.lambda;
 
     let leaf_weight = -g_total / (h_total + lambda);
@@ -224,25 +233,23 @@ fn build_reg_node(
         return idx;
     }
 
-    // Best split by structure gain.
+    // Best split by structure gain: one contiguous sweep per feature over
+    // the pre-sorted candidate list.
     let d = ctx.data.n_cols();
     let parent_score = score(g_total, h_total, lambda);
     let mut best: Option<(usize, f64)> = None;
     let mut best_gain = ctx.params.gamma.max(1e-12);
 
-    let mut order = rows.clone();
-    for f in 0..d {
-        order.sort_by(|&a, &b| {
-            ctx.data.row(a)[f].partial_cmp(&ctx.data.row(b)[f]).expect("finite features")
-        });
+    for (f, order) in lists.iter().enumerate().take(d) {
+        let col = ctx.data.col(f);
         let mut gl = 0.0;
         let mut hl = 0.0;
         for w in 0..order.len() - 1 {
-            let r = order[w];
+            let r = order[w] as usize;
             gl += ctx.grad[r];
             hl += ctx.hess[r];
-            let v_here = ctx.data.row(r)[f];
-            let v_next = ctx.data.row(order[w + 1])[f];
+            let v_here = col[r];
+            let v_next = col[order[w + 1] as usize];
             if v_next <= v_here {
                 continue;
             }
@@ -265,13 +272,22 @@ fn build_reg_node(
         return idx;
     };
 
-    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-        rows.into_iter().partition(|&r| ctx.data.row(r)[feature] <= threshold);
+    // Order-stable partitions keep both membership orders in the children.
+    let goes_left = |r: u32| ctx.data.at(r as usize, feature) <= threshold;
+    let (left_rows, right_rows): (Vec<u32>, Vec<u32>) =
+        rows.into_iter().partition(|&r| goes_left(r));
+    let mut left_lists = Vec::with_capacity(lists.len());
+    let mut right_lists = Vec::with_capacity(lists.len());
+    for list in lists {
+        let (l, r): (Vec<u32>, Vec<u32>) = list.into_iter().partition(|&r| goes_left(r));
+        left_lists.push(l);
+        right_lists.push(r);
+    }
 
     let idx = nodes.len();
     nodes.push(RNode::Leaf(0.0)); // placeholder
-    let left = build_reg_node(ctx, nodes, left_rows, depth + 1);
-    let right = build_reg_node(ctx, nodes, right_rows, depth + 1);
+    let left = build_reg_node(ctx, nodes, left_rows, left_lists, depth + 1);
+    let right = build_reg_node(ctx, nodes, right_rows, right_lists, depth + 1);
     nodes[idx] = RNode::Split { feature, threshold, left, right };
     idx
 }

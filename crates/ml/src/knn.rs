@@ -64,15 +64,22 @@ impl Knn {
         let classes = self.train.n_classes();
         let mut out = Vec::with_capacity(data.n_rows() * classes);
 
-        // (distance², train index) scratch reused across queries.
+        // (distance², train index) scratch reused across queries, plus a
+        // gather buffer for the query row (the train side is swept by
+        // contiguous column stride; each d² accumulator still receives its
+        // feature terms in ascending-`j` order).
         let mut dists: Vec<(f64, usize)> = Vec::with_capacity(n_train);
+        let mut q_row = vec![0.0; data.n_cols()];
         for q in 0..data.n_rows() {
-            let x = data.row(q);
+            data.read_row(q, &mut q_row);
             dists.clear();
-            for t in 0..n_train {
-                let y = self.train.row(t);
-                let d2: f64 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
-                dists.push((d2, t));
+            dists.extend((0..n_train).map(|t| (0.0, t)));
+            for (j, &a) in q_row.iter().enumerate() {
+                let col = self.train.col(j);
+                for (t, &b) in col.iter().enumerate() {
+                    let d = a - b;
+                    dists[t].0 += d * d;
+                }
             }
             // Partial selection of the k smallest (ties broken by train index
             // for determinism).

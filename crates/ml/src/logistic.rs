@@ -87,7 +87,11 @@ impl Logistic {
         let mut weights = vec![0.0; k * d];
         let mut bias = vec![0.0; k];
 
+        // Preallocated scratch, reused across epochs: raw per-example
+        // logit sums and softmax errors (both `n × k`).
         let mut probs = vec![0.0; k];
+        let mut logits = vec![0.0; n * k];
+        let mut errs = vec![0.0; n * k];
         let mut grad_w = vec![0.0; k * d];
         let mut grad_b = vec![0.0; k];
 
@@ -95,21 +99,46 @@ impl Logistic {
             grad_w.iter_mut().for_each(|g| *g = 0.0);
             grad_b.iter_mut().for_each(|g| *g = 0.0);
 
+            // Pass 1 — logits, swept per (class, feature) over contiguous
+            // column slices. Each `logits[i,c]` accumulator receives its
+            // feature terms in ascending-`j` order starting from zero
+            // (matching a row-major dot product term for term), with the
+            // bias added afterwards.
+            logits.iter_mut().for_each(|z| *z = 0.0);
+            for c in 0..k {
+                for j in 0..d {
+                    let wcj = weights[c * d + j];
+                    let col = data.col(j);
+                    for (i, &xij) in col.iter().enumerate() {
+                        logits[i * k + c] += wcj * xij;
+                    }
+                }
+            }
+            // Softmax + error per example (same per-row order as before).
             for i in 0..n {
-                let x = data.row(i);
                 for c in 0..k {
-                    let w = &weights[c * d..(c + 1) * d];
-                    probs[c] = bias[c] + dot(w, x);
+                    probs[c] = bias[c] + logits[i * k + c];
                 }
                 softmax(&mut probs);
                 let y = data.labels()[i];
                 for c in 0..k {
-                    let err = probs[c] - if c == y { 1.0 } else { 0.0 };
-                    let g = &mut grad_w[c * d..(c + 1) * d];
-                    for (gj, xj) in g.iter_mut().zip(x) {
-                        *gj += err * xj;
+                    errs[i * k + c] = probs[c] - if c == y { 1.0 } else { 0.0 };
+                }
+            }
+            // Pass 2 — gradients, swept per (class, feature) over column
+            // slices; each `grad_w[c,j]` accumulates its examples in
+            // ascending-`i` order, exactly as the row-major loop did.
+            for c in 0..k {
+                for j in 0..d {
+                    let g = &mut grad_w[c * d + j];
+                    let col = data.col(j);
+                    for (i, &xij) in col.iter().enumerate() {
+                        *g += errs[i * k + c] * xij;
                     }
-                    grad_b[c] += err;
+                }
+                let gb = &mut grad_b[c];
+                for i in 0..n {
+                    *gb += errs[i * k + c];
                 }
             }
 
@@ -138,11 +167,12 @@ impl Logistic {
         let k = self.n_classes;
         let d = self.n_features;
         let mut out = vec![0.0; n * k];
+        let mut x = vec![0.0; d];
         for i in 0..n {
-            let x = data.row(i);
+            data.read_row(i, &mut x);
             let row = &mut out[i * k..(i + 1) * k];
             for (c, out_c) in row.iter_mut().enumerate() {
-                *out_c = self.bias[c] + dot(&self.weights[c * d..(c + 1) * d], x);
+                *out_c = self.bias[c] + dot(&self.weights[c * d..(c + 1) * d], &x);
             }
             softmax(row);
         }

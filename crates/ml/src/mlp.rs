@@ -143,20 +143,32 @@ impl Mlp {
         let mut h2 = Vec::new();
         let mut logits = Vec::new();
 
+        // Preallocated scratch, zeroed in place instead of reallocated per
+        // batch / per sample.
+        let mut x = vec![0.0; d];
+        let mut delta1 = vec![0.0; l1.n_out];
+        let mut delta2 = vec![0.0; l2.n_out];
+        let mut g1w = vec![0.0; l1.w.len()];
+        let mut g1b = vec![0.0; l1.b.len()];
+        let mut g2w = vec![0.0; l2.w.len()];
+        let mut g2b = vec![0.0; l2.b.len()];
+        let mut g3w = vec![0.0; l3.w.len()];
+        let mut g3b = vec![0.0; l3.b.len()];
+
         for _epoch in 0..params.epochs {
             order.shuffle(&mut rng);
             for batch in order.chunks(params.batch_size) {
                 // Accumulate gradients over the batch.
-                let mut g1w = vec![0.0; l1.w.len()];
-                let mut g1b = vec![0.0; l1.b.len()];
-                let mut g2w = vec![0.0; l2.w.len()];
-                let mut g2b = vec![0.0; l2.b.len()];
-                let mut g3w = vec![0.0; l3.w.len()];
-                let mut g3b = vec![0.0; l3.b.len()];
+                g1w.iter_mut().for_each(|g| *g = 0.0);
+                g1b.iter_mut().for_each(|g| *g = 0.0);
+                g2w.iter_mut().for_each(|g| *g = 0.0);
+                g2b.iter_mut().for_each(|g| *g = 0.0);
+                g3w.iter_mut().for_each(|g| *g = 0.0);
+                g3b.iter_mut().for_each(|g| *g = 0.0);
 
                 for &i in batch {
-                    let x = data.row(i);
-                    l1.forward(x, &mut h1);
+                    data.read_row(i, &mut x);
+                    l1.forward(&x, &mut h1);
                     relu_inplace(&mut h1);
                     l2.forward(&h1, &mut h2);
                     relu_inplace(&mut h2);
@@ -168,7 +180,7 @@ impl Mlp {
                     logits[y] -= 1.0;
 
                     // layer 3 grads + delta2
-                    let mut delta2 = vec![0.0; l2.n_out];
+                    delta2.iter_mut().for_each(|d| *d = 0.0);
                     for o in 0..l3.n_out {
                         let dl = logits[o];
                         g3b[o] += dl;
@@ -186,7 +198,7 @@ impl Mlp {
                     }
 
                     // layer 2 grads + delta1
-                    let mut delta1 = vec![0.0; l1.n_out];
+                    delta1.iter_mut().for_each(|d| *d = 0.0);
                     for o in 0..l2.n_out {
                         let dl = delta2[o];
                         g2b[o] += dl;
@@ -244,9 +256,11 @@ impl Mlp {
         let mut h1 = Vec::new();
         let mut h2 = Vec::new();
         let mut logits = Vec::new();
+        let mut x = vec![0.0; self.n_features];
         let mut out = Vec::with_capacity(data.n_rows() * self.n_classes);
         for i in 0..data.n_rows() {
-            self.l1.forward(data.row(i), &mut h1);
+            data.read_row(i, &mut x);
+            self.l1.forward(&x, &mut h1);
             relu_inplace(&mut h1);
             self.l2.forward(&h1, &mut h2);
             relu_inplace(&mut h2);

@@ -105,10 +105,16 @@ impl Nacl {
             grad_b.iter_mut().for_each(|g| *g = 0.0);
 
             for i in 0..n {
-                let x = data.row(i);
-                // Apply dropout mask for this (epoch, sample).
-                for (xdj, &xj) in xd.iter_mut().zip(x) {
-                    *xdj = if rng.random::<f64>() < params.dropout { 0.0 } else { xj * keep_scale };
+                // Apply dropout mask for this (epoch, sample). The loop stays
+                // row-outer with ascending features so the RNG stream is
+                // consumed in exactly the same order as before the columnar
+                // layout change.
+                for (j, xdj) in xd.iter_mut().enumerate() {
+                    *xdj = if rng.random::<f64>() < params.dropout {
+                        0.0
+                    } else {
+                        data.at(i, j) * keep_scale
+                    };
                 }
                 for c in 0..k {
                     let w = &weights[c * d..(c + 1) * d];
@@ -151,9 +157,13 @@ impl Nacl {
         let d = self.n_features;
         let k = self.n_classes;
         let mut out = vec![0.0; data.n_rows() * k];
+        let mut x = vec![0.0; d];
+        let mut miss = vec![false; d];
         for i in 0..data.n_rows() {
-            let x = data.row(i);
-            let miss = data.missing_row(i);
+            data.read_row(i, &mut x);
+            for (j, m) in miss.iter_mut().enumerate() {
+                *m = data.missing_at(i, j);
+            }
             let row = &mut out[i * k..(i + 1) * k];
             for (c, out_c) in row.iter_mut().enumerate() {
                 let w = &self.weights[c * d..(c + 1) * d];

@@ -63,12 +63,17 @@ impl GaussianNb {
         let k = data.n_classes();
 
         let mut counts = vec![0usize; k];
-        let mut means = vec![0.0; k * d];
-        for i in 0..n {
-            let c = data.labels()[i];
+        for &c in data.labels() {
             counts[c] += 1;
-            for (m, x) in means[c * d..(c + 1) * d].iter_mut().zip(data.row(i)) {
-                *m += x;
+        }
+        // Column-outer sweeps: each per-(class, feature) accumulator still
+        // receives its examples in ascending-row order, so the sums are
+        // term-for-term identical to a row-major pass.
+        let mut means = vec![0.0; k * d];
+        for j in 0..d {
+            let col = data.col(j);
+            for (i, &x) in col.iter().enumerate() {
+                means[data.labels()[i] * d + j] += x;
             }
         }
         for c in 0..k {
@@ -79,13 +84,12 @@ impl GaussianNb {
         }
 
         let mut vars = vec![0.0; k * d];
-        for i in 0..n {
-            let c = data.labels()[i];
-            let m = &means[c * d..(c + 1) * d];
-            let v = &mut vars[c * d..(c + 1) * d];
-            for ((vj, mj), xj) in v.iter_mut().zip(m).zip(data.row(i)) {
-                let dev = xj - mj;
-                *vj += dev * dev;
+        for j in 0..d {
+            let col = data.col(j);
+            for (i, &x) in col.iter().enumerate() {
+                let c = data.labels()[i];
+                let dev = x - means[c * d + j];
+                vars[c * d + j] += dev * dev;
             }
         }
         let mut max_var = 0.0f64;
@@ -123,8 +127,9 @@ impl GaussianNb {
         let k = self.n_classes;
         let ln_2pi = (2.0 * std::f64::consts::PI).ln();
         let mut out = vec![0.0; data.n_rows() * k];
+        let mut x = vec![0.0; d];
         for i in 0..data.n_rows() {
-            let x = data.row(i);
+            data.read_row(i, &mut x);
             let row = &mut out[i * k..(i + 1) * k];
             for (c, out_c) in row.iter_mut().enumerate() {
                 let m = &self.means[c * d..(c + 1) * d];

@@ -130,8 +130,12 @@ impl DecisionTree {
             n_classes: data.n_classes(),
         };
         let mut nodes = Vec::new();
-        let all_rows: Vec<usize> = (0..data.n_rows()).collect();
-        build_node(&mut ctx, &mut nodes, all_rows, 0);
+        let all_rows: Vec<u32> = (0..data.n_rows() as u32).collect();
+        // Root split candidates come straight from the matrix's sorted-index
+        // sidecar; every descendant inherits order-preserving partitions of
+        // these lists, so no node ever sorts.
+        let lists: Vec<Vec<u32>> = data.sorted_cols().iter().cloned().collect();
+        build_node(&mut ctx, &mut nodes, all_rows, lists, 0);
         Ok(DecisionTree { nodes, n_features: data.n_cols(), n_classes: data.n_classes() })
     }
 
@@ -146,7 +150,7 @@ impl DecisionTree {
         let k = self.n_classes;
         let mut out = Vec::with_capacity(data.n_rows() * k);
         for i in 0..data.n_rows() {
-            let dist = self.leaf_dist(data.row(i));
+            let dist = self.leaf_dist_at(data, i);
             out.extend_from_slice(dist);
         }
         Ok(out)
@@ -178,13 +182,14 @@ impl DecisionTree {
         }
     }
 
-    fn leaf_dist(&self, x: &[f64]) -> &[f64] {
+    /// Walks example `i` of a columnar matrix to its leaf.
+    fn leaf_dist_at(&self, data: &FeatureMatrix, i: usize) -> &[f64] {
         let mut at = 0usize;
         loop {
             match &self.nodes[at] {
                 Node::Leaf { dist } => return dist,
                 Node::Split { feature, threshold, left, right } => {
-                    at = if x[*feature] <= *threshold { *left } else { *right };
+                    at = if data.at(i, *feature) <= *threshold { *left } else { *right };
                 }
             }
         }
@@ -192,18 +197,26 @@ impl DecisionTree {
 }
 
 /// Recursively builds the subtree for `rows`, returning its node index.
+///
+/// `rows` is the node's membership in ascending-index order; `lists[f]`
+/// holds the same membership in ascending `(value, row)` order for feature
+/// `f`. Both invariants hold at the root (identity order / the matrix
+/// sidecar) and are preserved by the order-stable partitions below, so the
+/// threshold sweep visits candidates in exactly the order the pre-columnar
+/// per-node stable sort produced — bit-identical splits.
 fn build_node(
     ctx: &mut BuildCtx<'_>,
     nodes: &mut Vec<Node>,
-    rows: Vec<usize>,
+    rows: Vec<u32>,
+    lists: Vec<Vec<u32>>,
     depth: usize,
 ) -> usize {
     let k = ctx.n_classes;
     let mut counts = vec![0.0; k];
     let mut total = 0.0;
     for &r in &rows {
-        counts[ctx.data.labels()[r]] += ctx.weights[r];
-        total += ctx.weights[r];
+        counts[ctx.data.labels()[r as usize]] += ctx.weights[r as usize];
+        total += ctx.weights[r as usize];
     }
 
     let make_leaf = |counts: &[f64], total: f64| {
@@ -225,30 +238,42 @@ fn build_node(
         return idx;
     }
 
-    let best = find_best_split(ctx, &rows, &counts, total, node_gini);
+    let best = find_best_split(ctx, &lists, &counts, total, node_gini);
     let Some((feature, threshold)) = best else {
         let idx = nodes.len();
         nodes.push(make_leaf(&counts, total));
         return idx;
     };
 
-    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-        rows.into_iter().partition(|&r| ctx.data.row(r)[feature] <= threshold);
+    // Order-stable partitions: membership order is preserved in both
+    // children, for the ascending row list and every per-feature list.
+    let goes_left = |r: u32| ctx.data.at(r as usize, feature) <= threshold;
+    let (left_rows, right_rows): (Vec<u32>, Vec<u32>) =
+        rows.into_iter().partition(|&r| goes_left(r));
+    let mut left_lists = Vec::with_capacity(lists.len());
+    let mut right_lists = Vec::with_capacity(lists.len());
+    for list in lists {
+        let (l, r): (Vec<u32>, Vec<u32>) = list.into_iter().partition(|&r| goes_left(r));
+        left_lists.push(l);
+        right_lists.push(r);
+    }
 
     // Reserve this node's slot before children so indices stay stable.
     let idx = nodes.len();
     nodes.push(Node::Leaf { dist: Vec::new() }); // placeholder
-    let left = build_node(ctx, nodes, left_rows, depth + 1);
-    let right = build_node(ctx, nodes, right_rows, depth + 1);
+    let left = build_node(ctx, nodes, left_rows, left_lists, depth + 1);
+    let right = build_node(ctx, nodes, right_rows, right_lists, depth + 1);
     nodes[idx] = Node::Split { feature, threshold, left, right };
     idx
 }
 
 /// Finds the `(feature, threshold)` with the largest weighted Gini decrease,
-/// or `None` if no valid split exists.
+/// or `None` if no valid split exists. `lists[f]` is the node's membership
+/// in ascending `(value, row)` order, so each feature is one contiguous
+/// sweep — no per-node sorting.
 fn find_best_split(
     ctx: &mut BuildCtx<'_>,
-    rows: &[usize],
+    lists: &[Vec<u32>],
     counts: &[f64],
     total: f64,
     node_gini: f64,
@@ -269,30 +294,24 @@ fn find_best_split(
     let mut best: Option<(usize, f64)> = None;
     let mut best_gain = 1e-12; // require a strictly positive gain
 
-    let mut order: Vec<usize> = Vec::with_capacity(rows.len());
     let mut left_counts = vec![0.0; k];
 
     for &f in &feature_pool {
-        order.clear();
-        order.extend_from_slice(rows);
-        order.sort_by(|&a, &b| {
-            ctx.data.row(a)[f]
-                .partial_cmp(&ctx.data.row(b)[f])
-                .expect("encoded features are finite")
-        });
+        let order = &lists[f];
+        let col = ctx.data.col(f);
 
         left_counts.iter_mut().for_each(|c| *c = 0.0);
         let mut left_total = 0.0;
         let mut left_n = 0usize;
 
         for w in 0..order.len() - 1 {
-            let r = order[w];
+            let r = order[w] as usize;
             left_counts[ctx.data.labels()[r]] += ctx.weights[r];
             left_total += ctx.weights[r];
             left_n += 1;
 
-            let v_here = ctx.data.row(r)[f];
-            let v_next = ctx.data.row(order[w + 1])[f];
+            let v_here = col[r];
+            let v_next = col[order[w + 1] as usize];
             if v_next <= v_here {
                 continue; // can't split between equal values
             }
@@ -482,10 +501,6 @@ mod tests {
         let tree =
             DecisionTree::fit(&TreeParams { min_samples_leaf: 2, ..Default::default() }, &data, 0)
                 .unwrap();
-        for i in 0..4 {
-            let row = data.row(i);
-            let _ = row; // tree must exist and predict without panicking
-        }
         let preds = tree.predict(&data).unwrap();
         assert_eq!(preds.len(), 4);
     }
