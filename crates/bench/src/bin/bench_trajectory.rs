@@ -124,6 +124,7 @@ fn main() {
     let mut cold_off = Duration::MAX;
     let mut first_latency: Option<Vec<(TaskKind, HistogramSummary)>> = None;
     let mut first_costs: Vec<(TaskKind, u64, u64)> = Vec::new();
+    let mut first_slow: Vec<cleanml_engine::SlowTask> = Vec::new();
     let mut overhead_pct = f64::INFINITY;
 
     // Unmeasured warm-up: the first study in a fresh process pays one-off
@@ -150,6 +151,7 @@ fn main() {
             if (leg == 0) == on_first {
                 let dir = fresh_dir("on", attempt);
                 t.set_enabled(true);
+                t.reset_slow_tasks(); // run boundary: the table is per-run
                 let (wall, report, costs) = run_leg(workers, &dir, &error_types, &cfg);
                 eprintln!(
                     "[trajectory] attempt {attempt}: cold run (telemetry on): {:.1?}, \
@@ -168,8 +170,10 @@ fn main() {
                             .collect(),
                     );
                     first_costs = costs;
+                    first_slow = t.slowest_tasks();
                 }
 
+                t.reset_slow_tasks();
                 let (wall, report, _) = run_leg(workers, &dir, &error_types, &cfg);
                 let warm_trains = report.executed(TaskKind::Train) + report.remote(TaskKind::Train);
                 eprintln!(
@@ -211,6 +215,27 @@ fn main() {
         );
     }
 
+    // The intra-process scaling leg: the same cold study at 4 workers
+    // against a fresh cache. On a single-core host the honest figure is
+    // ~1x (the nested-parallel plane cannot beat physics); on a
+    // multi-core host it measures how well the zero-copy plane and
+    // worker pool convert cores into wall-clock.
+    const SCALE_WORKERS: usize = 4;
+    let (cold_w4, scaling_efficiency) = {
+        let dir = fresh_dir("w4", 0);
+        t.set_enabled(true);
+        t.reset_slow_tasks();
+        let (wall, report, _) = run_leg(SCALE_WORKERS, &dir, &error_types, &cfg);
+        let speedup = cold_on.as_secs_f64() / wall.as_secs_f64();
+        eprintln!(
+            "[trajectory] cold run (workers={SCALE_WORKERS}): {:.1?}, {} tasks executed, \
+             {speedup:.2}x vs measured cold leg",
+            wall,
+            report.executed_total(),
+        );
+        (wall, speedup / SCALE_WORKERS as f64)
+    };
+
     // The traced leg runs after (and apart from) the measured ones, so
     // span recording never counts against the overhead budget.
     if let Some(path) = &trace_out {
@@ -245,6 +270,8 @@ fn main() {
         engine_cfg(workers, scratch.clone()).effective_workers()
     ));
     j.push_str(&format!("  \"cold_wall_ms\": {:.1},\n", ms(cold_on)));
+    j.push_str(&format!("  \"cold_wall_ms_w4\": {:.1},\n", ms(cold_w4)));
+    j.push_str(&format!("  \"scaling_efficiency\": {scaling_efficiency:.3},\n"));
     j.push_str(&format!("  \"warm_wall_ms\": {:.1},\n", ms(warm_on)));
     j.push_str(&format!("  \"telemetry_off_cold_wall_ms\": {:.1},\n", ms(cold_off)));
     j.push_str(&format!("  \"telemetry_overhead_pct\": {overhead_pct:.2},\n"));
@@ -268,6 +295,21 @@ fn main() {
         .collect();
     j.push_str(&rows.join(",\n"));
     j.push_str("\n  },\n");
+    j.push_str("  \"slowest_tasks\": [\n");
+    let rows: Vec<String> = first_slow
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"label\": {}, \"kind\": {}, \"class\": {}, \"dur_ms\": {:.1}}}",
+                json_str(&s.label),
+                json_str(s.kind),
+                json_str(&s.class),
+                s.dur_us as f64 / 1000.0,
+            )
+        })
+        .collect();
+    j.push_str(&rows.join(",\n"));
+    j.push_str("\n  ],\n");
     j.push_str("  \"cost_model\": {\n");
     let rows: Vec<String> = first_costs
         .iter()

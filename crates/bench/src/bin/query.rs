@@ -146,7 +146,9 @@ fn main() {
                                 );
                             }
                             let (stats, totals, run) = stats_from_serve_report(&sr);
-                            println!("{}", cache_stats_line(&stats, totals, &run));
+                            // the slowest-tasks table lives in the server's
+                            // registry and is not shipped over the wire
+                            println!("{}", cache_stats_line(&stats, totals, &run, &[]));
                         }
                         None => eprintln!("[query] server report did not decode"),
                     }

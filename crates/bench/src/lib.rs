@@ -39,7 +39,7 @@ use cleanml_core::database::FlagDist;
 use cleanml_core::schema::ErrorType;
 use cleanml_core::{CleanMlDb, ExperimentConfig};
 use cleanml_engine::{
-    parallel_map, CacheStats, Engine, EngineConfig, EngineEvent, RunReport, ServeReport,
+    parallel_map, CacheStats, Engine, EngineConfig, EngineEvent, RunReport, ServeReport, SlowTask,
     StatsSnapshot,
 };
 use cleanml_stats::Flag;
@@ -279,6 +279,7 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
 
     let started = std::time::Instant::now();
     let before = telemetry.stats_snapshot();
+    telemetry.reset_slow_tasks(); // run boundary: the table is per-run
     let (db, report) = engine.run_study_with_report(error_types, cfg).expect("engine study run");
     let delta = telemetry.stats_snapshot().since(&before);
     let stats = engine.cache_stats();
@@ -319,13 +320,24 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
         // single run, and a standing cross-check that the telemetry plane
         // counts what the scheduler does. With telemetry disabled the
         // registry saw nothing, so fall back to the report.
+        let slow = telemetry.slowest_tasks();
         let line = if telemetry.enabled() {
             let (stats, run) = stats_from_registry_delta(&delta);
-            cache_stats_line(&stats, store_totals, &run)
+            cache_stats_line(&stats, store_totals, &run, &slow)
         } else {
-            cache_stats_line(&stats, store_totals, &report)
+            cache_stats_line(&stats, store_totals, &report, &slow)
         };
         println!("{line}");
+        for (i, s) in slow.iter().enumerate() {
+            eprintln!(
+                "[engine] slowest {}: {} {} ({}) {:.1} ms",
+                i + 1,
+                s.kind,
+                s.label,
+                if s.class.is_empty() { "-" } else { &s.class },
+                s.dur_us as f64 / 1000.0,
+            );
+        }
     }
     if let Some(path) = trace_out {
         match telemetry.write_trace(&path) {
@@ -341,18 +353,21 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
 /// vs remote, plus re-leased orphans), in a stable greppable format.
 /// `executed_train` counts `Train` tasks across both provenances — the
 /// warm-memo acceptance signal (a warm serve answers with
-/// `executed_train=0`).
+/// `executed_train=0`). `slow` is the registry's top-8 slowest-tasks
+/// table; each entry renders as `kind:class:duration` (`-` when empty).
 pub fn cache_stats_line(
     stats: &CacheStats,
     store_totals: Option<(u64, usize)>,
     report: &RunReport,
+    slow: &[SlowTask],
 ) -> String {
     use cleanml_engine::TaskKind;
     let (store_bytes, store_entries) = store_totals.unwrap_or((0, 0));
     format!(
         "[cache-stats] memory_hits={} disk_hits={} misses={} disk_writes={} \
          disk_evictions={} store_entries={} store_bytes={} executed_local={} \
-         executed_remote={} executed_train={} remote_workers={} releases={}",
+         executed_remote={} executed_train={} remote_workers={} releases={} \
+         slowest={}",
         stats.memory_hits,
         stats.disk_hits,
         stats.misses,
@@ -365,7 +380,28 @@ pub fn cache_stats_line(
         report.executed(TaskKind::Train) + report.remote(TaskKind::Train),
         report.remote_workers,
         report.releases,
+        slowest_tasks_field(slow),
     )
+}
+
+/// The `slowest=` field of [`cache_stats_line`]: comma-joined
+/// `kind:class:duration` entries, slowest first (`-` when the table is
+/// empty or telemetry was off).
+pub fn slowest_tasks_field(slow: &[SlowTask]) -> String {
+    if slow.is_empty() {
+        return "-".into();
+    }
+    slow.iter()
+        .map(|s| {
+            format!(
+                "{}:{}:{:.1}ms",
+                s.kind,
+                if s.class.is_empty() { "-" } else { &s.class },
+                s.dur_us as f64 / 1000.0,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Fans the per-dataset jobs of grouped comparisons (Tables 17/19) out on
@@ -483,18 +519,34 @@ mod tests {
             releases: 1,
             ..Default::default()
         };
+        let slow = vec![
+            SlowTask {
+                label: "train eeg lr".into(),
+                kind: "Train",
+                class: "eeg".into(),
+                dur_us: 5_250,
+            },
+            SlowTask {
+                label: "clean citation".into(),
+                kind: "Clean",
+                class: String::new(),
+                dur_us: 900,
+            },
+        ];
         assert_eq!(
-            cache_stats_line(&stats, Some((1024, 7)), &report),
+            cache_stats_line(&stats, Some((1024, 7)), &report, &slow),
             "[cache-stats] memory_hits=1 disk_hits=2 misses=3 disk_writes=4 \
              disk_evictions=5 store_entries=7 store_bytes=1024 executed_local=8 \
-             executed_remote=9 executed_train=15 remote_workers=2 releases=1"
+             executed_remote=9 executed_train=15 remote_workers=2 releases=1 \
+             slowest=Train:eeg:5.2ms,Clean:-:0.9ms"
         );
         // no persistent layer / purely local run: fields read as zero,
         // line shape stable
-        let local = cache_stats_line(&stats, None, &RunReport::default());
+        let local = cache_stats_line(&stats, None, &RunReport::default(), &[]);
         assert!(local.contains("store_entries=0 store_bytes=0"));
         assert!(local.ends_with(
-            "executed_local=0 executed_remote=0 executed_train=0 remote_workers=0 releases=0"
+            "executed_local=0 executed_remote=0 executed_train=0 remote_workers=0 releases=0 \
+             slowest=-"
         ));
     }
 
@@ -525,7 +577,7 @@ mod tests {
             ..Default::default()
         };
         let (stats, totals, run) = stats_from_serve_report(&report);
-        let line = cache_stats_line(&stats, totals, &run);
+        let line = cache_stats_line(&stats, totals, &run, &[]);
         assert!(line.contains("memory_hits=5"), "{line}");
         assert!(line.contains("store_bytes=4096"), "{line}");
         assert!(line.contains("executed_local=2"), "{line}");

@@ -20,9 +20,11 @@ use std::collections::HashMap;
 
 use cleanml_dataset::{ColumnKind, ColumnRole, Table};
 
+use std::collections::HashSet;
+
 use crate::report::TableReport;
 use crate::similarity::{
-    levenshtein_similarity, numeric_similarity, token_jaccard, trigram_jaccard,
+    jaccard_sets, levenshtein_similarity, numeric_similarity, token_set, trigram_set,
 };
 use crate::zeroer::{PairGmm, SimMatrix};
 use crate::Result;
@@ -103,33 +105,60 @@ fn feature_dim(num_cols: &[usize]) -> usize {
     3 + usize::from(!num_cols.is_empty())
 }
 
-/// Writes the similarity vector of a record pair into `out` (width
-/// [`feature_dim`]); the caller reuses the scratch across pairs.
-fn pair_features_into(
-    table: &Table,
-    a: usize,
-    b: usize,
-    text_cols: &[usize],
-    num_cols: &[usize],
-    out: &mut [f64],
-) {
-    let ta = record_text(table, a, text_cols);
-    let tb = record_text(table, b, text_cols);
-    out[0] = levenshtein_similarity(&ta, &tb);
-    out[1] = token_jaccard(&ta, &tb);
-    out[2] = trigram_jaccard(&ta, &tb);
-    if !num_cols.is_empty() {
-        let mut sum = 0.0;
-        let mut n = 0usize;
-        for &c in num_cols {
-            let col = table.column(c).expect("column exists");
-            if let (Some(x), Some(y)) = (col.num(a), col.num(b)) {
-                sum += numeric_similarity(x, y);
-                n += 1;
-            }
-        }
-        out[3] = if n > 0 { sum / n as f64 } else { 0.5 };
+/// Per-row state for the O(n²) pair sweeps, computed once per table
+/// instead of once per pair: the concatenated record text, its token and
+/// trigram sets (the dominant per-pair cost before this cache existed),
+/// and the numeric feature values. Pair features computed through this
+/// are bit-identical to the historical per-pair recomputation — the same
+/// sets feed the same Jaccard, the same strings feed Levenshtein.
+struct PairFeaturizer {
+    texts: Vec<String>,
+    tokens: Vec<HashSet<String>>,
+    trigrams: Vec<HashSet<String>>,
+    /// `numeric[k][row]` for `num_cols[k]`, in `num_cols` order.
+    numeric: Vec<Vec<Option<f64>>>,
+}
+
+impl PairFeaturizer {
+    fn new(table: &Table, text_cols: &[usize], num_cols: &[usize]) -> Self {
+        let n = table.n_rows();
+        let texts: Vec<String> = (0..n).map(|r| record_text(table, r, text_cols)).collect();
+        let tokens = texts.iter().map(|t| token_set(t)).collect();
+        let trigrams = texts.iter().map(|t| trigram_set(t)).collect();
+        let numeric = num_cols
+            .iter()
+            .map(|&c| {
+                let col = table.column(c).expect("column exists");
+                (0..n).map(|r| col.num(r)).collect()
+            })
+            .collect();
+        PairFeaturizer { texts, tokens, trigrams, numeric }
     }
+
+    /// Writes the similarity vector of a record pair into `out` (width
+    /// [`feature_dim`]); the caller reuses the scratch across pairs.
+    fn features_into(&self, a: usize, b: usize, out: &mut [f64]) {
+        out[0] = levenshtein_similarity(&self.texts[a], &self.texts[b]);
+        out[1] = jaccard_sets(&self.tokens[a], &self.tokens[b]);
+        out[2] = jaccard_sets(&self.trigrams[a], &self.trigrams[b]);
+        if !self.numeric.is_empty() {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for col in &self.numeric {
+                if let (Some(x), Some(y)) = (col[a], col[b]) {
+                    sum += numeric_similarity(x, y);
+                    n += 1;
+                }
+            }
+            out[3] = if n > 0 { sum / n as f64 } else { 0.5 };
+        }
+    }
+}
+
+/// Upper bound on subwork chunks for a pair sweep: enough to keep every
+/// helper busy, few enough that per-chunk dispatch stays invisible.
+fn pair_chunks(n_pairs: usize) -> Vec<std::ops::Range<usize>> {
+    cleanml_parallel::chunk_ranges(n_pairs, n_pairs.div_ceil(2048))
 }
 
 /// Candidate pairs: all pairs for small tables, token-blocked pairs above
@@ -180,11 +209,26 @@ pub fn fit(detection: DuplicateDetection, train: &Table) -> Result<FittedDuplica
             let num_cols = numeric_columns(train);
             let pairs = candidate_pairs(train, &text_cols);
             let dim = feature_dim(&num_cols);
+            let fz = PairFeaturizer::new(train, &text_cols, &num_cols);
+            // The O(n²) feature sweep fans out in contiguous chunks; rows
+            // land back in pair order, so the GMM sees the exact matrix
+            // the serial loop built.
+            let chunks = pair_chunks(pairs.len());
+            let chunk_rows: Vec<Vec<f64>> = cleanml_parallel::run_indexed(chunks.len(), |ci| {
+                let range = chunks[ci].clone();
+                let mut rows = vec![0.0; range.len() * dim];
+                for (j, &(a, b)) in pairs[range].iter().enumerate() {
+                    fz.features_into(a, b, &mut rows[j * dim..(j + 1) * dim]);
+                }
+                rows
+            });
             let mut points = SimMatrix::zeroed(pairs.len(), dim);
-            let mut feat = vec![0.0; dim];
-            for (i, &(a, b)) in pairs.iter().enumerate() {
-                pair_features_into(train, a, b, &text_cols, &num_cols, &mut feat);
-                points.set_row(i, &feat);
+            let mut i = 0;
+            for rows in &chunk_rows {
+                for feat in rows.chunks_exact(dim) {
+                    points.set_row(i, feat);
+                    i += 1;
+                }
             }
             PairGmm::fit(&points)
         }
@@ -264,14 +308,24 @@ impl FittedDuplicates {
                 let text_cols = text_columns(table);
                 let num_cols = numeric_columns(table);
                 let pairs = candidate_pairs(table, &text_cols);
-                let mut feat = vec![0.0; feature_dim(&num_cols)];
-                Ok(pairs
-                    .into_iter()
-                    .filter(|&(a, b)| {
-                        pair_features_into(table, a, b, &text_cols, &num_cols, &mut feat);
-                        gmm.posterior_match(&feat) > MATCH_THRESHOLD
-                    })
-                    .collect())
+                let dim = feature_dim(&num_cols);
+                let fz = PairFeaturizer::new(table, &text_cols, &num_cols);
+                // Chunked match sweep; chunk-order concatenation keeps the
+                // matched-pair list identical to the serial filter.
+                let chunks = pair_chunks(pairs.len());
+                let matched: Vec<Vec<(usize, usize)>> =
+                    cleanml_parallel::run_indexed(chunks.len(), |ci| {
+                        let mut feat = vec![0.0; dim];
+                        pairs[chunks[ci].clone()]
+                            .iter()
+                            .copied()
+                            .filter(|&(a, b)| {
+                                fz.features_into(a, b, &mut feat);
+                                gmm.posterior_match(&feat) > MATCH_THRESHOLD
+                            })
+                            .collect()
+                    });
+                Ok(matched.into_iter().flatten().collect())
             }
         }
     }

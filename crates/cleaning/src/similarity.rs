@@ -38,17 +38,34 @@ pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
     1.0 - levenshtein(a, b) as f64 / max_len as f64
 }
 
+/// The lowercase whitespace-token set of a string — precompute one per
+/// record and feed pairs to [`jaccard_sets`] instead of paying the
+/// tokenization inside every O(n²) pair comparison.
+pub fn token_set(s: &str) -> HashSet<String> {
+    s.split_whitespace().map(|t| t.to_lowercase()).collect()
+}
+
+/// The character 3-gram set of the lowercased string; the per-record
+/// counterpart of [`trigram_jaccard`].
+pub fn trigram_set(s: &str) -> HashSet<String> {
+    char_ngrams(s, 3)
+}
+
 /// Jaccard similarity of lowercase whitespace tokens; 1.0 for two empty
 /// token sets.
 pub fn token_jaccard(a: &str, b: &str) -> f64 {
-    let ta: HashSet<String> = a.split_whitespace().map(|t| t.to_lowercase()).collect();
-    let tb: HashSet<String> = b.split_whitespace().map(|t| t.to_lowercase()).collect();
-    jaccard(&ta, &tb)
+    jaccard(&token_set(a), &token_set(b))
 }
 
 /// Jaccard similarity of character 3-grams of the lowercased strings.
 pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
     jaccard(&char_ngrams(a, 3), &char_ngrams(b, 3))
+}
+
+/// Jaccard over prebuilt sets ([`token_set`] / [`trigram_set`]) — exactly
+/// the similarity the string-pair entry points compute.
+pub fn jaccard_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    jaccard(a, b)
 }
 
 fn char_ngrams(s: &str, n: usize) -> HashSet<String> {

@@ -2,10 +2,69 @@
 
 use proptest::prelude::*;
 
+use cleanml_cleaning::duplicates::{self, DuplicateDetection};
 use cleanml_cleaning::missing::{self, CatImpute, MissingRepair, NumImpute};
 use cleanml_cleaning::outliers::{self, OutlierDetection, OutlierRepair};
 use cleanml_cleaning::zeroer::{PairGmm, SimMatrix};
 use cleanml_dataset::{FieldMeta, Schema, Table, Value};
+
+/// Runs `f` twice — serially and under a real multi-thread subwork
+/// bridge — and hands both results to the caller for equality checks.
+/// This is the Clean half of the engine's determinism invariant: nested
+/// parallelism must never change what a cleaner computes.
+fn serial_and_bridged<T>(f: impl Fn() -> T) -> (T, T) {
+    let serial = f();
+    cleanml_parallel::install_bridge(std::sync::Arc::new(cleanml_parallel::ThreadBridge {
+        helpers: 3,
+    }));
+    let bridged = f();
+    cleanml_parallel::clear_bridge();
+    (serial, bridged)
+}
+
+fn arb_entity_table() -> impl Strategy<Value = Table> {
+    // Names drawn from a small vocabulary with occasional typo suffixes:
+    // enough collisions and near-collisions that ZeroER's O(n²) sweep has
+    // real matches to find.
+    let row = (0usize..12, 0usize..4, -10.0f64..10.0, prop::bool::ANY);
+    prop::collection::vec(row, 4..40).prop_map(|rows| {
+        const NAMES: [&str; 12] = [
+            "Luigi Pizza",
+            "Sushi Ko",
+            "Taco Town",
+            "Burger Barn",
+            "Pho Place",
+            "Curry Corner",
+            "Bagel Bros",
+            "Noodle Nest",
+            "Dumpling Den",
+            "Pasta Palace",
+            "Salad Stop",
+            "Waffle Works",
+        ];
+        let schema = Schema::new(vec![
+            FieldMeta::key("name"),
+            FieldMeta::num_feature("rating"),
+            FieldMeta::label("y"),
+        ]);
+        let mut t = Table::new(schema);
+        for (ni, variant, rating, y) in rows {
+            let name = match variant {
+                0 => NAMES[ni].to_string(),
+                1 => format!("{}e", NAMES[ni]),
+                2 => NAMES[ni].to_lowercase(),
+                _ => format!("{} #2", NAMES[ni]),
+            };
+            t.push_row(vec![
+                Value::from(name.as_str()),
+                Value::from(rating),
+                Value::from(if y { "a" } else { "b" }),
+            ])
+            .expect("schema");
+        }
+        t
+    })
+}
 
 fn arb_numeric_table() -> impl Strategy<Value = Table> {
     let row = (prop::option::of(-100.0f64..100.0), prop::bool::ANY);
@@ -79,6 +138,42 @@ proptest! {
                     prop_assert!(was_flagged, "row {r} changed without detection");
                 }
             }
+        }
+    }
+
+    /// ZeroER duplicate cleaning is byte-identical whether the O(n²)
+    /// similarity sweeps run serially or fan out over a subwork bridge.
+    #[test]
+    fn zeroer_nested_parallel_matches_serial(t in arb_entity_table()) {
+        let (serial, bridged) = serial_and_bridged(|| {
+            let cleaner = duplicates::fit(DuplicateDetection::ZeroEr, &t).expect("fit");
+            let pairs = cleaner.detect_pairs(&t).expect("detect");
+            let (clean, report) = cleaner.apply(&t).expect("apply");
+            (pairs, clean, report.detected)
+        });
+        prop_assert_eq!(&serial.0, &bridged.0, "pairs diverge under bridge");
+        prop_assert_eq!(&serial.1, &bridged.1, "cleaned table diverges under bridge");
+        prop_assert_eq!(serial.2, bridged.2);
+    }
+
+    /// Per-column outlier fitting (including the seeded isolation forest)
+    /// is byte-identical serial vs nested-parallel.
+    #[test]
+    fn outlier_nested_parallel_matches_serial(t in arb_numeric_table(), seed in any::<u64>()) {
+        prop_assume!(t.column(0).expect("col").numeric_values().len() >= 3);
+        for detection in [
+            OutlierDetection::Sd { n_sigmas: 3.0 },
+            OutlierDetection::IsolationForest { n_trees: 10, contamination: 0.1 },
+        ] {
+            let (serial, bridged) = serial_and_bridged(|| {
+                let cleaner = outliers::fit(detection, OutlierRepair::Median, &t, seed)
+                    .expect("fit");
+                let cells = cleaner.detect(&t).expect("detect");
+                let (clean, _) = cleaner.apply(&t).expect("apply");
+                (cells, clean)
+            });
+            prop_assert_eq!(&serial.0, &bridged.0, "{:?} cells diverge", detection);
+            prop_assert_eq!(&serial.1, &bridged.1, "{:?} table diverges", detection);
         }
     }
 

@@ -100,11 +100,19 @@ pub trait DiskCodec: Sized {
 
     /// Whether a disk hit should also be inserted into the unbounded
     /// in-memory map. Heavy artifacts (tables, matrices, models) return
-    /// `false`: they are prefilled into the demanding graph node and
-    /// retired after their last consumer, instead of accumulating for the
-    /// engine's lifetime.
+    /// `false`: they land in the bounded *resident* layer instead — one
+    /// decoded allocation shared by every demanding handle — rather than
+    /// accumulating in the memo for the engine's lifetime.
     fn promote_to_memory(&self) -> bool {
         true
+    }
+
+    /// Rough in-memory footprint of the decoded artifact, charged to the
+    /// `resident_bytes` gauge while a disk-decoded heavy artifact stays
+    /// parked in the resident layer. Charged once per decode — handles
+    /// share the allocation, so shares add nothing.
+    fn approx_bytes(&self) -> u64 {
+        0
     }
 }
 
@@ -494,14 +502,14 @@ pub const DEFAULT_WARM_ENTRIES: usize = 256;
 /// A later submission that dedupes onto an already-retired task recovers
 /// the artifact from here without touching the disk store or re-running
 /// the task body.
-pub struct Retention<A> {
+pub struct Retention<T> {
     pins: HashMap<CacheKey, usize>,
-    warm: HashMap<CacheKey, (A, u64)>,
+    warm: HashMap<CacheKey, (T, u64)>,
     clock: u64,
     cap: usize,
 }
 
-impl<A: Clone> Retention<A> {
+impl<T: Clone> Retention<T> {
     /// Creates a retention set keeping at most `cap` unpinned warm entries.
     pub fn new(cap: usize) -> Self {
         Retention { pins: HashMap::new(), warm: HashMap::new(), clock: 0, cap }
@@ -526,7 +534,7 @@ impl<A: Clone> Retention<A> {
 
     /// Parks a retired artifact. Unpinned entries beyond the cap evict
     /// least-recently-used first; pinned entries always fit.
-    pub fn insert(&mut self, key: CacheKey, artifact: A) {
+    pub fn insert(&mut self, key: CacheKey, artifact: T) {
         self.clock += 1;
         let clock = self.clock;
         self.warm.insert(key, (artifact, clock));
@@ -534,7 +542,7 @@ impl<A: Clone> Retention<A> {
     }
 
     /// Recovers a warm artifact, touching its LRU slot.
-    pub fn get(&mut self, key: CacheKey) -> Option<A> {
+    pub fn get(&mut self, key: CacheKey) -> Option<T> {
         self.clock += 1;
         let clock = self.clock;
         let (artifact, access) = self.warm.get_mut(&key)?;
@@ -579,13 +587,22 @@ impl<A: Clone> Retention<A> {
     }
 }
 
-/// The two-layer cache.
+/// The two-layer cache. Both in-memory layers hand out `Arc` handles:
+/// a hit is a refcount bump, never a deep copy of the artifact.
 pub struct ArtifactCache<A> {
-    memory: HashMap<CacheKey, (A, u64)>,
+    memory: HashMap<CacheKey, (Arc<A>, u64)>,
+    /// Heavy disk-decoded artifacts (`promote_to_memory() == false`):
+    /// decoded **once per process**, then shared by handle with every
+    /// consumer. Bounded by an entry cap, but an entry with outstanding
+    /// handles (`Arc::strong_count > 1`) is pinned and never evicted —
+    /// its bytes are live anyway, so dropping our handle would only force
+    /// the next consumer to decode a second copy.
+    resident: HashMap<CacheKey, (Arc<A>, u64)>,
     clock: u64,
     /// Entry cap for the memory layer; least-recently-used entries evict
     /// beyond it, so a resident engine's memo cannot grow without bound.
     memo_cap: usize,
+    resident_cap: usize,
     disk: Option<Arc<DiskStore>>,
     pub stats: CacheStats,
 }
@@ -598,7 +615,12 @@ pub struct ArtifactCache<A> {
 /// Evicting only ever costs a disk hit or a recompute, never correctness.
 pub const DEFAULT_MEMO_ENTRIES: usize = 65_536;
 
-impl<A: Clone + DiskCodec> ArtifactCache<A> {
+/// Default entry cap for the resident layer of heavy decoded artifacts.
+/// Entries with outstanding handles are pinned and do not count against
+/// evictability; the cap bounds the *idle* decoded working set.
+pub const DEFAULT_RESIDENT_ENTRIES: usize = 64;
+
+impl<A: DiskCodec> ArtifactCache<A> {
     /// Creates a cache; `disk` enables an uncapped persistent layer under
     /// that directory.
     pub fn new(disk: Option<PathBuf>) -> Self {
@@ -610,8 +632,10 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
     pub fn with_store(disk: Option<Arc<DiskStore>>) -> Self {
         ArtifactCache {
             memory: HashMap::new(),
+            resident: HashMap::new(),
             clock: 0,
             memo_cap: DEFAULT_MEMO_ENTRIES,
+            resident_cap: DEFAULT_RESIDENT_ENTRIES,
             disk,
             stats: CacheStats::default(),
         }
@@ -624,11 +648,50 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
         self
     }
 
-    fn remember(&mut self, key: CacheKey, artifact: A) {
+    /// Overrides the resident-layer entry cap.
+    pub fn with_resident_cap(mut self, cap: usize) -> Self {
+        self.resident_cap = cap.max(1);
+        self
+    }
+
+    fn remember(&mut self, key: CacheKey, artifact: Arc<A>) {
         self.clock += 1;
         let clock = self.clock;
         self.memory.insert(key, (artifact, clock));
         self.enforce_memo_cap();
+    }
+
+    /// Parks a freshly decoded heavy artifact in the resident layer and
+    /// charges its bytes to the `resident_bytes` gauge. Evicts the
+    /// least-recently-used entry *without outstanding handles* when the
+    /// cap is exceeded; pinned entries (handles alive) always fit.
+    fn park_resident(&mut self, key: CacheKey, artifact: Arc<A>) {
+        self.clock += 1;
+        let clock = self.clock;
+        let t = crate::telemetry::global();
+        if t.enabled() {
+            t.resident_bytes.add(artifact.approx_bytes() as i64);
+        }
+        self.resident.insert(key, (artifact, clock));
+        loop {
+            let evictable =
+                self.resident.iter().filter(|(_, (a, _))| Arc::strong_count(a) == 1).count();
+            if self.resident.len() <= self.resident_cap || evictable == 0 {
+                return;
+            }
+            let victim = self
+                .resident
+                .iter()
+                .filter(|(_, (a, _))| Arc::strong_count(a) == 1)
+                .min_by_key(|(k, (_, access))| (*access, k.0, k.1))
+                .map(|(k, _)| *k)
+                .expect("evictable > 0 implies a victim");
+            if let Some((gone, _)) = self.resident.remove(&victim) {
+                if t.enabled() {
+                    t.resident_bytes.add(-(gone.approx_bytes() as i64));
+                }
+            }
+        }
     }
 
     fn enforce_memo_cap(&mut self) {
@@ -669,10 +732,14 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
         self.memory.is_empty()
     }
 
-    /// Looks `key` up in memory, then on disk. A disk hit is promoted into
-    /// memory when the artifact opts in (small artifacts only — see
-    /// [`DiskCodec::promote_to_memory`]).
-    pub fn get(&mut self, key: CacheKey) -> Option<A> {
+    /// Looks `key` up in memory (memo, then resident), then on disk. Any
+    /// in-memory hit is a handle share — a refcount bump on the one
+    /// decoded allocation, never a deep copy. A disk hit is decoded once:
+    /// promoted into the memo when the artifact opts in (small artifacts —
+    /// see [`DiskCodec::promote_to_memory`]), parked in the bounded
+    /// resident layer otherwise, so sibling consumers behind it share the
+    /// decode instead of each paying it.
+    pub fn get(&mut self, key: CacheKey) -> Option<Arc<A>> {
         let t = crate::telemetry::global();
         self.clock += 1;
         let clock = self.clock;
@@ -681,8 +748,19 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
             self.stats.memory_hits += 1;
             if t.enabled() {
                 t.cache_memory_hits.inc();
+                t.handle_shares.inc();
             }
-            return Some(a.clone());
+            return Some(Arc::clone(a));
+        }
+        if let Some((a, access)) = self.resident.get_mut(&key) {
+            *access = clock;
+            self.stats.memory_hits += 1;
+            if t.enabled() {
+                t.cache_memory_hits.inc();
+                t.handle_shares.inc();
+                t.deep_copies_avoided.inc();
+            }
+            return Some(Arc::clone(a));
         }
         if let Some(store) = self.disk.clone() {
             if let Some(payload) = store.load(key) {
@@ -691,8 +769,11 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
                     if t.enabled() {
                         t.cache_disk_hits.inc();
                     }
+                    let a = Arc::new(a);
                     if a.promote_to_memory() {
-                        self.remember(key, a.clone());
+                        self.remember(key, Arc::clone(&a));
+                    } else {
+                        self.park_resident(key, Arc::clone(&a));
                     }
                     return Some(a);
                 }
@@ -707,14 +788,15 @@ impl<A: Clone + DiskCodec> ArtifactCache<A> {
         None
     }
 
-    /// Stores an artifact under its content address in both layers.
-    pub fn put(&mut self, key: CacheKey, artifact: &A) {
+    /// Stores an artifact under its content address in both layers. Takes
+    /// a handle: the memo keeps a share of the caller's allocation.
+    pub fn put(&mut self, key: CacheKey, artifact: &Arc<A>) {
         if let (Some(store), Some(payload)) = (&self.disk, artifact.encode()) {
             if store.store(key, &payload) {
                 self.stats.disk_writes += 1;
             }
         }
-        self.remember(key, artifact.clone());
+        self.remember(key, Arc::clone(artifact));
     }
 }
 
@@ -768,11 +850,94 @@ mod tests {
         let mut c: ArtifactCache<Blob> = ArtifactCache::new(None);
         let k = CacheKey::of("x");
         assert!(c.get(k).is_none());
-        c.put(k, &Blob(0.5));
-        assert_eq!(c.get(k), Some(Blob(0.5)));
+        c.put(k, &Arc::new(Blob(0.5)));
+        assert_eq!(c.get(k).as_deref(), Some(&Blob(0.5)));
         assert_eq!(c.stats.memory_hits, 1);
         assert_eq!(c.stats.misses, 1);
         assert_eq!(c.stats.disk_writes, 0);
+    }
+
+    #[test]
+    fn memory_hits_share_one_allocation() {
+        let mut c: ArtifactCache<Blob> = ArtifactCache::new(None);
+        let k = CacheKey::of("shared");
+        let original = Arc::new(Blob(2.5));
+        c.put(k, &original);
+        let h1 = c.get(k).expect("hit");
+        let h2 = c.get(k).expect("hit");
+        assert!(Arc::ptr_eq(&h1, &h2), "hits must share the allocation");
+        assert!(Arc::ptr_eq(&h1, &original), "memo keeps the caller's allocation");
+    }
+
+    /// A heavy artifact: opts out of memo promotion, so disk hits land in
+    /// the resident layer.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Heavy(f64);
+
+    impl DiskCodec for Heavy {
+        fn encode(&self) -> Option<Vec<u8>> {
+            let mut out = vec![b'H'];
+            push_f64(&mut out, self.0);
+            Some(out)
+        }
+        fn decode(bytes: &[u8]) -> Option<Self> {
+            let mut r = Reader::new(bytes);
+            cleanml_dataset::codec::expect(&mut r, b'H')?;
+            let x = take_f64(&mut r)?;
+            r.is_empty().then_some(Heavy(x))
+        }
+        fn promote_to_memory(&self) -> bool {
+            false
+        }
+        fn approx_bytes(&self) -> u64 {
+            1024
+        }
+    }
+
+    #[test]
+    fn heavy_disk_hit_decodes_once_and_stays_resident() {
+        let dir = temp_dir("resident");
+        let k = CacheKey::of("heavy");
+        {
+            let mut c: ArtifactCache<Heavy> = ArtifactCache::new(Some(dir.clone()));
+            c.put(k, &Arc::new(Heavy(7.0)));
+        }
+        // fresh process image: first get pays the decode, the rest share it
+        let mut c: ArtifactCache<Heavy> = ArtifactCache::new(Some(dir.clone()));
+        let h1 = c.get(k).expect("disk hit");
+        let h2 = c.get(k).expect("resident hit");
+        let h3 = c.get(k).expect("resident hit");
+        assert_eq!(c.stats.disk_hits, 1, "exactly one decode per process");
+        assert_eq!(c.stats.memory_hits, 2);
+        assert!(Arc::ptr_eq(&h1, &h2) && Arc::ptr_eq(&h2, &h3), "one shared allocation");
+        assert_eq!(*h1, Heavy(7.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resident_layer_evicts_idle_entries_but_pins_live_handles() {
+        let dir = temp_dir("resident-cap");
+        let keys: Vec<CacheKey> = (0..4).map(|i| CacheKey::of(&format!("h{i}"))).collect();
+        {
+            let mut c: ArtifactCache<Heavy> = ArtifactCache::new(Some(dir.clone()));
+            for (i, k) in keys.iter().enumerate() {
+                c.put(*k, &Arc::new(Heavy(i as f64)));
+            }
+        }
+        let store = DiskStore::open(dir.clone(), None);
+        let mut c: ArtifactCache<Heavy> =
+            ArtifactCache::with_store(Some(store)).with_resident_cap(2);
+        // hold a live handle to h0: it must survive any eviction
+        let pinned = c.get(keys[0]).expect("disk hit");
+        for k in &keys[1..] {
+            let _ = c.get(*k).expect("disk hit"); // handle dropped at once
+        }
+        assert_eq!(c.stats.disk_hits, 4);
+        // h0 is pinned by `pinned`; idle entries were evicted down to cap
+        let again = c.get(keys[0]).expect("still resident");
+        assert!(Arc::ptr_eq(&pinned, &again), "live handle pins the entry");
+        assert_eq!(c.stats.memory_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -781,11 +946,11 @@ mod tests {
         let k = CacheKey::of("persisted");
         {
             let mut c: ArtifactCache<Blob> = ArtifactCache::new(Some(dir.clone()));
-            c.put(k, &Blob(std::f64::consts::PI));
+            c.put(k, &Arc::new(Blob(std::f64::consts::PI)));
             assert_eq!(c.stats.disk_writes, 1);
         }
         let mut fresh: ArtifactCache<Blob> = ArtifactCache::new(Some(dir.clone()));
-        assert_eq!(fresh.get(k), Some(Blob(std::f64::consts::PI)));
+        assert_eq!(fresh.get(k).as_deref(), Some(&Blob(std::f64::consts::PI)));
         assert_eq!(fresh.stats.disk_hits, 1);
         // unframed (e.g. hex-text era) entries are discarded, not trusted
         let bad_path = dir.join(format!("{}.art", CacheKey::of("bad")));
@@ -943,14 +1108,14 @@ mod tests {
     fn memo_layer_is_bounded_with_lru_eviction() {
         let mut c: ArtifactCache<Blob> = ArtifactCache::new(None).with_memo_cap(2);
         let (ka, kb, kc) = (CacheKey::of("ma"), CacheKey::of("mb"), CacheKey::of("mc"));
-        c.put(ka, &Blob(1.0));
-        c.put(kb, &Blob(2.0));
+        c.put(ka, &Arc::new(Blob(1.0)));
+        c.put(kb, &Arc::new(Blob(2.0)));
         assert!(c.get(ka).is_some()); // touch: b becomes LRU
-        c.put(kc, &Blob(3.0));
+        c.put(kc, &Arc::new(Blob(3.0)));
         assert_eq!(c.len(), 2, "memo stays under its entry cap");
         assert!(c.get(kb).is_none(), "LRU memo entry evicted");
-        assert_eq!(c.get(ka), Some(Blob(1.0)));
-        assert_eq!(c.get(kc), Some(Blob(3.0)));
+        assert_eq!(c.get(ka).as_deref(), Some(&Blob(1.0)));
+        assert_eq!(c.get(kc).as_deref(), Some(&Blob(3.0)));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! cache-aware demand resolution.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cleanml_core::CoreError;
 
@@ -11,9 +12,11 @@ use crate::event::TaskKind;
 /// Index of a task inside its graph.
 pub type TaskId = usize;
 
-/// A task body: consumes clones of its dependencies' artifacts (in
-/// declaration order), produces one artifact.
-pub type TaskFn<A> = Box<dyn FnOnce(Vec<A>) -> Result<A, CoreError> + Send>;
+/// A task body: consumes shared handles to its dependencies' artifacts
+/// (in declaration order), produces one artifact. Handles are zero-copy:
+/// nine sibling Train tasks reading the same cleaned matrix all hold the
+/// *same* decoded allocation, never nine deep copies.
+pub type TaskFn<A> = Box<dyn FnOnce(Vec<Arc<A>>) -> Result<A, CoreError> + Send>;
 
 /// Execution-relevant state of one node after [`TaskGraph::resolve`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +39,7 @@ pub struct TaskNode<A> {
     pub class: Option<String>,
     pub deps: Vec<TaskId>,
     pub(crate) run: Option<TaskFn<A>>,
-    pub(crate) prefilled: Option<A>,
+    pub(crate) prefilled: Option<Arc<A>>,
     pub(crate) state: NodeState,
 }
 
@@ -75,7 +78,7 @@ impl<A> TaskGraph<A> {
         label: impl Into<String>,
         key: CacheKey,
         deps: Vec<TaskId>,
-        run: impl FnOnce(Vec<A>) -> Result<A, CoreError> + Send + 'static,
+        run: impl FnOnce(Vec<Arc<A>>) -> Result<A, CoreError> + Send + 'static,
     ) -> TaskId {
         if let Some(&id) = self.by_key.get(&key) {
             return id;
@@ -112,7 +115,7 @@ impl<A> TaskGraph<A> {
     }
 }
 
-impl<A: Clone + DiskCodec> TaskGraph<A> {
+impl<A: DiskCodec> TaskGraph<A> {
     /// Resolves the graph against the cache, demand-driven from `sinks`:
     /// a cache hit pre-fills the node and stops the downward traversal, so
     /// the whole subtree feeding only cached results is pruned. Returns
@@ -187,7 +190,7 @@ mod tests {
     fn resolve_prunes_upstream_of_cache_hits() {
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
         let sink_key = CacheKey::of("sink");
-        cache.put(sink_key, &V(42));
+        cache.put(sink_key, &Arc::new(V(42)));
 
         let mut g: TaskGraph<V> = TaskGraph::new();
         let dep = g.task(TaskKind::Train, "dep", CacheKey::of("dep"), vec![], |_| Ok(V(1)));
@@ -207,8 +210,8 @@ mod tests {
     #[test]
     fn resolve_prunes_fully_cached_subtrees() {
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
-        cache.put(CacheKey::of("s1"), &V(1));
-        cache.put(CacheKey::of("s2"), &V(2));
+        cache.put(CacheKey::of("s1"), &Arc::new(V(1)));
+        cache.put(CacheKey::of("s2"), &Arc::new(V(2)));
 
         let mut g: TaskGraph<V> = TaskGraph::new();
         let dep = g.task(TaskKind::Train, "dep", CacheKey::of("dep"), vec![], |_| Ok(V(0)));

@@ -57,6 +57,7 @@ pub mod pool;
 pub mod remote;
 pub mod serve;
 pub mod study;
+pub(crate) mod subwork;
 pub mod telemetry;
 
 pub use cache::{ArtifactCache, CacheKey, CacheStats, DiskStore, Retention};
@@ -71,4 +72,4 @@ pub use study::{
     build_query_graph, build_study_graph, Artifact, CellQuery, Engine, EngineConfig,
     StudySubmission,
 };
-pub use telemetry::{HistogramSummary, StatsSnapshot, Telemetry};
+pub use telemetry::{HistogramSummary, SlowTask, StatsSnapshot, Telemetry};

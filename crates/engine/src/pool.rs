@@ -147,9 +147,10 @@ pub struct ExecStats {
     pub releases: usize,
 }
 
-/// Per-node artifacts (`None` for pruned or retired nodes) plus execution
-/// counters.
-pub type ExecutionOutcome<A> = (Vec<Option<A>>, ExecStats);
+/// Per-node artifact handles (`None` for pruned or retired nodes) plus
+/// execution counters. Handles are shared, not copied: collecting a
+/// submission bumps refcounts on the resident artifacts.
+pub type ExecutionOutcome<A> = (Vec<Option<Arc<A>>>, ExecStats);
 
 // ---------------------------------------------------------------------------
 // Adaptive cost model (observed per-kind runtimes)
@@ -307,12 +308,15 @@ pub(crate) struct TaskEntry<A> {
     /// Interned cost-model class (resolved once at submission time);
     /// `None` falls back to kind-aggregate costs.
     pub(crate) class: Option<Arc<ClassCosts>>,
+    /// Human-readable class name (the dataset), for the slowest-tasks
+    /// table and trace labels.
+    pub(crate) class_name: Option<String>,
     deps: Vec<Gid>,
     dependents: Vec<Gid>,
     pending: usize,
     pub(crate) phase: Phase,
     run: Option<TaskFn<A>>,
-    pub(crate) artifact: Option<A>,
+    pub(crate) artifact: Option<Arc<A>>,
     /// Runnable, not-yet-finished consumer entries across *all* live
     /// submissions. At zero (with no retains) the artifact moves to the
     /// warm LRU.
@@ -381,7 +385,7 @@ pub(crate) struct State<A> {
     pub(crate) tasks: Vec<TaskEntry<A>>,
     pub(crate) by_key: HashMap<CacheKey, Gid>,
     pub(crate) deques: Vec<DequeState>,
-    pub(crate) retention: Retention<A>,
+    pub(crate) retention: Retention<Arc<A>>,
     subs: HashMap<SubId, SubEntry>,
     specs: Vec<SpecEntry>,
     next_sub: SubId,
@@ -400,6 +404,9 @@ pub(crate) struct PoolInner<A> {
     pub(crate) costs: CostModel,
     pub(crate) persist: Option<Arc<DiskStore>>,
     pub(crate) n_workers: usize,
+    /// Open intra-task subwork batches; idle workers drain them between
+    /// frontier checks (multi-worker pools only).
+    pub(crate) subwork: Arc<crate::subwork::SubworkShared>,
 }
 
 fn spec_key_of(bytes: &[u8]) -> u64 {
@@ -579,9 +586,10 @@ where
     }
 
     /// Marks `gid` started and prepares its execution: takes the body,
-    /// clones the input artifacts (Arc-cheap for study artifacts) and
-    /// emits `TaskStarted` to every demanding submission. Returns `None`
-    /// if the body was already consumed (defensive; should not happen).
+    /// shares handles to the input artifacts (a refcount bump each, never
+    /// a deep copy) and emits `TaskStarted` to every demanding submission.
+    /// Returns `None` if the body was already consumed (defensive; should
+    /// not happen).
     fn prepare(&self, st: &mut State<A>, gid: Gid, local_id: Option<u64>) -> Option<Job<A>> {
         st.tasks[gid].phase = Phase::Running;
         let kind = st.tasks[gid].kind;
@@ -593,14 +601,34 @@ where
         // also emit TaskFinished
         let run = st.tasks[gid].run.take()?;
         self.emit_to_subs(st, gid, EngineEvent::TaskStarted { id, kind, label: label.clone() });
-        let inputs: Vec<A> = st.tasks[gid]
+        let inputs: Vec<Arc<A>> = st.tasks[gid]
             .deps
             .clone()
             .iter()
-            .map(|&d| st.tasks[d].artifact.clone().expect("dependency finished before consumer"))
+            .map(|&d| {
+                Arc::clone(
+                    st.tasks[d].artifact.as_ref().expect("dependency finished before consumer"),
+                )
+            })
             .collect();
+        let t = crate::telemetry::global();
+        if t.enabled() && !inputs.is_empty() {
+            t.handle_shares.add(inputs.len() as u64);
+        }
         let class = st.tasks[gid].class.clone();
-        Some(Job { gid, kind, key: st.tasks[gid].key, label, class, run, inputs, queued_at, sub })
+        let class_name = st.tasks[gid].class_name.clone();
+        Some(Job {
+            gid,
+            kind,
+            key: st.tasks[gid].key,
+            label,
+            class,
+            class_name,
+            run,
+            inputs,
+            queued_at,
+            sub,
+        })
     }
 
     fn dec_consumer(&self, st: &mut State<A>, gid: Gid) {
@@ -632,7 +660,7 @@ where
         &self,
         st: &mut State<A>,
         gid: Gid,
-        artifact: A,
+        artifact: Arc<A>,
         home: usize,
         remote: bool,
         local_id: Option<u64>,
@@ -843,11 +871,11 @@ where
 
     /// Serves a remote `Fetch`: the resident entry's artifact, the warm
     /// LRU, then (outside the lock, by the caller) the disk store.
-    pub(crate) fn fetch_artifact(&self, key: CacheKey) -> Option<A> {
+    pub(crate) fn fetch_artifact(&self, key: CacheKey) -> Option<Arc<A>> {
         let mut st = self.state.lock().expect("state lock");
         if let Some(&gid) = st.by_key.get(&key) {
-            if let Some(a) = st.tasks[gid].artifact.clone() {
-                return Some(a);
+            if let Some(a) = &st.tasks[gid].artifact {
+                return Some(Arc::clone(a));
             }
         }
         st.retention.get(key)
@@ -861,8 +889,10 @@ struct Job<A> {
     label: String,
     /// Cost-model class the runtime sample lands in.
     class: Option<Arc<ClassCosts>>,
+    /// Class name for the slowest-tasks table.
+    class_name: Option<String>,
     run: TaskFn<A>,
-    inputs: Vec<A>,
+    inputs: Vec<Arc<A>>,
     /// When the entry entered the ready frontier (telemetry only).
     queued_at: Option<Instant>,
     /// Submission the execution is attributed to (trace-span labeling).
@@ -909,11 +939,28 @@ where
             costs: CostModel::default(),
             persist,
             n_workers: workers,
+            subwork: Arc::new(crate::subwork::SubworkShared::new()),
         });
         let threads = (0..workers)
             .map(|w| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner, w))
+                std::thread::spawn(move || {
+                    // Nested parallelism only pays when there is more
+                    // than one worker; a single-worker pool keeps the
+                    // bit-identical serial path with zero queue traffic.
+                    if inner.n_workers > 1 {
+                        let weak = Arc::downgrade(&inner);
+                        let notify = Box::new(move || {
+                            if let Some(pool) = weak.upgrade() {
+                                pool.work.notify_all();
+                            }
+                        });
+                        cleanml_parallel::install_bridge(Arc::new(
+                            crate::subwork::PoolBridge::new(Arc::clone(&inner.subwork), notify),
+                        ));
+                    }
+                    worker_loop(&inner, w)
+                })
             })
             .collect();
         Pool { inner, workers: threads, services: Vec::new() }
@@ -1111,7 +1158,7 @@ fn new_entry<A>(
     idx: usize,
     nodes: &mut [crate::graph::TaskNode<A>],
     sid: SubId,
-    prefilled: Option<A>,
+    prefilled: Option<Arc<A>>,
 ) -> Gid {
     let gid = st.tasks.len();
     let key = nodes[idx].key;
@@ -1121,6 +1168,7 @@ fn new_entry<A>(
         kind: nodes[idx].kind,
         label: std::mem::take(&mut nodes[idx].label),
         class: nodes[idx].class.as_deref().map(|c| costs.class(c)),
+        class_name: nodes[idx].class.clone(),
         deps: Vec::new(),
         dependents: Vec::new(),
         pending: 0,
@@ -1297,7 +1345,7 @@ where
             remote_workers: sub.remote_workers,
             releases: sub.releases,
         };
-        let artifacts: Vec<Option<A>> =
+        let artifacts: Vec<Option<Arc<A>>> =
             node_of.iter().map(|g| g.and_then(|gid| st.tasks[gid].artifact.clone())).collect();
         inner.cleanup_sub(&mut st, self.id);
         drop(st);
@@ -1326,27 +1374,38 @@ where
     A: Clone + Send + Sync + DiskCodec + 'static,
 {
     loop {
-        let job = {
-            let mut st = inner.state.lock().expect("state lock");
-            loop {
-                if inner.shutdown.load(Ordering::Acquire) {
-                    return;
+        let job = 'job: loop {
+            {
+                let mut st = inner.state.lock().expect("state lock");
+                loop {
+                    if inner.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Some(gid) = inner.pop_or_steal(&mut st, me) {
+                        break 'job inner.prepare(&mut st, gid, None);
+                    }
+                    // No runnable pool task: before parking, drain any
+                    // open subwork batch (with the state lock released
+                    // — helping must never stall the scheduler).
+                    if inner.subwork.has_work() {
+                        break;
+                    }
+                    let (guard, _) =
+                        inner.work.wait_timeout(st, Duration::from_millis(50)).expect("condvar");
+                    st = guard;
                 }
-                if let Some(gid) = inner.pop_or_steal(&mut st, me) {
-                    break inner.prepare(&mut st, gid, None);
-                }
-                let (guard, _) =
-                    inner.work.wait_timeout(st, Duration::from_millis(50)).expect("condvar");
-                st = guard;
             }
+            inner.subwork.help();
         };
         let Some(job) = job else { continue };
-        let Job { gid, kind, key, label, class, run, inputs, queued_at, sub } = job;
+        let Job { gid, kind, key, label, class, class_name, run, inputs, queued_at, sub } = job;
 
         let t = crate::telemetry::global();
         let started = Instant::now();
         let queue_wait = queued_at.map(|q| started.duration_since(q));
+        crate::subwork::set_current_task(&label, me as u64);
         let outcome = catch_unwind(AssertUnwindSafe(move || run(inputs)));
+        crate::subwork::clear_current_task();
         let elapsed = started.elapsed();
         let outcome = match outcome {
             Ok(r) => r,
@@ -1379,6 +1438,12 @@ where
                 if t.enabled() {
                     let ki = kind_index(kind);
                     t.task_seconds[ki].observe(elapsed);
+                    t.record_slow_task(
+                        &label,
+                        kind.name(),
+                        class_name.as_deref().unwrap_or(""),
+                        elapsed,
+                    );
                     if let Some(wait) = queue_wait {
                         t.queue_seconds[ki].observe(wait);
                     }
@@ -1404,7 +1469,7 @@ where
                     }
                 }
                 let mut st = inner.state.lock().expect("state lock");
-                inner.complete_ok(&mut st, gid, artifact, me, false, None);
+                inner.complete_ok(&mut st, gid, Arc::new(artifact), me, false, None);
             }
             Err(err) => {
                 // Unlike the one-shot pool, a failure does not stop the
@@ -1498,7 +1563,7 @@ mod tests {
             g.resolve(&mut cache, &[sink]);
             let retain = retain_only(g.len(), &[sink]);
             let (arts, stats) = execute(g, workers, retain, None, None, &None).unwrap();
-            assert_eq!(arts[sink], Some(V(5)));
+            assert_eq!(arts[sink].as_deref(), Some(V(5)).as_ref());
             let total: usize = stats.executed.iter().map(|(_, n)| n).sum();
             assert_eq!(total, 4, "workers={workers}");
             assert_eq!(stats.remote_workers, 0);
@@ -1514,7 +1579,7 @@ mod tests {
         g.resolve(&mut cache, &[sink]);
         let retain = retain_only(g.len(), &[sink]);
         let (arts, _) = execute(g, 2, retain, None, None, &None).unwrap();
-        assert_eq!(arts[sink], Some(V(5)));
+        assert_eq!(arts[sink].as_deref(), Some(V(5)).as_ref());
         // a, b, c each fed only the now-finished downstream tasks
         assert_eq!(arts[0], None);
         assert_eq!(arts[1], None);
@@ -1525,12 +1590,12 @@ mod tests {
     fn cached_sink_runs_nothing() {
         let (mut g, sink) = diamond();
         let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
-        cache.put(CacheKey::of("d"), &V(5));
+        cache.put(CacheKey::of("d"), &Arc::new(V(5)));
         let (hits, pruned, to_run) = g.resolve(&mut cache, &[sink]);
         assert_eq!((hits, pruned, to_run), (1, 3, 0));
         let retain = retain_only(g.len(), &[sink]);
         let (arts, stats) = execute(g, 4, retain, None, None, &None).unwrap();
-        assert_eq!(arts[sink], Some(V(5)));
+        assert_eq!(arts[sink].as_deref(), Some(V(5)).as_ref());
         assert!(stats.executed.is_empty());
     }
 
@@ -1685,8 +1750,8 @@ mod tests {
         let retain = retain_only(g.len(), &sinks);
         let (tx, rx) = std::sync::mpsc::channel();
         let (arts, _) = execute(g, 1, retain, None, None, &Some(tx)).unwrap();
-        assert_eq!(arts[late_split], Some(V(1)));
-        assert_eq!(arts[late_eval], Some(V(2)));
+        assert_eq!(arts[late_split].as_deref(), Some(V(1)).as_ref());
+        assert_eq!(arts[late_eval].as_deref(), Some(V(2)).as_ref());
         let started: Vec<String> = rx
             .try_iter()
             .filter_map(|e| match e {
@@ -1771,7 +1836,7 @@ mod tests {
         g.resolve(&mut cache, &[sum]);
         let retain = retain_only(g.len(), &[sum]);
         let (arts, _) = execute(g, 8, retain, None, None, &None).unwrap();
-        assert_eq!(arts[sum], Some(V(4950)));
+        assert_eq!(arts[sum].as_deref(), Some(V(4950)).as_ref());
     }
 
     // -- resident-pool semantics ------------------------------------------
@@ -1818,8 +1883,8 @@ mod tests {
         let h2 = pool.submit(g2, retain_only(13, &[s2]), None, None);
         let (a1, st1) = h1.wait().expect("first submission");
         let (a2, st2) = h2.wait().expect("second submission");
-        assert_eq!(a1[s1], Some(V(66)));
-        assert_eq!(a2[s2], Some(V(66)));
+        assert_eq!(a1[s1].as_deref(), Some(V(66)).as_ref());
+        assert_eq!(a2[s2].as_deref(), Some(V(66)).as_ref());
         let trains = |s: &ExecStats| {
             s.executed.iter().find(|(k, _)| *k == TaskKind::Train).map_or(0, |(_, n)| *n)
         };
@@ -1845,7 +1910,7 @@ mod tests {
         let err = h2.wait().expect_err("cancelled submission must error");
         assert!(err.to_string().contains("cancelled"), "{err}");
         let (a1, _) = h1.wait().expect("surviving submission");
-        assert_eq!(a1[s1], Some(V(120)), "cancel must not disturb the other submission");
+        assert_eq!(a1[s1].as_deref(), Some(V(120)).as_ref(), "cancel must not disturb the other");
     }
 
     #[test]
@@ -1863,7 +1928,7 @@ mod tests {
         let mut c: ArtifactCache<V> = ArtifactCache::new(None);
         g1.resolve(&mut c, &[sink1]);
         let (a1, st1) = pool.submit(g1, retain_only(2, &[sink1]), None, None).wait().unwrap();
-        assert_eq!(a1[sink1], Some(V(8)));
+        assert_eq!(a1[sink1].as_deref(), Some(V(8)).as_ref());
         assert_eq!(st1.executed.iter().map(|(_, n)| n).sum::<usize>(), 2);
 
         // Second submission demands the same leaf under a new sink: the
@@ -1879,7 +1944,7 @@ mod tests {
         let mut c2: ArtifactCache<V> = ArtifactCache::new(None);
         g2.resolve(&mut c2, &[sink2]);
         let (a2, st2) = pool.submit(g2, retain_only(2, &[sink2]), None, None).wait().unwrap();
-        assert_eq!(a2[sink2], Some(V(70)));
+        assert_eq!(a2[sink2].as_deref(), Some(V(70)).as_ref());
         let trains =
             st2.executed.iter().find(|(k, _)| *k == TaskKind::Train).map_or(0, |(_, n)| *n);
         assert_eq!(trains, 0, "retired leaf must revive from the warm LRU, not re-run");
@@ -1926,15 +1991,122 @@ mod tests {
         let mut c2: ArtifactCache<V> = ArtifactCache::new(None);
         g2.resolve(&mut c2, &[s2]);
         let (a2, st2) = pool.submit(g2, retain_only(2, &[s2]), None, None).wait().expect("S2");
-        assert_eq!(a2[s2], Some(V(50)));
+        assert_eq!(a2[s2].as_deref(), Some(V(50)).as_ref());
         let trains =
             st2.executed.iter().find(|(k, _)| *k == TaskKind::Train).map_or(0, |(_, n)| *n);
         assert_eq!(trains, 1, "evicted leaf must re-execute for S2");
 
         // And S1 is still collectable, with its own accounting intact.
         let (a1, st1) = h1.wait().expect("S1 collects after the re-arm");
-        assert_eq!(a1[s1], Some(V(6)));
+        assert_eq!(a1[s1].as_deref(), Some(V(6)).as_ref());
         assert_eq!(st1.executed.iter().map(|(_, n)| n).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn sibling_consumers_share_one_input_allocation() {
+        // The zero-copy contract: every consumer of a dependency receives
+        // a handle to the SAME allocation — Arc::ptr_eq across siblings —
+        // not a per-consumer deep copy.
+        let pool: Pool<V> = Pool::new(2, None);
+        let (tx, rx) = std::sync::mpsc::channel::<usize>();
+        let mut g: TaskGraph<V> = TaskGraph::new();
+        let base =
+            g.task(TaskKind::GenerateDataset, "base", CacheKey::of("ptr-base"), vec![], |_| {
+                Ok(V(3))
+            });
+        let consumers: Vec<TaskId> = (0..9)
+            .map(|i| {
+                let tx = tx.clone();
+                g.task(
+                    TaskKind::Train,
+                    format!("c{i}"),
+                    CacheKey::of(&format!("ptr-c{i}")),
+                    vec![base],
+                    move |d| {
+                        tx.send(Arc::as_ptr(&d[0]) as usize).expect("send");
+                        Ok(V(d[0].0 * 2))
+                    },
+                )
+            })
+            .collect();
+        let mut cache: ArtifactCache<V> = ArtifactCache::new(None);
+        g.resolve(&mut cache, &consumers);
+        let (arts, _) =
+            pool.submit(g, retain_only(10, &consumers), None, None).wait().expect("run");
+        for &c in &consumers {
+            assert_eq!(arts[c].as_deref(), Some(V(6)).as_ref());
+        }
+        drop(tx);
+        let ptrs: Vec<usize> = rx.into_iter().collect();
+        assert_eq!(ptrs.len(), 9);
+        assert!(
+            ptrs.iter().all(|&p| p == ptrs[0]),
+            "all nine sibling Train tasks must share one decoded input: {ptrs:?}"
+        );
+    }
+
+    #[test]
+    fn sibling_trains_share_one_argsort_sidecar() {
+        // The other half of the zero-copy contract: handle sharing makes
+        // the matrix's lazily-built argsort sidecar per *cell*, not per
+        // consumer — every sibling Train triggers the same OnceLock, so
+        // the O(d · n log n) sort runs once however many models read it.
+        use cleanml_dataset::FeatureMatrix;
+
+        #[derive(Clone)]
+        struct M(Arc<FeatureMatrix>);
+        impl std::fmt::Debug for M {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "M")
+            }
+        }
+        impl DiskCodec for M {
+            fn encode(&self) -> Option<Vec<u8>> {
+                None
+            }
+            fn decode(_: &[u8]) -> Option<Self> {
+                None
+            }
+        }
+
+        let pool: Pool<M> = Pool::new(2, None);
+        let (tx, rx) = std::sync::mpsc::channel::<usize>();
+        let mut g: TaskGraph<M> = TaskGraph::new();
+        let base = g.task(TaskKind::Split, "cell", CacheKey::of("sidecar-cell"), vec![], |_| {
+            let m = FeatureMatrix::from_parts(
+                vec![2.0, 0.0, 1.0, 1.0, 2.0, 0.0, 1.0, 1.0],
+                4,
+                2,
+                vec![0, 1, 0, 1],
+                2,
+            );
+            Ok(M(Arc::new(m)))
+        });
+        let trains: Vec<TaskId> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                g.task(
+                    TaskKind::Train,
+                    format!("train{i}"),
+                    CacheKey::of(&format!("sidecar-train{i}")),
+                    vec![base],
+                    move |d| {
+                        tx.send(Arc::as_ptr(d[0].0.sorted_cols()) as usize).expect("send");
+                        Ok(M(Arc::clone(&d[0].0)))
+                    },
+                )
+            })
+            .collect();
+        let mut cache: ArtifactCache<M> = ArtifactCache::new(None);
+        g.resolve(&mut cache, &trains);
+        pool.submit(g, retain_only(5, &trains), None, None).wait().expect("run");
+        drop(tx);
+        let ptrs: Vec<usize> = rx.into_iter().collect();
+        assert_eq!(ptrs.len(), 4);
+        assert!(
+            ptrs.iter().all(|&p| p == ptrs[0]),
+            "argsort sidecar must be computed once per cell: {ptrs:?}"
+        );
     }
 
     #[test]
@@ -1959,6 +2131,6 @@ mod tests {
         let h2 = pool.submit(g2, retain_only(9, &[s2]), None, None);
         assert!(h1.wait().is_err(), "failing submission must error");
         let (a2, _) = h2.wait().expect("independent submission must survive a failure");
-        assert_eq!(a2[s2], Some(V(28)));
+        assert_eq!(a2[s2].as_deref(), Some(V(28)).as_ref());
     }
 }

@@ -433,10 +433,18 @@ where
                                     }
                                     let home = gid % inner.n_workers;
                                     let mut st = inner.state.lock().expect("state lock");
+                                    if t.enabled() {
+                                        t.record_slow_task(
+                                            &label,
+                                            kind.name(),
+                                            st.tasks[gid].class_name.as_deref().unwrap_or(""),
+                                            lease_start.elapsed(),
+                                        );
+                                    }
                                     inner.complete_ok(
                                         &mut st,
                                         gid,
-                                        artifact,
+                                        std::sync::Arc::new(artifact),
                                         home,
                                         true,
                                         Some(local_id),

@@ -99,7 +99,7 @@ struct Session {
     /// connection.
     write_lock: Arc<Mutex<()>>,
     nodes: Vec<TaskNode<Artifact>>,
-    memo: HashMap<TaskId, Artifact>,
+    memo: HashMap<TaskId, Arc<Artifact>>,
     summary: WorkerSummary,
 }
 
@@ -130,20 +130,20 @@ impl Session {
     }
 
     /// Fetch-or-compute one task's artifact.
-    fn resolve(&mut self, id: TaskId) -> Result<Artifact, TaskError> {
+    fn resolve(&mut self, id: TaskId) -> Result<Arc<Artifact>, TaskError> {
         if let Some(a) = self.memo.get(&id) {
-            return Ok(a.clone());
+            return Ok(Arc::clone(a));
         }
         let key = self.nodes[id].key;
         self.send(&Message::Fetch { key }).map_err(TaskError::Io)?;
         loop {
             match self.recv().map_err(TaskError::Io)? {
                 Message::Artifact { key: k, payload } if k == key => {
-                    let artifact = Artifact::decode(&payload).ok_or_else(|| {
+                    let artifact = Arc::new(Artifact::decode(&payload).ok_or_else(|| {
                         TaskError::Task(format!("artifact {k} from coordinator does not decode"))
-                    })?;
+                    })?);
                     self.summary.fetched += 1;
-                    self.memo.insert(id, artifact.clone());
+                    self.memo.insert(id, Arc::clone(&artifact));
                     return Ok(artifact);
                 }
                 Message::NoArtifact { key: k } if k == key => break,
@@ -160,7 +160,7 @@ impl Session {
     }
 
     /// Executes a task body locally, resolving its dependencies first.
-    fn compute(&mut self, id: TaskId) -> Result<Artifact, TaskError> {
+    fn compute(&mut self, id: TaskId) -> Result<Arc<Artifact>, TaskError> {
         let dep_ids = self.nodes[id].deps.clone();
         let mut inputs = Vec::with_capacity(dep_ids.len());
         for d in dep_ids {
@@ -170,9 +170,9 @@ impl Session {
             .run
             .take()
             .ok_or_else(|| TaskError::Task(format!("task {id} body already consumed")))?;
-        let artifact = run(inputs).map_err(|e| TaskError::Task(e.to_string()))?;
+        let artifact = Arc::new(run(inputs).map_err(|e| TaskError::Task(e.to_string()))?);
         self.summary.computed += 1;
-        self.memo.insert(id, artifact.clone());
+        self.memo.insert(id, Arc::clone(&artifact));
         Ok(artifact)
     }
 }

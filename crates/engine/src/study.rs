@@ -682,9 +682,9 @@ impl StudySubmission {
                 if index[id].2 == NodeState::Run {
                     if let Some(a) = artifact {
                         cache.put(index[id].0, a);
-                        if let Artifact::Cells(batch) = a {
+                        if let Artifact::Cells(batch) = &**a {
                             for &(key, cell) in &batch.members {
-                                cache.put(key, &Artifact::Cell(cell));
+                                cache.put(key, &Arc::new(Artifact::Cell(cell)));
                             }
                         }
                     }

@@ -89,6 +89,10 @@ impl Gauge {
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn set(&self, v: i64) {
         self.0.store(v, Ordering::Relaxed);
     }
@@ -202,6 +206,20 @@ impl Histogram {
     }
 }
 
+/// Entries kept in the slowest-tasks table.
+pub const SLOW_TABLE_LEN: usize = 8;
+
+/// One row of the slowest-tasks table: enough to name the straggler
+/// (what kind of task, which scheduling class, how long) without holding
+/// a reference into the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowTask {
+    pub label: String,
+    pub kind: &'static str,
+    pub class: String,
+    pub dur_us: u64,
+}
+
 /// One buffered Chrome trace event (`ph:"X"` complete spans only).
 struct TraceEvent {
     name: String,
@@ -300,6 +318,17 @@ pub struct Telemetry {
     pub(crate) http_requests: Counter,
     pub(crate) http_rejected: Counter,
 
+    // Zero-copy artifact plane (cache.rs) and nested subwork (pool.rs).
+    pub(crate) resident_bytes: Gauge,
+    pub(crate) handle_shares: Counter,
+    pub(crate) deep_copies_avoided: Counter,
+    pub(crate) subtasks_executed: Counter,
+    pub(crate) subwork_batches: Counter,
+
+    /// Top-[`SLOW_TABLE_LEN`] slowest completed tasks, descending by
+    /// duration. Reset per run by the CLI/bench harness.
+    slow: Mutex<Vec<SlowTask>>,
+
     // Trace-span buffer.
     epoch: Instant,
     tracing: AtomicBool,
@@ -356,6 +385,12 @@ impl Telemetry {
             events_dropped: Counter::default(),
             http_requests: Counter::default(),
             http_rejected: Counter::default(),
+            resident_bytes: Gauge::default(),
+            handle_shares: Counter::default(),
+            deep_copies_avoided: Counter::default(),
+            subtasks_executed: Counter::default(),
+            subwork_batches: Counter::default(),
+            slow: Mutex::new(Vec::new()),
             epoch: Instant::now(),
             tracing: AtomicBool::new(false),
             trace: Mutex::new(Vec::new()),
@@ -406,6 +441,42 @@ impl Telemetry {
             s.executed_remote[i] = self.tasks_remote[i].get();
         }
         s
+    }
+
+    // ---- slowest-tasks table ----------------------------------------
+
+    /// Offers a completed task to the top-[`SLOW_TABLE_LEN`] slowest
+    /// table. Cheap rejection first: a task faster than the current
+    /// slowest-table floor takes the lock only when the table is short.
+    pub(crate) fn record_slow_task(
+        &self,
+        label: &str,
+        kind: &'static str,
+        class: &str,
+        dur: Duration,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let dur_us = u64::try_from(dur.as_micros()).unwrap_or(u64::MAX);
+        let mut slow = self.slow.lock().expect("slow lock");
+        if slow.len() == SLOW_TABLE_LEN && slow.last().is_some_and(|t| t.dur_us >= dur_us) {
+            return;
+        }
+        let row = SlowTask { label: label.to_string(), kind, class: class.to_string(), dur_us };
+        let at = slow.partition_point(|t| t.dur_us >= dur_us);
+        slow.insert(at, row);
+        slow.truncate(SLOW_TABLE_LEN);
+    }
+
+    /// The slowest completed tasks since the last reset, descending.
+    pub fn slowest_tasks(&self) -> Vec<SlowTask> {
+        self.slow.lock().expect("slow lock").clone()
+    }
+
+    /// Clears the slowest-tasks table (run boundary).
+    pub fn reset_slow_tasks(&self) {
+        self.slow.lock().expect("slow lock").clear();
     }
 
     // ---- trace spans ------------------------------------------------
@@ -585,6 +656,12 @@ impl Telemetry {
         counter(&mut o, "cleanml_http_requests_total", &self.http_requests);
         counter(&mut o, "cleanml_http_rejected_total", &self.http_rejected);
         counter(&mut o, "cleanml_trace_events_dropped_total", &self.trace_overflow);
+
+        gauge(&mut o, "cleanml_resident_bytes", &self.resident_bytes);
+        counter(&mut o, "cleanml_handle_shares_total", &self.handle_shares);
+        counter(&mut o, "cleanml_deep_copies_avoided_total", &self.deep_copies_avoided);
+        counter(&mut o, "cleanml_subtasks_executed_total", &self.subtasks_executed);
+        counter(&mut o, "cleanml_subwork_batches_total", &self.subwork_batches);
 
         o
     }
@@ -892,6 +969,29 @@ mod tests {
         let opens = text.matches('{').count();
         let closes = text.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn slow_task_table_keeps_top_eight_descending() {
+        let t = Telemetry::new();
+        for i in 0..12u64 {
+            t.record_slow_task(&format!("task{i}"), "train", "EEG", Duration::from_millis(i + 1));
+        }
+        let slow = t.slowest_tasks();
+        assert_eq!(slow.len(), SLOW_TABLE_LEN);
+        assert_eq!(slow[0].label, "task11");
+        assert_eq!(slow[0].kind, "train");
+        assert_eq!(slow[0].class, "EEG");
+        for w in slow.windows(2) {
+            assert!(w[0].dur_us >= w[1].dur_us, "table must be descending");
+        }
+        assert_eq!(slow.last().map(|s| s.dur_us), Some(5000), "fastest four dropped");
+        t.reset_slow_tasks();
+        assert!(t.slowest_tasks().is_empty());
+        // disabled registries record nothing
+        t.set_enabled(false);
+        t.record_slow_task("x", "clean", "", Duration::from_secs(9));
+        assert!(t.slowest_tasks().is_empty());
     }
 
     #[test]

@@ -69,14 +69,23 @@ impl RandomForest {
             max_features: Some(max_features),
         };
 
+        // Bootstrap index draws stay on the single shared RNG stream (the
+        // draw sequence is part of the model's content address), so they
+        // are materialized up front; the tree fits themselves are pure
+        // functions of (bootstrap, per-tree seed) and fan out onto idle
+        // pool workers via the subwork bridge. Slot-ordered collection
+        // keeps the forest byte-identical to the serial loop at any
+        // worker count.
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut trees = Vec::with_capacity(params.n_trees);
-        for t in 0..params.n_trees {
-            let boot: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
-            let sample = data.select_rows(&boot);
+        let boots: Vec<Vec<usize>> =
+            (0..params.n_trees).map(|_| (0..n).map(|_| rng.random_range(0..n)).collect()).collect();
+        let trees = cleanml_parallel::run_indexed(params.n_trees, |t| {
+            let sample = data.select_rows(&boots[t]);
             let tree_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(t as u64);
-            trees.push(DecisionTree::fit(&tree_params, &sample, tree_seed)?);
-        }
+            DecisionTree::fit(&tree_params, &sample, tree_seed)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
         Ok(RandomForest { trees, n_features: d, n_classes: data.n_classes() })
     }
 
@@ -188,6 +197,25 @@ mod tests {
         let p1 = f1.predict_proba(&data).unwrap();
         let p2 = f2.predict_proba(&data).unwrap();
         assert!(p1 != p2, "bootstrap should vary with the seed");
+    }
+
+    #[test]
+    fn nested_parallel_fit_is_byte_identical() {
+        // The same fit through a real multi-thread subwork bridge must
+        // reproduce the serial forest exactly — trees, structure, floats.
+        let data = two_moons_like(120);
+        let serial = RandomForest::fit(&ForestParams::default(), &data, 42).unwrap();
+        cleanml_parallel::install_bridge(std::sync::Arc::new(cleanml_parallel::ThreadBridge {
+            helpers: 3,
+        }));
+        let parallel = RandomForest::fit(&ForestParams::default(), &data, 42).unwrap();
+        cleanml_parallel::clear_bridge();
+        assert_eq!(serial, parallel);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        serial.encode_into(&mut a);
+        parallel.encode_into(&mut b);
+        assert_eq!(a, b, "encoded forests must be byte-identical");
     }
 
     #[test]
