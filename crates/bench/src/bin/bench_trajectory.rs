@@ -49,6 +49,7 @@ fn engine_cfg(workers: usize, cache_dir: PathBuf) -> EngineConfig {
         cache_max_bytes: None,
         listen: None,
         lease_timeout: cleanml_engine::DEFAULT_LEASE_TIMEOUT,
+        http_token: None,
     }
 }
 

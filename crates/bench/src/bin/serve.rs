@@ -8,18 +8,24 @@
 //!   results back — concurrent submissions dedupe into the same in-flight
 //!   tasks, and repeat queries answer from the warm cache in milliseconds;
 //! * `cleanml-worker` processes lease ready tasks and ship artifacts
-//!   back, exactly as against a `--listen` study run.
+//!   back, exactly as against a `--listen` study run;
+//! * plain HTTP clients scrape `GET /metrics` and use the results
+//!   gateway: `POST /studies` to submit, `GET /studies/:id` to poll,
+//!   `GET /studies/:id/r1|r2|r3[.csv|.json]` to filter/order/page rows.
 //!
 //! ```sh
 //! cargo run --release -p cleanml-bench --bin cleanml-serve -- \
 //!     --listen 127.0.0.1:7401 --workers 8 \
-//!     --cache-dir serve_cache --cache-max-bytes 2g
+//!     --cache-dir serve_cache --cache-max-bytes 2g --http-token s3cret
 //! cargo run --release -p cleanml-bench --bin cleanml-query -- \
 //!     --connect 127.0.0.1:7401 --quick --errors outliers
+//! curl -H 'Authorization: Bearer s3cret' \
+//!     'http://127.0.0.1:7401/studies/1/r1.json?model=logistic_regression&limit=10'
 //! ```
 //!
-//! The daemon is loopback-grade: there is no authentication or TLS yet,
-//! so do not expose the listener beyond trusted networks.
+//! `--http-token` puts the gateway's `/studies` routes behind a bearer
+//! token (`/metrics` stays open). There is still no TLS — front the
+//! listener with a reverse proxy before leaving trusted networks.
 
 use std::time::Duration;
 
@@ -31,11 +37,13 @@ fn main() {
     if cfg.listen.is_none() {
         eprintln!(
             "usage: cleanml-serve --listen HOST:PORT [--workers N] [--cache-dir DIR]\n\
-             \u{20}      [--cache-max-bytes N[k|m|g]] [--lease-timeout SECS]\n\
-             a resident engine serving cleanml-query clients and cleanml-worker leases"
+             \u{20}      [--cache-max-bytes N[k|m|g]] [--lease-timeout SECS] [--http-token TOK]\n\
+             a resident engine serving cleanml-query clients, cleanml-worker leases\n\
+             and the HTTP results gateway (/metrics, /studies)"
         );
         std::process::exit(2);
     }
+    let http_auth = cfg.http_token.is_some();
     let engine = Engine::new(cfg);
     let addr = engine.remote_addr().expect("--listen was required above");
     println!("[cleanml-serve] serving on {addr} with {} workers", engine.workers());
@@ -49,6 +57,10 @@ fn main() {
     }
     println!("[cleanml-serve] query:  cleanml-query --connect {addr} [--quick] [--errors LIST]");
     println!("[cleanml-serve] worker: cleanml-worker --connect {addr}");
+    println!(
+        "[cleanml-serve] http:   http://{addr}/metrics | /studies ({})",
+        if http_auth { "bearer auth" } else { "no auth" }
+    );
 
     // The engine's hub service runs on its own threads; this thread only
     // keeps the process (and with it the warm memo) alive.

@@ -68,7 +68,7 @@ pub fn config_from_args() -> ExperimentConfig {
 }
 
 /// Parses the engine CLI flags (`--workers`, `--cache-dir`,
-/// `--cache-max-bytes`, `--listen`, `--lease-timeout`).
+/// `--cache-max-bytes`, `--listen`, `--lease-timeout`, `--http-token`).
 pub fn engine_from_args() -> EngineConfig {
     let args: Vec<String> = std::env::args().collect();
     let workers = args
@@ -116,7 +116,19 @@ pub fn engine_from_args() -> EngineConfig {
             }
         })
         .unwrap_or(cleanml_engine::DEFAULT_LEASE_TIMEOUT);
-    EngineConfig { workers, cache_dir, cache_max_bytes, listen, lease_timeout }
+    let http_token = args.iter().position(|a| a == "--http-token").map(|p| {
+        // An explicitly requested token must never be silently dropped —
+        // an open gateway the operator believes is authenticated is a
+        // security hole, not a default.
+        match args.get(p + 1) {
+            Some(tok) if !tok.is_empty() && !tok.starts_with("--") => tok.clone(),
+            _ => {
+                eprintln!("error: --http-token expects a non-empty token");
+                std::process::exit(2);
+            }
+        }
+    });
+    EngineConfig { workers, cache_dir, cache_max_bytes, listen, lease_timeout, http_token }
 }
 
 /// Parses a byte size: a plain integer, optionally suffixed `k`/`m`/`g`

@@ -248,82 +248,171 @@ pub fn csv_escape(s: &str) -> String {
     }
 }
 
+/// Column names of R1's canonical CSV form, in header order.
+pub const R1_COLUMNS: [&str; 13] = [
+    "dataset",
+    "error_type",
+    "detection",
+    "repair",
+    "model",
+    "scenario",
+    "flag",
+    "p_two",
+    "p_upper",
+    "p_lower",
+    "mean_before",
+    "mean_after",
+    "n_splits",
+];
+
+/// Column names of R2's canonical CSV form, in header order.
+pub const R2_COLUMNS: [&str; 9] = [
+    "dataset",
+    "error_type",
+    "detection",
+    "repair",
+    "scenario",
+    "flag",
+    "p_two",
+    "mean_before",
+    "mean_after",
+];
+
+/// Column names of R3's canonical CSV form, in header order.
+pub const R3_COLUMNS: [&str; 7] =
+    ["dataset", "error_type", "scenario", "flag", "p_two", "mean_before", "mean_after"];
+
+/// Index of the first numeric column in each relation; every column from
+/// here on renders as a number (p-values, means, split counts), everything
+/// before it as a string. Consumers rendering rows as typed output (the
+/// HTTP gateway's JSON) key off this.
+pub const R1_NUMERIC_FROM: usize = 7;
+pub const R2_NUMERIC_FROM: usize = 6;
+pub const R3_NUMERIC_FROM: usize = 4;
+
+/// Canonical per-column renderings of one R1 row, in [`R1_COLUMNS`] order.
+/// P-values render in `{:e}`, means in `{}` — the exact strings the CSV
+/// form carries, so any consumer (paging, filtering, JSON) that renders
+/// these values byte-matches [`CleanMlDb::r1_csv`].
+pub fn r1_values(r: &Row1) -> [String; 13] {
+    [
+        r.dataset.clone(),
+        r.error_type.name().to_string(),
+        r.detection.name().to_string(),
+        r.repair.name().to_string(),
+        r.model.name().to_string(),
+        r.scenario.to_string(),
+        r.flag.to_string(),
+        format!("{:e}", r.evidence.p_two),
+        format!("{:e}", r.evidence.p_upper),
+        format!("{:e}", r.evidence.p_lower),
+        format!("{}", r.evidence.mean_before),
+        format!("{}", r.evidence.mean_after),
+        format!("{}", r.evidence.n_splits),
+    ]
+}
+
+/// Canonical per-column renderings of one R2 row, in [`R2_COLUMNS`] order.
+pub fn r2_values(r: &Row2) -> [String; 9] {
+    [
+        r.dataset.clone(),
+        r.error_type.name().to_string(),
+        r.detection.name().to_string(),
+        r.repair.name().to_string(),
+        r.scenario.to_string(),
+        r.flag.to_string(),
+        format!("{:e}", r.evidence.p_two),
+        format!("{}", r.evidence.mean_before),
+        format!("{}", r.evidence.mean_after),
+    ]
+}
+
+/// Canonical per-column renderings of one R3 row, in [`R3_COLUMNS`] order.
+pub fn r3_values(r: &Row3) -> [String; 7] {
+    [
+        r.dataset.clone(),
+        r.error_type.name().to_string(),
+        r.scenario.to_string(),
+        r.flag.to_string(),
+        format!("{:e}", r.evidence.p_two),
+        format!("{}", r.evidence.mean_before),
+        format!("{}", r.evidence.mean_after),
+    ]
+}
+
+/// One CSV line (escaped, comma-joined, newline-terminated) from already
+/// canonical field renderings.
+pub fn csv_line(values: &[String]) -> String {
+    let mut out = String::with_capacity(values.iter().map(|v| v.len() + 1).sum());
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&csv_escape(v));
+    }
+    out.push('\n');
+    out
+}
+
+fn csv_header(columns: &[&str]) -> String {
+    let mut out = columns.join(",");
+    out.push('\n');
+    out
+}
+
 /// CSV rendering of the relations — the canonical on-disk / on-wire form
-/// shared by the `study` binary's dump and the serving layer's
-/// `ResultCsv`. Floats render p-values in `{:e}` and means in `{}` so a
-/// byte-compare across runs is a real determinism check.
+/// shared by the `study` binary's dump, the serving layer's `ResultCsv`
+/// and the HTTP gateway's row pages. Floats render p-values in `{:e}` and
+/// means in `{}` so a byte-compare across runs is a real determinism
+/// check; the whole-relation strings are built row by row from
+/// [`r1_values`]/[`r2_values`]/[`r3_values`], so a paged slice of rows is
+/// byte-identical to the matching slice of the full CSV.
 impl CleanMlDb {
     /// R1 as CSV text, header included.
     pub fn r1_csv(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::from(
-            "dataset,error_type,detection,repair,model,scenario,flag,p_two,p_upper,p_lower,mean_before,mean_after,n_splits\n",
-        );
+        let mut out = csv_header(&R1_COLUMNS);
         for r in &self.r1 {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{},{},{},{:e},{:e},{:e},{},{},{}",
-                csv_escape(&r.dataset),
-                r.error_type.name(),
-                r.detection.name(),
-                r.repair.name(),
-                r.model.name(),
-                r.scenario,
-                r.flag,
-                r.evidence.p_two,
-                r.evidence.p_upper,
-                r.evidence.p_lower,
-                r.evidence.mean_before,
-                r.evidence.mean_after,
-                r.evidence.n_splits,
-            );
+            out.push_str(&csv_line(&r1_values(r)));
         }
         out
     }
 
     /// R2 as CSV text, header included.
     pub fn r2_csv(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::from(
-            "dataset,error_type,detection,repair,scenario,flag,p_two,mean_before,mean_after\n",
-        );
+        let mut out = csv_header(&R2_COLUMNS);
         for r in &self.r2 {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{},{},{:e},{},{}",
-                csv_escape(&r.dataset),
-                r.error_type.name(),
-                r.detection.name(),
-                r.repair.name(),
-                r.scenario,
-                r.flag,
-                r.evidence.p_two,
-                r.evidence.mean_before,
-                r.evidence.mean_after,
-            );
+            out.push_str(&csv_line(&r2_values(r)));
         }
         out
     }
 
     /// R3 as CSV text, header included.
     pub fn r3_csv(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out =
-            String::from("dataset,error_type,scenario,flag,p_two,mean_before,mean_after\n");
+        let mut out = csv_header(&R3_COLUMNS);
         for r in &self.r3 {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{:e},{},{}",
-                csv_escape(&r.dataset),
-                r.error_type.name(),
-                r.scenario,
-                r.flag,
-                r.evidence.p_two,
-                r.evidence.mean_before,
-                r.evidence.mean_after,
-            );
+            out.push_str(&csv_line(&r3_values(r)));
         }
         out
+    }
+
+    /// All rows of `relation` as canonical per-column renderings — the
+    /// row-granular form the HTTP gateway filters, orders and pages
+    /// without re-parsing whole-CSV strings.
+    pub fn relation_values(&self, relation: Relation) -> Vec<Vec<String>> {
+        match relation {
+            Relation::R1 => self.r1.iter().map(|r| r1_values(r).to_vec()).collect(),
+            Relation::R2 => self.r2.iter().map(|r| r2_values(r).to_vec()).collect(),
+            Relation::R3 => self.r3.iter().map(|r| r3_values(r).to_vec()).collect(),
+        }
+    }
+}
+
+/// `(column names, index of the first numeric column)` for a relation.
+pub fn relation_columns(relation: Relation) -> (&'static [&'static str], usize) {
+    match relation {
+        Relation::R1 => (&R1_COLUMNS, R1_NUMERIC_FROM),
+        Relation::R2 => (&R2_COLUMNS, R2_NUMERIC_FROM),
+        Relation::R3 => (&R3_COLUMNS, R3_NUMERIC_FROM),
     }
 }
 
@@ -423,6 +512,29 @@ mod tests {
         d.add(Flag::Insignificant);
         assert_eq!(d.render(Flag::Positive), "50% (2)");
         assert_eq!(d.pct(Flag::Negative), 25.0);
+    }
+
+    #[test]
+    fn row_values_pin_canonical_formats() {
+        let r = row1("A,B", ErrorType::Outliers, Model::Knn, Scenario::BD, 1e-8);
+        let v = r1_values(&r);
+        // p-values in {:e}, means in {}, splits in {} — the wire-pinned forms
+        assert_eq!(v[7], "1e-8");
+        assert_eq!(v[8], "5e-9");
+        assert_eq!(v[9], "9.99999995e-1");
+        assert_eq!(v[10], "0.8");
+        assert_eq!(v[11], "0.85");
+        assert_eq!(v[12], "20");
+        let line = csv_line(&v);
+        assert!(line.starts_with("\"A,B\","), "dataset field must be RFC 4180 escaped: {line}");
+        assert!(line.ends_with(",20\n"));
+        // whole-relation CSV is exactly header + per-row lines
+        let db = CleanMlDb { r1: vec![r], ..Default::default() };
+        assert_eq!(db.r1_csv(), format!("{}\n{}", R1_COLUMNS.join(","), line));
+        assert_eq!(db.relation_values(Relation::R1), vec![v.to_vec()]);
+        let (cols, numeric_from) = relation_columns(Relation::R1);
+        assert_eq!(cols.len(), v.len());
+        assert_eq!(numeric_from, 7);
     }
 
     #[test]

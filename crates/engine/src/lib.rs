@@ -26,7 +26,10 @@
 //!    memo and the store live as long as the engine, concurrent
 //!    submissions ([`Engine::submit_study`], [`Engine::submit_query`])
 //!    dedupe into the same in-flight tasks, and the same listener answers
-//!    `cleanml-query` clients with rendered CSVs ([`serve`]);
+//!    `cleanml-query` clients with rendered CSVs ([`serve`]) *and* plain
+//!    HTTP clients through a bounded results gateway — `POST /studies`
+//!    to submit, `GET /studies/:id/r1|r2|r3` to filter/order/page rows
+//!    ([`remote::http`]);
 //! 7. **measures** — every plane feeds a zero-dependency telemetry
 //!    registry (counters, gauges, fixed-bucket latency histograms) that
 //!    the hub listener exposes as Prometheus text on `GET /metrics`, and
@@ -66,7 +69,9 @@ pub use graph::{TaskGraph, TaskId};
 pub use jobs::parallel_map;
 pub use pool::{ClassCosts, CostModel, ExecStats, PersistSink, Pool, RunReport, SubmissionHandle};
 pub use remote::{
-    FaultPlan, RemoteHub, Request, ServeReport, StudySpec, WorkerSummary, DEFAULT_LEASE_TIMEOUT,
+    parse_query, percent_decode, FaultPlan, GatewayBackend, GatewayError, Profile, RemoteHub,
+    Request, Select, ServeReport, StudySpec, StudyState, StudyStatus, SubmitSpec, WorkerSummary,
+    DEFAULT_LEASE_TIMEOUT,
 };
 pub use study::{
     build_query_graph, build_study_graph, Artifact, CellQuery, Engine, EngineConfig,

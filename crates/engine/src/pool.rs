@@ -977,13 +977,16 @@ where
 
     /// Starts serving `hub`'s connections for the pool's lifetime:
     /// workers (`Hello`) lease tasks from the merged frontier; serving
-    /// clients (`Submit`) are handed to `clients` (rejected if `None`).
+    /// clients (`Submit`) are handed to `clients` (rejected if `None`);
+    /// HTTP connections hit the results gateway (`/studies` routes
+    /// answer 503 if `gateway` is `None`, `/metrics` always serves).
     pub fn serve_hub(
         &mut self,
         hub: Arc<RemoteHub>,
         clients: Option<crate::remote::coordinator::ClientHandler>,
+        gateway: Option<crate::remote::coordinator::HttpGateway>,
     ) {
-        let handle = spawn_hub_service(Arc::clone(&self.inner), hub, clients);
+        let handle = spawn_hub_service(Arc::clone(&self.inner), hub, clients, gateway);
         self.services.push(handle);
     }
 
@@ -1513,7 +1516,7 @@ where
     let mut pool: Pool<A> = Pool::new(workers, persist.map(|sink| sink.store));
     let spec = remote.as_ref().map(|link| link.spec.clone());
     if let Some(link) = remote {
-        pool.serve_hub(link.hub, None);
+        pool.serve_hub(link.hub, None, None);
     }
     let handle = pool.submit(graph, retain, events.clone(), spec);
     handle.wait()

@@ -116,12 +116,18 @@ impl Drop for RemoteHub {
 /// rejected.
 pub type ClientHandler = Arc<dyn Fn(TcpStream, Message) + Send + Sync>;
 
+/// The engine's HTTP results-gateway backend, shared by every classified
+/// HTTP connection. `None` (pool-only deployments, tests) serves
+/// `/metrics` but answers `/studies` routes with 503.
+pub type HttpGateway = Arc<dyn http::GatewayBackend>;
+
 /// Spawns the hub service: accept-queue draining plus per-connection
 /// classification, for as long as the pool lives.
 pub(crate) fn spawn_hub_service<A>(
     inner: Arc<PoolInner<A>>,
     hub: Arc<RemoteHub>,
     clients: Option<ClientHandler>,
+    gateway: Option<HttpGateway>,
 ) -> JoinHandle<()>
 where
     A: Clone + Send + Sync + DiskCodec + 'static,
@@ -133,7 +139,8 @@ where
                     let inner = Arc::clone(&inner);
                     let hub = Arc::clone(&hub);
                     let clients = clients.clone();
-                    std::thread::spawn(move || classify(&inner, &hub, stream, clients));
+                    let gateway = gateway.clone();
+                    std::thread::spawn(move || classify(&inner, &hub, stream, clients, gateway));
                 }
                 None => std::thread::sleep(POLL),
             }
@@ -143,13 +150,14 @@ where
 
 /// Reads a connection's first bytes and routes it: CMAF frames to the
 /// worker lease loop or the serving-client handler (by first message),
-/// an HTTP `GET ` preamble to the bounded `/metrics` responder, and
+/// an HTTP `GET `/`POST` preamble to the bounded results gateway, and
 /// everything else dropped before it can touch the pool.
 fn classify<A>(
     inner: &Arc<PoolInner<A>>,
     hub: &RemoteHub,
     stream: TcpStream,
     clients: Option<ClientHandler>,
+    gateway: Option<HttpGateway>,
 ) where
     A: Clone + Send + Sync + DiskCodec + 'static,
 {
@@ -191,13 +199,18 @@ fn classify<A>(
             Err(_) => return,
         }
     }
-    if prefix == *b"GET " {
-        http::serve_http(&**inner, stream);
+    if prefix == *b"GET " || prefix == *b"POST" {
+        http::serve_http(&**inner, gateway.as_ref(), stream);
         return;
     }
     if prefix != FRAME_MAGIC {
-        // neither a frame nor a scrape: garbage, fail closed
-        telemetry::global().http_rejected.inc();
+        // Neither a frame nor an HTTP request: garbage, fail closed.
+        // Counted as a request so the HTTP accounting invariant
+        // (requests = rejected + not_found + unauthorized + Σ routes)
+        // holds over everything that was not a CMAF frame.
+        let t = telemetry::global();
+        t.http_requests.inc();
+        t.http_rejected.inc();
         return;
     }
     let first = loop {

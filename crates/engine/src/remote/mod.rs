@@ -31,11 +31,15 @@
 //! whoever claims it next.
 
 pub mod coordinator;
-pub(crate) mod http;
+pub mod http;
 pub mod proto;
 pub mod worker;
 
-pub use coordinator::{ClientHandler, RemoteHub, DEFAULT_LEASE_TIMEOUT};
+pub use coordinator::{ClientHandler, HttpGateway, RemoteHub, DEFAULT_LEASE_TIMEOUT};
+pub use http::{
+    parse_query, percent_decode, GatewayBackend, GatewayError, Profile, Select, StudyState,
+    StudyStatus, SubmitSpec,
+};
 pub use proto::{
     leasable, poll_recv, Message, Polled, Request, ServeReport, StudySpec, MAX_MESSAGE_BYTES,
     PROTOCOL_VERSION,

@@ -19,8 +19,10 @@
 //! pure units of [`cleanml_core::tasks`], so any worker count reproduces
 //! the serial path bit for bit.
 
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
 
@@ -41,7 +43,9 @@ use crate::cache::{ArtifactCache, CacheKey, CacheStats, DiskCodec, DiskStore};
 use crate::event::{emit, EngineEvent, EventSink, TaskKind};
 use crate::graph::{NodeState, TaskGraph, TaskId};
 use crate::pool::{Pool, RunReport, SubmissionHandle};
+use crate::remote::http::{GatewayBackend, GatewayError, StudyState, StudyStatus, SubmitSpec};
 use crate::remote::{ClientHandler, RemoteHub, StudySpec};
+use crate::telemetry;
 
 /// One batched Evaluate result: every `(dirty model, clean model)` cell of a
 /// `(dataset, split, cleaning method)` group, evaluated in model order by a
@@ -327,6 +331,10 @@ pub struct EngineConfig {
     /// `--lease-timeout`: how long a leased worker may go silent (no
     /// `Done`, `Fetch` or `Heartbeat`) before its task is re-queued.
     pub lease_timeout: Duration,
+    /// `--http-token`: bearer token required by the HTTP results
+    /// gateway's `/studies` routes (`/metrics` stays open). `None`
+    /// leaves the gateway unauthenticated — loopback deployments only.
+    pub http_token: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -337,6 +345,7 @@ impl Default for EngineConfig {
             cache_max_bytes: None,
             listen: None,
             lease_timeout: crate::remote::DEFAULT_LEASE_TIMEOUT,
+            http_token: None,
         }
     }
 }
@@ -377,6 +386,7 @@ pub(crate) struct EngineInner {
     hub: Option<Arc<RemoteHub>>,
     pool: Pool<Artifact>,
     events: Mutex<Option<EventSink>>,
+    gateway: GatewayRegistry,
 }
 
 impl Engine {
@@ -396,11 +406,13 @@ impl Engine {
         let inner = Arc::new_cyclic(|weak: &Weak<EngineInner>| {
             let mut pool: Pool<Artifact> = Pool::new(workers, store.clone());
             if let Some(hub) = &hub {
-                let weak = weak.clone();
+                let handler_weak = weak.clone();
                 let handler: ClientHandler = Arc::new(move |stream, first| {
-                    crate::serve::handle_client(&weak, stream, first);
+                    crate::serve::handle_client(&handler_weak, stream, first);
                 });
-                pool.serve_hub(Arc::clone(hub), Some(handler));
+                let gateway: crate::remote::HttpGateway =
+                    Arc::new(EngineGateway { engine: weak.clone(), token: cfg.http_token.clone() });
+                pool.serve_hub(Arc::clone(hub), Some(handler), Some(gateway));
             }
             EngineInner {
                 cache: Mutex::new(ArtifactCache::with_store(store.clone())),
@@ -408,6 +420,7 @@ impl Engine {
                 hub: hub.clone(),
                 pool,
                 events: Mutex::new(None),
+                gateway: GatewayRegistry::default(),
             }
         });
         Engine { inner }
@@ -611,6 +624,168 @@ impl EngineInner {
 
     pub(crate) fn store(&self) -> Option<&Arc<DiskStore>> {
         self.store.as_ref()
+    }
+}
+
+// ---- HTTP results gateway (submission registry) ---------------------
+
+/// Bounds on the gateway registry: at most this many unfinished
+/// submissions in flight, at most this many entries retained (finished
+/// entries are evicted oldest-first when the table is full).
+const MAX_GATEWAY_RUNNING: usize = 8;
+const MAX_GATEWAY_ENTRIES: usize = 64;
+
+/// How often a gateway waiter thread samples submission progress.
+const GATEWAY_POLL: Duration = Duration::from_millis(50);
+
+enum GatewayResult {
+    Running,
+    Done(Arc<CleanMlDb>),
+    Failed(String),
+}
+
+/// One `POST /studies` submission: progress counters updated by its
+/// waiter thread, terminal state holding the finished relations.
+struct GatewayEntry {
+    id: u64,
+    errors: Vec<ErrorType>,
+    done: AtomicU64,
+    to_run: AtomicU64,
+    state: Mutex<GatewayResult>,
+}
+
+impl GatewayEntry {
+    fn status(&self) -> StudyStatus {
+        let state = match &*self.state.lock().expect("gateway entry lock") {
+            GatewayResult::Running => StudyState::Running,
+            GatewayResult::Done(_) => StudyState::Done,
+            GatewayResult::Failed(e) => StudyState::Failed(e.clone()),
+        };
+        StudyStatus {
+            id: self.id,
+            errors: self.errors.iter().map(|e| e.name().to_string()).collect(),
+            state,
+            done: self.done.load(Ordering::Relaxed),
+            to_run: self.to_run.load(Ordering::Relaxed),
+        }
+    }
+
+    fn running(&self) -> bool {
+        matches!(*self.state.lock().expect("gateway entry lock"), GatewayResult::Running)
+    }
+}
+
+/// The engine's table of HTTP-submitted studies, keyed by gateway id
+/// (monotonic, starting at 1).
+#[derive(Default)]
+pub(crate) struct GatewayRegistry {
+    table: Mutex<GatewayTable>,
+}
+
+#[derive(Default)]
+struct GatewayTable {
+    next_id: u64,
+    entries: BTreeMap<u64, Arc<GatewayEntry>>,
+}
+
+/// The [`GatewayBackend`] the wire layer talks to: a [`Weak`] engine
+/// handle (a dropped engine answers 503, never a dangling pool) plus the
+/// configured bearer token.
+struct EngineGateway {
+    engine: Weak<EngineInner>,
+    token: Option<String>,
+}
+
+impl GatewayBackend for EngineGateway {
+    fn token(&self) -> Option<String> {
+        self.token.clone()
+    }
+
+    fn list(&self) -> Vec<StudyStatus> {
+        let Some(inner) = self.engine.upgrade() else { return Vec::new() };
+        let table = inner.gateway.table.lock().expect("gateway lock");
+        table.entries.values().map(|e| e.status()).collect()
+    }
+
+    fn status(&self, id: u64) -> Option<StudyStatus> {
+        let inner = self.engine.upgrade()?;
+        let table = inner.gateway.table.lock().expect("gateway lock");
+        table.entries.get(&id).map(|e| e.status())
+    }
+
+    fn submit(&self, spec: SubmitSpec) -> std::result::Result<u64, GatewayError> {
+        let Some(inner) = self.engine.upgrade() else { return Err(GatewayError::Unavailable) };
+        let cfg = spec.config();
+        let entry = {
+            let mut table = inner.gateway.table.lock().expect("gateway lock");
+            let running = table.entries.values().filter(|e| e.running()).count();
+            if running >= MAX_GATEWAY_RUNNING {
+                return Err(GatewayError::Busy);
+            }
+            if table.entries.len() >= MAX_GATEWAY_ENTRIES {
+                // Evict the oldest finished entry; if everything retained
+                // is somehow still running, refuse rather than grow.
+                let oldest_done =
+                    table.entries.iter().find(|(_, e)| !e.running()).map(|(id, _)| *id);
+                match oldest_done {
+                    Some(id) => {
+                        table.entries.remove(&id);
+                    }
+                    None => return Err(GatewayError::Busy),
+                }
+            }
+            table.next_id += 1;
+            let entry = Arc::new(GatewayEntry {
+                id: table.next_id,
+                errors: spec.error_types.clone(),
+                done: AtomicU64::new(0),
+                to_run: AtomicU64::new(0),
+                state: Mutex::new(GatewayResult::Running),
+            });
+            table.entries.insert(entry.id, Arc::clone(&entry));
+            entry
+        };
+        telemetry::global().submissions_study.inc();
+        let submission = inner.submit_study(&spec.error_types, &cfg, None);
+        let id = entry.id;
+        // The waiter owns the submission (and through it a strong engine
+        // handle): it samples progress until completion, then parks the
+        // BY-corrected relations in the entry for `/studies/:id/r*`.
+        std::thread::spawn(move || {
+            loop {
+                let (done, to_run) = submission.progress();
+                entry.done.store(done as u64, Ordering::Relaxed);
+                entry.to_run.store(to_run as u64, Ordering::Relaxed);
+                if submission.done() {
+                    break;
+                }
+                std::thread::sleep(GATEWAY_POLL);
+            }
+            let (done, to_run) = submission.progress();
+            entry.done.store(done as u64, Ordering::Relaxed);
+            entry.to_run.store(to_run as u64, Ordering::Relaxed);
+            let result = match submission.wait() {
+                Ok((db, _report)) => GatewayResult::Done(Arc::new(db)),
+                Err(e) => GatewayResult::Failed(e.to_string()),
+            };
+            *entry.state.lock().expect("gateway entry lock") = result;
+        });
+        Ok(id)
+    }
+
+    fn results(&self, id: u64) -> std::result::Result<Arc<CleanMlDb>, GatewayError> {
+        let Some(inner) = self.engine.upgrade() else { return Err(GatewayError::Unavailable) };
+        let entry = {
+            let table = inner.gateway.table.lock().expect("gateway lock");
+            table.entries.get(&id).cloned()
+        };
+        let entry = entry.ok_or(GatewayError::NotFound)?;
+        let state = entry.state.lock().expect("gateway entry lock");
+        match &*state {
+            GatewayResult::Running => Err(GatewayError::NotReady),
+            GatewayResult::Done(db) => Ok(Arc::clone(db)),
+            GatewayResult::Failed(e) => Err(GatewayError::Failed(e.clone())),
+        }
     }
 }
 

