@@ -126,6 +126,13 @@ fn main() {
     let mut first_latency: Option<Vec<(TaskKind, HistogramSummary)>> = None;
     let mut first_costs: Vec<(TaskKind, u64, u64)> = Vec::new();
     let mut first_slow: Vec<cleanml_engine::SlowTask> = Vec::new();
+    // Fold-plane counters for the first cold instrumented leg: how many
+    // candidate×fold fits its Train tasks executed and how many fold
+    // materializations the shared FoldPlans answered from cache. With the
+    // paper()/quick() budgets every Train runs > 1 candidate, so
+    // fold_reuse = 0 would mean candidates are re-materializing folds.
+    let mut train_cv_fits = 0u64;
+    let mut train_fold_reuse = 0u64;
     let mut overhead_pct = f64::INFINITY;
 
     // Unmeasured warm-up: the first study in a fresh process pays one-off
@@ -153,6 +160,7 @@ fn main() {
                 let dir = fresh_dir("on", attempt);
                 t.set_enabled(true);
                 t.reset_slow_tasks(); // run boundary: the table is per-run
+                let cv_before = t.stats_snapshot();
                 let (wall, report, costs) = run_leg(workers, &dir, &error_types, &cfg);
                 eprintln!(
                     "[trajectory] attempt {attempt}: cold run (telemetry on): {:.1?}, \
@@ -172,6 +180,15 @@ fn main() {
                     );
                     first_costs = costs;
                     first_slow = t.slowest_tasks();
+                    let cv = t.stats_snapshot().since(&cv_before);
+                    train_cv_fits = cv.cv_fits;
+                    train_fold_reuse = cv.fold_reuse;
+                    eprintln!(
+                        "[trajectory] fold plane: {} cv fits, {} fold reuses over {} Train tasks",
+                        train_cv_fits,
+                        train_fold_reuse,
+                        report.executed(TaskKind::Train) + report.remote(TaskKind::Train),
+                    );
                 }
 
                 t.reset_slow_tasks();
@@ -270,12 +287,19 @@ fn main() {
         "  \"workers\": {},\n",
         engine_cfg(workers, scratch.clone()).effective_workers()
     ));
+    // The host's core count contextualizes scaling_efficiency: on a
+    // 1-core host the w4 leg cannot beat physics and ~1/4 efficiency is
+    // the honest ceiling, not a regression.
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    j.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     j.push_str(&format!("  \"cold_wall_ms\": {:.1},\n", ms(cold_on)));
     j.push_str(&format!("  \"cold_wall_ms_w4\": {:.1},\n", ms(cold_w4)));
     j.push_str(&format!("  \"scaling_efficiency\": {scaling_efficiency:.3},\n"));
     j.push_str(&format!("  \"warm_wall_ms\": {:.1},\n", ms(warm_on)));
     j.push_str(&format!("  \"telemetry_off_cold_wall_ms\": {:.1},\n", ms(cold_off)));
     j.push_str(&format!("  \"telemetry_overhead_pct\": {overhead_pct:.2},\n"));
+    j.push_str(&format!("  \"train_cv_fits\": {train_cv_fits},\n"));
+    j.push_str(&format!("  \"train_fold_reuse\": {train_fold_reuse},\n"));
     j.push_str("  \"task_latency\": {\n");
     let latency = first_latency.unwrap_or_default();
     let rows: Vec<String> = latency

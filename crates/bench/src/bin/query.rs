@@ -146,9 +146,11 @@ fn main() {
                                 );
                             }
                             let (stats, totals, run) = stats_from_serve_report(&sr);
-                            // the slowest-tasks table lives in the server's
-                            // registry and is not shipped over the wire
-                            println!("{}", cache_stats_line(&stats, totals, &run, &[]));
+                            // the slowest-tasks table and fold-plane
+                            // counters live in the server's registry and
+                            // are not shipped over the wire; a warm serve
+                            // fits nothing, so (0, 0) is also the truth
+                            println!("{}", cache_stats_line(&stats, totals, &run, (0, 0), &[]));
                         }
                         None => eprintln!("[query] server report did not decode"),
                     }

@@ -333,11 +333,12 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
         // counts what the scheduler does. With telemetry disabled the
         // registry saw nothing, so fall back to the report.
         let slow = telemetry.slowest_tasks();
+        let cv = (delta.cv_fits, delta.fold_reuse);
         let line = if telemetry.enabled() {
             let (stats, run) = stats_from_registry_delta(&delta);
-            cache_stats_line(&stats, store_totals, &run, &slow)
+            cache_stats_line(&stats, store_totals, &run, cv, &slow)
         } else {
-            cache_stats_line(&stats, store_totals, &report, &slow)
+            cache_stats_line(&stats, store_totals, &report, cv, &slow)
         };
         println!("{line}");
         for (i, s) in slow.iter().enumerate() {
@@ -365,21 +366,27 @@ pub fn run_study_cli(error_types: &[ErrorType], cfg: &ExperimentConfig) -> Clean
 /// vs remote, plus re-leased orphans), in a stable greppable format.
 /// `executed_train` counts `Train` tasks across both provenances — the
 /// warm-memo acceptance signal (a warm serve answers with
-/// `executed_train=0`). `slow` is the registry's top-8 slowest-tasks
+/// `executed_train=0`). `cv` is the run's `(cv_fits, fold_reuse)` delta
+/// from the fold plane: how many candidate×fold model fits the search
+/// grid executed and how many fold materializations were answered by an
+/// already-built `FoldPlan` view (a warm serve, having trained nothing,
+/// reports `cv_fits=0`). `slow` is the registry's top-8 slowest-tasks
 /// table; each entry renders as `kind:class:duration` (`-` when empty).
 pub fn cache_stats_line(
     stats: &CacheStats,
     store_totals: Option<(u64, usize)>,
     report: &RunReport,
+    cv: (u64, u64),
     slow: &[SlowTask],
 ) -> String {
     use cleanml_engine::TaskKind;
     let (store_bytes, store_entries) = store_totals.unwrap_or((0, 0));
+    let (cv_fits, fold_reuse) = cv;
     format!(
         "[cache-stats] memory_hits={} disk_hits={} misses={} disk_writes={} \
          disk_evictions={} store_entries={} store_bytes={} executed_local={} \
          executed_remote={} executed_train={} remote_workers={} releases={} \
-         slowest={}",
+         cv_fits={} fold_reuse={} slowest={}",
         stats.memory_hits,
         stats.disk_hits,
         stats.misses,
@@ -392,6 +399,8 @@ pub fn cache_stats_line(
         report.executed(TaskKind::Train) + report.remote(TaskKind::Train),
         report.remote_workers,
         report.releases,
+        cv_fits,
+        fold_reuse,
         slowest_tasks_field(slow),
     )
 }
@@ -546,19 +555,19 @@ mod tests {
             },
         ];
         assert_eq!(
-            cache_stats_line(&stats, Some((1024, 7)), &report, &slow),
+            cache_stats_line(&stats, Some((1024, 7)), &report, (45, 30), &slow),
             "[cache-stats] memory_hits=1 disk_hits=2 misses=3 disk_writes=4 \
              disk_evictions=5 store_entries=7 store_bytes=1024 executed_local=8 \
              executed_remote=9 executed_train=15 remote_workers=2 releases=1 \
-             slowest=Train:eeg:5.2ms,Clean:-:0.9ms"
+             cv_fits=45 fold_reuse=30 slowest=Train:eeg:5.2ms,Clean:-:0.9ms"
         );
         // no persistent layer / purely local run: fields read as zero,
         // line shape stable
-        let local = cache_stats_line(&stats, None, &RunReport::default(), &[]);
+        let local = cache_stats_line(&stats, None, &RunReport::default(), (0, 0), &[]);
         assert!(local.contains("store_entries=0 store_bytes=0"));
         assert!(local.ends_with(
             "executed_local=0 executed_remote=0 executed_train=0 remote_workers=0 releases=0 \
-             slowest=-"
+             cv_fits=0 fold_reuse=0 slowest=-"
         ));
     }
 
@@ -589,11 +598,12 @@ mod tests {
             ..Default::default()
         };
         let (stats, totals, run) = stats_from_serve_report(&report);
-        let line = cache_stats_line(&stats, totals, &run, &[]);
+        let line = cache_stats_line(&stats, totals, &run, (0, 0), &[]);
         assert!(line.contains("memory_hits=5"), "{line}");
         assert!(line.contains("store_bytes=4096"), "{line}");
         assert!(line.contains("executed_local=2"), "{line}");
         assert!(line.contains("executed_train=0"), "{line}");
+        assert!(line.contains("cv_fits=0 fold_reuse=0"), "{line}");
     }
 
     #[test]

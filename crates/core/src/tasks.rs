@@ -27,7 +27,7 @@
 use cleanml_cleaning::{clean_pair, CleaningMethod, ErrorType};
 use cleanml_datagen::GeneratedDataset;
 use cleanml_dataset::{Encoder, FeatureMatrix, Table};
-use cleanml_ml::cv::random_search;
+use cleanml_ml::cv::{random_search_with_plan, FoldPlan};
 use cleanml_ml::{FittedModel, Metric, ModelKind};
 
 use crate::config::ExperimentConfig;
@@ -130,6 +130,12 @@ pub struct TrainedModel {
 
 /// Fits one model family with the configured search and returns the fitted
 /// model plus its validation score.
+///
+/// The Train body builds one [`FoldPlan`] for its `(n_rows, cv_folds,
+/// seed)` key and scores every search candidate against it, so the fold
+/// matrices (and their argsort sidecars) are materialized once per Train
+/// task instead of once per candidate, and the `(candidate, fold)` grid can
+/// drain onto idle pool workers through the engine's subwork bridge.
 pub fn fit_scored(
     kind: ModelKind,
     data: &FeatureMatrix,
@@ -137,7 +143,8 @@ pub fn fit_scored(
     metric: Metric,
     seed: u64,
 ) -> Result<TrainedModel> {
-    let search = random_search(kind, data, cfg.search, seed, metric)?;
+    let plan = FoldPlan::new(data, cfg.search.cv_folds, seed)?;
+    let search = random_search_with_plan(kind, &plan, cfg.search, seed, metric)?;
     let model = search.spec.fit(data, seed)?;
     Ok(TrainedModel { model, val: search.val_score })
 }

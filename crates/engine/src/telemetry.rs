@@ -51,13 +51,17 @@ pub const NROUTES: usize = HTTP_ROUTES.len();
 /// observation is a branch-free-ish scan; chosen to straddle the repo's
 /// task-cost spread — the 100 µs / 250 µs / 500 µs buckets resolve the
 /// sub-millisecond kinds (Evaluate, Reduce) whose quantiles a 1 ms floor
-/// would flatten to a meaningless "1.0".
-pub const BUCKET_BOUNDS_SECS: [f64; 13] =
-    [0.0001, 0.00025, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0];
+/// would flatten to a meaningless "1.0", and the 150 ms – 750 ms ladder
+/// resolves the Clean/Train tail that a bare 0.1 → 0.5 → 1.0 jump
+/// quantized to exactly "100.0" / "1000.0" in `BENCH_quick.json`.
+pub const BUCKET_BOUNDS_SECS: [f64; 17] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.15, 0.25, 0.35, 0.5, 0.75, 1.0, 5.0,
+    10.0, 60.0,
+];
 
-const BOUNDS_US: [u64; 13] = [
-    100, 250, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000,
-    10_000_000, 60_000_000,
+const BOUNDS_US: [u64; 17] = [
+    100, 250, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 150_000, 250_000, 350_000, 500_000,
+    750_000, 1_000_000, 5_000_000, 10_000_000, 60_000_000,
 ];
 
 const NBUCKETS: usize = BUCKET_BOUNDS_SECS.len();
@@ -252,6 +256,11 @@ pub struct StatsSnapshot {
     pub executed_remote: [u64; NKINDS],
     pub workers_joined: u64,
     pub releases: u64,
+    /// Candidate×fold model fits executed by CV scoring (bridged from the
+    /// `cleanml-ml` fold plane; the ml crate cannot depend on the engine).
+    pub cv_fits: u64,
+    /// Fold views served from an already-materialized `FoldPlan` slot.
+    pub fold_reuse: u64,
 }
 
 impl StatsSnapshot {
@@ -272,6 +281,8 @@ impl StatsSnapshot {
             }),
             workers_joined: self.workers_joined.saturating_sub(earlier.workers_joined),
             releases: self.releases.saturating_sub(earlier.releases),
+            cv_fits: self.cv_fits.saturating_sub(earlier.cv_fits),
+            fold_reuse: self.fold_reuse.saturating_sub(earlier.fold_reuse),
         }
     }
 }
@@ -451,6 +462,8 @@ impl Telemetry {
             store_evictions: self.store_evictions.get(),
             workers_joined: self.workers_joined.get(),
             releases: self.leases_reinjected.get(),
+            cv_fits: cleanml_ml::cv::cv_fits_total(),
+            fold_reuse: cleanml_ml::cv::fold_reuse_total(),
             ..StatsSnapshot::default()
         };
         for i in 0..NKINDS {
@@ -700,6 +713,18 @@ impl Telemetry {
         counter(&mut o, "cleanml_subtasks_executed_total", &self.subtasks_executed);
         counter(&mut o, "cleanml_subwork_batches_total", &self.subwork_batches);
 
+        // CV fold plane (bridged from the process-wide `cleanml-ml`
+        // counters: the ml crate cannot depend on the engine registry).
+        o.push_str("# TYPE cleanml_cv_fits_total counter\n");
+        sample(&mut o, "cleanml_cv_fits_total", &[], Value::U64(cleanml_ml::cv::cv_fits_total()));
+        o.push_str("# TYPE cleanml_fold_reuse_total counter\n");
+        sample(
+            &mut o,
+            "cleanml_fold_reuse_total",
+            &[],
+            Value::U64(cleanml_ml::cv::fold_reuse_total()),
+        );
+
         o
     }
 }
@@ -897,6 +922,32 @@ mod tests {
         assert_eq!(h.quantile_ms(1.0), 1000.0);
         let empty = Histogram::default();
         assert_eq!(empty.quantile_ms(0.5), 0.0);
+    }
+
+    #[test]
+    fn bucket_ladder_resolves_the_100ms_to_1s_tail() {
+        // Pre-widening, everything between 100 ms and 500 ms reported
+        // "500.0" and everything between 500 ms and 1 s reported "1000.0";
+        // the 150/250/350/500/750 ms ladder separates the Clean/Train tail.
+        for (obs_ms, want_ms) in
+            [(120, 150.0), (180, 250.0), (300, 350.0), (400, 500.0), (600, 750.0), (900, 1000.0)]
+        {
+            let h = Histogram::default();
+            h.observe(ms(obs_ms));
+            assert_eq!(h.quantile_ms(0.99), want_ms, "{obs_ms} ms observation");
+        }
+    }
+
+    #[test]
+    fn cv_fold_plane_counters_render() {
+        let t = Telemetry::new();
+        let text = t.render();
+        assert!(text.contains("# TYPE cleanml_cv_fits_total counter"), "{text}");
+        assert!(text.contains("# TYPE cleanml_fold_reuse_total counter"), "{text}");
+        // bridged from the process-wide ml counters, so values only grow
+        let snap = t.stats_snapshot();
+        assert_eq!(snap.cv_fits, cleanml_ml::cv::cv_fits_total());
+        assert_eq!(snap.fold_reuse, cleanml_ml::cv::fold_reuse_total());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use cleanml_dataset::FeatureMatrix;
 
-use crate::cv::{random_search, SearchBudget, SearchResult};
+use crate::cv::{random_search_with_plan, FoldPlan, SearchBudget, SearchResult};
 use crate::metrics::Metric;
 use crate::model::{FittedModel, ModelKind, ModelSpec};
 use crate::Result;
@@ -32,6 +32,11 @@ pub struct SelectedModel {
 ///
 /// Ties are broken in favour of the family listed first in `kinds`, keeping
 /// the selection deterministic.
+///
+/// Every family's search runs the same `(n_rows, cv_folds, seed)` CV key,
+/// so one [`FoldPlan`] is threaded through all of them: the fold matrices
+/// (and their argsort sidecars) are materialized once for the whole
+/// leaderboard, not once per family per candidate.
 pub fn select_best_model(
     kinds: &[ModelKind],
     data: &FeatureMatrix,
@@ -40,10 +45,11 @@ pub fn select_best_model(
     metric: Metric,
 ) -> Result<SelectedModel> {
     assert!(!kinds.is_empty(), "need at least one model family");
+    let plan = FoldPlan::new(data, budget.cv_folds, seed)?;
     let mut best: Option<(SearchResult, usize)> = None;
     let mut leaderboard = Vec::with_capacity(kinds.len());
     for (i, &kind) in kinds.iter().enumerate() {
-        let result = random_search(kind, data, budget, seed, metric)?;
+        let result = random_search_with_plan(kind, &plan, budget, seed, metric)?;
         leaderboard.push((kind, result.val_score));
         let better = match &best {
             None => true,

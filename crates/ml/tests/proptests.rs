@@ -113,3 +113,118 @@ proptest! {
         let _ = cleanml_ml::codec::decode_model(&bytes); // Some or None, no panic
     }
 }
+
+// ---- CV fold plane: plan-backed paths are bit-identical to the naive
+// per-candidate implementation -----------------------------------------
+
+use cleanml_dataset::split::kfold_indices;
+use cleanml_ml::cv::{cross_val_score_with_plan, random_search_with_plan, FoldPlan, SearchBudget};
+use cleanml_ml::Metric;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The pre-plan `cross_val_score`, spelled out exactly as it was: fresh
+/// `kfold_indices` + two `select_rows` gathers per fold, per call.
+fn naive_cross_val_score(
+    spec: &ModelSpec,
+    data: &FeatureMatrix,
+    k: usize,
+    seed: u64,
+    metric: Metric,
+) -> Option<f64> {
+    let n = data.n_rows();
+    if n < 2 {
+        return None;
+    }
+    let k = k.clamp(2, n);
+    let folds = kfold_indices(n, k, seed);
+    let mut total = 0.0;
+    let mut used = 0usize;
+    for (fold_id, (train_idx, val_idx)) in folds.iter().enumerate() {
+        if train_idx.is_empty() || val_idx.is_empty() {
+            continue;
+        }
+        let train = data.select_rows(train_idx);
+        let val = data.select_rows(val_idx);
+        let model = spec.fit(&train, seed.wrapping_add(fold_id as u64)).expect("fit");
+        let preds = model.predict(&val).expect("predict");
+        total += metric.score(val.labels(), &preds);
+        used += 1;
+    }
+    (used > 0).then(|| total / used as f64)
+}
+
+/// The pre-plan `random_search`: one serial candidate loop, each candidate
+/// re-running the naive CV from scratch.
+fn naive_random_search(
+    kind: ModelKind,
+    data: &FeatureMatrix,
+    budget: SearchBudget,
+    seed: u64,
+    metric: Metric,
+) -> (ModelSpec, f64) {
+    let n_candidates = budget.n_candidates.max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+    let mut best: Option<(ModelSpec, f64)> = None;
+    for c in 0..n_candidates {
+        let spec =
+            if c == 0 { ModelSpec::default_for(kind) } else { ModelSpec::sample(kind, &mut rng) };
+        let score = naive_cross_val_score(&spec, data, budget.cv_folds, seed, metric)
+            .expect("usable folds");
+        let better = match &best {
+            None => true,
+            Some((_, b)) => score > *b,
+        };
+        if better {
+            best = Some((spec, score));
+        }
+    }
+    best.expect("n_candidates >= 1")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `FoldPlan`-backed CV scores are bit-identical to the naive
+    /// per-candidate path across families, fold counts (including the
+    /// degenerate k > n_rows clamp and size-1 folds) and seeds.
+    #[test]
+    fn plan_cv_bit_identical_to_naive(
+        m in arb_matrix(),
+        seed in any::<u64>(),
+        k in 2usize..40,
+    ) {
+        for kind in FAST_KINDS {
+            let spec = ModelSpec::default_for(kind);
+            let plan = FoldPlan::new(&m, k, seed).expect("n >= 2 by construction");
+            let planned =
+                cross_val_score_with_plan(&spec, &plan, Metric::Accuracy).expect("cv");
+            let naive =
+                naive_cross_val_score(&spec, &m, k, seed, Metric::Accuracy).expect("cv");
+            prop_assert_eq!(planned.to_bits(), naive.to_bits(), "{} k={}", kind, k);
+        }
+    }
+
+    /// Plan-backed random search returns the same winning spec and the
+    /// bit-identical validation score as the naive path across budgets —
+    /// including multi-candidate budgets where the plan actually
+    /// deduplicates fold materialization.
+    #[test]
+    fn plan_search_bit_identical_to_naive(
+        m in arb_matrix(),
+        seed in any::<u64>(),
+        n_candidates in 1usize..4,
+        cv_folds in 2usize..6,
+    ) {
+        let budget = SearchBudget { n_candidates, cv_folds };
+        for kind in [ModelKind::DecisionTree, ModelKind::NaiveBayes] {
+            let plan = FoldPlan::new(&m, budget.cv_folds, seed).expect("plan");
+            let got = random_search_with_plan(kind, &plan, budget, seed, Metric::Accuracy)
+                .expect("search");
+            let (want_spec, want_score) =
+                naive_random_search(kind, &m, budget, seed, Metric::Accuracy);
+            prop_assert_eq!(&got.spec, &want_spec, "{}", kind);
+            prop_assert_eq!(got.val_score.to_bits(), want_score.to_bits(), "{}", kind);
+        }
+    }
+}
